@@ -1,0 +1,22 @@
+"""Figure 1: branch-type prevalence per kilo-instruction.
+
+Regenerates the paper's workload-characterization plot: for every trace
+in the suite, executions per 1000 instructions of each branch category,
+sorted by indirect-branch prevalence.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure1, format_figure1
+
+
+def test_figure1(benchmark, suite_stats):
+    rows = run_once(benchmark, figure1, suite_stats)
+    print()
+    print(format_figure1(suite_stats, max_rows=22))
+    assert len(rows) == 88
+    # The paper's Fig. 1 property: conditionals dominate every trace.
+    for row in rows:
+        assert row["conditional"] > row["indirect"] or row["indirect"] > 20
+    # Sorted by indirect prevalence.
+    indirect = [row["indirect"] for row in rows]
+    assert indirect == sorted(indirect)

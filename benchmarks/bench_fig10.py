@@ -1,0 +1,42 @@
+"""Figure 10: effect of the §3.6 optimizations (ablation study).
+
+Regenerates the twelve-configuration ablation against ITTAGE: all
+optimizations off (SNIP-like), each alone, each removed, all on.  Uses
+an evenly-spaced subsample of the suite (the full 12-config x 88-trace
+sweep would multiply the whole campaign cost by three).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure_export import export_series
+from repro.experiments.ablation import (
+    ablation_traces,
+    figure10,
+    format_figure10,
+)
+
+
+def test_figure10(benchmark):
+    traces = ablation_traces()
+    results = run_once(benchmark, figure10, traces)
+    print()
+    print(format_figure10(results))
+    export_series(results, "results/figure10.csv",
+                  header=("configuration", "mpki_reduction_vs_ittage_pct"))
+    by_label = dict(results)
+    # The paper's qualitative findings, with tolerance for bench-scale
+    # noise (the paper's Fig. 10 deltas are single-digit percent):
+    # 1. All-on beats all-off by a clear margin.
+    assert (
+        by_label["all optimizations on"]
+        > by_label["all optimizations off"] + 5.0
+    )
+    # 2. No single optimization alone collapses the predictor: every
+    #    only-X config stays in the neighbourhood of all-off or better.
+    for label, reduction in results:
+        if label.startswith("only"):
+            assert reduction >= by_label["all optimizations off"] - 6.0
+    # 3. Removing any optimization from the full predictor does not help
+    #    beyond noise.
+    for label, reduction in results:
+        if label.startswith("no "):
+            assert reduction <= by_label["all optimizations on"] + 4.0

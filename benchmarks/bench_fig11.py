@@ -1,0 +1,31 @@
+"""Figure 11: effect of IBTB associativity.
+
+Regenerates the associativity sweep: 4,096 IBTB entries reorganized as
+4/8/16/32/64 ways, with ITTAGE as the reference bar.  The paper's shape:
+MPKI falls monotonically with associativity (1.09 -> 0.183), crossing
+ITTAGE between 32 and 64 ways.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure_export import export_series
+from repro.experiments.associativity import (
+    associativity_traces,
+    figure11,
+    format_figure11,
+)
+
+
+def test_figure11(benchmark):
+    traces = associativity_traces()
+    results = run_once(benchmark, figure11, traces)
+    print()
+    print(format_figure11(results))
+    export_series(results, "results/figure11.csv",
+                  header=("configuration", "mean_mpki"))
+    mpki = dict(results)
+    # Monotone improvement with associativity (allow tiny noise).
+    sweep = [mpki[f"assoc={w}"] for w in (4, 8, 16, 32, 64)]
+    for low_assoc, high_assoc in zip(sweep, sweep[1:]):
+        assert high_assoc <= low_assoc * 1.05
+    # 64-way must be substantially better than 4-way.
+    assert sweep[-1] < sweep[0] * 0.8

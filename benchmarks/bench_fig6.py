@@ -1,0 +1,21 @@
+"""Figure 6: polymorphism in workloads.
+
+Regenerates the per-trace share of indirect executions coming from
+polymorphic (multi-target) branches, ordered ascending as in the paper.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure6, format_figure6
+
+
+def test_figure6(benchmark, suite_stats):
+    series = run_once(benchmark, figure6, suite_stats)
+    print()
+    print(format_figure6(suite_stats))
+    assert len(series) == 88
+    values = [share for _, share in series]
+    assert values == sorted(values)
+    # The suite must span a wide polymorphism range (paper: many traces
+    # dominated by monomorphic branches, many nearly fully polymorphic).
+    assert values[0] < 70.0
+    assert values[-1] > 95.0

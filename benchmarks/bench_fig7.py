@@ -1,0 +1,23 @@
+"""Figure 7: distribution of the number of potential targets.
+
+Regenerates the CCDF over static indirect branches: for x = 1..64, the
+percentage of branches with at least x distinct observed targets.  The
+paper's findings: the majority of indirect branches have no more than 5
+potential targets, and only ~10% have more than 20.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure7, format_figure7
+
+
+def test_figure7(benchmark, suite_stats):
+    series = run_once(benchmark, figure7, suite_stats)
+    print()
+    print(format_figure7(suite_stats))
+    assert series[0] == 100.0
+    assert all(a >= b for a, b in zip(series, series[1:]))
+    # Majority of branches with <= 5 targets:
+    assert series[5] < 50.0
+    # Small tail above 20 targets (paper: ~10%).
+    assert series[20 - 1] < 25.0
+    assert series[20 - 1] > 0.5

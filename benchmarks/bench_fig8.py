@@ -1,0 +1,36 @@
+"""Figure 8: per-benchmark MPKI for VPC, ITTAGE and BLBP.
+
+Regenerates the paper's main per-benchmark comparison: MPKI of the three
+competitive predictors over all 88 traces, sorted by BLBP MPKI, with the
+BTB omitted (its MPKI dwarfs the rest, as in the paper).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.categories import category_means, format_category_means
+from repro.experiments.figure_export import export_all
+from repro.experiments.figures import figure8, format_figure8
+from repro.sim.report import format_mpki_table
+
+
+def test_figure8(benchmark, campaign, suite_stats):
+    series = run_once(benchmark, figure8, campaign)
+    print()
+    print(format_figure8(campaign))
+    print()
+    print(format_mpki_table(
+        campaign, predictor_order=("BTB", "VPC", "ITTAGE", "BLBP"),
+        sort_by="BLBP",
+    ))
+    print()
+    print(format_category_means(category_means(campaign, by="source")))
+    print()
+    print(format_category_means(category_means(campaign)))
+    paths = export_all(suite_stats, campaign, "results")
+    print(f"\nfigure data exported: {', '.join(str(p) for p in paths)}")
+    assert len(series["BLBP"]) == 88
+    # Series sorted by BLBP, and the mean ordering must hold:
+    blbp = series["BLBP"]
+    assert blbp == sorted(blbp)
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(series["BLBP"]) < mean(series["VPC"])
+    assert mean(series["ITTAGE"]) < mean(series["VPC"])

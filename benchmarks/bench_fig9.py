@@ -1,0 +1,23 @@
+"""Figure 9: relative MPKI breakdown of the four predictors.
+
+Regenerates the paper's normalized comparison: for each benchmark the
+four predictors' MPKIs as shares of their sum, showing the BTB absorbing
+most of the misprediction mass everywhere.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure9, format_figure9
+
+
+def test_figure9(benchmark, campaign):
+    shares = run_once(benchmark, figure9, campaign)
+    print()
+    print(format_figure9(campaign))
+    count = len(shares["benchmarks"])
+    assert count == 88
+    for i in range(count):
+        total = sum(shares[name][i] for name in ("BTB", "VPC", "ITTAGE", "BLBP"))
+        assert abs(total - 100.0) < 1e-6
+    # BTB takes the largest mean share (paper's Fig. 9 shape).
+    mean = lambda name: sum(shares[name]) / count
+    assert mean("BTB") >= max(mean("VPC"), mean("ITTAGE"), mean("BLBP"))

@@ -1,0 +1,55 @@
+"""Extension bench: hierarchical IBTB (§6 future work).
+
+§5.3 shows the IBTB needs 64-way associativity; §6 proposes a hierarchy
+of structures to avoid it.  This bench compares three BLBP variants —
+the monolithic 64-way Table 2 IBTB, a monolithic 8-way IBTB (the §5.3
+failure case), and the two-level hierarchy (64-entry fully-associative
+L1 over an 8-way L2) — over a suite subsample.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import run_once
+from repro.core import BLBP
+from repro.core.config import BLBPConfig
+from repro.sim.runner import run_campaign
+from repro.workloads.suite import env_scale, suite88_specs
+
+
+def _traces():
+    return [entry.generate() for entry in suite88_specs(env_scale())[::8]]
+
+
+def _run(traces):
+    configs = {
+        "mono-64way": BLBPConfig(),
+        "mono-8way": dataclasses.replace(
+            BLBPConfig(), ibtb_ways=8, ibtb_sets=512
+        ),
+        "hier-L1/8way": dataclasses.replace(
+            BLBPConfig(), use_hierarchical_ibtb=True
+        ),
+    }
+    factories = {
+        label: (lambda cfg: (lambda: BLBP(cfg)))(config)
+        for label, config in configs.items()
+    }
+    return run_campaign(traces, factories)
+
+
+def test_hierarchical_ibtb(benchmark):
+    traces = _traces()
+    campaign = run_once(benchmark, _run, traces)
+    mono64 = campaign.mean_mpki("mono-64way")
+    mono8 = campaign.mean_mpki("mono-8way")
+    hier = campaign.mean_mpki("hier-L1/8way")
+    print()
+    print("IBTB organization (mean MPKI):")
+    print(f"  monolithic 64-way      {mono64:8.4f}")
+    print(f"  monolithic 8-way       {mono8:8.4f}")
+    print(f"  hierarchy L1 + 8-way   {hier:8.4f}")
+    # Low associativity must hurt, and the hierarchy must recover most
+    # of the gap (the §6 hypothesis).
+    assert mono8 > mono64
+    assert hier < mono8
+    assert hier < mono64 + 0.5 * (mono8 - mono64)

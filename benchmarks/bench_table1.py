@@ -1,0 +1,15 @@
+"""Table 1: the 88-workload suite inventory.
+
+Prints the same rows as the paper's Table 1 (sources, benchmark counts,
+workload details) from the reproduction's suite definition.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import format_table1, table1
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1)
+    print()
+    print(format_table1())
+    assert sum(count for _, count, _ in rows) == 88

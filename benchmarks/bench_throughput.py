@@ -1,0 +1,48 @@
+"""Implementation-cost microbenchmarks (supplementary to §3.7).
+
+The paper argues BLBP's prediction is implementable within conditional-
+perceptron latency (8 tables, K adder trees).  These microbenchmarks
+measure the simulator-side cost per operation of each predictor —
+useful both as a software regression guard and as a proxy for relative
+implementation complexity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BLBP
+from repro.predictors import ITTAGE, BranchTargetBuffer, VPCPredictor
+
+
+def _warmed(predictor, pcs, targets, steps=500):
+    rng = np.random.default_rng(0)
+    for _ in range(steps):
+        pc = pcs[int(rng.integers(len(pcs)))]
+        target = targets[int(rng.integers(len(targets)))]
+        predictor.predict_target(pc)
+        predictor.train(pc, target)
+        predictor.on_conditional(0x500, bool(rng.integers(2)))
+    return predictor
+
+
+PCS = [0x1000, 0x1040, 0x2000]
+TARGETS = [0x40_0004, 0x40_0128, 0x40_0A3C, 0x41_0010]
+
+
+@pytest.mark.parametrize("factory", [BranchTargetBuffer, VPCPredictor, ITTAGE, BLBP],
+                         ids=["BTB", "VPC", "ITTAGE", "BLBP"])
+def test_predict_throughput(benchmark, factory):
+    predictor = _warmed(factory(), PCS, TARGETS)
+    benchmark(predictor.predict_target, PCS[0])
+
+
+@pytest.mark.parametrize("factory", [BranchTargetBuffer, VPCPredictor, ITTAGE, BLBP],
+                         ids=["BTB", "VPC", "ITTAGE", "BLBP"])
+def test_predict_train_round_trip(benchmark, factory):
+    predictor = _warmed(factory(), PCS, TARGETS)
+
+    def round_trip():
+        predictor.predict_target(PCS[1])
+        predictor.train(PCS[1], TARGETS[1])
+
+    benchmark(round_trip)

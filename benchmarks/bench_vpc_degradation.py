@@ -1,0 +1,51 @@
+"""VPC's conditional-accuracy degradation (§4.2).
+
+The paper reports that sharing the conditional predictor with VPC's
+virtual branches costs 2.05% conditional accuracy.  This bench measures
+the same quantity: the multiperspective perceptron's accuracy on real
+conditional branches when standalone vs when shared with VPC, over a
+suite subsample.
+"""
+
+from benchmarks.conftest import run_once
+from repro.cond import MultiperspectivePerceptron
+from repro.predictors import VPCPredictor
+from repro.sim.engine import simulate, simulate_conditional
+from repro.workloads.suite import env_scale, suite88_specs
+
+
+def _traces():
+    return [entry.generate() for entry in suite88_specs(env_scale())[::8]]
+
+
+def _run(traces):
+    standalone_rates = []
+    shared_rates = []
+    for trace in traces:
+        standalone = simulate_conditional(MultiperspectivePerceptron(), trace)
+        standalone_rates.append(1.0 - standalone.misprediction_rate())
+        vpc = VPCPredictor()
+        simulate(vpc, trace)
+        shared_rates.append(vpc.conditional_accuracy())
+    mean = lambda xs: sum(xs) / len(xs)
+    return mean(standalone_rates), mean(shared_rates)
+
+
+def test_vpc_conditional_degradation(benchmark):
+    traces = _traces()
+    standalone, shared = run_once(benchmark, _run, traces)
+    degradation = 100.0 * (standalone - shared)
+    print()
+    print("Conditional accuracy of the shared MPP (mean over subsample):")
+    print(f"  standalone        {100 * standalone:7.3f}%")
+    print(f"  shared with VPC   {100 * shared:7.3f}%")
+    print(f"  degradation       {degradation:7.3f} points (paper: 2.05%)")
+    print(
+        "  note: our VPC trains virtual branches without shifting the\n"
+        "  shared history register (DESIGN.md §5), which removes the\n"
+        "  history-pollution component of the paper's 2.05% degradation —\n"
+        "  the residual interference is weight-table pressure only."
+    )
+    # The paper's degradation is ~2 points; with history pollution
+    # removed, the residual interference must stay within ±3 points.
+    assert abs(degradation) < 3.0

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate the paper's tables and figures.  The expensive
+inputs (the 88-trace suite and the 4-predictor campaign) are produced
+once per session through :mod:`repro.experiments.runcache` and shared by
+every bench.  Trace lengths honour ``REPRO_SCALE``
+(``small``/``medium``/``full`` or a float; default medium = 3x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import predictor_factories
+from repro.experiments.runcache import (
+    get_campaign,
+    get_suite_stats,
+    get_suite_traces,
+)
+
+
+@pytest.fixture(scope="session")
+def suite_traces():
+    return get_suite_traces()
+
+
+@pytest.fixture(scope="session")
+def suite_stats():
+    return get_suite_stats()
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The full 88-trace x 4-predictor campaign (cached per session)."""
+    return get_campaign(predictor_factories())
+
+
+@pytest.fixture(scope="session")
+def cbp4_campaign():
+    pair = {
+        name: factory
+        for name, factory in predictor_factories().items()
+        if name in ("ITTAGE", "BLBP")
+    }
+    return get_campaign(pair, suite="cbp4")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a whole-experiment bench exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

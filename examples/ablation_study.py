@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Ablation walk-through: what each BLBP optimization buys (Fig. 10).
+
+Runs a reduced version of the paper's §5.2 ablation on a couple of
+workloads: the SNIP-like unoptimized predictor, each optimization alone,
+and the full predictor, against ITTAGE as the reference.
+
+Run:  python examples/ablation_study.py
+"""
+
+import dataclasses
+
+from repro import ITTAGE, simulate
+from repro.core import BLBP
+from repro.core.config import BLBPConfig, unoptimized_config
+from repro.experiments.ablation import OPTIMIZATIONS
+from repro.workloads import SwitchCaseSpec, VirtualDispatchSpec
+
+
+def build_traces():
+    return [
+        VirtualDispatchSpec(
+            name="vd", seed=501, num_records=25_000, num_sites=6,
+            num_types=6, determinism=0.95, filler_conditionals=12,
+        ).generate(),
+        SwitchCaseSpec(
+            name="sw", seed=502, num_records=25_000, num_cases=12,
+            determinism=0.93, filler_conditionals=10,
+        ).generate(),
+    ]
+
+
+def mean_mpki(factory, traces) -> float:
+    values = [simulate(factory(), trace).mpki() for trace in traces]
+    return sum(values) / len(values)
+
+
+def main() -> None:
+    traces = build_traces()
+    reference = mean_mpki(ITTAGE, traces)
+    print(f"ITTAGE reference: {reference:.4f} MPKI\n")
+
+    configs = {"all optimizations off": unoptimized_config()}
+    for label, field in OPTIMIZATIONS:
+        configs[f"only {label} on"] = dataclasses.replace(
+            unoptimized_config(), **{field: True}
+        )
+    configs["all optimizations on"] = BLBPConfig()
+
+    print(f"{'configuration':<28} {'MPKI':>8}  {'vs ITTAGE':>9}")
+    for label, config in configs.items():
+        mpki = mean_mpki(lambda cfg=config: BLBP(cfg), traces)
+        delta = 100.0 * (reference - mpki) / reference
+        print(f"{label:<28} {mpki:>8.4f}  {delta:>+8.1f}%")
+
+    print(
+        "\nExpected shape (paper Fig. 10): the unoptimized predictor trails"
+        "\nITTAGE; each optimization recovers part of the gap; the full"
+        "\npredictor is competitive with (or ahead of) ITTAGE."
+    )
+
+
+if __name__ == "__main__":
+    main()

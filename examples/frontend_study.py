@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Study: a complete front-end — COTTAGE vs VPC vs BLBP + TAGE.
+
+The paper's §6 closes with consolidation: one structure predicting both
+conditional directions and indirect targets.  This example compares
+three front-end organizations on the same workload:
+
+* **COTTAGE** (Seznec): TAGE directions + ITTAGE targets;
+* **VPC** (Kim et al.): one multiperspective perceptron doing double
+  duty through devirtualization;
+* **BLBP + BLBP-cond**: the paper's predictor for targets next to its
+  §6 conditional sibling sharing the same feature set.
+
+Reported: indirect MPKI, conditional accuracy, and total storage.
+
+Run:  python examples/frontend_study.py
+"""
+
+from repro.cond import BLBPConditional
+from repro.core import BLBP
+from repro.predictors import COTTAGE, VPCPredictor
+from repro.sim import simulate
+from repro.sim.engine import simulate_conditional
+from repro.workloads import MixedSpec, SwitchCaseSpec, VirtualDispatchSpec
+
+
+def build_trace():
+    dispatch = VirtualDispatchSpec(
+        name="vd", seed=601, num_records=20_000, num_sites=8, num_types=6,
+        determinism=0.94, filler_conditionals=12,
+    )
+    demux = SwitchCaseSpec(
+        name="sw", seed=602, num_records=20_000, num_cases=16,
+        determinism=0.92, filler_conditionals=10,
+    )
+    return MixedSpec(
+        name="frontend", seed=603, num_records=40_000,
+        components=[(dispatch, 2.0), (demux, 1.0)], phase_records=4000,
+    ).generate()
+
+
+def main() -> None:
+    trace = build_trace()
+    print(f"workload: {trace}\n")
+
+    print(f"{'front-end':<16} {'indirect MPKI':>13}  {'cond acc':>8}  {'KB':>7}")
+
+    cottage = COTTAGE()
+    result = simulate(cottage, trace)
+    print(
+        f"{'COTTAGE':<16} {result.mpki():>13.4f}  "
+        f"{100 * cottage.conditional_accuracy():>7.2f}%  "
+        f"{cottage.storage_budget().total_kilobytes():>7.1f}"
+    )
+
+    vpc = VPCPredictor()
+    result = simulate(vpc, trace)
+    print(
+        f"{'VPC':<16} {result.mpki():>13.4f}  "
+        f"{100 * vpc.conditional_accuracy():>7.2f}%  "
+        f"{vpc.storage_budget().total_kilobytes():>7.1f}"
+    )
+
+    blbp = BLBP()
+    indirect_result = simulate(blbp, trace)
+    blbp_cond = BLBPConditional()
+    cond_result = simulate_conditional(blbp_cond, trace)
+    cond_accuracy = 1.0 - cond_result.misprediction_rate()
+    total_kb = (
+        blbp.storage_budget().total_kilobytes()
+        + blbp_cond.storage_budget().total_kilobytes()
+    )
+    print(
+        f"{'BLBP + BLBPcond':<16} {indirect_result.mpki():>13.4f}  "
+        f"{100 * cond_accuracy:>7.2f}%  {total_kb:>7.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Study: interpreter dispatch loops and long-history prediction.
+
+A bytecode interpreter executes a fixed program repeatedly, so its
+dispatch-target sequence is periodic with the program length.  A
+predictor needs history reaching back roughly one period to lock on.
+This example sweeps the program length and shows where each predictor's
+effective history runs out — exercising BLBP's long tuned intervals
+(up to position 630) and ITTAGE's long geometric history lengths.
+
+Run:  python examples/interpreter_dispatch.py
+"""
+
+from repro import BLBP, BranchTargetBuffer, ITTAGE, VPCPredictor, simulate
+from repro.workloads import InterpreterSpec
+
+
+def run(program_length: int) -> dict:
+    spec = InterpreterSpec(
+        name=f"interp-{program_length}",
+        seed=11_000 + program_length,
+        num_records=40_000,
+        num_opcodes=16,
+        program_length=program_length,
+        data_noise=0.01,
+        filler_conditionals=4,
+    )
+    trace = spec.generate()
+    return {
+        predictor.name: simulate(predictor, trace).mpki()
+        for predictor in (
+            BranchTargetBuffer(),
+            VPCPredictor(),
+            ITTAGE(),
+            BLBP(),
+        )
+    }
+
+
+def main() -> None:
+    print(f"{'prog len':>8}  {'BTB':>8}  {'VPC':>8}  {'ITTAGE':>8}  {'BLBP':>8}")
+    for program_length in (8, 16, 32, 64, 128):
+        mpki = run(program_length)
+        print(
+            f"{program_length:>8}  {mpki['BTB']:>8.3f}  {mpki['VPC']:>8.3f}"
+            f"  {mpki['ITTAGE']:>8.3f}  {mpki['BLBP']:>8.3f}"
+        )
+    print(
+        "\nExpected shape: the BTB misses almost every dispatch (the next"
+        "\nopcode is rarely the previous one); the history-based predictors"
+        "\nstay accurate until the period outruns their reach."
+    )
+
+
+if __name__ == "__main__":
+    main()

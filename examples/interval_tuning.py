@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Re-running the paper's interval tuning (§3.6 methodology).
+
+The seven global-history intervals of BLBP were "found by starting with
+geometric histories and improving with hill-climbing".  This example
+re-runs that procedure on a small tuning set of synthetic workloads and
+compares the result against both the GEHL starting point and the
+paper's published intervals.
+
+Run:  python examples/interval_tuning.py   (takes a couple of minutes)
+"""
+
+import dataclasses
+
+from repro.core import BLBP
+from repro.core.config import BLBPConfig, GEHL_INTERVALS, PAPER_INTERVALS
+from repro.experiments.tuning import format_tuning_result, hill_climb_intervals
+from repro.sim import simulate
+from repro.workloads import InterpreterSpec, SwitchCaseSpec, VirtualDispatchSpec
+
+
+def tuning_traces():
+    return [
+        VirtualDispatchSpec(
+            name="tune-vd", seed=801, num_records=8000, num_types=6,
+            determinism=0.94, filler_conditionals=10, signal_lag=8,
+        ).generate(),
+        SwitchCaseSpec(
+            name="tune-sw", seed=802, num_records=8000, num_cases=12,
+            determinism=0.93, filler_conditionals=8,
+        ).generate(),
+        InterpreterSpec(
+            name="tune-in", seed=803, num_records=8000, num_opcodes=16,
+            program_length=40, filler_conditionals=6,
+        ).generate(),
+    ]
+
+
+def mean_mpki(intervals, traces):
+    config = dataclasses.replace(BLBPConfig(), intervals=intervals)
+    return sum(simulate(BLBP(config), t).mpki() for t in traces) / len(traces)
+
+
+def main() -> None:
+    traces = tuning_traces()
+    print("tuning set:", ", ".join(t.name for t in traces))
+
+    result = hill_climb_intervals(traces, iterations=40, seed=99)
+    print()
+    print(format_tuning_result(result))
+
+    paper = mean_mpki(PAPER_INTERVALS, traces)
+    print()
+    print(f"paper's published intervals on this tuning set: {paper:.4f} MPKI")
+    print(f"GEHL starting point:                            "
+          f"{result.initial_mpki:.4f} MPKI")
+    print(f"our hill-climbed intervals:                     "
+          f"{result.best_mpki:.4f} MPKI")
+    print(
+        "\nThe point: hill-climbing finds workload-specific intervals that"
+        "\nbeat plain geometric lengths, as §3.6 describes.  The paper's"
+        "\nintervals were tuned to *their* traces, ours to ours."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Study: how polymorphism degree and signal noise shape predictor MPKI.
+
+Sweeps the number of receiver types (2..32) and the signal-branch noise
+(0..10%) for a virtual-dispatch workload, comparing the BTB baseline,
+ITTAGE, and BLBP.  Reproduces, at example scale, the paper's motivation:
+BTB accuracy collapses with polymorphism while history-based predictors
+track it, and perceptron-style aggregation degrades gracefully with
+noise.
+
+Run:  python examples/virtual_dispatch_study.py
+"""
+
+from repro import BLBP, BranchTargetBuffer, ITTAGE, simulate
+from repro.workloads import VirtualDispatchSpec
+
+
+def run(num_types: int, signal_noise: float) -> dict:
+    spec = VirtualDispatchSpec(
+        name=f"vd-{num_types}-{signal_noise}",
+        seed=7_000 + num_types,
+        num_records=30_000,
+        num_sites=4,
+        num_types=num_types,
+        determinism=0.96,
+        signal_noise=signal_noise,
+        filler_conditionals=12,
+    )
+    trace = spec.generate()
+    return {
+        predictor.name: simulate(predictor, trace).mpki()
+        for predictor in (BranchTargetBuffer(), ITTAGE(), BLBP())
+    }
+
+
+def main() -> None:
+    print("== Sweep 1: polymorphism degree (no signal noise) ==")
+    print(f"{'types':>6}  {'BTB':>8}  {'ITTAGE':>8}  {'BLBP':>8}")
+    for num_types in (2, 4, 8, 16, 32):
+        mpki = run(num_types, 0.0)
+        print(
+            f"{num_types:>6}  {mpki['BTB']:>8.3f}  {mpki['ITTAGE']:>8.3f}"
+            f"  {mpki['BLBP']:>8.3f}"
+        )
+
+    print("\n== Sweep 2: signal noise (8 types) ==")
+    print(f"{'noise':>6}  {'BTB':>8}  {'ITTAGE':>8}  {'BLBP':>8}")
+    for noise in (0.0, 0.02, 0.05, 0.10):
+        mpki = run(8, noise)
+        print(
+            f"{noise:>6.2f}  {mpki['BTB']:>8.3f}  {mpki['ITTAGE']:>8.3f}"
+            f"  {mpki['BLBP']:>8.3f}"
+        )
+
+    print(
+        "\nExpected shape: BTB MPKI grows with polymorphism and stays high;"
+        "\nITTAGE and BLBP stay low and degrade gracefully with noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

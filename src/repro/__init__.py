@@ -1,0 +1,67 @@
+"""repro: Bit-level Perceptron Prediction for Indirect Branches.
+
+A from-scratch Python reproduction of Garza, Mirbagher-Ajorpaz, Khan &
+Jiménez, *Bit-level Perceptron Prediction for Indirect Branches*,
+ISCA 2019 — the BLBP predictor, its baselines (BTB, VPC, ITTAGE), a
+CBP-style trace simulator, and synthetic workload suites.
+
+Quickstart::
+
+    from repro import BLBP, ITTAGE, simulate
+    from repro.workloads import VirtualDispatchSpec
+
+    trace = VirtualDispatchSpec(
+        name="demo", seed=1, num_records=20000, num_types=4
+    ).generate()
+    result = simulate(BLBP(), trace)
+    print(result.mpki())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import BLBP, BLBPConfig, paper_config
+from repro.predictors import (
+    ITTAGE,
+    BranchTargetBuffer,
+    ITTAGEConfig,
+    IndirectBranchPredictor,
+    TargetCache,
+    TwoBitBTB,
+    VPCConfig,
+    VPCPredictor,
+)
+from repro.sim import (
+    CampaignResult,
+    ReturnAddressStack,
+    SimulationResult,
+    run_campaign,
+    simulate,
+)
+from repro.trace import BranchRecord, BranchType, Trace, compute_stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLBP",
+    "BLBPConfig",
+    "paper_config",
+    "ITTAGE",
+    "ITTAGEConfig",
+    "VPCPredictor",
+    "VPCConfig",
+    "BranchTargetBuffer",
+    "TwoBitBTB",
+    "TargetCache",
+    "IndirectBranchPredictor",
+    "simulate",
+    "run_campaign",
+    "SimulationResult",
+    "CampaignResult",
+    "ReturnAddressStack",
+    "Trace",
+    "BranchRecord",
+    "BranchType",
+    "compute_stats",
+    "__version__",
+]

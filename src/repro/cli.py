@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``suite``     — list the 88-workload suite (Table 1);
+* ``generate``  — generate a named suite trace (or all) to disk;
+* ``stats``     — workload-characterization statistics for traces;
+* ``simulate``  — run predictors over traces or suite samples;
+* ``budgets``   — predictor hardware budgets (Table 2).
+
+Examples::
+
+    python -m repro suite
+    python -m repro generate SHORT-MOBILE-1 --out /tmp/sm1.trace
+    python -m repro stats /tmp/sm1.trace
+    python -m repro simulate --predictors BTB,ITTAGE,BLBP --stride 16
+    python -m repro budgets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.core import BLBP, SNIP
+from repro.experiments.configs import format_budget_details, format_table2
+from repro.predictors import (
+    COTTAGE,
+    ITTAGE,
+    BranchTargetBuffer,
+    IndirectBranchPredictor,
+    TargetCache,
+    TwoBitBTB,
+    VPCPredictor,
+)
+from repro.sim import format_mpki_table, run_campaign
+from repro.trace.record import BranchType
+from repro.trace.stats import compute_stats
+from repro.trace.stream import read_trace, write_trace
+from repro.trace.textio import read_text_trace, write_text_trace
+from repro.workloads.suite import suite88_specs
+from repro.workloads.validation import format_report, validate_trace
+
+#: CLI names for every available indirect predictor.
+PREDICTOR_REGISTRY: Dict[str, Callable[[], IndirectBranchPredictor]] = {
+    "BTB": BranchTargetBuffer,
+    "2bit-BTB": TwoBitBTB,
+    "TargetCache": TargetCache,
+    "VPC": VPCPredictor,
+    "ITTAGE": ITTAGE,
+    "COTTAGE": COTTAGE,
+    "SNIP": SNIP,
+    "BLBP": BLBP,
+}
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    specs = suite88_specs(args.scale)
+    print(f"{'name':<28} {'source':<14} {'category':<14} {'records':>8}")
+    for entry in specs:
+        print(
+            f"{entry.name:<28} {entry.source:<14} {entry.category:<14} "
+            f"{entry.spec.num_records:>8}"
+        )
+    print(f"\n{len(specs)} workloads")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    specs = {entry.name: entry for entry in suite88_specs(args.scale)}
+    if args.name not in specs:
+        print(f"unknown trace {args.name!r}; see `python -m repro suite`",
+              file=sys.stderr)
+        return 1
+    trace = specs[args.name].generate()
+    if str(args.out).endswith(".csv"):
+        write_text_trace(trace, args.out)
+    else:
+        write_trace(trace, args.out)
+    print(f"wrote {trace} -> {args.out}")
+    return 0
+
+
+def _load_trace(path: str):
+    """Load a trace, dispatching on extension (.csv = text format)."""
+    if str(path).endswith(".csv"):
+        return read_text_trace(path)
+    return read_trace(path)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    for path in args.traces:
+        trace = _load_trace(path)
+        stats = compute_stats(trace)
+        indirect_pk = sum(
+            stats.per_kilo(bt)
+            for bt in (BranchType.INDIRECT_JUMP, BranchType.INDIRECT_CALL)
+        )
+        print(f"{trace.name}:")
+        print(f"  instructions        {stats.total_instructions}")
+        print(f"  conditional / ki    {stats.per_kilo(BranchType.CONDITIONAL):.2f}")
+        print(f"  indirect / ki       {indirect_pk:.2f}")
+        print(f"  returns / ki        {stats.per_kilo(BranchType.RETURN):.2f}")
+        print(f"  polymorphic share   {100 * stats.polymorphic_fraction():.1f}%")
+        print(f"  static ind branches {len(stats.targets_per_branch)}")
+        most = max(stats.targets_per_branch.values(), default=0)
+        print(f"  max targets/branch  {most}")
+    return 0
+
+
+def _parse_predictors(raw: str) -> Dict[str, Callable[[], IndirectBranchPredictor]]:
+    factories = {}
+    for name in raw.split(","):
+        name = name.strip()
+        if name not in PREDICTOR_REGISTRY:
+            raise SystemExit(
+                f"unknown predictor {name!r}; choose from "
+                f"{', '.join(PREDICTOR_REGISTRY)}"
+            )
+        factories[name] = PREDICTOR_REGISTRY[name]
+    return factories
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    factories = _parse_predictors(args.predictors)
+    traces = []
+    if args.traces:
+        traces = [_load_trace(path) for path in args.traces]
+    else:
+        entries = suite88_specs(args.scale)[:: args.stride]
+        print(f"generating {len(entries)} suite traces ...", file=sys.stderr)
+        traces = [entry.generate() for entry in entries]
+    campaign = run_campaign(traces, factories)
+    print(format_mpki_table(campaign, sort_by=list(factories)[-1]))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.traces:
+        traces = [_load_trace(path) for path in args.traces]
+    else:
+        entries = suite88_specs(args.scale)[:: args.stride]
+        print(f"validating {len(entries)} suite traces ...", file=sys.stderr)
+        traces = [entry.generate() for entry in entries]
+    failures = 0
+    for trace in traces:
+        report = validate_trace(trace)
+        print(format_report(report))
+        if not report.ok:
+            failures += 1
+    if failures:
+        print(f"{failures} trace(s) violate the workload contract",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    path = generate_report(
+        args.out, scale=args.scale, stride=args.stride
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_budgets(args: argparse.Namespace) -> int:
+    print(format_table2())
+    if args.details:
+        print()
+        print(format_budget_details())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BLBP reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    suite = sub.add_parser("suite", help="list the 88-workload suite")
+    suite.add_argument("--scale", type=float, default=1.0)
+    suite.set_defaults(func=_cmd_suite)
+
+    generate = sub.add_parser("generate", help="generate a suite trace")
+    generate.add_argument("name", help="suite trace name")
+    generate.add_argument("--out", required=True, help="output path")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="trace statistics")
+    stats.add_argument("traces", nargs="+", help="trace files")
+    stats.set_defaults(func=_cmd_stats)
+
+    simulate = sub.add_parser("simulate", help="run predictors over traces")
+    simulate.add_argument(
+        "--predictors", default="BTB,ITTAGE,BLBP",
+        help=f"comma list from: {', '.join(PREDICTOR_REGISTRY)}",
+    )
+    simulate.add_argument("--traces", nargs="*", help="trace files (else suite)")
+    simulate.add_argument("--stride", type=int, default=16,
+                          help="suite sampling stride (default 16)")
+    simulate.add_argument("--scale", type=float, default=1.0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    validate = sub.add_parser(
+        "validate", help="check traces against the workload contract"
+    )
+    validate.add_argument("--traces", nargs="*", help="trace files (else suite)")
+    validate.add_argument("--stride", type=int, default=16)
+    validate.add_argument("--scale", type=float, default=1.0)
+    validate.set_defaults(func=_cmd_validate)
+
+    budgets = sub.add_parser("budgets", help="hardware budgets (Table 2)")
+    budgets.add_argument("--details", action="store_true")
+    budgets.set_defaults(func=_cmd_budgets)
+
+    report = sub.add_parser(
+        "report", help="run the evaluation and write a markdown report"
+    )
+    report.add_argument("--out", default="results/report.md")
+    report.add_argument("--scale", type=float, default=0.5)
+    report.add_argument("--stride", type=int, default=8)
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Shared low-level building blocks used by every predictor and substrate.
+
+This package models the small hardware idioms that branch predictors are
+built from: bit manipulation on target addresses, folded-XOR history
+hashing, saturating counters, shift-register histories, cache replacement
+policies (LRU and RRIP), and a storage-budget accountant used for the
+paper's iso-area comparisons (Table 2).
+"""
+
+from repro.common.bitops import (
+    bit_of,
+    bits_of,
+    bits_to_int,
+    mask,
+    sign_magnitude_bits,
+)
+from repro.common.counters import SaturatingCounter, SignedSaturatingCounter
+from repro.common.hashing import FoldedHistory, mix_pc, stable_hash64
+from repro.common.history import (
+    GlobalHistory,
+    LocalHistoryTable,
+    PathHistory,
+)
+from repro.common.replacement import LRUPolicy, RRIPPolicy
+from repro.common.storage import StorageBudget
+
+__all__ = [
+    "bit_of",
+    "bits_of",
+    "bits_to_int",
+    "mask",
+    "sign_magnitude_bits",
+    "SaturatingCounter",
+    "SignedSaturatingCounter",
+    "FoldedHistory",
+    "mix_pc",
+    "stable_hash64",
+    "GlobalHistory",
+    "LocalHistoryTable",
+    "PathHistory",
+    "LRUPolicy",
+    "RRIPPolicy",
+    "StorageBudget",
+]

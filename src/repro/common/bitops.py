@@ -1,0 +1,67 @@
+"""Bit-manipulation helpers for working with branch-target addresses.
+
+Branch predictors that operate at the bit level (SNIP, BLBP, TAP) treat a
+target address as a vector of bits.  These helpers convert between integer
+addresses and bit vectors, and provide the small utilities (masks, bit
+extraction) that the predictor cores use in their hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def mask(width: int) -> int:
+    """Return an integer with the low ``width`` bits set.
+
+    ``mask(0)`` is ``0``; widths must be non-negative.
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_of(value: int, position: int) -> int:
+    """Return bit ``position`` of ``value`` as 0 or 1."""
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return (value >> position) & 1
+
+
+def bits_of(value: int, width: int, low: int = 0) -> List[int]:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    The result is least-significant-first: ``bits_of(v, w, lo)[k]`` is bit
+    ``lo + k`` of ``v``.  This is the bit ordering used throughout the BLBP
+    core (weight ``w_k`` predicts bit ``lo + k`` of the target).
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    shifted = value >> low
+    return [(shifted >> k) & 1 for k in range(width)]
+
+
+def bits_to_int(bits: Sequence[int], low: int = 0) -> int:
+    """Inverse of :func:`bits_of`: pack least-significant-first bits.
+
+    Each element must be 0 or 1.  The packed value is shifted left by
+    ``low`` so that ``bits_to_int(bits_of(v, w, lo), lo)`` recovers the
+    masked field of ``v``.
+    """
+    value = 0
+    for k, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {k} is {bit!r}, expected 0 or 1")
+        value |= bit << k
+    return value << low
+
+
+def sign_magnitude_bits(width: int) -> int:
+    """Return the magnitude bound for a ``width``-bit sign/magnitude weight.
+
+    The paper stores perceptron weights as 4-bit sign/magnitude integers,
+    which range over [-7, +7]; ``sign_magnitude_bits(4) == 7``.
+    """
+    if width < 2:
+        raise ValueError(f"sign/magnitude weights need >= 2 bits, got {width}")
+    return (1 << (width - 1)) - 1

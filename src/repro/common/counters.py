@@ -1,0 +1,88 @@
+"""Saturating counters, the workhorse state element of branch predictors."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An unsigned saturating counter in ``[0, 2**width - 1]``.
+
+    Used for ITTAGE confidence counters, RRIP re-reference values, and the
+    usefulness bits of tagged tables.
+    """
+
+    __slots__ = ("width", "max_value", "value")
+
+    def __init__(self, width: int, initial: int = 0) -> None:
+        if width < 1:
+            raise ValueError(f"counter width must be >= 1, got {width}")
+        self.width = width
+        self.max_value = (1 << width) - 1
+        if not 0 <= initial <= self.max_value:
+            raise ValueError(
+                f"initial value {initial} out of range [0, {self.max_value}]"
+            )
+        self.value = initial
+
+    def increment(self) -> None:
+        if self.value < self.max_value:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    def is_max(self) -> bool:
+        return self.value == self.max_value
+
+    def is_min(self) -> bool:
+        return self.value == 0
+
+    def reset(self, value: int = 0) -> None:
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"reset value {value} out of range")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(width={self.width}, value={self.value})"
+
+
+class SignedSaturatingCounter:
+    """A signed saturating counter in ``[-2**(width-1), 2**(width-1) - 1]``.
+
+    Used for perceptron weights when modelled as scalars, and for ITTAGE's
+    ``use_alt_on_na`` meta counter.
+    """
+
+    __slots__ = ("width", "min_value", "max_value", "value")
+
+    def __init__(self, width: int, initial: int = 0) -> None:
+        if width < 1:
+            raise ValueError(f"counter width must be >= 1, got {width}")
+        self.width = width
+        self.min_value = -(1 << (width - 1))
+        self.max_value = (1 << (width - 1)) - 1
+        if not self.min_value <= initial <= self.max_value:
+            raise ValueError(
+                f"initial value {initial} out of range "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+        self.value = initial
+
+    def increment(self) -> None:
+        if self.value < self.max_value:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > self.min_value:
+            self.value -= 1
+
+    def is_positive(self) -> bool:
+        return self.value >= 0
+
+    def reset(self, value: int = 0) -> None:
+        if not self.min_value <= value <= self.max_value:
+            raise ValueError(f"reset value {value} out of range")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"SignedSaturatingCounter(width={self.width}, value={self.value})"

@@ -1,0 +1,114 @@
+"""Hashing utilities: PC mixing and folded-XOR history compression.
+
+Hardware branch predictors cannot afford to index SRAM tables with a
+630-bit history, so they *fold* the history down to an index width by
+XOR-ing fixed-size chunks together (Michaud's PPM predictor, TAGE, and
+every perceptron predictor since the hashed perceptron use this trick).
+The paper leaves its hash functions unspecified; we use the standard
+folded-XOR construction here, mixed with the branch PC.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash64(value: int) -> int:
+    """A deterministic 64-bit integer mixer (splitmix64 finalizer).
+
+    Python's builtin ``hash`` is salted per-process for strings and is the
+    identity for small ints, neither of which is acceptable for a
+    reproducible hardware model, so all table indexing goes through this.
+    """
+    value &= _MASK64
+    value = (value + _GOLDEN64) & _MASK64
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & _MASK64
+    value ^= value >> 27
+    value = (value * 0x94D049BB133111EB) & _MASK64
+    value ^= value >> 31
+    return value
+
+
+def mix_pc(pc: int, salt: int = 0) -> int:
+    """Mix a branch PC (optionally with a salt) into a 64-bit hash.
+
+    The low two bits of instruction addresses carry no information on
+    aligned ISAs, so the PC is pre-shifted before mixing.
+    """
+    return stable_hash64((pc >> 2) ^ (salt * _GOLDEN64))
+
+
+def fold_bits(bits: Sequence[int], width: int) -> int:
+    """Fold a least-significant-first bit sequence to ``width`` bits by XOR.
+
+    Equivalent to the circular-shift-register folding hardware used by
+    TAGE-family predictors, computed directly for clarity.
+    """
+    if width < 1:
+        raise ValueError(f"fold width must be >= 1, got {width}")
+    folded = 0
+    for position, bit in enumerate(bits):
+        if bit:
+            folded ^= 1 << (position % width)
+    return folded
+
+
+def combine(width: int, *values: int) -> int:
+    """Combine hashed components into a ``width``-bit table index."""
+    acc = 0
+    for value in values:
+        acc = stable_hash64(acc ^ value)
+    return acc & ((1 << width) - 1)
+
+
+class FoldedHistory:
+    """Incrementally-folded view of a shift-register history.
+
+    Maintains ``fold`` = XOR-fold of the most recent ``length`` history
+    bits down to ``width`` bits, updated in O(1) per inserted bit exactly
+    as the circular shift register in TAGE hardware does.  The owning
+    history object pushes new bits in and supplies the bit falling out of
+    the window.
+    """
+
+    __slots__ = ("length", "width", "fold", "_out_position")
+
+    def __init__(self, length: int, width: int) -> None:
+        if length < 1:
+            raise ValueError(f"history length must be >= 1, got {length}")
+        if width < 1:
+            raise ValueError(f"fold width must be >= 1, got {width}")
+        self.length = length
+        self.width = width
+        self.fold = 0
+        self._out_position = length % width
+
+    def update(self, new_bit: int, outgoing_bit: int) -> None:
+        """Shift ``new_bit`` in and ``outgoing_bit`` (the bit that just left
+        the ``length``-bit window) out of the fold."""
+        # Rotate the fold left by one within `width` bits.
+        top = (self.fold >> (self.width - 1)) & 1
+        self.fold = ((self.fold << 1) & ((1 << self.width) - 1)) | top
+        if new_bit:
+            self.fold ^= 1
+        if outgoing_bit:
+            self.fold ^= 1 << self._out_position
+
+    def reset(self) -> None:
+        self.fold = 0
+
+
+def fold_int(value: int, total_bits: int, width: int) -> int:
+    """Fold the low ``total_bits`` of ``value`` down to ``width`` bits."""
+    if width < 1:
+        raise ValueError(f"fold width must be >= 1, got {width}")
+    value &= (1 << total_bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & ((1 << width) - 1)
+        value >>= width
+    return folded

@@ -1,0 +1,115 @@
+"""Cache replacement policies: LRU and RRIP.
+
+The paper's IBTB is managed with re-reference interval prediction (RRIP,
+Jaleel et al.) using 2-bit re-reference values (§3.1, §4.2), and its
+region array with LRU (§3.6).  Both policies are implemented over an
+abstract "set of ways" so the IBTB, region array, and the baseline BTBs
+share them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class LRUPolicy:
+    """Least-recently-used replacement over ``num_ways`` ways of one set.
+
+    Tracks a recency stack as a list of way indices, most recent first.
+    Ways never touched sort older than any touched way.
+    """
+
+    __slots__ = ("num_ways", "_stack")
+
+    def __init__(self, num_ways: int) -> None:
+        if num_ways < 1:
+            raise ValueError(f"need >= 1 ways, got {num_ways}")
+        self.num_ways = num_ways
+        self._stack: List[int] = []
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` as most recently used."""
+        self._check(way)
+        if way in self._stack:
+            self._stack.remove(way)
+        self._stack.insert(0, way)
+
+    def victim(self) -> int:
+        """The way to evict: least-recently used, preferring untouched ways."""
+        touched = set(self._stack)
+        for way in range(self.num_ways):
+            if way not in touched:
+                return way
+        return self._stack[-1]
+
+    def evict(self, way: int) -> None:
+        """Forget recency state for ``way`` (it now holds a fresh line)."""
+        self._check(way)
+        if way in self._stack:
+            self._stack.remove(way)
+
+    def _check(self, way: int) -> None:
+        if not 0 <= way < self.num_ways:
+            raise ValueError(f"way {way} out of range [0, {self.num_ways})")
+
+    def recency_order(self) -> List[int]:
+        """Way indices from most to least recently used (touched ways only)."""
+        return list(self._stack)
+
+    @staticmethod
+    def storage_bits_per_entry(num_ways: int) -> int:
+        """Bits to encode a position in an ``num_ways`` recency stack."""
+        return max(1, (num_ways - 1).bit_length())
+
+
+class RRIPPolicy:
+    """Static re-reference interval prediction (SRRIP) over one set.
+
+    Each way carries an M-bit re-reference prediction value (RRPV).
+    Insertions get RRPV = max-1 ("long re-reference"), hits promote to 0
+    ("near-immediate"), and the victim is any way with RRPV == max, aging
+    all ways until one appears.  This is SRRIP-HP as in Jaleel et al.
+    """
+
+    __slots__ = ("num_ways", "rrpv_bits", "_max", "_rrpv")
+
+    def __init__(self, num_ways: int, rrpv_bits: int = 2) -> None:
+        if num_ways < 1:
+            raise ValueError(f"need >= 1 ways, got {num_ways}")
+        if rrpv_bits < 1:
+            raise ValueError(f"need >= 1 RRPV bits, got {rrpv_bits}")
+        self.num_ways = num_ways
+        self.rrpv_bits = rrpv_bits
+        self._max = (1 << rrpv_bits) - 1
+        # Empty ways start at max so they are chosen as victims first.
+        self._rrpv = [self._max] * num_ways
+
+    def touch(self, way: int) -> None:
+        """Promote ``way`` to near-immediate re-reference on a hit."""
+        self._check(way)
+        self._rrpv[way] = 0
+
+    def insert(self, way: int) -> None:
+        """Set the insertion RRPV (long re-reference) for a filled way."""
+        self._check(way)
+        self._rrpv[way] = self._max - 1 if self._max > 0 else 0
+
+    def victim(self) -> int:
+        """Pick a victim way, aging the set until one reaches max RRPV."""
+        while True:
+            for way in range(self.num_ways):
+                if self._rrpv[way] == self._max:
+                    return way
+            for way in range(self.num_ways):
+                self._rrpv[way] += 1
+
+    def rrpv(self, way: int) -> int:
+        self._check(way)
+        return self._rrpv[way]
+
+    def _check(self, way: int) -> None:
+        if not 0 <= way < self.num_ways:
+            raise ValueError(f"way {way} out of range [0, {self.num_ways})")
+
+    def storage_bits(self) -> int:
+        return self.num_ways * self.rrpv_bits

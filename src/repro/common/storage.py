@@ -1,0 +1,61 @@
+"""Hardware storage-budget accounting for iso-area comparisons.
+
+Table 2 of the paper compares predictors at an equivalent hardware budget
+(64 KB for BTB/ITTAGE/BLBP, 128 KB for VPC including its conditional
+predictor).  Every predictor in this library reports its state through a
+:class:`StorageBudget`, which itemizes bit costs per component so the
+bench for Table 2 can print the same budget rows the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+BITS_PER_KB = 8 * 1024
+
+
+@dataclass
+class StorageBudget:
+    """An itemized account of predictor state, in bits."""
+
+    name: str
+    items: List[Tuple[str, int]] = field(default_factory=list)
+
+    def add(self, component: str, bits: int) -> None:
+        """Record ``bits`` of state for ``component``."""
+        if bits < 0:
+            raise ValueError(f"negative bit count for {component}: {bits}")
+        self.items.append((component, bits))
+
+    def add_table(
+        self, component: str, rows: int, bits_per_row: int
+    ) -> None:
+        """Record a table of ``rows`` entries of ``bits_per_row`` bits."""
+        self.add(component, rows * bits_per_row)
+
+    def total_bits(self) -> int:
+        """Sum of all recorded component bits."""
+        return sum(bits for _, bits in self.items)
+
+    def total_kilobytes(self) -> float:
+        """Total state in kilobytes (8192 bits per KB)."""
+        return self.total_bits() / BITS_PER_KB
+
+    def as_dict(self) -> Dict[str, int]:
+        """Component -> bits map, merging duplicate component names."""
+        merged: Dict[str, int] = {}
+        for component, bits in self.items:
+            merged[component] = merged.get(component, 0) + bits
+        return merged
+
+    def format_table(self) -> str:
+        """Render the budget as an aligned text table."""
+        lines = [f"{self.name}: {self.total_kilobytes():.2f} KB total"]
+        width = max((len(c) for c, _ in self.items), default=0)
+        for component, bits in self.items:
+            lines.append(
+                f"  {component:<{width}}  {bits:>10} bits "
+                f"({bits / BITS_PER_KB:8.2f} KB)"
+            )
+        return "\n".join(lines)

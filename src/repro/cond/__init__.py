@@ -1,0 +1,31 @@
+"""Conditional-branch predictor substrate.
+
+The paper's simulation uses a hashed perceptron predictor for
+conditional branches (§4.2), and its VPC baseline devirtualizes indirect
+branches on top of a 64 KB multiperspective perceptron predictor.  This
+package provides those predictors plus a simple gshare reference point:
+
+* :class:`~repro.cond.gshare.GShare` — classic two-level predictor;
+* :class:`~repro.cond.hashed_perceptron.HashedPerceptron` — Tarjan &
+  Skadron's merged path/gshare perceptron;
+* :class:`~repro.cond.mpp.MultiperspectivePerceptron` — a reduced
+  multiperspective perceptron (global-history segments, path history and
+  bias features) used as VPC's underlying predictor.
+"""
+
+from repro.cond.base import ConditionalPredictor
+from repro.cond.blbp_cond import BLBPConditional
+from repro.cond.gshare import GShare
+from repro.cond.hashed_perceptron import HashedPerceptron
+from repro.cond.mpp import MultiperspectivePerceptron
+from repro.cond.tage import TAGE, TAGEConfig
+
+__all__ = [
+    "ConditionalPredictor",
+    "GShare",
+    "HashedPerceptron",
+    "MultiperspectivePerceptron",
+    "TAGE",
+    "TAGEConfig",
+    "BLBPConditional",
+]

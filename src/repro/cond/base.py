@@ -1,0 +1,42 @@
+"""Interface for conditional (taken / not-taken) branch predictors."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.storage import StorageBudget
+
+
+class ConditionalPredictor(abc.ABC):
+    """A direction predictor for conditional branches.
+
+    The contract mirrors the CBP simulation loop: ``predict`` is called
+    at fetch, then ``update`` with the resolved outcome.  ``update`` must
+    be called exactly once per prediction, in order.  Implementations
+    keep their own history registers; the simulator never feeds history
+    in from outside.
+    """
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome and advance internal history."""
+
+    def train_weights(self, pc: int, taken: bool) -> None:
+        """Train on (pc, outcome) WITHOUT advancing internal history.
+
+        VPC uses this for its *virtual* branches: they must train the
+        shared predictor's tables, but letting them shift the history
+        register would desynchronize training contexts from prediction
+        contexts (predictions are made against the history as of the
+        real indirect branch).  Default: fall back to ``update`` — only
+        predictors actually used under VPC need the real thing.
+        """
+        self.update(pc, taken)
+
+    @abc.abstractmethod
+    def storage_budget(self) -> StorageBudget:
+        """Itemized hardware state of this predictor."""

@@ -1,0 +1,125 @@
+"""BLBP as a conditional predictor — the paper's §6 future work.
+
+§6: "We also plan to explore how BLBP might be used to predict
+conditional branches as well as indirect branches as VPC does, allowing
+consolidation of the two structures."  A conditional branch is a
+one-bit target, so the BLBP machinery collapses naturally: the same
+eight history features (local history + the seven tuned global-history
+intervals), the same 4-bit sign/magnitude weights with the transfer
+function, the same per-"bit" adaptive threshold — but K = 1, and the
+"candidate selection" step degenerates to the sign of ``yout``.
+
+This is what consolidation would look like: a front-end could bank the
+same SRAM arrays for K = 12 bit-lanes of indirect prediction and one
+direction lane.  The bench ``benchmarks/bench_blbp_conditional.py``
+compares it with the hashed perceptron and TAGE on the suite's
+conditional streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.hashing import fold_int, mix_pc, stable_hash64
+from repro.common.history import LocalHistoryTable
+from repro.common.storage import StorageBudget
+from repro.cond.base import ConditionalPredictor
+from repro.core.config import BLBPConfig
+from repro.core.threshold import PerBitAdaptiveThreshold
+from repro.core.transfer import TransferFunction
+
+
+class BLBPConditional(ConditionalPredictor):
+    """Direction predictor sharing BLBP's feature set and training rules.
+
+    Configured through a :class:`~repro.core.config.BLBPConfig`; the
+    target-bit count is ignored (K = 1) and local history records the
+    branch outcome instead of a target bit.
+    """
+
+    def __init__(self, config: Optional[BLBPConfig] = None) -> None:
+        self.config = config or BLBPConfig()
+        cfg = self.config
+        self._magnitude = cfg.weight_magnitude
+        self.transfer = TransferFunction(
+            cfg.transfer_magnitudes, enabled=cfg.use_transfer_function
+        )
+        self.threshold = PerBitAdaptiveThreshold(
+            num_bits=1,
+            initial_theta=cfg.initial_theta,
+            counter_bits=cfg.theta_counter_bits,
+            adaptive=cfg.use_adaptive_threshold,
+        )
+        self._tables = [
+            np.zeros(cfg.table_rows, dtype=np.int8)
+            for _ in range(cfg.num_subpredictors)
+        ]
+        self._ghist = 0
+        self._ghist_mask = (1 << cfg.global_history_bits) - 1
+        self._local = LocalHistoryTable(
+            cfg.local_histories, cfg.local_history_bits
+        )
+        self._fold_bits = max(1, (cfg.table_rows - 1).bit_length())
+
+    def _indices(self, pc: int) -> List[int]:
+        cfg = self.config
+        rows = cfg.table_rows
+        indices = []
+        if cfg.use_local_history:
+            mixed = mix_pc(pc) ^ stable_hash64(self._local.read(pc))
+        else:
+            mixed = mix_pc(pc)
+        indices.append(mixed % rows)
+        for position, (start, end) in enumerate(cfg.effective_intervals):
+            width = end - start
+            segment = (self._ghist >> start) & ((1 << width) - 1)
+            folded = fold_int(segment, width, self._fold_bits)
+            indices.append((mix_pc(pc, salt=position + 1) ^ folded) % rows)
+        return indices
+
+    def _yout(self, indices: List[int]) -> int:
+        total = 0
+        for table, index in zip(self._tables, indices):
+            total += self.transfer.apply_scalar(int(table[index]))
+        return total
+
+    def predict(self, pc: int) -> bool:
+        return self._yout(self._indices(pc)) >= 0
+
+    def _train(self, pc: int, taken: bool) -> None:
+        indices = self._indices(pc)
+        yout = self._yout(indices)
+        correct = (yout >= 0) == taken
+        magnitude = abs(yout)
+        self.threshold.observe(0, correct, magnitude)
+        if self.threshold.should_train(0, correct, magnitude):
+            for table, index in zip(self._tables, indices):
+                weight = int(table[index])
+                if taken and weight < self._magnitude:
+                    table[index] = weight + 1
+                elif not taken and weight > -self._magnitude:
+                    table[index] = weight - 1
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._train(pc, taken)
+        self._ghist = ((self._ghist << 1) | int(taken)) & self._ghist_mask
+        self._local.push(pc, int(taken))
+
+    def train_weights(self, pc: int, taken: bool) -> None:
+        self._train(pc, taken)
+
+    def storage_budget(self) -> StorageBudget:
+        cfg = self.config
+        budget = StorageBudget("BLBP-cond")
+        budget.add(
+            "weights (8 single-lane arrays)",
+            cfg.num_subpredictors * cfg.table_rows * cfg.weight_bits,
+        )
+        budget.add("global history", cfg.global_history_bits)
+        budget.add(
+            "local histories", cfg.local_histories * cfg.local_history_bits
+        )
+        budget.add("adaptive threshold", self.threshold.storage_bits())
+        return budget

@@ -1,0 +1,53 @@
+"""Classic gshare conditional predictor (McFarling).
+
+Used as a cheap reference point in tests and examples; the paper's
+infrastructure uses perceptron-family predictors, but gshare's behaviour
+is so well understood that it anchors sanity checks on the simulation
+engine (e.g. it must predict a strongly-biased branch near-perfectly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import mix_pc
+from repro.common.storage import StorageBudget
+from repro.cond.base import ConditionalPredictor
+
+
+class GShare(ConditionalPredictor):
+    """Global-history-XOR-PC indexed table of 2-bit counters."""
+
+    def __init__(self, index_bits: int = 14, history_bits: int = 14) -> None:
+        if index_bits < 1:
+            raise ValueError(f"index_bits must be >= 1, got {index_bits}")
+        if history_bits < 0:
+            raise ValueError(f"history_bits must be >= 0, got {history_bits}")
+        self.index_bits = index_bits
+        self.history_bits = history_bits
+        self._table = np.full(1 << index_bits, 1, dtype=np.int8)  # weakly NT
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1 if history_bits else 0
+
+    def _index(self, pc: int) -> int:
+        hashed = mix_pc(pc) ^ self._history
+        return hashed & ((1 << self.index_bits) - 1)
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = int(self._table[index])
+        if taken and counter < 3:
+            self._table[index] = counter + 1
+        elif not taken and counter > 0:
+            self._table[index] = counter - 1
+        if self.history_bits:
+            self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def storage_budget(self) -> StorageBudget:
+        budget = StorageBudget("gshare")
+        budget.add_table("pattern table", 1 << self.index_bits, 2)
+        budget.add("global history", self.history_bits)
+        return budget

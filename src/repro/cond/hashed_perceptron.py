@@ -1,0 +1,150 @@
+"""Hashed perceptron conditional predictor (Tarjan & Skadron).
+
+The paper's simulation infrastructure predicts conditional branches with
+a hashed perceptron (§4.2): N weight tables, each indexed by a hash of
+the branch PC and a geometrically-growing slice of global history; the
+prediction is the sign of the summed weights, and training bumps each
+selected weight toward the outcome when the prediction was wrong or the
+sum's magnitude fell below an adaptively-trained threshold (Seznec's
+O-GEHL threshold rule).  This same structure, with per-*bit* weight
+vectors, is the skeleton BLBP builds on — so the implementation here is
+deliberately written in the same vocabulary as :mod:`repro.core.blbp`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.hashing import fold_int, mix_pc
+from repro.common.history import GlobalHistory
+from repro.common.storage import StorageBudget
+from repro.cond.base import ConditionalPredictor
+
+#: Geometric history lengths used when none are supplied (8 tables).
+DEFAULT_HISTORY_LENGTHS: Tuple[int, ...] = (0, 3, 8, 16, 32, 64, 128, 256)
+
+
+class AdaptiveThreshold:
+    """Seznec's adaptive threshold-training rule (O-GEHL).
+
+    Keeps the number of trainings on correct predictions roughly equal to
+    the number of mispredictions by nudging θ with a saturating counter.
+    """
+
+    __slots__ = ("theta", "_counter", "_counter_bits", "_max", "_min")
+
+    def __init__(self, initial_theta: int, counter_bits: int = 7) -> None:
+        if initial_theta < 1:
+            raise ValueError(f"theta must be >= 1, got {initial_theta}")
+        self.theta = initial_theta
+        self._counter = 0
+        self._counter_bits = counter_bits
+        self._max = (1 << (counter_bits - 1)) - 1
+        self._min = -(1 << (counter_bits - 1))
+
+    def observe(self, mispredicted: bool, trained_on_correct: bool) -> None:
+        """Feed one training event into the threshold controller."""
+        if mispredicted:
+            self._counter += 1
+            if self._counter >= self._max:
+                self._counter = 0
+                self.theta += 1
+        elif trained_on_correct:
+            self._counter -= 1
+            if self._counter <= self._min:
+                self._counter = 0
+                if self.theta > 1:
+                    self.theta -= 1
+
+
+class HashedPerceptron(ConditionalPredictor):
+    """Perceptron predictor with hashed geometric-history features.
+
+    Args:
+        history_lengths: history slice (from position 0) hashed into each
+            table's index; length 0 gives a PC-only (bias) table.
+        index_bits: log2 of rows per table.
+        weight_bits: signed weight width (6 bits → [-32, 31]).
+    """
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
+        index_bits: int = 12,
+        weight_bits: int = 6,
+    ) -> None:
+        if not history_lengths:
+            raise ValueError("need at least one history length")
+        if index_bits < 1:
+            raise ValueError(f"index_bits must be >= 1, got {index_bits}")
+        if weight_bits < 2:
+            raise ValueError(f"weight_bits must be >= 2, got {weight_bits}")
+        self.history_lengths = tuple(history_lengths)
+        self.index_bits = index_bits
+        self.weight_bits = weight_bits
+        self._rows = 1 << index_bits
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        self._tables = [
+            np.zeros(self._rows, dtype=np.int8) for _ in self.history_lengths
+        ]
+        self._history = GlobalHistory(max(max(history_lengths), 1))
+        self._threshold = AdaptiveThreshold(
+            initial_theta=int(2.14 * len(history_lengths) + 20)
+        )
+        self._index_mask = self._rows - 1
+
+    def _indices(self, pc: int) -> List[int]:
+        pc_hash = mix_pc(pc)
+        indices = []
+        history_value = self._history.value()
+        for position, length in enumerate(self.history_lengths):
+            if length == 0:
+                folded = 0
+            else:
+                folded = fold_int(history_value, length, self.index_bits)
+            index = (pc_hash ^ (pc_hash >> (position + 3)) ^ folded) & self._index_mask
+            indices.append(index)
+        return indices
+
+    def _sum(self, indices: Sequence[int]) -> int:
+        return int(
+            sum(int(table[index]) for table, index in zip(self._tables, indices))
+        )
+
+    def predict(self, pc: int) -> bool:
+        return self._sum(self._indices(pc)) >= 0
+
+    def _train(self, pc: int, taken: bool) -> None:
+        indices = self._indices(pc)
+        total = self._sum(indices)
+        prediction = total >= 0
+        mispredicted = prediction != taken
+        below_threshold = abs(total) < self._threshold.theta
+        if mispredicted or below_threshold:
+            for table, index in zip(self._tables, indices):
+                weight = int(table[index])
+                if taken and weight < self._weight_max:
+                    table[index] = weight + 1
+                elif not taken and weight > self._weight_min:
+                    table[index] = weight - 1
+        self._threshold.observe(mispredicted, not mispredicted and below_threshold)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._train(pc, taken)
+        self._history.push(taken)
+
+    def train_weights(self, pc: int, taken: bool) -> None:
+        self._train(pc, taken)
+
+    def storage_budget(self) -> StorageBudget:
+        budget = StorageBudget("hashed perceptron")
+        for length in self.history_lengths:
+            budget.add_table(
+                f"weights (hist {length})", self._rows, self.weight_bits
+            )
+        budget.add("global history", self._history.capacity)
+        budget.add("adaptive threshold", 7 + 8)
+        return budget

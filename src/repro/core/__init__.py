@@ -1,0 +1,51 @@
+"""BLBP: the Bit-Level Perceptron-Based Indirect Branch Predictor.
+
+This package implements the paper's contribution (§3): a predictor that
+learns individual *bits* of indirect-branch targets with perceptron
+weights over multiple branch-history features, then selects the stored
+target (from a 64-way IBTB) whose bit pattern best matches the predicted
+bit vector by non-normalized cosine similarity.
+
+Modules:
+
+* :mod:`repro.core.config` — every knob, plus the Fig. 10 optimization
+  toggles and preset configurations (paper default, SNIP-style, GEHL);
+* :mod:`repro.core.transfer` — the non-linear weight transfer function;
+* :mod:`repro.core.threshold` — per-bit adaptive threshold training;
+* :mod:`repro.core.regions` — region array for compressed targets;
+* :mod:`repro.core.ibtb` — the RRIP-managed indirect BTB;
+* :mod:`repro.core.histories` — BLBP's global/local history state;
+* :mod:`repro.core.subpredictor` — one weight bank per history feature;
+* :mod:`repro.core.blbp` — the predictor tying it all together.
+"""
+
+from repro.core.blbp import BLBP
+from repro.core.frontend import ConsolidatedBLBPFrontend
+from repro.core.hibtb import HierarchicalIBTB
+from repro.core.config import (
+    BLBPConfig,
+    gehl_config,
+    paper_config,
+    unoptimized_config,
+)
+from repro.core.ibtb import IndirectBTB
+from repro.core.regions import RegionArray
+from repro.core.snip import SNIP, SNIPConfig
+from repro.core.threshold import PerBitAdaptiveThreshold
+from repro.core.transfer import TransferFunction
+
+__all__ = [
+    "BLBP",
+    "BLBPConfig",
+    "paper_config",
+    "gehl_config",
+    "unoptimized_config",
+    "IndirectBTB",
+    "HierarchicalIBTB",
+    "ConsolidatedBLBPFrontend",
+    "SNIP",
+    "SNIPConfig",
+    "RegionArray",
+    "PerBitAdaptiveThreshold",
+    "TransferFunction",
+]

@@ -1,0 +1,230 @@
+"""The Bit-Level Perceptron-Based Indirect Branch Predictor (§3).
+
+Prediction (Algorithm 1):
+
+1. For each of the N sub-predictors, hash its history feature (mixed
+   with the branch PC) to select a row of K sign/magnitude weights;
+   pass the weights through the transfer function and accumulate them
+   into ``yout`` — a K-vector where ``yout[k]`` expresses aggregate
+   confidence that target bit ``k`` is 1.
+2. Fetch every stored target for this branch from the IBTB and score
+   each by the non-normalized cosine similarity between ``yout`` and the
+   target's low-order bit vector: ``score(t) = Σ_k yout[k]·bit_k(t)``
+   (§3.7: the sum of ``yout`` elements wherever the target bit is 1).
+3. Predict the highest-scoring target.  Ties go to the lowest way
+   index; the paper's pseudocode and worked example disagree on ties
+   (DESIGN.md §5), and we follow the pseudocode's first-max semantics.
+
+Training (Algorithm 2): for each *unsuppressed* bit k — selective bit
+training suppresses bits on which every potential target agrees — the
+bit prediction is correct when ``sign(yout[k])`` matches the actual
+target's bit; on an incorrect bit, or a correct one whose magnitude is
+below the per-bit adaptive threshold θ_k, every sub-predictor's selected
+weight for bit k moves toward the actual bit, saturating at ±7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.storage import StorageBudget
+from repro.core.config import BLBPConfig
+from repro.core.hibtb import HierarchicalIBTB
+from repro.core.histories import BLBPHistories
+from repro.core.ibtb import IndirectBTB
+from repro.core.regions import RegionArray
+from repro.core.subpredictor import WeightBank
+from repro.core.threshold import PerBitAdaptiveThreshold
+from repro.core.transfer import TransferFunction
+from repro.predictors.base import IndirectBranchPredictor
+
+
+class BLBP(IndirectBranchPredictor):
+    """The paper's predictor.  See module docstring for the algorithm."""
+
+    name = "BLBP"
+
+    def __init__(self, config: Optional[BLBPConfig] = None) -> None:
+        self.config = config or BLBPConfig()
+        cfg = self.config
+        self.histories = BLBPHistories(cfg)
+        self.transfer = TransferFunction(
+            cfg.transfer_magnitudes, enabled=cfg.use_transfer_function
+        )
+        self.threshold = PerBitAdaptiveThreshold(
+            num_bits=cfg.num_target_bits,
+            initial_theta=cfg.initial_theta,
+            counter_bits=cfg.theta_counter_bits,
+            adaptive=cfg.use_adaptive_threshold,
+        )
+        self.banks = [
+            WeightBank(cfg.table_rows, cfg.num_target_bits, cfg.weight_bits)
+            for _ in range(cfg.num_subpredictors)
+        ]
+        regions = RegionArray(cfg.region_entries, cfg.region_offset_bits)
+        if cfg.use_hierarchical_ibtb:
+            self.ibtb = HierarchicalIBTB(
+                l1_entries=cfg.hibtb_l1_entries,
+                l2_sets=cfg.hibtb_l2_sets,
+                l2_ways=cfg.hibtb_l2_ways,
+                tag_bits=cfg.ibtb_tag_bits,
+                rrpv_bits=cfg.rrip_bits,
+                regions=regions,
+            )
+        else:
+            self.ibtb = IndirectBTB(
+                num_sets=cfg.ibtb_sets,
+                num_ways=cfg.ibtb_ways,
+                tag_bits=cfg.ibtb_tag_bits,
+                rrpv_bits=cfg.rrip_bits,
+                regions=regions,
+            )
+        self._bit_shifts = np.arange(
+            cfg.low_bit, cfg.low_bit + cfg.num_target_bits, dtype=np.uint64
+        )
+        self._ctx: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Prediction (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def _target_bits(self, targets: List[int]) -> np.ndarray:
+        """Bit matrix (T×K): row t holds target t's predicted-bit slice."""
+        array = np.asarray(targets, dtype=np.uint64)
+        return ((array[:, None] >> self._bit_shifts[None, :]) & np.uint64(1)).astype(
+            np.int32
+        )
+
+    def _compute_yout(self, indices: List[int]) -> np.ndarray:
+        """Aggregate transferred weights across all sub-predictors."""
+        yout = np.zeros(self.config.num_target_bits, dtype=np.int32)
+        for bank, row in zip(self.banks, indices):
+            yout += self.transfer.apply(bank.read(row))
+        return yout
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        indices = self.histories.indices(pc)
+        yout = self._compute_yout(indices)
+        candidates = self.ibtb.lookup(pc)
+
+        if not candidates:
+            prediction = None
+            chosen_way = None
+            bit_matrix = None
+        else:
+            targets = [target for _, target in candidates]
+            bit_matrix = self._target_bits(targets)
+            scores = bit_matrix @ yout
+            best = int(np.argmax(scores))
+            prediction = targets[best]
+            chosen_way = candidates[best][0]
+
+        self._ctx = {
+            "pc": pc,
+            "indices": indices,
+            "yout": yout,
+            "candidates": candidates,
+            "bit_matrix": bit_matrix,
+            "prediction": prediction,
+            "chosen_way": chosen_way,
+        }
+        return prediction
+
+    # ------------------------------------------------------------------
+    # Training (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def train(self, pc: int, target: int) -> None:
+        ctx = self._ctx
+        if ctx is None or ctx["pc"] != pc:
+            self.predict_target(pc)
+            ctx = self._ctx
+        self._ctx = None
+        cfg = self.config
+
+        # Keep the IBTB current: store the actual target (promoting it if
+        # already present) so it is a candidate next time.
+        way = self.ibtb.ensure(pc, target)
+        self.ibtb.touch(pc, way)
+
+        yout = ctx["yout"]
+        actual_bits = (
+            (np.uint64(target) >> self._bit_shifts) & np.uint64(1)
+        ).astype(np.int32)
+
+        # Selective bit training (§3.6): only train bits that differ
+        # across the potential-target set (stored candidates + actual).
+        if cfg.use_selective_update:
+            if ctx["bit_matrix"] is not None and len(ctx["bit_matrix"]):
+                stacked = np.vstack([ctx["bit_matrix"], actual_bits])
+            else:
+                stacked = actual_bits[None, :]
+            differs = stacked.min(axis=0) != stacked.max(axis=0)
+        else:
+            differs = np.ones(cfg.num_target_bits, dtype=bool)
+
+        predicted_ones = yout >= 0
+        correct_bits = predicted_ones == (actual_bits == 1)
+        magnitudes = np.abs(yout)
+
+        train_mask = np.zeros(cfg.num_target_bits, dtype=bool)
+        for k in range(cfg.num_target_bits):
+            if not differs[k]:
+                continue
+            correct = bool(correct_bits[k])
+            magnitude = int(magnitudes[k])
+            self.threshold.observe(k, correct, magnitude)
+            if self.threshold.should_train(k, correct, magnitude):
+                train_mask[k] = True
+
+        if train_mask.any():
+            desired = actual_bits == 1
+            for bank, row in zip(self.banks, ctx["indices"]):
+                bank.train(row, desired, train_mask)
+
+        # Local history records bit 3 of the taken target (§3.6).
+        self.histories.push_target(pc, target)
+
+    # ------------------------------------------------------------------
+    # History discipline (§3.3): conditional outcomes only.
+    # ------------------------------------------------------------------
+
+    def on_conditional(self, pc: int, taken: bool) -> None:
+        self.histories.push_conditional(taken)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and examples)
+    # ------------------------------------------------------------------
+
+    def predicted_bit_vector(self, pc: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(yout, predicted bits) for ``pc`` without touching state."""
+        indices = self.histories.indices(pc)
+        yout = self._compute_yout(indices)
+        return yout, (yout >= 0).astype(np.int32)
+
+    def candidate_targets(self, pc: int) -> List[int]:
+        """Targets currently stored for ``pc`` in the IBTB."""
+        return [target for _, target in self.ibtb.lookup(pc)]
+
+    # ------------------------------------------------------------------
+
+    def storage_budget(self) -> StorageBudget:
+        cfg = self.config
+        budget = StorageBudget(self.name)
+        for position, bank in enumerate(self.banks):
+            label = (
+                "weights (local history)"
+                if position == 0
+                else f"weights (interval {cfg.effective_intervals[position - 1]})"
+            )
+            budget.add(label, bank.storage_bits(cfg.weight_bits))
+        budget.add("global history", cfg.global_history_bits)
+        budget.add(
+            "local histories", cfg.local_histories * cfg.local_history_bits
+        )
+        budget.add("IBTB", self.ibtb.storage_bits())
+        budget.add("region array", self.ibtb.regions.storage_bits())
+        budget.add("adaptive thresholds", self.threshold.storage_bits())
+        return budget

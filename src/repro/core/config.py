@@ -1,0 +1,169 @@
+"""Configuration for BLBP, including the Fig. 10 optimization toggles.
+
+The defaults follow Table 2 and §3/§4.2 of the paper:
+
+* K = 12 predicted target bits, 4-bit sign/magnitude weights;
+* N = 8 sub-predictors: one local-history table plus seven tables
+  indexed by the tuned global-history intervals
+  (0,13), (1,33), (23,49), (44,85), (77,149), (159,270), (252,630);
+* 630-bit global history of conditional outcomes, 256 × 10-bit local
+  histories recording bit 3 of each branch's targets;
+* a 64-set × 64-way IBTB with 8-bit partial tags, 2-bit RRIP, and
+  region-compressed targets (128-entry region array, 7-bit region
+  number, 20-bit offset).
+
+Every §3.6 optimization has an independent toggle so the ablation study
+of Fig. 10 can switch each on/off; :func:`unoptimized_config` is the
+SNIP-like "all optimizations off" point and :func:`gehl_config` replaces
+the tuned intervals with plain geometric history lengths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+#: The paper's tuned global-history intervals (§3.6).
+PAPER_INTERVALS: Tuple[Tuple[int, int], ...] = (
+    (0, 13),
+    (1, 33),
+    (23, 49),
+    (44, 85),
+    (77, 149),
+    (159, 270),
+    (252, 630),
+)
+
+#: Geometric (GEHL-style) history lengths covering the same range; used
+#: when ``use_intervals`` is off.  Each interval starts at position 0.
+GEHL_INTERVALS: Tuple[Tuple[int, int], ...] = (
+    (0, 4),
+    (0, 10),
+    (0, 24),
+    (0, 55),
+    (0, 125),
+    (0, 281),
+    (0, 630),
+)
+
+#: Empirically-tuned convex magnitude map for the transfer function
+#: (Fig. 5 is given only graphically; see repro.core.transfer).
+DEFAULT_TRANSFER_MAGNITUDES: Tuple[int, ...] = (0, 1, 2, 3, 5, 8, 12, 17)
+
+
+@dataclass(frozen=True)
+class BLBPConfig:
+    """All sizing and behaviour knobs of the BLBP predictor."""
+
+    # --- bit-level perceptron machinery -------------------------------
+    num_target_bits: int = 12          # K: predicted low-order target bits
+    low_bit: int = 2                   # first predicted bit (4-byte aligned code)
+    weight_bits: int = 4               # sign/magnitude → weights in [-7, +7]
+    table_rows: int = 1024             # M rows per sub-predictor table
+    intervals: Tuple[Tuple[int, int], ...] = PAPER_INTERVALS
+    global_history_bits: int = 630
+
+    # --- local history (§3.6) -----------------------------------------
+    local_histories: int = 256
+    local_history_bits: int = 10
+    local_target_bit: int = 3          # target bit recorded in local history
+
+    # --- IBTB (§3.1) ---------------------------------------------------
+    ibtb_sets: int = 64
+    ibtb_ways: int = 64
+    ibtb_tag_bits: int = 8
+    rrip_bits: int = 2
+
+    # --- region compression (§3.6) --------------------------------------
+    region_entries: int = 128
+    region_offset_bits: int = 20
+
+    # --- hierarchical IBTB (§6 future work) ------------------------------
+    #: Replace the monolithic 64-way IBTB with a two-level hierarchy
+    #: (small fully-associative L1 + low-associativity L2); see
+    #: repro.core.hibtb.
+    use_hierarchical_ibtb: bool = False
+    hibtb_l1_entries: int = 64
+    hibtb_l2_sets: int = 512
+    hibtb_l2_ways: int = 8
+
+    # --- adaptive threshold (§3.6) ---------------------------------------
+    initial_theta: int = 14
+    theta_counter_bits: int = 7
+
+    # --- optimization toggles (Fig. 10) ----------------------------------
+    use_local_history: bool = True
+    use_intervals: bool = True
+    use_selective_update: bool = True
+    use_transfer_function: bool = True
+    use_adaptive_threshold: bool = True
+
+    transfer_magnitudes: Tuple[int, ...] = DEFAULT_TRANSFER_MAGNITUDES
+
+    def __post_init__(self) -> None:
+        if self.num_target_bits < 1:
+            raise ValueError(f"need >= 1 target bits, got {self.num_target_bits}")
+        if self.weight_bits < 2:
+            raise ValueError(f"weight_bits must be >= 2, got {self.weight_bits}")
+        if self.table_rows < 1:
+            raise ValueError(f"table_rows must be >= 1, got {self.table_rows}")
+        if self.ibtb_sets < 1 or self.ibtb_ways < 1:
+            raise ValueError("IBTB must have >= 1 set and >= 1 way")
+        max_magnitude = (1 << (self.weight_bits - 1)) - 1
+        if len(self.transfer_magnitudes) != max_magnitude + 1:
+            raise ValueError(
+                f"transfer_magnitudes needs {max_magnitude + 1} entries for "
+                f"{self.weight_bits}-bit weights, got {len(self.transfer_magnitudes)}"
+            )
+        # Intervals are half-open [start, end): (252, 630) covers history
+        # positions 252..629, the oldest outcomes of the 630-bit history.
+        for start, end in self.intervals:
+            if not 0 <= start < end:
+                raise ValueError(f"malformed interval ({start}, {end})")
+            if end > self.global_history_bits:
+                raise ValueError(
+                    f"interval ({start}, {end}) exceeds global history "
+                    f"({self.global_history_bits} bits)"
+                )
+
+    @property
+    def num_subpredictors(self) -> int:
+        """N: the local/bias table plus one table per interval."""
+        return 1 + len(self.effective_intervals)
+
+    @property
+    def effective_intervals(self) -> Tuple[Tuple[int, int], ...]:
+        """The intervals actually in use (GEHL lengths when toggled off)."""
+        return self.intervals if self.use_intervals else GEHL_INTERVALS
+
+    @property
+    def weight_magnitude(self) -> int:
+        """Saturation magnitude for sign/magnitude weights."""
+        return (1 << (self.weight_bits - 1)) - 1
+
+
+def paper_config() -> BLBPConfig:
+    """The full Table 2 configuration, all optimizations on."""
+    return BLBPConfig()
+
+
+def unoptimized_config() -> BLBPConfig:
+    """The SNIP-like baseline of Fig. 10: every §3.6 optimization off."""
+    return BLBPConfig(
+        use_local_history=False,
+        use_intervals=False,
+        use_selective_update=False,
+        use_transfer_function=False,
+        use_adaptive_threshold=False,
+    )
+
+
+def gehl_config() -> BLBPConfig:
+    """All optimizations on, but GEHL lengths instead of tuned intervals."""
+    return BLBPConfig(use_intervals=False)
+
+
+def with_toggles(**toggles: bool) -> BLBPConfig:
+    """A paper config with specific optimization toggles overridden."""
+    return dataclasses.replace(BLBPConfig(), **toggles)

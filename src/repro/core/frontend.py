@@ -1,0 +1,74 @@
+"""The consolidated BLBP front-end (§6's closing idea).
+
+§6: "We also plan to explore how BLBP might be used to predict
+conditional branches as well as indirect branches as VPC does, allowing
+consolidation of the two structures."  This class is that front-end:
+one BLBP instance for indirect targets and one
+:class:`~repro.cond.blbp_cond.BLBPConditional` lane for directions,
+sharing the same configuration (feature set, transfer function,
+threshold discipline) so a hardware implementation could bank them in
+the same SRAM arrays.
+
+Interface-compatible with :func:`repro.sim.frontend.simulate_frontend`
+(and with COTTAGE/VPC for side-by-side comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.storage import StorageBudget
+from repro.cond.blbp_cond import BLBPConditional
+from repro.core.blbp import BLBP
+from repro.core.config import BLBPConfig
+from repro.predictors.base import IndirectBranchPredictor
+
+
+class ConsolidatedBLBPFrontend(IndirectBranchPredictor):
+    """BLBP targets + BLBP-cond directions behind one interface."""
+
+    name = "BLBP-frontend"
+
+    def __init__(self, config: Optional[BLBPConfig] = None) -> None:
+        self.config = config or BLBPConfig()
+        self.indirect = BLBP(self.config)
+        self.conditional = BLBPConditional(self.config)
+        self.conditional_count = 0
+        self.conditional_mispredictions = 0
+
+    # Indirect side -----------------------------------------------------
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        return self.indirect.predict_target(pc)
+
+    def train(self, pc: int, target: int) -> None:
+        self.indirect.train(pc, target)
+
+    def on_retired(self, pc: int, branch_type: int, target: int) -> None:
+        self.indirect.on_retired(pc, branch_type, target)
+
+    # Conditional side ----------------------------------------------------
+
+    def on_conditional(self, pc: int, taken: bool) -> None:
+        predicted = self.conditional.predict(pc)
+        self.conditional_count += 1
+        if predicted != taken:
+            self.conditional_mispredictions += 1
+        self.conditional.update(pc, taken)
+        # The indirect half consumes the same outcome stream (§3.3).
+        self.indirect.on_conditional(pc, taken)
+
+    def conditional_accuracy(self) -> float:
+        if self.conditional_count == 0:
+            return 1.0
+        return 1.0 - self.conditional_mispredictions / self.conditional_count
+
+    # ------------------------------------------------------------------
+
+    def storage_budget(self) -> StorageBudget:
+        budget = StorageBudget(self.name)
+        for component, bits in self.indirect.storage_budget().items:
+            budget.add(f"targets: {component}", bits)
+        for component, bits in self.conditional.storage_budget().items:
+            budget.add(f"directions: {component}", bits)
+        return budget

@@ -1,0 +1,148 @@
+"""Hierarchical IBTB — the paper's §6 future-work direction.
+
+The Table 2 IBTB is 64-way set-associative, which §5.3 shows is needed
+for accuracy but §6 flags as an implementation concern ("we plan to
+explore ways of avoiding the high associativity of the IBTB, perhaps
+using a hierarchy of structures").  This module implements that idea:
+
+* **L1**: a small fully-associative buffer of recently-used targets
+  (LRU), giving every hot branch its handful of live targets at low
+  lookup cost;
+* **L2**: a larger, low-associativity (RRIP) set-associative store that
+  catches L1 victims and cold targets.
+
+Lookups merge both levels (deduplicated); insertions fill L1 and spill
+L1 victims into L2; a correct prediction promotes its entry.  The bench
+``benchmarks/bench_hierarchy.py`` shows the hierarchy recovering most of
+the 64-way monolithic IBTB's accuracy at 8-way L2 cost.
+
+The class is interface-compatible with
+:class:`repro.core.ibtb.IndirectBTB` — ``lookup`` returns (handle,
+target) pairs whose handles are only ever passed back to ``touch``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.ibtb import IndirectBTB
+from repro.core.regions import RegionArray
+
+#: Handle marking which level an entry came from.
+_L1 = 0
+_L2 = 1
+
+
+class _L1Buffer:
+    """Small fully-associative (pc, target) buffer with LRU.
+
+    Entries keep the branch PC so victims can be re-filed into L2 under
+    the same key the branch's lookups use.  (Hardware stores a partial
+    tag wide enough to regenerate the L2 index; the simulator keeps the
+    PC itself and charges a tag's worth of bits.)
+    """
+
+    def __init__(self, entries: int, tag_bits: int = 16) -> None:
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self._slots: List[Optional[Tuple[int, int]]] = [None] * entries
+        self._recency: List[int] = []
+
+    def lookup(self, pc: int) -> List[Tuple[int, int]]:
+        return [
+            (slot, entry[1])
+            for slot, entry in enumerate(self._slots)
+            if entry is not None and entry[0] == pc
+        ]
+
+    def touch(self, slot: int) -> None:
+        if slot in self._recency:
+            self._recency.remove(slot)
+        self._recency.insert(0, slot)
+
+    def insert(self, pc: int, target: int) -> Tuple[int, Optional[Tuple[int, int]]]:
+        """Insert; returns (slot, spilled (pc, target) or None)."""
+        for slot, entry in enumerate(self._slots):
+            if entry == (pc, target):
+                self.touch(slot)
+                return slot, None
+        victim = None
+        for slot, entry in enumerate(self._slots):
+            if entry is None:
+                victim = slot
+                break
+        spilled = None
+        if victim is None:
+            untouched = [s for s in range(self.entries) if s not in self._recency]
+            victim = untouched[0] if untouched else self._recency[-1]
+            spilled = self._slots[victim]
+        self._slots[victim] = (pc, target)
+        self.touch(victim)
+        return victim, spilled
+
+    def live_entries(self) -> int:
+        return sum(1 for entry in self._slots if entry is not None)
+
+    def storage_bits(self) -> int:
+        target_bits = 27  # region-compressed, as elsewhere
+        lru_bits = max(1, (self.entries - 1).bit_length())
+        return self.entries * (self.tag_bits + target_bits + lru_bits)
+
+
+class HierarchicalIBTB:
+    """Two-level IBTB: small fully-associative L1 over a low-assoc L2."""
+
+    def __init__(
+        self,
+        l1_entries: int = 64,
+        l2_sets: int = 512,
+        l2_ways: int = 8,
+        tag_bits: int = 8,
+        rrpv_bits: int = 2,
+        regions: Optional[RegionArray] = None,
+    ) -> None:
+        if l1_entries < 1:
+            raise ValueError(f"need >= 1 L1 entries, got {l1_entries}")
+        self.regions = regions if regions is not None else RegionArray()
+        self._l1 = _L1Buffer(l1_entries)
+        self._l2 = IndirectBTB(
+            num_sets=l2_sets,
+            num_ways=l2_ways,
+            tag_bits=tag_bits,
+            rrpv_bits=rrpv_bits,
+            regions=self.regions,
+        )
+
+    def lookup(self, pc: int) -> List[Tuple[Tuple[int, int], int]]:
+        """Merged (handle, target) candidates from both levels."""
+        candidates: List[Tuple[Tuple[int, int], int]] = []
+        seen = set()
+        for slot, target in self._l1.lookup(pc):
+            candidates.append(((_L1, slot), target))
+            seen.add(target)
+        for way, target in self._l2.lookup(pc):
+            if target not in seen:
+                candidates.append(((_L2, way), target))
+                seen.add(target)
+        return candidates
+
+    def ensure(self, pc: int, target: int) -> Tuple[int, int]:
+        """Install ``target`` in L1, spilling the L1 victim into L2."""
+        slot, spilled = self._l1.insert(pc, target)
+        if spilled is not None:
+            spill_pc, spill_target = spilled
+            self._l2.ensure(spill_pc, spill_target)
+        return (_L1, slot)
+
+    def touch(self, pc: int, handle: Tuple[int, int]) -> None:
+        level, position = handle
+        if level == _L1:
+            self._l1.touch(position)
+        else:
+            self._l2.touch(pc, position)
+
+    def occupancy(self) -> int:
+        return self._l1.live_entries() + self._l2.occupancy()
+
+    def storage_bits(self) -> int:
+        return self._l1.storage_bits() + self._l2.storage_bits()

@@ -1,0 +1,92 @@
+"""BLBP's history state and sub-predictor index computation (§3.3, §3.6).
+
+BLBP draws on two history sources:
+
+* a 630-bit **global history** of conditional-branch outcomes, sliced
+  into the seven tuned intervals of §3.6 (or GEHL prefixes when the
+  interval optimization is off);
+* 256 **local histories** of 10 bits each, indexed by branch PC, where
+  each shifted-in bit is bit 3 of the target the branch actually took.
+
+Each sub-predictor's table index is a hash of its history feature mixed
+with the branch PC.  (Algorithm 1 writes the hash over history alone;
+we mix the PC in as every hashed-perceptron implementation does — see
+DESIGN.md §5 on unspecified hash functions.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.hashing import fold_int, mix_pc, stable_hash64
+from repro.common.history import LocalHistoryTable
+from repro.core.config import BLBPConfig
+
+
+class BLBPHistories:
+    """Global + local history registers and feature index computation."""
+
+    def __init__(self, config: BLBPConfig) -> None:
+        self.config = config
+        self._ghist = 0
+        self._ghist_mask = (1 << config.global_history_bits) - 1
+        self._local = LocalHistoryTable(
+            config.local_histories, config.local_history_bits
+        )
+        self._fold_bits = max(1, (config.table_rows - 1).bit_length())
+
+    # ------------------------------------------------------------------
+    # History updates
+    # ------------------------------------------------------------------
+
+    def push_conditional(self, taken: bool) -> None:
+        """Shift a conditional outcome into the global history."""
+        self._ghist = ((self._ghist << 1) | int(taken)) & self._ghist_mask
+
+    def push_target(self, pc: int, target: int) -> None:
+        """Record the local-history bit (bit 3 of the taken target)."""
+        bit = (target >> self.config.local_target_bit) & 1
+        self._local.push(pc, bit)
+
+    # ------------------------------------------------------------------
+    # Index computation
+    # ------------------------------------------------------------------
+
+    def indices(self, pc: int) -> List[int]:
+        """Table indices for all N sub-predictors at branch ``pc``.
+
+        Index 0 is the local-history feature (a PC-only bias feature
+        when local history is disabled); the rest follow the configured
+        intervals in order.
+        """
+        cfg = self.config
+        rows = cfg.table_rows
+        result: List[int] = []
+
+        if cfg.use_local_history:
+            local = self._local.read(pc)
+            mixed = mix_pc(pc) ^ stable_hash64(local)
+        else:
+            mixed = mix_pc(pc)
+        result.append(mixed % rows)
+
+        for position, (start, end) in enumerate(cfg.effective_intervals):
+            width = end - start  # intervals are half-open [start, end)
+            segment = (self._ghist >> start) & ((1 << width) - 1)
+            folded = fold_int(segment, width, self._fold_bits)
+            mixed = mix_pc(pc, salt=position + 1) ^ folded
+            result.append(mixed % rows)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def global_history_value(self) -> int:
+        """The raw global history bits (bit 0 most recent)."""
+        return self._ghist
+
+    def local_history_of(self, pc: int) -> int:
+        """The local history register selected by ``pc``."""
+        return self._local.read(pc)
+
+    def storage_bits(self) -> int:
+        return self.config.global_history_bits + self._local.storage_bits()

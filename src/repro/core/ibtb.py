@@ -1,0 +1,150 @@
+"""The Indirect Branch Target Buffer (IBTB, §3.1).
+
+A 64-set × 64-way set-associative store of observed indirect-branch
+targets, indexed by branch PC, with 8-bit partial tags, 2-bit RRIP
+replacement, and region-compressed targets.  A lookup returns *all*
+targets whose partial tag matches the branch — the candidate set that
+BLBP scores against its predicted bit vector (Fig. 2's "Possible
+Targets").
+
+Stale entries (whose region was recycled out of the region array) are
+dropped lazily at lookup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.hashing import mix_pc
+from repro.common.replacement import RRIPPolicy
+from repro.core.regions import RegionArray
+
+
+class _IBTBSet:
+    """One set: parallel way arrays plus a tag→ways index and RRIP state."""
+
+    __slots__ = ("ways", "tags", "regions", "generations", "offsets", "rrip", "by_tag")
+
+    def __init__(self, num_ways: int, rrpv_bits: int) -> None:
+        self.ways = num_ways
+        self.tags: List[Optional[int]] = [None] * num_ways
+        self.regions = [0] * num_ways
+        self.generations = [0] * num_ways
+        self.offsets = [0] * num_ways
+        self.rrip = RRIPPolicy(num_ways, rrpv_bits)
+        self.by_tag: dict = {}
+
+    def invalidate(self, way: int) -> None:
+        tag = self.tags[way]
+        if tag is not None:
+            ways = self.by_tag.get(tag)
+            if ways is not None:
+                ways.discard(way)
+                if not ways:
+                    del self.by_tag[tag]
+        self.tags[way] = None
+
+    def fill(self, way: int, tag: int, region: int, generation: int, offset: int) -> None:
+        self.invalidate(way)
+        self.tags[way] = tag
+        self.regions[way] = region
+        self.generations[way] = generation
+        self.offsets[way] = offset
+        self.by_tag.setdefault(tag, set()).add(way)
+
+
+class IndirectBTB:
+    """The RRIP-managed, region-compressed IBTB."""
+
+    def __init__(
+        self,
+        num_sets: int = 64,
+        num_ways: int = 64,
+        tag_bits: int = 8,
+        rrpv_bits: int = 2,
+        regions: Optional[RegionArray] = None,
+    ) -> None:
+        if num_sets < 1 or num_ways < 1:
+            raise ValueError("IBTB needs >= 1 set and >= 1 way")
+        if tag_bits < 1:
+            raise ValueError(f"need >= 1 tag bits, got {tag_bits}")
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        self.tag_bits = tag_bits
+        self.rrpv_bits = rrpv_bits
+        self.regions = regions if regions is not None else RegionArray()
+        self._sets = [_IBTBSet(num_ways, rrpv_bits) for _ in range(num_sets)]
+
+    def _locate(self, pc: int) -> Tuple[_IBTBSet, int]:
+        hashed = mix_pc(pc)
+        set_index = hashed % self.num_sets
+        tag = (hashed >> 12) & ((1 << self.tag_bits) - 1)
+        return self._sets[set_index], tag
+
+    def lookup(self, pc: int) -> List[Tuple[int, int]]:
+        """All (way, target) candidates whose partial tag matches ``pc``.
+
+        Stale region references are invalidated on the way through, so
+        the returned targets are always decodable.
+        """
+        bucket, tag = self._locate(pc)
+        ways = bucket.by_tag.get(tag)
+        if not ways:
+            return []
+        candidates: List[Tuple[int, int]] = []
+        stale: List[int] = []
+        for way in sorted(ways):
+            target = self.regions.decode(
+                bucket.regions[way], bucket.generations[way], bucket.offsets[way]
+            )
+            if target is None:
+                stale.append(way)
+            else:
+                candidates.append((way, target))
+        for way in stale:
+            bucket.invalidate(way)
+        return candidates
+
+    def ensure(self, pc: int, target: int) -> int:
+        """Guarantee ``target`` is stored for ``pc``; return its way.
+
+        On a hit the way's RRIP value is promoted; on a fill the RRIP
+        victim is evicted and the new way gets the insertion RRPV.
+        """
+        bucket, tag = self._locate(pc)
+        ways = bucket.by_tag.get(tag, ())
+        for way in ways:
+            stored = self.regions.decode(
+                bucket.regions[way], bucket.generations[way], bucket.offsets[way]
+            )
+            if stored == target:
+                bucket.rrip.touch(way)
+                return way
+        region, generation, offset = self.regions.encode(target)
+        victim = bucket.rrip.victim()
+        bucket.fill(victim, tag, region, generation, offset)
+        bucket.rrip.insert(victim)
+        return victim
+
+    def touch(self, pc: int, way: int) -> None:
+        """Promote ``way`` in the set for ``pc`` (correct-use hit)."""
+        bucket, _ = self._locate(pc)
+        bucket.rrip.touch(way)
+
+    def occupancy(self) -> int:
+        """Total live entries across all sets."""
+        return sum(
+            sum(1 for tag in bucket.tags if tag is not None)
+            for bucket in self._sets
+        )
+
+    def storage_bits(self) -> int:
+        """IBTB state: tag + region number + offset + RRPV per entry."""
+        region_number_bits = max(1, (self.regions.num_entries - 1).bit_length())
+        entry_bits = (
+            self.tag_bits
+            + region_number_bits
+            + self.regions.offset_bits
+            + self.rrpv_bits
+        )
+        return self.num_sets * self.num_ways * entry_bits

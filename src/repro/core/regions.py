@@ -1,0 +1,74 @@
+"""Region-based target compression (§3.6, borrowed from ITTAGE).
+
+Branch targets cluster in a handful of memory regions (the text segments
+of the binary and its libraries).  Instead of storing full 64-bit
+targets, the IBTB stores a small *region number* — an index into a
+shared array of high-order address bits — plus a low-order offset,
+roughly halving target storage.  The region array uses LRU replacement.
+
+Eviction semantics are modelled honestly: each region entry carries a
+generation number, and IBTB entries remember the generation they encoded
+against.  When a region is recycled, stale IBTB entries referencing it
+decode to ``None`` and are dropped, exactly as hardware would invalidate
+or misdecode them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.replacement import LRUPolicy
+
+
+class RegionArray:
+    """LRU-managed array of high-order target-address regions."""
+
+    def __init__(self, num_entries: int = 128, offset_bits: int = 20) -> None:
+        if num_entries < 1:
+            raise ValueError(f"need >= 1 regions, got {num_entries}")
+        if offset_bits < 1:
+            raise ValueError(f"need >= 1 offset bits, got {offset_bits}")
+        self.num_entries = num_entries
+        self.offset_bits = offset_bits
+        self._high_bits: list = [None] * num_entries
+        self._generation = [0] * num_entries
+        self._lru = LRUPolicy(num_entries)
+        #: Total region evictions (monitoring / tests).
+        self.evictions = 0
+
+    def encode(self, target: int) -> Tuple[int, int, int]:
+        """Encode ``target`` as (region index, generation, offset).
+
+        Allocates a region (evicting LRU) if the high bits are new.
+        """
+        high = target >> self.offset_bits
+        offset = target & ((1 << self.offset_bits) - 1)
+        for index in range(self.num_entries):
+            if self._high_bits[index] == high:
+                self._lru.touch(index)
+                return index, self._generation[index], offset
+        victim = self._lru.victim()
+        if self._high_bits[victim] is not None:
+            self.evictions += 1
+        self._high_bits[victim] = high
+        self._generation[victim] += 1
+        self._lru.touch(victim)
+        return victim, self._generation[victim], offset
+
+    def decode(self, index: int, generation: int, offset: int) -> Optional[int]:
+        """Reconstruct a target; ``None`` if the region was recycled."""
+        if not 0 <= index < self.num_entries:
+            raise ValueError(f"region index {index} out of range")
+        if self._high_bits[index] is None or self._generation[index] != generation:
+            return None
+        return (self._high_bits[index] << self.offset_bits) | offset
+
+    def occupancy(self) -> int:
+        """Number of live region entries."""
+        return sum(1 for high in self._high_bits if high is not None)
+
+    def storage_bits(self) -> int:
+        """Region storage: high-order bits per entry plus LRU state."""
+        high_width = 64 - self.offset_bits
+        lru_bits = LRUPolicy.storage_bits_per_entry(self.num_entries)
+        return self.num_entries * (high_width + lru_bits)

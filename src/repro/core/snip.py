@@ -1,0 +1,271 @@
+"""SNIP: Scaled Neural Indirect Prediction (Jiménez, JWAC-2 2011).
+
+BLBP's §3 positions itself as an extension of SNIP that "greatly reduces
+the number of SRAM arrays that would be needed for a practical
+implementation from 44 to 8".  SNIP is the original bit-level neural
+indirect predictor: instead of hashing history *segments* into table
+indices (BLBP's hashed-perceptron style), SNIP keeps one weight array
+per individual history feature — each recent conditional outcome and
+each recent path element is its own ±1 input to a classic perceptron,
+with position-dependent scaling coefficients (the "scaled" in SNIP).
+
+Per predicted target bit k:
+
+    yout[k] = Σ_i  scale(i) · x_i · W_i[row(pc, i)][k]
+
+where ``x_i`` is +1/-1 from history feature i, and ``row(pc, i)``
+depends only on the branch PC (history enters through the signs, not
+the index).  Target selection against the IBTB is identical to BLBP's.
+
+Because every history bit is an independent input, SNIP handles
+high-entropy histories more gracefully than pattern hashing — but needs
+one SRAM array per feature (44 in the published configuration), which
+is what makes it impractical and motivates BLBP.  The bench
+``benchmarks/bench_snip_vs_blbp.py`` reproduces that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.common.hashing import mix_pc
+from repro.common.storage import StorageBudget
+from repro.core.ibtb import IndirectBTB
+from repro.core.regions import RegionArray
+from repro.core.threshold import PerBitAdaptiveThreshold
+from repro.predictors.base import IndirectBranchPredictor
+
+
+@dataclass(frozen=True)
+class SNIPConfig:
+    """Sizing knobs for :class:`SNIP` (44 arrays as published)."""
+
+    #: Individual global-history positions used as ±1 inputs.
+    history_features: int = 40
+    #: Recent-path features (low PC bits of recent branches) as inputs.
+    path_features: int = 4
+    num_target_bits: int = 12
+    low_bit: int = 2
+    weight_bits: int = 4
+    #: Rows per feature array (indexed by branch PC only).
+    table_rows: int = 256
+    #: Scaling: scale(i) = scale_num / (scale_den + i), fixed-point-ish.
+    scale_numerator: float = 8.0
+    scale_denominator: float = 8.0
+    #: Piecewise context selection (cf. piecewise-linear branch
+    #: prediction): the low ``piecewise_bits`` of recent history offset
+    #: the row index, giving the perceptron one linear function per
+    #: recent-history context and letting it express non-linearly-
+    #: separable target maps.  Off by default — the published SNIP is a
+    #: plain linear perceptron; enabling this is an extension studied in
+    #: ``benchmarks/bench_snip_vs_blbp.py``.
+    piecewise_bits: int = 0
+    initial_theta: int = 14
+    theta_counter_bits: int = 7
+    # IBTB sizing (shared shape with BLBP's Table 2 configuration).
+    ibtb_sets: int = 64
+    ibtb_ways: int = 64
+    ibtb_tag_bits: int = 8
+    rrip_bits: int = 2
+    region_entries: int = 128
+    region_offset_bits: int = 20
+
+    def __post_init__(self) -> None:
+        if self.history_features < 1:
+            raise ValueError(
+                f"need >= 1 history features, got {self.history_features}"
+            )
+        if self.path_features < 0:
+            raise ValueError(f"negative path features {self.path_features}")
+        if self.num_target_bits < 1:
+            raise ValueError(f"need >= 1 target bits, got {self.num_target_bits}")
+        if self.table_rows < 1:
+            raise ValueError(f"need >= 1 rows, got {self.table_rows}")
+        if self.weight_bits < 2:
+            raise ValueError(f"weight_bits must be >= 2, got {self.weight_bits}")
+
+    @property
+    def num_features(self) -> int:
+        """Total feature arrays (44 in the published configuration)."""
+        return self.history_features + self.path_features
+
+
+class SNIP(IndirectBranchPredictor):
+    """The SNIP bit-level neural indirect predictor."""
+
+    name = "SNIP"
+
+    def __init__(self, config: Optional[SNIPConfig] = None) -> None:
+        self.config = config or SNIPConfig()
+        cfg = self.config
+        self._magnitude = (1 << (cfg.weight_bits - 1)) - 1
+        # W: (features, rows, K) of sign/magnitude weights.
+        self._weights = np.zeros(
+            (cfg.num_features, cfg.table_rows, cfg.num_target_bits),
+            dtype=np.int8,
+        )
+        # Position-dependent scaling coefficients, fixed per feature.
+        positions = np.arange(cfg.num_features, dtype=float)
+        self._scales = cfg.scale_numerator / (cfg.scale_denominator + positions)
+        self.threshold = PerBitAdaptiveThreshold(
+            num_bits=cfg.num_target_bits,
+            initial_theta=cfg.initial_theta,
+            counter_bits=cfg.theta_counter_bits,
+        )
+        self.ibtb = IndirectBTB(
+            num_sets=cfg.ibtb_sets,
+            num_ways=cfg.ibtb_ways,
+            tag_bits=cfg.ibtb_tag_bits,
+            rrpv_bits=cfg.rrip_bits,
+            regions=RegionArray(cfg.region_entries, cfg.region_offset_bits),
+        )
+        self._bit_shifts = np.arange(
+            cfg.low_bit, cfg.low_bit + cfg.num_target_bits, dtype=np.uint64
+        )
+        # History: a ring of the most recent feature bits, most recent
+        # first.  History features take conditional outcomes; path
+        # features take parity bits of recent branch PCs.
+        self._ghist = np.zeros(cfg.history_features, dtype=np.int8)
+        self._path = np.zeros(max(cfg.path_features, 1), dtype=np.int8)
+        self._row_cache: Dict[int, np.ndarray] = {}
+        self._ctx: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+
+    def _rows_for(self, pc: int) -> np.ndarray:
+        """Per-feature row indices; PC-only, so cacheable per branch."""
+        cached = self._row_cache.get(pc)
+        if cached is None:
+            cfg = self.config
+            cached = np.array(
+                [
+                    mix_pc(pc, salt=feature) % cfg.table_rows
+                    for feature in range(cfg.num_features)
+                ],
+                dtype=np.int64,
+            )
+            self._row_cache[pc] = cached
+        return cached
+
+    def _context_rows(self, pc: int) -> np.ndarray:
+        """Row indices for the current (pc, recent-history) context."""
+        rows = self._rows_for(pc)
+        if not self.config.piecewise_bits:
+            return rows
+        recent = 0
+        for bit in self._ghist[: self.config.piecewise_bits]:
+            recent = (recent << 1) | int(bit)
+        return (rows + recent) % self.config.table_rows
+
+    def _signs(self) -> np.ndarray:
+        """±1 inputs from the current history, length num_features."""
+        cfg = self.config
+        bits = np.concatenate(
+            [self._ghist, self._path[: cfg.path_features]]
+        ) if cfg.path_features else self._ghist.copy()
+        return (bits.astype(np.float64) * 2.0) - 1.0
+
+    def _compute_yout(self, pc: int) -> np.ndarray:
+        rows = self._context_rows(pc)
+        gathered = self._weights[np.arange(len(rows)), rows, :].astype(
+            np.float64
+        )
+        signs = self._signs() * self._scales
+        return signs @ gathered  # (K,)
+
+    # ------------------------------------------------------------------
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        yout = self._compute_yout(pc)
+        candidates = self.ibtb.lookup(pc)
+        if not candidates:
+            prediction = None
+            bit_matrix = None
+        else:
+            targets = np.asarray([t for _, t in candidates], dtype=np.uint64)
+            bit_matrix = (
+                (targets[:, None] >> self._bit_shifts[None, :]) & np.uint64(1)
+            ).astype(np.float64)
+            scores = bit_matrix @ yout
+            prediction = int(targets[int(np.argmax(scores))])
+        self._ctx = {
+            "pc": pc,
+            "yout": yout,
+            "bit_matrix": bit_matrix,
+            "prediction": prediction,
+        }
+        return prediction
+
+    def train(self, pc: int, target: int) -> None:
+        ctx = self._ctx
+        if ctx is None or ctx["pc"] != pc:
+            self.predict_target(pc)
+            ctx = self._ctx
+        self._ctx = None
+        cfg = self.config
+
+        way = self.ibtb.ensure(pc, target)
+        self.ibtb.touch(pc, way)
+
+        yout = ctx["yout"]
+        actual_bits = (
+            (np.uint64(target) >> self._bit_shifts) & np.uint64(1)
+        ).astype(np.int8)
+        bit_targets = actual_bits.astype(np.float64) * 2.0 - 1.0  # ±1
+
+        predicted_ones = yout >= 0
+        correct_bits = predicted_ones == (actual_bits == 1)
+        magnitudes = np.abs(yout)
+
+        train_mask = np.zeros(cfg.num_target_bits, dtype=bool)
+        for k in range(cfg.num_target_bits):
+            correct = bool(correct_bits[k])
+            magnitude = int(magnitudes[k])
+            self.threshold.observe(k, correct, magnitude)
+            if self.threshold.should_train(k, correct, magnitude):
+                train_mask[k] = True
+
+        if train_mask.any():
+            rows = self._context_rows(pc)
+            signs = self._signs()
+            # delta[i, k] = x_i * t_k on trained bits; clip to magnitude.
+            delta = np.outer(signs, np.where(train_mask, bit_targets, 0.0))
+            selected = self._weights[np.arange(len(rows)), rows, :].astype(
+                np.int16
+            )
+            selected += delta.astype(np.int16)
+            np.clip(selected, -self._magnitude, self._magnitude, out=selected)
+            self._weights[np.arange(len(rows)), rows, :] = selected.astype(
+                np.int8
+            )
+
+    # ------------------------------------------------------------------
+
+    def on_conditional(self, pc: int, taken: bool) -> None:
+        self._ghist = np.roll(self._ghist, 1)
+        self._ghist[0] = int(taken)
+
+    def on_retired(self, pc: int, branch_type: int, target: int) -> None:
+        if self.config.path_features:
+            self._path = np.roll(self._path, 1)
+            self._path[0] = (pc >> 2) & 1
+
+    # ------------------------------------------------------------------
+
+    def storage_budget(self) -> StorageBudget:
+        cfg = self.config
+        budget = StorageBudget(self.name)
+        budget.add(
+            f"weights ({cfg.num_features} feature arrays)",
+            cfg.num_features * cfg.table_rows * cfg.num_target_bits
+            * cfg.weight_bits,
+        )
+        budget.add("global history", cfg.history_features)
+        budget.add("path history", cfg.path_features)
+        budget.add("IBTB", self.ibtb.storage_bits())
+        budget.add("region array", self.ibtb.regions.storage_bits())
+        budget.add("adaptive thresholds", self.threshold.storage_bits())
+        return budget

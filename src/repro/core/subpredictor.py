@@ -1,0 +1,50 @@
+"""One bit-level perceptron weight bank (§3.2).
+
+Where a hashed perceptron trains a single weight per (table, row), BLBP
+trains a K-length *vector* of weights — one per predicted target bit.
+A :class:`WeightBank` is one such table: M rows of K sign/magnitude
+weights, realized as one SRAM array in hardware (§3.7 notes the full
+predictor needs only 8 such arrays, down from SNIP's 44).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WeightBank:
+    """An M×K table of saturating sign/magnitude perceptron weights."""
+
+    __slots__ = ("rows", "num_bits", "magnitude", "weights")
+
+    def __init__(self, rows: int, num_bits: int, weight_bits: int) -> None:
+        if rows < 1:
+            raise ValueError(f"need >= 1 rows, got {rows}")
+        if num_bits < 1:
+            raise ValueError(f"need >= 1 weight positions, got {num_bits}")
+        if weight_bits < 2:
+            raise ValueError(f"weight_bits must be >= 2, got {weight_bits}")
+        self.rows = rows
+        self.num_bits = num_bits
+        self.magnitude = (1 << (weight_bits - 1)) - 1
+        self.weights = np.zeros((rows, num_bits), dtype=np.int8)
+
+    def read(self, row: int) -> np.ndarray:
+        """The K-length weight vector at ``row`` (a live view)."""
+        return self.weights[row]
+
+    def train(self, row: int, desired_bits: np.ndarray, train_mask: np.ndarray) -> None:
+        """Nudge masked weights toward ``desired_bits`` (Algorithm 2).
+
+        Weights for bit positions where ``train_mask`` holds move +1 when
+        the actual target's bit is 1 and −1 when it is 0, saturating at
+        ±magnitude.
+        """
+        vector = self.weights[row].astype(np.int16)
+        delta = np.where(desired_bits, 1, -1)
+        vector += np.where(train_mask, delta, 0)
+        np.clip(vector, -self.magnitude, self.magnitude, out=vector)
+        self.weights[row] = vector.astype(np.int8)
+
+    def storage_bits(self, weight_bits: int) -> int:
+        return self.rows * self.num_bits * weight_bits

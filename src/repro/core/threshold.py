@@ -1,0 +1,72 @@
+"""Per-bit adaptive threshold training (§3.6).
+
+BLBP trains each target-bit perceptron not only on mispredicted bits
+but also on correct ones whose summed confidence ``|yout_k|`` falls
+below a threshold θ_k.  As in O-GEHL, θ is not a constant: Seznec's
+adaptive rule drives it so trainings-on-correct roughly balance
+mispredictions.  BLBP keeps an independent θ and controller counter for
+*each predicted bit position* (Algorithm 2 calls
+``adaptive_training(correct, a, k)`` with the bit index ``k``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class PerBitAdaptiveThreshold:
+    """K independent Seznec threshold controllers, one per target bit."""
+
+    def __init__(
+        self,
+        num_bits: int,
+        initial_theta: int,
+        counter_bits: int = 7,
+        adaptive: bool = True,
+    ) -> None:
+        if num_bits < 1:
+            raise ValueError(f"need >= 1 bits, got {num_bits}")
+        if initial_theta < 1:
+            raise ValueError(f"theta must be >= 1, got {initial_theta}")
+        self.num_bits = num_bits
+        self.adaptive = adaptive
+        self.counter_bits = counter_bits
+        self._theta: List[int] = [initial_theta] * num_bits
+        self._counter: List[int] = [0] * num_bits
+        self._max = (1 << (counter_bits - 1)) - 1
+        self._min = -(1 << (counter_bits - 1))
+
+    def theta(self, bit: int) -> int:
+        """The current training threshold for bit position ``bit``."""
+        return self._theta[bit]
+
+    def observe(self, bit: int, correct: bool, magnitude: int) -> None:
+        """Algorithm 2's ``adaptive_training(correct, a, k)``.
+
+        Args:
+            bit: target-bit position k.
+            correct: whether bit k was predicted correctly.
+            magnitude: ``a = |yout_k|``.
+        """
+        if not self.adaptive:
+            return
+        if not correct:
+            self._counter[bit] += 1
+            if self._counter[bit] >= self._max:
+                self._counter[bit] = 0
+                self._theta[bit] += 1
+        elif magnitude < self._theta[bit]:
+            self._counter[bit] -= 1
+            if self._counter[bit] <= self._min:
+                self._counter[bit] = 0
+                if self._theta[bit] > 1:
+                    self._theta[bit] -= 1
+
+    def should_train(self, bit: int, correct: bool, magnitude: int) -> bool:
+        """Algorithm 2's training condition: mispredicted or low margin."""
+        return (not correct) or magnitude < self._theta[bit]
+
+    def storage_bits(self) -> int:
+        """Hardware state: a θ register and controller per bit."""
+        theta_bits = 8
+        return self.num_bits * (theta_bits + self.counter_bits)

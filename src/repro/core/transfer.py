@@ -1,0 +1,58 @@
+"""The non-linear weight transfer function (§3.6, Fig. 5).
+
+Before summation, each 4-bit sign/magnitude weight passes through a
+convex transfer function that amplifies large magnitudes and damps small
+ones, letting the narrow weight range model bit probabilities more
+sharply (the same trick as multiperspective perceptron prediction).  The
+paper presents its function only as a plot, so the exact integer map
+here is tuned empirically on our suite; it preserves the published
+properties — odd symmetry, monotone, convex in magnitude, fixed point at
+zero.
+
+In a hardware realization this is a 16-entry ROM per weight (or, in a
+mixed-signal design, transistor sizing in the DACs — §3.7).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class TransferFunction:
+    """A lookup-table transfer function over sign/magnitude weights.
+
+    The table maps weight ``w`` (in ``[-magnitude_max, +magnitude_max]``)
+    to ``sign(w) * magnitudes[|w|]``.  ``apply`` uses vectorized fancy
+    indexing so the predictor hot path stays cheap.
+    """
+
+    def __init__(self, magnitudes: Sequence[int], enabled: bool = True) -> None:
+        magnitudes = list(magnitudes)
+        if not magnitudes:
+            raise ValueError("need at least one magnitude")
+        if magnitudes[0] != 0:
+            raise ValueError(f"transfer(0) must be 0, got {magnitudes[0]}")
+        if any(b < a for a, b in zip(magnitudes, magnitudes[1:])):
+            raise ValueError(f"magnitudes must be monotone, got {magnitudes}")
+        self.enabled = enabled
+        self.magnitude_max = len(magnitudes) - 1
+        span = np.arange(-self.magnitude_max, self.magnitude_max + 1)
+        if enabled:
+            mags = np.array(magnitudes, dtype=np.int32)
+            self._lut = np.sign(span).astype(np.int32) * mags[np.abs(span)]
+        else:
+            self._lut = span.astype(np.int32)
+
+    def apply(self, weights: np.ndarray) -> np.ndarray:
+        """Transfer a vector of raw weights (int8, sign/magnitude range)."""
+        return self._lut[weights.astype(np.intp) + self.magnitude_max]
+
+    def apply_scalar(self, weight: int) -> int:
+        """Transfer one weight value."""
+        if not -self.magnitude_max <= weight <= self.magnitude_max:
+            raise ValueError(
+                f"weight {weight} out of range ±{self.magnitude_max}"
+            )
+        return int(self._lut[weight + self.magnitude_max])

@@ -1,0 +1,37 @@
+"""Experiment drivers: one entry point per table/figure in the paper.
+
+Each driver returns plain data (lists/dicts) plus a ``format_*`` helper
+that renders the same rows/series the paper reports; the benchmark
+harness under ``benchmarks/`` calls these and prints the output.  The
+mapping from paper artifact to driver:
+
+====================  =========================================
+Paper artifact         Driver
+====================  =========================================
+Table 1                :func:`repro.experiments.tables.table1`
+Table 2                :func:`repro.experiments.configs.table2`
+Figure 1               :func:`repro.experiments.figures.figure1`
+Figure 6               :func:`repro.experiments.figures.figure6`
+Figure 7               :func:`repro.experiments.figures.figure7`
+Figure 8               :func:`repro.experiments.figures.figure8`
+Figure 9               :func:`repro.experiments.figures.figure9`
+Figure 10              :func:`repro.experiments.ablation.figure10`
+Figure 11              :func:`repro.experiments.associativity.figure11`
+§5.1 headline          :func:`repro.experiments.tables.headline`
+====================  =========================================
+"""
+
+from repro.experiments.configs import predictor_factories, table2
+from repro.experiments.runcache import (
+    get_campaign,
+    get_suite_stats,
+    get_suite_traces,
+)
+
+__all__ = [
+    "predictor_factories",
+    "table2",
+    "get_campaign",
+    "get_suite_traces",
+    "get_suite_stats",
+]

@@ -1,0 +1,97 @@
+"""Figure 10: the effect of BLBP's optimizations (§5.2).
+
+The paper evaluates twelve configurations against ITTAGE: all
+optimizations off (SNIP-like), each optimization alone, each
+optimization removed from the full predictor, and all on.  The reported
+metric is the percentage MPKI reduction relative to ITTAGE (negative
+means BLBP is worse than ITTAGE in that configuration).
+
+Running twelve predictor configurations over the whole 88-trace suite
+is expensive, so the ablation uses an evenly-spaced subsample of the
+suite (every ``stride``-th trace) — the paper's qualitative findings
+(adaptive threshold and the transfer function are the strongest single
+optimizations; intervals matter most in concert) are stable under the
+subsample.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import BLBP
+from repro.core.config import BLBPConfig, unoptimized_config
+from repro.predictors import ITTAGE
+from repro.sim.runner import run_campaign
+from repro.trace.stream import Trace
+from repro.workloads.suite import env_scale, suite88_specs
+
+#: The five §3.6 optimizations and their config-field names.
+OPTIMIZATIONS: Tuple[Tuple[str, str], ...] = (
+    ("local history", "use_local_history"),
+    ("intervals", "use_intervals"),
+    ("selective updates", "use_selective_update"),
+    ("transfer function", "use_transfer_function"),
+    ("adaptive threshold", "use_adaptive_threshold"),
+)
+
+
+def ablation_configs() -> "Dict[str, BLBPConfig]":
+    """The twelve Fig. 10 configurations, in the paper's plot order."""
+    configs: Dict[str, BLBPConfig] = {}
+    configs["all optimizations off"] = unoptimized_config()
+    for label, field in OPTIMIZATIONS:
+        configs[f"only {label} on"] = dataclasses.replace(
+            unoptimized_config(), **{field: True}
+        )
+    for label, field in OPTIMIZATIONS:
+        configs[f"no {label}"] = dataclasses.replace(
+            BLBPConfig(), **{field: False}
+        )
+    configs["all optimizations on"] = BLBPConfig()
+    return configs
+
+
+def ablation_traces(scale: Optional[float] = None, stride: int = 6) -> List[Trace]:
+    """An evenly-spaced subsample of suite-88 for the ablation."""
+    if scale is None:
+        scale = env_scale()
+    return [entry.generate() for entry in suite88_specs(scale)[::stride]]
+
+
+def figure10(
+    traces: Optional[List[Trace]] = None,
+    scale: Optional[float] = None,
+    stride: int = 6,
+) -> List[Tuple[str, float]]:
+    """(configuration, % MPKI reduction vs ITTAGE) for all 12 configs.
+
+    Positive numbers mean the BLBP configuration beats ITTAGE.
+    """
+    if traces is None:
+        traces = ablation_traces(scale, stride)
+    factories = {"ITTAGE": ITTAGE}
+    configs = ablation_configs()
+    for label, config in configs.items():
+        factories[label] = (lambda cfg: (lambda: BLBP(cfg)))(config)
+    campaign = run_campaign(traces, factories)
+    reference = campaign.mean_mpki("ITTAGE")
+    results = []
+    for label in configs:
+        mpki = campaign.mean_mpki(label)
+        reduction = 100.0 * (reference - mpki) / reference if reference else 0.0
+        results.append((label, reduction))
+    return results
+
+
+def format_figure10(results: List[Tuple[str, float]]) -> str:
+    lines = [
+        "Figure 10: % MPKI reduction vs ITTAGE per BLBP configuration",
+        "(positive = better than ITTAGE; paper: all-on +5.3%, all-off -8.8%)",
+    ]
+    width = max(len(label) for label, _ in results)
+    for label, reduction in results:
+        bar = "#" * int(abs(reduction))
+        sign = "+" if reduction >= 0 else "-"
+        lines.append(f"  {label:<{width}}  {reduction:+7.2f}%  {sign}{bar}")
+    return "\n".join(lines)

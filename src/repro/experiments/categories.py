@@ -1,0 +1,75 @@
+"""Per-source and per-category result breakdowns.
+
+The paper's discussion differentiates workload sources — "the Samsung
+workloads tend to have more indirect branches", mobile traces being
+Java-flavoured, etc.  This driver slices a campaign by the Table 1
+source/category labels and reports per-group predictor means, which the
+Figure 8 discussion refers to qualitatively.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.metrics import CampaignResult
+from repro.workloads.suite import suite88_specs
+
+
+def category_of(trace_name: str, by: str = "category") -> str:
+    """The Table 1 source or category label of a suite trace name."""
+    for entry in suite88_specs(scale=1.0):
+        if entry.name == trace_name:
+            return getattr(entry, by)
+    raise KeyError(f"{trace_name!r} is not a suite-88 trace")
+
+
+def category_means(
+    campaign: CampaignResult,
+    predictors: Optional[Sequence[str]] = None,
+    by: str = "category",
+) -> "OrderedDict[str, Dict[str, float]]":
+    """Mean MPKI per predictor within each source/category group.
+
+    Only traces belonging to suite-88 are grouped; others are ignored.
+    """
+    labels = {
+        entry.name: getattr(entry, by) for entry in suite88_specs(scale=1.0)
+    }
+    predictors = list(predictors or campaign.predictors())
+    groups: "OrderedDict[str, List[str]]" = OrderedDict()
+    for trace_name in campaign.traces():
+        label = labels.get(trace_name)
+        if label is None:
+            continue
+        groups.setdefault(label, []).append(trace_name)
+
+    means: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    for label, names in groups.items():
+        means[label] = {}
+        for predictor in predictors:
+            values = [campaign.mpki_of(name, predictor) for name in names]
+            means[label][predictor] = sum(values) / len(values)
+    return means
+
+
+def format_category_means(
+    means: "OrderedDict[str, Dict[str, float]]",
+) -> str:
+    predictors: List[str] = []
+    for per_group in means.values():
+        for name in per_group:
+            if name not in predictors:
+                predictors.append(name)
+    width = max((len(label) for label in means), default=8)
+    header = f"{'group':<{width}}" + "".join(
+        f"  {name:>10}" for name in predictors
+    )
+    lines = ["mean MPKI by workload group:", header, "-" * len(header)]
+    for label, per_group in means.items():
+        cells = "".join(
+            f"  {per_group.get(name, float('nan')):>10.4f}"
+            for name in predictors
+        )
+        lines.append(f"{label:<{width}}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Table 2: the four predictor configurations and their hardware budgets.
+
+The paper compares iso-area configurations: a 64 KB BTB baseline, a
+128 KB VPC (conditional predictor + BTB), a 64 KB ITTAGE, and BLBP at
+64.08 KB.  ``table2()`` instantiates each predictor exactly as the other
+experiments use it and reports its *computed* storage budget next to the
+paper's claimed budget; small discrepancies are expected because the
+paper does not itemize every register (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.core import BLBP
+from repro.predictors import (
+    ITTAGE,
+    BranchTargetBuffer,
+    IndirectBranchPredictor,
+    VPCPredictor,
+)
+
+#: The paper's claimed budgets (Table 2), in KB.
+PAPER_BUDGETS_KB: Dict[str, float] = {
+    "BTB": 64.0,
+    "VPC": 128.0,
+    "ITTAGE": 64.0,
+    "BLBP": 64.08,
+}
+
+#: The paper's configuration descriptions (Table 2).
+PAPER_CONFIG_NOTES: Dict[str, str] = {
+    "BTB": "32K-entry, partially-tagged, direct-mapped branch target buffer",
+    "VPC": "32K-entry BTB with multiperspective perceptron conditional predictor",
+    "ITTAGE": "as described in the original paper",
+    "BLBP": (
+        "64-set, 64-way partially-tagged IBTB, 256 10-bit local histories, "
+        "630-bit global history, 8 correlating-weights tables, 128-entry "
+        "region array"
+    ),
+}
+
+
+def predictor_factories() -> Dict[str, Callable[[], IndirectBranchPredictor]]:
+    """The four Table 2 predictors, as fresh-instance factories."""
+    return {
+        "BTB": BranchTargetBuffer,
+        "VPC": VPCPredictor,
+        "ITTAGE": ITTAGE,
+        "BLBP": BLBP,
+    }
+
+
+def table2() -> List[Tuple[str, str, float, float]]:
+    """Rows of (predictor, configuration, paper KB, measured KB)."""
+    rows = []
+    for name, factory in predictor_factories().items():
+        predictor = factory()
+        measured = predictor.storage_budget().total_kilobytes()
+        rows.append(
+            (name, PAPER_CONFIG_NOTES[name], PAPER_BUDGETS_KB[name], measured)
+        )
+    return rows
+
+
+def format_table2() -> str:
+    """Render Table 2 with paper-vs-measured budgets."""
+    lines = [
+        f"{'predictor':<8}  {'paper KB':>9}  {'measured KB':>12}  configuration",
+        "-" * 100,
+    ]
+    for name, note, paper_kb, measured_kb in table2():
+        lines.append(
+            f"{name:<8}  {paper_kb:>9.2f}  {measured_kb:>12.2f}  {note}"
+        )
+    return "\n".join(lines)
+
+
+def format_budget_details() -> str:
+    """Itemized storage budgets for all four predictors."""
+    blocks = []
+    for name, factory in predictor_factories().items():
+        blocks.append(factory().storage_budget().format_table())
+    return "\n\n".join(blocks)

@@ -1,0 +1,125 @@
+"""CSV export of figure data.
+
+The benchmark harness prints figures as text; downstream users who want
+to *plot* them (matplotlib, gnuplot, a spreadsheet) need the raw
+series.  These helpers write each figure's data as a tidy CSV next to
+whatever directory the caller chooses, and the ``report`` CLI command
+uses them to assemble a results bundle.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.experiments.figures import figure1, figure6, figure7, figure8, figure9
+from repro.sim.metrics import CampaignResult
+from repro.trace.stats import TraceStats
+
+PathLike = Union[str, Path]
+
+
+def _open_writer(path: PathLike):
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return open(path, "w", newline="")
+
+
+def export_figure1(stats: Sequence[TraceStats], path: PathLike) -> Path:
+    """Figure 1 rows: benchmark, conditional, direct, return, indirect."""
+    rows = figure1(stats)
+    path = Path(path)
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark", "conditional_pki", "direct_pki",
+                         "return_pki", "indirect_pki"])
+        for row in rows:
+            writer.writerow([
+                row["name"], f"{row['conditional']:.4f}",
+                f"{row['direct']:.4f}", f"{row['return']:.4f}",
+                f"{row['indirect']:.4f}",
+            ])
+    return path
+
+
+def export_figure6(stats: Sequence[TraceStats], path: PathLike) -> Path:
+    series = figure6(stats)
+    path = Path(path)
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark", "polymorphic_share_percent"])
+        for name, share in series:
+            writer.writerow([name, f"{share:.4f}"])
+    return path
+
+
+def export_figure7(stats: Sequence[TraceStats], path: PathLike) -> Path:
+    series = figure7(stats)
+    path = Path(path)
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["min_targets", "percent_of_branches"])
+        for x, value in enumerate(series, start=1):
+            writer.writerow([x, f"{value:.4f}"])
+    return path
+
+
+def export_figure8(campaign: CampaignResult, path: PathLike) -> Path:
+    series = figure8(campaign)
+    path = Path(path)
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        predictors = [key for key in series if key != "benchmarks"]
+        writer.writerow(["benchmark"] + [f"{p}_mpki" for p in predictors])
+        for index, benchmark in enumerate(series["benchmarks"]):
+            writer.writerow(
+                [benchmark]
+                + [f"{series[p][index]:.6f}" for p in predictors]
+            )
+    return path
+
+
+def export_figure9(campaign: CampaignResult, path: PathLike) -> Path:
+    shares = figure9(campaign)
+    path = Path(path)
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        predictors = [key for key in shares if key != "benchmarks"]
+        writer.writerow(["benchmark"] + [f"{p}_share" for p in predictors])
+        for index, benchmark in enumerate(shares["benchmarks"]):
+            writer.writerow(
+                [benchmark]
+                + [f"{shares[p][index]:.4f}" for p in predictors]
+            )
+    return path
+
+
+def export_series(
+    pairs: Sequence[Tuple[str, float]], path: PathLike,
+    header: Tuple[str, str] = ("label", "value"),
+) -> Path:
+    """Generic (label, value) export for Fig. 10/11-style results."""
+    path = Path(path)
+    with _open_writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        for label, value in pairs:
+            writer.writerow([label, f"{value:.6f}"])
+    return path
+
+
+def export_all(
+    stats: Sequence[TraceStats],
+    campaign: CampaignResult,
+    directory: PathLike,
+) -> List[Path]:
+    """Export figures 1/6/7/8/9 into ``directory``; returns the paths."""
+    directory = Path(directory)
+    return [
+        export_figure1(stats, directory / "figure1.csv"),
+        export_figure6(stats, directory / "figure6.csv"),
+        export_figure7(stats, directory / "figure7.csv"),
+        export_figure8(campaign, directory / "figure8.csv"),
+        export_figure9(campaign, directory / "figure9.csv"),
+    ]

@@ -1,0 +1,154 @@
+"""Drivers for the paper's workload-characterization and MPKI figures.
+
+Figures 1, 6 and 7 characterize the workloads themselves; Figures 8 and
+9 plot predictor MPKI across the suite.  Every driver returns the figure
+series as plain data, and a ``format_*`` twin renders it as text in the
+same organization as the paper's plot (same sort order, same axes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.metrics import CampaignResult
+from repro.sim.report import format_series
+from repro.trace.record import BranchType
+from repro.trace.stats import TraceStats, aggregate_target_ccdf
+
+#: Figure 1 plots these categories per kilo-instruction.
+FIGURE1_CATEGORIES: Tuple[Tuple[str, Tuple[BranchType, ...]], ...] = (
+    ("conditional", (BranchType.CONDITIONAL,)),
+    ("direct", (BranchType.DIRECT_JUMP, BranchType.DIRECT_CALL)),
+    ("return", (BranchType.RETURN,)),
+    ("indirect", (BranchType.INDIRECT_JUMP, BranchType.INDIRECT_CALL)),
+)
+
+
+def figure1(stats: Sequence[TraceStats]) -> List[Dict[str, object]]:
+    """Branch-type breakdown per kilo-instruction, sorted by indirect
+    prevalence (the paper's Fig. 1 x-axis order)."""
+    rows = []
+    for stat in stats:
+        row: Dict[str, object] = {"name": stat.name}
+        for label, types in FIGURE1_CATEGORIES:
+            row[label] = sum(stat.per_kilo(bt) for bt in types)
+        rows.append(row)
+    rows.sort(key=lambda row: row["indirect"])
+    return rows
+
+
+def format_figure1(stats: Sequence[TraceStats], max_rows: Optional[int] = None) -> str:
+    rows = figure1(stats)
+    if max_rows is not None:
+        rows = rows[:: max(1, len(rows) // max_rows)]
+    labels = [label for label, _ in FIGURE1_CATEGORIES]
+    name_width = max(len(str(row["name"])) for row in rows)
+    lines = [
+        "Figure 1: branches per kilo-instruction, sorted by indirect prevalence",
+        f"{'benchmark':<{name_width}}" + "".join(f"  {l:>12}" for l in labels),
+    ]
+    for row in rows:
+        cells = "".join(f"  {row[l]:>12.2f}" for l in labels)
+        lines.append(f"{str(row['name']):<{name_width}}{cells}")
+    return "\n".join(lines)
+
+
+def figure6(stats: Sequence[TraceStats]) -> List[Tuple[str, float]]:
+    """Per-trace polymorphic share of indirect executions, ascending
+    (the paper's Fig. 6)."""
+    series = [
+        (stat.name, 100.0 * stat.polymorphic_fraction()) for stat in stats
+    ]
+    series.sort(key=lambda pair: pair[1])
+    return series
+
+
+def format_figure6(stats: Sequence[TraceStats]) -> str:
+    series = figure6(stats)
+    name_width = max(len(name) for name, _ in series)
+    lines = [
+        "Figure 6: % of indirect executions from polymorphic branches (ascending)",
+    ]
+    for name, share in series:
+        lines.append(f"{name:<{name_width}}  {share:6.1f}%")
+    return "\n".join(lines)
+
+
+def figure7(stats: Sequence[TraceStats], max_targets: int = 64) -> List[float]:
+    """Suite-wide CCDF: % of static indirect branches with >= x targets
+    for x = 1..max_targets (the paper's Fig. 7)."""
+    return aggregate_target_ccdf(list(stats), max_targets)
+
+
+def format_figure7(stats: Sequence[TraceStats]) -> str:
+    series = figure7(stats)
+    checkpoints = [1, 2, 3, 5, 10, 20, 40, 64]
+    lines = [
+        "Figure 7: % of static indirect branches with at least x targets",
+    ]
+    for x in checkpoints:
+        lines.append(f"  x={x:<3d}  {series[x - 1]:6.2f}%")
+    majority = next(
+        (x for x in range(1, 65) if series[x - 1] < 50.0), 65
+    )
+    lines.append(f"  (50% threshold crossed at x={majority};"
+                 f" paper: majority of branches have <= 5 targets)")
+    return "\n".join(lines)
+
+
+def figure8(
+    campaign: CampaignResult,
+    predictors: Sequence[str] = ("VPC", "ITTAGE", "BLBP"),
+) -> Dict[str, List[float]]:
+    """Per-benchmark MPKI series sorted by BLBP MPKI (Fig. 8).
+
+    The BTB is omitted as in the paper (its MPKI dwarfs the rest).
+    """
+    order = campaign.traces_sorted_by("BLBP")
+    series = {"benchmarks": order}
+    for name in predictors:
+        series[name] = campaign.mpki_series(name, order)
+    return series
+
+
+def format_figure8(campaign: CampaignResult) -> str:
+    series = figure8(campaign)
+    lines = ["Figure 8: per-benchmark MPKI (sorted by BLBP MPKI; BTB omitted)"]
+    for name in ("VPC", "ITTAGE", "BLBP"):
+        lines.append(format_series(name, series[name]))
+    return "\n".join(lines)
+
+
+def figure9(
+    campaign: CampaignResult,
+    predictors: Sequence[str] = ("BTB", "VPC", "ITTAGE", "BLBP"),
+) -> Dict[str, List[float]]:
+    """Percentage breakdown of the four predictors' MPKI per benchmark.
+
+    For each benchmark the four MPKIs are normalized to sum to 100%
+    (the paper's stacked Fig. 9).
+    """
+    order = campaign.traces_sorted_by("BLBP")
+    shares: Dict[str, List[float]] = {"benchmarks": order}
+    for name in predictors:
+        shares[name] = []
+    for trace in order:
+        total = sum(campaign.mpki_of(trace, name) for name in predictors)
+        for name in predictors:
+            value = campaign.mpki_of(trace, name)
+            shares[name].append(100.0 * value / total if total > 0 else 0.0)
+    return shares
+
+
+def format_figure9(campaign: CampaignResult) -> str:
+    shares = figure9(campaign)
+    predictors = ("BTB", "VPC", "ITTAGE", "BLBP")
+    lines = [
+        "Figure 9: relative MPKI share per benchmark (rows sum to 100%)",
+        "mean shares across benchmarks:",
+    ]
+    count = len(shares["benchmarks"])
+    for name in predictors:
+        mean_share = sum(shares[name]) / count if count else 0.0
+        lines.append(f"  {name:<8} {mean_share:6.2f}%")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""One-shot results report: every experiment, one markdown file.
+
+``generate_report`` runs the whole evaluation — suite statistics, the
+4-predictor campaign, headline means with bootstrap confidence
+intervals, per-category breakdowns, the ablation, and the associativity
+sweep — and writes a self-contained markdown report plus the CSV figure
+data.  The CLI exposes it as ``python -m repro report``.
+
+For interactive use keep the scale/stride small; the full-suite default
+is the benchmark harness's job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.experiments.ablation import figure10, format_figure10
+from repro.experiments.associativity import figure11, format_figure11
+from repro.experiments.categories import category_means, format_category_means
+from repro.experiments.configs import format_table2, predictor_factories
+from repro.experiments.figure_export import export_all
+from repro.experiments.figures import (
+    format_figure6,
+    format_figure7,
+)
+from repro.experiments.tables import PAPER_HEADLINE_MPKI, format_table1
+from repro.sim.report import format_mpki_table
+from repro.sim.runner import run_campaign
+from repro.sim.statistics import paired_improvement
+from repro.trace.stats import compute_stats
+from repro.workloads.suite import suite88_specs
+
+
+def generate_report(
+    out_path: Union[str, Path],
+    scale: float = 0.5,
+    stride: int = 8,
+    sweep_stride: Optional[int] = None,
+) -> Path:
+    """Run the evaluation and write a markdown report to ``out_path``.
+
+    Args:
+        out_path: destination .md file; CSV figure data lands next to it.
+        scale: trace-length scale for this report run.
+        stride: suite sampling stride for the main campaign (1 = all 88).
+        sweep_stride: stride for the expensive ablation/associativity
+            sweeps (defaults to 2x the campaign stride).
+    """
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    if sweep_stride is None:
+        sweep_stride = max(stride * 2, 1)
+
+    entries = suite88_specs(scale)[::stride]
+    traces = [entry.generate() for entry in entries]
+    stats = [compute_stats(trace) for trace in traces]
+    campaign = run_campaign(traces, predictor_factories())
+
+    sections: List[str] = []
+    sections.append(
+        "# BLBP reproduction report\n\n"
+        f"scale = {scale}, campaign over {len(traces)} of 88 suite traces "
+        f"(stride {stride}); sweeps at stride {sweep_stride}.\n"
+    )
+
+    sections.append("## Suite (Table 1)\n\n```\n" + format_table1() + "\n```\n")
+    sections.append(
+        "## Hardware budgets (Table 2)\n\n```\n" + format_table2() + "\n```\n"
+    )
+
+    lines = ["## Headline (§5.1)", "", "```"]
+    for name in ("BTB", "VPC", "ITTAGE", "BLBP"):
+        lines.append(
+            f"{name:<8} paper {PAPER_HEADLINE_MPKI[name]:>6.3f}   "
+            f"measured {campaign.mean_mpki(name):8.4f}"
+        )
+    interval = paired_improvement(campaign, "ITTAGE", "BLBP")
+    lines.append(
+        f"BLBP vs ITTAGE: {interval.mean:+.1f}% "
+        f"[{interval.low:+.1f}%, {interval.high:+.1f}%] at "
+        f"{int(100 * interval.confidence)}% confidence (paper: +5.2%)"
+    )
+    lines.append("```\n")
+    sections.append("\n".join(lines))
+
+    sections.append(
+        "## Per-group means\n\n```\n"
+        + format_category_means(category_means(campaign, by="source"))
+        + "\n\n"
+        + format_category_means(category_means(campaign))
+        + "\n```\n"
+    )
+
+    sections.append(
+        "## Workload characterization (Figs. 6, 7)\n\n```\n"
+        + format_figure6(stats)
+        + "\n\n"
+        + format_figure7(stats)
+        + "\n```\n"
+    )
+
+    sections.append(
+        "## Per-benchmark MPKI (Fig. 8)\n\n```\n"
+        + format_mpki_table(
+            campaign,
+            predictor_order=("BTB", "VPC", "ITTAGE", "BLBP"),
+            sort_by="BLBP",
+        )
+        + "\n```\n"
+    )
+
+    sweep_traces = [
+        entry.generate() for entry in suite88_specs(scale)[::sweep_stride]
+    ]
+    sections.append(
+        "## Optimization ablation (Fig. 10)\n\n```\n"
+        + format_figure10(figure10(traces=sweep_traces))
+        + "\n```\n"
+    )
+    sections.append(
+        "## IBTB associativity (Fig. 11)\n\n```\n"
+        + format_figure11(figure11(traces=sweep_traces))
+        + "\n```\n"
+    )
+
+    csv_paths = export_all(stats, campaign, out_path.parent)
+    sections.append(
+        "## Figure data\n\n"
+        + "\n".join(f"* `{path.name}`" for path in csv_paths)
+        + "\n"
+    )
+
+    out_path.write_text("\n".join(sections))
+    return out_path

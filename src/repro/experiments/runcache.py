@@ -1,0 +1,80 @@
+"""Memoized suite generation and campaign execution.
+
+Several figures share the same expensive inputs — the generated
+88-trace suite, its per-trace statistics, and the full 4-predictor
+campaign.  Benchmarks run in one process (`pytest benchmarks/`), so a
+process-level cache keyed on the scale factor lets Figure 8, Figure 9,
+and the §5.1 headline all reuse a single campaign run instead of
+tripling a multi-minute simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.predictors.base import IndirectBranchPredictor
+from repro.sim.metrics import CampaignResult
+from repro.sim.runner import run_campaign
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.stream import Trace
+from repro.workloads.suite import build_cbp4_like_suite, env_scale, suite88_specs
+
+_suite_cache: Dict[Tuple[str, float], List[Trace]] = {}
+_stats_cache: Dict[Tuple[str, float], List[TraceStats]] = {}
+_campaign_cache: Dict[Tuple[str, float, Tuple[str, ...]], CampaignResult] = {}
+
+
+def _resolve_scale(scale: Optional[float]) -> float:
+    return env_scale() if scale is None else scale
+
+
+def get_suite_traces(scale: Optional[float] = None, suite: str = "suite88") -> List[Trace]:
+    """The generated trace suite, cached per (suite, scale)."""
+    scale = _resolve_scale(scale)
+    key = (suite, scale)
+    if key not in _suite_cache:
+        if suite == "suite88":
+            _suite_cache[key] = [entry.generate() for entry in suite88_specs(scale)]
+        elif suite == "cbp4":
+            _suite_cache[key] = build_cbp4_like_suite(scale)
+        else:
+            raise ValueError(f"unknown suite {suite!r}")
+    return _suite_cache[key]
+
+
+def get_suite_stats(scale: Optional[float] = None, suite: str = "suite88") -> List[TraceStats]:
+    """Per-trace workload statistics, cached per (suite, scale)."""
+    scale = _resolve_scale(scale)
+    key = (suite, scale)
+    if key not in _stats_cache:
+        _stats_cache[key] = [
+            compute_stats(trace) for trace in get_suite_traces(scale, suite)
+        ]
+    return _stats_cache[key]
+
+
+def get_campaign(
+    factories: Dict[str, Callable[[], IndirectBranchPredictor]],
+    scale: Optional[float] = None,
+    suite: str = "suite88",
+) -> CampaignResult:
+    """A campaign over the cached suite, cached per predictor-name set.
+
+    Caching is keyed by predictor *names*; callers passing custom
+    factories under standard names must not vary the factory for the
+    same name within one process.
+    """
+    scale = _resolve_scale(scale)
+    key = (suite, scale, tuple(sorted(factories)))
+    if key not in _campaign_cache:
+        _campaign_cache[key] = run_campaign(
+            get_suite_traces(scale, suite), factories
+        )
+    return _campaign_cache[key]
+
+
+def clear_caches() -> None:
+    """Drop all cached suites and campaigns (tests use this)."""
+    _suite_cache.clear()
+    _stats_cache.clear()
+    _campaign_cache.clear()

@@ -1,0 +1,102 @@
+"""Design-space sweeps over BLBP's sizing parameters.
+
+The paper fixes several design choices with one-line justifications:
+§3.7 "we find four bits per weight sufficient to maintain a good
+trade-off between accuracy and space-efficiency"; K = 12 predicted
+bits; M = 1024-row tables.  These sweeps regenerate the evidence behind
+those choices — accuracy as a function of each parameter at otherwise
+paper-default configuration — so the claims can be checked rather than
+quoted.  ``benchmarks/bench_sweeps.py`` runs them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import BLBP
+from repro.core.config import BLBPConfig
+from repro.sim.runner import run_campaign
+from repro.trace.stream import Trace
+from repro.workloads.suite import env_scale, suite88_specs
+
+#: A sweep: label -> config transformer.
+SweepPoint = Tuple[str, Callable[[BLBPConfig], BLBPConfig]]
+
+
+def weight_bits_sweep(values: Sequence[int] = (2, 3, 4, 5, 6)) -> List[SweepPoint]:
+    """§3.7's weight-width trade-off.
+
+    The transfer-magnitude table must match the weight range, so wider
+    weights extend it with the same convex growth.
+    """
+    points = []
+    for bits in values:
+        magnitude = (1 << (bits - 1)) - 1
+        base = list(BLBPConfig().transfer_magnitudes)
+        while len(base) < magnitude + 1:
+            base.append(base[-1] + (base[-1] - base[-2]) + 2)
+        magnitudes = tuple(base[: magnitude + 1])
+        points.append(
+            (
+                f"weights={bits}b",
+                (lambda b, m: lambda cfg: dataclasses.replace(
+                    cfg, weight_bits=b, transfer_magnitudes=m
+                ))(bits, magnitudes),
+            )
+        )
+    return points
+
+
+def target_bits_sweep(values: Sequence[int] = (4, 8, 12, 16)) -> List[SweepPoint]:
+    """How many low-order target bits are worth predicting (K)."""
+    return [
+        (
+            f"K={k}",
+            (lambda kk: lambda cfg: dataclasses.replace(
+                cfg, num_target_bits=kk
+            ))(k),
+        )
+        for k in values
+    ]
+
+
+def table_rows_sweep(values: Sequence[int] = (128, 256, 512, 1024, 2048)) -> List[SweepPoint]:
+    """Weight-table capacity (rows per sub-predictor array)."""
+    return [
+        (
+            f"rows={rows}",
+            (lambda r: lambda cfg: dataclasses.replace(cfg, table_rows=r))(rows),
+        )
+        for rows in values
+    ]
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    traces: Optional[Sequence[Trace]] = None,
+    scale: Optional[float] = None,
+    stride: int = 10,
+    base_config: Optional[BLBPConfig] = None,
+) -> Dict[str, float]:
+    """Mean BLBP MPKI per sweep point over a suite subsample."""
+    if traces is None:
+        if scale is None:
+            scale = env_scale()
+        traces = [entry.generate() for entry in suite88_specs(scale)[::stride]]
+    base = base_config or BLBPConfig()
+    factories = {
+        label: (lambda cfg: (lambda: BLBP(cfg)))(transform(base))
+        for label, transform in points
+    }
+    campaign = run_campaign(list(traces), factories)
+    return {label: campaign.mean_mpki(label) for label, _ in points}
+
+
+def format_sweep(title: str, results: Dict[str, float]) -> str:
+    lines = [f"{title}:"]
+    peak = max(results.values()) or 1.0
+    for label, mpki in results.items():
+        bar = "#" * int(36 * mpki / peak)
+        lines.append(f"  {label:<12} {mpki:8.4f}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Indirect branch target predictors: the paper's baselines.
+
+* :class:`~repro.predictors.btb.BranchTargetBuffer` — last-taken BTB
+  (the paper's baseline, 3.40 MPKI);
+* :class:`~repro.predictors.two_bit_btb.TwoBitBTB` — Calder & Grunwald's
+  replace-after-two-misses variant;
+* :class:`~repro.predictors.target_cache.TargetCache` — Chang et al.'s
+  pattern-history indexed target cache (related-work extra);
+* :class:`~repro.predictors.ittage.ITTAGE` — Seznec's tagged geometric
+  indirect predictor, the paper's state-of-the-art comparison;
+* :class:`~repro.predictors.vpc.VPCPredictor` — Kim et al.'s hardware
+  devirtualization over a conditional predictor and BTB.
+
+The paper's own contribution, BLBP, lives in :mod:`repro.core`.
+"""
+
+from repro.predictors.base import IndirectBranchPredictor
+from repro.predictors.btb import BranchTargetBuffer
+from repro.predictors.cottage import COTTAGE
+from repro.predictors.ittage import ITTAGE, ITTAGEConfig
+from repro.predictors.target_cache import TargetCache
+from repro.predictors.two_bit_btb import TwoBitBTB
+from repro.predictors.vpc import VPCConfig, VPCPredictor
+
+__all__ = [
+    "IndirectBranchPredictor",
+    "BranchTargetBuffer",
+    "COTTAGE",
+    "TwoBitBTB",
+    "TargetCache",
+    "ITTAGE",
+    "ITTAGEConfig",
+    "VPCPredictor",
+    "VPCConfig",
+]

@@ -1,0 +1,57 @@
+"""The baseline branch target buffer (Lee & Smith).
+
+A 32K-entry, direct-mapped, partially-tagged cache indexed by branch PC,
+storing the most recently observed target (Table 2).  Sufficient for
+monomorphic branches, poor for polymorphic ones — the paper's baseline
+lands at 3.40 MPKI versus 0.183 for BLBP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.hashing import mix_pc
+from repro.common.storage import StorageBudget
+from repro.predictors.base import IndirectBranchPredictor
+
+
+class BranchTargetBuffer(IndirectBranchPredictor):
+    """Direct-mapped, partially-tagged, last-taken-target BTB."""
+
+    name = "BTB"
+
+    def __init__(self, num_entries: int = 32768, tag_bits: int = 12) -> None:
+        if num_entries < 1:
+            raise ValueError(f"need >= 1 entries, got {num_entries}")
+        if tag_bits < 1:
+            raise ValueError(f"need >= 1 tag bits, got {tag_bits}")
+        self.num_entries = num_entries
+        self.tag_bits = tag_bits
+        self._tags = np.full(num_entries, -1, dtype=np.int64)
+        self._targets = np.zeros(num_entries, dtype=np.uint64)
+
+    def _index_and_tag(self, pc: int) -> tuple:
+        hashed = mix_pc(pc)
+        index = hashed % self.num_entries
+        tag = (hashed >> 20) & ((1 << self.tag_bits) - 1)
+        return index, tag
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        index, tag = self._index_and_tag(pc)
+        if int(self._tags[index]) == tag:
+            return int(self._targets[index])
+        return None
+
+    def train(self, pc: int, target: int) -> None:
+        index, tag = self._index_and_tag(pc)
+        self._tags[index] = tag
+        self._targets[index] = target
+
+    def storage_budget(self) -> StorageBudget:
+        budget = StorageBudget(self.name)
+        # 64-bit targets stored uncompressed in the baseline.
+        budget.add_table("targets", self.num_entries, 64 - 2)
+        budget.add_table("partial tags", self.num_entries, self.tag_bits)
+        return budget

@@ -1,0 +1,93 @@
+"""Chang, Hao & Patt's Target Cache (related work, §2.2).
+
+Indexes a tagged target table with a hash of the branch PC and a
+*pattern history* of recent indirect-branch targets, so a polymorphic
+branch occupies several entries — one per history context — instead of
+thrashing a single BTB slot.  Included as an extension baseline; it sits
+between the BTB and ITTAGE in accuracy on our suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.hashing import mix_pc, stable_hash64
+from repro.common.storage import StorageBudget
+from repro.predictors.base import IndirectBranchPredictor
+from repro.trace.record import BranchType
+
+
+class TargetCache(IndirectBranchPredictor):
+    """Pattern-history indexed, tagged target cache.
+
+    Args:
+        num_entries: table size (power of two recommended).
+        tag_bits: partial tag width.
+        history_targets: number of recent indirect targets in the
+            pattern history.
+        bits_per_target: low-order target bits recorded per history slot.
+    """
+
+    name = "TargetCache"
+
+    def __init__(
+        self,
+        num_entries: int = 8192,
+        tag_bits: int = 10,
+        history_targets: int = 3,
+        bits_per_target: int = 3,
+    ) -> None:
+        if num_entries < 1:
+            raise ValueError(f"need >= 1 entries, got {num_entries}")
+        if history_targets < 1:
+            raise ValueError(f"need >= 1 history targets, got {history_targets}")
+        self.num_entries = num_entries
+        self.tag_bits = tag_bits
+        self.history_targets = history_targets
+        self.bits_per_target = bits_per_target
+        self._tags = np.full(num_entries, -1, dtype=np.int64)
+        self._targets = np.zeros(num_entries, dtype=np.uint64)
+        self._history = 0
+        self._history_bits = history_targets * bits_per_target
+        self._history_mask = (1 << self._history_bits) - 1
+
+    def _index_and_tag(self, pc: int) -> tuple:
+        # Hash (not XOR-fold) the pattern history: folding is insensitive
+        # to chunk order, which collapses the distinct phases of an
+        # alternating target pattern onto one entry.
+        pc_hash = mix_pc(pc)
+        index = (pc_hash ^ stable_hash64(self._history)) % self.num_entries
+        tag = (pc_hash >> 24) & ((1 << self.tag_bits) - 1)
+        return index, tag
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        index, tag = self._index_and_tag(pc)
+        if int(self._tags[index]) == tag:
+            return int(self._targets[index])
+        return None
+
+    def train(self, pc: int, target: int) -> None:
+        index, tag = self._index_and_tag(pc)
+        self._tags[index] = tag
+        self._targets[index] = target
+
+    def on_retired(self, pc: int, branch_type: int, target: int) -> None:
+        if branch_type in (
+            int(BranchType.INDIRECT_JUMP),
+            int(BranchType.INDIRECT_CALL),
+        ):
+            # Record a hash of the target so alignment in the target set
+            # cannot zero out the recorded history bits.
+            bits = stable_hash64(target) & ((1 << self.bits_per_target) - 1)
+            self._history = (
+                (self._history << self.bits_per_target) | bits
+            ) & self._history_mask
+
+    def storage_budget(self) -> StorageBudget:
+        budget = StorageBudget(self.name)
+        budget.add_table("targets", self.num_entries, 64 - 2)
+        budget.add_table("partial tags", self.num_entries, self.tag_bits)
+        budget.add("target pattern history", self._history_bits)
+        return budget

@@ -1,0 +1,70 @@
+"""Calder & Grunwald's 2-bit branch target buffer.
+
+Identical to the baseline BTB except that a stored target is replaced
+only after **two consecutive mispredictions**, implemented with a 2-bit
+hysteresis counter per entry (§2.2).  This filters out one-off target
+excursions for mostly-monomorphic branches but still cannot track truly
+polymorphic ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.hashing import mix_pc
+from repro.common.storage import StorageBudget
+from repro.predictors.base import IndirectBranchPredictor
+
+
+class TwoBitBTB(IndirectBranchPredictor):
+    """Direct-mapped BTB with two-miss replacement hysteresis."""
+
+    name = "2bit-BTB"
+
+    def __init__(self, num_entries: int = 32768, tag_bits: int = 12) -> None:
+        if num_entries < 1:
+            raise ValueError(f"need >= 1 entries, got {num_entries}")
+        if tag_bits < 1:
+            raise ValueError(f"need >= 1 tag bits, got {tag_bits}")
+        self.num_entries = num_entries
+        self.tag_bits = tag_bits
+        self._tags = np.full(num_entries, -1, dtype=np.int64)
+        self._targets = np.zeros(num_entries, dtype=np.uint64)
+        self._misses = np.zeros(num_entries, dtype=np.uint8)
+
+    def _index_and_tag(self, pc: int) -> tuple:
+        hashed = mix_pc(pc)
+        return hashed % self.num_entries, (hashed >> 20) & ((1 << self.tag_bits) - 1)
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        index, tag = self._index_and_tag(pc)
+        if int(self._tags[index]) == tag:
+            return int(self._targets[index])
+        return None
+
+    def train(self, pc: int, target: int) -> None:
+        index, tag = self._index_and_tag(pc)
+        if int(self._tags[index]) != tag:
+            # Cold or conflicting entry: fill immediately.
+            self._tags[index] = tag
+            self._targets[index] = target
+            self._misses[index] = 0
+            return
+        if int(self._targets[index]) == target:
+            self._misses[index] = 0
+            return
+        if int(self._misses[index]) >= 1:
+            # Second consecutive miss: replace the stored target.
+            self._targets[index] = target
+            self._misses[index] = 0
+        else:
+            self._misses[index] += 1
+
+    def storage_budget(self) -> StorageBudget:
+        budget = StorageBudget(self.name)
+        budget.add_table("targets", self.num_entries, 64 - 2)
+        budget.add_table("partial tags", self.num_entries, self.tag_bits)
+        budget.add_table("hysteresis", self.num_entries, 1)
+        return budget

@@ -1,0 +1,29 @@
+"""Branch-prediction simulation engine (the CBP-infrastructure stand-in).
+
+:func:`~repro.sim.engine.simulate` drives one indirect predictor over one
+trace and returns :class:`~repro.sim.metrics.SimulationResult` with the
+paper's metric — indirect-target mispredictions per kilo-instruction
+(MPKI) — plus per-branch detail.  :mod:`repro.sim.runner` runs
+campaigns (many traces × many predictors) and :mod:`repro.sim.report`
+formats result tables.
+"""
+
+from repro.sim.engine import simulate, simulate_conditional
+from repro.sim.metrics import CampaignResult, SimulationResult
+from repro.sim.performance import PipelineModel
+from repro.sim.ras import ReturnAddressStack
+from repro.sim.runner import PredictorFactory, run_campaign
+from repro.sim.report import format_campaign, format_mpki_table
+
+__all__ = [
+    "simulate",
+    "simulate_conditional",
+    "SimulationResult",
+    "CampaignResult",
+    "PipelineModel",
+    "ReturnAddressStack",
+    "run_campaign",
+    "PredictorFactory",
+    "format_campaign",
+    "format_mpki_table",
+]

@@ -1,0 +1,163 @@
+"""The simulation loop: one predictor over one trace.
+
+Mirrors the CBP infrastructure's discipline (§4.2):
+
+* **conditional branches** feed the predictor's conditional-history
+  hook (and, for VPC, the shared conditional predictor);
+* **indirect jumps and calls** are predicted, scored, trained, and then
+  retired into the predictor's history;
+* **returns** are predicted by the return-address stack and excluded
+  from indirect MPKI;
+* **direct calls** push the RAS; direct jumps just retire.
+
+The loop works on plain Python scalars extracted from the trace columns
+once up front — constructing a record object per branch would dominate
+runtime at multi-million-record scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.predictors.base import IndirectBranchPredictor
+from repro.sim.metrics import SimulationResult
+from repro.sim.ras import ReturnAddressStack
+from repro.trace.record import BranchType
+from repro.trace.stream import Trace
+
+_COND = int(BranchType.CONDITIONAL)
+_DIRECT_JUMP = int(BranchType.DIRECT_JUMP)
+_DIRECT_CALL = int(BranchType.DIRECT_CALL)
+_INDIRECT_JUMP = int(BranchType.INDIRECT_JUMP)
+_INDIRECT_CALL = int(BranchType.INDIRECT_CALL)
+_RETURN = int(BranchType.RETURN)
+
+
+def simulate(
+    predictor: IndirectBranchPredictor,
+    trace: Trace,
+    ras_depth: int = 32,
+    warmup_records: int = 0,
+    collect_per_pc: bool = False,
+) -> SimulationResult:
+    """Run ``predictor`` over ``trace`` and return its result.
+
+    Args:
+        predictor: the indirect predictor under test (mutated in place).
+        trace: the branch trace to replay.
+        ras_depth: depth of the return-address stack.
+        warmup_records: leading records whose mispredictions are not
+            counted (predictors still train on them).
+        collect_per_pc: also record per-static-branch misprediction
+            counts (slower; for diagnostics).
+    """
+    pcs = trace.pcs.tolist()
+    types = trace.types.tolist()
+    takens = trace.takens.tolist()
+    targets = trace.targets.tolist()
+
+    ras = ReturnAddressStack(ras_depth)
+    indirect = 0
+    mispredictions = 0
+    returns = 0
+    return_mispredictions = 0
+    conditionals = 0
+    by_pc: Dict[int, int] = {}
+
+    on_conditional = predictor.on_conditional
+    on_retired = predictor.on_retired
+    predict_target = predictor.predict_target
+    train = predictor.train
+
+    for index in range(len(pcs)):
+        branch_type = types[index]
+        pc = pcs[index]
+        counted = index >= warmup_records
+
+        if branch_type == _COND:
+            on_conditional(pc, takens[index])
+            conditionals += 1
+            continue
+
+        target = targets[index]
+        if branch_type == _INDIRECT_JUMP or branch_type == _INDIRECT_CALL:
+            prediction: Optional[int] = predict_target(pc)
+            if counted:
+                indirect += 1
+                if prediction != target:
+                    mispredictions += 1
+                    if collect_per_pc:
+                        by_pc[pc] = by_pc.get(pc, 0) + 1
+            train(pc, target)
+            on_retired(pc, branch_type, target)
+            if branch_type == _INDIRECT_CALL:
+                ras.push(pc + 4)
+        elif branch_type == _RETURN:
+            ras_prediction = ras.predict()
+            ras.pop()
+            if counted:
+                returns += 1
+                if ras_prediction != target:
+                    return_mispredictions += 1
+            on_retired(pc, branch_type, target)
+        elif branch_type == _DIRECT_CALL:
+            ras.push(pc + 4)
+            on_retired(pc, branch_type, target)
+        else:  # direct jump
+            on_retired(pc, branch_type, target)
+
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=predictor.name,
+        total_instructions=trace.total_instructions(),
+        indirect_branches=indirect,
+        indirect_mispredictions=mispredictions,
+        return_branches=returns,
+        return_mispredictions=return_mispredictions,
+        conditional_branches=conditionals,
+        mispredictions_by_pc=by_pc,
+    )
+
+
+def simulate_conditional(
+    predictor,
+    trace: Trace,
+    warmup_records: int = 0,
+) -> SimulationResult:
+    """Run a *conditional* predictor over a trace's conditional stream.
+
+    Used by the §6 consolidation study (BLBP as a conditional predictor)
+    and for measuring standalone conditional substrates.  Non-conditional
+    branches are skipped — conditional predictors maintain their own
+    histories from the outcomes alone.  Returns a
+    :class:`SimulationResult` whose "indirect" fields carry the
+    conditional counts so the MPKI helpers apply unchanged.
+    """
+    pcs = trace.pcs.tolist()
+    types = trace.types.tolist()
+    takens = trace.takens.tolist()
+
+    count = 0
+    mispredictions = 0
+    predict = predictor.predict
+    update = predictor.update
+    for index in range(len(pcs)):
+        if types[index] != _COND:
+            continue
+        pc = pcs[index]
+        taken = takens[index]
+        prediction = predict(pc)
+        if index >= warmup_records:
+            count += 1
+            if prediction != taken:
+                mispredictions += 1
+        update(pc, taken)
+
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=type(predictor).__name__,
+        total_instructions=trace.total_instructions(),
+        indirect_branches=count,
+        indirect_mispredictions=mispredictions,
+        conditional_branches=count,
+    )

@@ -1,0 +1,90 @@
+"""Whole-front-end co-simulation: directions + targets + returns.
+
+The paper evaluates indirect prediction in isolation (returns go to the
+RAS, conditionals to a separate predictor).  A processor front-end pays
+for *all* of them, and §6's consolidation idea only makes sense
+evaluated front-end-wide.  :func:`simulate_frontend` drives a
+*front-end predictor* — any :class:`IndirectBranchPredictor` whose
+``on_conditional`` also predicts directions and exposes
+``conditional_accuracy()`` (COTTAGE, VPC, and
+:class:`repro.core.frontend.ConsolidatedBLBPFrontend` all qualify) —
+and reports per-class and total branch MPKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predictors.base import IndirectBranchPredictor
+from repro.sim.engine import simulate
+from repro.trace.stream import Trace
+
+
+@dataclass
+class FrontendResult:
+    """Front-end-wide misprediction accounting for one trace."""
+
+    trace_name: str
+    frontend_name: str
+    total_instructions: int
+    indirect_mispredictions: int
+    conditional_branches: int
+    conditional_mispredictions: int
+    return_mispredictions: int
+
+    def indirect_mpki(self) -> float:
+        return self._per_kilo(self.indirect_mispredictions)
+
+    def conditional_mpki(self) -> float:
+        return self._per_kilo(self.conditional_mispredictions)
+
+    def return_mpki(self) -> float:
+        return self._per_kilo(self.return_mispredictions)
+
+    def total_mpki(self) -> float:
+        """All branch mispredictions per kilo-instruction."""
+        return self._per_kilo(
+            self.indirect_mispredictions
+            + self.conditional_mispredictions
+            + self.return_mispredictions
+        )
+
+    def conditional_accuracy(self) -> float:
+        if self.conditional_branches == 0:
+            return 1.0
+        return 1.0 - self.conditional_mispredictions / self.conditional_branches
+
+    def _per_kilo(self, count: int) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return 1000.0 * count / self.total_instructions
+
+
+def simulate_frontend(
+    frontend: IndirectBranchPredictor,
+    trace: Trace,
+    ras_depth: int = 32,
+) -> FrontendResult:
+    """Run a combined front-end predictor over ``trace``.
+
+    ``frontend`` must expose ``conditional_count`` /
+    ``conditional_mispredictions`` attributes maintained by its
+    ``on_conditional`` hook (as COTTAGE, VPC, and the consolidated BLBP
+    front-end do).
+    """
+    for attribute in ("conditional_count", "conditional_mispredictions"):
+        if not hasattr(frontend, attribute):
+            raise TypeError(
+                f"{type(frontend).__name__} is not a front-end predictor: "
+                f"missing {attribute!r}"
+            )
+    result = simulate(frontend, trace, ras_depth=ras_depth)
+    return FrontendResult(
+        trace_name=trace.name,
+        frontend_name=frontend.name,
+        total_instructions=result.total_instructions,
+        indirect_mispredictions=result.indirect_mispredictions,
+        conditional_branches=frontend.conditional_count,
+        conditional_mispredictions=frontend.conditional_mispredictions,
+        return_mispredictions=result.return_mispredictions,
+    )

@@ -1,0 +1,131 @@
+"""Prediction-latency model for BLBP's sequential similarity search.
+
+§3.7 argues BLBP's cosine-similarity step is feasible with a small
+parallel unit: "a feasible implementation could compute 5 cosine
+similarities per cycle in parallel at a modest cost, taking only one
+cycle for over half of all predictions and no more than 4 cycles for
+90% of the predictions" — because most indirect branches have few
+stored targets (Fig. 7).
+
+This module measures exactly that: it records the candidate-set size at
+every BLBP prediction over a trace and converts the distribution into
+cycle counts at a configurable similarity throughput.  The bench
+``benchmarks/bench_latency.py`` checks the two §3.7 percentile claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.blbp import BLBP
+from repro.trace.record import BranchType
+from repro.trace.stream import Trace
+
+_COND = int(BranchType.CONDITIONAL)
+_INDIRECT = (int(BranchType.INDIRECT_JUMP), int(BranchType.INDIRECT_CALL))
+
+
+@dataclass
+class LatencyProfile:
+    """Distribution of per-prediction selection latency."""
+
+    trace_name: str
+    similarities_per_cycle: int
+    #: histogram: cycles -> number of predictions
+    cycles_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_predictions(self) -> int:
+        return sum(self.cycles_histogram.values())
+
+    def fraction_within(self, cycles: int) -> float:
+        """Fraction of predictions completing in <= ``cycles`` cycles."""
+        total = self.total_predictions
+        if total == 0:
+            return 0.0
+        covered = sum(
+            count
+            for cycle_count, count in self.cycles_histogram.items()
+            if cycle_count <= cycles
+        )
+        return covered / total
+
+    def mean_cycles(self) -> float:
+        total = self.total_predictions
+        if total == 0:
+            return 0.0
+        return (
+            sum(cycles * count for cycles, count in self.cycles_histogram.items())
+            / total
+        )
+
+    def merge(self, other: "LatencyProfile") -> "LatencyProfile":
+        """Pool another profile's histogram into this one (same config)."""
+        if other.similarities_per_cycle != self.similarities_per_cycle:
+            raise ValueError("cannot merge profiles with different throughput")
+        for cycles, count in other.cycles_histogram.items():
+            self.cycles_histogram[cycles] = (
+                self.cycles_histogram.get(cycles, 0) + count
+            )
+        return self
+
+
+def profile_selection_latency(
+    predictor: BLBP,
+    trace: Trace,
+    similarities_per_cycle: int = 5,
+) -> LatencyProfile:
+    """Measure BLBP's candidate-search latency distribution on a trace.
+
+    Latency per prediction = ceil(candidates / throughput), minimum one
+    cycle (an empty candidate set still spends the lookup cycle).
+    """
+    if similarities_per_cycle < 1:
+        raise ValueError(
+            f"similarities_per_cycle must be >= 1, got {similarities_per_cycle}"
+        )
+    pcs = trace.pcs.tolist()
+    types = trace.types.tolist()
+    takens = trace.takens.tolist()
+    targets = trace.targets.tolist()
+
+    histogram: Dict[int, int] = {}
+    for index in range(len(pcs)):
+        branch_type = types[index]
+        pc = pcs[index]
+        if branch_type == _COND:
+            predictor.on_conditional(pc, takens[index])
+            continue
+        target = targets[index]
+        if branch_type in _INDIRECT:
+            candidates = len(predictor.ibtb.lookup(pc))
+            cycles = max(1, math.ceil(candidates / similarities_per_cycle))
+            histogram[cycles] = histogram.get(cycles, 0) + 1
+            predictor.predict_target(pc)
+            predictor.train(pc, target)
+        predictor.on_retired(pc, branch_type, target)
+
+    return LatencyProfile(
+        trace_name=trace.name,
+        similarities_per_cycle=similarities_per_cycle,
+        cycles_histogram=histogram,
+    )
+
+
+def format_latency_profile(profile: LatencyProfile) -> str:
+    lines = [
+        f"BLBP selection latency ({profile.similarities_per_cycle} "
+        f"similarities/cycle, {profile.total_predictions} predictions):",
+    ]
+    for cycles in sorted(profile.cycles_histogram):
+        share = profile.cycles_histogram[cycles] / profile.total_predictions
+        bar = "#" * int(50 * share)
+        lines.append(f"  {cycles:>3} cycle(s)  {100 * share:6.2f}%  {bar}")
+    lines.append(
+        f"  <=1 cycle: {100 * profile.fraction_within(1):.1f}%   "
+        f"<=4 cycles: {100 * profile.fraction_within(4):.1f}%   "
+        f"mean {profile.mean_cycles():.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Result containers and the MPKI metric.
+
+The paper's metric is mispredictions per kilo-instruction (MPKI), which
+§4.2 argues tracks performance linearly.  For indirect predictors the
+numerator counts mispredicted indirect jumps/calls (returns excluded —
+they belong to the RAS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one predictor over one trace."""
+
+    trace_name: str
+    predictor_name: str
+    total_instructions: int
+    indirect_branches: int
+    indirect_mispredictions: int
+    return_branches: int = 0
+    return_mispredictions: int = 0
+    conditional_branches: int = 0
+    #: Per-static-branch misprediction counts, keyed by PC (diagnostics).
+    mispredictions_by_pc: Dict[int, int] = field(default_factory=dict)
+
+    def mpki(self) -> float:
+        """Indirect-target mispredictions per 1000 instructions."""
+        if self.total_instructions == 0:
+            return 0.0
+        return 1000.0 * self.indirect_mispredictions / self.total_instructions
+
+    def return_mpki(self) -> float:
+        """RAS mispredictions per 1000 instructions (reported separately)."""
+        if self.total_instructions == 0:
+            return 0.0
+        return 1000.0 * self.return_mispredictions / self.total_instructions
+
+    def misprediction_rate(self) -> float:
+        """Fraction of indirect branches mispredicted."""
+        if self.indirect_branches == 0:
+            return 0.0
+        return self.indirect_mispredictions / self.indirect_branches
+
+
+@dataclass
+class CampaignResult:
+    """Results of a campaign: traces × predictors."""
+
+    #: results[trace_name][predictor_name]
+    results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def add(self, result: SimulationResult) -> None:
+        self.results.setdefault(result.trace_name, {})[
+            result.predictor_name
+        ] = result
+
+    def predictors(self) -> List[str]:
+        names: List[str] = []
+        for per_trace in self.results.values():
+            for name in per_trace:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def traces(self) -> List[str]:
+        return list(self.results)
+
+    def mpki_of(self, trace_name: str, predictor_name: str) -> float:
+        return self.results[trace_name][predictor_name].mpki()
+
+    def mean_mpki(self, predictor_name: str) -> float:
+        """Arithmetic-mean MPKI across traces (the paper's §5.1 summary)."""
+        values = [
+            per_trace[predictor_name].mpki()
+            for per_trace in self.results.values()
+            if predictor_name in per_trace
+        ]
+        if not values:
+            raise KeyError(f"no results for predictor {predictor_name!r}")
+        return sum(values) / len(values)
+
+    def mpki_series(self, predictor_name: str, trace_order: List[str]) -> List[float]:
+        """Per-trace MPKI in a given trace order (for figure series)."""
+        return [self.mpki_of(trace, predictor_name) for trace in trace_order]
+
+    def traces_sorted_by(self, predictor_name: str) -> List[str]:
+        """Trace names sorted by this predictor's MPKI (Fig. 8 x-axis)."""
+        return sorted(
+            self.results,
+            key=lambda trace: self.results[trace][predictor_name].mpki(),
+        )

@@ -1,0 +1,79 @@
+"""MPKI → performance model (§4.2's linearity argument).
+
+The paper measures MPKI and cites prior work showing a linear
+relationship between MPKI and performance, "thus it is sufficient to
+measure MPKI to infer an impact on performance."  This module makes
+that inference executable: a simple in-order-retire CPI model charging
+a fixed pipeline-refill penalty per misprediction, so results can be
+reported as CPI or speedup as well as MPKI.
+
+CPI = base_cpi + penalty_cycles × (mispredictions / instructions)
+
+with independent penalties available for indirect-target, conditional,
+and return mispredictions.  The linearity is exact by construction; the
+model's value is converting MPKI deltas into intuition-sized speedups
+(e.g. "0.5 MPKI at a 20-cycle penalty ≈ 1% CPI").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.metrics import SimulationResult
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """A branch-misprediction-dominated CPI model.
+
+    Attributes:
+        base_cpi: CPI with perfect branch prediction.
+        indirect_penalty: refill cycles per indirect-target misprediction
+            (the paper notes indirect and conditional branches incur the
+            same penalty; ~20 cycles is a deep-pipeline default).
+        return_penalty: cycles per RAS misprediction.
+    """
+
+    base_cpi: float = 0.6
+    indirect_penalty: float = 20.0
+    return_penalty: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ValueError(f"base_cpi must be positive, got {self.base_cpi}")
+        if self.indirect_penalty < 0 or self.return_penalty < 0:
+            raise ValueError("penalties must be non-negative")
+
+    def cpi(self, result: SimulationResult) -> float:
+        """CPI implied by a simulation result."""
+        if result.total_instructions == 0:
+            return self.base_cpi
+        indirect_rate = (
+            result.indirect_mispredictions / result.total_instructions
+        )
+        return_rate = (
+            result.return_mispredictions / result.total_instructions
+        )
+        return (
+            self.base_cpi
+            + self.indirect_penalty * indirect_rate
+            + self.return_penalty * return_rate
+        )
+
+    def cpi_from_mpki(self, mpki: float) -> float:
+        """CPI from an indirect MPKI alone (the paper's linear map)."""
+        if mpki < 0:
+            raise ValueError(f"negative MPKI {mpki}")
+        return self.base_cpi + self.indirect_penalty * mpki / 1000.0
+
+    def speedup(
+        self, baseline: SimulationResult, improved: SimulationResult
+    ) -> float:
+        """Relative speedup of ``improved`` over ``baseline`` (>1 = faster)."""
+        return self.cpi(baseline) / self.cpi(improved)
+
+    def mpki_to_ipc_loss(self, mpki: float) -> float:
+        """Fraction of perfect-prediction IPC lost to this MPKI."""
+        perfect = 1.0 / self.base_cpi
+        actual = 1.0 / self.cpi_from_mpki(mpki)
+        return 1.0 - actual / perfect

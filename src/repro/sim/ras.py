@@ -1,0 +1,55 @@
+"""Return-address stack (Kaeli & Emma, §1).
+
+Procedure returns are moving-target branches that a BTB mishandles but a
+small hardware stack predicts almost perfectly: calls push their return
+address, returns pop it.  The paper (like the CBP infrastructure)
+excludes returns from indirect-predictor MPKI because the RAS covers
+them; the simulator still models the RAS so return mispredictions can be
+reported separately and so trace generators are kept honest about
+call/return pairing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.storage import StorageBudget
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return-address stack.
+
+    Overflow wraps around (overwriting the oldest entry) and underflow
+    predicts nothing, as in real hardware.
+    """
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth < 1:
+            raise ValueError(f"need depth >= 1, got {depth}")
+        self.depth = depth
+        self._stack: List[int] = []
+        #: Pushes dropped to overflow (monitoring).
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a call."""
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_address)
+
+    def predict(self) -> Optional[int]:
+        """Predicted target of the next return (top of stack)."""
+        return self._stack[-1] if self._stack else None
+
+    def pop(self) -> Optional[int]:
+        """Consume the top entry at a return."""
+        return self._stack.pop() if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def storage_budget(self) -> StorageBudget:
+        budget = StorageBudget("RAS")
+        budget.add_table("return addresses", self.depth, 62)
+        return budget

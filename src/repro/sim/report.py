@@ -1,0 +1,80 @@
+"""Plain-text rendering of campaign results.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.metrics import CampaignResult
+
+
+def format_mpki_table(
+    campaign: CampaignResult,
+    predictor_order: Optional[Sequence[str]] = None,
+    sort_by: Optional[str] = None,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Per-trace MPKI table, one predictor per column.
+
+    Args:
+        campaign: the results to render.
+        predictor_order: column order (defaults to insertion order).
+        sort_by: predictor whose MPKI sorts the rows (Fig. 8 style).
+        max_rows: truncate to the first N rows after sorting.
+    """
+    predictors = list(predictor_order or campaign.predictors())
+    traces = (
+        campaign.traces_sorted_by(sort_by) if sort_by else campaign.traces()
+    )
+    if max_rows is not None:
+        traces = traces[:max_rows]
+
+    name_width = max([len(t) for t in traces] + [len("benchmark")])
+    header = f"{'benchmark':<{name_width}}" + "".join(
+        f"  {name:>10}" for name in predictors
+    )
+    lines = [header, "-" * len(header)]
+    for trace in traces:
+        cells = "".join(
+            f"  {campaign.mpki_of(trace, name):>10.4f}" for name in predictors
+        )
+        lines.append(f"{trace:<{name_width}}{cells}")
+    lines.append("-" * len(header))
+    means = "".join(
+        f"  {campaign.mean_mpki(name):>10.4f}" for name in predictors
+    )
+    lines.append(f"{'MEAN':<{name_width}}{means}")
+    return "\n".join(lines)
+
+
+def format_campaign(campaign: CampaignResult) -> str:
+    """Summary block: mean MPKI per predictor."""
+    lines = ["mean indirect-target MPKI:"]
+    for name in campaign.predictors():
+        lines.append(f"  {name:<12} {campaign.mean_mpki(name):8.4f}")
+    return "\n".join(lines)
+
+
+def format_series(label: str, values: Sequence[float], per_line: int = 10) -> str:
+    """A labelled numeric series (figure data) wrapped for terminals."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("  " + " ".join(f"{value:8.4f}" for value in chunk))
+    return "\n".join(lines)
+
+
+def format_breakdown_table(
+    rows: Dict[str, Dict[str, float]], columns: List[str], title: str
+) -> str:
+    """Generic name → {column: value} table used by several figures."""
+    name_width = max([len(name) for name in rows] + [len(title)])
+    header = f"{title:<{name_width}}" + "".join(f"  {c:>12}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for name, cells in rows.items():
+        rendered = "".join(f"  {cells.get(c, 0.0):>12.4f}" for c in columns)
+        lines.append(f"{name:<{name_width}}{rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Campaign runner: many traces × many predictors.
+
+Predictors carry state, so a campaign constructs a *fresh* predictor per
+trace through a factory callable.  The runner is deliberately
+single-process and deterministic; parallelism, if wanted, belongs in the
+caller (each (trace, predictor) cell is independent).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.predictors.base import IndirectBranchPredictor
+from repro.sim.engine import simulate
+from repro.sim.metrics import CampaignResult
+from repro.trace.stream import Trace
+
+#: A callable producing a fresh predictor instance.
+PredictorFactory = Callable[[], IndirectBranchPredictor]
+
+
+def run_campaign(
+    traces: Iterable[Trace],
+    factories: Dict[str, PredictorFactory],
+    ras_depth: int = 32,
+    warmup_records: int = 0,
+    progress: Optional[Callable[[str, str, float], None]] = None,
+) -> CampaignResult:
+    """Simulate every predictor over every trace.
+
+    Args:
+        traces: the workload suite.
+        factories: predictor-name → factory map; the name overrides the
+            predictor's own ``name`` in results so one campaign can
+            compare multiple configurations of the same class.
+        ras_depth, warmup_records: forwarded to :func:`simulate`.
+        progress: optional callback ``(trace, predictor, mpki)`` invoked
+            after each cell, for long-running benches.
+
+    Returns:
+        A :class:`CampaignResult` with one cell per (trace, predictor).
+    """
+    campaign = CampaignResult()
+    for trace in traces:
+        for name, factory in factories.items():
+            predictor = factory()
+            result = simulate(
+                predictor,
+                trace,
+                ras_depth=ras_depth,
+                warmup_records=warmup_records,
+            )
+            result.predictor_name = name
+            campaign.add(result)
+            if progress is not None:
+                progress(trace.name, name, result.mpki())
+    return campaign

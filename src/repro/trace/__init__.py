@@ -1,0 +1,23 @@
+"""CBP-style branch-trace infrastructure.
+
+The paper evaluates predictors on branch traces from the Championship
+Branch Prediction (CBP) infrastructure: a stream of branch records, each
+carrying the branch PC, its type, its outcome, its target, and the number
+of non-branch instructions since the previous branch.  This package
+defines that record format, an in-memory/on-disk trace container, and the
+per-trace statistics the paper's Figures 1, 6, and 7 are computed from.
+"""
+
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.stream import Trace, read_trace, write_trace
+
+__all__ = [
+    "BranchRecord",
+    "BranchType",
+    "Trace",
+    "read_trace",
+    "write_trace",
+    "TraceStats",
+    "compute_stats",
+]

@@ -1,0 +1,78 @@
+"""Branch record and branch-type definitions.
+
+A trace is a sequence of :class:`BranchRecord`.  Non-branch instructions
+are not recorded individually; each record carries ``inst_gap``, the
+count of non-branch instructions executed since the previous record, so
+MPKI can be computed without storing billions of records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BranchType(enum.IntEnum):
+    """The branch taxonomy used by the CBP simulation infrastructure.
+
+    The paper's Figure 1 breaks traces down into these categories.
+    Returns are listed separately because they are predicted by the
+    return-address stack, not the indirect predictor (§1).
+    """
+
+    CONDITIONAL = 0
+    DIRECT_JUMP = 1
+    DIRECT_CALL = 2
+    INDIRECT_JUMP = 3
+    INDIRECT_CALL = 4
+    RETURN = 5
+
+    @property
+    def is_indirect(self) -> bool:
+        """True for the branch types the indirect predictor must handle."""
+        return self in (BranchType.INDIRECT_JUMP, BranchType.INDIRECT_CALL)
+
+    @property
+    def is_call(self) -> bool:
+        """True for branch types that push a return address."""
+        return self in (BranchType.DIRECT_CALL, BranchType.INDIRECT_CALL)
+
+    @property
+    def is_conditional(self) -> bool:
+        """True for taken/not-taken branches."""
+        return self is BranchType.CONDITIONAL
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One dynamic branch execution.
+
+    Attributes:
+        pc: address of the branch instruction.
+        branch_type: the :class:`BranchType` category.
+        taken: outcome for conditional branches; unconditional branches
+            are always taken.
+        target: the address control flow transferred to (the fall-through
+            address for not-taken conditionals).
+        inst_gap: non-branch instructions executed since the previous
+            record (>= 0).  Total instructions simulated for a trace is
+            ``sum(gap) + len(records)``.
+    """
+
+    pc: int
+    branch_type: BranchType
+    taken: bool
+    target: int
+    inst_gap: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"negative pc {self.pc:#x}")
+        if self.target < 0:
+            raise ValueError(f"negative target {self.target:#x}")
+        if self.inst_gap < 0:
+            raise ValueError(f"negative inst_gap {self.inst_gap}")
+        if not self.branch_type.is_conditional and not self.taken:
+            raise ValueError(
+                f"{self.branch_type.name} branches are always taken"
+            )

@@ -1,0 +1,92 @@
+"""Trace sampling: simpoint-style windows over long traces.
+
+The paper's SPEC traces are simpoints — representative one-billion-
+instruction windows chosen from much longer executions (§4.2).  When a
+user imports a long real trace (:mod:`repro.trace.textio`), simulating
+all of it may be impractical in Python; these utilities extract
+windows the way the simpoint methodology does at trace granularity:
+
+* :func:`window` — one contiguous record window;
+* :func:`systematic_sample` — every k-th window, concatenated (the
+  cheap stand-in for clustering-based simpoint selection);
+* :func:`representative_window` — the window whose branch-type mix is
+  closest (L1 distance) to the whole trace's, a light-weight analogue
+  of picking the phase nearest the centroid.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.trace.record import BranchType
+from repro.trace.stream import Trace, concatenate
+
+
+def window(trace: Trace, start: int, length: int) -> Trace:
+    """Records ``[start, start + length)`` as a standalone trace."""
+    if start < 0 or length < 1:
+        raise ValueError(f"bad window ({start}, {length})")
+    if start >= len(trace):
+        raise ValueError(
+            f"window start {start} beyond trace length {len(trace)}"
+        )
+    stop = min(start + length, len(trace))
+    return Trace(
+        name=f"{trace.name}[{start}:{stop}]",
+        pcs=trace.pcs[start:stop],
+        types=trace.types[start:stop],
+        takens=trace.takens[start:stop],
+        targets=trace.targets[start:stop],
+        gaps=trace.gaps[start:stop],
+    )
+
+
+def systematic_sample(
+    trace: Trace, window_records: int, num_windows: int
+) -> Trace:
+    """Concatenate ``num_windows`` evenly-spaced windows of the trace."""
+    if window_records < 1 or num_windows < 1:
+        raise ValueError("window_records and num_windows must be >= 1")
+    if window_records * num_windows >= len(trace):
+        return trace
+    stride = len(trace) // num_windows
+    windows: List[Trace] = [
+        window(trace, index * stride, window_records)
+        for index in range(num_windows)
+    ]
+    sampled = concatenate(f"{trace.name}[sampled]", windows)
+    return sampled
+
+
+def _type_mix(trace: Trace) -> np.ndarray:
+    counts = np.array(
+        [trace.count_of(bt) for bt in BranchType], dtype=float
+    )
+    total = counts.sum()
+    return counts / total if total else counts
+
+
+def representative_window(trace: Trace, window_records: int) -> Trace:
+    """The window whose branch-type mix best matches the whole trace.
+
+    Scans non-overlapping windows and returns the one minimizing the L1
+    distance between its branch-type distribution and the full trace's —
+    a single-feature analogue of simpoint's basic-block-vector
+    clustering.
+    """
+    if window_records < 1:
+        raise ValueError(f"window_records must be >= 1, got {window_records}")
+    if window_records >= len(trace):
+        return trace
+    reference = _type_mix(trace)
+    best_start = 0
+    best_distance = float("inf")
+    for start in range(0, len(trace) - window_records + 1, window_records):
+        candidate = window(trace, start, window_records)
+        distance = float(np.abs(_type_mix(candidate) - reference).sum())
+        if distance < best_distance:
+            best_distance = distance
+            best_start = start
+    return window(trace, best_start, window_records)

@@ -1,0 +1,168 @@
+"""The :class:`Trace` container and its binary serialization.
+
+Traces are held in memory as parallel NumPy arrays (column-major) rather
+than lists of record objects: the simulation engine iterates millions of
+records, and attribute access on dataclasses dominates runtime otherwise.
+Record-object views are still available for tests and tooling.
+
+The on-disk format is a small self-describing binary: a magic header, the
+trace name, and the five columns as native NumPy arrays.  It exists so
+generated suites can be cached between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.trace.record import BranchRecord, BranchType
+
+_MAGIC = b"RPTRACE1"
+
+
+class Trace:
+    """An immutable branch trace with column-oriented storage.
+
+    Columns:
+        pcs, targets: uint64 arrays.
+        types: uint8 array of :class:`BranchType` values.
+        takens: bool array.
+        gaps: uint32 array of non-branch instruction gaps.
+    """
+
+    __slots__ = ("name", "pcs", "types", "takens", "targets", "gaps")
+
+    def __init__(
+        self,
+        name: str,
+        pcs: np.ndarray,
+        types: np.ndarray,
+        takens: np.ndarray,
+        targets: np.ndarray,
+        gaps: np.ndarray,
+    ) -> None:
+        length = len(pcs)
+        for column, label in (
+            (types, "types"),
+            (takens, "takens"),
+            (targets, "targets"),
+            (gaps, "gaps"),
+        ):
+            if len(column) != length:
+                raise ValueError(
+                    f"column {label} has length {len(column)}, expected {length}"
+                )
+        self.name = name
+        self.pcs = np.ascontiguousarray(pcs, dtype=np.uint64)
+        self.types = np.ascontiguousarray(types, dtype=np.uint8)
+        self.takens = np.ascontiguousarray(takens, dtype=bool)
+        self.targets = np.ascontiguousarray(targets, dtype=np.uint64)
+        self.gaps = np.ascontiguousarray(gaps, dtype=np.uint32)
+
+    @classmethod
+    def from_records(cls, name: str, records: Sequence[BranchRecord]) -> "Trace":
+        """Build a trace from record objects (convenient in tests)."""
+        return cls(
+            name=name,
+            pcs=np.array([r.pc for r in records], dtype=np.uint64),
+            types=np.array([int(r.branch_type) for r in records], dtype=np.uint8),
+            takens=np.array([r.taken for r in records], dtype=bool),
+            targets=np.array([r.target for r in records], dtype=np.uint64),
+            gaps=np.array([r.inst_gap for r in records], dtype=np.uint32),
+        )
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __getitem__(self, index: int) -> BranchRecord:
+        return BranchRecord(
+            pc=int(self.pcs[index]),
+            branch_type=BranchType(int(self.types[index])),
+            taken=bool(self.takens[index]),
+            target=int(self.targets[index]),
+            inst_gap=int(self.gaps[index]),
+        )
+
+    def records(self) -> Iterator[BranchRecord]:
+        """Iterate record objects (slow path; for tests and tooling)."""
+        for index in range(len(self)):
+            yield self[index]
+
+    def total_instructions(self) -> int:
+        """All simulated instructions: branches plus the gaps between them."""
+        return int(self.gaps.sum()) + len(self)
+
+    def count_of(self, branch_type: BranchType) -> int:
+        """Dynamic executions of ``branch_type`` in this trace."""
+        return int(np.count_nonzero(self.types == int(branch_type)))
+
+    def indirect_mask(self) -> np.ndarray:
+        """Boolean mask of records the indirect predictor must handle."""
+        return (self.types == int(BranchType.INDIRECT_JUMP)) | (
+            self.types == int(BranchType.INDIRECT_CALL)
+        )
+
+    def head(self, n: int) -> "Trace":
+        """A new trace containing the first ``n`` records."""
+        return Trace(
+            name=self.name,
+            pcs=self.pcs[:n],
+            types=self.types[:n],
+            takens=self.takens[:n],
+            targets=self.targets[:n],
+            gaps=self.gaps[:n],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, records={len(self)}, "
+            f"instructions={self.total_instructions()})"
+        )
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Serialize ``trace`` to ``path`` in the RPTRACE1 binary format."""
+    path = Path(path)
+    header = json.dumps({"name": trace.name, "records": len(trace)}).encode()
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<I", len(header)))
+        handle.write(header)
+        for column in (trace.pcs, trace.types, trace.takens, trace.targets, trace.gaps):
+            np.save(handle, column, allow_pickle=False)
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError(f"{path} is not an RPTRACE1 trace file")
+        (header_len,) = struct.unpack("<I", handle.read(4))
+        header = json.loads(handle.read(header_len).decode())
+        pcs = np.load(handle, allow_pickle=False)
+        types = np.load(handle, allow_pickle=False)
+        takens = np.load(handle, allow_pickle=False)
+        targets = np.load(handle, allow_pickle=False)
+        gaps = np.load(handle, allow_pickle=False)
+    return Trace(header["name"], pcs, types, takens, targets, gaps)
+
+
+def concatenate(name: str, traces: Iterable[Trace]) -> Trace:
+    """Concatenate traces end-to-end into one trace named ``name``."""
+    traces = list(traces)
+    if not traces:
+        raise ValueError("cannot concatenate zero traces")
+    return Trace(
+        name=name,
+        pcs=np.concatenate([t.pcs for t in traces]),
+        types=np.concatenate([t.types for t in traces]),
+        takens=np.concatenate([t.takens for t in traces]),
+        targets=np.concatenate([t.targets for t in traces]),
+        gaps=np.concatenate([t.gaps for t in traces]),
+    )

@@ -1,0 +1,59 @@
+"""Synthetic workload generators standing in for the paper's trace suite.
+
+The paper evaluates on 88 proprietary traces (SPEC simpoints and Samsung
+CBP-5 mobile/server traces).  We cannot redistribute those, so this
+package synthesizes branch traces from program models that exhibit the
+same mechanisms the predictors exploit:
+
+* **virtual-method dispatch** whose receiver type follows a hidden Markov
+  process leaked into prior conditional-branch outcomes
+  (:mod:`repro.workloads.vdispatch`);
+* **switch/jump-table dispatch** as in bytecode interpreters
+  (:mod:`repro.workloads.switchcase`);
+* **function-pointer call chains** with call/return nesting
+  (:mod:`repro.workloads.callret`);
+* **phase-structured mixes** of the above (:mod:`repro.workloads.mixed`).
+
+:mod:`repro.workloads.suite` assembles these into the 88-trace suite of
+Table 1 and a CBP-4-like secondary suite, with polymorphism statistics
+shaped to match the paper's Figures 6 and 7.
+"""
+
+from repro.workloads.base import AddressAllocator, TraceBuilder, WorkloadSpec
+from repro.workloads.callret import CallReturnSpec, generate_callret
+from repro.workloads.interpreter import InterpreterSpec, generate_interpreter
+from repro.workloads.markov import MarkovChain, structured_transition_matrix
+from repro.workloads.mixed import MixedSpec, generate_mixed
+from repro.workloads.recursive import RecursiveSpec, generate_recursive
+from repro.workloads.suite import (
+    SuiteTrace,
+    build_cbp4_like_suite,
+    build_suite88,
+    suite88_specs,
+)
+from repro.workloads.switchcase import SwitchCaseSpec, generate_switchcase
+from repro.workloads.vdispatch import VirtualDispatchSpec, generate_vdispatch
+
+__all__ = [
+    "AddressAllocator",
+    "TraceBuilder",
+    "WorkloadSpec",
+    "MarkovChain",
+    "structured_transition_matrix",
+    "VirtualDispatchSpec",
+    "generate_vdispatch",
+    "SwitchCaseSpec",
+    "generate_switchcase",
+    "InterpreterSpec",
+    "generate_interpreter",
+    "CallReturnSpec",
+    "generate_callret",
+    "MixedSpec",
+    "generate_mixed",
+    "RecursiveSpec",
+    "generate_recursive",
+    "SuiteTrace",
+    "build_suite88",
+    "build_cbp4_like_suite",
+    "suite88_specs",
+]

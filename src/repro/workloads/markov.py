@@ -1,0 +1,116 @@
+"""Markov-chain engines for hidden program state.
+
+Receiver types at a virtual call site, opcodes under an interpreter
+dispatch loop, and message kinds in a server event loop all follow
+*structured* stochastic processes: strong repetition, a few dominant
+successors per state, occasional surprises.  A Markov chain with a
+structured transition matrix captures this and gives history-based
+predictors learnable signal while leaving an irreducible noise floor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def structured_transition_matrix(
+    num_states: int,
+    rng: np.random.Generator,
+    determinism: float = 0.85,
+    self_loop: float = 0.05,
+) -> np.ndarray:
+    """Build a row-stochastic transition matrix with dominant successors.
+
+    Each state gets one dominant successor (a random permutation, so the
+    chain has long deterministic cycles) receiving ``determinism`` mass,
+    ``self_loop`` mass on staying put, and the remainder spread over a few
+    random alternates.  ``determinism=1`` yields a pure cycle — perfectly
+    predictable from history; lower values raise the noise floor.
+    """
+    if num_states < 1:
+        raise ValueError(f"need >= 1 states, got {num_states}")
+    if not 0.0 <= determinism <= 1.0:
+        raise ValueError(f"determinism must be in [0, 1], got {determinism}")
+    if not 0.0 <= self_loop <= 1.0 - determinism:
+        raise ValueError(
+            f"self_loop must be in [0, {1.0 - determinism}], got {self_loop}"
+        )
+    matrix = np.zeros((num_states, num_states))
+    # Dominant successors form one full cycle through all states (a
+    # random permutation could contain fixed points or short cycles and
+    # absorb the chain, collapsing every workload to a constant target).
+    order = rng.permutation(num_states)
+    successor = np.empty(num_states, dtype=np.int64)
+    for position in range(num_states):
+        successor[order[position]] = order[(position + 1) % num_states]
+    residual = 1.0 - determinism - self_loop
+    for state in range(num_states):
+        matrix[state, successor[state]] += determinism
+        matrix[state, state] += self_loop
+        if residual > 0:
+            # Spread the residual over up to three random alternates.
+            num_alternates = min(3, num_states)
+            alternates = rng.choice(num_states, size=num_alternates, replace=False)
+            for alt in alternates:
+                matrix[state, alt] += residual / num_alternates
+    # Normalize defensively (self-loop/dominant may coincide).
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return matrix
+
+
+def clamped_self_loop(determinism: float, self_loop: float) -> float:
+    """Largest self-loop mass compatible with ``determinism``.
+
+    Workload specs draw determinism and self-loop independently; this
+    keeps their sum within probability-1 when building the matrix.
+    """
+    return min(self_loop, max(0.0, 1.0 - determinism))
+
+
+class MarkovChain:
+    """A seeded Markov chain with pre-drawn uniform randomness.
+
+    ``step()`` advances the hidden state; sampling uses cumulative-row
+    lookup against a single uniform draw, keeping per-step cost low.
+    """
+
+    def __init__(
+        self,
+        transition_matrix: np.ndarray,
+        rng: np.random.Generator,
+        initial_state: Optional[int] = None,
+    ) -> None:
+        matrix = np.asarray(transition_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"transition matrix must be square, got {matrix.shape}")
+        rows = matrix.sum(axis=1)
+        if not np.allclose(rows, 1.0):
+            raise ValueError("transition matrix rows must sum to 1")
+        self.num_states = matrix.shape[0]
+        self._cumulative = np.cumsum(matrix, axis=1)
+        self._rng = rng
+        self.state = (
+            initial_state
+            if initial_state is not None
+            else int(rng.integers(self.num_states))
+        )
+        if not 0 <= self.state < self.num_states:
+            raise ValueError(f"initial state {self.state} out of range")
+
+    def step(self) -> int:
+        """Advance to and return the next state."""
+        draw = self._rng.random()
+        row = self._cumulative[self.state]
+        self.state = int(np.searchsorted(row, draw, side="right"))
+        if self.state >= self.num_states:  # guard against fp round-off
+            self.state = self.num_states - 1
+        return self.state
+
+    def walk(self, length: int) -> np.ndarray:
+        """Generate ``length`` successive states (advancing the chain)."""
+        states = np.empty(length, dtype=np.int64)
+        for i in range(length):
+            states[i] = self.step()
+        return states

@@ -1,0 +1,145 @@
+"""Recursive-descent workload generator.
+
+Models recursive tree walkers — compilers' AST passes, `eon`-style
+scene-graph traversal, JSON/XML parsers (`xalancbmk`) — where an
+indirect call dispatches on the *node kind* at each level of a random
+tree and deep call chains stress the return-address stack.
+
+The node-kind sequence is produced by a depth-structured process: each
+node's kind correlates with its parent's kind (grammar structure) and
+leaks into conditional outcomes before the dispatch, so history-based
+predictors get signal.  Tree depth follows the configured distribution;
+depths beyond the RAS capacity exercise its overflow behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.trace.stream import Trace
+from repro.workloads.base import (
+    AddressAllocator,
+    TraceBuilder,
+    WorkloadSpec,
+    draw_gap,
+)
+from repro.workloads.markov import (
+    MarkovChain,
+    clamped_self_loop,
+    structured_transition_matrix,
+)
+
+
+@dataclass
+class RecursiveSpec(WorkloadSpec):
+    """Parameters for a recursive tree-walk workload.
+
+    Attributes:
+        num_kinds: node kinds (targets of the visit dispatch).
+        max_depth: maximum recursion depth.
+        branching: mean children per internal node (controls tree shape;
+            the walk is depth-first with a fixed per-node child count
+            drawn deterministically from the node kind).
+        determinism: kind-transition determinism (parent -> child kind).
+        mean_gap: mean non-branch instructions between branches.
+        filler_conditionals: bookkeeping conditionals per visit.
+        self_loop: probability the child kind repeats the parent's.
+    """
+
+    num_kinds: int = 6
+    max_depth: int = 12
+    branching: int = 2
+    determinism: float = 0.9
+    mean_gap: float = 10.0
+    filler_conditionals: int = 8
+    self_loop: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_kinds < 1:
+            raise ValueError(f"need >= 1 kinds, got {self.num_kinds}")
+        if self.max_depth < 1:
+            raise ValueError(f"need depth >= 1, got {self.max_depth}")
+        if self.branching < 1:
+            raise ValueError(f"need branching >= 1, got {self.branching}")
+        if self.filler_conditionals < 0:
+            raise ValueError(
+                f"negative filler_conditionals {self.filler_conditionals}"
+            )
+
+    def generate(self) -> Trace:
+        """Produce the trace for this spec."""
+        return generate_recursive(self)
+
+
+def generate_recursive(spec: RecursiveSpec) -> Trace:
+    """Generate a recursive tree-walk trace from ``spec``."""
+    rng = spec.rng()
+    alloc = AddressAllocator()
+    builder = TraceBuilder(spec.name)
+
+    driver = alloc.function()
+    loop_pc = alloc.site()
+    inner_pc = alloc.site()
+    kind_bits = max(1, (spec.num_kinds - 1).bit_length())
+    signal_pcs = [alloc.site() for _ in range(kind_bits)]
+    # The single polymorphic "visit" dispatch site lives in the shared
+    # walker function; each kind has its own visit method.
+    walker = alloc.function()
+    dispatch_pc = walker + 0x10
+    visitors = [alloc.function() for _ in range(spec.num_kinds)]
+
+    matrix = structured_transition_matrix(
+        spec.num_kinds,
+        rng,
+        determinism=spec.determinism,
+        self_loop=clamped_self_loop(spec.determinism, spec.self_loop),
+    )
+    chain = MarkovChain(matrix, rng)
+
+    def visit(kind: int, depth: int, caller_resume: int) -> None:
+        """Emit the branch stream for visiting one node."""
+        if len(builder) >= spec.num_records:
+            return
+        # Signal conditionals leak the node kind before the dispatch.
+        for bit_position, pc in enumerate(signal_pcs):
+            outcome = bool((kind >> bit_position) & 1)
+            builder.conditional(pc, outcome, pc + (0x10 if outcome else 0x4), gap=1)
+        # Call into the walker, dispatch on the kind.
+        call_pc = caller_resume - 4
+        builder.direct_call(call_pc, walker, gap=draw_gap(rng, 3.0))
+        visitor = visitors[kind]
+        builder.indirect_call(dispatch_pc, visitor, gap=draw_gap(rng, 2.0))
+
+        # Visitor body: recurse into children (kind-determined count).
+        is_internal = depth < spec.max_depth and (kind % 3 != 0)
+        children = spec.branching if is_internal else 0
+        body_pc = visitor + 0x10
+        builder.conditional(
+            body_pc,
+            children > 0,
+            body_pc + (0x20 if children else 0x4),
+            gap=draw_gap(rng, spec.mean_gap),
+        )
+        for child in range(children):
+            if len(builder) >= spec.num_records:
+                break
+            child_kind = chain.step()
+            visit(child_kind, depth + 1, visitor + 0x40 + 4 * child)
+        # Unwind: visitor returns to the dispatch site, walker returns
+        # to its caller.
+        builder.ret(visitor + 0x80, dispatch_pc + 4, gap=draw_gap(rng, 4.0))
+        builder.ret(walker + 0x80, caller_resume, gap=draw_gap(rng, 4.0))
+
+    while len(builder) < spec.num_records:
+        # Top-level loop: bookkeeping then one tree walk.
+        builder.conditional(
+            loop_pc, True, driver + 0x8, gap=draw_gap(rng, spec.mean_gap)
+        )
+        for step in range(spec.filler_conditionals):
+            taken = step < spec.filler_conditionals - 1
+            builder.conditional(
+                inner_pc, taken, inner_pc + (0x10 if taken else 0x4), gap=2
+            )
+        root_kind = chain.step()
+        visit(root_kind, 0, driver + 0x40)
+
+    return builder.build()

@@ -1,0 +1,376 @@
+"""Assembly of the evaluation suites.
+
+:func:`suite88_specs` mirrors Table 1 of the paper: 88 workloads drawn
+from four sources — SPEC CPU2000 (1), SPEC CPU2006 (12), SPEC CPU2017
+(7), and the CBP-5 competition (68, split mobile/server × short/long).
+Each named trace maps to a workload spec whose parameters are drawn
+deterministically from the trace name, within ranges chosen per flavour:
+
+* ``perlbench`` → interpreter loops (periodic dispatch, long history);
+* ``gcc`` → wide switch statements (up to 64-way jump tables);
+* ``povray``/``eon``/``xalancbmk`` → C++ virtual dispatch;
+* ``sjeng`` → small, highly-deterministic switches;
+* CBP-5 ``MOBILE`` → Java-flavoured mixes heavy on virtual dispatch and
+  interpretation, with high indirect-branch density;
+* CBP-5 ``SERVER`` → callback/switch mixes with a mostly-monomorphic
+  static population.
+
+A second, easier suite (:func:`build_cbp4_like_suite`) stands in for the
+CBP-4 traces used in the paper's §5.1 cross-check, where both ITTAGE and
+BLBP land near 0.03 MPKI.
+
+Trace lengths scale with the ``REPRO_SCALE`` environment variable
+(``small``/``medium``/``full``) or an explicit ``scale`` multiplier, so
+tests stay fast while benchmark runs can use longer traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.trace.stream import Trace
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.callret import CallReturnSpec
+from repro.workloads.interpreter import InterpreterSpec
+from repro.workloads.mixed import MixedSpec
+from repro.workloads.switchcase import SwitchCaseSpec
+from repro.workloads.vdispatch import VirtualDispatchSpec
+
+#: Base record counts before scaling.
+_SPEC_RECORDS = 16000
+_SHORT_RECORDS = 10000
+_LONG_RECORDS = 20000
+
+_SCALE_PRESETS = {"small": 1.0, "medium": 3.0, "full": 10.0}
+
+#: Default scale when REPRO_SCALE is unset (medium).
+
+
+def env_scale(default: float = 3.0) -> float:
+    """Resolve the trace-length scale from ``REPRO_SCALE`` if set."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return default
+    if raw in _SCALE_PRESETS:
+        return _SCALE_PRESETS[raw]
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(_SCALE_PRESETS)} or a float, "
+            f"got {raw!r}"
+        )
+
+
+def _seed_from(name: str) -> int:
+    """Stable 63-bit seed derived from a trace name."""
+    digest = hashlib.sha256(name.encode()).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+@dataclass(frozen=True)
+class SuiteTrace:
+    """One named workload in a suite."""
+
+    name: str
+    source: str
+    category: str
+    spec: WorkloadSpec
+
+    def generate(self) -> Trace:
+        """Generate this suite entry's trace."""
+        return self.spec.generate()
+
+
+def _records(base: int, scale: float) -> int:
+    return max(2000, int(base * scale))
+
+
+def _perlbench(name: str, records: int) -> WorkloadSpec:
+    rng = np.random.default_rng(_seed_from(name))
+    return InterpreterSpec(
+        name=name,
+        seed=_seed_from(name + "/gen"),
+        num_records=records,
+        num_opcodes=int(rng.integers(20, 36)),
+        program_length=int(rng.integers(30, 90)),
+        data_noise=float(rng.uniform(0.002, 0.015)),
+        restart_period=int(rng.choice([0, 40, 120])),
+        mean_gap=float(rng.uniform(6.0, 12.0)),
+        filler_conditionals=int(rng.integers(4, 12)),
+        opcode_skew=float(rng.uniform(1.0, 1.5)),
+    )
+
+
+def _gcc(name: str, records: int) -> WorkloadSpec:
+    rng = np.random.default_rng(_seed_from(name))
+    return SwitchCaseSpec(
+        name=name,
+        seed=_seed_from(name + "/gen"),
+        num_cases=int(rng.integers(16, 48)),
+        num_records=records,
+        determinism=float(rng.uniform(0.92, 0.99)),
+        handler_noise=float(rng.uniform(0.002, 0.015)),
+        num_switches=int(rng.integers(1, 4)),
+        mean_gap=float(rng.uniform(8.0, 14.0)),
+        filler_conditionals=int(rng.integers(6, 16)),
+        self_loop=float(rng.uniform(0.05, 0.25)),
+    )
+
+
+def _cpp_dispatch(name: str, records: int) -> WorkloadSpec:
+    rng = np.random.default_rng(_seed_from(name))
+    return VirtualDispatchSpec(
+        name=name,
+        seed=_seed_from(name + "/gen"),
+        num_records=records,
+        num_sites=int(rng.integers(3, 10)),
+        num_types=int(rng.integers(3, 8)),
+        determinism=float(rng.uniform(0.93, 0.995)),
+        signal_noise=float(rng.uniform(0.0, 0.02)),
+        signal_lag=int(rng.integers(0, 12)),
+        mean_gap=float(rng.uniform(10.0, 18.0)),
+        phase_length=int(rng.choice([0, 0, 2000, 5000])),
+        filler_conditionals=int(rng.integers(8, 24)),
+        self_loop=float(rng.uniform(0.0, 0.3)),
+        monomorphic_sites=int(rng.integers(2, 10)),
+    )
+
+
+def _sjeng(name: str, records: int) -> WorkloadSpec:
+    rng = np.random.default_rng(_seed_from(name))
+    return SwitchCaseSpec(
+        name=name,
+        seed=_seed_from(name + "/gen"),
+        num_records=records,
+        num_cases=int(rng.integers(6, 12)),
+        determinism=float(rng.uniform(0.95, 0.995)),
+        handler_noise=float(rng.uniform(0.0, 0.03)),
+        num_switches=1,
+        mean_gap=float(rng.uniform(10.0, 16.0)),
+        filler_conditionals=int(rng.integers(8, 16)),
+        self_loop=float(rng.uniform(0.0, 0.1)),
+    )
+
+
+def _mobile(name: str, records: int) -> WorkloadSpec:
+    """Java-flavoured mobile workload: dispatch-heavy mixes."""
+    rng = np.random.default_rng(_seed_from(name))
+    dispatch = VirtualDispatchSpec(
+        name="vdispatch",
+        seed=_seed_from(name + "/vd"),
+        num_records=records,
+        num_sites=int(rng.integers(4, 16)),
+        num_types=int(rng.integers(2, 12)),
+        determinism=float(rng.uniform(0.92, 0.99)),
+        signal_noise=float(rng.uniform(0.0, 0.015)),
+        signal_lag=int(rng.integers(0, 30)),
+        mean_gap=float(rng.uniform(4.0, 10.0)),
+        phase_length=int(rng.choice([0, 1500, 4000])),
+        filler_conditionals=int(rng.integers(6, 16)),
+        self_loop=float(rng.uniform(0.0, 0.3)),
+        monomorphic_sites=int(rng.integers(0, 6)),
+    )
+    interp = InterpreterSpec(
+        name="interp",
+        seed=_seed_from(name + "/in"),
+        num_records=records,
+        num_opcodes=int(rng.integers(16, 40)),
+        program_length=int(rng.integers(20, 120)),
+        data_noise=float(rng.uniform(0.005, 0.025)),
+        restart_period=int(rng.choice([0, 30, 80])),
+        mean_gap=float(rng.uniform(4.0, 9.0)),
+        filler_conditionals=int(rng.integers(4, 10)),
+        opcode_skew=float(rng.uniform(0.9, 1.6)),
+    )
+    # A megamorphic component for the polymorphism tail of Fig. 7.
+    mega = SwitchCaseSpec(
+        name="mega",
+        seed=_seed_from(name + "/mg"),
+        num_records=records,
+        num_cases=int(rng.integers(24, 56)),
+        determinism=float(rng.uniform(0.9, 0.98)),
+        handler_noise=float(rng.uniform(0.005, 0.02)),
+        num_switches=1,
+        mean_gap=float(rng.uniform(4.0, 8.0)),
+        filler_conditionals=int(rng.integers(6, 12)),
+        self_loop=float(rng.uniform(0.05, 0.3)),
+    )
+    weights = rng.dirichlet([3.0, 2.0, 1.0])
+    return MixedSpec(
+        name=name,
+        seed=_seed_from(name + "/mix"),
+        num_records=records,
+        components=[
+            (dispatch, float(weights[0])),
+            (interp, float(weights[1])),
+            (mega, float(weights[2])),
+        ],
+        phase_records=int(rng.integers(1500, 4000)),
+    )
+
+
+def _server(name: str, records: int) -> WorkloadSpec:
+    """Server workload: callback/switch mixes, mostly monomorphic."""
+    rng = np.random.default_rng(_seed_from(name))
+    callbacks = CallReturnSpec(
+        name="callret",
+        seed=_seed_from(name + "/cr"),
+        num_records=records,
+        num_callbacks=int(rng.integers(6, 20)),
+        num_sites=int(rng.integers(6, 24)),
+        polymorphism_cap=int(rng.integers(1, 5)),
+        call_depth=int(rng.integers(1, 4)),
+        determinism=float(rng.uniform(0.93, 0.995)),
+        mean_gap=float(rng.uniform(10.0, 20.0)),
+        filler_conditionals=int(rng.integers(8, 20)),
+        self_loop=float(rng.uniform(0.0, 0.2)),
+    )
+    demux = SwitchCaseSpec(
+        name="demux",
+        seed=_seed_from(name + "/dx"),
+        num_records=records,
+        num_cases=int(rng.integers(8, 32)),
+        determinism=float(rng.uniform(0.92, 0.99)),
+        handler_noise=float(rng.uniform(0.002, 0.012)),
+        num_switches=int(rng.integers(1, 3)),
+        mean_gap=float(rng.uniform(8.0, 16.0)),
+        filler_conditionals=int(rng.integers(6, 14)),
+        self_loop=float(rng.uniform(0.05, 0.25)),
+    )
+    weights = rng.dirichlet([2.5, 1.5])
+    return MixedSpec(
+        name=name,
+        seed=_seed_from(name + "/mix"),
+        num_records=records,
+        components=[(callbacks, float(weights[0])), (demux, float(weights[1]))],
+        phase_records=int(rng.integers(2000, 5000)),
+    )
+
+
+def suite88_specs(scale: Optional[float] = None) -> List[SuiteTrace]:
+    """The 88-workload suite of Table 1, as (ungenerated) specs."""
+    if scale is None:
+        scale = env_scale()
+    suite: List[SuiteTrace] = []
+
+    def add(name: str, source: str, category: str,
+            factory: Callable[[str, int], WorkloadSpec], base: int) -> None:
+        suite.append(
+            SuiteTrace(
+                name=name,
+                source=source,
+                category=category,
+                spec=factory(name, _records(base, scale)),
+            )
+        )
+
+    # SPEC CPU2000: 252.eon (C++ ray tracer).
+    add("spec2000.252_eon", "SPEC CPU2000", "spec", _cpp_dispatch, _SPEC_RECORDS)
+
+    # SPEC CPU2006: 12 simpoints across 4 benchmarks.
+    for simpoint in range(3):
+        add(f"spec2006.400_perlbench.{simpoint}", "SPEC CPU2006", "spec",
+            _perlbench, _SPEC_RECORDS)
+    for simpoint in range(4):
+        add(f"spec2006.403_gcc.{simpoint}", "SPEC CPU2006", "spec",
+            _gcc, _SPEC_RECORDS)
+    for simpoint in range(3):
+        add(f"spec2006.453_povray.{simpoint}", "SPEC CPU2006", "spec",
+            _cpp_dispatch, _SPEC_RECORDS)
+    for simpoint in range(2):
+        add(f"spec2006.458_sjeng.{simpoint}", "SPEC CPU2006", "spec",
+            _sjeng, _SPEC_RECORDS)
+
+    # SPEC CPU2017: 7 simpoints across 3 benchmarks.
+    for simpoint in range(3):
+        add(f"spec2017.600_perlbench.{simpoint}", "SPEC CPU2017", "spec",
+            _perlbench, _SPEC_RECORDS)
+    for simpoint in range(2):
+        add(f"spec2017.602_gcc.{simpoint}", "SPEC CPU2017", "spec",
+            _gcc, _SPEC_RECORDS)
+    for simpoint in range(2):
+        add(f"spec2017.623_xalancbmk.{simpoint}", "SPEC CPU2017", "spec",
+            _cpp_dispatch, _SPEC_RECORDS)
+
+    # CBP-5: 24 short-mobile, 10 long-mobile, 24 short-server,
+    # 10 long-server = 68 traces.
+    for index in range(1, 25):
+        add(f"SHORT-MOBILE-{index}", "CBP-5", "mobile-short",
+            _mobile, _SHORT_RECORDS)
+    for index in range(1, 11):
+        add(f"LONG-MOBILE-{index}", "CBP-5", "mobile-long",
+            _mobile, _LONG_RECORDS)
+    for index in range(1, 25):
+        add(f"SHORT-SERVER-{index}", "CBP-5", "server-short",
+            _server, _SHORT_RECORDS)
+    for index in range(1, 11):
+        add(f"LONG-SERVER-{index}", "CBP-5", "server-long",
+            _server, _LONG_RECORDS)
+
+    if len(suite) != 88:
+        raise AssertionError(f"suite has {len(suite)} traces, expected 88")
+    return suite
+
+
+def build_suite88(scale: Optional[float] = None) -> List[Trace]:
+    """Generate all 88 traces (deterministic; can take a little while)."""
+    return [entry.generate() for entry in suite88_specs(scale)]
+
+
+def cbp4_like_specs(scale: Optional[float] = None) -> List[SuiteTrace]:
+    """An easier secondary suite standing in for the CBP-4 traces.
+
+    The paper's §5.1 cross-check runs untuned predictors on CBP-4 traces
+    and finds both ITTAGE and BLBP near 0.03 MPKI — an order of magnitude
+    easier than the main suite.  These specs use high determinism, little
+    noise, and sparse indirect branches to land in that regime.
+    """
+    if scale is None:
+        scale = env_scale()
+    suite: List[SuiteTrace] = []
+    for index in range(1, 11):
+        name = f"CBP4-INT-{index}"
+        rng = np.random.default_rng(_seed_from(name))
+        spec = CallReturnSpec(
+            name=name,
+            seed=_seed_from(name + "/gen"),
+            num_records=_records(_SHORT_RECORDS, scale),
+            num_callbacks=int(rng.integers(4, 10)),
+            num_sites=int(rng.integers(8, 20)),
+            polymorphism_cap=int(rng.integers(1, 3)),
+            call_depth=int(rng.integers(1, 3)),
+            determinism=float(rng.uniform(0.95, 0.995)),
+            mean_gap=float(rng.uniform(16.0, 28.0)),
+            filler_conditionals=int(rng.integers(10, 20)),
+            self_loop=float(rng.uniform(0.0, 0.05)),
+        )
+        suite.append(SuiteTrace(name, "CBP-4", "cbp4", spec))
+    for index in range(1, 11):
+        name = f"CBP4-MM-{index}"
+        rng = np.random.default_rng(_seed_from(name))
+        spec = VirtualDispatchSpec(
+            name=name,
+            seed=_seed_from(name + "/gen"),
+            num_records=_records(_SHORT_RECORDS, scale),
+            num_sites=int(rng.integers(2, 6)),
+            num_types=int(rng.integers(2, 4)),
+            determinism=float(rng.uniform(0.96, 0.995)),
+            signal_noise=0.0,
+            signal_lag=int(rng.integers(0, 4)),
+            mean_gap=float(rng.uniform(16.0, 26.0)),
+            filler_conditionals=int(rng.integers(10, 20)),
+            self_loop=float(rng.uniform(0.0, 0.05)),
+        )
+        suite.append(SuiteTrace(name, "CBP-4", "cbp4", spec))
+    return suite
+
+
+def build_cbp4_like_suite(scale: Optional[float] = None) -> List[Trace]:
+    """Generate the CBP-4-like secondary suite."""
+    return [entry.generate() for entry in cbp4_like_specs(scale)]

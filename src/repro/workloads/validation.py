@@ -1,0 +1,263 @@
+"""Workload validation: the calibration contract, executable.
+
+``docs/workloads.md`` records the properties synthetic traces must have
+for predictor comparisons to be meaningful.  This module checks them on
+a generated trace:
+
+* **call/return discipline** — returns never underflow the call stack
+  and target the caller's resume point;
+* **conditional density** — enough conditionals per indirect branch for
+  interval features to see stable contexts;
+* **outcome structure** — conditional streams are compressible, not IID
+  (measured as per-static-branch lag-1 conditional entropy
+  H(X_t | X_{t-1}), which is 1.0 for balanced IID outcomes and lower
+  for structured sequences — marginal entropy cannot tell a balanced
+  signal from noise);
+* **target-bit diversity** — the predicted low-order bits actually vary
+  across targets (no degenerate alignment);
+* **signal presence** — mutual information between recent conditional
+  outcomes and the next indirect target is positive, i.e. the history
+  actually carries the target.
+
+``validate_trace`` returns a report of findings; the suite tests assert
+that every suite-88 flavour passes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.trace.record import BranchType
+from repro.trace.stream import Trace
+
+_COND = int(BranchType.CONDITIONAL)
+_INDIRECT = (int(BranchType.INDIRECT_JUMP), int(BranchType.INDIRECT_CALL))
+_RETURN = int(BranchType.RETURN)
+
+
+@dataclass
+class ValidationReport:
+    """Findings from validating one trace against the contract."""
+
+    trace_name: str
+    conditional_per_indirect: float
+    return_underflows: int
+    return_mismatches: int
+    mean_outcome_entropy: float      # bits, per static conditional branch
+    predicted_bit_diversity: float   # fraction of low bits that vary
+    signal_mutual_information: float # bits between history and target
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _entropy(counts: Counter) -> float:
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def _mutual_information(history_symbols: List[int], targets: List[int]) -> float:
+    """Empirical MI between a small history symbol and the target id."""
+    if not history_symbols:
+        return 0.0
+    joint = Counter(zip(history_symbols, targets))
+    history_margin = Counter(history_symbols)
+    target_margin = Counter(targets)
+    total = len(history_symbols)
+    mi = 0.0
+    for (h, t), count in joint.items():
+        p_joint = count / total
+        p_h = history_margin[h] / total
+        p_t = target_margin[t] / total
+        mi += p_joint * math.log2(p_joint / (p_h * p_t))
+    return max(0.0, mi)
+
+
+def validate_trace(
+    trace: Trace,
+    min_conditional_per_indirect: float = 3.0,
+    min_bit_diversity: float = 0.25,
+    min_signal_mi: float = 0.05,
+    max_outcome_entropy: float = 0.95,
+    signal_bits: int = 6,
+    predicted_low_bit: int = 2,
+    predicted_bits: int = 12,
+) -> ValidationReport:
+    """Check ``trace`` against the calibration contract."""
+    pcs = trace.pcs.tolist()
+    types = trace.types.tolist()
+    takens = trace.takens.tolist()
+    targets = trace.targets.tolist()
+
+    conditionals = 0
+    indirects = 0
+    stack: List[int] = []
+    underflows = 0
+    mismatches = 0
+    outcome_counts: Dict[int, Counter] = defaultdict(Counter)
+    last_outcome: Dict[int, bool] = {}
+    # Keep a deep history so the signal probe can look past filler
+    # conditionals: MI is evaluated on signal_bits-wide windows at
+    # several lags and the best lag is reported.
+    probe_lags = (0, 4, 8, 12, 16, 20, 26)
+    history_depth = max(probe_lags) + signal_bits
+    history = 0
+    history_mask = (1 << history_depth) - 1
+    history_symbols: List[int] = []
+    target_ids: List[int] = []
+    poly_exec_pcs: List[int] = []
+    indirect_targets: Dict[int, set] = defaultdict(set)
+
+    for index in range(len(pcs)):
+        branch_type = types[index]
+        pc = pcs[index]
+        if branch_type == _COND:
+            conditionals += 1
+            taken = bool(takens[index])
+            previous = last_outcome.get(pc)
+            if previous is not None:
+                outcome_counts[pc][(previous, taken)] += 1
+            last_outcome[pc] = taken
+            history = ((history << 1) | int(taken)) & history_mask
+            continue
+        target = targets[index]
+        if branch_type in _INDIRECT:
+            indirects += 1
+            history_symbols.append(history)
+            target_ids.append(target)
+            poly_exec_pcs.append(pc)
+            indirect_targets[pc].add(target)
+        if branch_type in (
+            int(BranchType.DIRECT_CALL),
+            int(BranchType.INDIRECT_CALL),
+        ):
+            stack.append(pc + 4)
+        elif branch_type == _RETURN:
+            if not stack:
+                underflows += 1
+            elif stack.pop() != target:
+                mismatches += 1
+
+    cond_per_indirect = conditionals / indirects if indirects else float("inf")
+
+    # Lag-1 conditional entropy per branch: H(pairs) - H(prev).
+    entropies = []
+    for counts in outcome_counts.values():
+        if sum(counts.values()) < 16:
+            continue
+        prev_margin = Counter()
+        for (previous, _), count in counts.items():
+            prev_margin[previous] += count
+        entropies.append(_entropy(counts) - _entropy(prev_margin))
+    mean_entropy = sum(entropies) / len(entropies) if entropies else 0.0
+
+    # Bit diversity over polymorphic branches' target sets.
+    varying = 0
+    considered = 0
+    for pc, target_set in indirect_targets.items():
+        if len(target_set) < 2:
+            continue
+        values = np.array(sorted(target_set), dtype=np.uint64)
+        for bit in range(predicted_low_bit, predicted_low_bit + predicted_bits):
+            considered += 1
+            bits = (values >> np.uint64(bit)) & np.uint64(1)
+            if bits.min() != bits.max():
+                varying += 1
+    diversity = varying / considered if considered else 1.0
+
+    window_mask = (1 << signal_bits) - 1
+    mi = max(
+        (
+            _mutual_information(
+                [(h >> lag) & window_mask for h in history_symbols],
+                target_ids,
+            )
+            for lag in probe_lags
+        ),
+        default=0.0,
+    )
+
+    problems: List[str] = []
+    if indirects == 0:
+        problems.append("trace has no indirect branches")
+    if cond_per_indirect < min_conditional_per_indirect:
+        problems.append(
+            f"only {cond_per_indirect:.1f} conditionals per indirect branch "
+            f"(need >= {min_conditional_per_indirect})"
+        )
+    if underflows:
+        problems.append(f"{underflows} return-stack underflows")
+    if mismatches:
+        problems.append(f"{mismatches} returns to wrong resume address")
+    if entropies and mean_entropy > max_outcome_entropy:
+        problems.append(
+            f"conditional outcomes look IID (mean per-branch entropy "
+            f"{mean_entropy:.2f} bits > {max_outcome_entropy})"
+        )
+    if considered and diversity < min_bit_diversity:
+        problems.append(
+            f"predicted target bits too uniform (diversity {diversity:.2f} "
+            f"< {min_bit_diversity})"
+        )
+    # The signal check only applies when the trace is meaningfully
+    # polymorphic: on monomorphic workloads the target is determined by
+    # the branch PC and history legitimately carries no information.
+    polymorphic_pcs = {
+        pc for pc, target_set in indirect_targets.items() if len(target_set) > 1
+    }
+    polymorphic_executions = sum(
+        1
+        for symbol_pc in poly_exec_pcs
+        if symbol_pc in polymorphic_pcs
+    )
+    polymorphic_share = polymorphic_executions / indirects if indirects else 0.0
+    if (
+        indirects >= 200
+        and polymorphic_share >= 0.3
+        and mi < min_signal_mi
+    ):
+        problems.append(
+            f"history carries no target signal (MI {mi:.3f} bits "
+            f"< {min_signal_mi}) despite {100 * polymorphic_share:.0f}% "
+            f"polymorphic executions"
+        )
+
+    return ValidationReport(
+        trace_name=trace.name,
+        conditional_per_indirect=cond_per_indirect,
+        return_underflows=underflows,
+        return_mismatches=mismatches,
+        mean_outcome_entropy=mean_entropy,
+        predicted_bit_diversity=diversity,
+        signal_mutual_information=mi,
+        problems=problems,
+    )
+
+
+def format_report(report: ValidationReport) -> str:
+    lines = [
+        f"validation of {report.trace_name}: "
+        + ("OK" if report.ok else "PROBLEMS"),
+        f"  conditionals per indirect  {report.conditional_per_indirect:8.2f}",
+        f"  return underflows          {report.return_underflows:8d}",
+        f"  return mismatches          {report.return_mismatches:8d}",
+        f"  mean outcome entropy       {report.mean_outcome_entropy:8.3f} bits",
+        f"  predicted-bit diversity    {report.predicted_bit_diversity:8.2f}",
+        f"  history->target MI         {report.signal_mutual_information:8.3f} bits",
+    ]
+    for problem in report.problems:
+        lines.append(f"  !! {problem}")
+    return "\n".join(lines)

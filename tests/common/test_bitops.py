@@ -1,0 +1,93 @@
+"""Unit tests for repro.common.bitops."""
+
+import pytest
+
+from repro.common.bitops import (
+    bit_of,
+    bits_of,
+    bits_to_int,
+    mask,
+    sign_magnitude_bits,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(12) == 0xFFF
+
+    def test_wide(self):
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitOf:
+    def test_low_bits(self):
+        assert bit_of(0b1010, 0) == 0
+        assert bit_of(0b1010, 1) == 1
+        assert bit_of(0b1010, 3) == 1
+
+    def test_beyond_value(self):
+        assert bit_of(0b1, 40) == 0
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            bit_of(1, -1)
+
+
+class TestBitsOf:
+    def test_lsb_first_order(self):
+        assert bits_of(0b1101, 4) == [1, 0, 1, 1]
+
+    def test_low_offset(self):
+        # Bits 2..5 of 0b110100 are [1, 0, 1, 1].
+        assert bits_of(0b110100, 4, low=2) == [1, 0, 1, 1]
+
+    def test_zero_width(self):
+        assert bits_of(0xFF, 0) == []
+
+    def test_width_beyond_value_pads_zero(self):
+        assert bits_of(0b1, 4) == [1, 0, 0, 0]
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits_of(1, -2)
+
+
+class TestBitsToInt:
+    def test_round_trip(self):
+        for value in (0, 1, 0b1011, 0xABC):
+            assert bits_to_int(bits_of(value, 12)) == value
+
+    def test_round_trip_with_low(self):
+        value = 0xA5C
+        field = bits_of(value, 8, low=2)
+        assert bits_to_int(field, low=2) == (value & (0xFF << 2))
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+
+class TestSignMagnitude:
+    def test_four_bit_weights_range_seven(self):
+        # The paper's 4-bit sign/magnitude weights span [-7, +7].
+        assert sign_magnitude_bits(4) == 7
+
+    def test_other_widths(self):
+        assert sign_magnitude_bits(2) == 1
+        assert sign_magnitude_bits(6) == 31
+
+    def test_one_bit_rejected(self):
+        with pytest.raises(ValueError):
+            sign_magnitude_bits(1)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.common.counters."""
+
+import pytest
+
+from repro.common.counters import SaturatingCounter, SignedSaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_increments_to_max_and_saturates(self):
+        counter = SaturatingCounter(width=2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+        assert counter.is_max()
+
+    def test_decrements_to_zero_and_saturates(self):
+        counter = SaturatingCounter(width=2, initial=2)
+        for _ in range(10):
+            counter.decrement()
+        assert counter.value == 0
+        assert counter.is_min()
+
+    def test_initial_value_respected(self):
+        assert SaturatingCounter(width=3, initial=5).value == 5
+
+    def test_initial_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(width=2, initial=4)
+
+    def test_reset(self):
+        counter = SaturatingCounter(width=2, initial=3)
+        counter.reset()
+        assert counter.value == 0
+        counter.reset(2)
+        assert counter.value == 2
+
+    def test_reset_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(width=2).reset(9)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(width=0)
+
+
+class TestSignedSaturatingCounter:
+    def test_range_bounds(self):
+        counter = SignedSaturatingCounter(width=4)
+        assert counter.min_value == -8
+        assert counter.max_value == 7
+
+    def test_saturates_positive(self):
+        counter = SignedSaturatingCounter(width=3)
+        for _ in range(20):
+            counter.increment()
+        assert counter.value == 3
+
+    def test_saturates_negative(self):
+        counter = SignedSaturatingCounter(width=3)
+        for _ in range(20):
+            counter.decrement()
+        assert counter.value == -4
+
+    def test_is_positive_at_zero(self):
+        # Perceptron convention: sum >= 0 predicts taken/one.
+        assert SignedSaturatingCounter(width=4).is_positive()
+
+    def test_is_positive_after_decrement(self):
+        counter = SignedSaturatingCounter(width=4)
+        counter.decrement()
+        assert not counter.is_positive()
+
+    def test_initial_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(width=3, initial=5)

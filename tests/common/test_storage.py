@@ -1,0 +1,47 @@
+"""Unit tests for repro.common.storage."""
+
+import pytest
+
+from repro.common.storage import BITS_PER_KB, StorageBudget
+
+
+class TestStorageBudget:
+    def test_total_bits_sums_items(self):
+        budget = StorageBudget("test")
+        budget.add("a", 100)
+        budget.add("b", 28)
+        assert budget.total_bits() == 128
+
+    def test_add_table(self):
+        budget = StorageBudget("test")
+        budget.add_table("weights", rows=1024, bits_per_row=48)
+        assert budget.total_bits() == 1024 * 48
+
+    def test_kilobytes(self):
+        budget = StorageBudget("test")
+        budget.add("x", BITS_PER_KB * 64)
+        assert budget.total_kilobytes() == pytest.approx(64.0)
+
+    def test_negative_rejected(self):
+        budget = StorageBudget("test")
+        with pytest.raises(ValueError):
+            budget.add("bad", -1)
+
+    def test_as_dict_merges_duplicates(self):
+        budget = StorageBudget("test")
+        budget.add("tags", 10)
+        budget.add("tags", 15)
+        assert budget.as_dict() == {"tags": 25}
+
+    def test_format_table_mentions_components(self):
+        budget = StorageBudget("mypred")
+        budget.add("weights", 4096)
+        rendered = budget.format_table()
+        assert "mypred" in rendered
+        assert "weights" in rendered
+        assert "4096" in rendered
+
+    def test_empty_budget(self):
+        budget = StorageBudget("empty")
+        assert budget.total_bits() == 0
+        assert "0.00 KB" in budget.format_table()

@@ -1,0 +1,68 @@
+"""Unit tests for BLBP-as-conditional-predictor (§6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cond.blbp_cond import BLBPConditional
+from repro.core.config import BLBPConfig
+
+
+class TestBLBPConditional:
+    def test_learns_bias(self):
+        predictor = BLBPConditional()
+        for _ in range(60):
+            predictor.update(0x1000, True)
+        assert predictor.predict(0x1000)
+
+    def test_learns_local_pattern(self):
+        predictor = BLBPConditional()
+        outcome = True
+        for _ in range(600):
+            predictor.update(0x1000, outcome)
+            outcome = not outcome
+        hits = 0
+        for _ in range(100):
+            if predictor.predict(0x1000) == outcome:
+                hits += 1
+            predictor.update(0x1000, outcome)
+            outcome = not outcome
+        assert hits >= 90
+
+    def test_learns_global_correlation_with_filler(self):
+        predictor = BLBPConditional()
+        rng = np.random.default_rng(5)
+        hits = 0
+        trials = 1500
+        for i in range(trials):
+            signal = bool(rng.integers(2))
+            predictor.update(0x2000, signal)
+            for _ in range(12):
+                predictor.update(0x600, True)  # predictable filler
+            if predictor.predict(0x3000) == signal and i > trials // 2:
+                hits += 1
+            predictor.update(0x3000, signal)
+        assert hits > 0.85 * (trials // 2 - 1)
+
+    def test_train_weights_keeps_history(self):
+        predictor = BLBPConditional()
+        predictor.update(0x1000, True)
+        ghist_before = predictor._ghist
+        predictor.train_weights(0x9999, False)
+        assert predictor._ghist == ghist_before
+
+    def test_respects_config_toggles(self):
+        config = BLBPConfig(
+            use_transfer_function=False, use_adaptive_threshold=False
+        )
+        predictor = BLBPConditional(config)
+        for _ in range(40):
+            predictor.update(0x1000, True)
+        assert predictor.predict(0x1000)
+        assert predictor.threshold.theta(0) == config.initial_theta
+
+    def test_storage_budget_small(self):
+        # One lane instead of twelve: the weight state is K=12x smaller
+        # than BLBP's.
+        budget = BLBPConditional().storage_budget()
+        weight_bits = dict(budget.items)["weights (8 single-lane arrays)"]
+        assert weight_bits == 8 * 1024 * 4

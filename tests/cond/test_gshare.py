@@ -1,0 +1,49 @@
+"""Unit tests for repro.cond.gshare."""
+
+import numpy as np
+
+from repro.cond.gshare import GShare
+
+
+class TestGShare:
+    def test_learns_biased_branch(self):
+        predictor = GShare(index_bits=10, history_bits=8)
+        for _ in range(50):
+            predictor.update(0x1000, True)
+        assert predictor.predict(0x1000)
+
+    def test_learns_alternating_pattern(self):
+        predictor = GShare(index_bits=12, history_bits=8)
+        outcome = True
+        for _ in range(400):
+            predictor.update(0x1000, outcome)
+            outcome = not outcome
+        hits = 0
+        for _ in range(100):
+            if predictor.predict(0x1000) == outcome:
+                hits += 1
+            predictor.update(0x1000, outcome)
+            outcome = not outcome
+        assert hits >= 95
+
+    def test_learns_history_correlation(self):
+        """Branch B's outcome equals branch A's previous outcome."""
+        rng = np.random.default_rng(0)
+        predictor = GShare(index_bits=12, history_bits=8)
+        hits = 0
+        trials = 600
+        for i in range(trials):
+            a_outcome = bool(rng.integers(2))
+            predictor.update(0x2000, a_outcome)
+            predicted = predictor.predict(0x3000)
+            if i > trials // 2 and predicted == a_outcome:
+                hits += 1
+            predictor.update(0x3000, a_outcome)
+        assert hits > 0.9 * (trials // 2 - 1)
+
+    def test_storage_budget(self):
+        budget = GShare(index_bits=14, history_bits=14).storage_budget()
+        assert budget.total_bits() == (1 << 14) * 2 + 14
+
+    def test_initial_prediction_weakly_not_taken(self):
+        assert not GShare().predict(0x1234)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.cond.hashed_perceptron."""
+
+import numpy as np
+import pytest
+
+from repro.cond.hashed_perceptron import (
+    AdaptiveThreshold,
+    DEFAULT_HISTORY_LENGTHS,
+    HashedPerceptron,
+)
+
+
+class TestAdaptiveThreshold:
+    def test_theta_rises_under_mispredictions(self):
+        threshold = AdaptiveThreshold(initial_theta=10, counter_bits=4)
+        for _ in range(100):
+            threshold.observe(mispredicted=True, trained_on_correct=False)
+        assert threshold.theta > 10
+
+    def test_theta_falls_under_low_margin_training(self):
+        threshold = AdaptiveThreshold(initial_theta=10, counter_bits=4)
+        for _ in range(200):
+            threshold.observe(mispredicted=False, trained_on_correct=True)
+        assert threshold.theta < 10
+
+    def test_theta_never_below_one(self):
+        threshold = AdaptiveThreshold(initial_theta=1, counter_bits=3)
+        for _ in range(500):
+            threshold.observe(mispredicted=False, trained_on_correct=True)
+        assert threshold.theta >= 1
+
+    def test_neutral_events_leave_theta(self):
+        threshold = AdaptiveThreshold(initial_theta=7)
+        for _ in range(100):
+            threshold.observe(mispredicted=False, trained_on_correct=False)
+        assert threshold.theta == 7
+
+    def test_bad_theta_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(initial_theta=0)
+
+
+class TestHashedPerceptron:
+    def test_learns_bias(self):
+        predictor = HashedPerceptron(index_bits=10)
+        for _ in range(60):
+            predictor.update(0x1000, True)
+        assert predictor.predict(0x1000)
+
+    def test_learns_short_history_pattern(self):
+        predictor = HashedPerceptron(index_bits=12)
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 1000
+        for i in range(trials):
+            signal = bool(rng.integers(2))
+            predictor.update(0x2000, signal)  # leaks the signal
+            predicted = predictor.predict(0x3000)
+            if i > trials // 2 and predicted == signal:
+                hits += 1
+            predictor.update(0x3000, signal)
+        assert hits > 0.85 * (trials // 2 - 1)
+
+    def test_train_weights_does_not_advance_history(self):
+        predictor = HashedPerceptron(index_bits=10)
+        before = predictor._history.value()
+        predictor.train_weights(0x5000, True)
+        assert predictor._history.value() == before
+
+    def test_update_advances_history(self):
+        predictor = HashedPerceptron(index_bits=10)
+        before = predictor._history.value()
+        predictor.update(0x5000, True)
+        assert predictor._history.value() != before
+
+    def test_weights_saturate(self):
+        predictor = HashedPerceptron(index_bits=8, weight_bits=4)
+        for _ in range(500):
+            predictor.train_weights(0x1000, True)
+        assert all(int(t.max()) <= 7 for t in predictor._tables)
+
+    def test_storage_budget_scales_with_tables(self):
+        small = HashedPerceptron(history_lengths=(0, 8), index_bits=10)
+        large = HashedPerceptron(history_lengths=DEFAULT_HISTORY_LENGTHS,
+                                 index_bits=10)
+        assert (
+            large.storage_budget().total_bits()
+            > small.storage_budget().total_bits()
+        )
+
+    def test_empty_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            HashedPerceptron(history_lengths=())

@@ -1,0 +1,67 @@
+"""Shared fixtures: small deterministic traces and predictor factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stream import Trace
+from repro.workloads import (
+    CallReturnSpec,
+    InterpreterSpec,
+    SwitchCaseSpec,
+    VirtualDispatchSpec,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A hand-written trace exercising every branch type."""
+    records = [
+        BranchRecord(0x1000, BranchType.CONDITIONAL, True, 0x1010, inst_gap=3),
+        BranchRecord(0x1010, BranchType.DIRECT_CALL, True, 0x2000, inst_gap=1),
+        BranchRecord(0x2040, BranchType.CONDITIONAL, False, 0x2044, inst_gap=2),
+        BranchRecord(0x2080, BranchType.RETURN, True, 0x1014, inst_gap=0),
+        BranchRecord(0x1020, BranchType.INDIRECT_CALL, True, 0x3000, inst_gap=4),
+        BranchRecord(0x3080, BranchType.RETURN, True, 0x1024, inst_gap=1),
+        BranchRecord(0x1030, BranchType.INDIRECT_JUMP, True, 0x4000, inst_gap=2),
+        BranchRecord(0x4000, BranchType.DIRECT_JUMP, True, 0x1000, inst_gap=0),
+    ]
+    return Trace.from_records("tiny", records)
+
+
+@pytest.fixture
+def vdispatch_trace() -> Trace:
+    return VirtualDispatchSpec(
+        name="vd-test", seed=7, num_records=4000, num_types=4, num_sites=2,
+        determinism=0.95, filler_conditionals=6,
+    ).generate()
+
+
+@pytest.fixture
+def switchcase_trace() -> Trace:
+    return SwitchCaseSpec(
+        name="sw-test", seed=8, num_records=4000, num_cases=8,
+        determinism=0.95, filler_conditionals=6,
+    ).generate()
+
+
+@pytest.fixture
+def interpreter_trace() -> Trace:
+    return InterpreterSpec(
+        name="in-test", seed=9, num_records=4000, num_opcodes=12,
+        program_length=20, filler_conditionals=4,
+    ).generate()
+
+
+@pytest.fixture
+def callret_trace() -> Trace:
+    return CallReturnSpec(
+        name="cr-test", seed=10, num_records=4000, filler_conditionals=6,
+    ).generate()

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    BLBPConfig,
+    GEHL_INTERVALS,
+    PAPER_INTERVALS,
+    gehl_config,
+    paper_config,
+    unoptimized_config,
+    with_toggles,
+)
+
+
+class TestPaperConfig:
+    def test_matches_table2(self):
+        config = paper_config()
+        assert config.num_target_bits == 12
+        assert config.weight_bits == 4
+        assert config.global_history_bits == 630
+        assert config.local_histories == 256
+        assert config.local_history_bits == 10
+        assert config.ibtb_sets == 64
+        assert config.ibtb_ways == 64
+        assert config.region_entries == 128
+
+    def test_paper_intervals(self):
+        assert paper_config().intervals == PAPER_INTERVALS
+        assert PAPER_INTERVALS[-1] == (252, 630)
+
+    def test_eight_subpredictors(self):
+        # 1 local-history table + 7 interval tables = the paper's N = 8.
+        assert paper_config().num_subpredictors == 8
+
+    def test_weight_magnitude(self):
+        assert paper_config().weight_magnitude == 7
+
+    def test_all_optimizations_on(self):
+        config = paper_config()
+        assert config.use_local_history
+        assert config.use_intervals
+        assert config.use_selective_update
+        assert config.use_transfer_function
+        assert config.use_adaptive_threshold
+
+
+class TestVariants:
+    def test_unoptimized_turns_everything_off(self):
+        config = unoptimized_config()
+        assert not config.use_local_history
+        assert not config.use_intervals
+        assert not config.use_selective_update
+        assert not config.use_transfer_function
+        assert not config.use_adaptive_threshold
+
+    def test_gehl_swaps_intervals(self):
+        config = gehl_config()
+        assert config.effective_intervals == GEHL_INTERVALS
+        assert all(start == 0 for start, _ in config.effective_intervals)
+
+    def test_with_toggles(self):
+        config = with_toggles(use_transfer_function=False)
+        assert not config.use_transfer_function
+        assert config.use_local_history
+
+
+class TestValidation:
+    def test_interval_past_history_rejected(self):
+        with pytest.raises(ValueError):
+            BLBPConfig(intervals=((0, 631),))
+
+    def test_interval_at_capacity_allowed(self):
+        # (252, 630) is half-open and exactly fills a 630-bit history.
+        BLBPConfig(intervals=((252, 630),))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BLBPConfig(intervals=((5, 5),))
+
+    def test_wrong_transfer_length_rejected(self):
+        with pytest.raises(ValueError):
+            BLBPConfig(transfer_magnitudes=(0, 1, 2))
+
+    def test_bad_weight_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BLBPConfig(weight_bits=1)
+
+    def test_frozen(self):
+        config = paper_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.table_rows = 1

@@ -1,0 +1,66 @@
+"""Unit tests for the hierarchical IBTB (§6 future work)."""
+
+import pytest
+
+from repro.core.hibtb import HierarchicalIBTB, _L1, _L2
+
+
+class TestHierarchicalIBTB:
+    def test_cold_lookup_empty(self):
+        assert HierarchicalIBTB().lookup(0x1000) == []
+
+    def test_ensure_fills_l1(self):
+        hibtb = HierarchicalIBTB()
+        handle = hibtb.ensure(0x1000, 0x40_0000)
+        assert handle[0] == _L1
+        candidates = hibtb.lookup(0x1000)
+        assert [(handle, 0x40_0000)] == candidates
+
+    def test_spill_reaches_l2_and_stays_findable(self):
+        hibtb = HierarchicalIBTB(l1_entries=2)
+        targets = [0x40_0000, 0x40_0100, 0x40_0200]
+        for target in targets:
+            hibtb.ensure(0x1000, target)
+        found = {target for _, target in hibtb.lookup(0x1000)}
+        assert found == set(targets)
+        levels = {handle[0] for handle, _ in hibtb.lookup(0x1000)}
+        assert levels == {_L1, _L2}
+
+    def test_lookup_deduplicates_levels(self):
+        hibtb = HierarchicalIBTB(l1_entries=1)
+        hibtb.ensure(0x1000, 0xA000)
+        hibtb.ensure(0x1000, 0xB000)  # spills A to L2
+        hibtb.ensure(0x1000, 0xA000)  # A back in L1, also still in L2
+        targets = [target for _, target in hibtb.lookup(0x1000)]
+        assert sorted(targets) == [0xA000, 0xB000]
+
+    def test_touch_both_levels(self):
+        hibtb = HierarchicalIBTB(l1_entries=1)
+        hibtb.ensure(0x1000, 0xA000)
+        hibtb.ensure(0x1000, 0xB000)
+        for handle, _ in hibtb.lookup(0x1000):
+            hibtb.touch(0x1000, handle)  # must not raise
+
+    def test_distinct_branches_isolated(self):
+        hibtb = HierarchicalIBTB()
+        hibtb.ensure(0x1000, 0xA000)
+        hibtb.ensure(0x2000, 0xB000)
+        assert {t for _, t in hibtb.lookup(0x1000)} == {0xA000}
+        assert {t for _, t in hibtb.lookup(0x2000)} == {0xB000}
+
+    def test_occupancy(self):
+        hibtb = HierarchicalIBTB(l1_entries=2)
+        for i in range(4):
+            hibtb.ensure(0x1000, 0x40_0000 + i * 0x40)
+        assert hibtb.occupancy() == 4
+
+    def test_storage_cheaper_than_64way(self):
+        from repro.core.ibtb import IndirectBTB
+
+        hier = HierarchicalIBTB()
+        mono = IndirectBTB()  # 64 x 64
+        assert hier.storage_bits() < mono.storage_bits() * 1.1
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalIBTB(l1_entries=0)

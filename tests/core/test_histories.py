@@ -1,0 +1,85 @@
+"""Unit tests for BLBP's history state and index computation."""
+
+from repro.core.config import BLBPConfig, paper_config
+from repro.core.histories import BLBPHistories
+
+
+class TestBLBPHistories:
+    def test_index_count_matches_subpredictors(self):
+        config = paper_config()
+        histories = BLBPHistories(config)
+        assert len(histories.indices(0x1000)) == config.num_subpredictors
+
+    def test_indices_in_range(self):
+        config = paper_config()
+        histories = BLBPHistories(config)
+        for _ in range(20):
+            histories.push_conditional(True)
+            for index in histories.indices(0x1234):
+                assert 0 <= index < config.table_rows
+
+    def test_history_changes_interval_indices(self):
+        histories = BLBPHistories(paper_config())
+        before = histories.indices(0x1000)
+        histories.push_conditional(True)
+        after = histories.indices(0x1000)
+        # The short-interval features must react to a new outcome.
+        assert before[1] != after[1] or before[2] != after[2]
+
+    def test_old_history_only_affects_long_intervals(self):
+        """An outcome pushed 100 positions ago must not affect the
+        (0, 13) interval index."""
+        config = paper_config()
+        base = BLBPHistories(config)
+        other = BLBPHistories(config)
+        base.push_conditional(True)
+        other.push_conditional(False)
+        for histories in (base, other):
+            for _ in range(100):
+                histories.push_conditional(True)
+        # Feature 1 is interval (0, 13): identical recent history.
+        assert base.indices(0x1000)[1] == other.indices(0x1000)[1]
+        # The (77, 149) interval (feature 5) must differ.
+        assert base.indices(0x1000)[5] != other.indices(0x1000)[5]
+
+    def test_local_history_changes_feature_zero(self):
+        config = paper_config()
+        histories = BLBPHistories(config)
+        before = histories.indices(0x1000)[0]
+        # Push a target with bit 3 set for this branch.
+        histories.push_target(0x1000, 0b1000)
+        after = histories.indices(0x1000)[0]
+        assert before != after
+
+    def test_local_history_disabled_gives_pc_bias(self):
+        config = BLBPConfig(use_local_history=False)
+        histories = BLBPHistories(config)
+        before = histories.indices(0x1000)[0]
+        histories.push_target(0x1000, 0b1000)
+        assert histories.indices(0x1000)[0] == before
+
+    def test_local_history_records_configured_bit(self):
+        config = paper_config()
+        histories = BLBPHistories(config)
+        histories.push_target(0x1000, 1 << config.local_target_bit)
+        assert histories.local_history_of(0x1000) & 1 == 1
+        histories.push_target(0x1000, 0)
+        assert histories.local_history_of(0x1000) & 1 == 0
+
+    def test_global_history_truncates_at_capacity(self):
+        config = BLBPConfig()
+        histories = BLBPHistories(config)
+        for _ in range(700):
+            histories.push_conditional(True)
+        assert histories.global_history_value().bit_length() <= 630
+
+    def test_distinct_pcs_distinct_indices(self):
+        histories = BLBPHistories(paper_config())
+        a = histories.indices(0x1000)
+        b = histories.indices(0x2000)
+        assert a != b
+
+    def test_storage_bits(self):
+        config = paper_config()
+        histories = BLBPHistories(config)
+        assert histories.storage_bits() == 630 + 256 * 10

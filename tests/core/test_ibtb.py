@@ -1,0 +1,86 @@
+"""Unit tests for the IBTB (§3.1)."""
+
+import pytest
+
+from repro.core.ibtb import IndirectBTB
+from repro.core.regions import RegionArray
+
+
+class TestIndirectBTB:
+    def test_cold_lookup_empty(self):
+        ibtb = IndirectBTB()
+        assert ibtb.lookup(0x1000) == []
+
+    def test_ensure_then_lookup(self):
+        ibtb = IndirectBTB()
+        way = ibtb.ensure(0x1000, 0x40_0000)
+        candidates = ibtb.lookup(0x1000)
+        assert (way, 0x40_0000) in candidates
+
+    def test_multiple_targets_accumulate(self):
+        ibtb = IndirectBTB()
+        targets = [0x40_0000 + i * 0x40 for i in range(5)]
+        for target in targets:
+            ibtb.ensure(0x1000, target)
+        stored = {target for _, target in ibtb.lookup(0x1000)}
+        assert stored == set(targets)
+
+    def test_duplicate_ensure_is_idempotent(self):
+        ibtb = IndirectBTB()
+        way_a = ibtb.ensure(0x1000, 0x40_0000)
+        way_b = ibtb.ensure(0x1000, 0x40_0000)
+        assert way_a == way_b
+        assert len(ibtb.lookup(0x1000)) == 1
+
+    def test_capacity_bounded_by_ways(self):
+        ibtb = IndirectBTB(num_sets=4, num_ways=4)
+        for i in range(16):
+            ibtb.ensure(0x1000, 0x40_0000 + i * 0x40)
+        assert len(ibtb.lookup(0x1000)) <= 4
+
+    def test_rrip_eviction_replaces_cold_targets(self):
+        ibtb = IndirectBTB(num_sets=1, num_ways=2)
+        ibtb.ensure(0x1000, 0xA000)
+        ibtb.ensure(0x1000, 0xB000)
+        # Touch A so B ages out when C arrives.
+        candidates = dict(
+            (target, way) for way, target in ibtb.lookup(0x1000)
+        )
+        ibtb.touch(0x1000, candidates[0xA000])
+        ibtb.ensure(0x1000, 0xC000)
+        targets = {target for _, target in ibtb.lookup(0x1000)}
+        assert 0xA000 in targets
+        assert 0xC000 in targets
+
+    def test_stale_region_entries_dropped(self):
+        regions = RegionArray(num_entries=1, offset_bits=20)
+        ibtb = IndirectBTB(num_sets=2, num_ways=4, regions=regions)
+        ibtb.ensure(0x1000, 0x1_0000_0000)
+        ibtb.ensure(0x1000, 0x2_0000_0000)  # recycles the only region
+        targets = {target for _, target in ibtb.lookup(0x1000)}
+        assert targets == {0x2_0000_0000}
+
+    def test_distinct_branches_different_tags(self):
+        ibtb = IndirectBTB()
+        ibtb.ensure(0x1000, 0xA000)
+        ibtb.ensure(0x2344, 0xB000)
+        assert {t for _, t in ibtb.lookup(0x1000)} == {0xA000}
+        assert {t for _, t in ibtb.lookup(0x2344)} == {0xB000}
+
+    def test_occupancy_counts_entries(self):
+        ibtb = IndirectBTB()
+        assert ibtb.occupancy() == 0
+        ibtb.ensure(0x1000, 0xA000)
+        ibtb.ensure(0x1000, 0xB000)
+        assert ibtb.occupancy() == 2
+
+    def test_storage_bits_paper_shape(self):
+        """64 sets x 64 ways x (8 tag + 7 region + 20 offset + 2 rrip)."""
+        ibtb = IndirectBTB()
+        assert ibtb.storage_bits() == 64 * 64 * (8 + 7 + 20 + 2)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectBTB(num_sets=0)
+        with pytest.raises(ValueError):
+            IndirectBTB(tag_bits=0)

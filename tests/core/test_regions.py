@@ -1,0 +1,72 @@
+"""Unit tests for the region array (BTB compression, §3.6)."""
+
+import pytest
+
+from repro.core.regions import RegionArray
+
+
+class TestRegionArray:
+    def test_encode_decode_round_trip(self):
+        regions = RegionArray(num_entries=8, offset_bits=20)
+        target = 0x0000_7F3A_0012_3450
+        index, generation, offset = regions.encode(target)
+        assert regions.decode(index, generation, offset) == target
+
+    def test_same_region_reused(self):
+        regions = RegionArray(num_entries=8, offset_bits=20)
+        index_a, _, _ = regions.encode(0x40_0000)
+        index_b, _, _ = regions.encode(0x40_1234)
+        assert index_a == index_b
+
+    def test_offsets_distinguish_targets(self):
+        regions = RegionArray(num_entries=8, offset_bits=20)
+        enc_a = regions.encode(0x40_0000)
+        enc_b = regions.encode(0x40_0004)
+        assert enc_a[2] != enc_b[2]
+
+    def test_eviction_invalidates_stale_references(self):
+        regions = RegionArray(num_entries=2, offset_bits=20)
+        stale = regions.encode(0x1_0000_0000)
+        regions.encode(0x2_0000_0000)
+        regions.encode(0x3_0000_0000)  # evicts the LRU region
+        assert regions.evictions >= 1
+        assert regions.decode(*stale) is None
+
+    def test_lru_keeps_hot_region(self):
+        regions = RegionArray(num_entries=2, offset_bits=20)
+        hot = regions.encode(0x1_0000_0000)
+        regions.encode(0x2_0000_0000)
+        regions.encode(0x1_0000_0040)       # touch the hot region
+        regions.encode(0x3_0000_0000)       # must evict region 2
+        assert regions.decode(*regions.encode(0x1_0000_0080)) is not None
+        assert regions.decode(*hot) == 0x1_0000_0000
+
+    def test_occupancy(self):
+        regions = RegionArray(num_entries=4, offset_bits=20)
+        assert regions.occupancy() == 0
+        regions.encode(0x1_0000_0000)
+        regions.encode(0x2_0000_0000)
+        assert regions.occupancy() == 2
+
+    def test_generation_guards_recycled_slots(self):
+        regions = RegionArray(num_entries=1, offset_bits=20)
+        old = regions.encode(0x1_0000_0000)
+        regions.encode(0x2_0000_0000)
+        new = regions.encode(0x2_0000_0100)
+        assert regions.decode(*old) is None
+        assert regions.decode(*new) == 0x2_0000_0100
+
+    def test_storage_bits(self):
+        regions = RegionArray(num_entries=128, offset_bits=20)
+        assert regions.storage_bits() >= 128 * 44
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            RegionArray(num_entries=0)
+        with pytest.raises(ValueError):
+            RegionArray(offset_bits=0)
+
+    def test_decode_out_of_range_rejected(self):
+        regions = RegionArray(num_entries=4)
+        with pytest.raises(ValueError):
+            regions.decode(9, 0, 0)

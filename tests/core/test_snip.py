@@ -1,0 +1,106 @@
+"""Unit tests for the SNIP predecessor predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.snip import SNIP, SNIPConfig
+
+
+def _drive(predictor, pc, target):
+    prediction = predictor.predict_target(pc)
+    predictor.train(pc, target)
+    return prediction
+
+
+class TestSNIPConfig:
+    def test_published_array_count(self):
+        # 40 history + 4 path features = the 44 SRAM arrays of §3.
+        assert SNIPConfig().num_features == 44
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SNIPConfig(history_features=0)
+        with pytest.raises(ValueError):
+            SNIPConfig(table_rows=0)
+        with pytest.raises(ValueError):
+            SNIPConfig(weight_bits=1)
+
+
+class TestSNIP:
+    def test_cold_miss(self):
+        assert SNIP().predict_target(0x1000) is None
+
+    def test_monomorphic_branch(self):
+        predictor = SNIP()
+        misses = sum(
+            1 for _ in range(60)
+            if _drive(predictor, 0x1000, 0x40_0004) != 0x40_0004
+        )
+        assert misses <= 1
+
+    def test_learns_from_iid_history(self):
+        """SNIP's defining property: per-bit ±1 inputs let it learn a
+        target correlated with ONE history bit even when the rest of the
+        history is IID noise — exactly where BLBP's pattern hashing
+        drowns (see DESIGN.md)."""
+        predictor = SNIP()
+        rng = np.random.default_rng(3)
+        targets = {False: 0x40_0014, True: 0x40_0A28}
+        hits = 0
+        trials = 1600
+        for i in range(trials):
+            signal = bool(rng.integers(2))
+            predictor.on_conditional(0x500, signal)
+            # Three more IID noise bits per iteration.
+            for noise_pc in (0x504, 0x508, 0x50C):
+                predictor.on_conditional(noise_pc, bool(rng.integers(2)))
+            actual = targets[signal]
+            if _drive(predictor, 0x1000, actual) == actual and i > trials // 2:
+                hits += 1
+        assert hits > 0.7 * (trials // 2 - 1)
+
+    def test_weights_saturate(self):
+        predictor = SNIP()
+        for i in range(300):
+            predictor.on_conditional(0x500, bool(i & 1))
+            _drive(predictor, 0x1000, 0x40_0014 if i & 1 else 0x40_0A28)
+        assert int(predictor._weights.max()) <= 7
+        assert int(predictor._weights.min()) >= -7
+
+    def test_piecewise_rows_depend_on_history(self):
+        predictor = SNIP(SNIPConfig(piecewise_bits=4))
+        rows_before = predictor._context_rows(0x1000).copy()
+        predictor.on_conditional(0x500, True)
+        rows_after = predictor._context_rows(0x1000)
+        assert not np.array_equal(rows_before, rows_after)
+
+    def test_plain_rows_pc_only(self):
+        predictor = SNIP(SNIPConfig(piecewise_bits=0))
+        rows_before = predictor._context_rows(0x1000).copy()
+        predictor.on_conditional(0x500, True)
+        assert np.array_equal(rows_before, predictor._context_rows(0x1000))
+
+    def test_deterministic(self):
+        def run():
+            predictor = SNIP()
+            rng = np.random.default_rng(4)
+            outcomes = []
+            for _ in range(300):
+                predictor.on_conditional(0x500, bool(rng.integers(2)))
+                target = 0x40_0000 + int(rng.integers(4)) * 0x44
+                outcomes.append(_drive(predictor, 0x1000, target))
+            return outcomes
+
+        assert run() == run()
+
+    def test_storage_budget_larger_than_blbp(self):
+        from repro.core import BLBP
+
+        snip_kb = SNIP().storage_budget().total_kilobytes()
+        blbp_weights = 8 * 1024 * 12 * 4 / 8192
+        assert snip_kb > 0
+        # SNIP's 44 arrays at 256 rows: 66 KB of weights alone.
+        weights_bits = dict(SNIP().storage_budget().items)[
+            "weights (44 feature arrays)"
+        ]
+        assert weights_bits == 44 * 256 * 12 * 4

@@ -1,0 +1,51 @@
+"""Unit tests for the per-bit weight banks."""
+
+import numpy as np
+import pytest
+
+from repro.core.subpredictor import WeightBank
+
+
+class TestWeightBank:
+    def test_starts_at_zero(self):
+        bank = WeightBank(rows=16, num_bits=12, weight_bits=4)
+        assert int(np.abs(bank.weights).max()) == 0
+
+    def test_train_moves_toward_target_bits(self):
+        bank = WeightBank(rows=4, num_bits=4, weight_bits=4)
+        desired = np.array([True, False, True, False])
+        mask = np.ones(4, dtype=bool)
+        bank.train(0, desired, mask)
+        assert bank.read(0).tolist() == [1, -1, 1, -1]
+
+    def test_mask_suppresses_positions(self):
+        bank = WeightBank(rows=4, num_bits=4, weight_bits=4)
+        desired = np.array([True, True, True, True])
+        mask = np.array([True, False, True, False])
+        bank.train(0, desired, mask)
+        assert bank.read(0).tolist() == [1, 0, 1, 0]
+
+    def test_saturation_at_magnitude(self):
+        bank = WeightBank(rows=2, num_bits=2, weight_bits=4)
+        desired = np.array([True, False])
+        mask = np.ones(2, dtype=bool)
+        for _ in range(50):
+            bank.train(1, desired, mask)
+        assert bank.read(1).tolist() == [7, -7]
+
+    def test_rows_independent(self):
+        bank = WeightBank(rows=8, num_bits=2, weight_bits=4)
+        bank.train(3, np.array([True, True]), np.ones(2, dtype=bool))
+        assert bank.read(4).tolist() == [0, 0]
+
+    def test_storage_bits(self):
+        bank = WeightBank(rows=1024, num_bits=12, weight_bits=4)
+        assert bank.storage_bits(4) == 1024 * 12 * 4
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            WeightBank(rows=0, num_bits=4, weight_bits=4)
+        with pytest.raises(ValueError):
+            WeightBank(rows=4, num_bits=0, weight_bits=4)
+        with pytest.raises(ValueError):
+            WeightBank(rows=4, num_bits=4, weight_bits=1)

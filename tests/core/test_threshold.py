@@ -1,0 +1,66 @@
+"""Unit tests for per-bit adaptive threshold training."""
+
+import pytest
+
+from repro.core.threshold import PerBitAdaptiveThreshold
+
+
+class TestPerBitAdaptiveThreshold:
+    def test_independent_per_bit(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=4, initial_theta=10, counter_bits=3
+        )
+        for _ in range(50):
+            threshold.observe(0, correct=False, magnitude=0)
+        assert threshold.theta(0) > 10
+        assert threshold.theta(1) == 10
+
+    def test_should_train_on_incorrect(self):
+        threshold = PerBitAdaptiveThreshold(num_bits=2, initial_theta=5)
+        assert threshold.should_train(0, correct=False, magnitude=100)
+
+    def test_should_train_on_low_margin(self):
+        threshold = PerBitAdaptiveThreshold(num_bits=2, initial_theta=5)
+        assert threshold.should_train(0, correct=True, magnitude=4)
+        assert not threshold.should_train(0, correct=True, magnitude=5)
+
+    def test_theta_decreases_under_overtraining(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=1, initial_theta=10, counter_bits=3
+        )
+        for _ in range(100):
+            threshold.observe(0, correct=True, magnitude=2)
+        assert threshold.theta(0) < 10
+
+    def test_theta_floor_is_one(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=1, initial_theta=1, counter_bits=3
+        )
+        for _ in range(200):
+            threshold.observe(0, correct=True, magnitude=0)
+        assert threshold.theta(0) >= 1
+
+    def test_non_adaptive_freezes_theta(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=1, initial_theta=14, adaptive=False
+        )
+        for _ in range(500):
+            threshold.observe(0, correct=False, magnitude=0)
+        assert threshold.theta(0) == 14
+
+    def test_high_margin_correct_is_neutral(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=1, initial_theta=5, counter_bits=3
+        )
+        for _ in range(100):
+            threshold.observe(0, correct=True, magnitude=50)
+        assert threshold.theta(0) == 5
+
+    def test_storage_bits_positive(self):
+        assert PerBitAdaptiveThreshold(12, 14).storage_bits() > 0
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            PerBitAdaptiveThreshold(0, 14)
+        with pytest.raises(ValueError):
+            PerBitAdaptiveThreshold(4, 0)

@@ -1,0 +1,59 @@
+"""Unit tests for the transfer function (§3.6, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAULT_TRANSFER_MAGNITUDES
+from repro.core.transfer import TransferFunction
+
+
+class TestTransferFunction:
+    def test_odd_symmetry(self):
+        transfer = TransferFunction(DEFAULT_TRANSFER_MAGNITUDES)
+        for weight in range(-7, 8):
+            assert transfer.apply_scalar(-weight) == -transfer.apply_scalar(weight)
+
+    def test_zero_fixed_point(self):
+        transfer = TransferFunction(DEFAULT_TRANSFER_MAGNITUDES)
+        assert transfer.apply_scalar(0) == 0
+
+    def test_monotone(self):
+        transfer = TransferFunction(DEFAULT_TRANSFER_MAGNITUDES)
+        values = [transfer.apply_scalar(w) for w in range(-7, 8)]
+        assert values == sorted(values)
+
+    def test_convex_in_magnitude(self):
+        """Differences must grow with magnitude (Fig. 5's amplification
+        of large weights)."""
+        mags = DEFAULT_TRANSFER_MAGNITUDES
+        diffs = [b - a for a, b in zip(mags, mags[1:])]
+        assert diffs == sorted(diffs)
+        assert diffs[-1] > diffs[0]
+
+    def test_vector_matches_scalar(self):
+        transfer = TransferFunction(DEFAULT_TRANSFER_MAGNITUDES)
+        weights = np.arange(-7, 8, dtype=np.int8)
+        out = transfer.apply(weights)
+        assert out.tolist() == [transfer.apply_scalar(int(w)) for w in weights]
+
+    def test_disabled_is_identity(self):
+        transfer = TransferFunction(DEFAULT_TRANSFER_MAGNITUDES, enabled=False)
+        weights = np.arange(-7, 8, dtype=np.int8)
+        assert transfer.apply(weights).tolist() == weights.tolist()
+
+    def test_out_of_range_scalar_rejected(self):
+        transfer = TransferFunction(DEFAULT_TRANSFER_MAGNITUDES)
+        with pytest.raises(ValueError):
+            transfer.apply_scalar(8)
+
+    def test_nonzero_origin_rejected(self):
+        with pytest.raises(ValueError):
+            TransferFunction((1, 2, 3))
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            TransferFunction((0, 3, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TransferFunction(())

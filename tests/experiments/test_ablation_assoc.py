@@ -1,0 +1,100 @@
+"""Tests for the Fig. 10 ablation and Fig. 11 associativity drivers.
+
+These use tiny trace subsets so the full drivers stay exercisable in the
+unit-test budget; the real sweeps run in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.ablation import (
+    OPTIMIZATIONS,
+    ablation_configs,
+    figure10,
+    format_figure10,
+)
+from repro.experiments.associativity import (
+    ASSOCIATIVITIES,
+    associativity_config,
+    figure11,
+    format_figure11,
+)
+from repro.workloads import VirtualDispatchSpec
+
+
+@pytest.fixture(scope="module")
+def mini_traces():
+    return [
+        VirtualDispatchSpec(
+            name=f"mini-{i}", seed=20 + i, num_records=2500, num_types=4,
+            determinism=0.95, filler_conditionals=8,
+        ).generate()
+        for i in range(2)
+    ]
+
+
+class TestAblationConfigs:
+    def test_twelve_configurations(self):
+        assert len(ablation_configs()) == 12
+
+    def test_all_off_has_no_optimizations(self):
+        config = ablation_configs()["all optimizations off"]
+        for _, field in OPTIMIZATIONS:
+            assert not getattr(config, field)
+
+    def test_only_one_on(self):
+        configs = ablation_configs()
+        for label, field in OPTIMIZATIONS:
+            config = configs[f"only {label} on"]
+            assert getattr(config, field)
+            others = [f for _, f in OPTIMIZATIONS if f != field]
+            assert not any(getattr(config, f) for f in others)
+
+    def test_no_one_off(self):
+        configs = ablation_configs()
+        for label, field in OPTIMIZATIONS:
+            config = configs[f"no {label}"]
+            assert not getattr(config, field)
+            others = [f for _, f in OPTIMIZATIONS if f != field]
+            assert all(getattr(config, f) for f in others)
+
+    def test_all_on(self):
+        config = ablation_configs()["all optimizations on"]
+        for _, field in OPTIMIZATIONS:
+            assert getattr(config, field)
+
+
+class TestFigure10:
+    def test_runs_and_reports_all_configs(self, mini_traces):
+        results = figure10(traces=mini_traces)
+        assert len(results) == 12
+        labels = [label for label, _ in results]
+        assert labels[0] == "all optimizations off"
+        assert labels[-1] == "all optimizations on"
+
+    def test_format(self, mini_traces):
+        rendered = format_figure10(figure10(traces=mini_traces))
+        assert "Figure 10" in rendered
+        assert "adaptive threshold" in rendered
+
+
+class TestAssociativityConfig:
+    def test_entries_conserved(self):
+        for ways in ASSOCIATIVITIES:
+            config = associativity_config(ways)
+            assert config.ibtb_ways * config.ibtb_sets == 4096
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            associativity_config(3)
+
+
+class TestFigure11:
+    def test_runs_all_points(self, mini_traces):
+        results = figure11(traces=mini_traces)
+        labels = [label for label, _ in results]
+        assert labels == [f"assoc={w}" for w in ASSOCIATIVITIES] + ["ITTAGE"]
+        assert all(mpki >= 0 for _, mpki in results)
+
+    def test_format(self, mini_traces):
+        rendered = format_figure11(figure11(traces=mini_traces))
+        assert "Figure 11" in rendered

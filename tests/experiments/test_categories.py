@@ -1,0 +1,62 @@
+"""Tests for per-category campaign breakdowns."""
+
+import pytest
+
+from repro.experiments.categories import (
+    category_means,
+    category_of,
+    format_category_means,
+)
+from repro.sim.metrics import CampaignResult, SimulationResult
+
+
+def _campaign(names):
+    campaign = CampaignResult()
+    for index, name in enumerate(names):
+        for predictor, misses in (("BTB", 100 + index), ("BLBP", 10 + index)):
+            campaign.add(
+                SimulationResult(
+                    trace_name=name,
+                    predictor_name=predictor,
+                    total_instructions=1_000_000,
+                    indirect_branches=1000,
+                    indirect_mispredictions=misses,
+                )
+            )
+    return campaign
+
+
+class TestCategoryOf:
+    def test_known_traces(self):
+        assert category_of("SHORT-MOBILE-1") == "mobile-short"
+        assert category_of("spec2000.252_eon", by="source") == "SPEC CPU2000"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            category_of("NOT-A-TRACE")
+
+
+class TestCategoryMeans:
+    def test_groups_by_category(self):
+        campaign = _campaign(
+            ["SHORT-MOBILE-1", "SHORT-MOBILE-2", "SHORT-SERVER-1"]
+        )
+        means = category_means(campaign)
+        assert set(means) == {"mobile-short", "server-short"}
+        assert means["mobile-short"]["BLBP"] == pytest.approx(0.0105)
+
+    def test_groups_by_source(self):
+        campaign = _campaign(["spec2000.252_eon", "SHORT-MOBILE-1"])
+        means = category_means(campaign, by="source")
+        assert set(means) == {"SPEC CPU2000", "CBP-5"}
+
+    def test_non_suite_traces_ignored(self):
+        campaign = _campaign(["SHORT-MOBILE-1", "my-custom-trace"])
+        means = category_means(campaign)
+        assert set(means) == {"mobile-short"}
+
+    def test_format(self):
+        campaign = _campaign(["SHORT-MOBILE-1"])
+        rendered = format_category_means(category_means(campaign))
+        assert "mobile-short" in rendered
+        assert "BLBP" in rendered

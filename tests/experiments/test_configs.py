@@ -1,0 +1,52 @@
+"""Tests for the Table 2 configuration driver."""
+
+from repro.experiments.configs import (
+    PAPER_BUDGETS_KB,
+    format_budget_details,
+    format_table2,
+    predictor_factories,
+    table2,
+)
+
+
+class TestPredictorFactories:
+    def test_four_predictors(self):
+        assert set(predictor_factories()) == {"BTB", "VPC", "ITTAGE", "BLBP"}
+
+    def test_factories_produce_fresh_instances(self):
+        factories = predictor_factories()
+        assert factories["BLBP"]() is not factories["BLBP"]()
+
+
+class TestTable2:
+    def test_rows_cover_all_predictors(self):
+        names = [row[0] for row in table2()]
+        assert names == ["BTB", "VPC", "ITTAGE", "BLBP"]
+
+    def test_paper_budgets_quoted(self):
+        for name, _, paper_kb, _ in table2():
+            assert paper_kb == PAPER_BUDGETS_KB[name]
+
+    def test_measured_budgets_positive(self):
+        for _, _, _, measured_kb in table2():
+            assert measured_kb > 0
+
+    def test_blbp_measured_near_paper(self):
+        rows = {row[0]: row for row in table2()}
+        _, _, paper_kb, measured_kb = rows["BLBP"]
+        assert abs(measured_kb - paper_kb) / paper_kb < 0.15
+
+    def test_ittage_measured_near_paper(self):
+        rows = {row[0]: row for row in table2()}
+        _, _, paper_kb, measured_kb = rows["ITTAGE"]
+        assert abs(measured_kb - paper_kb) / paper_kb < 0.3
+
+    def test_format_contains_all(self):
+        rendered = format_table2()
+        for name in ("BTB", "VPC", "ITTAGE", "BLBP"):
+            assert name in rendered
+
+    def test_details_render(self):
+        rendered = format_budget_details()
+        assert "weights" in rendered
+        assert "IBTB" in rendered

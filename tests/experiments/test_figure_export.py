@@ -1,0 +1,98 @@
+"""Tests for the CSV figure exporter."""
+
+import csv
+
+import pytest
+
+from repro.experiments.figure_export import (
+    export_all,
+    export_figure1,
+    export_figure6,
+    export_figure7,
+    export_figure8,
+    export_figure9,
+    export_series,
+)
+from repro.sim.metrics import CampaignResult, SimulationResult
+from repro.trace.record import BranchType
+from repro.trace.stats import TraceStats
+
+
+def _stats(name):
+    return TraceStats(
+        name=name,
+        total_instructions=1_000_000,
+        counts_by_type={bt: 1000 for bt in BranchType},
+        targets_per_branch={0x1000: 2, 0x2000: 1},
+        polymorphic_executions=500,
+        indirect_executions=2000,
+    )
+
+
+def _campaign():
+    campaign = CampaignResult()
+    for trace in ("t1", "t2"):
+        for name, misses in (("BTB", 100), ("VPC", 50), ("ITTAGE", 20),
+                             ("BLBP", 15)):
+            campaign.add(
+                SimulationResult(
+                    trace_name=trace,
+                    predictor_name=name,
+                    total_instructions=1_000_000,
+                    indirect_branches=1000,
+                    indirect_mispredictions=misses,
+                )
+            )
+    return campaign
+
+
+def _read(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestExports:
+    def test_figure1_rows(self, tmp_path):
+        path = export_figure1([_stats("a"), _stats("b")], tmp_path / "f1.csv")
+        rows = _read(path)
+        assert rows[0][0] == "benchmark"
+        assert len(rows) == 3
+
+    def test_figure6_sorted(self, tmp_path):
+        path = export_figure6([_stats("a")], tmp_path / "f6.csv")
+        rows = _read(path)
+        assert rows[1][0] == "a"
+
+    def test_figure7_64_rows(self, tmp_path):
+        path = export_figure7([_stats("a")], tmp_path / "f7.csv")
+        rows = _read(path)
+        assert len(rows) == 65  # header + x = 1..64
+        assert rows[1] == ["1", "100.0000"]
+
+    def test_figure8_columns(self, tmp_path):
+        path = export_figure8(_campaign(), tmp_path / "f8.csv")
+        rows = _read(path)
+        assert rows[0] == ["benchmark", "VPC_mpki", "ITTAGE_mpki", "BLBP_mpki"]
+        assert len(rows) == 3
+
+    def test_figure9_shares(self, tmp_path):
+        path = export_figure9(_campaign(), tmp_path / "f9.csv")
+        rows = _read(path)
+        shares = [float(x) for x in rows[1][1:]]
+        assert sum(shares) == pytest.approx(100.0, abs=0.01)
+
+    def test_series_export(self, tmp_path):
+        path = export_series(
+            [("assoc=4", 1.09), ("assoc=64", 0.183)], tmp_path / "s.csv"
+        )
+        rows = _read(path)
+        assert rows[1][0] == "assoc=4"
+
+    def test_export_all_creates_five_files(self, tmp_path):
+        paths = export_all([_stats("a")], _campaign(), tmp_path / "out")
+        assert len(paths) == 5
+        assert all(path.exists() for path in paths)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = export_series([("x", 1.0)], tmp_path / "deep" / "dir" / "s.csv")
+        assert path.exists()

@@ -1,0 +1,133 @@
+"""Tests for the figure drivers (on synthetic stats/campaigns)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure1,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    format_figure1,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+)
+from repro.sim.metrics import CampaignResult, SimulationResult
+from repro.trace.record import BranchType
+from repro.trace.stats import TraceStats
+
+
+def _stats(name, indirect_pk=2.0, poly=0.5, targets=None):
+    total = 1_000_000
+    indirect = int(indirect_pk * total / 1000)
+    return TraceStats(
+        name=name,
+        total_instructions=total,
+        counts_by_type={
+            BranchType.CONDITIONAL: 150_000,
+            BranchType.DIRECT_JUMP: 5_000,
+            BranchType.DIRECT_CALL: 10_000,
+            BranchType.INDIRECT_JUMP: indirect // 2,
+            BranchType.INDIRECT_CALL: indirect - indirect // 2,
+            BranchType.RETURN: 10_000,
+        },
+        targets_per_branch=targets or {0x1000: 1, 0x2000: 3},
+        polymorphic_executions=int(poly * indirect),
+        indirect_executions=indirect,
+    )
+
+
+def _campaign():
+    campaign = CampaignResult()
+    data = {
+        "t1": {"BTB": 100, "VPC": 30, "ITTAGE": 10, "BLBP": 9},
+        "t2": {"BTB": 300, "VPC": 90, "ITTAGE": 40, "BLBP": 45},
+        "t3": {"BTB": 50, "VPC": 10, "ITTAGE": 2, "BLBP": 2},
+    }
+    for trace, per in data.items():
+        for name, misses in per.items():
+            campaign.add(
+                SimulationResult(
+                    trace_name=trace,
+                    predictor_name=name,
+                    total_instructions=1_000_000,
+                    indirect_branches=1000,
+                    indirect_mispredictions=misses,
+                )
+            )
+    return campaign
+
+
+class TestFigure1:
+    def test_sorted_by_indirect(self):
+        stats = [_stats("low", 1.0), _stats("high", 8.0), _stats("mid", 3.0)]
+        rows = figure1(stats)
+        assert [row["name"] for row in rows] == ["low", "mid", "high"]
+
+    def test_categories_present(self):
+        rows = figure1([_stats("x")])
+        assert set(rows[0]) == {"name", "conditional", "direct", "return", "indirect"}
+
+    def test_format(self):
+        rendered = format_figure1([_stats("x", 2.0)])
+        assert "Figure 1" in rendered and "x" in rendered
+
+
+class TestFigure6:
+    def test_ascending_order(self):
+        stats = [_stats("a", poly=0.9), _stats("b", poly=0.1)]
+        series = figure6(stats)
+        assert series[0][0] == "b"
+        assert series[0][1] <= series[1][1]
+
+    def test_format(self):
+        assert "%" in format_figure6([_stats("a", poly=0.5)])
+
+
+class TestFigure7:
+    def test_ccdf_starts_at_100(self):
+        series = figure7([_stats("a")])
+        assert series[0] == 100.0
+
+    def test_monotone(self):
+        series = figure7([_stats("a", targets={1: 1, 2: 5, 3: 30})])
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+    def test_format_mentions_threshold(self):
+        rendered = format_figure7([_stats("a")])
+        assert "50%" in rendered
+
+
+class TestFigure8:
+    def test_sorted_by_blbp(self):
+        series = figure8(_campaign())
+        blbp = series["BLBP"]
+        assert blbp == sorted(blbp)
+
+    def test_btb_omitted(self):
+        series = figure8(_campaign())
+        assert "BTB" not in series
+
+    def test_format(self):
+        rendered = format_figure8(_campaign())
+        assert "ITTAGE" in rendered
+
+
+class TestFigure9:
+    def test_shares_sum_to_100(self):
+        shares = figure9(_campaign())
+        for i in range(len(shares["benchmarks"])):
+            total = sum(shares[name][i] for name in ("BTB", "VPC", "ITTAGE", "BLBP"))
+            assert total == pytest.approx(100.0)
+
+    def test_btb_has_largest_share(self):
+        shares = figure9(_campaign())
+        for i in range(len(shares["benchmarks"])):
+            assert shares["BTB"][i] == max(
+                shares[name][i] for name in ("BTB", "VPC", "ITTAGE", "BLBP")
+            )
+
+    def test_format(self):
+        assert "100%" in format_figure9(_campaign())

@@ -1,0 +1,26 @@
+"""Test for the one-shot markdown report generator (tiny scale)."""
+
+from repro.experiments.report import generate_report
+
+
+class TestGenerateReport:
+    def test_report_end_to_end(self, tmp_path):
+        path = generate_report(
+            tmp_path / "report.md", scale=0.15, stride=44, sweep_stride=88
+        )
+        assert path.exists()
+        text = path.read_text()
+        for heading in (
+            "# BLBP reproduction report",
+            "## Headline",
+            "## Per-group means",
+            "## Optimization ablation",
+            "## IBTB associativity",
+            "## Figure data",
+        ):
+            assert heading in text
+        # CSV figure data lands next to the report.
+        for name in ("figure1.csv", "figure8.csv"):
+            assert (tmp_path / name).exists()
+        # The confidence interval is rendered.
+        assert "% confidence" in text

@@ -1,0 +1,56 @@
+"""Tests for the memoized suite/campaign cache."""
+
+import pytest
+
+from repro.experiments.runcache import (
+    clear_caches,
+    get_campaign,
+    get_suite_stats,
+    get_suite_traces,
+)
+from repro.predictors import BranchTargetBuffer
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestSuiteCache:
+    def test_same_object_on_repeat(self):
+        first = get_suite_traces(scale=0.2)
+        second = get_suite_traces(scale=0.2)
+        assert first is second
+
+    def test_different_scale_different_cache(self):
+        small = get_suite_traces(scale=0.2)
+        other = get_suite_traces(scale=0.25)
+        assert small is not other
+
+    def test_cbp4_suite_supported(self):
+        traces = get_suite_traces(scale=0.2, suite="cbp4")
+        assert len(traces) == 20
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            get_suite_traces(scale=0.2, suite="mystery")
+
+    def test_stats_align_with_traces(self):
+        traces = get_suite_traces(scale=0.2)
+        stats = get_suite_stats(scale=0.2)
+        assert len(stats) == len(traces)
+        assert stats[0].name == traces[0].name
+
+
+class TestCampaignCache:
+    def test_campaign_cached_by_names(self):
+        factories = {"BTB": BranchTargetBuffer}
+        first = get_campaign(factories, scale=0.2)
+        second = get_campaign(factories, scale=0.2)
+        assert first is second
+
+    def test_campaign_has_all_traces(self):
+        campaign = get_campaign({"BTB": BranchTargetBuffer}, scale=0.2)
+        assert len(campaign.traces()) == 88

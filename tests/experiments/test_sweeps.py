@@ -1,0 +1,56 @@
+"""Tests for the design-space sweep framework."""
+
+import pytest
+
+from repro.core.config import BLBPConfig
+from repro.experiments.sweeps import (
+    format_sweep,
+    run_sweep,
+    table_rows_sweep,
+    target_bits_sweep,
+    weight_bits_sweep,
+)
+from repro.workloads import VirtualDispatchSpec
+
+
+@pytest.fixture(scope="module")
+def mini_traces():
+    return [
+        VirtualDispatchSpec(
+            name="sweep", seed=71, num_records=2500, num_types=4,
+            determinism=0.95, filler_conditionals=8,
+        ).generate()
+    ]
+
+
+class TestSweepDefinitions:
+    def test_weight_bits_points_valid_configs(self):
+        base = BLBPConfig()
+        for label, transform in weight_bits_sweep():
+            config = transform(base)  # must not raise validation
+            assert f"weights={config.weight_bits}b" == label
+            assert len(config.transfer_magnitudes) == config.weight_magnitude + 1
+
+    def test_target_bits_points(self):
+        base = BLBPConfig()
+        labels = [t(base).num_target_bits for _, t in target_bits_sweep()]
+        assert labels == [4, 8, 12, 16]
+
+    def test_table_rows_points(self):
+        base = BLBPConfig()
+        rows = [t(base).table_rows for _, t in table_rows_sweep((64, 128))]
+        assert rows == [64, 128]
+
+
+class TestRunSweep:
+    def test_all_points_reported(self, mini_traces):
+        results = run_sweep(
+            table_rows_sweep((64, 256)), traces=mini_traces
+        )
+        assert set(results) == {"rows=64", "rows=256"}
+        assert all(mpki >= 0 for mpki in results.values())
+
+    def test_format(self, mini_traces):
+        results = run_sweep(table_rows_sweep((64,)), traces=mini_traces)
+        rendered = format_sweep("capacity", results)
+        assert "capacity" in rendered and "rows=64" in rendered

@@ -1,0 +1,42 @@
+"""Tests for Table 1 and the headline driver (cheap paths only)."""
+
+from repro.experiments.tables import (
+    PAPER_HEADLINE_MPKI,
+    format_table1,
+    table1,
+)
+
+
+class TestTable1:
+    def test_sources_and_counts(self):
+        rows = {source: count for source, count, _ in table1()}
+        assert rows == {
+            "SPEC CPU2000": 1,
+            "SPEC CPU2006": 12,
+            "SPEC CPU2017": 7,
+            "CBP-5": 68,
+        }
+
+    def test_total_88(self):
+        assert sum(count for _, count, _ in table1()) == 88
+
+    def test_details_mention_benchmarks(self):
+        details = {source: text for source, _, text in table1()}
+        assert "252_eon" in details["SPEC CPU2000"]
+        assert "perlbench" in details["SPEC CPU2006"]
+
+    def test_format(self):
+        rendered = format_table1()
+        assert "Table 1" in rendered
+        assert " 88" in rendered
+
+
+class TestPaperConstants:
+    def test_headline_ordering(self):
+        # The paper's ordering the reproduction must reproduce.
+        assert (
+            PAPER_HEADLINE_MPKI["BLBP"]
+            < PAPER_HEADLINE_MPKI["ITTAGE"]
+            < PAPER_HEADLINE_MPKI["VPC"]
+            < PAPER_HEADLINE_MPKI["BTB"]
+        )

@@ -1,0 +1,72 @@
+"""Tests for the §3.6 interval hill-climbing tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BLBPConfig, GEHL_INTERVALS
+from repro.experiments.tuning import (
+    format_tuning_result,
+    hill_climb_intervals,
+    mutate_interval,
+)
+from repro.workloads import VirtualDispatchSpec
+
+
+@pytest.fixture(scope="module")
+def tuning_traces():
+    return [
+        VirtualDispatchSpec(
+            name="tune", seed=61, num_records=2500, num_types=4,
+            determinism=0.95, filler_conditionals=8,
+        ).generate()
+    ]
+
+
+class TestMutateInterval:
+    def test_intervals_stay_well_formed(self):
+        rng = np.random.default_rng(0)
+        intervals = GEHL_INTERVALS
+        for _ in range(300):
+            intervals = mutate_interval(intervals, rng, max_position=630)
+            for start, end in intervals:
+                assert 0 <= start < end <= 630
+
+    def test_exactly_one_interval_changes(self):
+        rng = np.random.default_rng(1)
+        mutated = mutate_interval(GEHL_INTERVALS, rng, max_position=630)
+        differences = sum(
+            1 for a, b in zip(GEHL_INTERVALS, mutated) if a != b
+        )
+        assert differences <= 1
+
+
+class TestHillClimb:
+    def test_never_worse_than_start(self, tuning_traces):
+        result = hill_climb_intervals(tuning_traces, iterations=6, seed=2)
+        assert result.best_mpki <= result.initial_mpki
+
+    def test_history_recorded(self, tuning_traces):
+        result = hill_climb_intervals(tuning_traces, iterations=5, seed=3)
+        assert len(result.history) == 5
+        accepted = [entry for entry in result.history if entry[2]]
+        assert result.accepted_steps == len(accepted)
+
+    def test_deterministic_given_seed(self, tuning_traces):
+        a = hill_climb_intervals(tuning_traces, iterations=4, seed=4)
+        b = hill_climb_intervals(tuning_traces, iterations=4, seed=4)
+        assert a.best_intervals == b.best_intervals
+        assert a.best_mpki == b.best_mpki
+
+    def test_zero_iterations(self, tuning_traces):
+        result = hill_climb_intervals(tuning_traces, iterations=0)
+        assert result.best_intervals == result.initial_intervals
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hill_climb_intervals([], iterations=1)
+
+    def test_format(self, tuning_traces):
+        result = hill_climb_intervals(tuning_traces, iterations=2, seed=5)
+        rendered = format_tuning_result(result)
+        assert "hill-climbing" in rendered
+        assert "improvement" in rendered

@@ -1,0 +1,100 @@
+"""Integration tests: whole predictors over whole generated traces.
+
+These lock in the paper's qualitative results at test scale:
+history-based predictors beat the BTB on polymorphic workloads, BLBP is
+competitive with ITTAGE, and the RAS keeps returns out of indirect MPKI.
+"""
+
+import pytest
+
+from repro.core import BLBP
+from repro.predictors import (
+    ITTAGE,
+    BranchTargetBuffer,
+    TargetCache,
+    TwoBitBTB,
+    VPCPredictor,
+)
+from repro.sim import run_campaign, simulate
+from repro.workloads import SwitchCaseSpec, VirtualDispatchSpec
+
+
+@pytest.fixture(scope="module")
+def polymorphic_trace():
+    return VirtualDispatchSpec(
+        name="poly", seed=31, num_records=12000, num_sites=4, num_types=4,
+        determinism=0.97, signal_noise=0.0, filler_conditionals=10,
+    ).generate()
+
+
+class TestPredictorOrdering:
+    def test_history_predictors_beat_btb(self, polymorphic_trace):
+        btb = simulate(BranchTargetBuffer(), polymorphic_trace).mpki()
+        ittage = simulate(ITTAGE(), polymorphic_trace).mpki()
+        blbp = simulate(BLBP(), polymorphic_trace).mpki()
+        assert ittage < btb / 3
+        assert blbp < btb / 3
+
+    def test_blbp_competitive_with_ittage(self, polymorphic_trace):
+        ittage = simulate(ITTAGE(), polymorphic_trace).mpki()
+        blbp = simulate(BLBP(), polymorphic_trace).mpki()
+        # "Competitive": within 2x either way at this small scale.
+        assert blbp < 2 * ittage + 0.2
+
+    def test_vpc_between_btb_and_ittage(self, polymorphic_trace):
+        btb = simulate(BranchTargetBuffer(), polymorphic_trace).mpki()
+        vpc = simulate(VPCPredictor(), polymorphic_trace).mpki()
+        ittage = simulate(ITTAGE(), polymorphic_trace).mpki()
+        assert vpc < btb
+        assert vpc > ittage / 3  # VPC should not beat ITTAGE outright here
+
+    def test_target_cache_beats_plain_btb(self, polymorphic_trace):
+        btb = simulate(BranchTargetBuffer(), polymorphic_trace).mpki()
+        cache = simulate(TargetCache(), polymorphic_trace).mpki()
+        assert cache < btb
+
+    def test_two_bit_btb_not_worse_than_plain_on_stable(self):
+        trace = VirtualDispatchSpec(
+            name="stable", seed=32, num_records=8000, num_types=2,
+            determinism=0.7, self_loop=0.3, filler_conditionals=8,
+        ).generate()
+        plain = simulate(BranchTargetBuffer(), trace).mpki()
+        two_bit = simulate(TwoBitBTB(), trace).mpki()
+        assert two_bit <= plain * 1.3
+
+
+class TestReturnHandling:
+    def test_returns_excluded_from_indirect_mpki(self, polymorphic_trace):
+        result = simulate(BranchTargetBuffer(), polymorphic_trace)
+        assert result.return_branches > 0
+        assert result.return_mispredictions <= result.return_branches * 0.01
+
+
+class TestCampaignEndToEnd:
+    def test_multi_trace_multi_predictor(self):
+        traces = [
+            VirtualDispatchSpec(
+                name="vd-e2e", seed=33, num_records=4000, determinism=0.95,
+            ).generate(),
+            SwitchCaseSpec(
+                name="sw-e2e", seed=34, num_records=4000, num_cases=6,
+                determinism=0.95,
+            ).generate(),
+        ]
+        campaign = run_campaign(
+            traces, {"BTB": BranchTargetBuffer, "BLBP": BLBP, "ITTAGE": ITTAGE}
+        )
+        assert campaign.mean_mpki("BLBP") < campaign.mean_mpki("BTB")
+        assert campaign.mean_mpki("ITTAGE") < campaign.mean_mpki("BTB")
+        order = campaign.traces_sorted_by("BLBP")
+        assert set(order) == {"vd-e2e", "sw-e2e"}
+
+
+class TestWarmupEffect:
+    def test_warmup_reduces_measured_mpki(self, polymorphic_trace):
+        cold = simulate(BLBP(), polymorphic_trace).mpki()
+        warm = simulate(
+            BLBP(), polymorphic_trace,
+            warmup_records=len(polymorphic_trace) // 2,
+        ).mpki()
+        assert warm <= cold

@@ -1,0 +1,67 @@
+"""Golden regression locks.
+
+Every component is seeded, so exact misprediction counts at tiny scale
+are stable across runs on the same codebase.  These tests lock them in:
+any change to a predictor's algorithm, a generator's emission order, or
+a hash function will show up here first.  If a change is *intentional*,
+update the golden numbers — the point is that it cannot happen
+silently.
+"""
+
+import pytest
+
+from repro.core import BLBP, SNIP
+from repro.predictors import (
+    ITTAGE,
+    BranchTargetBuffer,
+    TargetCache,
+    TwoBitBTB,
+    VPCPredictor,
+)
+from repro.sim import simulate
+from repro.workloads import VirtualDispatchSpec
+
+
+@pytest.fixture(scope="module")
+def golden_trace():
+    return VirtualDispatchSpec(
+        name="golden", seed=2026, num_records=6000, num_sites=3,
+        num_types=4, determinism=0.95, signal_noise=0.01,
+        filler_conditionals=8,
+    ).generate()
+
+
+class TestGoldenTrace:
+    def test_trace_shape_locked(self, golden_trace):
+        assert len(golden_trace) == 6006
+        assert golden_trace.total_instructions() == 27862
+        assert int(golden_trace.indirect_mask().sum()) == 429
+
+    def test_trace_content_fingerprint(self, golden_trace):
+        # Cheap content fingerprint: sums are sensitive to any change in
+        # PC/target assignment or emission order.
+        assert int(golden_trace.pcs.sum()) % (1 << 31) == 1571673164
+        assert int(golden_trace.targets.sum()) % (1 << 31) == 1571716968
+
+
+class TestGoldenMispredictions:
+    @pytest.mark.parametrize(
+        "factory,expected",
+        [
+            (BranchTargetBuffer, 368),
+            (TwoBitBTB, 362),
+            (TargetCache, 178),
+            (VPCPredictor, 63),
+            (ITTAGE, 30),
+            (SNIP, 152),
+            (BLBP, 63),
+        ],
+        ids=["BTB", "2bit", "TargetCache", "VPC", "ITTAGE", "SNIP", "BLBP"],
+    )
+    def test_exact_misprediction_counts(self, golden_trace, factory, expected):
+        result = simulate(factory(), golden_trace)
+        assert result.indirect_mispredictions == expected, (
+            f"{factory.__name__}: got {result.indirect_mispredictions}, "
+            f"golden {expected} — algorithm behaviour changed; update the "
+            f"golden number only if the change is intentional"
+        )

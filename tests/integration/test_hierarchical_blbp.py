@@ -1,0 +1,57 @@
+"""End-to-end tests for BLBP with the hierarchical IBTB (§6)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import BLBP
+from repro.core.config import BLBPConfig
+from repro.sim import simulate
+from repro.workloads import SwitchCaseSpec, VirtualDispatchSpec
+
+
+@pytest.fixture(scope="module")
+def megamorphic_trace():
+    return SwitchCaseSpec(
+        name="mega-e2e", seed=81, num_records=12000, num_cases=24,
+        determinism=0.93, filler_conditionals=8,
+    ).generate()
+
+
+class TestHierarchicalBLBP:
+    def test_runs_end_to_end(self, megamorphic_trace):
+        config = dataclasses.replace(BLBPConfig(), use_hierarchical_ibtb=True)
+        result = simulate(BLBP(config), megamorphic_trace)
+        assert result.indirect_branches > 0
+        assert 0.0 <= result.misprediction_rate() <= 1.0
+
+    def test_recovers_low_associativity_loss(self, megamorphic_trace):
+        mono64 = simulate(BLBP(), megamorphic_trace).mpki()
+        mono8 = simulate(
+            BLBP(dataclasses.replace(BLBPConfig(), ibtb_ways=8, ibtb_sets=512)),
+            megamorphic_trace,
+        ).mpki()
+        hier = simulate(
+            BLBP(dataclasses.replace(BLBPConfig(), use_hierarchical_ibtb=True)),
+            megamorphic_trace,
+        ).mpki()
+        assert mono8 > mono64
+        # The hierarchy must close at least half of the 8-way gap.
+        assert hier <= mono64 + 0.5 * (mono8 - mono64)
+
+    def test_storage_budget_reports_hierarchy(self):
+        config = dataclasses.replace(BLBPConfig(), use_hierarchical_ibtb=True)
+        budget = BLBP(config).storage_budget()
+        items = budget.as_dict()
+        assert items["IBTB"] > 0
+
+    def test_matches_monolithic_on_monomorphic_workload(self):
+        trace = VirtualDispatchSpec(
+            name="mono-e2e", seed=82, num_records=6000, num_types=1,
+        ).generate()
+        mono = simulate(BLBP(), trace).mpki()
+        hier = simulate(
+            BLBP(dataclasses.replace(BLBPConfig(), use_hierarchical_ibtb=True)),
+            trace,
+        ).mpki()
+        assert hier == pytest.approx(mono, abs=0.05)

@@ -1,0 +1,80 @@
+"""Tests for the predictor base-class dispatch plumbing."""
+
+from repro.common.storage import StorageBudget
+from repro.predictors.base import IndirectBranchPredictor
+from repro.trace.record import BranchRecord, BranchType
+
+
+class _Recorder(IndirectBranchPredictor):
+    name = "recorder"
+
+    def __init__(self):
+        self.conditionals = []
+        self.retired = []
+
+    def predict_target(self, pc):
+        return None
+
+    def train(self, pc, target):
+        pass
+
+    def on_conditional(self, pc, taken):
+        self.conditionals.append((pc, taken))
+
+    def on_retired(self, pc, branch_type, target):
+        self.retired.append((pc, branch_type, target))
+
+    def storage_budget(self):
+        return StorageBudget(self.name)
+
+
+class TestOnBranchDispatch:
+    def test_conditional_routes_to_on_conditional(self):
+        recorder = _Recorder()
+        recorder.on_branch(
+            BranchRecord(0x10, BranchType.CONDITIONAL, False, 0x14, 0)
+        )
+        assert recorder.conditionals == [(0x10, False)]
+        assert recorder.retired == []
+
+    def test_others_route_to_on_retired_with_int_type(self):
+        recorder = _Recorder()
+        for branch_type in (
+            BranchType.DIRECT_JUMP,
+            BranchType.DIRECT_CALL,
+            BranchType.INDIRECT_JUMP,
+            BranchType.INDIRECT_CALL,
+            BranchType.RETURN,
+        ):
+            recorder.on_branch(
+                BranchRecord(0x10, branch_type, True, 0x20, 0)
+            )
+        assert recorder.conditionals == []
+        assert [bt for _, bt, _ in recorder.retired] == [
+            int(bt)
+            for bt in (
+                BranchType.DIRECT_JUMP,
+                BranchType.DIRECT_CALL,
+                BranchType.INDIRECT_JUMP,
+                BranchType.INDIRECT_CALL,
+                BranchType.RETURN,
+            )
+        ]
+
+    def test_default_hooks_are_noops(self):
+        class Minimal(IndirectBranchPredictor):
+            def predict_target(self, pc):
+                return None
+
+            def train(self, pc, target):
+                pass
+
+            def storage_budget(self):
+                return StorageBudget("minimal")
+
+        minimal = Minimal()
+        minimal.on_conditional(0x10, True)
+        minimal.on_retired(0x10, int(BranchType.RETURN), 0x20)
+        minimal.on_branch(
+            BranchRecord(0x10, BranchType.CONDITIONAL, True, 0x14, 0)
+        )

@@ -1,0 +1,49 @@
+"""Unit tests for the COTTAGE composition."""
+
+import numpy as np
+
+from repro.predictors.cottage import COTTAGE
+from repro.trace.record import BranchType
+
+
+class TestCOTTAGE:
+    def test_indirect_side_delegates_to_ittage(self):
+        predictor = COTTAGE()
+        for _ in range(4):
+            predictor.predict_target(0x1000)
+            predictor.train(0x1000, 0x2000)
+            predictor.on_retired(
+                0x1000, int(BranchType.INDIRECT_JUMP), 0x2000
+            )
+        assert predictor.predict_target(0x1000) == 0x2000
+
+    def test_conditional_side_tracks_accuracy(self):
+        predictor = COTTAGE()
+        for _ in range(100):
+            predictor.on_conditional(0x500, True)
+        assert predictor.conditional_count == 100
+        assert predictor.conditional_accuracy() > 0.9
+
+    def test_conditional_history_feeds_indirect(self):
+        """Both halves see the conditional stream: ITTAGE must be able
+        to use conditional outcomes to disambiguate targets."""
+        predictor = COTTAGE()
+        rng = np.random.default_rng(6)
+        targets = {False: 0x2000, True: 0x3000}
+        hits = 0
+        trials = 800
+        for i in range(trials):
+            signal = bool(rng.integers(2))
+            predictor.on_conditional(0x500, signal)
+            prediction = predictor.predict_target(0x1000)
+            actual = targets[signal]
+            if i > trials // 2 and prediction == actual:
+                hits += 1
+            predictor.train(0x1000, actual)
+            predictor.on_retired(0x1000, int(BranchType.INDIRECT_JUMP), actual)
+        assert hits > 0.85 * (trials // 2 - 1)
+
+    def test_storage_budget_has_both_halves(self):
+        items = [item for item, _ in COTTAGE().storage_budget().items]
+        assert any(item.startswith("TAGE:") for item in items)
+        assert any(item.startswith("ITTAGE:") for item in items)

@@ -1,0 +1,40 @@
+"""Unit tests for Chang et al.'s Target Cache."""
+
+from repro.predictors.target_cache import TargetCache
+from repro.trace.record import BranchType
+
+
+class TestTargetCache:
+    def test_cold_miss(self):
+        cache = TargetCache()
+        assert cache.predict_target(0x1000) is None
+
+    def test_history_disambiguates_polymorphic_branch(self):
+        """With target history in the index, an alternating branch maps
+        its two contexts to different entries — unlike the plain BTB."""
+        cache = TargetCache(num_entries=4096)
+        targets = [0x2000, 0x3000]
+        # Warm up the two contexts.
+        for i in range(40):
+            actual = targets[i % 2]
+            cache.predict_target(0x1000)
+            cache.train(0x1000, actual)
+            cache.on_retired(0x1000, int(BranchType.INDIRECT_JUMP), actual)
+        hits = 0
+        for i in range(40, 140):
+            actual = targets[i % 2]
+            if cache.predict_target(0x1000) == actual:
+                hits += 1
+            cache.train(0x1000, actual)
+            cache.on_retired(0x1000, int(BranchType.INDIRECT_JUMP), actual)
+        assert hits >= 95
+
+    def test_non_indirect_branches_do_not_shift_history(self):
+        cache = TargetCache()
+        before = cache._history
+        cache.on_retired(0x1000, int(BranchType.DIRECT_JUMP), 0x2000)
+        cache.on_conditional(0x1000, True)
+        assert cache._history == before
+
+    def test_storage_budget_positive(self):
+        assert TargetCache().storage_budget().total_bits() > 0

@@ -1,0 +1,102 @@
+"""Unit tests for the VPC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.vpc import VPCConfig, VPCPredictor
+
+def _drive(predictor, pc, target):
+    prediction = predictor.predict_target(pc)
+    predictor.train(pc, target)
+    return prediction
+
+
+class TestVPCConfig:
+    def test_defaults(self):
+        config = VPCConfig()
+        assert config.max_iterations == 16
+        assert config.btb_entries == 32768
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            VPCConfig(max_iterations=0)
+
+
+class TestVPC:
+    def test_cold_miss_then_learned(self):
+        predictor = VPCPredictor()
+        assert predictor.predict_target(0x1000) is None
+        predictor.train(0x1000, 0x2000)
+        assert predictor.predict_target(0x1000) == 0x2000
+
+    def test_monomorphic_branch_stable(self):
+        predictor = VPCPredictor()
+        hits = 0
+        for i in range(100):
+            if _drive(predictor, 0x1000, 0x2000) == 0x2000:
+                hits += 1
+        assert hits >= 98  # only the cold start misses
+
+    def test_history_correlated_polymorphic_branch(self):
+        predictor = VPCPredictor()
+        rng = np.random.default_rng(4)
+        targets = {False: 0x2000, True: 0x3000}
+        hits = 0
+        trials = 1000
+        for i in range(trials):
+            signal = bool(rng.integers(2))
+            predictor.on_conditional(0x500, signal)
+            actual = targets[signal]
+            if _drive(predictor, 0x1000, actual) == actual and i > trials // 2:
+                hits += 1
+        assert hits > 0.8 * (trials // 2 - 1)
+
+    def test_stores_multiple_targets(self):
+        predictor = VPCPredictor()
+        for target in (0x2000, 0x3000, 0x4000):
+            predictor.train(0x1000, target)
+        stored = set()
+        for iteration in range(predictor.config.max_iterations):
+            vpca = predictor._vpca(0x1000, iteration)
+            hit = predictor._btb.lookup(vpca)
+            if hit is not None:
+                stored.add(hit)
+        assert stored == {0x2000, 0x3000, 0x4000}
+
+    def test_fallback_bounds_worst_case(self):
+        """With the fallback on, a branch with a stored target never
+        returns None after warm-up."""
+        predictor = VPCPredictor()
+        predictor.train(0x1000, 0x2000)
+        for _ in range(50):
+            assert predictor.predict_target(0x1000) is not None
+            predictor.train(0x1000, 0x3000)
+
+    def test_no_fallback_can_return_none(self):
+        predictor = VPCPredictor(VPCConfig(fallback_to_first=False))
+        # Train heavily not-taken so every virtual slot predicts NT.
+        for _ in range(200):
+            predictor.train(0x1000, 0x2000 if _ % 2 else 0x3000)
+        # It may or may not be None, but the code path must be exercisable:
+        result = predictor.predict_target(0x1000)
+        assert result is None or isinstance(result, int)
+
+    def test_conditional_accuracy_tracked(self):
+        predictor = VPCPredictor()
+        for _ in range(50):
+            predictor.on_conditional(0x500, True)
+        assert predictor.conditional_count == 50
+        assert 0.0 <= predictor.conditional_accuracy() <= 1.0
+
+    def test_vpca_zero_is_pc(self):
+        predictor = VPCPredictor()
+        assert predictor._vpca(0x1234, 0) == 0x1234
+
+    def test_vpca_distinct_per_iteration(self):
+        predictor = VPCPredictor()
+        vpcas = {predictor._vpca(0x1000, i) for i in range(12)}
+        assert len(vpcas) == 12
+
+    def test_storage_budget_includes_conditional(self):
+        budget = VPCPredictor().storage_budget()
+        assert any("conditional" in item for item, _ in budget.items)

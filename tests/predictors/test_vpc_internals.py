@@ -1,0 +1,74 @@
+"""White-box tests for VPC's devirtualization mechanics."""
+
+import pytest
+
+from repro.predictors.vpc import VPCConfig, VPCPredictor
+
+
+class TestVirtualSlotManagement:
+    def test_targets_fill_successive_iterations(self):
+        predictor = VPCPredictor()
+        targets = [0x2000, 0x3000, 0x4000]
+        for target in targets:
+            predictor.train(0x1000, target)
+        stored = []
+        for iteration in range(predictor.config.max_iterations):
+            hit = predictor._btb.lookup(predictor._vpca(0x1000, iteration))
+            if hit is not None:
+                stored.append(hit)
+        assert stored[0] == 0x2000  # first-seen target at iteration 0
+
+    def test_correct_prediction_promotes_recency(self):
+        predictor = VPCPredictor()
+        predictor.train(0x1000, 0x2000)
+        predictor.train(0x1000, 0x3000)
+        tick_before = predictor._btb.tick_of(predictor._vpca(0x1000, 0))
+        # Hit target 0x2000 again: its slot's tick must advance.
+        prediction = predictor.predict_target(0x1000)
+        predictor.train(0x1000, 0x2000)
+        assert predictor._btb.tick_of(
+            predictor._vpca(0x1000, 0)
+        ) > tick_before
+
+    def test_capacity_bounded_by_max_iterations(self):
+        predictor = VPCPredictor(VPCConfig(max_iterations=4))
+        for i in range(10):
+            predictor.train(0x1000, 0x2000 + i * 0x100)
+        stored = [
+            predictor._btb.lookup(predictor._vpca(0x1000, iteration))
+            for iteration in range(4)
+        ]
+        assert sum(1 for s in stored if s is not None) == 4
+
+    def test_eviction_replaces_least_recent_slot(self):
+        predictor = VPCPredictor(VPCConfig(max_iterations=2))
+        predictor.train(0x1000, 0xA000)   # slot 0
+        predictor.train(0x1000, 0xB000)   # slot 1
+        # Use A repeatedly so B's slot is the stale one.
+        for _ in range(3):
+            predictor.predict_target(0x1000)
+            predictor.train(0x1000, 0xA000)
+        predictor.train(0x1000, 0xC000)   # must displace B, not A
+        stored = {
+            predictor._btb.lookup(predictor._vpca(0x1000, iteration))
+            for iteration in range(2)
+        }
+        assert 0xA000 in stored
+        assert 0xC000 in stored
+
+
+class TestSharedConditionalTraffic:
+    def test_virtual_training_reaches_weights_not_history(self):
+        predictor = VPCPredictor()
+        mpp = predictor.conditional
+        ghist_before = mpp._ghist.value()
+        predictor.train(0x1000, 0x2000)
+        # Virtual updates train tables but must not shift history.
+        assert mpp._ghist.value() == ghist_before
+
+    def test_real_conditionals_shift_history(self):
+        predictor = VPCPredictor()
+        mpp = predictor.conditional
+        before = mpp._ghist.value()
+        predictor.on_conditional(0x500, True)
+        assert mpp._ghist.value() != before

@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitops import bits_of, bits_to_int, mask
+from repro.common.hashing import fold_int, stable_hash64
+from repro.common.history import GlobalHistory
+from repro.common.replacement import LRUPolicy, RRIPPolicy
+from repro.core.regions import RegionArray
+from repro.core.subpredictor import WeightBank
+from repro.core.transfer import TransferFunction
+from repro.sim.ras import ReturnAddressStack
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestBitopsProperties:
+    @given(value=st.integers(min_value=0, max_value=(1 << 60) - 1),
+           width=st.integers(min_value=0, max_value=60),
+           low=st.integers(min_value=0, max_value=8))
+    def test_bits_round_trip(self, value, width, low):
+        field = bits_of(value, width, low)
+        assert bits_to_int(field, low) == value & (mask(width) << low)
+
+    @given(value=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_stable_hash_in_range(self, value):
+        assert 0 <= stable_hash64(value) < 1 << 64
+
+    @given(value=st.integers(min_value=0), total=st.integers(1, 200),
+           width=st.integers(1, 32))
+    def test_fold_in_range(self, value, total, width):
+        assert 0 <= fold_int(value, total, width) < (1 << width)
+
+
+class TestHistoryProperties:
+    @given(outcomes=st.lists(st.booleans(), max_size=100),
+           capacity=st.integers(1, 64))
+    def test_history_matches_reference(self, outcomes, capacity):
+        history = GlobalHistory(capacity)
+        reference = 0
+        for outcome in outcomes:
+            history.push(outcome)
+            reference = ((reference << 1) | int(outcome)) & mask(capacity)
+        assert history.value() == reference
+
+
+class TestReplacementProperties:
+    @given(touches=st.lists(st.integers(0, 7), max_size=60))
+    def test_lru_victim_always_valid(self, touches):
+        lru = LRUPolicy(8)
+        for way in touches:
+            lru.touch(way)
+        assert 0 <= lru.victim() < 8
+
+    @given(touches=st.lists(st.integers(0, 7), max_size=60))
+    def test_lru_victim_is_not_most_recent(self, touches):
+        lru = LRUPolicy(8)
+        for way in touches:
+            lru.touch(way)
+        if touches:
+            assert lru.victim() != touches[-1] or len(set(touches)) == 1
+
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["touch", "insert"]), st.integers(0, 3)),
+        max_size=60,
+    ))
+    def test_rrip_victim_terminates_and_valid(self, ops):
+        rrip = RRIPPolicy(4)
+        for op, way in ops:
+            if op == "touch":
+                rrip.touch(way)
+            else:
+                rrip.insert(way)
+        assert 0 <= rrip.victim() < 4
+
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["touch", "insert"]), st.integers(0, 3)),
+        max_size=60,
+    ))
+    def test_rrip_values_in_range(self, ops):
+        rrip = RRIPPolicy(4, rrpv_bits=2)
+        for op, way in ops:
+            getattr(rrip, op)(way)
+        for way in range(4):
+            assert 0 <= rrip.rrpv(way) <= 3
+
+
+class TestRegionProperties:
+    @given(targets=st.lists(addresses, min_size=1, max_size=40))
+    def test_encode_decode_either_exact_or_invalidated(self, targets):
+        regions = RegionArray(num_entries=4, offset_bits=16)
+        encodings = [(t, regions.encode(t)) for t in targets]
+        for target, (index, generation, offset) in encodings:
+            decoded = regions.decode(index, generation, offset)
+            assert decoded is None or decoded == target
+
+    @given(targets=st.lists(addresses, min_size=1, max_size=40))
+    def test_last_encoding_always_decodable(self, targets):
+        regions = RegionArray(num_entries=4, offset_bits=16)
+        for target in targets:
+            encoding = regions.encode(target)
+            assert regions.decode(*encoding) == target
+
+
+class TestWeightBankProperties:
+    @given(steps=st.lists(
+        st.tuples(
+            st.integers(0, 7),                      # row
+            st.lists(st.booleans(), min_size=4, max_size=4),   # desired
+            st.lists(st.booleans(), min_size=4, max_size=4),   # mask
+        ),
+        max_size=80,
+    ))
+    def test_weights_always_saturated(self, steps):
+        bank = WeightBank(rows=8, num_bits=4, weight_bits=4)
+        for row, desired, train_mask in steps:
+            bank.train(row, np.array(desired), np.array(train_mask))
+        assert int(bank.weights.max()) <= 7
+        assert int(bank.weights.min()) >= -7
+
+    @given(count=st.integers(1, 30))
+    def test_training_is_monotone_toward_bit(self, count):
+        bank = WeightBank(rows=1, num_bits=1, weight_bits=4)
+        for _ in range(count):
+            bank.train(0, np.array([True]), np.array([True]))
+        assert int(bank.read(0)[0]) == min(count, 7)
+
+
+class TestTransferProperties:
+    @given(weights=st.lists(st.integers(-7, 7), min_size=1, max_size=32))
+    def test_sign_preserved(self, weights):
+        transfer = TransferFunction((0, 1, 2, 3, 5, 8, 12, 17))
+        out = transfer.apply(np.array(weights, dtype=np.int8))
+        for raw, transferred in zip(weights, out.tolist()):
+            assert np.sign(raw) == np.sign(transferred)
+
+
+class TestRASProperties:
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), addresses),
+            st.tuples(st.just("pop"), st.just(0)),
+        ),
+        max_size=100,
+    ))
+    def test_ras_is_bounded_stack(self, ops):
+        ras = ReturnAddressStack(depth=8)
+        model = []
+        for op, value in ops:
+            if op == "push":
+                ras.push(value)
+                model.append(value)
+                if len(model) > 8:
+                    model.pop(0)
+            else:
+                expected = model.pop() if model else None
+                assert ras.pop() == expected
+            assert len(ras) == len(model)
+            assert ras.predict() == (model[-1] if model else None)

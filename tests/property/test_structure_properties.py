@@ -1,0 +1,100 @@
+"""Model-based property tests: IBTB vs a reference dictionary, and
+hierarchical-IBTB containment invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hibtb import HierarchicalIBTB
+from repro.core.ibtb import IndirectBTB
+from repro.core.regions import RegionArray
+
+pcs = st.sampled_from([0x1000, 0x1040, 0x2000, 0x2100, 0x3000])
+targets = st.sampled_from(
+    [0x40_0004, 0x40_0128, 0x40_0A3C, 0x41_0010, 0x42_0844, 0x43_0220]
+)
+streams = st.lists(st.tuples(pcs, targets), max_size=120)
+
+
+class TestIBTBModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams)
+    def test_lookup_subset_of_inserted(self, stream):
+        """Every target the IBTB returns for a pc was once inserted for
+        a pc with the same set/tag (no fabricated targets)."""
+        ibtb = IndirectBTB(num_sets=2, num_ways=4)
+        inserted = set()
+        for pc, target in stream:
+            ibtb.ensure(pc, target)
+            inserted.add(target)
+            for _, found in ibtb.lookup(pc):
+                assert found in inserted
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams)
+    def test_most_recent_insert_always_present(self, stream):
+        ibtb = IndirectBTB(num_sets=2, num_ways=4)
+        for pc, target in stream:
+            ibtb.ensure(pc, target)
+            assert target in {t for _, t in ibtb.lookup(pc)}
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams)
+    def test_candidates_unique(self, stream):
+        ibtb = IndirectBTB(num_sets=2, num_ways=8)
+        for pc, target in stream:
+            ibtb.ensure(pc, target)
+            found = [t for _, t in ibtb.lookup(pc)]
+            assert len(found) == len(set(found))
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=streams)
+    def test_occupancy_bounded(self, stream):
+        ibtb = IndirectBTB(num_sets=2, num_ways=4)
+        for pc, target in stream:
+            ibtb.ensure(pc, target)
+        assert ibtb.occupancy() <= 2 * 4
+
+
+class TestHierarchicalIBTBProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams)
+    def test_most_recent_insert_always_present(self, stream):
+        hibtb = HierarchicalIBTB(l1_entries=2, l2_sets=4, l2_ways=2)
+        for pc, target in stream:
+            hibtb.ensure(pc, target)
+            assert target in {t for _, t in hibtb.lookup(pc)}
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams)
+    def test_candidates_unique_across_levels(self, stream):
+        hibtb = HierarchicalIBTB(l1_entries=2, l2_sets=4, l2_ways=2)
+        for pc, target in stream:
+            hibtb.ensure(pc, target)
+            found = [t for _, t in hibtb.lookup(pc)]
+            assert len(found) == len(set(found))
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams)
+    def test_touch_never_breaks_lookup(self, stream):
+        hibtb = HierarchicalIBTB(l1_entries=2, l2_sets=4, l2_ways=2)
+        for pc, target in stream:
+            hibtb.ensure(pc, target)
+            for handle, _ in hibtb.lookup(pc):
+                hibtb.touch(pc, handle)
+            assert target in {t for _, t in hibtb.lookup(pc)}
+
+
+class TestRegionSharingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(stream=streams)
+    def test_shared_region_array_consistency(self, stream):
+        """An IBTB sharing a tiny region array never returns a target
+        whose region was recycled (stale entries must be dropped)."""
+        regions = RegionArray(num_entries=2, offset_bits=16)
+        ibtb = IndirectBTB(num_sets=2, num_ways=4, regions=regions)
+        inserted = set()
+        for pc, target in stream:
+            ibtb.ensure(pc, target)
+            inserted.add(target)
+            for _, found in ibtb.lookup(pc):
+                assert found in inserted

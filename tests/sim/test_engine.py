@@ -1,0 +1,103 @@
+"""Tests for the simulation engine's accounting discipline."""
+
+from typing import Optional
+
+import pytest
+
+from repro.common.storage import StorageBudget
+from repro.predictors.base import IndirectBranchPredictor
+from repro.predictors.btb import BranchTargetBuffer
+from repro.sim.engine import simulate
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stream import Trace
+
+
+class _Oracle(IndirectBranchPredictor):
+    """Predicts whatever it was last trained with per PC (perfect after
+    first sighting); also records the calls it receives."""
+
+    name = "oracle"
+
+    def __init__(self):
+        self.last = {}
+        self.predict_calls = []
+        self.train_calls = []
+        self.conditional_calls = []
+        self.retired_calls = []
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        self.predict_calls.append(pc)
+        return self.last.get(pc)
+
+    def train(self, pc: int, target: int) -> None:
+        self.train_calls.append((pc, target))
+        self.last[pc] = target
+
+    def on_conditional(self, pc: int, taken: bool) -> None:
+        self.conditional_calls.append((pc, taken))
+
+    def on_retired(self, pc: int, branch_type: int, target: int) -> None:
+        self.retired_calls.append((pc, branch_type, target))
+
+    def storage_budget(self) -> StorageBudget:
+        return StorageBudget(self.name)
+
+
+class TestSimulate:
+    def test_counts_branch_populations(self, tiny_trace):
+        result = simulate(_Oracle(), tiny_trace)
+        assert result.conditional_branches == 2
+        assert result.indirect_branches == 2
+        assert result.return_branches == 2
+
+    def test_indirect_mispredictions_cold_only(self, tiny_trace):
+        result = simulate(_Oracle(), tiny_trace)
+        # Both indirect branches are seen once -> both cold misses.
+        assert result.indirect_mispredictions == 2
+
+    def test_predict_train_pairing(self, tiny_trace):
+        oracle = _Oracle()
+        simulate(oracle, tiny_trace)
+        assert len(oracle.predict_calls) == len(oracle.train_calls) == 2
+
+    def test_conditionals_reach_hook(self, tiny_trace):
+        oracle = _Oracle()
+        simulate(oracle, tiny_trace)
+        assert oracle.conditional_calls == [(0x1000, True), (0x2040, False)]
+
+    def test_non_conditionals_retired(self, tiny_trace):
+        oracle = _Oracle()
+        simulate(oracle, tiny_trace)
+        assert len(oracle.retired_calls) == 6  # everything non-conditional
+
+    def test_ras_predicts_balanced_returns(self, tiny_trace):
+        result = simulate(_Oracle(), tiny_trace)
+        assert result.return_mispredictions == 0
+
+    def test_total_instructions_matches_trace(self, tiny_trace):
+        result = simulate(_Oracle(), tiny_trace)
+        assert result.total_instructions == tiny_trace.total_instructions()
+
+    def test_warmup_excludes_early_mispredictions(self, tiny_trace):
+        result = simulate(_Oracle(), tiny_trace, warmup_records=len(tiny_trace))
+        assert result.indirect_mispredictions == 0
+        assert result.indirect_branches == 0
+
+    def test_per_pc_collection(self, tiny_trace):
+        result = simulate(_Oracle(), tiny_trace, collect_per_pc=True)
+        assert sum(result.mispredictions_by_pc.values()) == 2
+
+    def test_mpki_definition(self):
+        # One indirect miss in exactly 2000 instructions -> 0.5 MPKI.
+        records = [
+            BranchRecord(0x10, BranchType.INDIRECT_JUMP, True, 0x20, 1998),
+            BranchRecord(0x30, BranchType.CONDITIONAL, True, 0x40, 0),
+        ]
+        trace = Trace.from_records("mpki", records)
+        result = simulate(_Oracle(), trace)
+        assert result.mpki() == pytest.approx(0.5)
+
+    def test_real_predictor_runs(self, vdispatch_trace):
+        result = simulate(BranchTargetBuffer(), vdispatch_trace)
+        assert result.indirect_branches > 0
+        assert 0 <= result.misprediction_rate() <= 1

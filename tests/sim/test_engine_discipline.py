@@ -1,0 +1,97 @@
+"""Tests for the engine's event-ordering discipline.
+
+The §4.2 simulation contract fixes a precise order of operations per
+branch; predictors depend on it (e.g. BLBP must see predict before the
+outcome enters any history).  A scripted predictor records the exact
+call sequence and these tests pin it down.
+"""
+
+from typing import Optional
+
+from repro.common.storage import StorageBudget
+from repro.predictors.base import IndirectBranchPredictor
+from repro.sim.engine import simulate
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stream import Trace
+
+
+class _Scribe(IndirectBranchPredictor):
+    name = "scribe"
+
+    def __init__(self):
+        self.log = []
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        self.log.append(("predict", pc))
+        return None
+
+    def train(self, pc: int, target: int) -> None:
+        self.log.append(("train", pc, target))
+
+    def on_conditional(self, pc: int, taken: bool) -> None:
+        self.log.append(("cond", pc, taken))
+
+    def on_retired(self, pc: int, branch_type: int, target: int) -> None:
+        self.log.append(("retired", pc, branch_type))
+
+    def storage_budget(self) -> StorageBudget:
+        return StorageBudget(self.name)
+
+
+def _trace(records):
+    return Trace.from_records("discipline", records)
+
+
+class TestEventOrdering:
+    def test_predict_precedes_train_precedes_retire(self):
+        trace = _trace([
+            BranchRecord(0x10, BranchType.INDIRECT_JUMP, True, 0x100, 0),
+        ])
+        scribe = _Scribe()
+        simulate(scribe, trace)
+        assert scribe.log == [
+            ("predict", 0x10),
+            ("train", 0x10, 0x100),
+            ("retired", 0x10, int(BranchType.INDIRECT_JUMP)),
+        ]
+
+    def test_program_order_preserved(self):
+        trace = _trace([
+            BranchRecord(0x10, BranchType.CONDITIONAL, True, 0x20, 0),
+            BranchRecord(0x20, BranchType.INDIRECT_CALL, True, 0x100, 0),
+            BranchRecord(0x180, BranchType.RETURN, True, 0x24, 0),
+            BranchRecord(0x24, BranchType.CONDITIONAL, False, 0x28, 0),
+        ])
+        scribe = _Scribe()
+        simulate(scribe, trace)
+        kinds = [entry[0] for entry in scribe.log]
+        assert kinds == ["cond", "predict", "train", "retired", "retired",
+                        "cond"]
+
+    def test_conditionals_never_reach_indirect_hooks(self):
+        trace = _trace([
+            BranchRecord(0x10, BranchType.CONDITIONAL, True, 0x20, 0),
+        ] * 5)
+        scribe = _Scribe()
+        simulate(scribe, trace)
+        assert all(entry[0] == "cond" for entry in scribe.log)
+
+    def test_direct_branches_only_retire(self):
+        trace = _trace([
+            BranchRecord(0x10, BranchType.DIRECT_JUMP, True, 0x20, 0),
+            BranchRecord(0x20, BranchType.DIRECT_CALL, True, 0x100, 0),
+        ])
+        scribe = _Scribe()
+        simulate(scribe, trace)
+        assert [entry[0] for entry in scribe.log] == ["retired", "retired"]
+
+    def test_returns_do_not_touch_indirect_predictor(self):
+        trace = _trace([
+            BranchRecord(0x10, BranchType.DIRECT_CALL, True, 0x100, 0),
+            BranchRecord(0x180, BranchType.RETURN, True, 0x14, 0),
+        ])
+        scribe = _Scribe()
+        result = simulate(scribe, trace)
+        assert ("predict", 0x180) not in scribe.log
+        assert result.indirect_branches == 0
+        assert result.return_branches == 1

@@ -1,0 +1,69 @@
+"""Tests for front-end co-simulation and the consolidated BLBP front-end."""
+
+import pytest
+
+from repro.core.frontend import ConsolidatedBLBPFrontend
+from repro.predictors import COTTAGE, BranchTargetBuffer, VPCPredictor
+from repro.sim.frontend import FrontendResult, simulate_frontend
+
+
+class TestSimulateFrontend:
+    @pytest.mark.parametrize(
+        "factory", [COTTAGE, VPCPredictor, ConsolidatedBLBPFrontend],
+        ids=["COTTAGE", "VPC", "BLBP-frontend"],
+    )
+    def test_runs_and_accounts(self, factory, vdispatch_trace):
+        result = simulate_frontend(factory(), vdispatch_trace)
+        assert result.conditional_branches > 0
+        assert 0.0 <= result.conditional_accuracy() <= 1.0
+        assert result.total_mpki() >= result.indirect_mpki()
+
+    def test_total_is_sum_of_parts(self, vdispatch_trace):
+        result = simulate_frontend(COTTAGE(), vdispatch_trace)
+        assert result.total_mpki() == pytest.approx(
+            result.indirect_mpki()
+            + result.conditional_mpki()
+            + result.return_mpki()
+        )
+
+    def test_rejects_non_frontend(self, vdispatch_trace):
+        with pytest.raises(TypeError):
+            simulate_frontend(BranchTargetBuffer(), vdispatch_trace)
+
+    def test_empty_trace_result(self):
+        result = FrontendResult(
+            trace_name="t", frontend_name="f", total_instructions=0,
+            indirect_mispredictions=0, conditional_branches=0,
+            conditional_mispredictions=0, return_mispredictions=0,
+        )
+        assert result.total_mpki() == 0.0
+        assert result.conditional_accuracy() == 1.0
+
+
+class TestConsolidatedBLBPFrontend:
+    def test_conditional_side_learns(self, vdispatch_trace):
+        result = simulate_frontend(
+            ConsolidatedBLBPFrontend(), vdispatch_trace
+        )
+        assert result.conditional_accuracy() > 0.8
+
+    def test_indirect_side_learns(self, vdispatch_trace):
+        from repro.sim import simulate
+
+        frontend = ConsolidatedBLBPFrontend()
+        result = simulate_frontend(frontend, vdispatch_trace)
+        btb = simulate(BranchTargetBuffer(), vdispatch_trace)
+        assert result.indirect_mpki() < btb.mpki()
+
+    def test_shared_config(self):
+        frontend = ConsolidatedBLBPFrontend()
+        assert frontend.indirect.config is frontend.config
+        assert frontend.conditional.config is frontend.config
+
+    def test_budget_has_both_sides(self):
+        items = [
+            item
+            for item, _ in ConsolidatedBLBPFrontend().storage_budget().items
+        ]
+        assert any(item.startswith("targets:") for item in items)
+        assert any(item.startswith("directions:") for item in items)

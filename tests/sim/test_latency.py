@@ -1,0 +1,86 @@
+"""Unit tests for the §3.7 selection-latency model."""
+
+import pytest
+
+from repro.core import BLBP
+from repro.sim.latency import (
+    LatencyProfile,
+    format_latency_profile,
+    profile_selection_latency,
+)
+from repro.workloads import SwitchCaseSpec, VirtualDispatchSpec
+
+
+class TestLatencyProfile:
+    def _profile(self):
+        return LatencyProfile(
+            trace_name="t",
+            similarities_per_cycle=5,
+            cycles_histogram={1: 60, 2: 30, 4: 10},
+        )
+
+    def test_fraction_within(self):
+        profile = self._profile()
+        assert profile.fraction_within(1) == pytest.approx(0.6)
+        assert profile.fraction_within(2) == pytest.approx(0.9)
+        assert profile.fraction_within(4) == pytest.approx(1.0)
+
+    def test_mean_cycles(self):
+        profile = self._profile()
+        assert profile.mean_cycles() == pytest.approx(
+            (60 * 1 + 30 * 2 + 10 * 4) / 100
+        )
+
+    def test_merge_pools_histograms(self):
+        a = self._profile()
+        b = LatencyProfile("u", 5, {1: 40, 3: 10})
+        a.merge(b)
+        assert a.cycles_histogram[1] == 100
+        assert a.cycles_histogram[3] == 10
+
+    def test_merge_rejects_mismatched_throughput(self):
+        with pytest.raises(ValueError):
+            self._profile().merge(LatencyProfile("u", 3, {1: 1}))
+
+    def test_empty_profile(self):
+        profile = LatencyProfile("t", 5, {})
+        assert profile.fraction_within(1) == 0.0
+        assert profile.mean_cycles() == 0.0
+
+
+class TestProfileSelectionLatency:
+    def test_monomorphic_workload_is_single_cycle(self):
+        trace = VirtualDispatchSpec(
+            name="mono", seed=91, num_records=4000, num_types=1,
+        ).generate()
+        profile = profile_selection_latency(BLBP(), trace)
+        assert profile.fraction_within(1) == pytest.approx(1.0)
+
+    def test_megamorphic_workload_needs_more_cycles(self):
+        trace = SwitchCaseSpec(
+            name="mega", seed=92, num_records=6000, num_cases=24,
+            determinism=0.9,
+        ).generate()
+        profile = profile_selection_latency(BLBP(), trace)
+        assert profile.fraction_within(1) < 0.9
+        # 24 candidates at 5/cycle need up to ceil(24/5) = 5 cycles.
+        assert max(profile.cycles_histogram) <= 5
+
+    def test_throughput_scales_cycles(self):
+        trace = SwitchCaseSpec(
+            name="mega", seed=92, num_records=6000, num_cases=24,
+            determinism=0.9,
+        ).generate()
+        slow = profile_selection_latency(BLBP(), trace, similarities_per_cycle=1)
+        fast = profile_selection_latency(BLBP(), trace, similarities_per_cycle=8)
+        assert slow.mean_cycles() > fast.mean_cycles()
+
+    def test_bad_throughput_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            profile_selection_latency(BLBP(), tiny_trace,
+                                      similarities_per_cycle=0)
+
+    def test_format(self):
+        profile = LatencyProfile("t", 5, {1: 10})
+        rendered = format_latency_profile(profile)
+        assert "similarities/cycle" in rendered

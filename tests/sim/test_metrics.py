@@ -1,0 +1,74 @@
+"""Unit tests for simulation metrics and campaign containers."""
+
+import pytest
+
+from repro.sim.metrics import CampaignResult, SimulationResult
+
+
+def _result(trace, predictor, instructions, mispredictions, indirect=100):
+    return SimulationResult(
+        trace_name=trace,
+        predictor_name=predictor,
+        total_instructions=instructions,
+        indirect_branches=indirect,
+        indirect_mispredictions=mispredictions,
+    )
+
+
+class TestSimulationResult:
+    def test_mpki(self):
+        result = _result("t", "p", 1_000_000, 500)
+        assert result.mpki() == pytest.approx(0.5)
+
+    def test_mpki_empty_trace(self):
+        assert _result("t", "p", 0, 0).mpki() == 0.0
+
+    def test_misprediction_rate(self):
+        result = _result("t", "p", 1000, 25, indirect=100)
+        assert result.misprediction_rate() == pytest.approx(0.25)
+
+    def test_return_mpki(self):
+        result = SimulationResult(
+            trace_name="t",
+            predictor_name="p",
+            total_instructions=10_000,
+            indirect_branches=0,
+            indirect_mispredictions=0,
+            return_branches=50,
+            return_mispredictions=5,
+        )
+        assert result.return_mpki() == pytest.approx(0.5)
+
+
+class TestCampaignResult:
+    def _campaign(self):
+        campaign = CampaignResult()
+        campaign.add(_result("a", "BLBP", 1000, 1))
+        campaign.add(_result("a", "ITTAGE", 1000, 3))
+        campaign.add(_result("b", "BLBP", 1000, 4))
+        campaign.add(_result("b", "ITTAGE", 1000, 2))
+        return campaign
+
+    def test_predictors_and_traces(self):
+        campaign = self._campaign()
+        assert campaign.predictors() == ["BLBP", "ITTAGE"]
+        assert campaign.traces() == ["a", "b"]
+
+    def test_mean_mpki(self):
+        campaign = self._campaign()
+        assert campaign.mean_mpki("BLBP") == pytest.approx(2.5)
+
+    def test_mean_of_unknown_predictor_raises(self):
+        with pytest.raises(KeyError):
+            self._campaign().mean_mpki("nope")
+
+    def test_sorted_by(self):
+        campaign = self._campaign()
+        assert campaign.traces_sorted_by("BLBP") == ["a", "b"]
+        assert campaign.traces_sorted_by("ITTAGE") == ["b", "a"]
+
+    def test_series_follows_order(self):
+        campaign = self._campaign()
+        order = campaign.traces_sorted_by("BLBP")
+        series = campaign.mpki_series("ITTAGE", order)
+        assert series == [pytest.approx(3.0), pytest.approx(2.0)]

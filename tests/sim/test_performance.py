@@ -1,0 +1,70 @@
+"""Tests for the MPKI -> CPI performance model."""
+
+import pytest
+
+from repro.sim.metrics import SimulationResult
+from repro.sim.performance import PipelineModel
+
+
+def _result(instructions, indirect_misses, return_misses=0):
+    return SimulationResult(
+        trace_name="t",
+        predictor_name="p",
+        total_instructions=instructions,
+        indirect_branches=1000,
+        indirect_mispredictions=indirect_misses,
+        return_branches=100,
+        return_mispredictions=return_misses,
+    )
+
+
+class TestPipelineModel:
+    def test_perfect_prediction_gives_base_cpi(self):
+        model = PipelineModel(base_cpi=0.5)
+        assert model.cpi(_result(1_000_000, 0)) == pytest.approx(0.5)
+
+    def test_linear_in_misprediction_rate(self):
+        """The §4.2 linearity: CPI grows linearly with MPKI."""
+        model = PipelineModel(base_cpi=0.5, indirect_penalty=20.0)
+        cpi_1 = model.cpi(_result(1_000_000, 1000))   # 1 MPKI
+        cpi_2 = model.cpi(_result(1_000_000, 2000))   # 2 MPKI
+        cpi_3 = model.cpi(_result(1_000_000, 3000))   # 3 MPKI
+        assert cpi_2 - cpi_1 == pytest.approx(cpi_3 - cpi_2)
+        assert cpi_2 - cpi_1 == pytest.approx(20.0 * 1e-3)
+
+    def test_cpi_from_mpki_matches_result_path(self):
+        model = PipelineModel()
+        result = _result(1_000_000, 500)
+        assert model.cpi_from_mpki(result.mpki()) == pytest.approx(
+            model.cpi(result)
+        )
+
+    def test_return_penalty_counted(self):
+        model = PipelineModel(return_penalty=30.0)
+        with_returns = model.cpi(_result(1_000_000, 0, return_misses=1000))
+        without = model.cpi(_result(1_000_000, 0))
+        assert with_returns - without == pytest.approx(30.0 * 1e-3)
+
+    def test_speedup_direction(self):
+        model = PipelineModel()
+        slow = _result(1_000_000, 5000)
+        fast = _result(1_000_000, 500)
+        assert model.speedup(slow, fast) > 1.0
+        assert model.speedup(fast, slow) < 1.0
+
+    def test_ipc_loss_bounds(self):
+        model = PipelineModel()
+        assert model.mpki_to_ipc_loss(0.0) == pytest.approx(0.0)
+        assert 0.0 < model.mpki_to_ipc_loss(3.4) < 1.0
+
+    def test_empty_trace(self):
+        model = PipelineModel()
+        assert model.cpi(_result(0, 0)) == model.base_cpi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineModel(base_cpi=0.0)
+        with pytest.raises(ValueError):
+            PipelineModel(indirect_penalty=-1.0)
+        with pytest.raises(ValueError):
+            PipelineModel().cpi_from_mpki(-1.0)

@@ -1,0 +1,46 @@
+"""Unit tests for the return-address stack."""
+
+from repro.sim.ras import ReturnAddressStack
+
+
+class TestReturnAddressStack:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack()
+        ras.push(0x1004)
+        ras.push(0x2004)
+        assert ras.predict() == 0x2004
+        assert ras.pop() == 0x2004
+        assert ras.predict() == 0x1004
+
+    def test_empty_predicts_none(self):
+        ras = ReturnAddressStack()
+        assert ras.predict() is None
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)
+        assert ras.overflows == 1
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+        assert ras.pop() is None
+
+    def test_len(self):
+        ras = ReturnAddressStack()
+        assert len(ras) == 0
+        ras.push(0x1)
+        assert len(ras) == 1
+
+    def test_perfect_on_balanced_nesting(self):
+        ras = ReturnAddressStack(depth=32)
+        calls = [0x1000, 0x2000, 0x3000]
+        for pc in calls:
+            ras.push(pc + 4)
+        for pc in reversed(calls):
+            assert ras.predict() == pc + 4
+            ras.pop()
+
+    def test_storage_budget(self):
+        assert ReturnAddressStack(depth=32).storage_budget().total_bits() > 0

@@ -1,0 +1,67 @@
+"""Tests for the plain-text report rendering."""
+
+from repro.sim.metrics import CampaignResult, SimulationResult
+from repro.sim.report import (
+    format_breakdown_table,
+    format_campaign,
+    format_mpki_table,
+    format_series,
+)
+
+
+def _campaign():
+    campaign = CampaignResult()
+    for trace, blbp, ittage in (("a", 1, 3), ("b", 4, 2)):
+        for name, misses in (("BLBP", blbp), ("ITTAGE", ittage)):
+            campaign.add(
+                SimulationResult(
+                    trace_name=trace,
+                    predictor_name=name,
+                    total_instructions=1000,
+                    indirect_branches=100,
+                    indirect_mispredictions=misses,
+                )
+            )
+    return campaign
+
+
+class TestFormatMpkiTable:
+    def test_contains_all_rows_and_means(self):
+        rendered = format_mpki_table(_campaign())
+        assert "a" in rendered and "b" in rendered
+        assert "MEAN" in rendered
+        assert "BLBP" in rendered and "ITTAGE" in rendered
+
+    def test_sort_by_orders_rows(self):
+        rendered = format_mpki_table(_campaign(), sort_by="ITTAGE")
+        lines = [l for l in rendered.splitlines() if l.startswith(("a ", "b "))]
+        assert [l[0] for l in lines] == ["b", "a"]
+
+    def test_max_rows_truncates(self):
+        rendered = format_mpki_table(_campaign(), max_rows=1)
+        body = [l for l in rendered.splitlines() if l.startswith(("a ", "b "))]
+        assert len(body) == 1
+
+
+class TestFormatCampaign:
+    def test_mentions_means(self):
+        rendered = format_campaign(_campaign())
+        assert "BLBP" in rendered
+        assert "2.5" in rendered  # mean of 1 and 4 MPKI
+
+
+class TestFormatSeries:
+    def test_wraps_lines(self):
+        rendered = format_series("x", list(range(25)), per_line=10)
+        assert len(rendered.splitlines()) == 4  # label + 3 chunks
+
+
+class TestFormatBreakdownTable:
+    def test_renders_cells(self):
+        rendered = format_breakdown_table(
+            {"row1": {"colA": 1.5, "colB": 2.5}},
+            columns=["colA", "colB"],
+            title="thing",
+        )
+        assert "row1" in rendered
+        assert "1.5000" in rendered

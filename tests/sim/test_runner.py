@@ -1,0 +1,43 @@
+"""Tests for the campaign runner."""
+
+from repro.predictors.btb import BranchTargetBuffer
+from repro.predictors.two_bit_btb import TwoBitBTB
+from repro.sim.runner import run_campaign
+
+
+class TestRunCampaign:
+    def test_all_cells_filled(self, tiny_trace, vdispatch_trace):
+        campaign = run_campaign(
+            [tiny_trace, vdispatch_trace],
+            {"BTB": BranchTargetBuffer, "2bit": TwoBitBTB},
+        )
+        assert set(campaign.traces()) == {"tiny", "vd-test"}
+        assert set(campaign.predictors()) == {"BTB", "2bit"}
+        for trace in campaign.traces():
+            for predictor in campaign.predictors():
+                assert campaign.mpki_of(trace, predictor) >= 0
+
+    def test_factory_name_overrides_predictor_name(self, tiny_trace):
+        campaign = run_campaign([tiny_trace], {"custom": BranchTargetBuffer})
+        assert campaign.predictors() == ["custom"]
+
+    def test_fresh_predictor_per_trace(self, tiny_trace):
+        instances = []
+
+        def factory():
+            instance = BranchTargetBuffer()
+            instances.append(instance)
+            return instance
+
+        run_campaign([tiny_trace, tiny_trace], {"BTB": factory})
+        assert len(instances) == 2
+        assert instances[0] is not instances[1]
+
+    def test_progress_callback_invoked(self, tiny_trace):
+        seen = []
+        run_campaign(
+            [tiny_trace],
+            {"BTB": BranchTargetBuffer},
+            progress=lambda trace, name, mpki: seen.append((trace, name, mpki)),
+        )
+        assert seen and seen[0][0] == "tiny" and seen[0][1] == "BTB"

@@ -1,0 +1,82 @@
+"""Tests for bootstrap statistics over campaign results."""
+
+import pytest
+
+from repro.sim.metrics import CampaignResult, SimulationResult
+from repro.sim.statistics import (
+    bootstrap_mean,
+    geometric_mean,
+    paired_improvement,
+)
+
+
+def _campaign(pairs):
+    campaign = CampaignResult()
+    for index, (base, improved) in enumerate(pairs):
+        for name, misses in (("base", base), ("new", improved)):
+            campaign.add(
+                SimulationResult(
+                    trace_name=f"t{index}",
+                    predictor_name=name,
+                    total_instructions=1_000_000,
+                    indirect_branches=10_000,
+                    indirect_mispredictions=misses,
+                )
+            )
+    return campaign
+
+
+class TestBootstrapMean:
+    def test_interval_contains_mean(self):
+        interval = bootstrap_mean([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert interval.low <= interval.mean <= interval.high
+        assert interval.contains(3.0)
+
+    def test_deterministic_given_seed(self):
+        a = bootstrap_mean([1.0, 5.0, 2.0], seed=7)
+        b = bootstrap_mean([1.0, 5.0, 2.0], seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_tight_for_constant_data(self):
+        interval = bootstrap_mean([2.0] * 10)
+        assert interval.low == pytest.approx(2.0)
+        assert interval.high == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+
+
+class TestPairedImprovement:
+    def test_clear_improvement_resolved(self):
+        # new is consistently 20% better.
+        campaign = _campaign([(1000, 800), (2000, 1600), (500, 400),
+                              (1500, 1200), (800, 640)])
+        interval = paired_improvement(campaign, "base", "new")
+        assert interval.mean == pytest.approx(20.0)
+        assert interval.low > 15.0
+
+    def test_no_improvement_straddles_zero(self):
+        campaign = _campaign([(1000, 1100), (1000, 900), (1000, 1050),
+                              (1000, 950), (1000, 1000)])
+        interval = paired_improvement(campaign, "base", "new")
+        assert interval.low < 0.0 < interval.high
+
+    def test_zero_baseline_rejected(self):
+        campaign = _campaign([(0, 0)])
+        with pytest.raises(ValueError):
+            paired_improvement(campaign, "base", "new")
+
+
+class TestGeometricMean:
+    def test_matches_analytic(self):
+        assert geometric_mean([1.0, 4.0], epsilon=0.0) == pytest.approx(2.0)
+
+    def test_handles_zeros(self):
+        assert geometric_mean([0.0, 0.0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_very_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])

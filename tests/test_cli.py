@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import PREDICTOR_REGISTRY, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_present(self):
+        parser = build_parser()
+        for argv in (
+            ["suite"],
+            ["generate", "X", "--out", "y"],
+            ["stats", "t"],
+            ["simulate"],
+            ["budgets"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_registry_covers_main_predictors(self):
+        for name in ("BTB", "VPC", "ITTAGE", "BLBP", "SNIP", "COTTAGE"):
+            assert name in PREDICTOR_REGISTRY
+
+
+class TestCommands:
+    def test_suite_lists_88(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "88 workloads" in out
+
+    def test_generate_stats_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.bin")
+        assert main(["generate", "SHORT-SERVER-1", "--out", path,
+                     "--scale", "0.3"]) == 0
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "SHORT-SERVER-1" in out
+        assert "polymorphic share" in out
+
+    def test_generate_unknown_name_fails(self, tmp_path):
+        path = str(tmp_path / "x.bin")
+        assert main(["generate", "NOPE", "--out", path]) == 1
+
+    def test_simulate_on_file(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.bin")
+        main(["generate", "SHORT-SERVER-2", "--out", path, "--scale", "0.2"])
+        capsys.readouterr()
+        assert main(["simulate", "--predictors", "BTB,ITTAGE",
+                     "--traces", path]) == 0
+        out = capsys.readouterr().out
+        assert "MEAN" in out
+        assert "ITTAGE" in out
+
+    def test_simulate_unknown_predictor(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--predictors", "MAGIC"])
+
+    def test_budgets(self, capsys):
+        assert main(["budgets"]) == 0
+        out = capsys.readouterr().out
+        assert "BLBP" in out and "paper KB" in out

@@ -1,0 +1,45 @@
+"""Tests for the validate and CSV paths of the CLI."""
+
+from repro.cli import main
+
+
+class TestValidateCommand:
+    def test_validate_suite_sample(self, capsys):
+        assert main(["validate", "--stride", "44", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "MI" in out
+
+    def test_validate_trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "t.csv")
+        main(["generate", "SHORT-MOBILE-2", "--out", path, "--scale", "0.3"])
+        capsys.readouterr()
+        assert main(["validate", "--traces", path]) == 0
+
+    def test_validate_flags_bad_trace(self, tmp_path, capsys):
+        # A hand-written contract violation: indirect-only trace.
+        path = tmp_path / "bad.csv"
+        lines = ["# name: bad"]
+        for i in range(300):
+            lines.append(f"0x50,indirect_jump,1,{hex(0x100 + (i % 3) * 0x44)},5")
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["validate", "--traces", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "PROBLEMS" in out
+
+
+class TestCsvGenerate:
+    def test_csv_extension_writes_text_format(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        assert main(["generate", "SHORT-SERVER-3", "--out", str(path),
+                     "--scale", "0.2"]) == 0
+        first_line = path.read_text().splitlines()[0]
+        assert first_line.startswith("# name:")
+
+    def test_simulate_accepts_csv(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.csv")
+        main(["generate", "SHORT-SERVER-3", "--out", path, "--scale", "0.2"])
+        capsys.readouterr()
+        assert main(["simulate", "--predictors", "BTB",
+                     "--traces", path]) == 0
+        assert "MEAN" in capsys.readouterr().out

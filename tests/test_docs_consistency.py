@@ -1,0 +1,74 @@
+"""Documentation consistency checks.
+
+DESIGN.md and the READMEs reference modules, benches, and examples by
+path; these tests keep those references from rotting as the code moves.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _text(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestDesignDoc:
+    def test_referenced_modules_exist(self):
+        text = _text("DESIGN.md")
+        for dotted in set(re.findall(r"`(repro(?:\.\w+)+)`", text)):
+            parts = dotted.split(".")
+            candidates = [
+                ROOT / "src" / Path(*parts) / "__init__.py",
+                ROOT / "src" / Path(*parts[:-1]) / f"{parts[-1]}.py",
+                # references like repro.experiments.figures.figure1 name
+                # a function inside a module
+                ROOT / "src" / Path(*parts[:-2]) / f"{parts[-2]}.py",
+            ]
+            assert any(c.exists() for c in candidates), dotted
+
+    def test_referenced_benches_exist(self):
+        text = _text("DESIGN.md")
+        for bench in set(re.findall(r"benchmarks/(bench_\w+\.py)", text)):
+            assert (ROOT / "benchmarks" / bench).exists(), bench
+
+    def test_experiment_index_covers_all_paper_artifacts(self):
+        text = _text("DESIGN.md")
+        for artifact in ("Table 1", "Table 2", "Fig. 1", "Fig. 6", "Fig. 7",
+                         "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11"):
+            assert artifact in text, artifact
+
+
+class TestReadme:
+    def test_referenced_examples_exist(self):
+        text = _text("README.md")
+        for example in set(re.findall(r"examples/(\w+\.py)", text)):
+            assert (ROOT / "examples" / example).exists(), example
+
+    def test_mentions_all_deliverable_docs(self):
+        text = _text("README.md")
+        for name in ("DESIGN.md", "EXPERIMENTS.md"):
+            assert name in text
+
+
+class TestExperimentsDoc:
+    def test_mentions_every_bench(self):
+        text = _text("EXPERIMENTS.md")
+        benches = sorted(
+            path.name for path in (ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for bench in benches:
+            assert bench in text, f"{bench} missing from EXPERIMENTS.md"
+
+
+class TestBenchmarksReadme:
+    def test_table_lists_every_bench(self):
+        text = _text("benchmarks/README.md")
+        benches = sorted(
+            path.name for path in (ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for bench in benches:
+            assert bench in text, f"{bench} missing from benchmarks/README.md"

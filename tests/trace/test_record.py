@@ -1,0 +1,55 @@
+"""Unit tests for repro.trace.record."""
+
+import pytest
+
+from repro.trace.record import BranchRecord, BranchType
+
+
+class TestBranchType:
+    def test_indirect_classification(self):
+        assert BranchType.INDIRECT_JUMP.is_indirect
+        assert BranchType.INDIRECT_CALL.is_indirect
+        assert not BranchType.CONDITIONAL.is_indirect
+        assert not BranchType.RETURN.is_indirect
+        assert not BranchType.DIRECT_JUMP.is_indirect
+
+    def test_call_classification(self):
+        assert BranchType.DIRECT_CALL.is_call
+        assert BranchType.INDIRECT_CALL.is_call
+        assert not BranchType.RETURN.is_call
+
+    def test_conditional_classification(self):
+        assert BranchType.CONDITIONAL.is_conditional
+        assert not BranchType.INDIRECT_JUMP.is_conditional
+
+    def test_int_round_trip(self):
+        for branch_type in BranchType:
+            assert BranchType(int(branch_type)) is branch_type
+
+
+class TestBranchRecord:
+    def test_valid_record(self):
+        record = BranchRecord(0x1000, BranchType.CONDITIONAL, False, 0x1004, 5)
+        assert record.pc == 0x1000
+        assert record.inst_gap == 5
+
+    def test_unconditional_must_be_taken(self):
+        with pytest.raises(ValueError):
+            BranchRecord(0x1000, BranchType.INDIRECT_JUMP, False, 0x2000)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(0x1000, BranchType.CONDITIONAL, True, 0x2000, -1)
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(-1, BranchType.CONDITIONAL, True, 0x2000)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(0x1000, BranchType.CONDITIONAL, True, -5)
+
+    def test_frozen(self):
+        record = BranchRecord(0x1000, BranchType.RETURN, True, 0x2000)
+        with pytest.raises(AttributeError):
+            record.pc = 0x2000

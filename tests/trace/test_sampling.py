@@ -1,0 +1,70 @@
+"""Tests for simpoint-style trace sampling."""
+
+import pytest
+
+from repro.trace.record import BranchType
+from repro.trace.sampling import (
+    representative_window,
+    systematic_sample,
+    window,
+)
+
+
+class TestWindow:
+    def test_extracts_records(self, vdispatch_trace):
+        cut = window(vdispatch_trace, 100, 50)
+        assert len(cut) == 50
+        assert cut[0] == vdispatch_trace[100]
+
+    def test_clamps_at_end(self, vdispatch_trace):
+        cut = window(vdispatch_trace, len(vdispatch_trace) - 10, 50)
+        assert len(cut) == 10
+
+    def test_names_carry_bounds(self, vdispatch_trace):
+        cut = window(vdispatch_trace, 5, 10)
+        assert "[5:15]" in cut.name
+
+    def test_validation(self, vdispatch_trace):
+        with pytest.raises(ValueError):
+            window(vdispatch_trace, -1, 10)
+        with pytest.raises(ValueError):
+            window(vdispatch_trace, 0, 0)
+        with pytest.raises(ValueError):
+            window(vdispatch_trace, 10**9, 10)
+
+
+class TestSystematicSample:
+    def test_length(self, vdispatch_trace):
+        sampled = systematic_sample(vdispatch_trace, 100, 5)
+        assert len(sampled) == 500
+
+    def test_covers_span(self, vdispatch_trace):
+        sampled = systematic_sample(vdispatch_trace, 50, 4)
+        # Last sampled pc must come from deep in the trace.
+        stride = len(vdispatch_trace) // 4
+        assert sampled[150].pc == vdispatch_trace[3 * stride].pc
+
+    def test_oversized_request_returns_whole_trace(self, vdispatch_trace):
+        sampled = systematic_sample(vdispatch_trace, len(vdispatch_trace), 2)
+        assert sampled is vdispatch_trace
+
+    def test_validation(self, vdispatch_trace):
+        with pytest.raises(ValueError):
+            systematic_sample(vdispatch_trace, 0, 5)
+
+
+class TestRepresentativeWindow:
+    def test_window_size(self, vdispatch_trace):
+        chosen = representative_window(vdispatch_trace, 200)
+        assert len(chosen) == 200
+
+    def test_mix_close_to_whole(self, vdispatch_trace):
+        chosen = representative_window(vdispatch_trace, 500)
+        whole_share = vdispatch_trace.count_of(BranchType.CONDITIONAL) / len(
+            vdispatch_trace
+        )
+        window_share = chosen.count_of(BranchType.CONDITIONAL) / len(chosen)
+        assert abs(whole_share - window_share) < 0.1
+
+    def test_small_trace_returned_whole(self, tiny_trace):
+        assert representative_window(tiny_trace, 100) is tiny_trace

@@ -1,0 +1,97 @@
+"""Unit tests for repro.trace.stats (Figures 1/6/7 inputs)."""
+
+import pytest
+
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stats import aggregate_target_ccdf, compute_stats
+from repro.trace.stream import Trace
+
+
+def _indirect(pc, target, gap=9):
+    return BranchRecord(pc, BranchType.INDIRECT_JUMP, True, target, gap)
+
+
+def _make_trace(records):
+    return Trace.from_records("stats-test", records)
+
+
+class TestComputeStats:
+    def test_counts_by_type(self, tiny_trace):
+        stats = compute_stats(tiny_trace)
+        assert stats.counts_by_type[BranchType.CONDITIONAL] == 2
+        assert stats.counts_by_type[BranchType.INDIRECT_CALL] == 1
+        assert stats.indirect_executions == 2
+
+    def test_per_kilo(self):
+        # 1 indirect branch, 999 instructions of gap -> 1000 total.
+        trace = _make_trace([_indirect(0x100, 0x200, gap=999)])
+        stats = compute_stats(trace)
+        assert stats.per_kilo(BranchType.INDIRECT_JUMP) == pytest.approx(1.0)
+
+    def test_monomorphic_branch_not_polymorphic(self):
+        trace = _make_trace([_indirect(0x100, 0x200)] * 5)
+        stats = compute_stats(trace)
+        assert stats.polymorphic_fraction() == 0.0
+        assert stats.targets_per_branch[0x100] == 1
+
+    def test_polymorphic_branch_counts_all_executions(self):
+        records = [_indirect(0x100, 0x200), _indirect(0x100, 0x300)] * 3
+        stats = compute_stats(_make_trace(records))
+        # All 6 executions come from a branch that ends with 2 targets.
+        assert stats.polymorphic_fraction() == 1.0
+        assert stats.targets_per_branch[0x100] == 2
+
+    def test_mixed_population(self):
+        records = (
+            [_indirect(0x100, 0x200)] * 6             # monomorphic
+            + [_indirect(0x900, 0x200), _indirect(0x900, 0x300)]  # poly
+        )
+        stats = compute_stats(_make_trace(records))
+        assert stats.polymorphic_fraction() == pytest.approx(2 / 8)
+
+    def test_ccdf_monotone_non_increasing(self):
+        records = [
+            _indirect(0x100, 0x200),
+            _indirect(0x100, 0x300),
+            _indirect(0x100, 0x400),
+            _indirect(0x500, 0x200),
+        ]
+        stats = compute_stats(_make_trace(records))
+        ccdf = stats.target_count_ccdf()
+        assert ccdf[0] == 100.0
+        for a, b in zip(ccdf, ccdf[1:]):
+            assert a >= b
+
+    def test_ccdf_values(self):
+        records = [
+            _indirect(0x100, 0x200),
+            _indirect(0x100, 0x300),
+            _indirect(0x500, 0x200),
+        ]
+        stats = compute_stats(_make_trace(records))
+        ccdf = stats.target_count_ccdf()
+        assert ccdf[0] == 100.0   # both branches have >= 1 target
+        assert ccdf[1] == 50.0    # one of two has >= 2
+
+    def test_empty_indirect_population(self):
+        trace = _make_trace(
+            [BranchRecord(0x10, BranchType.CONDITIONAL, True, 0x20, 3)]
+        )
+        stats = compute_stats(trace)
+        assert stats.polymorphic_fraction() == 0.0
+        assert stats.target_count_ccdf() == [0.0] * 64
+
+
+class TestAggregateCCDF:
+    def test_pools_across_traces(self):
+        trace_a = _make_trace([_indirect(0x100, 0x200)])
+        trace_b = _make_trace(
+            [_indirect(0x100, 0x200), _indirect(0x100, 0x300)]
+        )
+        stats = [compute_stats(trace_a), compute_stats(trace_b)]
+        ccdf = aggregate_target_ccdf(stats)
+        assert ccdf[0] == 100.0
+        assert ccdf[1] == 50.0  # one of the two static branches has >= 2
+
+    def test_empty(self):
+        assert aggregate_target_ccdf([]) == [0.0] * 64

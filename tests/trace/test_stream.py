@@ -1,0 +1,92 @@
+"""Unit tests for repro.trace.stream (Trace container and binary I/O)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stream import Trace, concatenate, read_trace, write_trace
+
+
+class TestTrace:
+    def test_from_records_round_trip(self, tiny_trace):
+        records = list(tiny_trace.records())
+        rebuilt = Trace.from_records("tiny2", records)
+        assert len(rebuilt) == len(tiny_trace)
+        for original, copy in zip(tiny_trace.records(), rebuilt.records()):
+            assert original == copy
+
+    def test_total_instructions(self, tiny_trace):
+        gaps = sum(record.inst_gap for record in tiny_trace.records())
+        assert tiny_trace.total_instructions() == gaps + len(tiny_trace)
+
+    def test_count_of(self, tiny_trace):
+        assert tiny_trace.count_of(BranchType.CONDITIONAL) == 2
+        assert tiny_trace.count_of(BranchType.RETURN) == 2
+        assert tiny_trace.count_of(BranchType.INDIRECT_CALL) == 1
+
+    def test_indirect_mask(self, tiny_trace):
+        mask = tiny_trace.indirect_mask()
+        assert int(mask.sum()) == 2
+        types = tiny_trace.types[mask]
+        assert set(types.tolist()) <= {
+            int(BranchType.INDIRECT_JUMP),
+            int(BranchType.INDIRECT_CALL),
+        }
+
+    def test_getitem(self, tiny_trace):
+        record = tiny_trace[0]
+        assert isinstance(record, BranchRecord)
+        assert record.pc == 0x1000
+
+    def test_head(self, tiny_trace):
+        head = tiny_trace.head(3)
+        assert len(head) == 3
+        assert head[0] == tiny_trace[0]
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                "bad",
+                pcs=np.zeros(3, dtype=np.uint64),
+                types=np.zeros(2, dtype=np.uint8),
+                takens=np.zeros(3, dtype=bool),
+                targets=np.zeros(3, dtype=np.uint64),
+                gaps=np.zeros(3, dtype=np.uint32),
+            )
+
+    def test_repr_mentions_name(self, tiny_trace):
+        assert "tiny" in repr(tiny_trace)
+
+
+class TestBinaryIO:
+    def test_write_read_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_trace(tiny_trace, path)
+        loaded = read_trace(path)
+        assert loaded.name == tiny_trace.name
+        assert len(loaded) == len(tiny_trace)
+        np.testing.assert_array_equal(loaded.pcs, tiny_trace.pcs)
+        np.testing.assert_array_equal(loaded.types, tiny_trace.types)
+        np.testing.assert_array_equal(loaded.takens, tiny_trace.takens)
+        np.testing.assert_array_equal(loaded.targets, tiny_trace.targets)
+        np.testing.assert_array_equal(loaded.gaps, tiny_trace.gaps)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestConcatenate:
+    def test_concatenate_lengths(self, tiny_trace):
+        merged = concatenate("merged", [tiny_trace, tiny_trace])
+        assert len(merged) == 2 * len(tiny_trace)
+        assert merged.name == "merged"
+        assert (
+            merged.total_instructions() == 2 * tiny_trace.total_instructions()
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate("empty", [])

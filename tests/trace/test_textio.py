@@ -1,0 +1,80 @@
+"""Tests for the CSV trace interchange format."""
+
+import numpy as np
+import pytest
+
+from repro.trace.textio import read_text_trace, write_text_trace
+
+
+class TestRoundTrip:
+    def test_write_read_preserves_everything(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_text_trace(tiny_trace, path)
+        loaded = read_text_trace(path)
+        assert loaded.name == tiny_trace.name
+        np.testing.assert_array_equal(loaded.pcs, tiny_trace.pcs)
+        np.testing.assert_array_equal(loaded.types, tiny_trace.types)
+        np.testing.assert_array_equal(loaded.takens, tiny_trace.takens)
+        np.testing.assert_array_equal(loaded.targets, tiny_trace.targets)
+        np.testing.assert_array_equal(loaded.gaps, tiny_trace.gaps)
+
+
+class TestParsing:
+    def _load(self, tmp_path, text, **kwargs):
+        path = tmp_path / "t.csv"
+        path.write_text(text)
+        return read_text_trace(path, **kwargs)
+
+    def test_named_types_and_hex(self, tmp_path):
+        trace = self._load(
+            tmp_path,
+            "0x1000,conditional,0,0x1004,3\n"
+            "0x1010,indirect_jump,1,0x2000,0\n",
+        )
+        assert len(trace) == 2
+        assert trace[1].target == 0x2000
+
+    def test_numeric_types(self, tmp_path):
+        trace = self._load(tmp_path, "0x10,0,1,0x20,0\n0x30,3,1,0x40,2\n")
+        assert trace[1].branch_type.name == "INDIRECT_JUMP"
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        trace = self._load(
+            tmp_path,
+            "# a comment\n\n0x10,conditional,1,0x20,0\n",
+        )
+        assert len(trace) == 1
+
+    def test_name_header(self, tmp_path):
+        trace = self._load(tmp_path, "# name: my-trace\n0x10,0,1,0x20,0\n")
+        assert trace.name == "my-trace"
+
+    def test_explicit_name_wins(self, tmp_path):
+        trace = self._load(
+            tmp_path, "# name: ignored\n0x10,0,1,0x20,0\n", name="given"
+        )
+        assert trace.name == "given"
+
+    def test_bad_field_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="5 fields"):
+            self._load(tmp_path, "0x10,0,1,0x20\n")
+
+    def test_bad_type_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="branch type"):
+            self._load(tmp_path, "0x10,magic,1,0x20,0\n")
+
+    def test_bad_taken_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="taken"):
+            self._load(tmp_path, "0x10,0,yes,0x20,0\n")
+
+    def test_not_taken_unconditional_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="must be\\s+taken"):
+            self._load(tmp_path, "0x10,indirect_jump,0,0x20,0\n")
+
+    def test_empty_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no records"):
+            self._load(tmp_path, "# nothing here\n")
+
+    def test_line_numbers_in_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="line 3"):
+            self._load(tmp_path, "# c\n0x10,0,1,0x20,0\nbroken,line\n")

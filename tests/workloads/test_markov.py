@@ -1,0 +1,97 @@
+"""Unit tests for repro.workloads.markov."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.markov import (
+    MarkovChain,
+    clamped_self_loop,
+    structured_transition_matrix,
+)
+
+
+class TestStructuredTransitionMatrix:
+    def test_rows_sum_to_one(self, rng):
+        matrix = structured_transition_matrix(8, rng, determinism=0.8)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_fully_deterministic_is_permutation(self, rng):
+        matrix = structured_transition_matrix(
+            6, rng, determinism=1.0, self_loop=0.0
+        )
+        # Each row must be a unit vector.
+        assert np.allclose(matrix.max(axis=1), 1.0)
+
+    def test_dominant_successors_form_single_cycle(self, rng):
+        """No absorbing states: the dominant-successor graph is one cycle."""
+        matrix = structured_transition_matrix(
+            7, rng, determinism=1.0, self_loop=0.0
+        )
+        successor = matrix.argmax(axis=1)
+        state = 0
+        visited = set()
+        for _ in range(7):
+            visited.add(state)
+            state = int(successor[state])
+        assert visited == set(range(7))
+
+    def test_single_state(self, rng):
+        matrix = structured_transition_matrix(1, rng, determinism=0.9)
+        assert matrix.shape == (1, 1)
+        assert matrix[0, 0] == pytest.approx(1.0)
+
+    def test_determinism_out_of_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            structured_transition_matrix(4, rng, determinism=1.5)
+
+    def test_incompatible_self_loop_rejected(self, rng):
+        with pytest.raises(ValueError):
+            structured_transition_matrix(4, rng, determinism=0.9, self_loop=0.5)
+
+
+class TestClampedSelfLoop:
+    def test_clamps_to_residual(self):
+        assert clamped_self_loop(0.95, 0.3) == pytest.approx(0.05)
+
+    def test_passes_when_compatible(self):
+        assert clamped_self_loop(0.7, 0.2) == pytest.approx(0.2)
+
+    def test_full_determinism_gives_zero(self):
+        assert clamped_self_loop(1.0, 0.3) == 0.0
+
+
+class TestMarkovChain:
+    def test_deterministic_cycle_visits_all_states(self, rng):
+        matrix = structured_transition_matrix(
+            5, rng, determinism=1.0, self_loop=0.0
+        )
+        chain = MarkovChain(matrix, rng, initial_state=0)
+        states = set(chain.walk(5).tolist())
+        assert states == set(range(5))
+
+    def test_stationary_coverage(self, rng):
+        matrix = structured_transition_matrix(4, rng, determinism=0.7)
+        chain = MarkovChain(matrix, rng)
+        states = chain.walk(2000)
+        # Every state should be visited in a long irreducible walk.
+        assert set(states.tolist()) == set(range(4))
+
+    def test_seeded_reproducibility(self):
+        rng_a = np.random.default_rng(99)
+        matrix = structured_transition_matrix(6, rng_a, determinism=0.8)
+        chain_a = MarkovChain(matrix, np.random.default_rng(1), initial_state=0)
+        chain_b = MarkovChain(matrix, np.random.default_rng(1), initial_state=0)
+        assert chain_a.walk(50).tolist() == chain_b.walk(50).tolist()
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MarkovChain(np.ones((2, 3)) / 3, rng)
+
+    def test_non_stochastic_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MarkovChain(np.ones((2, 2)), rng)
+
+    def test_bad_initial_state_rejected(self, rng):
+        matrix = np.eye(3)
+        with pytest.raises(ValueError):
+            MarkovChain(matrix, rng, initial_state=5)

@@ -1,0 +1,74 @@
+"""Unit tests for repro.workloads.mixed."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.mixed import MixedSpec, generate_mixed
+from repro.workloads.switchcase import SwitchCaseSpec
+from repro.workloads.vdispatch import VirtualDispatchSpec
+
+
+def _components():
+    return [
+        (
+            VirtualDispatchSpec(name="vd", seed=1, num_records=1000),
+            2.0,
+        ),
+        (
+            SwitchCaseSpec(name="sw", seed=2, num_records=1000),
+            1.0,
+        ),
+    ]
+
+
+class TestMixedSpec:
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            MixedSpec(name="m", seed=1, num_records=100, components=[])
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            MixedSpec(
+                name="m",
+                seed=1,
+                num_records=100,
+                components=[(_components()[0][0], 0.0)],
+            )
+
+    def test_length_close_to_requested(self):
+        spec = MixedSpec(
+            name="m", seed=3, num_records=6000, components=_components(),
+            phase_records=1000,
+        )
+        trace = generate_mixed(spec)
+        assert len(trace) <= 6000
+        assert len(trace) >= 5000
+
+    def test_deterministic(self):
+        spec = MixedSpec(
+            name="m", seed=3, num_records=4000, components=_components(),
+            phase_records=800,
+        )
+        a = generate_mixed(spec)
+        b = generate_mixed(spec)
+        np.testing.assert_array_equal(a.pcs, b.pcs)
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+    def test_components_relocated_to_disjoint_ranges(self):
+        spec = MixedSpec(
+            name="m", seed=4, num_records=6000, components=_components(),
+            phase_records=1000,
+        )
+        trace = generate_mixed(spec)
+        libraries = set((trace.pcs >> np.uint64(32)).tolist())
+        assert len(libraries) == 2
+
+    def test_phases_interleave(self):
+        spec = MixedSpec(
+            name="m", seed=5, num_records=8000, components=_components(),
+            phase_records=500,
+        )
+        trace = generate_mixed(spec)
+        libraries = (trace.pcs >> np.uint64(32)).astype(np.int64)
+        transitions = int(np.count_nonzero(np.diff(libraries)))
+        assert transitions >= 4

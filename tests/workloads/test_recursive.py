@@ -1,0 +1,77 @@
+"""Tests for the recursive tree-walk workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import BranchType
+from repro.trace.stats import compute_stats
+from repro.workloads.recursive import RecursiveSpec
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return RecursiveSpec(name="rec", seed=51, num_records=8000).generate()
+
+
+class TestRecursiveSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecursiveSpec(name="x", seed=1, num_records=10, num_kinds=0)
+        with pytest.raises(ValueError):
+            RecursiveSpec(name="x", seed=1, num_records=10, max_depth=0)
+        with pytest.raises(ValueError):
+            RecursiveSpec(name="x", seed=1, num_records=10, branching=0)
+
+
+class TestGeneratedTrace:
+    def test_deterministic(self):
+        spec = RecursiveSpec(name="rec", seed=52, num_records=3000)
+        a = spec.generate()
+        b = spec.generate()
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+    def test_calls_and_returns_interleave_legally(self, trace):
+        depth = 0
+        min_depth = 0
+        for record in trace.records():
+            if record.branch_type.is_call:
+                depth += 1
+            elif record.branch_type is BranchType.RETURN:
+                depth -= 1
+                min_depth = min(min_depth, depth)
+        assert min_depth >= 0
+
+    def test_returns_are_ras_predictable_in_balanced_prefix(self, trace):
+        """Until the end-of-trace cutoff, returns match the call stack."""
+        stack = []
+        violations = 0
+        checked = 0
+        for record in trace.records():
+            if record.branch_type.is_call:
+                stack.append(record.pc + 4)
+            elif record.branch_type is BranchType.RETURN and stack:
+                checked += 1
+                if record.target != stack.pop():
+                    violations += 1
+        assert checked > 100
+        assert violations == 0
+
+    def test_single_dispatch_site_with_num_kinds_targets(self, trace):
+        stats = compute_stats(trace)
+        polymorphic = {
+            pc: n for pc, n in stats.targets_per_branch.items() if n > 1
+        }
+        assert len(polymorphic) == 1
+        (count,) = polymorphic.values()
+        assert count <= 6
+
+    def test_recursion_produces_nested_calls(self, trace):
+        max_depth = 0
+        depth = 0
+        for record in trace.records():
+            if record.branch_type.is_call:
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif record.branch_type is BranchType.RETURN:
+                depth -= 1
+        assert max_depth >= 4

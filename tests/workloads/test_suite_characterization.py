@@ -1,0 +1,77 @@
+"""Suite-level characterization invariants (the Fig. 1/6/7 shapes).
+
+These lock in the suite's statistical contract at small scale: the
+benchmark assertions depend on these shapes, so a change to a generator
+that breaks them should fail here, in seconds, not after a multi-minute
+bench run.
+"""
+
+import pytest
+
+from repro.trace.record import BranchType
+from repro.trace.stats import aggregate_target_ccdf, compute_stats
+from repro.workloads.suite import suite88_specs
+
+
+@pytest.fixture(scope="module")
+def sample_stats():
+    return [
+        compute_stats(entry.generate())
+        for entry in suite88_specs(scale=0.5)[::6]
+    ]
+
+
+class TestBranchMix:
+    def test_conditionals_dominate(self, sample_stats):
+        for stats in sample_stats:
+            conditional = stats.per_kilo(BranchType.CONDITIONAL)
+            indirect = stats.per_kilo(
+                BranchType.INDIRECT_JUMP
+            ) + stats.per_kilo(BranchType.INDIRECT_CALL)
+            assert conditional > 5 * indirect, stats.name
+
+    def test_every_trace_has_indirect_branches(self, sample_stats):
+        for stats in sample_stats:
+            assert stats.indirect_executions > 0, stats.name
+
+    def test_indirect_density_in_band(self, sample_stats):
+        """Traces are selected for indirect relevance: 2-40 per ki."""
+        for stats in sample_stats:
+            indirect = stats.per_kilo(
+                BranchType.INDIRECT_JUMP
+            ) + stats.per_kilo(BranchType.INDIRECT_CALL)
+            assert 2.0 < indirect < 40.0, (stats.name, indirect)
+
+
+class TestPolymorphismShapes:
+    def test_polymorphic_share_spans_wide_range(self, sample_stats):
+        shares = [stats.polymorphic_fraction() for stats in sample_stats]
+        assert min(shares) < 0.75
+        assert max(shares) > 0.9
+
+    def test_ccdf_majority_at_most_five_targets(self, sample_stats):
+        ccdf = aggregate_target_ccdf(sample_stats)
+        assert ccdf[0] == 100.0
+        assert ccdf[5] < 60.0      # most branches have few targets
+
+    def test_ccdf_has_megamorphic_tail(self, sample_stats):
+        ccdf = aggregate_target_ccdf(sample_stats)
+        assert ccdf[20 - 1] > 0.5  # some branches exceed 20 targets
+        assert ccdf[20 - 1] < 30.0
+
+    def test_monomorphic_population_exists(self, sample_stats):
+        mono = sum(
+            sum(1 for n in stats.targets_per_branch.values() if n == 1)
+            for stats in sample_stats
+        )
+        total = sum(len(stats.targets_per_branch) for stats in sample_stats)
+        assert mono / total > 0.2
+
+
+class TestDeterminismOfSuite:
+    def test_stats_reproducible(self):
+        entry = suite88_specs(scale=0.5)[40]
+        first = compute_stats(entry.generate())
+        second = compute_stats(entry.generate())
+        assert first.counts_by_type == second.counts_by_type
+        assert first.targets_per_branch == second.targets_per_branch

@@ -1,0 +1,113 @@
+"""Tests for the workload-contract validator."""
+
+import pytest
+
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stream import Trace
+from repro.workloads import VirtualDispatchSpec
+from repro.workloads.suite import cbp4_like_specs, suite88_specs
+from repro.workloads.validation import format_report, validate_trace
+
+
+class TestValidateGoodTraces:
+    def test_vdispatch_passes(self, vdispatch_trace):
+        report = validate_trace(vdispatch_trace)
+        assert report.ok, report.problems
+
+    def test_suite_sample_passes(self):
+        for entry in suite88_specs(scale=1.0)[::11]:
+            report = validate_trace(entry.generate())
+            assert report.ok, (entry.name, report.problems)
+
+    def test_cbp4_sample_passes(self):
+        for entry in cbp4_like_specs(scale=1.0)[::5]:
+            report = validate_trace(entry.generate())
+            assert report.ok, (entry.name, report.problems)
+
+    def test_signal_mi_positive_on_correlated_workload(self, vdispatch_trace):
+        report = validate_trace(vdispatch_trace)
+        assert report.signal_mutual_information > 0.1
+
+
+class TestValidateCatchesViolations:
+    def test_no_indirect_branches_flagged(self):
+        records = [
+            BranchRecord(0x10, BranchType.CONDITIONAL, bool(i % 2), 0x20, 3)
+            for i in range(100)
+        ]
+        report = validate_trace(Trace.from_records("no-ind", records))
+        assert not report.ok
+        assert any("no indirect" in p for p in report.problems)
+
+    def test_low_conditional_density_flagged(self):
+        records = []
+        for i in range(200):
+            records.append(
+                BranchRecord(0x10, BranchType.INDIRECT_JUMP, True,
+                             0x100 + (i % 3) * 0x40, 5)
+            )
+        report = validate_trace(Trace.from_records("dense", records))
+        assert any("conditionals per indirect" in p for p in report.problems)
+
+    def test_return_underflow_flagged(self):
+        records = [
+            BranchRecord(0x10, BranchType.INDIRECT_JUMP, True, 0x100, 2),
+            BranchRecord(0x20, BranchType.RETURN, True, 0x30, 1),
+        ] * 5
+        report = validate_trace(Trace.from_records("underflow", records))
+        assert report.return_underflows > 0
+        assert any("underflow" in p for p in report.problems)
+
+    def test_wrong_return_target_flagged(self):
+        records = []
+        for _ in range(10):
+            records.append(
+                BranchRecord(0x10, BranchType.DIRECT_CALL, True, 0x100, 2)
+            )
+            records.append(
+                BranchRecord(0x180, BranchType.RETURN, True, 0xBAD0, 1)
+            )
+        report = validate_trace(Trace.from_records("badret", records))
+        assert report.return_mismatches == 10
+
+    def test_iid_outcomes_flagged(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        records = []
+        for i in range(3000):
+            records.append(
+                BranchRecord(0x10, BranchType.CONDITIONAL,
+                             bool(rng.integers(2)), 0x20, 2)
+            )
+            if i % 8 == 0:
+                records.append(
+                    BranchRecord(0x50, BranchType.INDIRECT_JUMP, True,
+                                 0x100 + int(rng.integers(4)) * 0x44, 2)
+                )
+        report = validate_trace(Trace.from_records("iid", records))
+        assert any("IID" in p for p in report.problems)
+
+    def test_aligned_targets_flagged(self):
+        records = []
+        for i in range(600):
+            records.append(
+                BranchRecord(0x10, BranchType.CONDITIONAL, bool(i % 2), 0x20, 2)
+            )
+            if i % 4 == 0:
+                # Targets differ only at bit 16 — outside the predicted
+                # low-order window.
+                records.append(
+                    BranchRecord(0x50, BranchType.INDIRECT_JUMP, True,
+                                 0x100000 + (i // 4 % 2) * 0x10000, 2)
+                )
+        report = validate_trace(Trace.from_records("aligned", records))
+        assert report.predicted_bit_diversity == 0.0
+        assert any("uniform" in p for p in report.problems)
+
+
+class TestFormatReport:
+    def test_mentions_status_and_metrics(self, vdispatch_trace):
+        rendered = format_report(validate_trace(vdispatch_trace))
+        assert "OK" in rendered
+        assert "MI" in rendered
