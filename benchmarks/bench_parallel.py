@@ -1,0 +1,74 @@
+"""Parallel execution engine: wall-clock speedup and determinism.
+
+Not a paper artifact — an infrastructure benchmark for the
+:mod:`repro.exec` campaign engine.  It runs one multi-cell campaign
+twice, serial (`run_campaign`) and parallel
+(`run_campaign_parallel(jobs=N)`), prints the wall-clock comparison,
+and asserts the two produce *identical* results.  On a multi-core host
+the parallel run must not be slower than serial (and is typically
+close to N× faster once cells are long enough to amortize worker
+startup); on a single-core host only the determinism assertions apply.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.exec import run_campaign_parallel
+from repro.predictors import ITTAGE, BranchTargetBuffer
+from repro.sim.runner import run_campaign
+from repro.workloads.suite import suite88_specs
+
+
+def _campaign_inputs():
+    """A modest slice of the suite: 6 traces × 2 predictors = 12 cells."""
+    entries = suite88_specs(1.0)[::15]
+    traces = [entry.generate() for entry in entries]
+    factories = {"BTB": BranchTargetBuffer, "ITTAGE": ITTAGE}
+    return traces, factories
+
+
+def _compare(jobs):
+    traces, factories = _campaign_inputs()
+
+    started = time.perf_counter()
+    serial = run_campaign(traces, factories)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_campaign_parallel(traces, factories, jobs=jobs)
+    parallel_seconds = time.perf_counter() - started
+
+    return serial, parallel, serial_seconds, parallel_seconds
+
+
+def test_parallel_speedup_and_determinism(benchmark):
+    jobs = min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) > 1 else 2
+    serial, parallel, serial_s, parallel_s = run_once(
+        benchmark, _compare, jobs
+    )
+
+    cells = len(serial.traces()) * len(serial.predictors())
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    print()
+    print(f"Campaign execution: {cells} cells, host cores={os.cpu_count()}")
+    print(f"  serial              {serial_s:8.2f}s")
+    print(f"  parallel (jobs={jobs})   {parallel_s:8.2f}s")
+    print(f"  speedup             {speedup:8.2f}x")
+
+    # Determinism: byte-identical result cells regardless of scheduling.
+    assert parallel.traces() == serial.traces()
+    assert parallel.predictors() == serial.predictors()
+    for trace in serial.traces():
+        for predictor in serial.predictors():
+            assert (
+                parallel.results[trace][predictor]
+                == serial.results[trace][predictor]
+            ), (trace, predictor)
+
+    # Speedup claim only where parallelism is physically possible.
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_s < serial_s, (
+            f"parallel ({parallel_s:.2f}s) slower than serial "
+            f"({serial_s:.2f}s) on a {os.cpu_count()}-core host"
+        )

@@ -21,6 +21,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.core import BLBP, BLBPConfig, paper_config
+from repro.exec import run_campaign_parallel
 from repro.predictors import (
     ITTAGE,
     BranchTargetBuffer,
@@ -56,6 +57,7 @@ __all__ = [
     "IndirectBranchPredictor",
     "simulate",
     "run_campaign",
+    "run_campaign_parallel",
     "SimulationResult",
     "CampaignResult",
     "ReturnAddressStack",

@@ -14,6 +14,7 @@ Examples::
     python -m repro generate SHORT-MOBILE-1 --out /tmp/sm1.trace
     python -m repro stats /tmp/sm1.trace
     python -m repro simulate --predictors BTB,ITTAGE,BLBP --stride 16
+    python -m repro simulate --jobs 4 --resume campaign.jsonl --stride 8
     python -m repro budgets
 """
 
@@ -123,6 +124,8 @@ def _parse_predictors(raw: str) -> Dict[str, Callable[[], IndirectBranchPredicto
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.exec import ProgressLineSink, resolve_jobs, run_campaign_parallel
+
     factories = _parse_predictors(args.predictors)
     traces = []
     if args.traces:
@@ -131,7 +134,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         entries = suite88_specs(args.scale)[:: args.stride]
         print(f"generating {len(entries)} suite traces ...", file=sys.stderr)
         traces = [entry.generate() for entry in entries]
-    campaign = run_campaign(traces, factories)
+    jobs = resolve_jobs(args.jobs)
+    if jobs > 1 or args.resume:
+        campaign = run_campaign_parallel(
+            traces,
+            factories,
+            jobs=jobs,
+            journal_path=args.resume,
+            events=ProgressLineSink(sys.stderr),
+        )
+    else:
+        campaign = run_campaign(traces, factories)
     print(format_mpki_table(campaign, sort_by=list(factories)[-1]))
     return 0
 
@@ -204,6 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--stride", type=int, default=16,
                           help="suite sampling stride (default 16)")
     simulate.add_argument("--scale", type=float, default=1.0)
+    simulate.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS env var, else 1)",
+    )
+    simulate.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="JSONL journal checkpoint; rerun with the same path to "
+             "resume an interrupted campaign",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     validate = sub.add_parser(

@@ -1,0 +1,210 @@
+"""Structured observability events for campaign execution.
+
+The execution engine narrates a campaign as a stream of
+:class:`ExecEvent` values — cell scheduled/finished/skipped, retries,
+failures, serial fallback, campaign start/end — pushed into a *sink*: a
+plain callable ``sink(event) -> None``.  Sinks decouple what the engine
+knows (timings, throughput, attempt counts) from how a caller wants to
+see it: the CLI renders a live progress line, tests collect events into
+a list, and library users can forward them to logging/metrics systems.
+
+Sink exceptions are swallowed by :func:`safe_emit` — observability must
+never kill a multi-minute simulation.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, IO, List, Optional
+
+#: Event kinds, in roughly chronological order of a campaign.
+CAMPAIGN_START = "campaign_start"
+CELL_START = "cell_start"
+CELL_FINISH = "cell_finish"
+CELL_SKIPPED = "cell_skipped"
+CELL_RETRY = "cell_retry"
+CELL_FAILED = "cell_failed"
+FALLBACK = "fallback"
+CAMPAIGN_END = "campaign_end"
+
+
+@dataclass(frozen=True)
+class ExecEvent:
+    """One observation from the execution engine.
+
+    Not every field is meaningful for every kind; unused fields keep
+    their zero values so sinks can consume events uniformly.
+    """
+
+    kind: str
+    trace: str = ""
+    predictor: str = ""
+    #: Zero-based plan index of the cell (-1 for campaign-level events).
+    index: int = -1
+    #: Total cells in the plan.
+    total: int = 0
+    #: Cells finished or skipped so far (including this event).
+    completed: int = 0
+    #: Wall-clock seconds the cell's simulation took.
+    duration: float = 0.0
+    #: Branch records simulated in the cell.
+    records: int = 0
+    #: Simulated trace records per wall-clock second.
+    records_per_sec: float = 0.0
+    #: Estimated seconds until campaign completion (0 when unknown).
+    eta_seconds: float = 0.0
+    mpki: float = 0.0
+    #: 1-based attempt number for retry/failure events.
+    attempt: int = 0
+    #: Retries issued so far in the campaign (campaign_end).
+    retries: int = 0
+    #: Worker processes in use (campaign_start; 1 = serial).
+    jobs: int = 0
+    message: str = ""
+
+
+#: A sink consumes events; it must not raise (but safe_emit guards).
+EventSink = Callable[[ExecEvent], None]
+
+
+def null_sink(event: ExecEvent) -> None:
+    """Discard every event (the default sink)."""
+
+
+def safe_emit(sink: Optional[EventSink], event: ExecEvent) -> None:
+    """Deliver ``event`` to ``sink``, swallowing sink exceptions."""
+    if sink is None:
+        return
+    try:
+        sink(event)
+    except Exception:  # noqa: BLE001 - observability must not kill runs
+        pass
+
+
+def broadcast(*sinks: EventSink) -> EventSink:
+    """A sink that forwards each event to every sink in ``sinks``."""
+
+    def fanout(event: ExecEvent) -> None:
+        for sink in sinks:
+            safe_emit(sink, event)
+
+    return fanout
+
+
+@dataclass
+class CollectingSink:
+    """Append every event to ``events`` (tests and programmatic use)."""
+
+    events: List[ExecEvent] = field(default_factory=list)
+
+    def __call__(self, event: ExecEvent) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> List[str]:
+        return [event.kind for event in self.events]
+
+    def of_kind(self, kind: str) -> List[ExecEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
+class LogSink:
+    """One structured ``key=value`` line per event, for logs/CI."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: ExecEvent) -> None:
+        parts = [f"exec {event.kind}"]
+        if event.trace:
+            parts.append(f"trace={event.trace}")
+        if event.predictor:
+            parts.append(f"predictor={event.predictor}")
+        if event.total:
+            parts.append(f"cell={event.completed}/{event.total}")
+        if event.kind == CELL_FINISH:
+            parts.append(f"mpki={event.mpki:.4f}")
+            parts.append(f"records_per_sec={event.records_per_sec:,.0f}")
+            if event.eta_seconds:
+                parts.append(f"eta={event.eta_seconds:.1f}s")
+        if event.attempt:
+            parts.append(f"attempt={event.attempt}")
+        if event.kind == CAMPAIGN_START and event.jobs:
+            parts.append(f"jobs={event.jobs}")
+        if event.kind == CAMPAIGN_END:
+            parts.append(f"retries={event.retries}")
+            parts.append(f"elapsed={event.duration:.1f}s")
+        if event.message:
+            parts.append(f"message={event.message!r}")
+        print(" ".join(parts), file=self._stream)
+
+
+class ProgressLineSink:
+    """A live single-line progress display (the CLI's default view).
+
+    Rewrites one ``\\r``-terminated status line as cells complete —
+    ``simulate 12/24 [BLBP/LONG-MOBILE-3] 51k rec/s eta 14s`` — and
+    finishes it with a newline plus a retry/failure summary at campaign
+    end.  Writes to ``stream`` (stderr by default) so piped stdout stays
+    machine-readable.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._width = 0
+
+    def _render(self, line: str) -> None:
+        padding = " " * max(0, self._width - len(line))
+        self._stream.write("\r" + line + padding)
+        self._stream.flush()
+        self._width = len(line)
+
+    def __call__(self, event: ExecEvent) -> None:
+        if event.kind in (CELL_FINISH, CELL_SKIPPED):
+            label = f"{event.predictor}/{event.trace}"
+            line = f"simulate {event.completed}/{event.total} [{label}]"
+            if event.kind == CELL_SKIPPED:
+                line += " (resumed)"
+            elif event.records_per_sec:
+                line += f" {event.records_per_sec / 1000:.0f}k rec/s"
+            if event.eta_seconds:
+                line += f" eta {event.eta_seconds:.0f}s"
+            self._render(line)
+        elif event.kind == CELL_RETRY:
+            self._render(
+                f"simulate retrying {event.predictor}/{event.trace} "
+                f"(attempt {event.attempt}): {event.message}"
+            )
+        elif event.kind == FALLBACK:
+            self._render(f"simulate falling back to serial: {event.message}")
+        elif event.kind == CAMPAIGN_END:
+            line = (
+                f"simulate done: {event.completed}/{event.total} cells "
+                f"in {event.duration:.1f}s"
+            )
+            if event.retries:
+                line += f" ({event.retries} retries)"
+            self._render(line)
+            self._stream.write("\n")
+            self._stream.flush()
+            self._width = 0
+
+
+__all__ = [
+    "ExecEvent",
+    "EventSink",
+    "null_sink",
+    "safe_emit",
+    "broadcast",
+    "CollectingSink",
+    "LogSink",
+    "ProgressLineSink",
+    "CAMPAIGN_START",
+    "CELL_START",
+    "CELL_FINISH",
+    "CELL_SKIPPED",
+    "CELL_RETRY",
+    "CELL_FAILED",
+    "FALLBACK",
+    "CAMPAIGN_END",
+]

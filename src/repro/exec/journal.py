@@ -1,0 +1,151 @@
+"""JSONL checkpointing of completed campaign cells.
+
+A campaign that dies twenty minutes in should not owe the machine those
+twenty minutes again.  The executor appends every finished
+:class:`~repro.sim.metrics.SimulationResult` to a journal — one JSON
+object per line, flushed per cell — and on restart
+:func:`load_journal` replays it into a ``(trace, predictor) → result``
+map so finished cells are skipped.
+
+The format is deliberately dumb: self-describing JSON lines with a
+version tag, append-only, no footer.  A process killed mid-write leaves
+at most one truncated final line, which the loader tolerates and
+drops; every earlier line is intact because each append ends with a
+flush.  Journals from a different format version are rejected loudly
+rather than silently mis-merged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, IO, Optional, Union
+
+from repro.exec.plan import CellKey
+from repro.sim.metrics import SimulationResult
+
+#: Format tag written into every line; bump on incompatible change.
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """A journal file exists but cannot be used."""
+
+
+def result_to_json(result: SimulationResult) -> dict:
+    """A JSON-ready dict capturing every field of ``result``."""
+    return {
+        "v": JOURNAL_VERSION,
+        "trace": result.trace_name,
+        "predictor": result.predictor_name,
+        "total_instructions": result.total_instructions,
+        "indirect_branches": result.indirect_branches,
+        "indirect_mispredictions": result.indirect_mispredictions,
+        "return_branches": result.return_branches,
+        "return_mispredictions": result.return_mispredictions,
+        "conditional_branches": result.conditional_branches,
+        # JSON keys are strings; PCs are re-int'ed on load.
+        "mispredictions_by_pc": {
+            str(pc): count
+            for pc, count in result.mispredictions_by_pc.items()
+        },
+    }
+
+
+def result_from_json(payload: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_json`."""
+    version = payload.get("v")
+    if version != JOURNAL_VERSION:
+        raise JournalError(
+            f"journal line has version {version!r}, expected {JOURNAL_VERSION}"
+        )
+    return SimulationResult(
+        trace_name=payload["trace"],
+        predictor_name=payload["predictor"],
+        total_instructions=payload["total_instructions"],
+        indirect_branches=payload["indirect_branches"],
+        indirect_mispredictions=payload["indirect_mispredictions"],
+        return_branches=payload.get("return_branches", 0),
+        return_mispredictions=payload.get("return_mispredictions", 0),
+        conditional_branches=payload.get("conditional_branches", 0),
+        mispredictions_by_pc={
+            int(pc): count
+            for pc, count in payload.get("mispredictions_by_pc", {}).items()
+        },
+    )
+
+
+def load_journal(path: Union[str, Path]) -> Dict[CellKey, SimulationResult]:
+    """Read a journal into a ``(trace, predictor) → result`` map.
+
+    A missing file is an empty journal (first run).  A truncated or
+    garbled **final** line — the signature of a killed process — is
+    dropped; corruption anywhere earlier, or a version mismatch, raises
+    :class:`JournalError` because silently skipping interior cells
+    would re-simulate some cells and not others unpredictably.
+    """
+    path = Path(path)
+    results: Dict[CellKey, SimulationResult] = {}
+    if not path.exists():
+        return results
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for line_number, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            result = result_from_json(payload)
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            if line_number == len(lines) - 1:
+                break  # torn final write from an interrupted run
+            raise JournalError(
+                f"{path}:{line_number + 1}: corrupt journal line ({exc})"
+            ) from exc
+        results[(result.trace_name, result.predictor_name)] = result
+    return results
+
+
+class Journal:
+    """An append-only journal writer (use as a context manager).
+
+    Appending re-opens nothing and rewrites nothing: each
+    :meth:`append` serializes one result, writes one line, and flushes
+    so the entry survives a subsequent SIGKILL.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = open(
+            self.path, "a", encoding="utf-8"
+        )
+
+    def append(self, result: SimulationResult) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(result_to_json(result)) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "Journal",
+    "JournalError",
+    "load_journal",
+    "result_from_json",
+    "result_to_json",
+]

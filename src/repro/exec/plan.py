@@ -1,0 +1,204 @@
+"""Campaign planning: expand traces × factories into serializable cells.
+
+A *plan* is the execution engine's unit of truth: one
+:class:`CellSpec` per (trace, predictor) pair, in the same
+deterministic order the serial runner would visit them.  Specs must
+cross a process boundary cheaply, so they reference traces **by on-disk
+path** — :func:`plan_campaign` spills each in-memory trace through the
+existing ``RPTRACE1`` binary cache (:func:`repro.trace.stream.write_trace`)
+and workers re-read it, instead of pickling multi-megabyte NumPy
+columns into every task message.
+
+Predictor factories are captured as :class:`FactoryRef`: importable
+classes/functions travel as a ``module:qualname`` string (stable across
+processes and journal restarts); anything else — closures, bound
+configs — is carried as the callable itself, which the pool layer
+pickles when it can and degrades to in-process execution when it
+cannot.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.sim.runner import PredictorFactory
+from repro.trace.stream import Trace, write_trace
+
+#: (trace_name, predictor_name) — the identity of one campaign cell.
+CellKey = Tuple[str, str]
+
+
+class PlanError(ValueError):
+    """A campaign could not be expanded into a valid plan."""
+
+
+def _resolve_dotted(dotted: str) -> Callable:
+    """Import ``module:qualname`` back into the object it names."""
+    module_name, _, qualname = dotted.partition(":")
+    obj = importlib.import_module(module_name)
+    for attribute in qualname.split("."):
+        obj = getattr(obj, attribute)
+    return obj
+
+
+@dataclass(frozen=True)
+class FactoryRef:
+    """A predictor factory in a process-portable form.
+
+    Exactly one of ``dotted`` (an importable ``module:qualname``) or
+    ``obj`` (the callable itself) is set.  ``dotted`` is preferred: it
+    pickles as a short string and stays valid across interpreter
+    restarts, which matters for resumed campaigns.
+    """
+
+    dotted: Optional[str] = None
+    obj: Optional[Callable] = None
+
+    @classmethod
+    def from_callable(cls, factory: PredictorFactory) -> "FactoryRef":
+        module = getattr(factory, "__module__", None)
+        qualname = getattr(factory, "__qualname__", None)
+        if module and qualname and "<" not in qualname:
+            dotted = f"{module}:{qualname}"
+            try:
+                if _resolve_dotted(dotted) is factory:
+                    return cls(dotted=dotted)
+            except (ImportError, AttributeError):
+                pass
+        return cls(obj=factory)
+
+    def build(self):
+        """Construct a fresh predictor from this reference."""
+        factory = _resolve_dotted(self.dotted) if self.dotted else self.obj
+        if factory is None:
+            raise PlanError("FactoryRef has neither dotted path nor object")
+        return factory()
+
+    def picklable(self) -> bool:
+        """Whether this ref can cross a process boundary."""
+        if self.dotted is not None:
+            return True
+        try:
+            pickle.dumps(self.obj)
+            return True
+        except Exception:  # noqa: BLE001 - pickle raises many types
+            return False
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One schedulable (trace, predictor) simulation."""
+
+    #: Zero-based position in the plan (the deterministic merge order).
+    index: int
+    trace_name: str
+    predictor_name: str
+    #: RPTRACE1 file the worker loads the trace from.
+    trace_path: str
+    factory: FactoryRef
+    ras_depth: int = 32
+    warmup_records: int = 0
+    #: Branch records in the trace (for throughput/ETA accounting).
+    records: int = 0
+
+    @property
+    def key(self) -> CellKey:
+        return (self.trace_name, self.predictor_name)
+
+
+@dataclass
+class CampaignPlan:
+    """An ordered set of cells plus the spill directory they reference."""
+
+    cells: List[CellSpec] = field(default_factory=list)
+    cache_dir: Optional[Path] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    def keys(self) -> List[CellKey]:
+        return [cell.key for cell in self.cells]
+
+
+_UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _spill_name(index: int, trace_name: str) -> str:
+    """A filesystem-safe, collision-free spill filename for a trace."""
+    stem = _UNSAFE_FILENAME.sub("_", trace_name)[:80] or "trace"
+    return f"{index:04d}-{stem}.trace"
+
+
+def plan_campaign(
+    traces: Iterable[Trace],
+    factories: Dict[str, PredictorFactory],
+    cache_dir: Union[str, Path],
+    ras_depth: int = 32,
+    warmup_records: int = 0,
+) -> CampaignPlan:
+    """Expand a campaign into a :class:`CampaignPlan`.
+
+    Every trace is written once into ``cache_dir`` (created if needed)
+    and each of its cells points at that file.  Cell order matches
+    :func:`repro.sim.runner.run_campaign`: traces outermost, factories
+    in dict order — so a merged parallel campaign is cell-for-cell
+    identical to a serial one.
+
+    Raises:
+        PlanError: on duplicate trace names (they would alias one
+            journal/result cell) or an empty factory map.
+    """
+    traces = list(traces)
+    if not factories:
+        raise PlanError("campaign needs at least one predictor factory")
+    names = [trace.name for trace in traces]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise PlanError(
+            f"duplicate trace names in campaign: {sorted(duplicates)}; "
+            "cells are keyed by (trace, predictor) and would collide"
+        )
+
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    refs = {
+        name: FactoryRef.from_callable(factory)
+        for name, factory in factories.items()
+    }
+
+    cells: List[CellSpec] = []
+    index = 0
+    for trace_index, trace in enumerate(traces):
+        path = cache_dir / _spill_name(trace_index, trace.name)
+        write_trace(trace, path)
+        for predictor_name, ref in refs.items():
+            cells.append(
+                CellSpec(
+                    index=index,
+                    trace_name=trace.name,
+                    predictor_name=predictor_name,
+                    trace_path=str(path),
+                    factory=ref,
+                    ras_depth=ras_depth,
+                    warmup_records=warmup_records,
+                    records=len(trace),
+                )
+            )
+            index += 1
+    return CampaignPlan(cells=cells, cache_dir=cache_dir)
+
+
+__all__ = [
+    "CellKey",
+    "CellSpec",
+    "CampaignPlan",
+    "FactoryRef",
+    "PlanError",
+    "plan_campaign",
+]

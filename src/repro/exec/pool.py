@@ -1,0 +1,407 @@
+"""Cell execution: worker processes, retries, timeouts, and fallback.
+
+:func:`execute_plan` takes a :class:`~repro.exec.plan.CampaignPlan` and
+produces the same :class:`~repro.sim.metrics.CampaignResult` the serial
+runner would, scheduling cells across a
+:class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``.
+Results are merged **in plan order**, so the outcome is byte-identical
+regardless of which worker finished first.
+
+Robustness ladder, roughly in the order things go wrong in practice:
+
+* a cell raises → bounded retry with linear backoff, then
+  :class:`CellFailedError` (the journal keeps everything already done);
+* a cell hangs → a per-cell wall-clock deadline enforced *inside* the
+  worker via ``SIGALRM`` (no cross-process kill needed), surfacing as
+  :class:`CellTimeout` and entering the same retry path;
+* the pool cannot start, a factory cannot be pickled, or a worker dies
+  hard (``BrokenProcessPool``) → graceful degradation to in-process
+  serial execution of the remaining cells, announced by a ``fallback``
+  event — a campaign never fails merely because parallelism did.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exec.events import (
+    CAMPAIGN_END,
+    CAMPAIGN_START,
+    CELL_FAILED,
+    CELL_FINISH,
+    CELL_SKIPPED,
+    CELL_START,
+    CELL_RETRY,
+    FALLBACK,
+    EventSink,
+    ExecEvent,
+    safe_emit,
+)
+from repro.exec.journal import Journal, load_journal
+from repro.exec.plan import CampaignPlan, CellKey, CellSpec
+from repro.sim.engine import simulate
+from repro.sim.metrics import CampaignResult, SimulationResult
+from repro.trace.stream import read_trace
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded its per-cell wall-clock deadline."""
+
+
+class CellFailedError(RuntimeError):
+    """A cell failed after exhausting its retry budget."""
+
+    def __init__(self, key: CellKey, attempts: int, cause: BaseException):
+        trace, predictor = key
+        super().__init__(
+            f"cell ({trace}, {predictor}) failed after {attempts} "
+            f"attempt(s): {cause!r}"
+        )
+        self.key = key
+        self.attempts = attempts
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`CellTimeout` if the block runs past ``seconds``.
+
+    Uses ``SIGALRM``/``setitimer``, which only works on Unix and only
+    in a main thread — both true for pool workers (tasks run on the
+    worker's main thread) and the usual serial caller.  Anywhere else
+    the deadline silently degrades to "no deadline".
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise CellTimeout(f"cell exceeded {seconds:.1f}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_cell(
+    spec: CellSpec, timeout: Optional[float] = None
+) -> Tuple[int, SimulationResult, float]:
+    """Execute one cell: load its trace, simulate, stamp the name.
+
+    This is the worker entry point; it must stay module-level so the
+    process pool can pickle a reference to it.  Returns
+    ``(plan index, result, wall-clock seconds)``.
+    """
+    started = time.perf_counter()
+    with _deadline(timeout):
+        trace = read_trace(spec.trace_path)
+        predictor = spec.factory.build()
+        result = simulate(
+            predictor,
+            trace,
+            ras_depth=spec.ras_depth,
+            warmup_records=spec.warmup_records,
+        )
+    result.predictor_name = spec.predictor_name
+    return spec.index, result, time.perf_counter() - started
+
+
+class _Execution:
+    """Mutable bookkeeping shared by the parallel and serial paths."""
+
+    def __init__(
+        self,
+        plan: CampaignPlan,
+        events: Optional[EventSink],
+        journal: Optional[Journal],
+    ) -> None:
+        self.plan = plan
+        self.events = events
+        self.journal = journal
+        self.results: Dict[CellKey, SimulationResult] = {}
+        self.completed = 0
+        self.live_finished = 0
+        self.retries = 0
+        self.started = time.monotonic()
+
+    def emit(self, kind: str, **fields) -> None:
+        safe_emit(
+            self.events,
+            ExecEvent(kind=kind, total=self.plan.total, **fields),
+        )
+
+    def _eta(self) -> float:
+        remaining = self.plan.total - self.completed
+        if remaining <= 0 or self.live_finished == 0:
+            return 0.0
+        elapsed = time.monotonic() - self.started
+        return remaining * elapsed / self.live_finished
+
+    def skip(self, spec: CellSpec, result: SimulationResult) -> None:
+        self.results[spec.key] = result
+        self.completed += 1
+        self.emit(
+            CELL_SKIPPED,
+            trace=spec.trace_name,
+            predictor=spec.predictor_name,
+            index=spec.index,
+            completed=self.completed,
+            records=spec.records,
+            mpki=result.mpki(),
+        )
+
+    def record(
+        self, spec: CellSpec, result: SimulationResult, duration: float
+    ) -> None:
+        self.results[spec.key] = result
+        self.completed += 1
+        self.live_finished += 1
+        if self.journal is not None:
+            self.journal.append(result)
+        self.emit(
+            CELL_FINISH,
+            trace=spec.trace_name,
+            predictor=spec.predictor_name,
+            index=spec.index,
+            completed=self.completed,
+            duration=duration,
+            records=spec.records,
+            records_per_sec=spec.records / duration if duration > 0 else 0.0,
+            eta_seconds=self._eta(),
+            mpki=result.mpki(),
+        )
+
+    def pending(self) -> List[CellSpec]:
+        return [
+            cell for cell in self.plan.cells if cell.key not in self.results
+        ]
+
+
+def _run_serial(
+    state: _Execution,
+    specs: List[CellSpec],
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+) -> None:
+    """Run ``specs`` in-process, with the same retry/timeout discipline."""
+    for spec in specs:
+        attempts = 0
+        while True:
+            attempts += 1
+            state.emit(
+                CELL_START,
+                trace=spec.trace_name,
+                predictor=spec.predictor_name,
+                index=spec.index,
+                completed=state.completed,
+                attempt=attempts,
+            )
+            try:
+                _, result, duration = run_cell(spec, timeout)
+            except Exception as exc:  # noqa: BLE001 - retried, then raised
+                if attempts <= retries:
+                    state.retries += 1
+                    state.emit(
+                        CELL_RETRY,
+                        trace=spec.trace_name,
+                        predictor=spec.predictor_name,
+                        index=spec.index,
+                        attempt=attempts,
+                        message=repr(exc),
+                    )
+                    time.sleep(backoff * attempts)
+                    continue
+                state.emit(
+                    CELL_FAILED,
+                    trace=spec.trace_name,
+                    predictor=spec.predictor_name,
+                    index=spec.index,
+                    attempt=attempts,
+                    message=repr(exc),
+                )
+                raise CellFailedError(spec.key, attempts, exc) from exc
+            state.record(spec, result, duration)
+            break
+
+
+class _PoolDegraded(Exception):
+    """Internal: the process pool is unusable; finish serially."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _run_parallel(
+    state: _Execution,
+    specs: List[CellSpec],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+) -> None:
+    """Run ``specs`` on a worker pool; raise :class:`_PoolDegraded` if
+    the pool itself (not a cell) is the problem."""
+    unpicklable = [s for s in specs if not s.factory.picklable()]
+    if unpicklable:
+        names = sorted({s.predictor_name for s in unpicklable})
+        raise _PoolDegraded(
+            f"factories not picklable for worker processes: {names}"
+        )
+    attempts: Dict[int, int] = {}
+    try:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, ValueError) as exc:
+        raise _PoolDegraded(f"process pool failed to start: {exc!r}")
+    try:
+        futures = {}
+        for spec in specs:
+            futures[pool.submit(run_cell, spec, timeout)] = spec
+            attempts[spec.index] = 1
+            state.emit(
+                CELL_START,
+                trace=spec.trace_name,
+                predictor=spec.predictor_name,
+                index=spec.index,
+                completed=state.completed,
+                attempt=1,
+            )
+        while futures:
+            finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in finished:
+                spec = futures.pop(future)
+                try:
+                    _, result, duration = future.result()
+                except BrokenProcessPool as exc:
+                    raise _PoolDegraded(f"worker pool broke: {exc!r}")
+                except Exception as exc:  # noqa: BLE001 - retry then raise
+                    tried = attempts[spec.index]
+                    if tried <= retries:
+                        state.retries += 1
+                        state.emit(
+                            CELL_RETRY,
+                            trace=spec.trace_name,
+                            predictor=spec.predictor_name,
+                            index=spec.index,
+                            attempt=tried,
+                            message=repr(exc),
+                        )
+                        time.sleep(backoff * tried)
+                        attempts[spec.index] = tried + 1
+                        try:
+                            futures[pool.submit(run_cell, spec, timeout)] = spec
+                        except (OSError, RuntimeError) as submit_exc:
+                            raise _PoolDegraded(
+                                f"resubmission failed: {submit_exc!r}"
+                            )
+                        continue
+                    state.emit(
+                        CELL_FAILED,
+                        trace=spec.trace_name,
+                        predictor=spec.predictor_name,
+                        index=spec.index,
+                        attempt=tried,
+                        message=repr(exc),
+                    )
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise CellFailedError(spec.key, tried, exc) from exc
+                else:
+                    state.record(spec, result, duration)
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def execute_plan(
+    plan: CampaignPlan,
+    jobs: int = 1,
+    journal_path: Optional[Union[str, Path]] = None,
+    events: Optional[EventSink] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.1,
+) -> CampaignResult:
+    """Execute every cell of ``plan`` and merge deterministically.
+
+    Args:
+        plan: the expanded campaign (see :func:`repro.exec.plan.plan_campaign`).
+        jobs: worker processes; ``1`` runs in-process with no pool.
+        journal_path: JSONL checkpoint file.  Existing entries matching
+            plan cells are **skipped** (resume); new completions are
+            appended as they happen.
+        events: observability sink receiving :class:`ExecEvent`s.
+        timeout: per-cell wall-clock deadline in seconds (best effort;
+            see :func:`run_cell`).
+        retries: extra attempts per cell after its first failure.
+        backoff: seconds slept before retry ``n`` is ``backoff * n``.
+
+    Returns:
+        A :class:`CampaignResult` whose cells and values are identical
+        to a serial :func:`repro.sim.runner.run_campaign` of the same
+        campaign, regardless of ``jobs`` or completion order.
+    """
+    jobs = max(1, int(jobs))
+    journal: Optional[Journal] = None
+    journaled: Dict[CellKey, SimulationResult] = {}
+    if journal_path is not None:
+        journaled = load_journal(journal_path)
+        journal = Journal(journal_path)
+
+    state = _Execution(plan, events, journal)
+    state.emit(CAMPAIGN_START, jobs=jobs, completed=0)
+    try:
+        for cell in plan.cells:
+            if cell.key in journaled:
+                state.skip(cell, journaled[cell.key])
+        pending = state.pending()
+        if pending:
+            if jobs == 1:
+                _run_serial(state, pending, timeout, retries, backoff)
+            else:
+                try:
+                    _run_parallel(
+                        state, pending, jobs, timeout, retries, backoff
+                    )
+                except _PoolDegraded as degraded:
+                    state.emit(FALLBACK, message=degraded.reason)
+                    _run_serial(
+                        state, state.pending(), timeout, retries, backoff
+                    )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    campaign = CampaignResult()
+    for cell in plan.cells:
+        campaign.add(state.results[cell.key])
+    state.emit(
+        CAMPAIGN_END,
+        completed=state.completed,
+        retries=state.retries,
+        duration=time.monotonic() - state.started,
+    )
+    return campaign
+
+
+__all__ = [
+    "CellFailedError",
+    "CellTimeout",
+    "execute_plan",
+    "run_cell",
+]

@@ -6,11 +6,22 @@ campaign.  Benchmarks run in one process (`pytest benchmarks/`), so a
 process-level cache keyed on the scale factor lets Figure 8, Figure 9,
 and the §5.1 headline all reuse a single campaign run instead of
 tripling a multi-minute simulation.
+
+Campaigns are keyed by predictor *name and factory identity* — two
+different configurations registered under the same name occupy
+different cache slots instead of silently aliasing (see
+:func:`_factory_identity`).  When the ``REPRO_JOBS`` environment
+variable requests more than one worker, campaigns run through the
+parallel execution engine (:func:`repro.exec.run_campaign_parallel`),
+which merges cells deterministically, so cached results are identical
+either way.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import functools
+import os
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.predictors.base import IndirectBranchPredictor
 from repro.sim.metrics import CampaignResult
@@ -21,7 +32,7 @@ from repro.workloads.suite import build_cbp4_like_suite, env_scale, suite88_spec
 
 _suite_cache: Dict[Tuple[str, float], List[Trace]] = {}
 _stats_cache: Dict[Tuple[str, float], List[TraceStats]] = {}
-_campaign_cache: Dict[Tuple[str, float, Tuple[str, ...]], CampaignResult] = {}
+_campaign_cache: Dict[Hashable, CampaignResult] = {}
 
 
 def _resolve_scale(scale: Optional[float]) -> float:
@@ -53,23 +64,92 @@ def get_suite_stats(scale: Optional[float] = None, suite: str = "suite88") -> Li
     return _stats_cache[key]
 
 
+def _factory_identity(factory: Callable) -> Hashable:
+    """A hashable identity distinguishing factories beyond their name.
+
+    Importable classes/functions map to their stable ``(module,
+    qualname)``; ``functools.partial`` recurses into its pieces so two
+    partials over different configs differ.  Anything opaque — lambdas,
+    closures, bound methods of distinct objects — is keyed by the
+    object itself: conservative (a re-created closure re-runs the
+    campaign) but never lets two different configurations alias one
+    cache entry.  The key holds a reference to the object, so its
+    identity cannot be recycled by the allocator while cached.
+    """
+    if isinstance(factory, functools.partial):
+        return (
+            "partial",
+            _factory_identity(factory.func),
+            tuple(repr(arg) for arg in factory.args),
+            tuple(sorted((k, repr(v)) for k, v in factory.keywords.items())),
+        )
+    module = getattr(factory, "__module__", None)
+    qualname = getattr(factory, "__qualname__", None)
+    if module and qualname and "<" not in qualname:
+        return (module, qualname)
+    try:
+        hash(factory)
+    except TypeError:
+        _identity_keepalive.append(factory)
+        return ("object", id(factory))
+    return ("object", factory)
+
+
+#: Unhashable factories referenced by id() in cache keys; kept alive so
+#: their ids stay unique for the process lifetime.
+_identity_keepalive: List[Callable] = []
+
+
+def _campaign_key(
+    suite: str,
+    scale: float,
+    factories: Dict[str, Callable[[], IndirectBranchPredictor]],
+) -> Hashable:
+    return (
+        suite,
+        scale,
+        tuple(
+            (name, _factory_identity(factories[name]))
+            for name in sorted(factories)
+        ),
+    )
+
+
+def _env_jobs() -> int:
+    """Worker count requested via REPRO_JOBS (1 when unset/invalid)."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
 def get_campaign(
     factories: Dict[str, Callable[[], IndirectBranchPredictor]],
     scale: Optional[float] = None,
     suite: str = "suite88",
 ) -> CampaignResult:
-    """A campaign over the cached suite, cached per predictor-name set.
+    """A campaign over the cached suite, cached per (name, factory) set.
 
-    Caching is keyed by predictor *names*; callers passing custom
-    factories under standard names must not vary the factory for the
-    same name within one process.
+    With ``REPRO_JOBS`` set above 1, the campaign is executed by the
+    parallel engine; results are deterministic and identical to the
+    serial path, so the cache never mixes semantics.
     """
     scale = _resolve_scale(scale)
-    key = (suite, scale, tuple(sorted(factories)))
+    key = _campaign_key(suite, scale, factories)
     if key not in _campaign_cache:
-        _campaign_cache[key] = run_campaign(
-            get_suite_traces(scale, suite), factories
-        )
+        traces = get_suite_traces(scale, suite)
+        jobs = _env_jobs()
+        if jobs > 1:
+            from repro.exec import run_campaign_parallel
+
+            _campaign_cache[key] = run_campaign_parallel(
+                traces, factories, jobs=jobs
+            )
+        else:
+            _campaign_cache[key] = run_campaign(traces, factories)
     return _campaign_cache[key]
 
 
@@ -78,3 +158,4 @@ def clear_caches() -> None:
     _suite_cache.clear()
     _stats_cache.clear()
     _campaign_cache.clear()
+    _identity_keepalive.clear()

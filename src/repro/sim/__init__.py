@@ -12,7 +12,13 @@ from repro.sim.engine import simulate, simulate_conditional
 from repro.sim.metrics import CampaignResult, SimulationResult
 from repro.sim.performance import PipelineModel
 from repro.sim.ras import ReturnAddressStack
-from repro.sim.runner import PredictorFactory, run_campaign
+from repro.sim.runner import (
+    PredictorFactory,
+    ProgressCallback,
+    invoke_progress,
+    progress_arity,
+    run_campaign,
+)
 from repro.sim.report import format_campaign, format_mpki_table
 
 __all__ = [
@@ -24,6 +30,9 @@ __all__ = [
     "ReturnAddressStack",
     "run_campaign",
     "PredictorFactory",
+    "ProgressCallback",
+    "invoke_progress",
+    "progress_arity",
     "format_campaign",
     "format_mpki_table",
 ]

@@ -1,13 +1,21 @@
 """Campaign runner: many traces × many predictors.
 
 Predictors carry state, so a campaign constructs a *fresh* predictor per
-trace through a factory callable.  The runner is deliberately
-single-process and deterministic; parallelism, if wanted, belongs in the
-caller (each (trace, predictor) cell is independent).
+trace through a factory callable.  This runner is single-process and
+deterministic; :mod:`repro.exec` schedules the same (trace, predictor)
+cells across worker processes and merges them into an identical
+:class:`~repro.sim.metrics.CampaignResult`.
+
+Both paths share one progress protocol: a ``progress`` callback may
+accept either the legacy three arguments ``(trace, predictor, mpki)`` or
+five ``(trace, predictor, mpki, index, total)``, where ``index`` is the
+zero-based cell number and ``total`` the campaign cell count.  The arity
+is detected once per campaign via :func:`progress_arity`.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.predictors.base import IndirectBranchPredictor
@@ -18,13 +26,60 @@ from repro.trace.stream import Trace
 #: A callable producing a fresh predictor instance.
 PredictorFactory = Callable[[], IndirectBranchPredictor]
 
+#: A progress callback; legacy 3-argument or extended 5-argument form.
+ProgressCallback = Callable[..., None]
+
+
+def progress_arity(progress: ProgressCallback) -> int:
+    """How many positional arguments ``progress`` should be called with.
+
+    Returns 5 for callbacks that can accept ``(trace, predictor, mpki,
+    index, total)`` and 3 for the legacy ``(trace, predictor, mpki)``
+    form.  Callables whose signature cannot be introspected (some
+    builtins) are treated as legacy.
+    """
+    try:
+        signature = inspect.signature(progress)
+    except (TypeError, ValueError):
+        return 3
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind == inspect.Parameter.VAR_POSITIONAL:
+            return 5
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return 5 if positional >= 5 else 3
+
+
+def invoke_progress(
+    progress: Optional[ProgressCallback],
+    trace_name: str,
+    predictor_name: str,
+    mpki: float,
+    index: int,
+    total: int,
+    arity: Optional[int] = None,
+) -> None:
+    """Invoke ``progress`` honouring its detected arity (no-op on None)."""
+    if progress is None:
+        return
+    if arity is None:
+        arity = progress_arity(progress)
+    if arity >= 5:
+        progress(trace_name, predictor_name, mpki, index, total)
+    else:
+        progress(trace_name, predictor_name, mpki)
+
 
 def run_campaign(
     traces: Iterable[Trace],
     factories: Dict[str, PredictorFactory],
     ras_depth: int = 32,
     warmup_records: int = 0,
-    progress: Optional[Callable[[str, str, float], None]] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> CampaignResult:
     """Simulate every predictor over every trace.
 
@@ -34,13 +89,18 @@ def run_campaign(
             predictor's own ``name`` in results so one campaign can
             compare multiple configurations of the same class.
         ras_depth, warmup_records: forwarded to :func:`simulate`.
-        progress: optional callback ``(trace, predictor, mpki)`` invoked
-            after each cell, for long-running benches.
+        progress: optional callback invoked after each cell; either
+            ``(trace, predictor, mpki)`` or
+            ``(trace, predictor, mpki, index, total)``.
 
     Returns:
         A :class:`CampaignResult` with one cell per (trace, predictor).
     """
+    traces = list(traces)
+    total = len(traces) * len(factories)
+    arity = progress_arity(progress) if progress is not None else 3
     campaign = CampaignResult()
+    index = 0
     for trace in traces:
         for name, factory in factories.items():
             predictor = factory()
@@ -52,6 +112,9 @@ def run_campaign(
             )
             result.predictor_name = name
             campaign.add(result)
-            if progress is not None:
-                progress(trace.name, name, result.mpki())
+            invoke_progress(
+                progress, trace.name, name, result.mpki(), index, total,
+                arity=arity,
+            )
+            index += 1
     return campaign

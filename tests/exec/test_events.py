@@ -1,0 +1,101 @@
+"""Tests for execution events and sinks."""
+
+import io
+
+from repro.exec.events import (
+    CAMPAIGN_END,
+    CELL_FINISH,
+    CELL_SKIPPED,
+    CollectingSink,
+    ExecEvent,
+    LogSink,
+    ProgressLineSink,
+    broadcast,
+    null_sink,
+    safe_emit,
+)
+
+
+def _finish(completed=1, total=4):
+    return ExecEvent(
+        kind=CELL_FINISH,
+        trace="LONG-MOBILE-3",
+        predictor="BLBP",
+        index=completed - 1,
+        total=total,
+        completed=completed,
+        duration=0.5,
+        records=30_000,
+        records_per_sec=60_000.0,
+        eta_seconds=12.0,
+        mpki=1.25,
+    )
+
+
+class TestSinks:
+    def test_null_sink_accepts_everything(self):
+        null_sink(_finish())
+
+    def test_collecting_sink_records_in_order(self):
+        sink = CollectingSink()
+        sink(_finish(1))
+        sink(ExecEvent(kind=CAMPAIGN_END, total=4, completed=4))
+        assert sink.kinds() == [CELL_FINISH, CAMPAIGN_END]
+        assert len(sink.of_kind(CELL_FINISH)) == 1
+
+    def test_broadcast_reaches_all_sinks(self):
+        first, second = CollectingSink(), CollectingSink()
+        broadcast(first, second)(_finish())
+        assert first.kinds() == second.kinds() == [CELL_FINISH]
+
+    def test_safe_emit_swallows_sink_errors(self):
+        def angry_sink(event):
+            raise RuntimeError("observability must not kill the run")
+
+        safe_emit(angry_sink, _finish())  # must not raise
+        safe_emit(None, _finish())
+
+    def test_broadcast_isolates_failing_sink(self):
+        healthy = CollectingSink()
+
+        def angry_sink(event):
+            raise RuntimeError("boom")
+
+        broadcast(angry_sink, healthy)(_finish())
+        assert healthy.kinds() == [CELL_FINISH]
+
+
+class TestLogSink:
+    def test_line_carries_structured_fields(self):
+        stream = io.StringIO()
+        LogSink(stream)(_finish(completed=2))
+        line = stream.getvalue()
+        assert "exec cell_finish" in line
+        assert "trace=LONG-MOBILE-3" in line
+        assert "predictor=BLBP" in line
+        assert "cell=2/4" in line
+        assert "records_per_sec=60,000" in line
+        assert "eta=12.0s" in line
+
+
+class TestProgressLineSink:
+    def test_renders_progress_and_final_newline(self):
+        stream = io.StringIO()
+        sink = ProgressLineSink(stream)
+        sink(_finish(1))
+        sink(_finish(2))
+        sink(ExecEvent(kind=CAMPAIGN_END, total=4, completed=4,
+                       duration=3.2))
+        output = stream.getvalue()
+        assert "simulate 1/4 [BLBP/LONG-MOBILE-3]" in output
+        assert "60k rec/s" in output
+        assert "simulate done: 4/4 cells" in output
+        assert output.endswith("\n")
+
+    def test_skipped_cells_marked_resumed(self):
+        stream = io.StringIO()
+        ProgressLineSink(stream)(
+            ExecEvent(kind=CELL_SKIPPED, trace="t", predictor="BTB",
+                      total=4, completed=1)
+        )
+        assert "(resumed)" in stream.getvalue()

@@ -1,0 +1,203 @@
+"""Tests for cell execution: retries, timeouts, fallback, journaling."""
+
+import functools
+import time
+
+import pytest
+
+from repro.exec.events import CollectingSink
+from repro.exec.journal import Journal, load_journal
+from repro.exec.plan import plan_campaign
+from repro.exec.pool import CellFailedError, CellTimeout, execute_plan, run_cell
+from repro.predictors import BranchTargetBuffer, TwoBitBTB
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import run_campaign
+
+
+def _flaky_factory(marker_path, failures):
+    """Fail the first ``failures`` constructions, then succeed.
+
+    Attempt state lives in a file so it survives crossing process
+    boundaries; ``functools.partial`` over this module-level function
+    stays picklable.
+    """
+    from pathlib import Path
+
+    marker = Path(marker_path)
+    attempts = len(marker.read_text().splitlines()) if marker.exists() else 0
+    with open(marker, "a") as handle:
+        handle.write("attempt\n")
+    if attempts < failures:
+        raise RuntimeError(f"transient failure {attempts + 1}")
+    return BranchTargetBuffer()
+
+
+def _slow_factory(delay):
+    time.sleep(delay)
+    return BranchTargetBuffer()
+
+
+class TestRunCell:
+    def test_runs_one_cell_to_a_result(self, tiny_trace, tmp_path):
+        plan = plan_campaign(
+            [tiny_trace], {"BTB": BranchTargetBuffer}, cache_dir=tmp_path,
+        )
+        index, result, duration = run_cell(plan.cells[0])
+        assert index == 0
+        assert result.trace_name == "tiny"
+        assert result.predictor_name == "BTB"
+        assert duration >= 0
+
+    def test_timeout_raises_cell_timeout(self, tiny_trace, tmp_path):
+        plan = plan_campaign(
+            [tiny_trace],
+            {"slow": functools.partial(_slow_factory, 5.0)},
+            cache_dir=tmp_path,
+        )
+        with pytest.raises(CellTimeout):
+            run_cell(plan.cells[0], timeout=0.2)
+
+
+class TestExecutePlanSerial:
+    def test_matches_serial_runner(self, tiny_trace, vdispatch_trace,
+                                   tmp_path):
+        traces = [tiny_trace, vdispatch_trace]
+        factories = {"BTB": BranchTargetBuffer, "2bit": TwoBitBTB}
+        plan = plan_campaign(traces, factories, cache_dir=tmp_path)
+        campaign = execute_plan(plan, jobs=1)
+        serial = run_campaign(traces, factories)
+        assert campaign.results == serial.results
+
+    def test_retries_then_succeeds(self, tiny_trace, tmp_path):
+        marker = tmp_path / "attempts"
+        factories = {
+            "flaky": functools.partial(_flaky_factory, str(marker), 2)
+        }
+        plan = plan_campaign([tiny_trace], factories, cache_dir=tmp_path)
+        sink = CollectingSink()
+        campaign = execute_plan(plan, jobs=1, events=sink, retries=2,
+                                backoff=0.01)
+        assert campaign.results["tiny"]["flaky"].indirect_branches >= 0
+        assert len(sink.of_kind("cell_retry")) == 2
+        assert sink.of_kind("campaign_end")[0].retries == 2
+
+    def test_retry_budget_exhaustion_raises(self, tiny_trace, tmp_path):
+        marker = tmp_path / "attempts"
+        factories = {
+            "doomed": functools.partial(_flaky_factory, str(marker), 99)
+        }
+        plan = plan_campaign([tiny_trace], factories, cache_dir=tmp_path)
+        sink = CollectingSink()
+        with pytest.raises(CellFailedError, match="doomed"):
+            execute_plan(plan, jobs=1, events=sink, retries=1, backoff=0.01)
+        assert len(sink.of_kind("cell_failed")) == 1
+
+    def test_journal_written_per_cell(self, tiny_trace, vdispatch_trace,
+                                      tmp_path):
+        plan = plan_campaign(
+            [tiny_trace, vdispatch_trace], {"BTB": BranchTargetBuffer},
+            cache_dir=tmp_path,
+        )
+        journal_path = tmp_path / "journal.jsonl"
+        campaign = execute_plan(plan, jobs=1, journal_path=journal_path)
+        journaled = load_journal(journal_path)
+        assert set(journaled) == {("tiny", "BTB"), ("vd-test", "BTB")}
+        assert journaled[("tiny", "BTB")] == campaign.results["tiny"]["BTB"]
+
+
+class TestExecutePlanParallel:
+    def test_matches_serial_runner(self, tiny_trace, vdispatch_trace,
+                                   switchcase_trace, tmp_path):
+        traces = [tiny_trace, vdispatch_trace, switchcase_trace]
+        factories = {"BTB": BranchTargetBuffer, "2bit": TwoBitBTB}
+        plan = plan_campaign(traces, factories, cache_dir=tmp_path)
+        campaign = execute_plan(plan, jobs=2)
+        serial = run_campaign(traces, factories)
+        assert campaign.results == serial.results
+
+    def test_unpicklable_factory_falls_back_to_serial(self, tiny_trace,
+                                                      tmp_path):
+        entries = 64
+
+        def closure_factory():
+            return BranchTargetBuffer(num_entries=entries)
+
+        plan = plan_campaign(
+            [tiny_trace], {"closure": closure_factory}, cache_dir=tmp_path,
+        )
+        sink = CollectingSink()
+        campaign = execute_plan(plan, jobs=2, events=sink)
+        fallback = sink.of_kind("fallback")
+        assert fallback and "picklable" in fallback[0].message
+        assert ("tiny", "closure") in [
+            (r.trace_name, r.predictor_name)
+            for per in campaign.results.values() for r in per.values()
+        ]
+
+    def test_retry_in_workers(self, tiny_trace, tmp_path):
+        marker = tmp_path / "attempts"
+        factories = {
+            "flaky": functools.partial(_flaky_factory, str(marker), 1)
+        }
+        plan = plan_campaign([tiny_trace], factories, cache_dir=tmp_path)
+        sink = CollectingSink()
+        campaign = execute_plan(plan, jobs=2, events=sink, retries=2,
+                                backoff=0.01)
+        assert "tiny" in campaign.results
+        assert len(sink.of_kind("cell_retry")) == 1
+
+
+class TestResume:
+    def test_journaled_cells_are_skipped(self, tiny_trace, vdispatch_trace,
+                                         tmp_path):
+        traces = [tiny_trace, vdispatch_trace]
+        factories = {"BTB": BranchTargetBuffer, "2bit": TwoBitBTB}
+        plan = plan_campaign(traces, factories, cache_dir=tmp_path)
+        journal_path = tmp_path / "journal.jsonl"
+
+        # Pre-seed the journal with two cells carrying sentinel values a
+        # real simulation could never produce; if the executor
+        # re-simulated them, the sentinels would be overwritten.
+        sentinel_a = SimulationResult("tiny", "BTB", 123, 45, 44)
+        sentinel_b = SimulationResult("vd-test", "2bit", 456, 78, 77)
+        with Journal(journal_path) as journal:
+            journal.append(sentinel_a)
+            journal.append(sentinel_b)
+
+        sink = CollectingSink()
+        campaign = execute_plan(plan, jobs=1, journal_path=journal_path,
+                                events=sink)
+        assert campaign.results["tiny"]["BTB"] == sentinel_a
+        assert campaign.results["vd-test"]["2bit"] == sentinel_b
+        assert len(sink.of_kind("cell_skipped")) == 2
+        assert len(sink.of_kind("cell_finish")) == 2
+        # The journal now covers the whole campaign for the next resume.
+        assert len(load_journal(journal_path)) == 4
+
+    def test_fully_journaled_campaign_runs_nothing(self, tiny_trace,
+                                                   tmp_path):
+        factories = {"BTB": BranchTargetBuffer}
+        plan = plan_campaign([tiny_trace], factories, cache_dir=tmp_path)
+        journal_path = tmp_path / "journal.jsonl"
+        execute_plan(plan, jobs=1, journal_path=journal_path)
+
+        sink = CollectingSink()
+        resumed = execute_plan(plan, jobs=1, journal_path=journal_path,
+                               events=sink)
+        assert sink.of_kind("cell_finish") == []
+        assert len(sink.of_kind("cell_skipped")) == 1
+        assert resumed.results["tiny"]["BTB"].trace_name == "tiny"
+
+    def test_journal_from_other_campaign_ignored(self, tiny_trace,
+                                                 tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        with Journal(journal_path) as journal:
+            journal.append(SimulationResult("elsewhere", "BTB", 1, 1, 1))
+        plan = plan_campaign(
+            [tiny_trace], {"BTB": BranchTargetBuffer}, cache_dir=tmp_path,
+        )
+        sink = CollectingSink()
+        campaign = execute_plan(plan, jobs=1, journal_path=journal_path,
+                                events=sink)
+        assert sink.of_kind("cell_skipped") == []
+        assert "elsewhere" not in campaign.results

@@ -54,3 +54,47 @@ class TestCampaignCache:
     def test_campaign_has_all_traces(self):
         campaign = get_campaign({"BTB": BranchTargetBuffer}, scale=0.2)
         assert len(campaign.traces()) == 88
+
+
+class TestCampaignCacheFactoryIdentity:
+    """Regression: cache keys must include factory identity, not just
+    the predictor name — two configs under one name must not alias."""
+
+    def test_different_factories_same_name_not_aliased(self):
+        import functools
+
+        from repro.predictors import BranchTargetBuffer as BTBClass
+
+        small = functools.partial(BTBClass, num_entries=16)
+        large = functools.partial(BTBClass, num_entries=32768)
+        first = get_campaign({"BTB": small}, scale=0.2)
+        second = get_campaign({"BTB": large}, scale=0.2)
+        assert first is not second
+        # The configurations genuinely differ, so at least one trace
+        # must score differently; aliasing would make them all equal.
+        diffs = [
+            trace
+            for trace in first.traces()
+            if first.mpki_of(trace, "BTB") != second.mpki_of(trace, "BTB")
+        ]
+        assert diffs
+
+    def test_distinct_closures_get_distinct_slots(self):
+        first = get_campaign({"BTB": lambda: BranchTargetBuffer()}, scale=0.2)
+        second = get_campaign({"BTB": lambda: BranchTargetBuffer()}, scale=0.2)
+        assert first is not second
+
+    def test_same_class_factory_still_hits_cache(self):
+        first = get_campaign({"BTB": BranchTargetBuffer}, scale=0.2)
+        second = get_campaign({"BTB": BranchTargetBuffer}, scale=0.2)
+        assert first is second
+
+    def test_repro_jobs_env_uses_parallel_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = get_campaign({"BTB": BranchTargetBuffer}, scale=0.2)
+        clear_caches()
+        monkeypatch.delenv("REPRO_JOBS")
+        serial = get_campaign({"BTB": BranchTargetBuffer}, scale=0.2)
+        assert parallel.traces() == serial.traces()
+        for trace in serial.traces():
+            assert parallel.results[trace]["BTB"] == serial.results[trace]["BTB"]

@@ -41,3 +41,42 @@ class TestRunCampaign:
             progress=lambda trace, name, mpki: seen.append((trace, name, mpki)),
         )
         assert seen and seen[0][0] == "tiny" and seen[0][1] == "BTB"
+
+
+class TestProgressProtocol:
+    """The extended 5-argument progress form and its legacy fallback."""
+
+    def test_extended_callback_gets_index_and_total(self, tiny_trace,
+                                                    vdispatch_trace):
+        seen = []
+
+        def progress(trace, name, mpki, index, total):
+            seen.append((trace, name, index, total))
+
+        run_campaign(
+            [tiny_trace, vdispatch_trace],
+            {"BTB": BranchTargetBuffer, "2bit": TwoBitBTB},
+            progress=progress,
+        )
+        assert [cell[2] for cell in seen] == [0, 1, 2, 3]
+        assert all(cell[3] == 4 for cell in seen)
+        assert seen[0][:2] == ("tiny", "BTB")
+        assert seen[-1][:2] == ("vd-test", "2bit")
+
+    def test_var_positional_callback_treated_as_extended(self, tiny_trace):
+        seen = []
+        run_campaign(
+            [tiny_trace],
+            {"BTB": BranchTargetBuffer},
+            progress=lambda *args: seen.append(args),
+        )
+        assert len(seen) == 1 and len(seen[0]) == 5
+        assert seen[0][3:] == (0, 1)
+
+    def test_arity_detection(self):
+        from repro.sim.runner import progress_arity
+
+        assert progress_arity(lambda t, n, m: None) == 3
+        assert progress_arity(lambda t, n, m, i, total: None) == 5
+        assert progress_arity(lambda *args: None) == 5
+        assert progress_arity(print) == 5  # *args builtin

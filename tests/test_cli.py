@@ -56,6 +56,29 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["simulate", "--predictors", "MAGIC"])
 
+    def test_simulate_parallel_jobs(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.bin")
+        main(["generate", "SHORT-SERVER-2", "--out", path, "--scale", "0.2"])
+        capsys.readouterr()
+        assert main(["simulate", "--predictors", "BTB,2bit-BTB",
+                     "--traces", path, "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MEAN" in out
+
+    def test_simulate_resume_skips_journaled_cells(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.bin")
+        journal = str(tmp_path / "campaign.jsonl")
+        main(["generate", "SHORT-SERVER-2", "--out", path, "--scale", "0.2"])
+        capsys.readouterr()
+        assert main(["simulate", "--predictors", "BTB", "--traces", path,
+                     "--resume", journal]) == 0
+        first = capsys.readouterr()
+        assert main(["simulate", "--predictors", "BTB", "--traces", path,
+                     "--resume", journal]) == 0
+        second = capsys.readouterr()
+        assert "(resumed)" in second.err
+        assert first.out == second.out
+
     def test_budgets(self, capsys):
         assert main(["budgets"]) == 0
         out = capsys.readouterr().out

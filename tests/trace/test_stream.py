@@ -78,6 +78,48 @@ class TestBinaryIO:
             read_trace(path)
 
 
+class TestBinaryIOEdgeCases:
+    """Round-trips the exec spill path depends on (see repro.exec.plan)."""
+
+    @staticmethod
+    def _round_trip(trace, tmp_path):
+        path = tmp_path / "edge.trace"
+        write_trace(trace, path)
+        return read_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        empty = Trace.from_records("empty", [])
+        loaded = self._round_trip(empty, tmp_path)
+        assert loaded.name == "empty"
+        assert len(loaded) == 0
+        assert loaded.total_instructions() == 0
+        assert loaded.pcs.dtype == np.uint64
+
+    def test_single_record_trace(self, tmp_path):
+        one = Trace.from_records(
+            "one",
+            [BranchRecord(0x40, BranchType.INDIRECT_JUMP, True, 0x80,
+                          inst_gap=5)],
+        )
+        loaded = self._round_trip(one, tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0] == one[0]
+        assert loaded.total_instructions() == 6
+
+    def test_non_ascii_name(self, tiny_trace, tmp_path):
+        renamed = Trace(
+            "métier-δ-跟踪",
+            tiny_trace.pcs,
+            tiny_trace.types,
+            tiny_trace.takens,
+            tiny_trace.targets,
+            tiny_trace.gaps,
+        )
+        loaded = self._round_trip(renamed, tmp_path)
+        assert loaded.name == "métier-δ-跟踪"
+        np.testing.assert_array_equal(loaded.pcs, tiny_trace.pcs)
+
+
 class TestConcatenate:
     def test_concatenate_lengths(self, tiny_trace):
         merged = concatenate("merged", [tiny_trace, tiny_trace])
