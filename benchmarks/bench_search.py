@@ -1,0 +1,80 @@
+"""Design-space search engine: wall-clock speedup and determinism.
+
+Not a paper artifact — an infrastructure benchmark for the
+:mod:`repro.search` engine.  It runs the same seeded hill-climbing
+search twice, serial (``jobs=1``) and parallel (``jobs=N``), prints the
+wall-clock comparison, and asserts the two searches walk the identical
+trajectory: same evaluation count, same generations, byte-identical
+leaderboard.  Determinism is asserted unconditionally — on any host,
+any core count — mirroring ``bench_parallel.py``.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.search import (
+    GenerationEvaluator,
+    HillClimb,
+    leaderboard_to_json,
+    run_search,
+    sizing_space,
+)
+from repro.workloads.suite import env_scale, suite88_specs
+
+SEED = 0xB1B0
+BUDGET = 12
+BATCH = 4
+
+
+def _search_inputs():
+    """4 traces × a 12-candidate hill-climb = up to 48 simulation cells."""
+    entries = suite88_specs(env_scale())[::22]
+    return [entry.generate() for entry in entries]
+
+
+def _run(traces, jobs):
+    strategy = HillClimb(sizing_space(), seed=SEED, batch_size=BATCH)
+    started = time.perf_counter()
+    with GenerationEvaluator(traces, jobs=jobs) as evaluator:
+        result = run_search(strategy, evaluator, budget=BUDGET)
+    return result, time.perf_counter() - started
+
+
+def _compare(jobs):
+    traces = _search_inputs()
+    serial, serial_seconds = _run(traces, 1)
+    parallel, parallel_seconds = _run(traces, jobs)
+    return serial, parallel, serial_seconds, parallel_seconds
+
+
+def test_search_speedup_and_determinism(benchmark):
+    jobs = min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) > 1 else 2
+    serial, parallel, serial_s, parallel_s = run_once(
+        benchmark, _compare, jobs
+    )
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    print()
+    print(
+        f"Search execution: {BUDGET} evaluations, "
+        f"host cores={os.cpu_count()}"
+    )
+    print(f"  serial              {serial_s:8.2f}s")
+    print(f"  parallel (jobs={jobs})   {parallel_s:8.2f}s")
+    print(f"  speedup             {speedup:8.2f}x")
+    print(f"  best mean MPKI      {serial.best_score:8.4f}")
+
+    # Determinism: the parallel search walks the serial trajectory.
+    assert parallel.evaluations == serial.evaluations == BUDGET
+    assert parallel.generations == serial.generations
+    assert leaderboard_to_json(parallel.leaderboard) == leaderboard_to_json(
+        serial.leaderboard
+    )
+
+    # Speedup claim only where parallelism is physically possible.
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_s < serial_s, (
+            f"parallel ({parallel_s:.2f}s) slower than serial "
+            f"({serial_s:.2f}s) on a {os.cpu_count()}-core host"
+        )

@@ -6,6 +6,7 @@ Commands:
 * ``generate``  — generate a named suite trace (or all) to disk;
 * ``stats``     — workload-characterization statistics for traces;
 * ``simulate``  — run predictors over traces or suite samples;
+* ``search``    — design-space search over BLBP configurations;
 * ``budgets``   — predictor hardware budgets (Table 2).
 
 Examples::
@@ -15,6 +16,8 @@ Examples::
     python -m repro stats /tmp/sm1.trace
     python -m repro simulate --predictors BTB,ITTAGE,BLBP --stride 16
     python -m repro simulate --jobs 4 --resume campaign.jsonl --stride 8
+    python -m repro search --strategy hillclimb --budget 24 --jobs 4
+    python -m repro search --strategy sha --space sizing --resume s.jsonl
     python -m repro budgets
 """
 
@@ -149,6 +152,80 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.exec import resolve_jobs
+    from repro.search import (
+        GenerationEvaluator,
+        SpaceError,
+        default_space,
+        format_leaderboard,
+        intervals_space,
+        make_strategy,
+        run_search,
+        save_leaderboard_json,
+        save_leaderboard_markdown,
+        sizing_space,
+        toggles_space,
+    )
+
+    spaces = {
+        "default": default_space,
+        "sizing": sizing_space,
+        "intervals": intervals_space,
+        "toggles": toggles_space,
+    }
+    if args.budget < 1:
+        print(f"search error: budget must be >= 1, got {args.budget}",
+              file=sys.stderr)
+        return 1
+    if args.traces:
+        traces = [_load_trace(path) for path in args.traces]
+    else:
+        entries = suite88_specs(args.scale)[:: args.stride]
+        print(f"generating {len(entries)} tuning traces ...", file=sys.stderr)
+        traces = [entry.generate() for entry in entries]
+    try:
+        strategy = make_strategy(
+            args.strategy, spaces[args.space](),
+            seed=args.seed, batch_size=args.batch,
+        )
+    except SpaceError as exc:
+        print(f"search space error: {exc}", file=sys.stderr)
+        return 1
+
+    def progress(generation: int, evaluations: int, best: float) -> None:
+        print(
+            f"search gen {generation}: {evaluations}/{args.budget} "
+            f"candidates, best mean MPKI {best:.4f}",
+            file=sys.stderr,
+        )
+
+    with GenerationEvaluator(traces, jobs=resolve_jobs(args.jobs)) as evaluator:
+        result = run_search(
+            strategy,
+            evaluator,
+            budget=args.budget,
+            journal_path=args.resume,
+            progress=progress,
+        )
+    print(
+        f"search done: {result.evaluations} candidates over "
+        f"{result.generations} generations "
+        f"({result.live_evaluations} simulated, {result.resumed} resumed)"
+    )
+    print(format_leaderboard(result.leaderboard, top=args.top))
+    if args.out:
+        json_path = save_leaderboard_json(
+            result.leaderboard, f"{args.out}/leaderboard.json"
+        )
+        md_path = save_leaderboard_markdown(
+            result.leaderboard, f"{args.out}/leaderboard.md", top=args.top
+        )
+        print(f"leaderboard written to {json_path} and {md_path}",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     if args.traces:
         traces = [_load_trace(path) for path in args.traces]
@@ -227,6 +304,52 @@ def build_parser() -> argparse.ArgumentParser:
              "resume an interrupted campaign",
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    search = sub.add_parser(
+        "search", help="design-space search over BLBP configurations"
+    )
+    search.add_argument(
+        "--strategy", default="hillclimb",
+        choices=("hillclimb", "random", "grid", "sha"),
+        help="batch-proposing strategy (default hillclimb)",
+    )
+    search.add_argument(
+        "--budget", type=int, default=24,
+        help="total candidate evaluations (default 24)",
+    )
+    search.add_argument(
+        "--batch", type=int, default=4,
+        help="candidates proposed per generation (default 4)",
+    )
+    search.add_argument(
+        "--space", default="intervals",
+        choices=("default", "sizing", "intervals", "toggles"),
+        help="parameter space (default intervals; grid needs an "
+             "enumerable space such as sizing)",
+    )
+    search.add_argument("--seed", type=int, default=0x5EA8C4,
+                        help="strategy RNG seed")
+    search.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS env var, else 1)",
+    )
+    search.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="JSONL search journal; rerun with the same path to resume "
+             "without re-evaluating journaled candidates",
+    )
+    search.add_argument("--traces", nargs="*",
+                        help="tuning trace files (else suite sample)")
+    search.add_argument("--stride", type=int, default=16,
+                        help="suite sampling stride (default 16)")
+    search.add_argument("--scale", type=float, default=1.0)
+    search.add_argument("--top", type=int, default=10,
+                        help="leaderboard rows to print (default 10)")
+    search.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write leaderboard.json + leaderboard.md into DIR",
+    )
+    search.set_defaults(func=_cmd_search)
 
     validate = sub.add_parser(
         "validate", help="check traces against the workload contract"

@@ -104,12 +104,33 @@ class BLBPConfig:
     def __post_init__(self) -> None:
         if self.num_target_bits < 1:
             raise ValueError(f"need >= 1 target bits, got {self.num_target_bits}")
+        if self.low_bit < 0:
+            raise ValueError(f"low_bit must be >= 0, got {self.low_bit}")
         if self.weight_bits < 2:
             raise ValueError(f"weight_bits must be >= 2, got {self.weight_bits}")
         if self.table_rows < 1:
             raise ValueError(f"table_rows must be >= 1, got {self.table_rows}")
+        if self.global_history_bits < 1:
+            raise ValueError(
+                f"global_history_bits must be >= 1, got {self.global_history_bits}"
+            )
+        if self.local_histories < 1 or self.local_history_bits < 1:
+            raise ValueError(
+                "local history needs >= 1 entry of >= 1 bit, got "
+                f"{self.local_histories} x {self.local_history_bits}"
+            )
         if self.ibtb_sets < 1 or self.ibtb_ways < 1:
             raise ValueError("IBTB must have >= 1 set and >= 1 way")
+        if self.region_entries < 1 or self.region_offset_bits < 1:
+            raise ValueError(
+                "region compression needs >= 1 entry and >= 1 offset bit, got "
+                f"{self.region_entries} entries / {self.region_offset_bits} bits"
+            )
+        if self.initial_theta < 1 or self.theta_counter_bits < 1:
+            raise ValueError(
+                f"adaptive threshold needs theta >= 1 (got {self.initial_theta}) "
+                f"and >= 1 counter bit (got {self.theta_counter_bits})"
+            )
         max_magnitude = (1 << (self.weight_bits - 1)) - 1
         if len(self.transfer_magnitudes) != max_magnitude + 1:
             raise ValueError(
@@ -141,6 +162,22 @@ class BLBPConfig:
     def weight_magnitude(self) -> int:
         """Saturation magnitude for sign/magnitude weights."""
         return (1 << (self.weight_bits - 1)) - 1
+
+
+def transfer_magnitudes_for(weight_bits: int) -> Tuple[int, ...]:
+    """A transfer-magnitude table sized for ``weight_bits``-bit weights.
+
+    The default table covers 4-bit weights (magnitudes 0..7); narrower
+    weights truncate it and wider weights extend it with the same convex
+    growth, so any searched/swept weight width yields a valid config.
+    """
+    if weight_bits < 2:
+        raise ValueError(f"weight_bits must be >= 2, got {weight_bits}")
+    magnitude = (1 << (weight_bits - 1)) - 1
+    table = list(DEFAULT_TRANSFER_MAGNITUDES)
+    while len(table) < magnitude + 1:
+        table.append(table[-1] + (table[-1] - table[-2]) + 2)
+    return tuple(table[: magnitude + 1])
 
 
 def paper_config() -> BLBPConfig:

@@ -7,6 +7,12 @@ bits; M = 1024-row tables.  These sweeps regenerate the evidence behind
 those choices — accuracy as a function of each parameter at otherwise
 paper-default configuration — so the claims can be checked rather than
 quoted.  ``benchmarks/bench_sweeps.py`` runs them.
+
+A sweep is a fixed one-axis grid, so it evaluates through the
+:mod:`repro.search` batched evaluator: every sweep point is one
+candidate, the whole sweep one candidate × trace campaign, and
+``jobs > 1`` (or ``REPRO_JOBS``) spreads it across worker processes
+with deterministic, serial-identical results.
 """
 
 from __future__ import annotations
@@ -14,9 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core import BLBP
-from repro.core.config import BLBPConfig
-from repro.sim.runner import run_campaign
+from repro.core.config import BLBPConfig, transfer_magnitudes_for
 from repro.trace.stream import Trace
 from repro.workloads.suite import env_scale, suite88_specs
 
@@ -27,25 +31,20 @@ SweepPoint = Tuple[str, Callable[[BLBPConfig], BLBPConfig]]
 def weight_bits_sweep(values: Sequence[int] = (2, 3, 4, 5, 6)) -> List[SweepPoint]:
     """§3.7's weight-width trade-off.
 
-    The transfer-magnitude table must match the weight range, so wider
-    weights extend it with the same convex growth.
+    The transfer-magnitude table must match the weight range, so each
+    point re-derives it via :func:`transfer_magnitudes_for`.
     """
-    points = []
-    for bits in values:
-        magnitude = (1 << (bits - 1)) - 1
-        base = list(BLBPConfig().transfer_magnitudes)
-        while len(base) < magnitude + 1:
-            base.append(base[-1] + (base[-1] - base[-2]) + 2)
-        magnitudes = tuple(base[: magnitude + 1])
-        points.append(
-            (
-                f"weights={bits}b",
-                (lambda b, m: lambda cfg: dataclasses.replace(
-                    cfg, weight_bits=b, transfer_magnitudes=m
-                ))(bits, magnitudes),
-            )
+    return [
+        (
+            f"weights={bits}b",
+            (lambda b: lambda cfg: dataclasses.replace(
+                cfg,
+                weight_bits=b,
+                transfer_magnitudes=transfer_magnitudes_for(b),
+            ))(bits),
         )
-    return points
+        for bits in values
+    ]
 
 
 def target_bits_sweep(values: Sequence[int] = (4, 8, 12, 16)) -> List[SweepPoint]:
@@ -78,19 +77,30 @@ def run_sweep(
     scale: Optional[float] = None,
     stride: int = 10,
     base_config: Optional[BLBPConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
-    """Mean BLBP MPKI per sweep point over a suite subsample."""
+    """Mean BLBP MPKI per sweep point over a suite subsample.
+
+    Evaluation goes through the search engine's batched evaluator: one
+    exec-pool campaign for the whole sweep.  ``jobs=None`` reads
+    ``REPRO_JOBS`` (default serial); results are identical either way.
+    """
+    from repro.search.evaluate import GenerationEvaluator, config_candidate
+
     if traces is None:
         if scale is None:
             scale = env_scale()
         traces = [entry.generate() for entry in suite88_specs(scale)[::stride]]
     base = base_config or BLBPConfig()
-    factories = {
-        label: (lambda cfg: (lambda: BLBP(cfg)))(transform(base))
-        for label, transform in points
+    candidates = [
+        config_candidate(label, transform(base)) for label, transform in points
+    ]
+    with GenerationEvaluator(list(traces), jobs=jobs) as evaluator:
+        scores = evaluator.score(candidates)
+    return {
+        candidate.key: score
+        for candidate, score in zip(candidates, scores)
     }
-    campaign = run_campaign(list(traces), factories)
-    return {label: campaign.mean_mpki(label) for label, _ in points}
 
 
 def format_sweep(title: str, results: Dict[str, float]) -> str:

@@ -9,19 +9,25 @@ the tuning*, not just quote its result: start from GEHL-style prefixes,
 mutate one interval endpoint at a time, evaluate mean BLBP MPKI over a
 trace set, and keep improvements.  ``examples/interval_tuning.py`` runs
 it end-to-end and compares the tuned intervals with the paper's.
+
+Evaluation is delegated to the :mod:`repro.search` engine: candidates
+are scored through a :class:`~repro.search.evaluate.GenerationEvaluator`
+(spill-once traces, exec-pool scheduling, score memoization), so
+``jobs > 1`` parallelizes each candidate's trace set while keeping the
+accept/reject walk — and the result — identical to the serial run.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import json
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core import BLBP
 from repro.core.config import BLBPConfig, GEHL_INTERVALS
-from repro.sim.engine import simulate
 from repro.trace.stream import Trace
 
 Interval = Tuple[int, int]
@@ -37,6 +43,10 @@ class TuningResult:
     best_mpki: float
     #: (iteration, candidate mpki, accepted) per evaluated mutation.
     history: List[Tuple[int, float, bool]] = field(default_factory=list)
+    #: RNG seed the mutation sequence was drawn from.
+    seed: int = 0
+    #: Wall-clock seconds per iteration (same order as ``history``).
+    iteration_seconds: List[float] = field(default_factory=list)
 
     @property
     def improvement_percent(self) -> float:
@@ -47,16 +57,6 @@ class TuningResult:
     @property
     def accepted_steps(self) -> int:
         return sum(1 for _, _, accepted in self.history if accepted)
-
-
-def _mean_mpki(
-    intervals: Tuple[Interval, ...],
-    traces: Sequence[Trace],
-    base_config: BLBPConfig,
-) -> float:
-    config = dataclasses.replace(base_config, intervals=intervals)
-    values = [simulate(BLBP(config), trace).mpki() for trace in traces]
-    return sum(values) / len(values)
 
 
 def mutate_interval(
@@ -90,6 +90,7 @@ def hill_climb_intervals(
     initial_intervals: Optional[Tuple[Interval, ...]] = None,
     seed: int = 0x7EAE,
     max_step: int = 16,
+    jobs: Optional[int] = None,
 ) -> TuningResult:
     """Tune BLBP's history intervals on ``traces`` by hill-climbing.
 
@@ -102,34 +103,114 @@ def hill_climb_intervals(
             the paper's procedure does).
         seed: RNG seed for the mutation sequence.
         max_step: largest endpoint nudge per move.
+        jobs: worker processes for candidate evaluation (``None`` reads
+            ``REPRO_JOBS``); the tuning walk itself is identical for
+            any value.
     """
+    from repro.search.evaluate import GenerationEvaluator, make_candidate
+    from repro.search.space import IntervalsDimension, SearchSpace
+    from repro.search.strategies import HillClimb
+
     if not traces:
         raise ValueError("need at least one tuning trace")
     if iterations < 0:
         raise ValueError(f"negative iterations {iterations}")
     base_config = base_config or BLBPConfig()
-    intervals = tuple(initial_intervals or GEHL_INTERVALS)
-    max_position = base_config.global_history_bits
-    rng = np.random.default_rng(seed)
+    intervals = tuple(tuple(pair) for pair in
+                      (initial_intervals or GEHL_INTERVALS))
 
-    best_mpki = _mean_mpki(intervals, traces, base_config)
-    result = TuningResult(
-        initial_intervals=intervals,
-        best_intervals=intervals,
-        initial_mpki=best_mpki,
-        best_mpki=best_mpki,
+    space = SearchSpace(
+        [
+            IntervalsDimension(
+                "intervals",
+                count=len(intervals),
+                max_position=base_config.global_history_bits,
+                max_step=max_step,
+            )
+        ],
+        base_config=base_config,
     )
-    for iteration in range(iterations):
-        candidate = mutate_interval(
-            result.best_intervals, rng, max_position, max_step
+    strategy = HillClimb(
+        space, seed=seed, batch_size=1, initial={"intervals": intervals}
+    )
+
+    with GenerationEvaluator(traces, jobs=jobs) as evaluator:
+
+        def score_next() -> Tuple[Tuple[Interval, ...], float, float]:
+            proposal = strategy.propose()
+            params = proposal.candidates[0]
+            started = time.perf_counter()
+            score = evaluator.score([make_candidate(space, params)])[0]
+            elapsed = time.perf_counter() - started
+            strategy.observe([(params, score)])
+            return params["intervals"], score, elapsed
+
+        _, initial_mpki, _ = score_next()
+        result = TuningResult(
+            initial_intervals=intervals,
+            best_intervals=intervals,
+            initial_mpki=initial_mpki,
+            best_mpki=initial_mpki,
+            seed=seed,
         )
-        mpki = _mean_mpki(candidate, traces, base_config)
-        accepted = mpki < result.best_mpki
-        result.history.append((iteration, mpki, accepted))
-        if accepted:
-            result.best_intervals = candidate
-            result.best_mpki = mpki
+        for iteration in range(iterations):
+            previous_best = strategy.best_score
+            candidate, mpki, elapsed = score_next()
+            accepted = mpki < previous_best
+            result.history.append((iteration, mpki, accepted))
+            result.iteration_seconds.append(elapsed)
+            if accepted:
+                result.best_intervals = tuple(
+                    tuple(pair) for pair in candidate
+                )
+                result.best_mpki = mpki
     return result
+
+
+def tuning_result_to_json(result: TuningResult) -> dict:
+    """A JSON-ready dict capturing a tuning run (for ``results/``)."""
+    return {
+        "seed": result.seed,
+        "initial_intervals": [list(pair) for pair in result.initial_intervals],
+        "best_intervals": [list(pair) for pair in result.best_intervals],
+        "initial_mpki": result.initial_mpki,
+        "best_mpki": result.best_mpki,
+        "improvement_percent": result.improvement_percent,
+        "accepted_steps": result.accepted_steps,
+        "iterations": len(result.history),
+        "history": [
+            {"iteration": iteration, "mpki": mpki, "accepted": accepted}
+            for iteration, mpki, accepted in result.history
+        ],
+        "iteration_seconds": list(result.iteration_seconds),
+    }
+
+
+def export_tuning_result(
+    result: TuningResult, directory: Union[str, Path]
+) -> List[Path]:
+    """Write ``tuning.json`` + ``tuning_history.csv`` into ``directory``.
+
+    The CSV goes through :func:`repro.experiments.figure_export
+    .export_series`, so tuning runs land in ``results/`` in the same
+    tidy format as the figure exports.
+    """
+    from repro.experiments.figure_export import export_series
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / "tuning.json"
+    json_path.write_text(
+        json.dumps(tuning_result_to_json(result), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    csv_path = export_series(
+        [(str(iteration), mpki) for iteration, mpki, _ in result.history],
+        directory / "tuning_history.csv",
+        header=("iteration", "candidate_mpki"),
+    )
+    return [json_path, csv_path]
 
 
 def format_tuning_result(result: TuningResult) -> str:

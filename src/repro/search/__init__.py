@@ -1,0 +1,134 @@
+"""Design-space exploration engine: parallel, journaled, resumable.
+
+The paper's headline configuration is a search artifact — hill-climbed
+intervals (§3.6), swept sizings (§3.7) — so the reproduction treats
+search as a first-class subsystem built on :mod:`repro.exec`:
+
+* :mod:`repro.search.space` — declarative parameter spaces over
+  :class:`~repro.core.config.BLBPConfig` with validation, seeded
+  sampling, mutation, and grid enumeration;
+* :mod:`repro.search.strategies` — batch-proposing strategies: batched
+  stochastic hill-climbing, random search, grid search, and successive
+  halving on trace-subset budgets;
+* :mod:`repro.search.evaluate` — a batched evaluator that spills the
+  tuning traces once and scores whole candidate generations through
+  the exec pool (one cell per candidate × trace), with per-candidate
+  mean-MPKI aggregation and a score memo;
+* :mod:`repro.search.journal` — a JSONL log of every scored candidate
+  enabling ``--resume`` with zero re-evaluation;
+* :mod:`repro.search.leaderboard` — deterministic ranked leaderboards
+  exportable to JSON and markdown;
+* :mod:`repro.search.engine` — :func:`run_search`, the loop tying them
+  together.
+
+Quickstart::
+
+    from repro.search import (
+        GenerationEvaluator, HillClimb, intervals_space, run_search,
+    )
+
+    space = intervals_space()
+    with GenerationEvaluator(traces, jobs=4) as evaluator:
+        result = run_search(
+            HillClimb(space, seed=7, batch_size=8),
+            evaluator,
+            budget=64,
+            journal_path="search.jsonl",   # rerun to resume
+        )
+    print(result.best_params, result.best_score)
+
+CLI equivalent: ``python -m repro search --strategy hillclimb
+--budget 64 --jobs 4 --resume search.jsonl``.
+"""
+
+from repro.search.engine import SearchProgress, SearchResult, run_search
+from repro.search.evaluate import (
+    Candidate,
+    EvaluationError,
+    GenerationEvaluator,
+    config_candidate,
+    make_candidate,
+    suite_evaluator,
+)
+from repro.search.journal import (
+    SEARCH_JOURNAL_VERSION,
+    SearchJournal,
+    SearchJournalError,
+    SearchRecord,
+    load_search_journal,
+)
+from repro.search.leaderboard import (
+    Leaderboard,
+    LeaderboardEntry,
+    build_leaderboard,
+    format_leaderboard,
+    leaderboard_to_json,
+    save_leaderboard_json,
+    save_leaderboard_markdown,
+)
+from repro.search.space import (
+    ChoiceDimension,
+    Dimension,
+    IntDimension,
+    IntervalsDimension,
+    SearchSpace,
+    SpaceError,
+    default_space,
+    intervals_space,
+    sizing_space,
+    toggle,
+    toggles_space,
+)
+from repro.search.strategies import (
+    STRATEGIES,
+    GridSearch,
+    HillClimb,
+    Proposal,
+    RandomSearch,
+    Strategy,
+    SuccessiveHalving,
+    make_strategy,
+)
+
+__all__ = [
+    "Candidate",
+    "ChoiceDimension",
+    "Dimension",
+    "EvaluationError",
+    "GenerationEvaluator",
+    "GridSearch",
+    "HillClimb",
+    "IntDimension",
+    "IntervalsDimension",
+    "Leaderboard",
+    "LeaderboardEntry",
+    "Proposal",
+    "RandomSearch",
+    "SEARCH_JOURNAL_VERSION",
+    "STRATEGIES",
+    "SearchJournal",
+    "SearchJournalError",
+    "SearchProgress",
+    "SearchRecord",
+    "SearchResult",
+    "SearchSpace",
+    "SpaceError",
+    "Strategy",
+    "SuccessiveHalving",
+    "build_leaderboard",
+    "config_candidate",
+    "default_space",
+    "make_candidate",
+    "format_leaderboard",
+    "intervals_space",
+    "leaderboard_to_json",
+    "load_search_journal",
+    "make_strategy",
+    "run_search",
+    "save_leaderboard_json",
+    "save_leaderboard_markdown",
+    "sizing_space",
+    "suite_evaluator",
+    "toggle",
+    "toggles_space",
+]

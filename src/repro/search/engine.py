@@ -1,0 +1,180 @@
+"""The search loop: strategy × evaluator × journal → leaderboard.
+
+:func:`run_search` owns the generation loop.  Each iteration asks the
+strategy for a :class:`~repro.search.strategies.Proposal`, deducts it
+from the evaluation budget, splits it into journaled candidates (scores
+replayed, zero simulation) and fresh ones (scored as one parallel
+campaign through the evaluator), journals the fresh scores, and feeds
+the whole generation back to the strategy in proposal order.
+
+Determinism contract: the budget is charged for **every** proposed
+candidate, journaled or not, and proposals are truncated to the
+remaining budget before any journal lookup.  A resumed search therefore
+walks the exact generation sequence of an uninterrupted one — same
+proposals, same truncations, same observations — and its leaderboard is
+byte-identical while re-evaluating only what the journal lacks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.search.evaluate import GenerationEvaluator, make_candidate
+from repro.search.journal import (
+    EvalKey,
+    SearchJournal,
+    SearchRecord,
+    load_search_journal,
+)
+from repro.search.leaderboard import Leaderboard, build_leaderboard
+from repro.search.space import Params
+from repro.search.strategies import Strategy
+
+#: Called after each generation: (generation, evaluations, best score).
+SearchProgress = Callable[[int, int, float], None]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one :func:`run_search` call."""
+
+    leaderboard: Leaderboard
+    #: Candidates charged to the budget (journaled + live).
+    evaluations: int = 0
+    #: Candidates actually simulated this run (memo/journal misses).
+    live_evaluations: int = 0
+    #: Candidates replayed from the journal (zero simulation).
+    resumed: int = 0
+    generations: int = 0
+    records: List[SearchRecord] = field(default_factory=list)
+
+    @property
+    def best_params(self) -> Optional[Params]:
+        return (
+            self.leaderboard.best.params if self.leaderboard.best else None
+        )
+
+    @property
+    def best_score(self) -> float:
+        return (
+            self.leaderboard.best.score
+            if self.leaderboard.best
+            else float("nan")
+        )
+
+
+def run_search(
+    strategy: Strategy,
+    evaluator: GenerationEvaluator,
+    budget: int,
+    journal_path: Optional[Union[str, Path]] = None,
+    progress: Optional[SearchProgress] = None,
+) -> SearchResult:
+    """Run ``strategy`` against ``evaluator`` for ``budget`` evaluations.
+
+    Args:
+        strategy: a seeded proposal source (see
+            :mod:`repro.search.strategies`).
+        evaluator: the batched scorer; its ``jobs`` setting decides
+            parallelism, never the result.
+        budget: total candidate evaluations to charge (journaled
+            replays count, so resumed runs retrace the original).
+        journal_path: JSONL search log; pass the same path again to
+            resume.  ``None`` journals nothing.
+        progress: optional per-generation callback
+            ``(generation, evaluations, best_score)``.
+
+    Returns:
+        A :class:`SearchResult` whose leaderboard is identical for any
+        ``jobs`` value and for any interrupt/resume split of the run.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    space = strategy.space
+    journaled: Dict[EvalKey, SearchRecord] = {}
+    journal: Optional[SearchJournal] = None
+    if journal_path is not None:
+        journaled = load_search_journal(journal_path)
+        journal = SearchJournal(journal_path)
+    prior_runs = set(journaled)
+
+    records: List[SearchRecord] = []
+    evaluations = 0
+    live = 0
+    resumed = 0
+    generation = 0
+    best_seen = float("inf")
+    try:
+        while evaluations < budget:
+            proposal = strategy.propose()
+            if proposal is None or not proposal.candidates:
+                break
+            params_list = proposal.candidates[: budget - evaluations]
+            subset = evaluator.subset_size(proposal.trace_fraction)
+
+            candidates = [
+                make_candidate(space, params) for params in params_list
+            ]
+            for candidate in candidates:
+                record = journaled.get((candidate.key, subset))
+                if record is not None:
+                    evaluator.prime(candidate.key, subset, record.score)
+
+            started = time.perf_counter()
+            before = evaluator.evaluated
+            scores = evaluator.score(candidates, subset=subset)
+            elapsed = time.perf_counter() - started
+            fresh = evaluator.evaluated - before
+
+            for candidate, score in zip(candidates, scores):
+                eval_key = (candidate.key, subset)
+                if eval_key in journaled:
+                    records.append(journaled[eval_key])
+                    if eval_key in prior_runs:
+                        resumed += 1
+                    continue
+                record = SearchRecord(
+                    key=candidate.key,
+                    params=candidate.params,
+                    score=score,
+                    subset=subset,
+                    generation=generation,
+                    strategy=strategy.name,
+                    seed=strategy.seed,
+                    elapsed=elapsed,
+                )
+                journaled[eval_key] = record
+                records.append(record)
+                if journal is not None:
+                    journal.append(record)
+
+            strategy.observe(
+                [
+                    (candidate.params, score)
+                    for candidate, score in zip(candidates, scores)
+                ]
+            )
+            evaluations += len(candidates)
+            live += fresh
+            generation += 1
+            best_seen = min(best_seen, min(scores))
+            if progress is not None:
+                progress(generation, evaluations, best_seen)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return SearchResult(
+        leaderboard=build_leaderboard(records),
+        evaluations=evaluations,
+        live_evaluations=live,
+        resumed=resumed,
+        generations=generation,
+        records=records,
+    )
+
+
+__all__ = ["SearchProgress", "SearchResult", "run_search"]

@@ -1,0 +1,159 @@
+"""JSONL journaling of every scored search candidate.
+
+The search journal is the engine's flight recorder *and* its resume
+mechanism: one self-describing JSON line per (candidate, trace-subset)
+evaluation — parameters, score, generation, strategy provenance, seed,
+wall time — flushed and fsynced per append so a SIGKILL costs at most
+one torn final line.  On ``--resume`` the engine replays the journal
+into the evaluator's memo before proposing anything, so every
+journaled candidate is skipped, never re-simulated.
+
+The format discipline mirrors :mod:`repro.exec.journal`: a version tag
+on every line, tolerance for exactly one truncated final line, loud
+rejection of interior corruption or version drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Tuple, Union
+
+#: Format tag written into every line; bump on incompatible change.
+SEARCH_JOURNAL_VERSION = 1
+
+#: (candidate key, trace-subset size) — the identity of one evaluation.
+EvalKey = Tuple[str, int]
+
+
+class SearchJournalError(ValueError):
+    """A search journal exists but cannot be used."""
+
+
+@dataclass(frozen=True)
+class SearchRecord:
+    """One scored candidate, exactly as journaled."""
+
+    key: str
+    params: Dict[str, object]
+    score: float
+    subset: int
+    generation: int
+    strategy: str = ""
+    seed: int = 0
+    #: Wall-clock seconds of the generation this candidate rode in.
+    elapsed: float = 0.0
+    #: True when replayed from a journal rather than simulated live.
+    resumed: bool = field(default=False, compare=False)
+
+    @property
+    def eval_key(self) -> EvalKey:
+        return (self.key, self.subset)
+
+
+def record_to_json(record: SearchRecord) -> dict:
+    return {
+        "v": SEARCH_JOURNAL_VERSION,
+        "key": record.key,
+        "params": record.params,
+        "score": record.score,
+        "subset": record.subset,
+        "generation": record.generation,
+        "strategy": record.strategy,
+        "seed": record.seed,
+        "elapsed": record.elapsed,
+    }
+
+
+def record_from_json(payload: dict) -> SearchRecord:
+    version = payload.get("v")
+    if version != SEARCH_JOURNAL_VERSION:
+        raise SearchJournalError(
+            f"search journal line has version {version!r}, "
+            f"expected {SEARCH_JOURNAL_VERSION}"
+        )
+    return SearchRecord(
+        key=payload["key"],
+        params=payload["params"],
+        score=payload["score"],
+        subset=payload["subset"],
+        generation=payload["generation"],
+        strategy=payload.get("strategy", ""),
+        seed=payload.get("seed", 0),
+        elapsed=payload.get("elapsed", 0.0),
+        resumed=True,
+    )
+
+
+def load_search_journal(
+    path: Union[str, Path]
+) -> Dict[EvalKey, SearchRecord]:
+    """Replay a journal into ``(key, subset) → record``.
+
+    A missing file is an empty journal.  A torn **final** line is
+    dropped (interrupted run); interior corruption raises — silently
+    skipping mid-journal candidates would re-run an unpredictable
+    subset of the search.
+    """
+    path = Path(path)
+    records: Dict[EvalKey, SearchRecord] = {}
+    if not path.exists():
+        return records
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for line_number, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = record_from_json(json.loads(line))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            if line_number == len(lines) - 1:
+                break  # torn final write from an interrupted search
+            raise SearchJournalError(
+                f"{path}:{line_number + 1}: corrupt journal line ({exc})"
+            ) from exc
+        records[record.eval_key] = record
+    return records
+
+
+class SearchJournal:
+    """Append-only search journal writer (use as a context manager)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = open(
+            self.path, "a", encoding="utf-8"
+        )
+
+    def append(self, record: SearchRecord) -> None:
+        if self._handle is None:
+            raise SearchJournalError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(record_to_json(record)) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SearchJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "EvalKey",
+    "SEARCH_JOURNAL_VERSION",
+    "SearchJournal",
+    "SearchJournalError",
+    "SearchRecord",
+    "load_search_journal",
+    "record_from_json",
+    "record_to_json",
+]

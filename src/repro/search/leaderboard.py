@@ -1,0 +1,149 @@
+"""Ranked leaderboards over journaled search records.
+
+A leaderboard is a pure function of the search records: per candidate,
+the score at the **largest trace subset** it was ever evaluated on (a
+successive-halving survivor's full-budget score outranks its cheap
+rung-0 estimate), ranked ascending by (score, candidate key).  Both
+tie-breaks are deterministic, so serial, parallel, and resumed runs of
+the same seeded search export byte-identical leaderboards — the CI
+resume smoke diffs exactly that.
+
+Exports deliberately exclude wall-clock times: JSON/markdown artifacts
+must be reproducible byte-for-byte across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.search.journal import SearchRecord
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One ranked candidate."""
+
+    rank: int
+    key: str
+    params: Dict[str, object]
+    score: float
+    subset: int
+    generation: int
+
+
+@dataclass
+class Leaderboard:
+    """Ranked candidates, best (lowest mean MPKI) first."""
+
+    entries: List[LeaderboardEntry]
+
+    @property
+    def best(self) -> Optional[LeaderboardEntry]:
+        return self.entries[0] if self.entries else None
+
+    def top(self, count: int) -> List[LeaderboardEntry]:
+        return self.entries[:count]
+
+
+def build_leaderboard(records: Iterable[SearchRecord]) -> Leaderboard:
+    """Rank records: best subset per candidate, then (score, key)."""
+    by_key: Dict[str, SearchRecord] = {}
+    for record in records:
+        existing = by_key.get(record.key)
+        if (
+            existing is None
+            or record.subset > existing.subset
+            or (record.subset == existing.subset and record.score < existing.score)
+        ):
+            by_key[record.key] = record
+    ranked = sorted(
+        by_key.values(), key=lambda record: (record.score, record.key)
+    )
+    return Leaderboard(
+        entries=[
+            LeaderboardEntry(
+                rank=rank,
+                key=record.key,
+                params=record.params,
+                score=record.score,
+                subset=record.subset,
+                generation=record.generation,
+            )
+            for rank, record in enumerate(ranked, start=1)
+        ]
+    )
+
+
+def leaderboard_to_json(board: Leaderboard) -> dict:
+    """A JSON-ready dict (deterministic: no timestamps, sorted keys)."""
+    return {
+        "entries": [
+            {
+                "rank": entry.rank,
+                "key": entry.key,
+                "params": entry.params,
+                "score": entry.score,
+                "subset": entry.subset,
+                "generation": entry.generation,
+            }
+            for entry in board.entries
+        ]
+    }
+
+
+def save_leaderboard_json(
+    board: Leaderboard, path: Union[str, Path]
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(leaderboard_to_json(board), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def format_leaderboard(board: Leaderboard, top: int = 10) -> str:
+    """A markdown table of the top candidates."""
+    lines = [
+        "| rank | mean MPKI | traces | gen | params |",
+        "|---:|---:|---:|---:|:---|",
+    ]
+    for entry in board.top(top):
+        params = ", ".join(
+            f"{name}={value}" for name, value in sorted(entry.params.items())
+        )
+        lines.append(
+            f"| {entry.rank} | {entry.score:.6f} | {entry.subset} "
+            f"| {entry.generation} | `{params}` |"
+        )
+    if not board.entries:
+        lines.append("| — | — | — | — | (no candidates scored) |")
+    return "\n".join(lines)
+
+
+def save_leaderboard_markdown(
+    board: Leaderboard, path: Union[str, Path], top: int = 10
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        "# Search leaderboard\n\n" + format_leaderboard(board, top) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+__all__ = [
+    "Leaderboard",
+    "LeaderboardEntry",
+    "build_leaderboard",
+    "format_leaderboard",
+    "leaderboard_to_json",
+    "save_leaderboard_json",
+    "save_leaderboard_markdown",
+]

@@ -1,0 +1,384 @@
+"""Declarative parameter spaces over :class:`BLBPConfig`.
+
+The paper's headline configuration is a *searched* artifact: the seven
+global-history intervals came from hill-climbing (§3.6) and the sizing
+choices — 4-bit weights, K = 12, 1024-row tables — from design-space
+sweeps (§3.7).  A :class:`SearchSpace` makes that design space a
+first-class object: a named set of :class:`Dimension`\\s, each knowing
+how to **sample** a value, **mutate** one, and (when finite) enumerate
+its **grid**, plus the mapping from a parameter assignment back to a
+validated :class:`BLBPConfig`.
+
+Everything is driven by an explicit ``numpy`` RNG, so two searches with
+the same seed visit byte-identical candidate sequences regardless of
+how their evaluations are scheduled — the property the engine's
+parallel == serial guarantee rests on.
+
+Cross-field constraints are honoured at ``to_config`` time: changing
+``weight_bits`` re-derives the transfer-magnitude table via
+:func:`repro.core.config.transfer_magnitudes_for`, and interval
+mutations reuse :func:`repro.experiments.tuning.mutate_interval`'s
+well-formedness discipline, so a mutated candidate can never build a
+silently broken predictor — :class:`BLBPConfig` validation is the final
+backstop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import BLBPConfig, transfer_magnitudes_for
+
+#: One parameter assignment: dimension name → value.
+Params = Dict[str, object]
+
+Interval = Tuple[int, int]
+
+
+class SpaceError(ValueError):
+    """A parameter space or assignment is malformed."""
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One searchable axis; subclasses define its value set."""
+
+    name: str
+
+    def sample(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def mutate(self, value, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        raise NotImplementedError
+
+    def grid_values(self) -> List:
+        """Every value, for grid search; raises on unenumerable axes."""
+        raise SpaceError(f"dimension {self.name!r} cannot be enumerated")
+
+
+@dataclass(frozen=True)
+class IntDimension(Dimension):
+    """Integers ``low..high`` (inclusive) on a ``step`` lattice."""
+
+    low: int = 0
+    high: int = 0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step < 1 or self.low > self.high:
+            raise SpaceError(
+                f"bad IntDimension {self.name}: [{self.low}, {self.high}] "
+                f"step {self.step}"
+            )
+
+    def _lattice(self) -> range:
+        return range(self.low, self.high + 1, self.step)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        lattice = self._lattice()
+        return int(lattice[int(rng.integers(len(lattice)))])
+
+    def mutate(self, value: int, rng: np.random.Generator) -> int:
+        """Nudge by ±1..3 lattice steps, clamped to the range."""
+        steps = int(rng.integers(1, 4))
+        if rng.random() < 0.5:
+            steps = -steps
+        moved = int(value) + steps * self.step
+        return max(self.low, min(self.high, moved))
+
+    def contains(self, value) -> bool:
+        return (
+            isinstance(value, int)
+            and self.low <= value <= self.high
+            and (value - self.low) % self.step == 0
+        )
+
+    def grid_values(self) -> List[int]:
+        return list(self._lattice())
+
+
+@dataclass(frozen=True)
+class ChoiceDimension(Dimension):
+    """An explicit finite value set."""
+
+    choices: Tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise SpaceError(f"dimension {self.name!r} has no choices")
+
+    def sample(self, rng: np.random.Generator):
+        return self.choices[int(rng.integers(len(self.choices)))]
+
+    def mutate(self, value, rng: np.random.Generator):
+        """Pick a *different* choice (same value when there is only one)."""
+        others = [choice for choice in self.choices if choice != value]
+        if not others:
+            return value
+        return others[int(rng.integers(len(others)))]
+
+    def contains(self, value) -> bool:
+        return value in self.choices
+
+    def grid_values(self) -> List:
+        return list(self.choices)
+
+
+def toggle(name: str) -> ChoiceDimension:
+    """A boolean optimization toggle as a two-choice dimension."""
+    return ChoiceDimension(name=name, choices=(False, True))
+
+
+@dataclass(frozen=True)
+class IntervalsDimension(Dimension):
+    """A tuple of ``count`` global-history intervals (§3.6 tuning).
+
+    Values are tuples of half-open ``(start, end)`` pairs with
+    ``0 <= start < end <= max_position``.  Mutation nudges one endpoint
+    of one interval, exactly the paper's hill-climbing move.
+    """
+
+    count: int = 7
+    max_position: int = 630
+    max_step: int = 16
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or self.max_position < 1:
+            raise SpaceError(
+                f"bad IntervalsDimension {self.name}: count {self.count}, "
+                f"max_position {self.max_position}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> Tuple[Interval, ...]:
+        intervals = []
+        for _ in range(self.count):
+            start = int(rng.integers(0, self.max_position))
+            end = int(rng.integers(start + 1, self.max_position + 1))
+            intervals.append((start, end))
+        return tuple(intervals)
+
+    def mutate(
+        self, value: Tuple[Interval, ...], rng: np.random.Generator
+    ) -> Tuple[Interval, ...]:
+        from repro.experiments.tuning import mutate_interval
+
+        return mutate_interval(
+            tuple(tuple(pair) for pair in value),
+            rng,
+            max_position=self.max_position,
+            max_step=self.max_step,
+        )
+
+    def contains(self, value) -> bool:
+        try:
+            pairs = [tuple(pair) for pair in value]
+        except TypeError:
+            return False
+        if len(pairs) != self.count:
+            return False
+        return all(
+            len(pair) == 2 and 0 <= pair[0] < pair[1] <= self.max_position
+            for pair in pairs
+        )
+
+
+class SearchSpace:
+    """A named set of dimensions plus the base config they modify."""
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        base_config: Optional[BLBPConfig] = None,
+    ) -> None:
+        names = [dimension.name for dimension in dimensions]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SpaceError(f"duplicate dimensions: {sorted(duplicates)}")
+        if not dimensions:
+            raise SpaceError("a search space needs at least one dimension")
+        self.dimensions: Tuple[Dimension, ...] = tuple(dimensions)
+        self.base_config = base_config or BLBPConfig()
+        self._by_name = {d.name: d for d in self.dimensions}
+
+    def sample(self, rng: np.random.Generator) -> Params:
+        """One random assignment, consuming rng in dimension order."""
+        return {d.name: d.sample(rng) for d in self.dimensions}
+
+    def mutate(self, params: Params, rng: np.random.Generator) -> Params:
+        """Mutate exactly one uniformly-chosen dimension."""
+        mutated = dict(params)
+        dimension = self.dimensions[int(rng.integers(len(self.dimensions)))]
+        mutated[dimension.name] = dimension.mutate(
+            params[dimension.name], rng
+        )
+        return mutated
+
+    def grid(self) -> Iterator[Params]:
+        """The cartesian product of every dimension's grid values."""
+        axes = [d.grid_values() for d in self.dimensions]
+        names = [d.name for d in self.dimensions]
+        for combination in itertools.product(*axes):
+            yield dict(zip(names, combination))
+
+    def grid_size(self) -> int:
+        size = 1
+        for dimension in self.dimensions:
+            size *= len(dimension.grid_values())
+        return size
+
+    def validate(self, params: Params) -> None:
+        """Raise :class:`SpaceError` unless ``params`` is a full, legal
+        assignment that builds a valid :class:`BLBPConfig`."""
+        unknown = set(params) - set(self._by_name)
+        if unknown:
+            raise SpaceError(f"unknown dimensions: {sorted(unknown)}")
+        missing = set(self._by_name) - set(params)
+        if missing:
+            raise SpaceError(f"missing dimensions: {sorted(missing)}")
+        for name, value in params.items():
+            if not self._by_name[name].contains(value):
+                raise SpaceError(
+                    f"value {value!r} outside dimension {name!r}"
+                )
+        try:
+            self.to_config(params)
+        except ValueError as exc:
+            raise SpaceError(f"params build an invalid config: {exc}") from exc
+
+    def to_config(self, params: Params) -> BLBPConfig:
+        """Apply an assignment to the base config (validated on build).
+
+        ``intervals`` values are canonicalized to tuples, and any
+        ``weight_bits`` change re-derives ``transfer_magnitudes`` so the
+        weight/transfer-table invariant holds by construction.
+        """
+        fields = dict(params)
+        if "intervals" in fields:
+            fields["intervals"] = tuple(
+                tuple(pair) for pair in fields["intervals"]
+            )
+        weight_bits = fields.get("weight_bits", self.base_config.weight_bits)
+        if (
+            weight_bits != self.base_config.weight_bits
+            and "transfer_magnitudes" not in fields
+        ):
+            fields["transfer_magnitudes"] = transfer_magnitudes_for(
+                weight_bits
+            )
+        return dataclasses.replace(self.base_config, **fields)
+
+    def candidate_key(self, params: Params) -> str:
+        """A canonical, order-independent string identity for ``params``.
+
+        Two assignments with the same values share a key, which is what
+        the search journal and the evaluator memo deduplicate on.
+        """
+        canonical = {
+            name: (
+                [list(pair) for pair in value]
+                if isinstance(value, tuple)
+                else value
+            )
+            for name, value in sorted(params.items())
+        }
+        return json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+
+    def candidate_id(self, params: Params) -> str:
+        """A short filesystem/journal-safe id derived from the key."""
+        digest = hashlib.sha1(
+            self.candidate_key(params).encode("utf-8")
+        ).hexdigest()
+        return f"cand-{digest[:16]}"
+
+
+def sizing_space(base_config: Optional[BLBPConfig] = None) -> SearchSpace:
+    """The enumerable §3.7 sizing axes (grid-search friendly)."""
+    return SearchSpace(
+        [
+            ChoiceDimension("weight_bits", choices=(2, 3, 4, 5, 6)),
+            ChoiceDimension("num_target_bits", choices=(4, 8, 12, 16)),
+            ChoiceDimension(
+                "table_rows", choices=(128, 256, 512, 1024, 2048)
+            ),
+        ],
+        base_config=base_config,
+    )
+
+
+def toggles_space(base_config: Optional[BLBPConfig] = None) -> SearchSpace:
+    """The five §3.6 optimization toggles (the Fig. 10 axes)."""
+    return SearchSpace(
+        [
+            toggle("use_local_history"),
+            toggle("use_intervals"),
+            toggle("use_selective_update"),
+            toggle("use_transfer_function"),
+            toggle("use_adaptive_threshold"),
+        ],
+        base_config=base_config,
+    )
+
+
+def intervals_space(
+    base_config: Optional[BLBPConfig] = None,
+    count: int = 7,
+    max_step: int = 16,
+) -> SearchSpace:
+    """The §3.6 interval-tuning space (hill-climbing's home turf)."""
+    base = base_config or BLBPConfig()
+    return SearchSpace(
+        [
+            IntervalsDimension(
+                "intervals",
+                count=count,
+                max_position=base.global_history_bits,
+                max_step=max_step,
+            )
+        ],
+        base_config=base,
+    )
+
+
+def default_space(base_config: Optional[BLBPConfig] = None) -> SearchSpace:
+    """Everything searchable at once: intervals + sizing + toggles."""
+    base = base_config or BLBPConfig()
+    sizing = sizing_space(base)
+    toggles = toggles_space(base)
+    return SearchSpace(
+        [
+            IntervalsDimension(
+                "intervals",
+                count=len(base.intervals),
+                max_position=base.global_history_bits,
+            ),
+            *sizing.dimensions,
+            *toggles.dimensions,
+        ],
+        base_config=base,
+    )
+
+
+__all__ = [
+    "ChoiceDimension",
+    "Dimension",
+    "IntDimension",
+    "IntervalsDimension",
+    "Params",
+    "SearchSpace",
+    "SpaceError",
+    "default_space",
+    "intervals_space",
+    "sizing_space",
+    "toggle",
+    "toggles_space",
+]

@@ -1,0 +1,281 @@
+"""Batch-proposing search strategies.
+
+A strategy is a deterministic generator of candidate *generations*:
+:meth:`Strategy.propose` returns a :class:`Proposal` — a list of
+parameter assignments plus the fraction of the tuning trace set they
+should be scored on — and :meth:`Strategy.observe` feeds the scores
+back.  The engine owns the loop, the budget, and the journal; the
+strategy owns only *what to try next*.
+
+Batching is the point: the paper's hill-climbing evaluates one mutation
+at a time, but one mutation cannot saturate a worker pool.  Batched
+stochastic hill-climbing proposes ``batch_size`` independent mutations
+of the incumbent per generation and accepts the best strict
+improvement, so every generation is an embarrassingly parallel
+candidate × trace campaign.  All randomness flows through one seeded
+``numpy`` generator consumed in proposal order, which keeps the
+candidate sequence — and therefore the leaderboard — identical however
+the evaluations are scheduled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.search.space import Params, SearchSpace
+
+#: (params, mean MPKI) pairs fed back to a strategy, in proposal order.
+Scored = Sequence[Tuple[Params, float]]
+
+
+@dataclass
+class Proposal:
+    """One generation of candidates to evaluate.
+
+    ``trace_fraction`` lets budget-aware strategies (successive
+    halving) score early rungs on a prefix of the tuning traces; the
+    engine turns it into a deterministic trace-subset size.
+    """
+
+    candidates: List[Params]
+    trace_fraction: float = 1.0
+
+
+class Strategy:
+    """Common state: the space, a seeded RNG, and the incumbent."""
+
+    name = "strategy"
+
+    def __init__(self, space: SearchSpace, seed: int = 0) -> None:
+        self.space = space
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.best_params: Optional[Params] = None
+        self.best_score: float = math.inf
+
+    def propose(self) -> Optional[Proposal]:
+        """The next generation, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    def observe(self, scored: Scored) -> None:
+        """Default bookkeeping: track the best (ties keep the earlier)."""
+        for params, score in scored:
+            if score < self.best_score:
+                self.best_params = dict(params)
+                self.best_score = score
+
+
+class RandomSearch(Strategy):
+    """Pure random sampling, ``batch_size`` candidates per generation."""
+
+    name = "random"
+
+    def __init__(
+        self, space: SearchSpace, seed: int = 0, batch_size: int = 8
+    ) -> None:
+        super().__init__(space, seed)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+
+    def propose(self) -> Optional[Proposal]:
+        return Proposal(
+            [self.space.sample(self.rng) for _ in range(self.batch_size)]
+        )
+
+
+class GridSearch(Strategy):
+    """Exhaustive enumeration of the space's grid, in batches.
+
+    Only works on spaces whose every dimension is enumerable; the
+    constructor fails fast otherwise.  Exhausts after one full pass.
+    """
+
+    name = "grid"
+
+    def __init__(
+        self, space: SearchSpace, seed: int = 0, batch_size: int = 8
+    ) -> None:
+        super().__init__(space, seed)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        space.grid_size()  # fail fast on unenumerable dimensions
+        self._grid = space.grid()
+        self._exhausted = False
+
+    def propose(self) -> Optional[Proposal]:
+        if self._exhausted:
+            return None
+        batch: List[Params] = []
+        for params in self._grid:
+            batch.append(params)
+            if len(batch) >= self.batch_size:
+                break
+        if len(batch) < self.batch_size:
+            self._exhausted = True
+        return Proposal(batch) if batch else None
+
+
+class HillClimb(Strategy):
+    """Batched stochastic hill-climbing (the paper's §3.6 move, wider).
+
+    Generation 0 scores the starting point (``initial`` or a seeded
+    sample); each later generation proposes ``batch_size`` independent
+    single-dimension mutations of the incumbent and accepts the best
+    strict improvement.  With ``batch_size=1`` this is exactly the
+    paper's serial hill-climb, mutation-for-mutation.
+    """
+
+    name = "hillclimb"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        batch_size: int = 8,
+        initial: Optional[Params] = None,
+    ) -> None:
+        super().__init__(space, seed)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self._initial = dict(initial) if initial is not None else None
+        self._started = False
+
+    def propose(self) -> Optional[Proposal]:
+        if not self._started:
+            self._started = True
+            start = (
+                self._initial
+                if self._initial is not None
+                else self.space.sample(self.rng)
+            )
+            return Proposal([dict(start)])
+        assert self.best_params is not None, "observe() must run first"
+        return Proposal(
+            [
+                self.space.mutate(self.best_params, self.rng)
+                for _ in range(self.batch_size)
+            ]
+        )
+
+
+@dataclass
+class _Rung:
+    """Successive halving bookkeeping: survivors at one budget level."""
+
+    candidates: List[Params] = field(default_factory=list)
+    fraction: float = 0.0
+
+
+class SuccessiveHalving(Strategy):
+    """Successive halving on trace-subset budgets.
+
+    Rung 0 scores ``initial_candidates`` random configurations on a
+    ``1/eta**depth`` fraction of the tuning traces; each following rung
+    keeps the top ``1/eta`` and multiplies the fraction by ``eta``
+    until the survivors have been scored on the full trace set.  Cheap
+    early rungs buy breadth; the full-budget final rung buys trust.
+    """
+
+    name = "sha"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        initial_candidates: int = 16,
+        eta: int = 2,
+    ) -> None:
+        super().__init__(space, seed)
+        if initial_candidates < 2:
+            raise ValueError(
+                f"need >= 2 initial candidates, got {initial_candidates}"
+            )
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        self.initial_candidates = initial_candidates
+        self.eta = eta
+        depth = max(1, math.ceil(math.log(initial_candidates, eta)))
+        self._rung: Optional[_Rung] = _Rung(
+            candidates=[],
+            fraction=1.0 / (eta ** depth),
+        )
+        self._scored_rung: List[Tuple[Params, float]] = []
+
+    def propose(self) -> Optional[Proposal]:
+        if self._rung is None:
+            return None
+        if not self._rung.candidates:
+            self._rung.candidates = [
+                self.space.sample(self.rng)
+                for _ in range(self.initial_candidates)
+            ]
+        return Proposal(
+            [dict(params) for params in self._rung.candidates],
+            trace_fraction=self._rung.fraction,
+        )
+
+    def observe(self, scored: Scored) -> None:
+        assert self._rung is not None
+        if self._rung.fraction >= 1.0:
+            # The full-budget rung is the final word: record and stop.
+            super().observe(scored)
+            self._rung = None
+            return
+        ranked = sorted(
+            enumerate(scored), key=lambda pair: (pair[1][1], pair[0])
+        )
+        survivors = [
+            dict(scored[index][0])
+            for index, _ in ranked[: max(1, len(ranked) // self.eta)]
+        ]
+        self._rung = _Rung(
+            candidates=survivors,
+            fraction=min(1.0, self._rung.fraction * self.eta),
+        )
+
+
+#: CLI names → constructors (keyword arguments vary per strategy).
+STRATEGIES = {
+    "hillclimb": HillClimb,
+    "random": RandomSearch,
+    "grid": GridSearch,
+    "sha": SuccessiveHalving,
+}
+
+
+def make_strategy(
+    name: str,
+    space: SearchSpace,
+    seed: int = 0,
+    batch_size: int = 8,
+) -> Strategy:
+    """Build a strategy by CLI name with uniform knobs."""
+    if name not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        )
+    if name == "sha":
+        return SuccessiveHalving(
+            space, seed=seed, initial_candidates=max(2, batch_size)
+        )
+    return STRATEGIES[name](space, seed=seed, batch_size=batch_size)
+
+
+__all__ = [
+    "GridSearch",
+    "HillClimb",
+    "Proposal",
+    "RandomSearch",
+    "STRATEGIES",
+    "Scored",
+    "Strategy",
+    "SuccessiveHalving",
+    "make_strategy",
+]

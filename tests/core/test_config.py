@@ -6,10 +6,12 @@ import pytest
 
 from repro.core.config import (
     BLBPConfig,
+    DEFAULT_TRANSFER_MAGNITUDES,
     GEHL_INTERVALS,
     PAPER_INTERVALS,
     gehl_config,
     paper_config,
+    transfer_magnitudes_for,
     unoptimized_config,
     with_toggles,
 )
@@ -88,7 +90,65 @@ class TestValidation:
         with pytest.raises(ValueError):
             BLBPConfig(weight_bits=1)
 
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            BLBPConfig(intervals=((10, 5),))
+
+    def test_negative_interval_start_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            BLBPConfig(intervals=((-1, 5),))
+
+    def test_negative_low_bit_rejected(self):
+        with pytest.raises(ValueError, match="low_bit"):
+            BLBPConfig(low_bit=-1)
+
+    def test_zero_global_history_rejected(self):
+        with pytest.raises(ValueError, match="global_history_bits"):
+            BLBPConfig(global_history_bits=0, intervals=())
+
+    def test_zero_local_history_rejected(self):
+        with pytest.raises(ValueError, match="local history"):
+            BLBPConfig(local_histories=0)
+        with pytest.raises(ValueError, match="local history"):
+            BLBPConfig(local_history_bits=0)
+
+    def test_zero_region_compression_rejected(self):
+        with pytest.raises(ValueError, match="region"):
+            BLBPConfig(region_entries=0)
+        with pytest.raises(ValueError, match="region"):
+            BLBPConfig(region_offset_bits=0)
+
+    def test_bad_adaptive_threshold_rejected(self):
+        with pytest.raises(ValueError, match="theta"):
+            BLBPConfig(initial_theta=0)
+        with pytest.raises(ValueError, match="theta"):
+            BLBPConfig(theta_counter_bits=0)
+
+    def test_zero_table_rows_rejected(self):
+        with pytest.raises(ValueError, match="table_rows"):
+            BLBPConfig(table_rows=0)
+
     def test_frozen(self):
         config = paper_config()
         with pytest.raises(dataclasses.FrozenInstanceError):
             config.table_rows = 1
+
+
+class TestTransferMagnitudesFor:
+    def test_four_bits_is_the_default_table(self):
+        assert transfer_magnitudes_for(4) == DEFAULT_TRANSFER_MAGNITUDES
+
+    def test_sized_to_weight_magnitude(self):
+        for bits in range(2, 8):
+            table = transfer_magnitudes_for(bits)
+            assert len(table) == (1 << (bits - 1))
+            BLBPConfig(weight_bits=bits, transfer_magnitudes=table)
+
+    def test_extension_stays_convex(self):
+        table = transfer_magnitudes_for(6)
+        steps = [b - a for a, b in zip(table, table[1:])]
+        assert steps == sorted(steps)
+
+    def test_narrow_weights_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_magnitudes_for(1)

@@ -1,5 +1,7 @@
 """Tests for the design-space sweep framework."""
 
+import math
+
 import pytest
 
 from repro.core.config import BLBPConfig
@@ -41,6 +43,40 @@ class TestSweepDefinitions:
         rows = [t(base).table_rows for _, t in table_rows_sweep((64, 128))]
         assert rows == [64, 128]
 
+    def test_each_point_mutates_only_its_axis(self):
+        base = BLBPConfig()
+        axes = {
+            "weight_bits": weight_bits_sweep((3, 5)),
+            "num_target_bits": target_bits_sweep((4, 8)),
+            "table_rows": table_rows_sweep((64, 256)),
+        }
+        # Fields a sweep is allowed to change alongside its axis.
+        allowed = {"weight_bits": {"weight_bits", "transfer_magnitudes"}}
+        for axis, points in axes.items():
+            for _, transform in points:
+                config = transform(base)
+                changed = {
+                    name
+                    for name in (
+                        "weight_bits", "num_target_bits", "table_rows",
+                        "intervals", "global_history_bits",
+                        "transfer_magnitudes", "use_intervals",
+                    )
+                    if getattr(config, name) != getattr(base, name)
+                }
+                assert changed <= allowed.get(axis, {axis}), (axis, changed)
+
+    def test_axis_values_are_monotonic(self):
+        base = BLBPConfig()
+        for points, attribute in (
+            (weight_bits_sweep(), "weight_bits"),
+            (target_bits_sweep(), "num_target_bits"),
+            (table_rows_sweep(), "table_rows"),
+        ):
+            values = [getattr(t(base), attribute) for _, t in points]
+            assert values == sorted(values)
+            assert len(set(values)) == len(values)
+
 
 class TestRunSweep:
     def test_all_points_reported(self, mini_traces):
@@ -54,3 +90,23 @@ class TestRunSweep:
         results = run_sweep(table_rows_sweep((64,)), traces=mini_traces)
         rendered = format_sweep("capacity", results)
         assert "capacity" in rendered and "rows=64" in rendered
+
+    @pytest.mark.parametrize(
+        "points,labels",
+        [
+            (weight_bits_sweep((3, 4)), ["weights=3b", "weights=4b"]),
+            (target_bits_sweep((4, 12)), ["K=4", "K=12"]),
+            (table_rows_sweep((64, 256)), ["rows=64", "rows=256"]),
+        ],
+        ids=["weight-bits", "target-bits", "table-rows"],
+    )
+    def test_each_grid_smokes(self, mini_traces, points, labels):
+        results = run_sweep(points, traces=mini_traces)
+        assert list(results) == labels
+        assert all(math.isfinite(mpki) for mpki in results.values())
+
+    def test_parallel_sweep_equals_serial(self, mini_traces):
+        points = table_rows_sweep((64, 256))
+        serial = run_sweep(points, traces=mini_traces, jobs=1)
+        parallel = run_sweep(points, traces=mini_traces, jobs=2)
+        assert serial == parallel

@@ -3,11 +3,15 @@
 import numpy as np
 import pytest
 
+import json
+
 from repro.core.config import BLBPConfig, GEHL_INTERVALS
 from repro.experiments.tuning import (
+    export_tuning_result,
     format_tuning_result,
     hill_climb_intervals,
     mutate_interval,
+    tuning_result_to_json,
 )
 from repro.workloads import VirtualDispatchSpec
 
@@ -70,3 +74,44 @@ class TestHillClimb:
         rendered = format_tuning_result(result)
         assert "hill-climbing" in rendered
         assert "improvement" in rendered
+
+    def test_seed_and_timings_recorded(self, tuning_traces):
+        result = hill_climb_intervals(tuning_traces, iterations=4, seed=17)
+        assert result.seed == 17
+        assert len(result.iteration_seconds) == len(result.history) == 4
+        assert all(elapsed > 0 for elapsed in result.iteration_seconds)
+
+    def test_parallel_walk_equals_serial(self, tuning_traces):
+        serial = hill_climb_intervals(tuning_traces, iterations=4, seed=6,
+                                      jobs=1)
+        parallel = hill_climb_intervals(tuning_traces, iterations=4,
+                                        seed=6, jobs=2)
+        assert serial.best_intervals == parallel.best_intervals
+        assert serial.best_mpki == parallel.best_mpki
+        assert serial.history == parallel.history
+
+
+class TestExport:
+    def test_json_round_trip(self, tuning_traces):
+        result = hill_climb_intervals(tuning_traces, iterations=3, seed=7)
+        payload = tuning_result_to_json(result)
+        assert payload["seed"] == 7
+        assert payload["iterations"] == 3
+        assert len(payload["history"]) == 3
+        assert len(payload["iteration_seconds"]) == 3
+        assert payload["best_mpki"] == result.best_mpki
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+    def test_export_writes_json_and_csv(self, tuning_traces, tmp_path):
+        result = hill_climb_intervals(tuning_traces, iterations=3, seed=8)
+        paths = export_tuning_result(result, tmp_path / "results")
+        names = {path.name for path in paths}
+        assert names == {"tuning.json", "tuning_history.csv"}
+        payload = json.loads((tmp_path / "results" / "tuning.json").read_text())
+        assert payload["seed"] == 8
+        csv_lines = (
+            (tmp_path / "results" / "tuning_history.csv")
+            .read_text().strip().splitlines()
+        )
+        assert csv_lines[0] == "iteration,candidate_mpki"
+        assert len(csv_lines) == 4

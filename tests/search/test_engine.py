@@ -1,0 +1,191 @@
+"""End-to-end tests for :func:`repro.search.engine.run_search`.
+
+Two load-bearing guarantees, both driven as hypothesis properties:
+
+* parallel search == serial search — for a fixed seed the leaderboard
+  is identical candidate-for-candidate regardless of ``jobs``;
+* resume is free — a search resumed from a journal re-evaluates zero
+  journaled candidates yet produces the leaderboard of an
+  uninterrupted run.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.engine import run_search
+from repro.search.evaluate import GenerationEvaluator
+from repro.search.journal import load_search_journal
+from repro.search.leaderboard import leaderboard_to_json
+from repro.search.space import (
+    ChoiceDimension,
+    SearchSpace,
+    intervals_space,
+)
+from repro.search.strategies import (
+    HillClimb,
+    RandomSearch,
+    SuccessiveHalving,
+    make_strategy,
+)
+from repro.workloads import SwitchCaseSpec, VirtualDispatchSpec
+
+
+def _traces(seed=31, records=600):
+    return [
+        VirtualDispatchSpec(
+            name="eng-vd", seed=seed, num_records=records, num_types=4,
+            determinism=0.9, filler_conditionals=6,
+        ).generate(),
+        SwitchCaseSpec(
+            name="eng-sw", seed=seed + 1, num_records=records,
+            num_cases=8, determinism=0.9, filler_conditionals=6,
+        ).generate(),
+    ]
+
+
+def _space():
+    return SearchSpace(
+        [
+            ChoiceDimension("weight_bits", choices=(3, 4, 5)),
+            ChoiceDimension("table_rows", choices=(256, 512, 1024)),
+        ]
+    )
+
+
+def _boards_identical(left, right):
+    assert leaderboard_to_json(left.leaderboard) == leaderboard_to_json(
+        right.leaderboard
+    )
+
+
+class TestParallelEqualsSerial:
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        records=st.integers(min_value=300, max_value=800),
+        batch=st.integers(min_value=2, max_value=3),
+    )
+    def test_leaderboards_identical_property(self, seed, records, batch):
+        traces = _traces(seed=seed % 1000, records=records)
+        results = []
+        for jobs in (1, 2):
+            strategy = HillClimb(_space(), seed=seed, batch_size=batch)
+            with GenerationEvaluator(traces, jobs=jobs) as evaluator:
+                results.append(run_search(strategy, evaluator, budget=6))
+        serial, parallel = results
+        _boards_identical(serial, parallel)
+        assert serial.evaluations == parallel.evaluations == 6
+        assert serial.generations == parallel.generations
+
+    def test_intervals_space_parallel_equals_serial(self):
+        traces = _traces()
+        results = []
+        for jobs in (1, 2):
+            strategy = RandomSearch(intervals_space(), seed=9,
+                                    batch_size=3)
+            with GenerationEvaluator(traces, jobs=jobs) as evaluator:
+                results.append(run_search(strategy, evaluator, budget=5))
+        _boards_identical(results[0], results[1])
+
+
+class TestResume:
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        interrupt_after=st.integers(min_value=2, max_value=5),
+    )
+    def test_resume_reevaluates_nothing_journaled(
+        self, tmp_path_factory, seed, interrupt_after
+    ):
+        tmp_path = tmp_path_factory.mktemp("resume")
+        traces = _traces(seed=seed % 1000, records=400)
+        budget = 7
+
+        def search(budget, journal=None, jobs=1):
+            strategy = HillClimb(_space(), seed=seed, batch_size=2)
+            with GenerationEvaluator(traces, jobs=jobs) as evaluator:
+                return run_search(
+                    strategy, evaluator, budget=budget,
+                    journal_path=journal,
+                )
+
+        reference = search(budget)
+
+        journal = tmp_path / f"s{seed}-{interrupt_after}.jsonl"
+        interrupted = search(interrupt_after, journal=journal)
+        journaled = set(load_search_journal(journal))
+        resumed = search(budget, journal=journal, jobs=2)
+
+        _boards_identical(reference, resumed)
+        # Zero journaled candidates were re-simulated on resume.
+        assert resumed.resumed == len(
+            [r for r in resumed.records if (r.key, r.subset) in journaled]
+        )
+        assert (
+            resumed.live_evaluations
+            == reference.live_evaluations - interrupted.live_evaluations
+        )
+        assert interrupted.evaluations == interrupt_after
+
+    def test_fully_journaled_resume_runs_zero_simulations(self, tmp_path):
+        traces = _traces(records=400)
+        journal = tmp_path / "search.jsonl"
+
+        def search():
+            strategy = HillClimb(_space(), seed=4, batch_size=2)
+            with GenerationEvaluator(traces) as evaluator:
+                result = run_search(
+                    strategy, evaluator, budget=6, journal_path=journal
+                )
+                return result, evaluator.evaluated
+
+        first, first_evaluated = search()
+        second, second_evaluated = search()
+        assert first.evaluations == second.evaluations == 6
+        assert first_evaluated == first.live_evaluations > 0
+        assert second_evaluated == second.live_evaluations == 0
+        assert second.resumed == second.evaluations
+        _boards_identical(first, second)
+
+
+class TestBudgetAndStrategies:
+    def test_budget_truncates_final_generation(self):
+        traces = _traces(records=300)
+        strategy = HillClimb(_space(), seed=1, batch_size=4)
+        with GenerationEvaluator(traces) as evaluator:
+            result = run_search(strategy, evaluator, budget=6)
+        assert result.evaluations == 6
+        # gen0 = 1 initial, gen1 = 4 mutants, gen2 truncated to 1.
+        assert result.generations == 3
+        assert len(result.records) == 6
+
+    def test_bad_budget_rejected(self):
+        strategy = HillClimb(_space(), seed=1)
+        with GenerationEvaluator(_traces(records=300)) as evaluator:
+            with pytest.raises(ValueError):
+                run_search(strategy, evaluator, budget=0)
+
+    def test_sha_final_scores_use_full_subset(self):
+        traces = _traces(records=300)
+        strategy = SuccessiveHalving(_space(), seed=2,
+                                     initial_candidates=4, eta=2)
+        with GenerationEvaluator(traces) as evaluator:
+            result = run_search(strategy, evaluator, budget=10)
+        # The surviving candidate was re-scored on the full trace set.
+        assert any(
+            entry.subset == len(traces)
+            for entry in result.leaderboard.entries
+        )
+        assert math.isfinite(result.best_score)
+
+    def test_all_strategies_produce_a_leaderboard(self):
+        traces = _traces(records=300)
+        for name in ("hillclimb", "random", "grid", "sha"):
+            strategy = make_strategy(name, _space(), seed=3, batch_size=2)
+            with GenerationEvaluator(traces) as evaluator:
+                result = run_search(strategy, evaluator, budget=4)
+            assert result.leaderboard.best is not None, name
+            assert math.isfinite(result.best_score), name

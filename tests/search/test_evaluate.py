@@ -1,0 +1,134 @@
+"""Tests for the batched generation evaluator."""
+
+import math
+
+import pytest
+
+from repro.core.config import BLBPConfig
+from repro.search.evaluate import (
+    EvaluationError,
+    GenerationEvaluator,
+    config_candidate,
+    make_candidate,
+)
+from repro.search.space import sizing_space
+from repro.workloads import SwitchCaseSpec, VirtualDispatchSpec
+
+
+@pytest.fixture(scope="module")
+def eval_traces():
+    return [
+        VirtualDispatchSpec(
+            name="ev-vd", seed=21, num_records=1200, num_types=4,
+            determinism=0.95, filler_conditionals=6,
+        ).generate(),
+        SwitchCaseSpec(
+            name="ev-sw", seed=22, num_records=1200, num_cases=8,
+            determinism=0.95, filler_conditionals=6,
+        ).generate(),
+    ]
+
+
+def _candidates(count=2):
+    space = sizing_space()
+    grid = list(space.grid())
+    return [make_candidate(space, params) for params in grid[:count]]
+
+
+class TestScoring:
+    def test_scores_are_finite_and_ordered(self, eval_traces):
+        candidates = _candidates(3)
+        with GenerationEvaluator(eval_traces) as evaluator:
+            scores = evaluator.score(candidates)
+        assert len(scores) == 3
+        assert all(math.isfinite(score) and score >= 0 for score in scores)
+
+    def test_memo_makes_rescoring_free(self, eval_traces):
+        candidates = _candidates(2)
+        with GenerationEvaluator(eval_traces) as evaluator:
+            first = evaluator.score(candidates)
+            evaluated = evaluator.evaluated
+            second = evaluator.score(candidates)
+            assert evaluator.evaluated == evaluated
+        assert first == second
+
+    def test_duplicate_candidates_simulated_once(self, eval_traces):
+        candidate = _candidates(1)[0]
+        with GenerationEvaluator(eval_traces) as evaluator:
+            scores = evaluator.score([candidate, candidate])
+            assert evaluator.evaluated == 1
+        assert scores[0] == scores[1]
+
+    def test_parallel_equals_serial_scores(self, eval_traces):
+        candidates = _candidates(3)
+        with GenerationEvaluator(eval_traces, jobs=1) as serial:
+            serial_scores = serial.score(candidates)
+        with GenerationEvaluator(eval_traces, jobs=2) as parallel:
+            parallel_scores = parallel.score(candidates)
+        assert serial_scores == parallel_scores
+
+    def test_subset_scores_prefix_only(self, eval_traces):
+        candidate = _candidates(1)[0]
+        with GenerationEvaluator(eval_traces) as evaluator:
+            subset_score = evaluator.score([candidate], subset=1)[0]
+            full_score = evaluator.score([candidate])[0]
+        with GenerationEvaluator(eval_traces[:1]) as prefix_only:
+            prefix_score = prefix_only.score([candidate])[0]
+        assert subset_score == prefix_score
+        assert math.isfinite(full_score)
+
+    def test_prime_skips_simulation(self, eval_traces):
+        candidate = _candidates(1)[0]
+        with GenerationEvaluator(eval_traces) as evaluator:
+            evaluator.prime(candidate.key, 2, 1.25)
+            assert evaluator.score([candidate], subset=2) == [1.25]
+            assert evaluator.evaluated == 0
+
+
+class TestValidation:
+    def test_needs_traces(self):
+        with pytest.raises(EvaluationError):
+            GenerationEvaluator([])
+
+    def test_duplicate_trace_names_rejected(self, eval_traces):
+        with pytest.raises(EvaluationError, match="duplicate"):
+            GenerationEvaluator([eval_traces[0], eval_traces[0]])
+
+    def test_bad_subset_rejected(self, eval_traces):
+        candidate = _candidates(1)[0]
+        with GenerationEvaluator(eval_traces) as evaluator:
+            with pytest.raises(EvaluationError):
+                evaluator.score([candidate], subset=0)
+            with pytest.raises(EvaluationError):
+                evaluator.score([candidate], subset=99)
+
+    def test_subset_size_from_fraction(self, eval_traces):
+        with GenerationEvaluator(eval_traces) as evaluator:
+            assert evaluator.subset_size(1.0) == 2
+            assert evaluator.subset_size(0.5) == 1
+            assert evaluator.subset_size(0.01) == 1
+            with pytest.raises(EvaluationError):
+                evaluator.subset_size(0.0)
+
+
+class TestSpillLifecycle:
+    def test_temporary_spill_cleaned_up(self, eval_traces):
+        evaluator = GenerationEvaluator(eval_traces)
+        spill_dir = evaluator._dir
+        assert spill_dir.exists()
+        evaluator.close()
+        assert not spill_dir.exists()
+
+    def test_explicit_cache_dir_kept(self, eval_traces, tmp_path):
+        spill = tmp_path / "spill"
+        with GenerationEvaluator(eval_traces, cache_dir=spill) as evaluator:
+            evaluator.score(_candidates(1))
+        assert list(spill.glob("*.trace"))
+
+
+class TestConfigCandidate:
+    def test_label_keyed_identity(self):
+        a = config_candidate("rows=64", BLBPConfig(table_rows=64))
+        b = config_candidate("rows=64", BLBPConfig(table_rows=64))
+        assert a.key == b.key and a.uid == b.uid
+        assert a.uid.startswith("cand-")

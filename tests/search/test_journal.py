@@ -1,0 +1,90 @@
+"""Tests for the search journal (JSONL log + resume map)."""
+
+import json
+
+import pytest
+
+from repro.search.journal import (
+    SEARCH_JOURNAL_VERSION,
+    SearchJournal,
+    SearchJournalError,
+    SearchRecord,
+    load_search_journal,
+    record_from_json,
+    record_to_json,
+)
+
+
+def _record(key="k1", subset=2, score=1.5, generation=0):
+    return SearchRecord(
+        key=key,
+        params={"weight_bits": 4},
+        score=score,
+        subset=subset,
+        generation=generation,
+        strategy="hillclimb",
+        seed=7,
+        elapsed=0.25,
+    )
+
+
+class TestRoundTrip:
+    def test_record_json_round_trip(self):
+        record = _record()
+        rebuilt = record_from_json(record_to_json(record))
+        assert rebuilt.key == record.key
+        assert rebuilt.params == record.params
+        assert rebuilt.score == record.score
+        assert rebuilt.subset == record.subset
+        assert rebuilt.strategy == record.strategy
+        assert rebuilt.seed == record.seed
+        assert rebuilt.resumed  # loaded records are marked as replayed
+
+    def test_journal_write_then_load(self, tmp_path):
+        path = tmp_path / "search.jsonl"
+        with SearchJournal(path) as journal:
+            journal.append(_record("a", subset=1))
+            journal.append(_record("b", subset=2))
+            journal.append(_record("a", subset=2))
+        loaded = load_search_journal(path)
+        assert set(loaded) == {("a", 1), ("b", 2), ("a", 2)}
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = SearchJournal(tmp_path / "s.jsonl")
+        journal.close()
+        with pytest.raises(SearchJournalError):
+            journal.append(_record())
+
+
+class TestRobustness:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_search_journal(tmp_path / "nope.jsonl") == {}
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with SearchJournal(path) as journal:
+            journal.append(_record("a"))
+        with open(path, "a") as handle:
+            handle.write('{"v": 1, "key": "b", "sco')
+        loaded = load_search_journal(path)
+        assert set(loaded) == {("a", 2)}
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        lines = [
+            json.dumps(record_to_json(_record("a"))),
+            "garbage {{{",
+            json.dumps(record_to_json(_record("b"))),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SearchJournalError, match="corrupt"):
+            load_search_journal(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        payload = record_to_json(_record("a"))
+        payload["v"] = SEARCH_JOURNAL_VERSION + 1
+        other = json.dumps(record_to_json(_record("b")))
+        path.write_text(json.dumps(payload) + "\n" + other + "\n")
+        with pytest.raises(SearchJournalError, match="version"):
+            load_search_journal(path)

@@ -1,0 +1,91 @@
+"""Tests for leaderboard ranking and deterministic exports."""
+
+import json
+
+from repro.search.journal import SearchRecord
+from repro.search.leaderboard import (
+    build_leaderboard,
+    format_leaderboard,
+    leaderboard_to_json,
+    save_leaderboard_json,
+    save_leaderboard_markdown,
+)
+
+
+def _record(key, score, subset=2, generation=0):
+    return SearchRecord(
+        key=key,
+        params={"weight_bits": 4},
+        score=score,
+        subset=subset,
+        generation=generation,
+    )
+
+
+class TestRanking:
+    def test_ranks_ascending_by_score(self):
+        board = build_leaderboard(
+            [_record("b", 2.0), _record("a", 1.0), _record("c", 3.0)]
+        )
+        assert [entry.key for entry in board.entries] == ["a", "b", "c"]
+        assert [entry.rank for entry in board.entries] == [1, 2, 3]
+        assert board.best.key == "a"
+
+    def test_largest_subset_wins_per_candidate(self):
+        board = build_leaderboard(
+            [_record("a", 0.5, subset=1), _record("a", 2.5, subset=2)]
+        )
+        assert len(board.entries) == 1
+        assert board.best.score == 2.5
+        assert board.best.subset == 2
+
+    def test_same_subset_keeps_lower_score(self):
+        board = build_leaderboard(
+            [_record("a", 2.0, subset=2), _record("a", 1.5, subset=2)]
+        )
+        assert board.best.score == 1.5
+
+    def test_score_ties_break_on_key(self):
+        board = build_leaderboard([_record("z", 1.0), _record("a", 1.0)])
+        assert [entry.key for entry in board.entries] == ["a", "z"]
+
+    def test_empty_board(self):
+        board = build_leaderboard([])
+        assert board.best is None
+        assert board.top(5) == []
+        assert "no candidates scored" in format_leaderboard(board)
+
+
+class TestExports:
+    def test_json_export_is_deterministic(self, tmp_path):
+        records = [_record("b", 2.0), _record("a", 1.0)]
+        first = save_leaderboard_json(
+            build_leaderboard(records), tmp_path / "one.json"
+        )
+        second = save_leaderboard_json(
+            build_leaderboard(list(reversed(records))), tmp_path / "two.json"
+        )
+        assert first.read_text() == second.read_text()
+        payload = json.loads(first.read_text())
+        assert [entry["key"] for entry in payload["entries"]] == ["a", "b"]
+
+    def test_json_excludes_wall_clock(self):
+        record = _record("a", 1.0)
+        payload = leaderboard_to_json(build_leaderboard([record]))
+        assert "elapsed" not in payload["entries"][0]
+
+    def test_markdown_table(self, tmp_path):
+        board = build_leaderboard([_record("a", 1.234567)])
+        text = format_leaderboard(board)
+        assert "| rank | mean MPKI |" in text
+        assert "1.234567" in text
+        assert "weight_bits=4" in text
+        path = save_leaderboard_markdown(board, tmp_path / "lb.md")
+        assert path.read_text().startswith("# Search leaderboard")
+
+    def test_top_limits_markdown_rows(self):
+        board = build_leaderboard(
+            [_record(f"k{index}", float(index)) for index in range(10)]
+        )
+        text = format_leaderboard(board, top=3)
+        assert text.count("\n") == 4  # header + divider + 3 rows

@@ -1,0 +1,157 @@
+"""Unit tests for repro.search.space."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BLBPConfig, transfer_magnitudes_for
+from repro.search.space import (
+    ChoiceDimension,
+    IntDimension,
+    IntervalsDimension,
+    SearchSpace,
+    SpaceError,
+    default_space,
+    intervals_space,
+    sizing_space,
+    toggle,
+    toggles_space,
+)
+
+
+class TestDimensions:
+    def test_int_dimension_sample_on_lattice(self):
+        dim = IntDimension("rows", low=128, high=2048, step=128)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            value = dim.sample(rng)
+            assert dim.contains(value)
+
+    def test_int_dimension_mutate_stays_in_range(self):
+        dim = IntDimension("k", low=4, high=16, step=4)
+        rng = np.random.default_rng(1)
+        value = 4
+        for _ in range(200):
+            value = dim.mutate(value, rng)
+            assert dim.contains(value)
+
+    def test_int_dimension_grid(self):
+        assert IntDimension("x", low=2, high=6, step=2).grid_values() == [2, 4, 6]
+
+    def test_bad_int_dimension_rejected(self):
+        with pytest.raises(SpaceError):
+            IntDimension("x", low=5, high=1)
+
+    def test_choice_mutate_changes_value(self):
+        dim = ChoiceDimension("bits", choices=(2, 3, 4))
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            assert dim.mutate(3, rng) != 3
+
+    def test_toggle_is_boolean_choice(self):
+        dim = toggle("use_local_history")
+        assert set(dim.grid_values()) == {False, True}
+
+    def test_intervals_sample_well_formed(self):
+        dim = IntervalsDimension("intervals", count=7, max_position=630)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            value = dim.sample(rng)
+            assert dim.contains(value)
+            assert len(value) == 7
+
+    def test_intervals_mutate_well_formed(self):
+        dim = IntervalsDimension("intervals", count=7, max_position=630)
+        rng = np.random.default_rng(4)
+        value = dim.sample(rng)
+        for _ in range(300):
+            value = dim.mutate(value, rng)
+            for start, end in value:
+                assert 0 <= start < end <= 630
+
+    def test_intervals_grid_unenumerable(self):
+        dim = IntervalsDimension("intervals", count=2, max_position=10)
+        with pytest.raises(SpaceError):
+            dim.grid_values()
+
+
+class TestSearchSpace:
+    def test_sampling_is_seed_deterministic(self):
+        space = default_space()
+        a = space.sample(np.random.default_rng(7))
+        b = space.sample(np.random.default_rng(7))
+        assert a == b
+
+    def test_mutate_changes_one_dimension(self):
+        space = sizing_space()
+        rng = np.random.default_rng(8)
+        params = space.sample(rng)
+        mutated = space.mutate(params, rng)
+        differences = [
+            name for name in params if params[name] != mutated[name]
+        ]
+        assert len(differences) <= 1
+
+    def test_mutations_always_build_valid_configs(self):
+        space = default_space()
+        rng = np.random.default_rng(9)
+        params = space.sample(rng)
+        for _ in range(100):
+            params = space.mutate(params, rng)
+            config = space.to_config(params)  # must not raise
+            assert isinstance(config, BLBPConfig)
+
+    def test_to_config_rederives_transfer_table(self):
+        space = sizing_space()
+        params = {"weight_bits": 6, "num_target_bits": 12,
+                  "table_rows": 1024}
+        config = space.to_config(params)
+        assert config.transfer_magnitudes == transfer_magnitudes_for(6)
+        assert len(config.transfer_magnitudes) == config.weight_magnitude + 1
+
+    def test_grid_enumerates_product(self):
+        space = SearchSpace(
+            [
+                ChoiceDimension("weight_bits", choices=(3, 4)),
+                ChoiceDimension("table_rows", choices=(128, 256)),
+            ]
+        )
+        grid = list(space.grid())
+        assert len(grid) == space.grid_size() == 4
+        assert {(p["weight_bits"], p["table_rows"]) for p in grid} == {
+            (3, 128), (3, 256), (4, 128), (4, 256),
+        }
+
+    def test_candidate_key_is_order_independent(self):
+        space = sizing_space()
+        a = {"weight_bits": 4, "num_target_bits": 12, "table_rows": 512}
+        b = {"table_rows": 512, "weight_bits": 4, "num_target_bits": 12}
+        assert space.candidate_key(a) == space.candidate_key(b)
+        assert space.candidate_id(a) == space.candidate_id(b)
+
+    def test_validate_rejects_unknown_and_missing(self):
+        space = sizing_space()
+        with pytest.raises(SpaceError, match="unknown"):
+            space.validate({"weight_bits": 4, "num_target_bits": 12,
+                            "table_rows": 512, "bogus": 1})
+        with pytest.raises(SpaceError, match="missing"):
+            space.validate({"weight_bits": 4})
+
+    def test_validate_rejects_out_of_dimension_value(self):
+        space = sizing_space()
+        with pytest.raises(SpaceError, match="outside"):
+            space.validate({"weight_bits": 99, "num_target_bits": 12,
+                            "table_rows": 512})
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(SpaceError):
+            SearchSpace([toggle("x"), toggle("x")])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(SpaceError):
+            SearchSpace([])
+
+    def test_builtin_spaces_build(self):
+        for space in (default_space(), sizing_space(), intervals_space(),
+                      toggles_space()):
+            params = space.sample(np.random.default_rng(11))
+            space.validate(params)

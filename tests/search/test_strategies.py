@@ -1,0 +1,146 @@
+"""Unit tests for repro.search.strategies (no simulation involved).
+
+Strategies are exercised against synthetic score functions so these
+tests stay fast and pin proposal/acceptance logic exactly.
+"""
+
+import pytest
+
+from repro.search.space import ChoiceDimension, SearchSpace, SpaceError
+from repro.search.strategies import (
+    GridSearch,
+    HillClimb,
+    RandomSearch,
+    SuccessiveHalving,
+    make_strategy,
+)
+
+
+def _space():
+    return SearchSpace(
+        [
+            ChoiceDimension("weight_bits", choices=(2, 3, 4, 5, 6)),
+            ChoiceDimension("table_rows", choices=(128, 256, 512)),
+        ]
+    )
+
+
+def _score(params):
+    """Lower is better; unique optimum at (2, 128)."""
+    return params["weight_bits"] + params["table_rows"] / 1000.0
+
+
+class TestRandomSearch:
+    def test_deterministic_given_seed(self):
+        a = RandomSearch(_space(), seed=5, batch_size=4).propose()
+        b = RandomSearch(_space(), seed=5, batch_size=4).propose()
+        assert a.candidates == b.candidates
+
+    def test_batch_size_respected(self):
+        proposal = RandomSearch(_space(), seed=1, batch_size=6).propose()
+        assert len(proposal.candidates) == 6
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSearch(_space(), batch_size=0)
+
+
+class TestGridSearch:
+    def test_covers_whole_grid_once(self):
+        strategy = GridSearch(_space(), batch_size=4)
+        seen = []
+        while True:
+            proposal = strategy.propose()
+            if proposal is None:
+                break
+            seen.extend(
+                (p["weight_bits"], p["table_rows"])
+                for p in proposal.candidates
+            )
+            strategy.observe([(p, 0.0) for p in proposal.candidates])
+        assert len(seen) == 15
+        assert len(set(seen)) == 15
+
+    def test_unenumerable_space_fails_fast(self):
+        from repro.search.space import intervals_space
+
+        with pytest.raises(SpaceError):
+            GridSearch(intervals_space())
+
+
+class TestHillClimb:
+    def test_first_proposal_is_initial(self):
+        initial = {"weight_bits": 4, "table_rows": 256}
+        strategy = HillClimb(_space(), seed=2, initial=initial)
+        proposal = strategy.propose()
+        assert proposal.candidates == [initial]
+
+    def test_accepts_only_strict_improvements(self):
+        strategy = HillClimb(_space(), seed=3, batch_size=3)
+        for _ in range(10):
+            proposal = strategy.propose()
+            scored = [(p, _score(p)) for p in proposal.candidates]
+            best_before = strategy.best_score
+            strategy.observe(scored)
+            assert strategy.best_score <= best_before
+        assert strategy.best_params is not None
+
+    def test_mutates_the_incumbent(self):
+        initial = {"weight_bits": 6, "table_rows": 512}
+        strategy = HillClimb(_space(), seed=4, batch_size=2,
+                             initial=initial)
+        first = strategy.propose()
+        strategy.observe([(p, _score(p)) for p in first.candidates])
+        second = strategy.propose()
+        for candidate in second.candidates:
+            differences = [
+                name for name in initial
+                if candidate[name] != initial[name]
+            ]
+            assert len(differences) == 1
+
+
+class TestSuccessiveHalving:
+    def test_rungs_shrink_and_fractions_grow(self):
+        strategy = SuccessiveHalving(_space(), seed=5,
+                                     initial_candidates=8, eta=2)
+        sizes, fractions = [], []
+        while True:
+            proposal = strategy.propose()
+            if proposal is None:
+                break
+            sizes.append(len(proposal.candidates))
+            fractions.append(proposal.trace_fraction)
+            strategy.observe(
+                [(p, _score(p)) for p in proposal.candidates]
+            )
+        assert sizes == [8, 4, 2, 1]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_survivors_are_the_best(self):
+        strategy = SuccessiveHalving(_space(), seed=6,
+                                     initial_candidates=4, eta=2)
+        proposal = strategy.propose()
+        scored = [(p, _score(p)) for p in proposal.candidates]
+        strategy.observe(scored)
+        survivors = strategy.propose().candidates
+        cutoff = sorted(score for _, score in scored)[len(survivors) - 1]
+        assert all(_score(p) <= cutoff for p in survivors)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalving(_space(), initial_candidates=1)
+        with pytest.raises(ValueError):
+            SuccessiveHalving(_space(), eta=1)
+
+
+class TestMakeStrategy:
+    def test_all_cli_names(self):
+        for name in ("hillclimb", "random", "grid", "sha"):
+            strategy = make_strategy(name, _space(), seed=1, batch_size=4)
+            assert strategy.propose() is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("anneal", _space())
