@@ -5,12 +5,29 @@ perceptron latency (8 tables, K adder trees).  These microbenchmarks
 measure the simulator-side cost per operation of each predictor —
 useful both as a software regression guard and as a proxy for relative
 implementation complexity.
+
+Run directly, this module is also the **hot-path speedup gate**::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick
+
+It replays a suite sample through :class:`repro.core.ReferenceBLBP`
+(the per-bank, from-scratch-fold "before" implementation) and the
+optimized :class:`repro.core.BLBP` on the headline paper configuration,
+prints branches/second for both, writes the numbers to ``results/``,
+and exits non-zero unless optimized ≥ ``--min-speedup`` × reference.
+CI runs this on every push.
 """
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.core import BLBP
+from repro.core import BLBP, ReferenceBLBP
 from repro.predictors import ITTAGE, BranchTargetBuffer, VPCPredictor
 
 
@@ -46,3 +63,105 @@ def test_predict_train_round_trip(benchmark, factory):
         predictor.train(PCS[1], TARGETS[1])
 
     benchmark(round_trip)
+
+
+# ----------------------------------------------------------------------
+# Reference-vs-optimized speedup gate (CLI mode)
+# ----------------------------------------------------------------------
+
+
+def measure_speedup(scale: float, stride: int, repeats: int) -> dict:
+    """Replay a suite sample through both BLBP implementations.
+
+    Each implementation gets ``repeats`` full passes (fresh predictors
+    every pass); the best pass counts, which damps scheduler noise on
+    shared CI runners.  Returns a JSON-ready summary.
+    """
+    from repro.sim.engine import simulate
+    from repro.workloads.suite import suite88_specs
+
+    entries = suite88_specs(scale)[::stride]
+    traces = [entry.generate() for entry in entries]
+    records = sum(len(trace) for trace in traces)
+
+    def best_pass(factory) -> float:
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for trace in traces:
+                simulate(factory(), trace)
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    reference_seconds = best_pass(ReferenceBLBP)
+    optimized_seconds = best_pass(BLBP)
+    return {
+        "traces": [trace.name for trace in traces],
+        "records": records,
+        "scale": scale,
+        "stride": stride,
+        "repeats": repeats,
+        "reference_seconds": round(reference_seconds, 4),
+        "optimized_seconds": round(optimized_seconds, 4),
+        "reference_records_per_sec": round(records / reference_seconds),
+        "optimized_records_per_sec": round(records / optimized_seconds),
+        "speedup": round(reference_seconds / optimized_seconds, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="BLBP reference-vs-optimized throughput gate"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sample for CI (scale 0.5, stride 30, 2 repeats)",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--stride", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="fail unless optimized/reference throughput ≥ this (default 2.0)",
+    )
+    parser.add_argument(
+        "--out", default="results/throughput_blbp.json",
+        help="where to write the measurement (empty string to skip)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.5 if args.quick else 1.0)
+    stride = args.stride if args.stride is not None else (30 if args.quick else 10)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+
+    summary = measure_speedup(scale, stride, repeats)
+    print(
+        f"ReferenceBLBP  {summary['reference_records_per_sec']:>10,} records/s"
+        f"  ({summary['reference_seconds']:.2f}s, {summary['records']:,} records)"
+    )
+    print(
+        f"BLBP           {summary['optimized_records_per_sec']:>10,} records/s"
+        f"  ({summary['optimized_seconds']:.2f}s)"
+    )
+    print(f"speedup        {summary['speedup']:.2f}x  (gate: ≥{args.min_speedup}x)")
+
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
+    if summary["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {summary['speedup']:.2f}x below "
+            f"{args.min_speedup}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,13 @@ from repro.predictors import (
     TwoBitBTB,
     VPCPredictor,
 )
-from repro.sim import format_mpki_table, run_campaign
+from repro.sim import (
+    SimCounters,
+    aggregate_profiles,
+    format_counters,
+    format_mpki_table,
+    run_campaign,
+)
 from repro.trace.record import BranchType
 from repro.trace.stats import compute_stats
 from repro.trace.stream import read_trace, write_trace
@@ -145,10 +151,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             jobs=jobs,
             journal_path=args.resume,
             events=ProgressLineSink(sys.stderr),
+            profile=args.profile,
         )
     else:
-        campaign = run_campaign(traces, factories)
+        campaign = run_campaign(
+            traces,
+            factories,
+            counters=SimCounters() if args.profile else None,
+        )
     print(format_mpki_table(campaign, sort_by=list(factories)[-1]))
+    if args.profile:
+        print()
+        for name in factories:
+            totals = aggregate_profiles(
+                per_trace[name].profile
+                for per_trace in campaign.results.values()
+                if name in per_trace
+            )
+            print(f"profile [{name}]")
+            for line in format_counters(totals).splitlines():
+                print(f"  {line}")
     return 0
 
 
@@ -302,6 +324,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="PATH", default=None,
         help="JSONL journal checkpoint; rerun with the same path to "
              "resume an interrupted campaign",
+    )
+    simulate.add_argument(
+        "--profile", action="store_true",
+        help="collect hot-path counters and phase timings; prints an "
+             "aggregated per-predictor table after the MPKI results",
     )
     simulate.set_defaults(func=_cmd_simulate)
 

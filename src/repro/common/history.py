@@ -130,10 +130,21 @@ class LocalHistoryTable:
 
     def push(self, pc: int, bit: int) -> None:
         """Shift ``bit`` into the local history for ``pc``."""
+        self.push_at(self._index(pc), bit)
+
+    def index_of(self, pc: int) -> int:
+        """The table index ``pc`` hashes to (for callers that memoize)."""
+        return self._index(pc)
+
+    def read_at(self, index: int) -> int:
+        """Read by precomputed table index (see :meth:`index_of`)."""
+        return self._table[index]
+
+    def push_at(self, index: int, bit: int) -> None:
+        """Shift ``bit`` into the register at a precomputed index."""
         if bit not in (0, 1):
             raise ValueError(f"local-history bit must be 0 or 1, got {bit!r}")
-        idx = self._index(pc)
-        self._table[idx] = ((self._table[idx] << 1) | bit) & self._mask
+        self._table[index] = ((self._table[index] << 1) | bit) & self._mask
 
     def reset(self) -> None:
         self._table = [0] * self.num_entries

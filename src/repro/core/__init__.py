@@ -15,8 +15,11 @@ Modules:
 * :mod:`repro.core.regions` — region array for compressed targets;
 * :mod:`repro.core.ibtb` — the RRIP-managed indirect BTB;
 * :mod:`repro.core.histories` — BLBP's global/local history state;
-* :mod:`repro.core.subpredictor` — one weight bank per history feature;
-* :mod:`repro.core.blbp` — the predictor tying it all together.
+* :mod:`repro.core.subpredictor` — weight banks (per-feature and the
+  fused ``(N, rows, K)`` tensor the hot path uses);
+* :mod:`repro.core.blbp` — the predictor tying it all together;
+* :mod:`repro.core.reference` — the unoptimized per-bank reference
+  implementation the equivalence suite pins :class:`BLBP` against.
 """
 
 from repro.core.blbp import BLBP
@@ -29,6 +32,7 @@ from repro.core.config import (
     unoptimized_config,
 )
 from repro.core.ibtb import IndirectBTB
+from repro.core.reference import ReferenceBLBP
 from repro.core.regions import RegionArray
 from repro.core.snip import SNIP, SNIPConfig
 from repro.core.threshold import PerBitAdaptiveThreshold
@@ -36,6 +40,7 @@ from repro.core.transfer import TransferFunction
 
 __all__ = [
     "BLBP",
+    "ReferenceBLBP",
     "BLBPConfig",
     "paper_config",
     "gehl_config",

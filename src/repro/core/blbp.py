@@ -21,11 +21,19 @@ bit prediction is correct when ``sign(yout[k])`` matches the actual
 target's bit; on an incorrect bit, or a correct one whose magnitude is
 below the per-bit adaptive threshold θ_k, every sub-predictor's selected
 weight for bit k moves toward the actual bit, saturating at ±7.
+
+Hot-path structure: all N weight banks live in one
+:class:`~repro.core.subpredictor.FusedWeightBanks` tensor, so ``yout``
+is a single gather + transfer-LUT lookup + axis sum and training a
+single masked scatter-add; history folds update incrementally (see
+:mod:`repro.core.histories`).  :class:`repro.core.reference.ReferenceBLBP`
+keeps the straightforward per-bank implementation, and the equivalence
+suite pins this class to it prediction-for-prediction.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,7 +43,7 @@ from repro.core.hibtb import HierarchicalIBTB
 from repro.core.histories import BLBPHistories
 from repro.core.ibtb import IndirectBTB
 from repro.core.regions import RegionArray
-from repro.core.subpredictor import WeightBank
+from repro.core.subpredictor import BankView, FusedWeightBanks
 from repro.core.threshold import PerBitAdaptiveThreshold
 from repro.core.transfer import TransferFunction
 from repro.predictors.base import IndirectBranchPredictor
@@ -59,10 +67,12 @@ class BLBP(IndirectBranchPredictor):
             counter_bits=cfg.theta_counter_bits,
             adaptive=cfg.use_adaptive_threshold,
         )
-        self.banks = [
-            WeightBank(cfg.table_rows, cfg.num_target_bits, cfg.weight_bits)
-            for _ in range(cfg.num_subpredictors)
-        ]
+        self.weights = FusedWeightBanks(
+            cfg.num_subpredictors,
+            cfg.table_rows,
+            cfg.num_target_bits,
+            cfg.weight_bits,
+        )
         regions = RegionArray(cfg.region_entries, cfg.region_offset_bits)
         if cfg.use_hierarchical_ibtb:
             self.ibtb = HierarchicalIBTB(
@@ -85,6 +95,27 @@ class BLBP(IndirectBranchPredictor):
             cfg.low_bit, cfg.low_bit + cfg.num_target_bits, dtype=np.uint64
         )
         self._ctx: Optional[dict] = None
+        # Pure-function memos over the small static target sets every
+        # real trace draws from: per-target bit slices and per-candidate-
+        # set bit matrices (with their columnwise min/max for selective
+        # training).  Keys are target values, never predictor state.
+        self._abits_memo: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._bitmat_memo: Dict[
+            Tuple[int, ...], Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        # The engine's conditional callback binds straight to the
+        # history push (instance attribute shadows the class method),
+        # skipping one Python frame on the most frequent event.
+        self.on_conditional = self.histories.on_conditional
+        # Hot-path observability (drained via sim_stats / SimCounters).
+        self.stat_predictions = 0
+        self.stat_ibtb_probes = 0
+        self.stat_trained_bits = 0
+
+    @property
+    def banks(self) -> List[BankView]:
+        """Per-bank views over the fused weight tensor (introspection)."""
+        return self.weights.bank_views()
 
     # ------------------------------------------------------------------
     # Prediction (Algorithm 1)
@@ -97,25 +128,40 @@ class BLBP(IndirectBranchPredictor):
             np.int32
         )
 
-    def _compute_yout(self, indices: List[int]) -> np.ndarray:
-        """Aggregate transferred weights across all sub-predictors."""
-        yout = np.zeros(self.config.num_target_bits, dtype=np.int32)
-        for bank, row in zip(self.banks, indices):
-            yout += self.transfer.apply(bank.read(row))
-        return yout
+    def _compute_yout(self, rows: np.ndarray) -> np.ndarray:
+        """Aggregate transferred weights across all sub-predictors.
+
+        One fused gather over the ``(N, rows, K)`` tensor, one
+        transfer-LUT lookup, one axis sum — no per-bank Python loop.
+        """
+        return self.transfer.apply(self.weights.gather(rows)).sum(
+            axis=0, dtype=np.int32
+        )
 
     def predict_target(self, pc: int) -> Optional[int]:
-        indices = self.histories.indices(pc)
-        yout = self._compute_yout(indices)
+        rows = np.asarray(self.histories.indices(pc), dtype=np.intp)
+        yout = self._compute_yout(rows)
         candidates = self.ibtb.lookup(pc)
+        self.stat_predictions += 1
+        self.stat_ibtb_probes += 1
 
         if not candidates:
             prediction = None
             chosen_way = None
-            bit_matrix = None
+            bit_lows = None
+            bit_highs = None
         else:
-            targets = [target for _, target in candidates]
-            bit_matrix = self._target_bits(targets)
+            targets = tuple(target for _, target in candidates)
+            entry = self._bitmat_memo.get(targets)
+            if entry is None:
+                bit_matrix = self._target_bits(list(targets))
+                entry = (
+                    bit_matrix,
+                    bit_matrix.min(axis=0),
+                    bit_matrix.max(axis=0),
+                )
+                self._bitmat_memo[targets] = entry
+            bit_matrix, bit_lows, bit_highs = entry
             scores = bit_matrix @ yout
             best = int(np.argmax(scores))
             prediction = targets[best]
@@ -123,10 +169,11 @@ class BLBP(IndirectBranchPredictor):
 
         self._ctx = {
             "pc": pc,
-            "indices": indices,
+            "rows": rows,
             "yout": yout,
             "candidates": candidates,
-            "bit_matrix": bit_matrix,
+            "bit_lows": bit_lows,
+            "bit_highs": bit_highs,
             "prediction": prediction,
             "chosen_way": chosen_way,
         }
@@ -144,45 +191,53 @@ class BLBP(IndirectBranchPredictor):
         self._ctx = None
         cfg = self.config
 
-        # Keep the IBTB current: store the actual target (promoting it if
-        # already present) so it is a candidate next time.
-        way = self.ibtb.ensure(pc, target)
-        self.ibtb.touch(pc, way)
+        # Keep the IBTB current: store the actual target so it is a
+        # candidate next time.  ``ensure`` already promotes the way's
+        # RRIP state on a hit and applies the insertion RRPV on a fill;
+        # an extra ``touch`` here would double-promote freshly-filled
+        # ways to RRPV 0 and defeat SRRIP's long-re-reference insertion
+        # (the replacement-skew bug fixed in this revision).
+        self.ibtb.ensure(pc, target)
 
         yout = ctx["yout"]
-        actual_bits = (
-            (np.uint64(target) >> self._bit_shifts) & np.uint64(1)
-        ).astype(np.int32)
+        memo = self._abits_memo.get(target)
+        if memo is None:
+            actual_bits = (
+                (np.uint64(target) >> self._bit_shifts) & np.uint64(1)
+            ).astype(np.int32)
+            memo = (actual_bits, actual_bits == 1)
+            self._abits_memo[target] = memo
+        actual_bits, desired_bits = memo
 
         # Selective bit training (§3.6): only train bits that differ
         # across the potential-target set (stored candidates + actual).
+        # The candidate matrix's columnwise min/max were memoized at
+        # prediction time.
         if cfg.use_selective_update:
-            if ctx["bit_matrix"] is not None and len(ctx["bit_matrix"]):
-                stacked = np.vstack([ctx["bit_matrix"], actual_bits])
+            if ctx["bit_lows"] is not None:
+                lows = np.minimum(ctx["bit_lows"], actual_bits)
+                highs = np.maximum(ctx["bit_highs"], actual_bits)
+                differs = lows != highs
             else:
-                stacked = actual_bits[None, :]
-            differs = stacked.min(axis=0) != stacked.max(axis=0)
+                differs = np.zeros(cfg.num_target_bits, dtype=bool)
         else:
             differs = np.ones(cfg.num_target_bits, dtype=bool)
 
-        predicted_ones = yout >= 0
-        correct_bits = predicted_ones == (actual_bits == 1)
-        magnitudes = np.abs(yout)
-
-        train_mask = np.zeros(cfg.num_target_bits, dtype=bool)
-        for k in range(cfg.num_target_bits):
-            if not differs[k]:
-                continue
-            correct = bool(correct_bits[k])
-            magnitude = int(magnitudes[k])
-            self.threshold.observe(k, correct, magnitude)
-            if self.threshold.should_train(k, correct, magnitude):
-                train_mask[k] = True
-
-        if train_mask.any():
-            desired = actual_bits == 1
-            for bank, row in zip(self.banks, ctx["indices"]):
-                bank.train(row, desired, train_mask)
+        if differs.any():
+            predicted_ones = yout >= 0
+            correct_bits = predicted_ones == desired_bits
+            magnitudes = np.abs(yout)
+            train_mask = np.asarray(
+                self.threshold.observe_and_mask(
+                    differs.tolist(),
+                    correct_bits.tolist(),
+                    magnitudes.tolist(),
+                ),
+                dtype=bool,
+            )
+            if train_mask.any():
+                self.weights.train(ctx["rows"], desired_bits, train_mask)
+                self.stat_trained_bits += int(train_mask.sum())
 
         # Local history records bit 3 of the taken target (§3.6).
         self.histories.push_target(pc, target)
@@ -200,13 +255,22 @@ class BLBP(IndirectBranchPredictor):
 
     def predicted_bit_vector(self, pc: int) -> Tuple[np.ndarray, np.ndarray]:
         """(yout, predicted bits) for ``pc`` without touching state."""
-        indices = self.histories.indices(pc)
-        yout = self._compute_yout(indices)
+        rows = np.asarray(self.histories.indices(pc), dtype=np.intp)
+        yout = self._compute_yout(rows)
         return yout, (yout >= 0).astype(np.int32)
 
     def candidate_targets(self, pc: int) -> List[int]:
         """Targets currently stored for ``pc`` in the IBTB."""
         return [target for _, target in self.ibtb.lookup(pc)]
+
+    def sim_stats(self) -> Dict[str, int]:
+        """Cumulative hot-path counters (see :mod:`repro.sim.counters`)."""
+        return {
+            "predictions": self.stat_predictions,
+            "ibtb_probes": self.stat_ibtb_probes,
+            "trained_bits": self.stat_trained_bits,
+            "fold_updates": self.histories.stat_fold_updates,
+        }
 
     # ------------------------------------------------------------------
 

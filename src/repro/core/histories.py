@@ -12,13 +12,47 @@ Each sub-predictor's table index is a hash of its history feature mixed
 with the branch PC.  (Algorithm 1 writes the hash over history alone;
 we mix the PC in as every hashed-perceptron implementation does — see
 DESIGN.md §5 on unspecified hash functions.)
+
+Hot-path structure
+------------------
+
+The naive index computation re-folds up to 630 history bits through
+:func:`~repro.common.hashing.fold_int` for each of the seven intervals
+on *every* prediction.  This module instead keeps one incremental
+:class:`~repro.common.hashing.FoldedHistory` per interval — the same
+circular-shift-register fold TAGE-family hardware implements.  Per
+pushed bit, interval ``[start, end)`` rotates its fold left once, XORs
+in the bit entering its window (global position ``start - 1`` before
+the shift, or the pushed bit itself when ``start == 0``) and XORs out
+the leaving bit (position ``end - 1``) at the fold's out-position.
+
+Because conditional branches outnumber indirect branches by an order of
+magnitude in real traces, the simulator does not execute that recurrence
+bit-by-bit: :meth:`BLBPHistories.push_conditional` is a bare shift
+(O(1), no per-interval work), and the pending bits are absorbed in one
+*batched* step the next time a fold value is read.  The m-step
+recurrence collapses algebraically — each entering bit lands at fold
+position ``(m-1-j) % W`` and each leaving bit at
+``(out + m-1-j) % W``, so
+
+    fold' = rot_m(fold) ^ fold(entering slice) ^ rot_out(fold(leaving slice))
+
+where both slices are contiguous m-bit windows of the (unmasked) global
+history and ``fold``/``rot`` are the standard folded-XOR and left
+rotation over ``W`` bits.  For ``m == 1`` this is exactly
+:meth:`FoldedHistory.update`; the parity suite pins the batch against
+both the one-step recurrence and a from-scratch ``fold_bits`` recompute.
+
+:meth:`BLBPHistories.indices_reference` retains the from-scratch
+``fold_int`` computation as the differential oracle — the equivalence
+suite pins ``indices`` to it bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
-from repro.common.hashing import fold_int, mix_pc, stable_hash64
+from repro.common.hashing import FoldedHistory, fold_int, mix_pc, stable_hash64
 from repro.common.history import LocalHistoryTable
 from repro.core.config import BLBPConfig
 
@@ -34,30 +68,181 @@ class BLBPHistories:
             config.local_histories, config.local_history_bits
         )
         self._fold_bits = max(1, (config.table_rows - 1).bit_length())
+        #: One incremental fold per interval, kept equal at all times to
+        #: ``fold_int`` over the interval's current window.
+        self._folds = [
+            FoldedHistory(end - start, self._fold_bits)
+            for start, end in config.effective_intervals
+        ]
+        # Batch-update table: (fold, start, end, out-position) per
+        # interval.  ``start``/``end`` double as the shifts selecting the
+        # entering/leaving bit slices out of the global history, and
+        # ``out`` is the fold position where leaving bits are cancelled
+        # (``length % width``, as in :class:`FoldedHistory`).
+        width = self._fold_bits
+        self._fold_batch = [
+            (fold, start, end, (end - start) % width)
+            for fold, (start, end) in zip(
+                self._folds, config.effective_intervals
+            )
+        ]
+        self._num_folds = len(self._folds)
+        # Conditional outcomes pushed since the folds were last brought
+        # current.  While bits are pending, ``_ghist`` is kept *unmasked*
+        # so the leaving-bit slices (positions up to end + m - 1) are
+        # still available at flush time.
+        self._pending = 0
+        # Pure-function memos for the hot path.  PCs and local-history
+        # values are drawn from small static sets in any real trace, so
+        # both caches stay tiny; they hold hashes of *inputs*, never
+        # predictor state.
+        self._pc_memo: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+        self._local_hash_memo: Dict[int, int] = {}
+        #: Incremental fold updates performed (observability; see
+        #: :class:`repro.sim.counters.SimCounters`).
+        self.stat_fold_updates = 0
 
     # ------------------------------------------------------------------
     # History updates
     # ------------------------------------------------------------------
 
     def push_conditional(self, taken: bool) -> None:
-        """Shift a conditional outcome into the global history."""
-        self._ghist = ((self._ghist << 1) | int(taken)) & self._ghist_mask
+        """Shift a conditional outcome into the global history.
+
+        O(1) with *no* per-interval work: the folds are brought current
+        lazily, in one batched step, the next time a fold value is read
+        (:meth:`_flush_folds`).  Conditional pushes outnumber
+        predictions ~10:1 in real traces, so this path must stay a bare
+        shift — per-push fold maintenance was the profile's top entry.
+        """
+        # Unmasked on purpose; see _flush_folds for why pending bits
+        # keep the history wider than its architectural capacity.
+        self._ghist = (self._ghist << 1) | (1 if taken else 0)
+        self._pending += 1
+        if self._pending >= 1024:
+            self._flush_folds()
+
+    def on_conditional(self, _pc: int, taken: bool) -> None:
+        """:meth:`push_conditional` with the predictor hook's signature.
+
+        :class:`~repro.core.blbp.BLBP` binds the simulation engine's
+        conditional callback straight to this method, saving one Python
+        frame per conditional branch — the most frequent event in any
+        trace.  The body duplicates :meth:`push_conditional` for that
+        reason.
+        """
+        self._ghist = (self._ghist << 1) | (1 if taken else 0)
+        self._pending += 1
+        if self._pending >= 1024:
+            self._flush_folds()
+
+    def _flush_folds(self) -> None:
+        """Absorb all pending outcomes into every interval fold at once.
+
+        Applying :meth:`FoldedHistory.update` m times rotates the fold
+        left m positions, lands the step-j entering bit at fold position
+        ``(m-1-j) % W`` and the step-j leaving bit at
+        ``(out + m-1-j) % W``.  Reading the entering bits of all m steps
+        as one slice E = ghist[start : start+m] (and leaving bits
+        L = ghist[end : end+m]) of the *new* unmasked history lines bit
+        b of each slice up with fold position ``b % W`` — exactly the
+        standard fold — giving the closed form
+
+            fold' = rot_m(fold) ^ fold_int(E, m, W) ^ rot_out(fold_int(L, m, W))
+
+        Two small ``fold_int`` calls per interval replace m one-step
+        updates; for m == 1 the expressions coincide.
+        """
+        m = self._pending
+        if not m:
+            return
+        ghist = self._ghist
+        width = self._fold_bits
+        fold_mask = (1 << width) - 1
+        slice_mask = (1 << m) - 1
+        rot_m = m % width
+        inv_rot_m = width - rot_m
+        for fold, start, end, out in self._fold_batch:
+            f = fold.fold
+            if rot_m:
+                f = ((f << rot_m) | (f >> inv_rot_m)) & fold_mask
+            # fold_int over both slices, inlined (14 calls per flush
+            # otherwise; m rarely exceeds 2*width so each loop runs
+            # once or twice).
+            segment = (ghist >> start) & slice_mask
+            while segment:
+                f ^= segment & fold_mask
+                segment >>= width
+            leaving = 0
+            segment = (ghist >> end) & slice_mask
+            while segment:
+                leaving ^= segment & fold_mask
+                segment >>= width
+            if out and leaving:
+                leaving = (
+                    (leaving << out) | (leaving >> (width - out))
+                ) & fold_mask
+            fold.fold = f ^ leaving
+        self.stat_fold_updates += m * self._num_folds
+        self._pending = 0
+        self._ghist = ghist & self._ghist_mask
 
     def push_target(self, pc: int, target: int) -> None:
         """Record the local-history bit (bit 3 of the taken target)."""
         bit = (target >> self.config.local_target_bit) & 1
-        self._local.push(pc, bit)
+        self._local.push_at(self._pc_hashes(pc)[1], bit)
 
     # ------------------------------------------------------------------
     # Index computation
     # ------------------------------------------------------------------
+
+    def _pc_hashes(self, pc: int) -> Tuple[Tuple[int, ...], int]:
+        """Memoized per-feature PC hashes and the local-table index."""
+        memo = self._pc_memo.get(pc)
+        if memo is None:
+            mixes = tuple(
+                mix_pc(pc, salt=salt)
+                for salt in range(1 + len(self._folds))
+            )
+            memo = (mixes, mixes[0] % self._local.num_entries)
+            self._pc_memo[pc] = memo
+        return memo
 
     def indices(self, pc: int) -> List[int]:
         """Table indices for all N sub-predictors at branch ``pc``.
 
         Index 0 is the local-history feature (a PC-only bias feature
         when local history is disabled); the rest follow the configured
-        intervals in order.
+        intervals in order.  Equal to :meth:`indices_reference` for
+        every reachable state (pinned by the equivalence suite).
+        """
+        if self._pending:
+            self._flush_folds()
+        rows = self.config.table_rows
+        mixes, local_index = self._pc_hashes(pc)
+
+        if self.config.use_local_history:
+            local = self._local.read_at(local_index)
+            local_hash = self._local_hash_memo.get(local)
+            if local_hash is None:
+                local_hash = stable_hash64(local)
+                self._local_hash_memo[local] = local_hash
+            mixed = mixes[0] ^ local_hash
+        else:
+            mixed = mixes[0]
+        result = [mixed % rows]
+
+        for position, fold in enumerate(self._folds):
+            result.append((mixes[position + 1] ^ fold.fold) % rows)
+        return result
+
+    def indices_reference(self, pc: int) -> List[int]:
+        """The from-scratch index computation (differential oracle).
+
+        Re-extracts and re-folds every interval with
+        :func:`~repro.common.hashing.fold_int`; O(history bits) per
+        call.  Kept verbatim so tests can assert the incremental path
+        never drifts from it.
         """
         cfg = self.config
         rows = cfg.table_rows
@@ -80,9 +265,15 @@ class BLBPHistories:
 
     # ------------------------------------------------------------------
 
+    def fold_values(self) -> List[int]:
+        """The current incremental fold value per interval (diagnostics)."""
+        if self._pending:
+            self._flush_folds()
+        return [fold.fold for fold in self._folds]
+
     def global_history_value(self) -> int:
         """The raw global history bits (bit 0 most recent)."""
-        return self._ghist
+        return self._ghist & self._ghist_mask
 
     def local_history_of(self, pc: int) -> int:
         """The local history register selected by ``pc``."""

@@ -23,7 +23,17 @@ from repro.core.regions import RegionArray
 class _IBTBSet:
     """One set: parallel way arrays plus a tag→ways index and RRIP state."""
 
-    __slots__ = ("ways", "tags", "regions", "generations", "offsets", "rrip", "by_tag")
+    __slots__ = (
+        "ways",
+        "tags",
+        "regions",
+        "generations",
+        "offsets",
+        "rrip",
+        "by_tag",
+        "version",
+        "cache",
+    )
 
     def __init__(self, num_ways: int, rrpv_bits: int) -> None:
         self.ways = num_ways
@@ -33,6 +43,10 @@ class _IBTBSet:
         self.offsets = [0] * num_ways
         self.rrip = RRIPPolicy(num_ways, rrpv_bits)
         self.by_tag: dict = {}
+        #: Bumped on any membership change; invalidates cached lookups.
+        self.version = 0
+        #: tag -> (set version, region version, candidate list).
+        self.cache: dict = {}
 
     def invalidate(self, way: int) -> None:
         tag = self.tags[way]
@@ -43,6 +57,7 @@ class _IBTBSet:
                 if not ways:
                     del self.by_tag[tag]
         self.tags[way] = None
+        self.version += 1
 
     def fill(self, way: int, tag: int, region: int, generation: int, offset: int) -> None:
         self.invalidate(way)
@@ -51,6 +66,7 @@ class _IBTBSet:
         self.generations[way] = generation
         self.offsets[way] = offset
         self.by_tag.setdefault(tag, set()).add(way)
+        self.version += 1
 
 
 class IndirectBTB:
@@ -81,29 +97,50 @@ class IndirectBTB:
         tag = (hashed >> 12) & ((1 << self.tag_bits) - 1)
         return self._sets[set_index], tag
 
+    def _candidates(self, bucket: _IBTBSet, tag: int) -> List[Tuple[int, int]]:
+        """(way, target) pairs for ``tag``, via the per-set lookup cache.
+
+        A cached result stays valid while neither the set's membership
+        nor any region mapping has changed (RRIP promotions change
+        neither), which covers the common predict→train→predict run on a
+        hot branch.  Stale region references are invalidated on a miss.
+        The returned list is shared with the cache — callers must not
+        mutate it.
+        """
+        regions = self.regions
+        cached = bucket.cache.get(tag)
+        if (
+            cached is not None
+            and cached[0] == bucket.version
+            and cached[1] == regions.version
+        ):
+            return cached[2]
+        candidates: List[Tuple[int, int]] = []
+        ways = bucket.by_tag.get(tag)
+        if ways:
+            stale: List[int] = []
+            for way in sorted(ways):
+                target = regions.decode(
+                    bucket.regions[way], bucket.generations[way], bucket.offsets[way]
+                )
+                if target is None:
+                    stale.append(way)
+                else:
+                    candidates.append((way, target))
+            for way in stale:
+                bucket.invalidate(way)
+        bucket.cache[tag] = (bucket.version, regions.version, candidates)
+        return candidates
+
     def lookup(self, pc: int) -> List[Tuple[int, int]]:
         """All (way, target) candidates whose partial tag matches ``pc``.
 
         Stale region references are invalidated on the way through, so
-        the returned targets are always decodable.
+        the returned targets are always decodable.  The list may be a
+        cached object shared across calls — treat it as read-only.
         """
         bucket, tag = self._locate(pc)
-        ways = bucket.by_tag.get(tag)
-        if not ways:
-            return []
-        candidates: List[Tuple[int, int]] = []
-        stale: List[int] = []
-        for way in sorted(ways):
-            target = self.regions.decode(
-                bucket.regions[way], bucket.generations[way], bucket.offsets[way]
-            )
-            if target is None:
-                stale.append(way)
-            else:
-                candidates.append((way, target))
-        for way in stale:
-            bucket.invalidate(way)
-        return candidates
+        return self._candidates(bucket, tag)
 
     def ensure(self, pc: int, target: int) -> int:
         """Guarantee ``target`` is stored for ``pc``; return its way.
@@ -112,11 +149,7 @@ class IndirectBTB:
         victim is evicted and the new way gets the insertion RRPV.
         """
         bucket, tag = self._locate(pc)
-        ways = bucket.by_tag.get(tag, ())
-        for way in ways:
-            stored = self.regions.decode(
-                bucket.regions[way], bucket.generations[way], bucket.offsets[way]
-            )
+        for way, stored in self._candidates(bucket, tag):
             if stored == target:
                 bucket.rrip.touch(way)
                 return way

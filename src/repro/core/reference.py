@@ -1,0 +1,212 @@
+"""Reference BLBP: the straightforward per-bank implementation.
+
+:class:`ReferenceBLBP` is algorithmically identical to
+:class:`repro.core.blbp.BLBP` but deliberately *unoptimized*: it
+re-folds every history interval from scratch with ``fold_int``
+(:meth:`BLBPHistories.indices_reference`), keeps one
+:class:`~repro.core.subpredictor.WeightBank` object per sub-predictor
+and loops over them in Python, and drives the adaptive threshold
+through the scalar ``observe``/``should_train`` calls — the shape the
+code had before the fused-tensor / incremental-fold rewrite.
+
+It exists for differential testing: the equivalence suite
+(``tests/integration/test_equivalence.py``) replays the synthetic
+workload suite through both predictors in lockstep and asserts
+per-branch identical predictions, and ``benchmarks/bench_throughput.py``
+uses it as the "before" side of the speedup measurement.  Any change to
+the optimized hot path must keep this class in exact behavioural
+agreement (or change both, intentionally, in the same commit).
+
+Both classes include the two training fixes of this revision: no
+double-promotion of the IBTB way after ``ensure``, and symmetric
+threshold-counter saturation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.storage import StorageBudget
+from repro.core.config import BLBPConfig
+from repro.core.hibtb import HierarchicalIBTB
+from repro.core.histories import BLBPHistories
+from repro.core.ibtb import IndirectBTB
+from repro.core.regions import RegionArray
+from repro.core.subpredictor import WeightBank
+from repro.core.threshold import PerBitAdaptiveThreshold
+from repro.core.transfer import TransferFunction
+from repro.predictors.base import IndirectBranchPredictor
+
+
+class ReferenceBLBP(IndirectBranchPredictor):
+    """Per-bank, from-scratch-fold BLBP (the differential oracle)."""
+
+    name = "BLBP-ref"
+
+    def __init__(self, config: Optional[BLBPConfig] = None) -> None:
+        self.config = config or BLBPConfig()
+        cfg = self.config
+        self.histories = BLBPHistories(cfg)
+        self.transfer = TransferFunction(
+            cfg.transfer_magnitudes, enabled=cfg.use_transfer_function
+        )
+        self.threshold = PerBitAdaptiveThreshold(
+            num_bits=cfg.num_target_bits,
+            initial_theta=cfg.initial_theta,
+            counter_bits=cfg.theta_counter_bits,
+            adaptive=cfg.use_adaptive_threshold,
+        )
+        self.banks = [
+            WeightBank(cfg.table_rows, cfg.num_target_bits, cfg.weight_bits)
+            for _ in range(cfg.num_subpredictors)
+        ]
+        regions = RegionArray(cfg.region_entries, cfg.region_offset_bits)
+        if cfg.use_hierarchical_ibtb:
+            self.ibtb = HierarchicalIBTB(
+                l1_entries=cfg.hibtb_l1_entries,
+                l2_sets=cfg.hibtb_l2_sets,
+                l2_ways=cfg.hibtb_l2_ways,
+                tag_bits=cfg.ibtb_tag_bits,
+                rrpv_bits=cfg.rrip_bits,
+                regions=regions,
+            )
+        else:
+            self.ibtb = IndirectBTB(
+                num_sets=cfg.ibtb_sets,
+                num_ways=cfg.ibtb_ways,
+                tag_bits=cfg.ibtb_tag_bits,
+                rrpv_bits=cfg.rrip_bits,
+                regions=regions,
+            )
+        self._bit_shifts = np.arange(
+            cfg.low_bit, cfg.low_bit + cfg.num_target_bits, dtype=np.uint64
+        )
+        self._ctx: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Prediction (Algorithm 1), one bank at a time
+    # ------------------------------------------------------------------
+
+    def _target_bits(self, targets: List[int]) -> np.ndarray:
+        array = np.asarray(targets, dtype=np.uint64)
+        return ((array[:, None] >> self._bit_shifts[None, :]) & np.uint64(1)).astype(
+            np.int32
+        )
+
+    def _compute_yout(self, indices: List[int]) -> np.ndarray:
+        yout = np.zeros(self.config.num_target_bits, dtype=np.int32)
+        for bank, row in zip(self.banks, indices):
+            yout += self.transfer.apply(bank.read(row))
+        return yout
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        indices = self.histories.indices_reference(pc)
+        yout = self._compute_yout(indices)
+        candidates = self.ibtb.lookup(pc)
+
+        if not candidates:
+            prediction = None
+            chosen_way = None
+            bit_matrix = None
+        else:
+            targets = [target for _, target in candidates]
+            bit_matrix = self._target_bits(targets)
+            scores = bit_matrix @ yout
+            best = int(np.argmax(scores))
+            prediction = targets[best]
+            chosen_way = candidates[best][0]
+
+        self._ctx = {
+            "pc": pc,
+            "indices": indices,
+            "yout": yout,
+            "candidates": candidates,
+            "bit_matrix": bit_matrix,
+            "prediction": prediction,
+            "chosen_way": chosen_way,
+        }
+        return prediction
+
+    # ------------------------------------------------------------------
+    # Training (Algorithm 2), scalar threshold calls per bit
+    # ------------------------------------------------------------------
+
+    def train(self, pc: int, target: int) -> None:
+        ctx = self._ctx
+        if ctx is None or ctx["pc"] != pc:
+            self.predict_target(pc)
+            ctx = self._ctx
+        self._ctx = None
+        cfg = self.config
+
+        # ``ensure`` promotes on hit / inserts on fill; no extra touch.
+        self.ibtb.ensure(pc, target)
+
+        yout = ctx["yout"]
+        actual_bits = (
+            (np.uint64(target) >> self._bit_shifts) & np.uint64(1)
+        ).astype(np.int32)
+
+        if cfg.use_selective_update:
+            if ctx["bit_matrix"] is not None and len(ctx["bit_matrix"]):
+                stacked = np.vstack([ctx["bit_matrix"], actual_bits])
+            else:
+                stacked = actual_bits[None, :]
+            differs = stacked.min(axis=0) != stacked.max(axis=0)
+        else:
+            differs = np.ones(cfg.num_target_bits, dtype=bool)
+
+        predicted_ones = yout >= 0
+        correct_bits = predicted_ones == (actual_bits == 1)
+        magnitudes = np.abs(yout)
+
+        train_mask = np.zeros(cfg.num_target_bits, dtype=bool)
+        for k in range(cfg.num_target_bits):
+            if not differs[k]:
+                continue
+            correct = bool(correct_bits[k])
+            magnitude = int(magnitudes[k])
+            self.threshold.observe(k, correct, magnitude)
+            if self.threshold.should_train(k, correct, magnitude):
+                train_mask[k] = True
+
+        if train_mask.any():
+            desired = actual_bits == 1
+            for bank, row in zip(self.banks, ctx["indices"]):
+                bank.train(row, desired, train_mask)
+
+        self.histories.push_target(pc, target)
+
+    # ------------------------------------------------------------------
+
+    def on_conditional(self, pc: int, taken: bool) -> None:
+        self.histories.push_conditional(taken)
+
+    def predicted_bit_vector(self, pc: int) -> Tuple[np.ndarray, np.ndarray]:
+        indices = self.histories.indices_reference(pc)
+        yout = self._compute_yout(indices)
+        return yout, (yout >= 0).astype(np.int32)
+
+    def candidate_targets(self, pc: int) -> List[int]:
+        return [target for _, target in self.ibtb.lookup(pc)]
+
+    def storage_budget(self) -> StorageBudget:
+        cfg = self.config
+        budget = StorageBudget(self.name)
+        for position, bank in enumerate(self.banks):
+            label = (
+                "weights (local history)"
+                if position == 0
+                else f"weights (interval {cfg.effective_intervals[position - 1]})"
+            )
+            budget.add(label, bank.storage_bits(cfg.weight_bits))
+        budget.add("global history", cfg.global_history_bits)
+        budget.add(
+            "local histories", cfg.local_histories * cfg.local_history_bits
+        )
+        budget.add("IBTB", self.ibtb.storage_bits())
+        budget.add("region array", self.ibtb.regions.storage_bits())
+        budget.add("adaptive thresholds", self.threshold.storage_bits())
+        return budget

@@ -35,6 +35,11 @@ class RegionArray:
         self._lru = LRUPolicy(num_entries)
         #: Total region evictions (monitoring / tests).
         self.evictions = 0
+        #: Bumped whenever any region mapping changes (allocation or
+        #: recycling).  Lets IBTB lookup caches validate cheaply: while
+        #: this and the set's membership version are unchanged, every
+        #: previous decode result still holds.
+        self.version = 0
 
     def encode(self, target: int) -> Tuple[int, int, int]:
         """Encode ``target`` as (region index, generation, offset).
@@ -53,6 +58,7 @@ class RegionArray:
         self._high_bits[victim] = high
         self._generation[victim] += 1
         self._lru.touch(victim)
+        self.version += 1
         return victim, self._generation[victim], offset
 
     def decode(self, index: int, generation: int, offset: int) -> Optional[int]:

@@ -1,13 +1,24 @@
-"""One bit-level perceptron weight bank (§3.2).
+"""Bit-level perceptron weight banks (§3.2).
 
 Where a hashed perceptron trains a single weight per (table, row), BLBP
 trains a K-length *vector* of weights — one per predicted target bit.
 A :class:`WeightBank` is one such table: M rows of K sign/magnitude
 weights, realized as one SRAM array in hardware (§3.7 notes the full
 predictor needs only 8 such arrays, down from SNIP's 44).
+
+:class:`FusedWeightBanks` holds all N banks in a single ``(N, rows, K)``
+``int8`` tensor so the predictor's hot path touches NumPy once per
+operation — one fancy-index gather for prediction, one masked
+scatter-add for training — instead of looping over N bank objects.
+The per-bank :class:`WeightBank` is kept as the readable single-table
+reference (and the unit under test for the weight arithmetic); the
+reference-equivalence suite pins the two representations to identical
+behaviour.
 """
 
 from __future__ import annotations
+
+from typing import List
 
 import numpy as np
 
@@ -48,3 +59,84 @@ class WeightBank:
 
     def storage_bits(self, weight_bits: int) -> int:
         return self.rows * self.num_bits * weight_bits
+
+
+class BankView:
+    """A read view of one bank inside a :class:`FusedWeightBanks` tensor.
+
+    Presents the :class:`WeightBank` surface that introspection code
+    (tests, storage accounting, examples) relies on; ``weights`` is a
+    live ``(rows, K)`` NumPy view into the fused tensor.
+    """
+
+    __slots__ = ("rows", "num_bits", "magnitude", "weights")
+
+    def __init__(self, weights: np.ndarray, magnitude: int) -> None:
+        self.weights = weights
+        self.rows, self.num_bits = weights.shape
+        self.magnitude = magnitude
+
+    def read(self, row: int) -> np.ndarray:
+        """The K-length weight vector at ``row`` (a live view)."""
+        return self.weights[row]
+
+    def storage_bits(self, weight_bits: int) -> int:
+        return self.rows * self.num_bits * weight_bits
+
+
+class FusedWeightBanks:
+    """All N sub-predictor banks in one ``(N, rows, K)`` int8 tensor.
+
+    ``gather(rows)`` returns the N selected weight vectors as one
+    ``(N, K)`` matrix; ``train(rows, desired_bits, train_mask)`` applies
+    Algorithm 2's masked ±1 saturating update to all N selected rows at
+    once.  Per-element arithmetic is identical to N independent
+    :class:`WeightBank` operations (int16 accumulate, clip to
+    ±magnitude, int8 store), and bank b only ever touches plane b of
+    the tensor, so the fused update cannot alias across banks.
+    """
+
+    __slots__ = ("num_banks", "rows", "num_bits", "magnitude", "weights",
+                 "_bank_arange")
+
+    def __init__(
+        self, num_banks: int, rows: int, num_bits: int, weight_bits: int
+    ) -> None:
+        if num_banks < 1:
+            raise ValueError(f"need >= 1 banks, got {num_banks}")
+        if rows < 1:
+            raise ValueError(f"need >= 1 rows, got {rows}")
+        if num_bits < 1:
+            raise ValueError(f"need >= 1 weight positions, got {num_bits}")
+        if weight_bits < 2:
+            raise ValueError(f"weight_bits must be >= 2, got {weight_bits}")
+        self.num_banks = num_banks
+        self.rows = rows
+        self.num_bits = num_bits
+        self.magnitude = (1 << (weight_bits - 1)) - 1
+        self.weights = np.zeros((num_banks, rows, num_bits), dtype=np.int8)
+        self._bank_arange = np.arange(num_banks)
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """The ``(N, K)`` weight matrix selected by per-bank ``rows``."""
+        return self.weights[self._bank_arange, rows]
+
+    def train(
+        self, rows: np.ndarray, desired_bits: np.ndarray, train_mask: np.ndarray
+    ) -> None:
+        """Masked saturating ±1 update of every bank's selected row."""
+        selected = self.weights[self._bank_arange, rows].astype(np.int16)
+        delta = np.where(desired_bits, 1, -1)
+        selected += np.where(train_mask, delta, 0)
+        np.clip(selected, -self.magnitude, self.magnitude, out=selected)
+        self.weights[self._bank_arange, rows] = selected.astype(np.int8)
+
+    def bank_views(self) -> List[BankView]:
+        """Per-bank views (introspection; the hot path never needs them)."""
+        return [
+            BankView(self.weights[bank], self.magnitude)
+            for bank in range(self.num_banks)
+        ]
+
+    def storage_bits(self, weight_bits: int) -> int:
+        return self.num_banks * self.rows * self.num_bits * weight_bits

@@ -11,11 +11,19 @@ mispredictions.  BLBP keeps an independent θ and controller counter for
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 
 class PerBitAdaptiveThreshold:
-    """K independent Seznec threshold controllers, one per target bit."""
+    """K independent Seznec threshold controllers, one per target bit.
+
+    The controller counter saturates **symmetrically** at
+    ``±(2^(counter_bits-1) - 1)``: a θ increment and a θ decrement both
+    fire after the same number of net observations.  (An earlier
+    implementation used the two's-complement bounds ``2^(b-1)-1`` /
+    ``-2^(b-1)``, which made θ one observation slower to decrease than
+    to increase, biasing θ downward relative to Seznec's rule.)
+    """
 
     def __init__(
         self,
@@ -34,7 +42,7 @@ class PerBitAdaptiveThreshold:
         self._theta: List[int] = [initial_theta] * num_bits
         self._counter: List[int] = [0] * num_bits
         self._max = (1 << (counter_bits - 1)) - 1
-        self._min = -(1 << (counter_bits - 1))
+        self._min = -self._max
 
     def theta(self, bit: int) -> int:
         """The current training threshold for bit position ``bit``."""
@@ -65,6 +73,54 @@ class PerBitAdaptiveThreshold:
     def should_train(self, bit: int, correct: bool, magnitude: int) -> bool:
         """Algorithm 2's training condition: mispredicted or low margin."""
         return (not correct) or magnitude < self._theta[bit]
+
+    def observe_and_mask(
+        self,
+        active: Sequence[bool],
+        correct: Sequence[bool],
+        magnitudes: Sequence[int],
+    ) -> List[bool]:
+        """Batched ``observe`` + ``should_train`` over all K bits.
+
+        For each bit ``k`` with ``active[k]`` true, performs exactly the
+        scalar ``observe(k, ...)`` update and returns whether that bit
+        should train; inactive bits are untouched and never train.  This
+        is the predictor's hot path — one call replaces 2K scalar calls
+        per trained branch — and is bit-for-bit equivalent to the scalar
+        methods (pinned by the reference-equivalence suite).
+        """
+        theta = self._theta
+        counter = self._counter
+        adaptive = self.adaptive
+        cmax = self._max
+        cmin = self._min
+        mask: List[bool] = [False] * self.num_bits
+        for bit in range(self.num_bits):
+            if not active[bit]:
+                continue
+            t = theta[bit]
+            if correct[bit]:
+                magnitude = magnitudes[bit]
+                if magnitude >= t:
+                    continue
+                if adaptive:
+                    counter[bit] -= 1
+                    if counter[bit] <= cmin:
+                        counter[bit] = 0
+                        if t > 1:
+                            t = t - 1
+                            theta[bit] = t
+                # should_train sees the θ *after* observe, exactly as the
+                # scalar observe-then-should_train sequence does.
+                mask[bit] = magnitude < t
+            else:
+                if adaptive:
+                    counter[bit] += 1
+                    if counter[bit] >= cmax:
+                        counter[bit] = 0
+                        theta[bit] = t + 1
+                mask[bit] = True
+        return mask
 
     def storage_bits(self) -> int:
         """Hardware state: a θ register and controller per bit."""

@@ -132,6 +132,7 @@ def run_campaign_parallel(
     timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.1,
+    profile: bool = False,
 ) -> CampaignResult:
     """Run a campaign across worker processes; a drop-in for
     :func:`repro.sim.runner.run_campaign`.
@@ -148,6 +149,9 @@ def run_campaign_parallel(
             both given).
         timeout, retries, backoff: per-cell execution policy, see
             :func:`repro.exec.pool.execute_plan`.
+        profile: run every cell with hot-path profiling; per-cell
+            counters land on each result's ``profile`` field, in
+            ``cell_finish`` events, and in the journal.
 
     Returns:
         A :class:`CampaignResult` identical to the serial runner's.
@@ -169,6 +173,7 @@ def run_campaign_parallel(
             cache_dir=spill_dir,
             ras_depth=ras_depth,
             warmup_records=warmup_records,
+            profile=profile,
         )
         return execute_plan(
             plan,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, IO, List, Optional
+from typing import Callable, Dict, IO, List, Optional
 
 #: Event kinds, in roughly chronological order of a campaign.
 CAMPAIGN_START = "campaign_start"
@@ -62,6 +62,10 @@ class ExecEvent:
     #: Worker processes in use (campaign_start; 1 = serial).
     jobs: int = 0
     message: str = ""
+    #: Hot-path counters/timings for the cell (cell_finish of profiled
+    #: cells only; the :meth:`~repro.sim.counters.SimCounters.as_dict`
+    #: layout).
+    profile: Optional[Dict[str, float]] = None
 
 
 #: A sink consumes events; it must not raise (but safe_emit guards).

@@ -50,6 +50,7 @@ def result_to_json(result: SimulationResult) -> dict:
             str(pc): count
             for pc, count in result.mispredictions_by_pc.items()
         },
+        **({"profile": result.profile} if result.profile else {}),
     }
 
 
@@ -73,6 +74,7 @@ def result_from_json(payload: dict) -> SimulationResult:
             int(pc): count
             for pc, count in payload.get("mispredictions_by_pc", {}).items()
         },
+        profile=payload.get("profile"),
     )
 
 

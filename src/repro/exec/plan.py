@@ -105,6 +105,9 @@ class CellSpec:
     warmup_records: int = 0
     #: Branch records in the trace (for throughput/ETA accounting).
     records: int = 0
+    #: Run the cell with hot-path profiling (counters + phase timings
+    #: land on the result's ``profile`` field and in journal/events).
+    profile: bool = False
 
     @property
     def key(self) -> CellKey:
@@ -141,6 +144,7 @@ def plan_campaign(
     cache_dir: Union[str, Path],
     ras_depth: int = 32,
     warmup_records: int = 0,
+    profile: bool = False,
 ) -> CampaignPlan:
     """Expand a campaign into a :class:`CampaignPlan`.
 
@@ -188,6 +192,7 @@ def plan_campaign(
                     ras_depth=ras_depth,
                     warmup_records=warmup_records,
                     records=len(trace),
+                    profile=profile,
                 )
             )
             index += 1

@@ -46,6 +46,7 @@ from repro.exec.events import (
 )
 from repro.exec.journal import Journal, load_journal
 from repro.exec.plan import CampaignPlan, CellKey, CellSpec
+from repro.sim.counters import SimCounters
 from repro.sim.engine import simulate
 from repro.sim.metrics import CampaignResult, SimulationResult
 from repro.trace.stream import read_trace
@@ -117,6 +118,7 @@ def run_cell(
             trace,
             ras_depth=spec.ras_depth,
             warmup_records=spec.warmup_records,
+            counters=SimCounters() if spec.profile else None,
         )
     result.predictor_name = spec.predictor_name
     return spec.index, result, time.perf_counter() - started
@@ -185,6 +187,7 @@ class _Execution:
             records_per_sec=spec.records / duration if duration > 0 else 0.0,
             eta_seconds=self._eta(),
             mpki=result.mpki(),
+            profile=result.profile,
         )
 
     def pending(self) -> List[CellSpec]:

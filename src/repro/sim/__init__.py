@@ -8,6 +8,7 @@ campaigns (many traces × many predictors) and :mod:`repro.sim.report`
 formats result tables.
 """
 
+from repro.sim.counters import SimCounters, aggregate_profiles, format_counters
 from repro.sim.engine import simulate, simulate_conditional
 from repro.sim.metrics import CampaignResult, SimulationResult
 from repro.sim.performance import PipelineModel
@@ -24,6 +25,9 @@ from repro.sim.report import format_campaign, format_mpki_table
 __all__ = [
     "simulate",
     "simulate_conditional",
+    "SimCounters",
+    "aggregate_profiles",
+    "format_counters",
     "SimulationResult",
     "CampaignResult",
     "PipelineModel",

@@ -17,9 +17,11 @@ runtime at multi-million-record scale.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 from repro.predictors.base import IndirectBranchPredictor
+from repro.sim.counters import SimCounters
 from repro.sim.metrics import SimulationResult
 from repro.sim.ras import ReturnAddressStack
 from repro.trace.record import BranchType
@@ -39,6 +41,7 @@ def simulate(
     ras_depth: int = 32,
     warmup_records: int = 0,
     collect_per_pc: bool = False,
+    counters: Optional[SimCounters] = None,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return its result.
 
@@ -50,6 +53,11 @@ def simulate(
             counted (predictors still train on them).
         collect_per_pc: also record per-static-branch misprediction
             counts (slower; for diagnostics).
+        counters: when given, profile the run — per-phase wall times and
+            the predictor's own hot-path counters are accumulated into
+            ``counters`` and this cell's numbers land on the result's
+            ``profile`` field.  The unprofiled path pays nothing for
+            this.
     """
     pcs = trace.pcs.tolist()
     types = trace.types.tolist()
@@ -69,17 +77,48 @@ def simulate(
     predict_target = predictor.predict_target
     train = predictor.train
 
-    for index in range(len(pcs)):
-        branch_type = types[index]
-        pc = pcs[index]
-        counted = index >= warmup_records
+    cell: Optional[SimCounters] = None
+    if counters is not None:
+        # Profiling wraps the three hot callables with timers.  The
+        # wrappers only exist on this branch, so the common unprofiled
+        # path keeps its direct bound-method calls.
+        cell = SimCounters()
+        perf = time.perf_counter
 
+        def on_conditional(pc, taken, _inner=on_conditional):
+            began = perf()
+            _inner(pc, taken)
+            cell.conditional_seconds += perf() - began
+
+        def predict_target(pc, _inner=predict_target):
+            began = perf()
+            prediction = _inner(pc)
+            cell.predict_seconds += perf() - began
+            return prediction
+
+        def train(pc, target, _inner=train):
+            began = perf()
+            _inner(pc, target)
+            cell.train_seconds += perf() - began
+
+        loop_started = perf()
+
+    # `skip` counts down the warmup prefix so the loop needs no record
+    # index — iterating the zipped columns directly beats four list
+    # indexings per record at multi-million-record scale.
+    skip = warmup_records
+    for pc, branch_type, taken, target in zip(pcs, types, takens, targets):
         if branch_type == _COND:
-            on_conditional(pc, takens[index])
+            on_conditional(pc, taken)
             conditionals += 1
+            if skip:
+                skip -= 1
             continue
 
-        target = targets[index]
+        counted = not skip
+        if skip:
+            skip -= 1
+
         if branch_type == _INDIRECT_JUMP or branch_type == _INDIRECT_CALL:
             prediction: Optional[int] = predict_target(pc)
             if counted:
@@ -106,7 +145,7 @@ def simulate(
         else:  # direct jump
             on_retired(pc, branch_type, target)
 
-    return SimulationResult(
+    result = SimulationResult(
         trace_name=trace.name,
         predictor_name=predictor.name,
         total_instructions=trace.total_instructions(),
@@ -117,6 +156,14 @@ def simulate(
         conditional_branches=conditionals,
         mispredictions_by_pc=by_pc,
     )
+    if cell is not None:
+        cell.elapsed_seconds = time.perf_counter() - loop_started
+        cell.records = len(pcs)
+        cell.conditionals = conditionals
+        cell.harvest(predictor)
+        result.profile = cell.as_dict()
+        counters.merge(cell)
+    return result
 
 
 def simulate_conditional(

@@ -9,7 +9,7 @@ they belong to the RAS).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -26,6 +26,10 @@ class SimulationResult:
     conditional_branches: int = 0
     #: Per-static-branch misprediction counts, keyed by PC (diagnostics).
     mispredictions_by_pc: Dict[int, int] = field(default_factory=dict)
+    #: Hot-path counters and phase timings for this cell, present only
+    #: when the simulation ran with profiling enabled (the
+    #: :meth:`~repro.sim.counters.SimCounters.as_dict` layout).
+    profile: Optional[Dict[str, float]] = None
 
     def mpki(self) -> float:
         """Indirect-target mispredictions per 1000 instructions."""

@@ -19,6 +19,7 @@ import inspect
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.predictors.base import IndirectBranchPredictor
+from repro.sim.counters import SimCounters
 from repro.sim.engine import simulate
 from repro.sim.metrics import CampaignResult
 from repro.trace.stream import Trace
@@ -80,6 +81,7 @@ def run_campaign(
     ras_depth: int = 32,
     warmup_records: int = 0,
     progress: Optional[ProgressCallback] = None,
+    counters: Optional[SimCounters] = None,
 ) -> CampaignResult:
     """Simulate every predictor over every trace.
 
@@ -92,6 +94,9 @@ def run_campaign(
         progress: optional callback invoked after each cell; either
             ``(trace, predictor, mpki)`` or
             ``(trace, predictor, mpki, index, total)``.
+        counters: when given, every cell runs profiled — per-cell
+            numbers land on each result's ``profile`` field and the
+            campaign totals accumulate into ``counters``.
 
     Returns:
         A :class:`CampaignResult` with one cell per (trace, predictor).
@@ -109,6 +114,7 @@ def run_campaign(
                 trace,
                 ras_depth=ras_depth,
                 warmup_records=warmup_records,
+                counters=counters,
             )
             result.predictor_name = name
             campaign.add(result)

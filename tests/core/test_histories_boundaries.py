@@ -1,0 +1,92 @@
+"""Boundary coverage for BLBPHistories interval extraction.
+
+The batched fold absorption reads entering/leaving bit slices straight
+out of the (unmasked) global-history integer; these tests pin the edge
+geometries against ``indices_reference``, the per-read ``fold_int``
+oracle: intervals touching the oldest history bit (629), width-1
+windows at both ends, windows narrower and wider than the fold width,
+and windows whose length is an exact multiple of the fold width (the
+out-position-wraps-to-0 corner).
+"""
+
+import random
+
+from repro.core.config import BLBPConfig, paper_config
+from repro.core.histories import BLBPHistories
+
+
+def _parity_run(config, seed=0, steps=900, reads_every=37):
+    """Push random outcomes, checking indices == indices_reference at
+    irregular intervals (so varying batch sizes m are absorbed)."""
+    histories = BLBPHistories(config)
+    rng = random.Random(seed)
+    for step in range(steps):
+        histories.push_conditional(rng.random() < 0.5)
+        if step % reads_every == 0:
+            pc = rng.randrange(1 << 20) << 2
+            assert histories.indices(pc) == histories.indices_reference(pc), (
+                f"divergence at step {step} for intervals "
+                f"{config.effective_intervals}"
+            )
+    assert histories.indices(0x1000) == histories.indices_reference(0x1000)
+
+
+class TestIntervalBoundaries:
+    def test_interval_touching_oldest_bit(self):
+        """(252, 630): the window ends at history position 629."""
+        _parity_run(BLBPConfig(intervals=((252, 630),)))
+
+    def test_width_one_interval_at_oldest_bit(self):
+        """(629, 630): a single-bit window at the very edge."""
+        _parity_run(BLBPConfig(intervals=((629, 630),)))
+
+    def test_width_one_interval_at_newest_bit(self):
+        """(0, 1): a single-bit window over the newest outcome."""
+        _parity_run(BLBPConfig(intervals=((0, 1),)))
+
+    def test_full_history_interval(self):
+        """(0, 630): one window spanning the whole history."""
+        _parity_run(BLBPConfig(intervals=((0, 630),)), steps=700)
+
+    def test_interval_wider_than_fold_width(self):
+        """table_rows=16 → 4-bit folds; (0, 13) folds 13 bits into 4."""
+        config = BLBPConfig(table_rows=16, intervals=((0, 13), (44, 85)))
+        assert BLBPHistories(config)._fold_bits == 4
+        _parity_run(config)
+
+    def test_interval_narrower_than_fold_width(self):
+        """(10, 13): 3-bit window under the default 10-bit fold."""
+        _parity_run(BLBPConfig(intervals=((10, 13),)))
+
+    def test_interval_length_exact_fold_multiple(self):
+        """Length % fold width == 0: leaving bits cancel at position 0."""
+        config = BLBPConfig(intervals=((5, 25),))  # 20 = 2 × 10
+        histories = BLBPHistories(config)
+        assert histories._folds[0]._out_position == 0
+        _parity_run(config)
+
+    def test_adjacent_and_overlapping_intervals(self):
+        """Overlapping windows share history bits but separate folds."""
+        _parity_run(BLBPConfig(intervals=((0, 13), (13, 26), (7, 20))))
+
+    def test_paper_intervals_long_run(self):
+        """The tuned seven-interval configuration, longer schedule."""
+        _parity_run(paper_config(), seed=11, steps=1500, reads_every=53)
+
+    def test_paper_intervals_huge_batch(self):
+        """A single read after >1024 pushes: the internal flush cap
+        fires mid-burst, then the read absorbs the remainder."""
+        histories = BLBPHistories(paper_config())
+        rng = random.Random(5)
+        for _ in range(1700):
+            histories.push_conditional(rng.random() < 0.5)
+        assert histories.indices(0x8000) == histories.indices_reference(0x8000)
+
+    def test_global_history_masked_after_flush(self):
+        """Pending (unmasked) bits never leak out of the public view."""
+        histories = BLBPHistories(paper_config())
+        for _ in range(700):
+            histories.push_conditional(True)
+        assert histories.global_history_value().bit_length() <= 630
+        histories.indices(0x1000)  # forces the flush
+        assert histories._ghist.bit_length() <= 630

@@ -64,3 +64,114 @@ class TestPerBitAdaptiveThreshold:
             PerBitAdaptiveThreshold(0, 14)
         with pytest.raises(ValueError):
             PerBitAdaptiveThreshold(4, 0)
+
+
+class TestSymmetricSaturation:
+    """The controller counter saturates at ±(2^(b-1) - 1) — the same
+    number of net observations fires a θ increment and a θ decrement.
+
+    An earlier implementation used the asymmetric two's-complement
+    bounds (+2^(b-1)-1 / -2^(b-1)), making θ one observation slower to
+    decrease than to increase.
+    """
+
+    def test_bounds_are_mirrored(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=1, initial_theta=5, counter_bits=5
+        )
+        assert threshold._max == 15
+        assert threshold._min == -15
+
+    def test_increment_and_decrement_take_equal_steps(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=1, initial_theta=5, counter_bits=3
+        )
+        # counter_bits=3 → saturation at ±3: exactly 3 mispredicts
+        # raise θ, and exactly 3 low-margin corrects lower it back.
+        for step in range(3):
+            assert threshold.theta(0) == 5, f"θ moved early at step {step}"
+            threshold.observe(0, correct=False, magnitude=0)
+        assert threshold.theta(0) == 6
+        for step in range(3):
+            assert threshold.theta(0) == 6, f"θ moved early at step {step}"
+            threshold.observe(0, correct=True, magnitude=0)
+        assert threshold.theta(0) == 5
+
+    def test_counter_resets_after_each_theta_move(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=1, initial_theta=5, counter_bits=3
+        )
+        for _ in range(6):
+            threshold.observe(0, correct=False, magnitude=0)
+        assert threshold.theta(0) == 7  # two full saturations, not three
+
+
+class TestThetaTrajectoryRegression:
+    """Pin θ's exact trajectory under a fixed observation sequence.
+
+    Any change to the controller (bounds, reset rule, floor) shifts
+    these checkpoints; the literal values were recorded from the fixed
+    symmetric-saturation implementation.
+    """
+
+    def test_trajectory_checkpoints(self):
+        import random
+
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=1, initial_theta=8, counter_bits=4
+        )
+        rng = random.Random(1234)
+        checkpoints = []
+        for step in range(400):
+            correct = rng.random() < 0.6
+            magnitude = rng.randrange(0, 16)
+            threshold.observe(0, correct, magnitude)
+            if step % 50 == 49:
+                checkpoints.append(threshold.theta(0))
+        assert checkpoints == [8, 10, 11, 11, 13, 14, 14, 14]
+
+
+class TestObserveAndMaskEquivalence:
+    """The batched hot-path method must match the scalar protocol:
+    observe first, then should_train against the post-update θ."""
+
+    def test_matches_scalar_protocol(self):
+        import random
+
+        rng = random.Random(99)
+        batched = PerBitAdaptiveThreshold(
+            num_bits=4, initial_theta=6, counter_bits=3
+        )
+        scalar = PerBitAdaptiveThreshold(
+            num_bits=4, initial_theta=6, counter_bits=3
+        )
+        for _ in range(500):
+            active = [rng.random() < 0.7 for _ in range(4)]
+            correct = [rng.random() < 0.5 for _ in range(4)]
+            magnitudes = [rng.randrange(0, 12) for _ in range(4)]
+            mask = batched.observe_and_mask(active, correct, magnitudes)
+            expected = []
+            for bit in range(4):
+                if not active[bit]:
+                    expected.append(False)
+                    continue
+                scalar.observe(bit, correct[bit], magnitudes[bit])
+                expected.append(
+                    scalar.should_train(bit, correct[bit], magnitudes[bit])
+                )
+            assert mask == expected
+            assert batched._theta == scalar._theta
+            assert batched._counter == scalar._counter
+
+    def test_inactive_bits_untouched(self):
+        threshold = PerBitAdaptiveThreshold(
+            num_bits=2, initial_theta=5, counter_bits=3
+        )
+        for _ in range(10):
+            mask = threshold.observe_and_mask(
+                [True, False], [False, False], [0, 0]
+            )
+            assert mask[1] is False
+        assert threshold.theta(0) > 5
+        assert threshold.theta(1) == 5
+        assert threshold._counter[1] == 0

@@ -1,0 +1,101 @@
+"""Profiling plumbing through the campaign execution engine.
+
+``run_campaign_parallel(profile=True)`` must carry each cell's hot-path
+counters end-to-end: onto the cell's ``SimulationResult.profile``, into
+the ``cell_finish`` event stream, and through the JSONL journal's
+round-trip.
+"""
+
+from repro.exec import (
+    CELL_FINISH,
+    CollectingSink,
+    result_from_json,
+    result_to_json,
+    run_campaign_parallel,
+)
+from repro.predictors import BranchTargetBuffer
+from repro.sim.metrics import SimulationResult
+from repro.workloads import SwitchCaseSpec
+
+
+def _trace(records=800):
+    return SwitchCaseSpec(
+        name="profile-trace", seed=3, num_records=records
+    ).generate()
+
+
+class TestExecProfilePlumbing:
+    def test_profile_lands_on_results_and_events(self):
+        sink = CollectingSink()
+        campaign = run_campaign_parallel(
+            [_trace()],
+            {"BTB": BranchTargetBuffer},
+            jobs=1,
+            events=sink,
+            profile=True,
+        )
+        result = campaign.results["profile-trace"]["BTB"]
+        assert result.profile is not None
+        assert result.profile["records"] == 800
+        assert result.profile["elapsed_seconds"] > 0.0
+        finishes = sink.of_kind(CELL_FINISH)
+        assert len(finishes) == 1
+        assert finishes[0].profile == result.profile
+
+    def test_unprofiled_campaign_has_no_profiles(self):
+        sink = CollectingSink()
+        campaign = run_campaign_parallel(
+            [_trace()], {"BTB": BranchTargetBuffer}, jobs=1, events=sink
+        )
+        assert campaign.results["profile-trace"]["BTB"].profile is None
+        assert all(
+            event.profile is None for event in sink.of_kind(CELL_FINISH)
+        )
+
+    def test_journal_resume_preserves_profiles(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        first = run_campaign_parallel(
+            [_trace()],
+            {"BTB": BranchTargetBuffer},
+            jobs=1,
+            journal_path=journal,
+            profile=True,
+        )
+        resumed = run_campaign_parallel(
+            [_trace()],
+            {"BTB": BranchTargetBuffer},
+            jobs=1,
+            journal_path=journal,
+            profile=True,
+        )
+        assert (
+            resumed.results["profile-trace"]["BTB"].profile
+            == first.results["profile-trace"]["BTB"].profile
+        )
+
+
+class TestJournalProfileRoundTrip:
+    def test_profile_survives_serialization(self):
+        result = SimulationResult(
+            trace_name="t",
+            predictor_name="p",
+            total_instructions=1000,
+            indirect_branches=10,
+            indirect_mispredictions=2,
+            profile={"predictions": 10, "elapsed_seconds": 0.5},
+        )
+        clone = result_from_json(result_to_json(result))
+        assert clone.profile == result.profile
+        assert clone == result
+
+    def test_absent_profile_stays_absent(self):
+        result = SimulationResult(
+            trace_name="t",
+            predictor_name="p",
+            total_instructions=1000,
+            indirect_branches=10,
+            indirect_mispredictions=2,
+        )
+        payload = result_to_json(result)
+        assert "profile" not in payload
+        assert result_from_json(payload).profile is None

@@ -1,0 +1,111 @@
+"""Reference-vs-optimized BLBP equivalence over the full workload suite.
+
+The acceptance gate for the hot-path rewrite (fused weight tensor,
+batched incremental folds, IBTB lookup caching): replay every synthetic
+suite workload through the optimized :class:`BLBP` and the per-bank
+from-scratch :class:`ReferenceBLBP` in lockstep, asserting
+
+* **per-branch identical predictions** — every indirect branch, every
+  record, both implementations emit the same target (or the same
+  "no prediction"); and
+* **identical final misprediction counts** (hence identical MPKI).
+
+Traces run at a small scale so the whole suite stays test-suite-fast;
+the per-branch assertion makes size irrelevant for strictness — one
+diverging fold or weight update trips it within a few branches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BLBP, ReferenceBLBP
+from repro.core.config import BLBPConfig
+from repro.sim.engine import simulate
+from repro.trace.record import BranchType
+from repro.workloads.suite import suite88_specs
+
+_COND = int(BranchType.CONDITIONAL)
+_INDIRECT = (int(BranchType.INDIRECT_JUMP), int(BranchType.INDIRECT_CALL))
+
+#: Every trace clamps to the 2000-record floor at this scale.
+_SCALE = 0.01
+
+
+def _suite_traces():
+    return [(entry.name, entry.generate()) for entry in suite88_specs(_SCALE)]
+
+
+_TRACES = None
+
+
+def _traces():
+    global _TRACES
+    if _TRACES is None:
+        _TRACES = _suite_traces()
+    return _TRACES
+
+
+def _lockstep(trace, config=None):
+    """Drive both implementations record-by-record; return the shared
+    misprediction count (asserting per-branch agreement throughout)."""
+    optimized = BLBP(config() if config else None)
+    reference = ReferenceBLBP(config() if config else None)
+    mispredictions = 0
+    indirect = 0
+    for pc, branch_type, taken, target in zip(
+        trace.pcs.tolist(),
+        trace.types.tolist(),
+        trace.takens.tolist(),
+        trace.targets.tolist(),
+    ):
+        if branch_type == _COND:
+            optimized.on_conditional(pc, taken)
+            reference.on_conditional(pc, taken)
+        elif branch_type in _INDIRECT:
+            predicted = optimized.predict_target(pc)
+            expected = reference.predict_target(pc)
+            assert predicted == expected, (
+                f"{trace.name}: divergence at indirect #{indirect} "
+                f"(pc {pc:#x}): optimized {predicted!r} vs "
+                f"reference {expected!r}"
+            )
+            indirect += 1
+            if predicted != target:
+                mispredictions += 1
+            optimized.train(pc, target)
+            reference.train(pc, target)
+    return indirect, mispredictions
+
+
+class TestFullSuiteEquivalence:
+    def test_every_workload_predicts_identically(self):
+        """All suite workloads, headline configuration, in lockstep."""
+        checked = 0
+        total_indirect = 0
+        for name, trace in _traces():
+            indirect, _ = _lockstep(trace)
+            checked += 1
+            total_indirect += indirect
+        assert checked == len(suite88_specs(_SCALE))
+        assert total_indirect > 0
+
+    def test_hierarchical_config_subset(self):
+        """A suite subset under the hierarchical-IBTB configuration."""
+        config = lambda: BLBPConfig(use_hierarchical_ibtb=True)  # noqa: E731
+        subset = _traces()[::11]
+        assert len(subset) >= 5
+        for name, trace in subset:
+            _lockstep(trace, config=config)
+
+    def test_final_mpki_identical_via_engine(self):
+        """End-to-end through the simulation engine: the reported
+        misprediction totals (hence MPKI) agree on a suite sample."""
+        for name, trace in _traces()[::9]:
+            optimized = simulate(BLBP(), trace)
+            reference = simulate(ReferenceBLBP(), trace)
+            assert (
+                optimized.indirect_mispredictions
+                == reference.indirect_mispredictions
+            ), f"{name}: MPKI diverges"
+            assert optimized.indirect_branches == reference.indirect_branches
+            assert optimized.mpki() == pytest.approx(reference.mpki())

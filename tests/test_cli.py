@@ -83,3 +83,33 @@ class TestCommands:
         assert main(["budgets"]) == 0
         out = capsys.readouterr().out
         assert "BLBP" in out and "paper KB" in out
+
+
+class TestProfileFlag:
+    def test_simulate_profile_prints_counters(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.bin")
+        main(["generate", "SHORT-SERVER-2", "--out", path, "--scale", "0.2"])
+        capsys.readouterr()
+        assert main(["simulate", "--predictors", "BLBP", "--traces", path,
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile [BLBP]" in out
+        assert "fold updates" in out
+        assert "records/s" in out
+
+    def test_simulate_profile_parallel_path(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.bin")
+        main(["generate", "SHORT-SERVER-2", "--out", path, "--scale", "0.2"])
+        capsys.readouterr()
+        assert main(["simulate", "--predictors", "BTB", "--traces", path,
+                     "--jobs", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile [BTB]" in out
+
+    def test_simulate_without_profile_is_silent(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.bin")
+        main(["generate", "SHORT-SERVER-2", "--out", path, "--scale", "0.2"])
+        capsys.readouterr()
+        assert main(["simulate", "--predictors", "BTB",
+                     "--traces", path]) == 0
+        assert "profile [" not in capsys.readouterr().out
