@@ -16,6 +16,11 @@ optimized :class:`repro.core.BLBP` on the headline paper configuration,
 prints branches/second for both, writes the numbers to ``results/``,
 and exits non-zero unless optimized ≥ ``--min-speedup`` × reference.
 CI runs this on every push.
+
+``--checkpoint-gate`` instead measures the cost of mid-trace
+checkpointing (see ``docs/checkpointing.md``): the same sample with
+``checkpoint_every=0`` versus with periodic snapshots, failing if
+snapshots cost more than ``--max-checkpoint-overhead`` percent.
 """
 
 import argparse
@@ -111,6 +116,69 @@ def measure_speedup(scale: float, stride: int, repeats: int) -> dict:
     }
 
 
+def measure_checkpoint_overhead(
+    scale: float, stride: int, repeats: int, interval: int = 0
+) -> dict:
+    """Measure checkpointing cost: off versus every-``interval`` records.
+
+    Snapshots go to an in-memory no-op sink, so the measurement isolates
+    the ``state_dict()`` + span-slicing cost the checkpoint machinery
+    adds to the hot loop (disk writes are the journal's problem and
+    amortize identically either way).  ``interval=0`` picks half the
+    longest trace, clamped to the library default, so every trace takes
+    at least one mid-trace snapshot at any ``--scale``.  Test traces are
+    far shorter than ``DEFAULT_CHECKPOINT_INTERVAL``, so this snapshots
+    *more* often per record than a production run — passing the gate
+    here bounds default-interval overhead from above.
+    """
+    from repro.sim import DEFAULT_CHECKPOINT_INTERVAL
+    from repro.sim.engine import simulate
+    from repro.workloads.suite import suite88_specs
+
+    entries = suite88_specs(scale)[::stride]
+    traces = [entry.generate() for entry in entries]
+    records = sum(len(trace) for trace in traces)
+    if interval <= 0:
+        longest = max(len(trace) for trace in traces)
+        interval = max(1, min(DEFAULT_CHECKPOINT_INTERVAL, longest // 2))
+
+    def one_pass(**kwargs) -> float:
+        started = time.perf_counter()
+        for trace in traces:
+            simulate(BLBP(), trace, **kwargs)
+        return time.perf_counter() - started
+
+    snapshots = 0
+
+    def count(_checkpoint):
+        nonlocal snapshots
+        snapshots += 1
+
+    # One throwaway warmup pass, then interleave modes so cache/allocator
+    # warm-up and CPU-frequency drift hit both measurements equally.
+    one_pass()
+    off_seconds = on_seconds = None
+    for _ in range(repeats):
+        off = one_pass()
+        on = one_pass(checkpoint_every=interval, on_checkpoint=count)
+        off_seconds = off if off_seconds is None else min(off_seconds, off)
+        on_seconds = on if on_seconds is None else min(on_seconds, on)
+    overhead = 100.0 * (on_seconds - off_seconds) / off_seconds
+    return {
+        "records": records,
+        "scale": scale,
+        "stride": stride,
+        "repeats": repeats,
+        "checkpoint_every": interval,
+        "snapshots_per_pass": snapshots // repeats,
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "off_records_per_sec": round(records / off_seconds),
+        "on_records_per_sec": round(records / on_seconds),
+        "overhead_percent": round(overhead, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="BLBP reference-vs-optimized throughput gate"
@@ -130,11 +198,63 @@ def main(argv=None) -> int:
         "--out", default="results/throughput_blbp.json",
         help="where to write the measurement (empty string to skip)",
     )
+    parser.add_argument(
+        "--checkpoint-gate", action="store_true",
+        help="measure mid-trace checkpoint overhead instead of the "
+             "reference-vs-optimized speedup",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="snapshot interval in records for --checkpoint-gate "
+             "(default: quarter of the longest trace)",
+    )
+    parser.add_argument(
+        "--max-checkpoint-overhead", type=float, default=5.0,
+        help="fail --checkpoint-gate when periodic snapshots cost more "
+             "than this percent (default 5)",
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else (0.5 if args.quick else 1.0)
     stride = args.stride if args.stride is not None else (30 if args.quick else 10)
     repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+
+    if args.checkpoint_gate:
+        summary = measure_checkpoint_overhead(
+            scale, stride, repeats, args.checkpoint_every
+        )
+        print(
+            f"checkpointing off  {summary['off_records_per_sec']:>10,} "
+            f"records/s  ({summary['off_seconds']:.2f}s, "
+            f"{summary['records']:,} records)"
+        )
+        print(
+            f"every {summary['checkpoint_every']:>6,}      "
+            f"{summary['on_records_per_sec']:>10,} records/s  "
+            f"({summary['on_seconds']:.2f}s, "
+            f"{summary['snapshots_per_pass']} snapshots/pass)"
+        )
+        print(
+            f"overhead           {summary['overhead_percent']:.2f}%  "
+            f"(gate: <{args.max_checkpoint_overhead}%)"
+        )
+        out = args.out
+        if out == parser.get_default("out"):
+            out = "results/checkpoint_overhead.json"
+        if out:
+            out_path = Path(out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(json.dumps(summary, indent=2) + "\n")
+            print(f"wrote {out_path}")
+        if summary["overhead_percent"] >= args.max_checkpoint_overhead:
+            print(
+                f"FAIL: checkpoint overhead "
+                f"{summary['overhead_percent']:.2f}% is not below "
+                f"{args.max_checkpoint_overhead}% gate",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     summary = measure_speedup(scale, stride, repeats)
     print(

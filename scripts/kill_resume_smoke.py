@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test: SIGKILL a live campaign, resume, compare.
+
+The scenario the checkpointing layer exists for, exercised for real:
+
+1. run a small parallel campaign to completion (the reference);
+2. start the same campaign in a fresh process group, wait until a
+   worker has written a mid-trace checkpoint, and ``SIGKILL`` the whole
+   group — no cleanup handlers, no atexit, exactly like a preempted CI
+   runner or an OOM kill;
+3. rerun the campaign against the survivors (journal + checkpoint
+   files) and require a ``cell_resume`` event plus **identical** MPKI
+   for every cell.
+
+Used by the ``kill-resume-smoke`` CI job; also runnable locally::
+
+    PYTHONPATH=src python scripts/kill_resume_smoke.py
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SCALE = 8.0  # 128k-record traces: long enough to die mid-trace
+STRIDE = 44  # two suite traces
+CHECKPOINT_EVERY = 10_000
+JOBS = 2
+
+
+def drive(workdir: Path) -> None:
+    """Child mode: run the campaign, print per-cell MPKI as JSON."""
+    from repro.core.blbp import BLBP
+    from repro.exec import LogSink, run_campaign_parallel
+    from repro.predictors.ittage import ITTAGE
+    from repro.workloads.suite import suite88_specs
+
+    traces = [e.generate() for e in suite88_specs(SCALE)[::STRIDE]]
+    campaign = run_campaign_parallel(
+        traces,
+        {"BLBP": BLBP, "ITTAGE": ITTAGE},
+        jobs=JOBS,
+        journal_path=workdir / "journal.jsonl",
+        cache_dir=workdir / "cache",
+        events=LogSink(sys.stderr),
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    mpki = {
+        trace: {name: result.mpki() for name, result in sorted(per.items())}
+        for trace, per in sorted(campaign.results.items())
+    }
+    print(json.dumps(mpki, sort_keys=True))
+
+
+def _run_to_completion(workdir: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, __file__, "--drive", str(workdir)],
+        capture_output=True, text=True, check=True, timeout=600,
+    )
+
+
+def _start_and_kill(workdir: Path) -> None:
+    """Start the campaign, SIGKILL its process group mid-trace."""
+    victim = subprocess.Popen(
+        [sys.executable, __file__, "--drive", str(workdir)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,  # workers join the group; killpg gets all
+    )
+    checkpoint_dir = workdir / "journal.jsonl.ckpt"
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            if list(checkpoint_dir.glob("*.ckpt.json")):
+                break
+            if victim.poll() is not None:
+                raise SystemExit(
+                    "FAIL: campaign finished before a checkpoint appeared; "
+                    "raise SCALE or lower CHECKPOINT_EVERY"
+                )
+            time.sleep(0.02)
+        else:
+            raise SystemExit("FAIL: no checkpoint appeared within 120s")
+        time.sleep(0.1)  # let the worker get mid-span again
+    finally:
+        if victim.poll() is None:
+            os.killpg(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+    if not list(checkpoint_dir.glob("*.ckpt.json")):
+        raise SystemExit("FAIL: SIGKILL left no checkpoint files behind")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--drive", metavar="WORKDIR", default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    if args.drive:
+        drive(Path(args.drive))
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="kill-resume-") as tmp:
+        tmp = Path(tmp)
+        clean_dir = tmp / "clean"
+        killed_dir = tmp / "killed"
+        clean_dir.mkdir()
+        killed_dir.mkdir()
+
+        print("== reference run (uninterrupted) ==", flush=True)
+        reference = _run_to_completion(clean_dir)
+        print(reference.stdout.strip())
+
+        print("== victim run (SIGKILLed mid-trace) ==", flush=True)
+        _start_and_kill(killed_dir)
+        journaled = (
+            (killed_dir / "journal.jsonl").read_text().splitlines()
+            if (killed_dir / "journal.jsonl").exists()
+            else []
+        )
+        print(f"killed with {len(journaled)} cell(s) journaled and "
+              f"{len(list((killed_dir / 'journal.jsonl.ckpt').glob('*')))} "
+              f"checkpoint file(s) on disk")
+
+        print("== resumed run ==", flush=True)
+        resumed = _run_to_completion(killed_dir)
+        print(resumed.stdout.strip())
+        if "cell_resume" not in resumed.stderr:
+            print("FAIL: resumed run never emitted cell_resume "
+                  "(did not pick up the mid-trace checkpoint)",
+                  file=sys.stderr)
+            return 1
+
+        if json.loads(resumed.stdout) != json.loads(reference.stdout):
+            print("FAIL: resumed campaign MPKI differs from reference",
+                  file=sys.stderr)
+            return 1
+        print("PASS: resumed campaign identical to uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,8 @@ Commands:
 * ``stats``     — workload-characterization statistics for traces;
 * ``simulate``  — run predictors over traces or suite samples;
 * ``search``    — design-space search over BLBP configurations;
-* ``budgets``   — predictor hardware budgets (Table 2).
+* ``budgets``   — predictor hardware budgets (Table 2);
+* ``statehash`` — canonical predictor state hashes (golden fixtures).
 
 Examples::
 
@@ -16,28 +17,24 @@ Examples::
     python -m repro stats /tmp/sm1.trace
     python -m repro simulate --predictors BTB,ITTAGE,BLBP --stride 16
     python -m repro simulate --jobs 4 --resume campaign.jsonl --stride 8
+    python -m repro simulate --jobs 4 --resume c.jsonl --checkpoint-every 100000
     python -m repro search --strategy hillclimb --budget 24 --jobs 4
     python -m repro search --strategy sha --space sizing --resume s.jsonl
     python -m repro budgets
+    python -m repro statehash --out tests/fixtures/state_hashes.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List
 
-from repro.core import BLBP, SNIP
 from repro.experiments.configs import format_budget_details, format_table2
-from repro.predictors import (
-    COTTAGE,
-    ITTAGE,
-    BranchTargetBuffer,
-    IndirectBranchPredictor,
-    TargetCache,
-    TwoBitBTB,
-    VPCPredictor,
-)
+from repro.predictors import IndirectBranchPredictor
+from repro.registry import INDIRECT_PREDICTORS, make_indirect
 from repro.sim import (
     SimCounters,
     aggregate_profiles,
@@ -52,17 +49,11 @@ from repro.trace.textio import read_text_trace, write_text_trace
 from repro.workloads.suite import suite88_specs
 from repro.workloads.validation import format_report, validate_trace
 
-#: CLI names for every available indirect predictor.
-PREDICTOR_REGISTRY: Dict[str, Callable[[], IndirectBranchPredictor]] = {
-    "BTB": BranchTargetBuffer,
-    "2bit-BTB": TwoBitBTB,
-    "TargetCache": TargetCache,
-    "VPC": VPCPredictor,
-    "ITTAGE": ITTAGE,
-    "COTTAGE": COTTAGE,
-    "SNIP": SNIP,
-    "BLBP": BLBP,
-}
+#: CLI names for every available indirect predictor (the shared
+#: construction registry; see :mod:`repro.registry`).
+PREDICTOR_REGISTRY: Dict[str, Callable[[], IndirectBranchPredictor]] = (
+    INDIRECT_PREDICTORS
+)
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -144,7 +135,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"generating {len(entries)} suite traces ...", file=sys.stderr)
         traces = [entry.generate() for entry in entries]
     jobs = resolve_jobs(args.jobs)
-    if jobs > 1 or args.resume:
+    if args.checkpoint_every and not args.resume:
+        print(
+            "note: --checkpoint-every without --resume keeps checkpoints "
+            "in a temporary directory; they will not survive this process",
+            file=sys.stderr,
+        )
+    if jobs > 1 or args.resume or args.checkpoint_every:
         campaign = run_campaign_parallel(
             traces,
             factories,
@@ -152,6 +149,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             journal_path=args.resume,
             events=ProgressLineSink(sys.stderr),
             profile=args.profile,
+            checkpoint_every=args.checkpoint_every,
         )
     else:
         campaign = run_campaign(
@@ -285,6 +283,58 @@ def _cmd_budgets(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Defaults for the golden state-hash fixtures; changing either is a
+#: fixture regeneration (and a deliberate decision), not a tweak.
+STATEHASH_TRACE = "spec2000.252_eon"
+STATEHASH_SCALE = 0.02
+
+
+def _cmd_statehash(args: argparse.Namespace) -> int:
+    """Print canonical post-simulation state hashes per predictor.
+
+    Every registered indirect predictor is driven over one deterministic
+    suite trace and its :meth:`state_hash` printed.  With ``--out`` the
+    hashes are written as a JSON fixture — this is how
+    ``tests/fixtures/state_hashes.json`` is (re)generated when a
+    predictor's architectural state legitimately changes.
+    """
+    from repro.sim import simulate
+
+    specs = {entry.name: entry for entry in suite88_specs(args.scale)}
+    if args.trace not in specs:
+        print(f"unknown trace {args.trace!r}; see `python -m repro suite`",
+              file=sys.stderr)
+        return 1
+    trace = specs[args.trace].generate()
+    if args.predictors:
+        names = [name.strip() for name in args.predictors.split(",")]
+        unknown = [n for n in names if n not in PREDICTOR_REGISTRY]
+        if unknown:
+            print(f"unknown predictors {unknown}; choose from "
+                  f"{', '.join(PREDICTOR_REGISTRY)}", file=sys.stderr)
+            return 1
+    else:
+        names = list(PREDICTOR_REGISTRY)
+    hashes: Dict[str, str] = {}
+    for name in names:
+        predictor = make_indirect(name)
+        simulate(predictor, trace)
+        hashes[name] = predictor.state_hash()
+        print(f"{name:<16} {hashes[name]}")
+    if args.out:
+        payload = {
+            "trace": args.trace,
+            "scale": args.scale,
+            "records": len(trace),
+            "hashes": hashes,
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -329,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="collect hot-path counters and phase timings; prints an "
              "aggregated per-predictor table after the MPKI results",
+    )
+    simulate.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="snapshot simulation state every N records beside the "
+             "--resume journal so a killed worker resumes mid-trace "
+             "(default 0 = off)",
     )
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -389,6 +445,26 @@ def build_parser() -> argparse.ArgumentParser:
     budgets = sub.add_parser("budgets", help="hardware budgets (Table 2)")
     budgets.add_argument("--details", action="store_true")
     budgets.set_defaults(func=_cmd_budgets)
+
+    statehash = sub.add_parser(
+        "statehash",
+        help="canonical post-simulation predictor state hashes",
+    )
+    statehash.add_argument(
+        "--predictors", default=None,
+        help=f"comma list from: {', '.join(PREDICTOR_REGISTRY)} "
+             "(default: all)",
+    )
+    statehash.add_argument("--trace", default=STATEHASH_TRACE,
+                           help="suite trace name (default: the fixture's)")
+    statehash.add_argument("--scale", type=float, default=STATEHASH_SCALE,
+                           help="suite scale (default: the fixture's)")
+    statehash.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write hashes as a JSON fixture "
+             "(tests/fixtures/state_hashes.json)",
+    )
+    statehash.set_defaults(func=_cmd_statehash)
 
     report = sub.add_parser(
         "report", help="run the evaluation and write a markdown report"

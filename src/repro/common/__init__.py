@@ -22,6 +22,15 @@ from repro.common.history import (
     PathHistory,
 )
 from repro.common.replacement import LRUPolicy, RRIPPolicy
+from repro.common.state import (
+    STATE_PROTOCOL_VERSION,
+    StateError,
+    Stateful,
+    check_state,
+    decode_array,
+    encode_array,
+    hash_state,
+)
 from repro.common.storage import StorageBudget
 
 __all__ = [
@@ -40,5 +49,12 @@ __all__ = [
     "PathHistory",
     "LRUPolicy",
     "RRIPPolicy",
+    "STATE_PROTOCOL_VERSION",
+    "StateError",
+    "Stateful",
     "StorageBudget",
+    "check_state",
+    "decode_array",
+    "encode_array",
+    "hash_state",
 ]

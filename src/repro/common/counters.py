@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict
 
-class SaturatingCounter:
+from repro.common.state import Stateful, check_state, require
+
+
+class SaturatingCounter(Stateful):
     """An unsigned saturating counter in ``[0, 2**width - 1]``.
 
     Used for ITTAGE confidence counters, RRIP re-reference values, and the
@@ -42,11 +46,26 @@ class SaturatingCounter:
             raise ValueError(f"reset value {value} out of range")
         self.value = value
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "SaturatingCounter",
+            "width": self.width,
+            "value": self.value,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "SaturatingCounter")
+        require(state["width"] == self.width, "counter width mismatch")
+        value = int(state["value"])
+        require(0 <= value <= self.max_value, "counter value out of range")
+        self.value = value
+
     def __repr__(self) -> str:
         return f"SaturatingCounter(width={self.width}, value={self.value})"
 
 
-class SignedSaturatingCounter:
+class SignedSaturatingCounter(Stateful):
     """A signed saturating counter in ``[-2**(width-1), 2**(width-1) - 1]``.
 
     Used for perceptron weights when modelled as scalars, and for ITTAGE's
@@ -82,6 +101,24 @@ class SignedSaturatingCounter:
     def reset(self, value: int = 0) -> None:
         if not self.min_value <= value <= self.max_value:
             raise ValueError(f"reset value {value} out of range")
+        self.value = value
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "SignedSaturatingCounter",
+            "width": self.width,
+            "value": self.value,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "SignedSaturatingCounter")
+        require(state["width"] == self.width, "counter width mismatch")
+        value = int(state["value"])
+        require(
+            self.min_value <= value <= self.max_value,
+            "counter value out of range",
+        )
         self.value = value
 
     def __repr__(self) -> str:

@@ -10,7 +10,9 @@ folded-XOR construction here, mixed with the branch PC.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Dict, Sequence
+
+from repro.common.state import Stateful, check_state, require
 
 _GOLDEN64 = 0x9E3779B97F4A7C15
 _MASK64 = (1 << 64) - 1
@@ -65,7 +67,7 @@ def combine(width: int, *values: int) -> int:
     return acc & ((1 << width) - 1)
 
 
-class FoldedHistory:
+class FoldedHistory(Stateful):
     """Incrementally-folded view of a shift-register history.
 
     Maintains ``fold`` = XOR-fold of the most recent ``length`` history
@@ -100,6 +102,27 @@ class FoldedHistory:
 
     def reset(self) -> None:
         self.fold = 0
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "FoldedHistory",
+            "length": self.length,
+            "width": self.width,
+            "fold": self.fold,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "FoldedHistory")
+        require(
+            state["length"] == self.length and state["width"] == self.width,
+            f"FoldedHistory geometry mismatch: snapshot is "
+            f"{state['length']}x{state['width']}, this fold is "
+            f"{self.length}x{self.width}",
+        )
+        fold = state["fold"]
+        require(0 <= fold < (1 << self.width), f"fold {fold} out of range")
+        self.fold = fold
 
 
 def fold_int(value: int, total_bits: int, width: int) -> int:

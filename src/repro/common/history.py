@@ -16,12 +16,13 @@ matching the paper's interval notation where interval (1, 33) means
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.common.hashing import fold_int, mix_pc
+from repro.common.state import Stateful, check_state, require
 
 
-class GlobalHistory:
+class GlobalHistory(Stateful):
     """A fixed-capacity shift register of branch outcomes.
 
     Stored as a single Python integer where bit 0 is the most recent
@@ -69,8 +70,27 @@ class GlobalHistory:
     def __len__(self) -> int:
         return self.capacity
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "GlobalHistory",
+            "capacity": self.capacity,
+            "bits": self._bits,
+        }
 
-class PathHistory:
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "GlobalHistory")
+        require(
+            state["capacity"] == self.capacity,
+            f"GlobalHistory capacity mismatch: snapshot {state['capacity']}, "
+            f"this register {self.capacity}",
+        )
+        bits = state["bits"]
+        require(0 <= bits <= self._mask, "history bits out of range")
+        self._bits = bits
+
+
+class PathHistory(Stateful):
     """History of low-order PC bits of recently-executed branches."""
 
     __slots__ = ("depth", "bits_per_pc", "_entries")
@@ -99,8 +119,28 @@ class PathHistory:
     def reset(self) -> None:
         self._entries.clear()
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "PathHistory",
+            "depth": self.depth,
+            "bits_per_pc": self.bits_per_pc,
+            "entries": list(self._entries),
+        }
 
-class LocalHistoryTable:
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "PathHistory")
+        require(
+            state["depth"] == self.depth
+            and state["bits_per_pc"] == self.bits_per_pc,
+            "PathHistory geometry mismatch",
+        )
+        entries = state["entries"]
+        require(len(entries) <= self.depth, "too many path entries")
+        self._entries = [int(entry) for entry in entries]
+
+
+class LocalHistoryTable(Stateful):
     """A PC-indexed table of per-branch shift-register histories.
 
     BLBP keeps 256 10-bit local histories; each records **bit 3 of the
@@ -151,6 +191,26 @@ class LocalHistoryTable:
 
     def storage_bits(self) -> int:
         return self.num_entries * self.history_bits
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "LocalHistoryTable",
+            "num_entries": self.num_entries,
+            "history_bits": self.history_bits,
+            "table": list(self._table),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "LocalHistoryTable")
+        require(
+            state["num_entries"] == self.num_entries
+            and state["history_bits"] == self.history_bits,
+            "LocalHistoryTable geometry mismatch",
+        )
+        table = state["table"]
+        require(len(table) == self.num_entries, "local-history table size mismatch")
+        self._table = [int(value) & self._mask for value in table]
 
 
 def parse_intervals(intervals: Tuple[Tuple[int, int], ...]) -> Tuple[Tuple[int, int], ...]:

@@ -9,10 +9,12 @@ share them.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
+
+from repro.common.state import Stateful, check_state, require
 
 
-class LRUPolicy:
+class LRUPolicy(Stateful):
     """Least-recently-used replacement over ``num_ways`` ways of one set.
 
     Tracks a recency stack as a list of way indices, most recent first.
@@ -61,8 +63,30 @@ class LRUPolicy:
         """Bits to encode a position in an ``num_ways`` recency stack."""
         return max(1, (num_ways - 1).bit_length())
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "LRUPolicy",
+            "num_ways": self.num_ways,
+            "stack": list(self._stack),
+        }
 
-class RRIPPolicy:
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "LRUPolicy")
+        require(
+            state["num_ways"] == self.num_ways,
+            "LRUPolicy way-count mismatch",
+        )
+        stack = [int(way) for way in state["stack"]]
+        require(
+            len(stack) == len(set(stack))
+            and all(0 <= way < self.num_ways for way in stack),
+            "LRU recency stack malformed",
+        )
+        self._stack = stack
+
+
+class RRIPPolicy(Stateful):
     """Static re-reference interval prediction (SRRIP) over one set.
 
     Each way carries an M-bit re-reference prediction value (RRPV).
@@ -113,3 +137,27 @@ class RRIPPolicy:
 
     def storage_bits(self) -> int:
         return self.num_ways * self.rrpv_bits
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "RRIPPolicy",
+            "num_ways": self.num_ways,
+            "rrpv_bits": self.rrpv_bits,
+            "rrpv": list(self._rrpv),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "RRIPPolicy")
+        require(
+            state["num_ways"] == self.num_ways
+            and state["rrpv_bits"] == self.rrpv_bits,
+            "RRIPPolicy geometry mismatch",
+        )
+        rrpv = [int(value) for value in state["rrpv"]]
+        require(
+            len(rrpv) == self.num_ways
+            and all(0 <= value <= self._max for value in rrpv),
+            "RRPV vector malformed",
+        )
+        self._rrpv = rrpv

@@ -1,0 +1,174 @@
+"""The versioned snapshot/restore protocol every stateful component speaks.
+
+Three methods, one contract (see ``docs/checkpointing.md``):
+
+* ``state_dict() -> dict`` — a JSON-ready, self-describing snapshot of
+  the component's *architectural* state: every bit a hardware
+  implementation would latch.  Derived caches (memoized hashes, the
+  IBTB candidate cache, pending fold batches) are flushed or excluded —
+  they are recomputable and must not leak into the snapshot.
+* ``load_state(d)`` — restore a freshly constructed component (same
+  configuration) from a snapshot.  Geometry mismatches raise
+  :class:`StateError` instead of silently corrupting tables.
+* ``state_hash() -> str`` — a canonical SHA-256 over the snapshot, for
+  cross-process determinism checks and golden fixtures.  Two predictors
+  that would behave identically on every future branch hash equal —
+  including a restored predictor versus one that was never suspended.
+
+Snapshots use only JSON scalar types plus one structured value: NumPy
+arrays travel as ``{"__ndarray__": <base64>, "dtype", "shape"}`` via
+:func:`encode_array`/:func:`decode_array`, which keeps checkpoint files
+plain JSON while preserving dtype and shape exactly.
+
+Every ``state_dict`` carries an envelope — ``{"v": <protocol version>,
+"kind": "<ClassName>", ...}`` — validated by :func:`check_state` on
+load.  Bump :data:`STATE_PROTOCOL_VERSION` only for changes that make
+old snapshots unreadable; adding a predictor or a field to a *new*
+``kind`` is not a version bump.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+#: Version of the snapshot envelope itself (not of any one predictor).
+STATE_PROTOCOL_VERSION = 1
+
+
+class StateError(ValueError):
+    """A snapshot could not be produced, validated, or restored."""
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Encode a NumPy array as a JSON-ready dict preserving dtype/shape."""
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+        "dtype": str(contiguous.dtype),
+        "shape": list(contiguous.shape),
+    }
+
+
+def decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    """Decode :func:`encode_array` output back into a writable array."""
+    try:
+        raw = base64.b64decode(payload["__ndarray__"])
+        array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+        return array.reshape(payload["shape"]).copy()
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StateError(f"malformed array payload: {exc}") from exc
+
+
+def _reject_unencodable(value: Any) -> Any:
+    raise StateError(
+        f"state dicts must be JSON-ready; cannot serialize "
+        f"{type(value).__name__} ({value!r}) — encode arrays with "
+        f"encode_array() and convert NumPy scalars with int()/float()"
+    )
+
+
+def canonical_json(state: Dict[str, Any]) -> str:
+    """The canonical serialization hashes and checkpoints are built on:
+    sorted keys, no whitespace, NaN rejected, non-JSON types rejected."""
+    try:
+        return json.dumps(
+            state,
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+            default=_reject_unencodable,
+        )
+    except ValueError as exc:
+        if isinstance(exc, StateError):
+            raise
+        raise StateError(f"state dict is not canonically serializable: {exc}") from exc
+
+
+def hash_state(state: Dict[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical serialization of ``state``."""
+    return hashlib.sha256(canonical_json(state).encode("utf-8")).hexdigest()
+
+
+def dataclass_fingerprint(config: Any) -> str:
+    """Stable hash of a (frozen) configuration dataclass.
+
+    Predictor snapshots embed this so ``load_state`` can reject a
+    snapshot taken under a different configuration instead of silently
+    loading geometry-compatible but semantically different state.
+    """
+    import dataclasses
+
+    return hash_state(dataclasses.asdict(config))
+
+
+def check_state(state: Any, kind: str) -> Dict[str, Any]:
+    """Validate a snapshot's envelope; return it for chaining.
+
+    Raises:
+        StateError: when ``state`` is not a dict, names a different
+            component ``kind``, or carries an unsupported protocol
+            version.
+    """
+    if not isinstance(state, dict):
+        raise StateError(
+            f"expected a state dict for {kind}, got {type(state).__name__}"
+        )
+    found = state.get("kind")
+    if found != kind:
+        raise StateError(f"state kind mismatch: expected {kind!r}, got {found!r}")
+    version = state.get("v")
+    if version != STATE_PROTOCOL_VERSION:
+        raise StateError(
+            f"unsupported state version {version!r} for {kind} "
+            f"(this build speaks v{STATE_PROTOCOL_VERSION})"
+        )
+    return state
+
+
+def require(condition: bool, message: str) -> None:
+    """Geometry/invariant guard for ``load_state`` implementations."""
+    if not condition:
+        raise StateError(message)
+
+
+class Stateful:
+    """Mixin declaring the protocol; ``state_hash`` comes for free.
+
+    ``__slots__`` is empty so slotted classes can inherit without
+    growing a ``__dict__``.
+    """
+
+    __slots__ = ()
+
+    def state_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state_dict()"
+        )
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement load_state()"
+        )
+
+    def state_hash(self) -> str:
+        """Canonical hash of :meth:`state_dict` (see :func:`hash_state`)."""
+        return hash_state(self.state_dict())
+
+
+__all__ = [
+    "STATE_PROTOCOL_VERSION",
+    "StateError",
+    "Stateful",
+    "canonical_json",
+    "check_state",
+    "dataclass_fingerprint",
+    "decode_array",
+    "encode_array",
+    "hash_state",
+    "require",
+]

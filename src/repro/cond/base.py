@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import abc
+from typing import Any, Dict
 
+from repro.common.state import hash_state
 from repro.common.storage import StorageBudget
 
 
@@ -40,3 +42,21 @@ class ConditionalPredictor(abc.ABC):
     @abc.abstractmethod
     def storage_budget(self) -> StorageBudget:
         """Itemized hardware state of this predictor."""
+
+    # Snapshot/restore protocol (see docs/checkpointing.md).
+
+    def state_dict(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of all architectural state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshot/restore"
+        )
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a freshly constructed predictor from a snapshot."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshot/restore"
+        )
+
+    def state_hash(self) -> str:
+        """Canonical SHA-256 of :meth:`state_dict` (determinism checks)."""
+        return hash_state(self.state_dict())

@@ -24,6 +24,13 @@ import numpy as np
 
 from repro.common.hashing import fold_int, mix_pc, stable_hash64
 from repro.common.history import LocalHistoryTable
+from repro.common.state import (
+    check_state,
+    dataclass_fingerprint,
+    decode_array,
+    encode_array,
+    require,
+)
 from repro.common.storage import StorageBudget
 from repro.cond.base import ConditionalPredictor
 from repro.core.config import BLBPConfig
@@ -109,6 +116,44 @@ class BLBPConditional(ConditionalPredictor):
 
     def train_weights(self, pc: int, taken: bool) -> None:
         self._train(pc, taken)
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "BLBPConditional",
+            "config": dataclass_fingerprint(self.config),
+            "tables": [encode_array(table) for table in self._tables],
+            "ghist": self._ghist,
+            "local": self._local.state_dict(),
+            "threshold": self.threshold.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "BLBPConditional")
+        require(
+            state["config"] == dataclass_fingerprint(self.config),
+            "BLBPConditional snapshot was taken under a different "
+            "configuration",
+        )
+        require(
+            len(state["tables"]) == len(self._tables),
+            "BLBPConditional table count mismatch",
+        )
+        tables = [decode_array(payload) for payload in state["tables"]]
+        for table, current in zip(tables, self._tables):
+            require(
+                table.shape == current.shape and table.dtype == current.dtype,
+                "BLBPConditional table mismatch",
+            )
+        ghist = int(state["ghist"])
+        require(
+            0 <= ghist <= self._ghist_mask,
+            "BLBPConditional global history out of range",
+        )
+        self._tables = tables
+        self._ghist = ghist
+        self._local.load_state(state["local"])
+        self.threshold.load_state(state["threshold"])
 
     def storage_budget(self) -> StorageBudget:
         cfg = self.config

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.hashing import mix_pc
+from repro.common.state import check_state, decode_array, encode_array, require
 from repro.common.storage import StorageBudget
 from repro.cond.base import ConditionalPredictor
 
@@ -45,6 +46,37 @@ class GShare(ConditionalPredictor):
             self._table[index] = counter - 1
         if self.history_bits:
             self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "GShare",
+            "index_bits": self.index_bits,
+            "history_bits": self.history_bits,
+            "table": encode_array(self._table),
+            "history": self._history,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "GShare")
+        require(
+            state["index_bits"] == self.index_bits
+            and state["history_bits"] == self.history_bits,
+            "GShare geometry mismatch",
+        )
+        table = decode_array(state["table"])
+        require(
+            table.shape == self._table.shape
+            and table.dtype == self._table.dtype,
+            "GShare table mismatch",
+        )
+        history = int(state["history"])
+        require(
+            0 <= history <= self._history_mask,
+            "GShare history out of range",
+        )
+        self._table = table
+        self._history = history
 
     def storage_budget(self) -> StorageBudget:
         budget = StorageBudget("gshare")

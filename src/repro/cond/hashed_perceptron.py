@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.common.hashing import fold_int, mix_pc
 from repro.common.history import GlobalHistory
+from repro.common.state import check_state, decode_array, encode_array, require
 from repro.common.storage import StorageBudget
 from repro.cond.base import ConditionalPredictor
 
@@ -57,6 +58,31 @@ class AdaptiveThreshold:
                 self._counter = 0
                 if self.theta > 1:
                     self.theta -= 1
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "AdaptiveThreshold",
+            "counter_bits": self._counter_bits,
+            "theta": self.theta,
+            "counter": self._counter,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "AdaptiveThreshold")
+        require(
+            state["counter_bits"] == self._counter_bits,
+            "AdaptiveThreshold counter width mismatch",
+        )
+        theta = int(state["theta"])
+        counter = int(state["counter"])
+        require(theta >= 1, "AdaptiveThreshold theta out of range")
+        require(
+            self._min <= counter <= self._max,
+            "AdaptiveThreshold counter out of range",
+        )
+        self.theta = theta
+        self._counter = counter
 
 
 class HashedPerceptron(ConditionalPredictor):
@@ -138,6 +164,40 @@ class HashedPerceptron(ConditionalPredictor):
 
     def train_weights(self, pc: int, taken: bool) -> None:
         self._train(pc, taken)
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "HashedPerceptron",
+            "history_lengths": list(self.history_lengths),
+            "index_bits": self.index_bits,
+            "weight_bits": self.weight_bits,
+            "tables": [encode_array(table) for table in self._tables],
+            "history": self._history.state_dict(),
+            "threshold": self._threshold.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "HashedPerceptron")
+        require(
+            tuple(state["history_lengths"]) == self.history_lengths
+            and state["index_bits"] == self.index_bits
+            and state["weight_bits"] == self.weight_bits,
+            "HashedPerceptron geometry mismatch",
+        )
+        require(
+            len(state["tables"]) == len(self._tables),
+            "HashedPerceptron table count mismatch",
+        )
+        tables = [decode_array(payload) for payload in state["tables"]]
+        for table, current in zip(tables, self._tables):
+            require(
+                table.shape == current.shape and table.dtype == current.dtype,
+                "HashedPerceptron table mismatch",
+            )
+        self._tables = tables
+        self._history.load_state(state["history"])
+        self._threshold.load_state(state["threshold"])
 
     def storage_budget(self) -> StorageBudget:
         budget = StorageBudget("hashed perceptron")

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.common.hashing import fold_int, mix_pc
 from repro.common.history import GlobalHistory, LocalHistoryTable, PathHistory
+from repro.common.state import check_state, decode_array, encode_array, require
 from repro.common.storage import StorageBudget
 from repro.cond.base import ConditionalPredictor
 from repro.cond.hashed_perceptron import AdaptiveThreshold
@@ -136,6 +137,45 @@ class MultiperspectivePerceptron(ConditionalPredictor):
 
     def train_weights(self, pc: int, taken: bool) -> None:
         self._train(pc, taken)
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "MultiperspectivePerceptron",
+            "features": [list(feature) for feature in self.features],
+            "index_bits": self.index_bits,
+            "weight_bits": self.weight_bits,
+            "tables": [encode_array(table) for table in self._tables],
+            "ghist": self._ghist.state_dict(),
+            "path": self._path.state_dict(),
+            "local": self._local.state_dict(),
+            "threshold": self._threshold.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "MultiperspectivePerceptron")
+        require(
+            tuple(tuple(feature) for feature in state["features"])
+            == self.features
+            and state["index_bits"] == self.index_bits
+            and state["weight_bits"] == self.weight_bits,
+            "MultiperspectivePerceptron geometry mismatch",
+        )
+        require(
+            len(state["tables"]) == len(self._tables),
+            "MultiperspectivePerceptron table count mismatch",
+        )
+        tables = [decode_array(payload) for payload in state["tables"]]
+        for table, current in zip(tables, self._tables):
+            require(
+                table.shape == current.shape and table.dtype == current.dtype,
+                "MultiperspectivePerceptron table mismatch",
+            )
+        self._tables = tables
+        self._ghist.load_state(state["ghist"])
+        self._path.load_state(state["path"])
+        self._local.load_state(state["local"])
+        self._threshold.load_state(state["threshold"])
 
     def storage_budget(self) -> StorageBudget:
         budget = StorageBudget("multiperspective perceptron")

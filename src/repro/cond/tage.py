@@ -22,6 +22,14 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.common.hashing import FoldedHistory, mix_pc
+from repro.common.state import (
+    StateError,
+    check_state,
+    dataclass_fingerprint,
+    decode_array,
+    encode_array,
+    require,
+)
 from repro.common.storage import StorageBudget
 from repro.cond.base import ConditionalPredictor
 from repro.predictors.ittage import geometric_lengths
@@ -281,6 +289,81 @@ class TAGE(ConditionalPredictor):
 
     def train_weights(self, pc: int, taken: bool) -> None:
         self._train(pc, taken)
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore.  The allocation tie-breaker consumes the RNG, so
+    # its bit-generator state is architectural and rides in the snapshot.
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        if self._ctx is not None:
+            raise StateError(
+                "cannot snapshot TAGE between predict and update; "
+                "snapshot at record boundaries"
+            )
+        return {
+            "v": 1,
+            "kind": "TAGE",
+            "config": dataclass_fingerprint(self.config),
+            "base": encode_array(self._base),
+            "tables": [
+                {
+                    "tags": encode_array(table.tags),
+                    "ctr": encode_array(table.ctr),
+                    "useful": encode_array(table.useful),
+                    "valid": encode_array(table.valid),
+                }
+                for table in self._tables
+            ],
+            "history_ring": list(self._history_ring),
+            "history_head": self._history_head,
+            "index_folds": [fold.state_dict() for fold in self._index_folds],
+            "tag_folds": [fold.state_dict() for fold in self._tag_folds],
+            "tag_folds2": [fold.state_dict() for fold in self._tag_folds2],
+            "use_alt": self._use_alt,
+            "updates": self._updates,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "TAGE")
+        require(
+            state["config"] == dataclass_fingerprint(self.config),
+            "TAGE snapshot was taken under a different configuration",
+        )
+        require(
+            len(state["tables"]) == len(self._tables),
+            "TAGE table count mismatch",
+        )
+        require(
+            len(state["history_ring"]) == len(self._history_ring),
+            "TAGE history ring size mismatch",
+        )
+        for table, payload in zip(self._tables, state["tables"]):
+            for attr in ("tags", "ctr", "useful", "valid"):
+                decoded = decode_array(payload[attr])
+                current = getattr(table, attr)
+                require(
+                    decoded.shape == current.shape
+                    and decoded.dtype == current.dtype,
+                    f"TAGE table {attr} mismatch",
+                )
+                setattr(table, attr, decoded)
+        self._base = decode_array(state["base"])
+        self._history_ring = [int(bit) for bit in state["history_ring"]]
+        self._history_head = int(state["history_head"])
+        for folds, payloads in (
+            (self._index_folds, state["index_folds"]),
+            (self._tag_folds, state["tag_folds"]),
+            (self._tag_folds2, state["tag_folds2"]),
+        ):
+            require(len(folds) == len(payloads), "TAGE fold count mismatch")
+            for fold, payload in zip(folds, payloads):
+                fold.load_state(payload)
+        self._use_alt = int(state["use_alt"])
+        self._updates = int(state["updates"])
+        self._rng.bit_generator.state = state["rng"]
+        self._ctx = None
 
     # ------------------------------------------------------------------
 

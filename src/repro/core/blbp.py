@@ -37,6 +37,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.common.state import (
+    StateError,
+    check_state,
+    dataclass_fingerprint,
+    require,
+)
 from repro.common.storage import StorageBudget
 from repro.core.config import BLBPConfig
 from repro.core.hibtb import HierarchicalIBTB
@@ -271,6 +277,60 @@ class BLBP(IndirectBranchPredictor):
             "trained_bits": self.stat_trained_bits,
             "fold_updates": self.histories.stat_fold_updates,
         }
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (see docs/checkpointing.md)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Snapshot every architectural register: histories (pending
+        folds flushed), per-bit thresholds, the fused weight tensor, the
+        IBTB with its region array, and the cumulative hot-path
+        counters.  The transient prediction→train context and the
+        pure-input memos (target-bit slices, candidate bit matrices, PC
+        hashes, the version-validated IBTB lookup cache) are excluded:
+        they are recomputable, and excluding them makes a restored
+        predictor hash identical to one that never suspended.
+        """
+        if self._ctx is not None:
+            raise StateError(
+                "cannot snapshot BLBP between predict_target and train; "
+                "snapshot at record boundaries"
+            )
+        return {
+            "v": 1,
+            "kind": "BLBP",
+            "config": dataclass_fingerprint(self.config),
+            "histories": self.histories.state_dict(),
+            "threshold": self.threshold.state_dict(),
+            "weights": self.weights.state_dict(),
+            "ibtb": self.ibtb.state_dict(),
+            "stats": {
+                "predictions": self.stat_predictions,
+                "ibtb_probes": self.stat_ibtb_probes,
+                "trained_bits": self.stat_trained_bits,
+            },
+        }
+
+    def load_state(self, state: Dict) -> None:
+        check_state(state, "BLBP")
+        require(
+            state["config"] == dataclass_fingerprint(self.config),
+            "BLBP snapshot was taken under a different configuration",
+        )
+        # Sub-components load in place — the engine's conditional
+        # callback stays bound to this `histories` object.
+        self.histories.load_state(state["histories"])
+        self.threshold.load_state(state["threshold"])
+        self.weights.load_state(state["weights"])
+        self.ibtb.load_state(state["ibtb"])
+        stats = state["stats"]
+        self.stat_predictions = int(stats["predictions"])
+        self.stat_ibtb_probes = int(stats["ibtb_probes"])
+        self.stat_trained_bits = int(stats["trained_bits"])
+        self._ctx = None
+        self._abits_memo = {}
+        self._bitmat_memo = {}
 
     # ------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.common.state import check_state
 from repro.common.storage import StorageBudget
 from repro.cond.blbp_cond import BLBPConditional
 from repro.core.blbp import BLBP
@@ -62,6 +63,27 @@ class ConsolidatedBLBPFrontend(IndirectBranchPredictor):
         if self.conditional_count == 0:
             return 1.0
         return 1.0 - self.conditional_mispredictions / self.conditional_count
+
+    # Snapshot/restore --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "ConsolidatedBLBPFrontend",
+            "indirect": self.indirect.state_dict(),
+            "conditional": self.conditional.state_dict(),
+            "conditional_count": self.conditional_count,
+            "conditional_mispredictions": self.conditional_mispredictions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "ConsolidatedBLBPFrontend")
+        self.indirect.load_state(state["indirect"])
+        self.conditional.load_state(state["conditional"])
+        self.conditional_count = int(state["conditional_count"])
+        self.conditional_mispredictions = int(
+            state["conditional_mispredictions"]
+        )
 
     # ------------------------------------------------------------------
 

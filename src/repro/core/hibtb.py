@@ -23,8 +23,9 @@ target) pairs whose handles are only ever passed back to ``touch``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.common.state import Stateful, check_state, require
 from repro.core.ibtb import IndirectBTB
 from repro.core.regions import RegionArray
 
@@ -88,8 +89,36 @@ class _L1Buffer:
         lru_bits = max(1, (self.entries - 1).bit_length())
         return self.entries * (self.tag_bits + target_bits + lru_bits)
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "L1Buffer",
+            "entries": self.entries,
+            "tag_bits": self.tag_bits,
+            "slots": [
+                None if slot is None else [slot[0], slot[1]]
+                for slot in self._slots
+            ],
+            "recency": list(self._recency),
+        }
 
-class HierarchicalIBTB:
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "L1Buffer")
+        require(
+            state["entries"] == self.entries
+            and state["tag_bits"] == self.tag_bits,
+            "L1 buffer geometry mismatch",
+        )
+        slots = state["slots"]
+        require(len(slots) == self.entries, "L1 slot count mismatch")
+        self._slots = [
+            None if slot is None else (int(slot[0]), int(slot[1]))
+            for slot in slots
+        ]
+        self._recency = [int(slot) for slot in state["recency"]]
+
+
+class HierarchicalIBTB(Stateful):
     """Two-level IBTB: small fully-associative L1 over a low-assoc L2."""
 
     def __init__(
@@ -146,3 +175,18 @@ class HierarchicalIBTB:
 
     def storage_bits(self) -> int:
         return self._l1.storage_bits() + self._l2.storage_bits()
+
+    def state_dict(self) -> Dict[str, Any]:
+        # The shared RegionArray rides inside the L2 snapshot; loading
+        # the L2 restores it in place for both levels.
+        return {
+            "v": 1,
+            "kind": "HierarchicalIBTB",
+            "l1": self._l1.state_dict(),
+            "l2": self._l2.state_dict(),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "HierarchicalIBTB")
+        self._l1.load_state(state["l1"])
+        self._l2.load_state(state["l2"])

@@ -50,14 +50,15 @@ suite pins ``indices`` to it bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.common.hashing import FoldedHistory, fold_int, mix_pc, stable_hash64
 from repro.common.history import LocalHistoryTable
+from repro.common.state import Stateful, check_state, require
 from repro.core.config import BLBPConfig
 
 
-class BLBPHistories:
+class BLBPHistories(Stateful):
     """Global + local history registers and feature index computation."""
 
     def __init__(self, config: BLBPConfig) -> None:
@@ -281,3 +282,44 @@ class BLBPHistories:
 
     def storage_bits(self) -> int:
         return self.config.global_history_bits + self._local.storage_bits()
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (see docs/checkpointing.md)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        # Pending bits are absorbed first, so the snapshot sees the
+        # masked history and current fold values with `_pending == 0`.
+        # The PC/local-hash memos cache pure functions of their inputs
+        # and are excluded — a restored instance rebuilds them lazily
+        # with identical values.
+        self._flush_folds()
+        return {
+            "v": 1,
+            "kind": "BLBPHistories",
+            "ghist": self._ghist,
+            "local": self._local.state_dict(),
+            "folds": [fold.state_dict() for fold in self._folds],
+            "stat_fold_updates": self.stat_fold_updates,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "BLBPHistories")
+        folds = state["folds"]
+        require(
+            len(folds) == len(self._folds),
+            f"interval count mismatch: snapshot has {len(folds)} folds, "
+            f"this configuration {len(self._folds)}",
+        )
+        ghist = int(state["ghist"])
+        require(0 <= ghist <= self._ghist_mask, "global history out of range")
+        self._ghist = ghist
+        self._pending = 0
+        self._local.load_state(state["local"])
+        # Fold objects load in place: `_fold_batch` keeps references to
+        # them, so replacing the objects would sever the batch table.
+        for fold, fold_state in zip(self._folds, folds):
+            fold.load_state(fold_state)
+        self.stat_fold_updates = int(state["stat_fold_updates"])
+        self._pc_memo = {}
+        self._local_hash_memo = {}

@@ -13,10 +13,11 @@ dropped lazily at lookup.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.hashing import mix_pc
 from repro.common.replacement import RRIPPolicy
+from repro.common.state import Stateful, check_state, require
 from repro.core.regions import RegionArray
 
 
@@ -68,8 +69,46 @@ class _IBTBSet:
         self.by_tag.setdefault(tag, set()).add(way)
         self.version += 1
 
+    def state_dict(self) -> Dict[str, Any]:
+        # `by_tag` is an index over `tags`, `cache` a version-validated
+        # memo, `version` its key space: all derived, all excluded.  A
+        # restored set rebuilds `by_tag` eagerly and its cache lazily.
+        return {
+            "v": 1,
+            "kind": "IBTBSet",
+            "ways": self.ways,
+            "tags": [None if tag is None else int(tag) for tag in self.tags],
+            "regions": list(self.regions),
+            "generations": list(self.generations),
+            "offsets": list(self.offsets),
+            "rrip": self.rrip.state_dict(),
+        }
 
-class IndirectBTB:
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "IBTBSet")
+        require(state["ways"] == self.ways, "IBTB set way-count mismatch")
+        tags = state["tags"]
+        require(
+            len(tags) == self.ways
+            and len(state["regions"]) == self.ways
+            and len(state["generations"]) == self.ways
+            and len(state["offsets"]) == self.ways,
+            "IBTB set arrays malformed",
+        )
+        self.tags = [None if tag is None else int(tag) for tag in tags]
+        self.regions = [int(value) for value in state["regions"]]
+        self.generations = [int(value) for value in state["generations"]]
+        self.offsets = [int(value) for value in state["offsets"]]
+        self.rrip.load_state(state["rrip"])
+        self.by_tag = {}
+        for way, tag in enumerate(self.tags):
+            if tag is not None:
+                self.by_tag.setdefault(tag, set()).add(way)
+        self.version = 0
+        self.cache = {}
+
+
+class IndirectBTB(Stateful):
     """The RRIP-managed, region-compressed IBTB."""
 
     def __init__(
@@ -181,3 +220,31 @@ class IndirectBTB:
             + self.rrpv_bits
         )
         return self.num_sets * self.num_ways * entry_bits
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "IndirectBTB",
+            "num_sets": self.num_sets,
+            "num_ways": self.num_ways,
+            "tag_bits": self.tag_bits,
+            "rrpv_bits": self.rrpv_bits,
+            "regions": self.regions.state_dict(),
+            "sets": [bucket.state_dict() for bucket in self._sets],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "IndirectBTB")
+        require(
+            state["num_sets"] == self.num_sets
+            and state["num_ways"] == self.num_ways
+            and state["tag_bits"] == self.tag_bits
+            and state["rrpv_bits"] == self.rrpv_bits,
+            "IndirectBTB geometry mismatch",
+        )
+        require(len(state["sets"]) == self.num_sets, "IBTB set count mismatch")
+        # Regions load in place: the array object may be shared (e.g.
+        # the hierarchical IBTB's L1/L2 share one RegionArray).
+        self.regions.load_state(state["regions"])
+        for bucket, bucket_state in zip(self._sets, state["sets"]):
+            bucket.load_state(bucket_state)

@@ -28,6 +28,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.common.state import (
+    StateError,
+    check_state,
+    dataclass_fingerprint,
+    require,
+)
 from repro.common.storage import StorageBudget
 from repro.core.config import BLBPConfig
 from repro.core.hibtb import HierarchicalIBTB
@@ -191,6 +197,44 @@ class ReferenceBLBP(IndirectBranchPredictor):
 
     def candidate_targets(self, pc: int) -> List[int]:
         return [target for _, target in self.ibtb.lookup(pc)]
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore — same layout as the optimized BLBP, with the
+    # banks serialized individually.
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        if self._ctx is not None:
+            raise StateError(
+                "cannot snapshot ReferenceBLBP between predict_target and "
+                "train; snapshot at record boundaries"
+            )
+        return {
+            "v": 1,
+            "kind": "ReferenceBLBP",
+            "config": dataclass_fingerprint(self.config),
+            "histories": self.histories.state_dict(),
+            "threshold": self.threshold.state_dict(),
+            "banks": [bank.state_dict() for bank in self.banks],
+            "ibtb": self.ibtb.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "ReferenceBLBP")
+        require(
+            state["config"] == dataclass_fingerprint(self.config),
+            "ReferenceBLBP snapshot was taken under a different configuration",
+        )
+        require(
+            len(state["banks"]) == len(self.banks),
+            "ReferenceBLBP bank count mismatch",
+        )
+        self.histories.load_state(state["histories"])
+        self.threshold.load_state(state["threshold"])
+        for bank, bank_state in zip(self.banks, state["banks"]):
+            bank.load_state(bank_state)
+        self.ibtb.load_state(state["ibtb"])
+        self._ctx = None
 
     def storage_budget(self) -> StorageBudget:
         cfg = self.config

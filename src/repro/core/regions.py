@@ -15,12 +15,13 @@ or misdecode them.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.common.replacement import LRUPolicy
+from repro.common.state import Stateful, check_state, require
 
 
-class RegionArray:
+class RegionArray(Stateful):
     """LRU-managed array of high-order target-address regions."""
 
     def __init__(self, num_entries: int = 128, offset_bits: int = 20) -> None:
@@ -78,3 +79,44 @@ class RegionArray:
         high_width = 64 - self.offset_bits
         lru_bits = LRUPolicy.storage_bits_per_entry(self.num_entries)
         return self.num_entries * (high_width + lru_bits)
+
+    def state_dict(self) -> Dict[str, Any]:
+        # `version` is cache-invalidation bookkeeping, not architectural
+        # state: lookup caches key on it, and every cache is empty after
+        # a restore, so a restored array may restart it from zero.  It is
+        # excluded so restored and never-suspended predictors hash equal.
+        return {
+            "v": 1,
+            "kind": "RegionArray",
+            "num_entries": self.num_entries,
+            "offset_bits": self.offset_bits,
+            "high_bits": [
+                None if high is None else int(high)
+                for high in self._high_bits
+            ],
+            "generation": list(self._generation),
+            "lru": self._lru.state_dict(),
+            "evictions": self.evictions,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "RegionArray")
+        require(
+            state["num_entries"] == self.num_entries
+            and state["offset_bits"] == self.offset_bits,
+            "RegionArray geometry mismatch",
+        )
+        high_bits = state["high_bits"]
+        generation = state["generation"]
+        require(
+            len(high_bits) == self.num_entries
+            and len(generation) == self.num_entries,
+            "RegionArray table size mismatch",
+        )
+        self._high_bits = [
+            None if high is None else int(high) for high in high_bits
+        ]
+        self._generation = [int(value) for value in generation]
+        self._lru.load_state(state["lru"])
+        self.evictions = int(state["evictions"])
+        self.version = 0

@@ -32,6 +32,14 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.common.hashing import mix_pc
+from repro.common.state import (
+    StateError,
+    check_state,
+    dataclass_fingerprint,
+    decode_array,
+    encode_array,
+    require,
+)
 from repro.common.storage import StorageBudget
 from repro.core.ibtb import IndirectBTB
 from repro.core.regions import RegionArray
@@ -252,6 +260,55 @@ class SNIP(IndirectBranchPredictor):
         if self.config.path_features:
             self._path = np.roll(self._path, 1)
             self._path[0] = (pc >> 2) & 1
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore.  `_row_cache` is a pure-PC memo and `_scales`
+    # is derived from the config; both are excluded.
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        if self._ctx is not None:
+            raise StateError(
+                "cannot snapshot SNIP between predict_target and train; "
+                "snapshot at record boundaries"
+            )
+        return {
+            "v": 1,
+            "kind": "SNIP",
+            "config": dataclass_fingerprint(self.config),
+            "weights": encode_array(self._weights),
+            "threshold": self.threshold.state_dict(),
+            "ibtb": self.ibtb.state_dict(),
+            "ghist": encode_array(self._ghist),
+            "path": encode_array(self._path),
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "SNIP")
+        require(
+            state["config"] == dataclass_fingerprint(self.config),
+            "SNIP snapshot was taken under a different configuration",
+        )
+        weights = decode_array(state["weights"])
+        ghist = decode_array(state["ghist"])
+        path = decode_array(state["path"])
+        require(
+            weights.shape == self._weights.shape
+            and weights.dtype == self._weights.dtype,
+            "SNIP weight tensor mismatch",
+        )
+        require(
+            ghist.shape == self._ghist.shape
+            and path.shape == self._path.shape,
+            "SNIP history shape mismatch",
+        )
+        self._weights = weights
+        self._ghist = ghist.astype(np.int8)
+        self._path = path.astype(np.int8)
+        self.threshold.load_state(state["threshold"])
+        self.ibtb.load_state(state["ibtb"])
+        self._row_cache = {}
+        self._ctx = None
 
     # ------------------------------------------------------------------
 

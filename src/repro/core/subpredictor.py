@@ -18,12 +18,20 @@ behaviour.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 import numpy as np
 
+from repro.common.state import (
+    Stateful,
+    check_state,
+    decode_array,
+    encode_array,
+    require,
+)
 
-class WeightBank:
+
+class WeightBank(Stateful):
     """An M×K table of saturating sign/magnitude perceptron weights."""
 
     __slots__ = ("rows", "num_bits", "magnitude", "weights")
@@ -60,6 +68,33 @@ class WeightBank:
     def storage_bits(self, weight_bits: int) -> int:
         return self.rows * self.num_bits * weight_bits
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "WeightBank",
+            "rows": self.rows,
+            "num_bits": self.num_bits,
+            "magnitude": self.magnitude,
+            "weights": encode_array(self.weights),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "WeightBank")
+        require(
+            state["rows"] == self.rows
+            and state["num_bits"] == self.num_bits
+            and state["magnitude"] == self.magnitude,
+            "WeightBank geometry mismatch",
+        )
+        weights = decode_array(state["weights"])
+        require(
+            weights.shape == self.weights.shape
+            and weights.dtype == self.weights.dtype,
+            "WeightBank tensor shape/dtype mismatch",
+        )
+        # In-place copy: callers may hold live views of the tensor.
+        self.weights[...] = weights
+
 
 class BankView:
     """A read view of one bank inside a :class:`FusedWeightBanks` tensor.
@@ -84,7 +119,7 @@ class BankView:
         return self.rows * self.num_bits * weight_bits
 
 
-class FusedWeightBanks:
+class FusedWeightBanks(Stateful):
     """All N sub-predictor banks in one ``(N, rows, K)`` int8 tensor.
 
     ``gather(rows)`` returns the N selected weight vectors as one
@@ -140,3 +175,32 @@ class FusedWeightBanks:
 
     def storage_bits(self, weight_bits: int) -> int:
         return self.num_banks * self.rows * self.num_bits * weight_bits
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "FusedWeightBanks",
+            "num_banks": self.num_banks,
+            "rows": self.rows,
+            "num_bits": self.num_bits,
+            "magnitude": self.magnitude,
+            "weights": encode_array(self.weights),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "FusedWeightBanks")
+        require(
+            state["num_banks"] == self.num_banks
+            and state["rows"] == self.rows
+            and state["num_bits"] == self.num_bits
+            and state["magnitude"] == self.magnitude,
+            "FusedWeightBanks geometry mismatch",
+        )
+        weights = decode_array(state["weights"])
+        require(
+            weights.shape == self.weights.shape
+            and weights.dtype == self.weights.dtype,
+            "FusedWeightBanks tensor shape/dtype mismatch",
+        )
+        # In-place copy: BankViews hold live views of the tensor.
+        self.weights[...] = weights

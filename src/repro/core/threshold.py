@@ -11,10 +11,12 @@ mispredictions.  BLBP keeps an independent θ and controller counter for
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
+
+from repro.common.state import Stateful, check_state, require
 
 
-class PerBitAdaptiveThreshold:
+class PerBitAdaptiveThreshold(Stateful):
     """K independent Seznec threshold controllers, one per target bit.
 
     The controller counter saturates **symmetrically** at
@@ -126,3 +128,36 @@ class PerBitAdaptiveThreshold:
         """Hardware state: a θ register and controller per bit."""
         theta_bits = 8
         return self.num_bits * (theta_bits + self.counter_bits)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "v": 1,
+            "kind": "PerBitAdaptiveThreshold",
+            "num_bits": self.num_bits,
+            "counter_bits": self.counter_bits,
+            "adaptive": self.adaptive,
+            "theta": list(self._theta),
+            "counter": list(self._counter),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        check_state(state, "PerBitAdaptiveThreshold")
+        require(
+            state["num_bits"] == self.num_bits
+            and state["counter_bits"] == self.counter_bits
+            and state["adaptive"] == self.adaptive,
+            "PerBitAdaptiveThreshold configuration mismatch",
+        )
+        theta = [int(value) for value in state["theta"]]
+        counter = [int(value) for value in state["counter"]]
+        require(
+            len(theta) == self.num_bits and len(counter) == self.num_bits,
+            "threshold vector size mismatch",
+        )
+        require(all(value >= 1 for value in theta), "theta must stay >= 1")
+        require(
+            all(self._min <= value <= self._max for value in counter),
+            "threshold counter out of range",
+        )
+        self._theta = theta
+        self._counter = counter

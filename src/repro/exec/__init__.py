@@ -38,6 +38,7 @@ from typing import Dict, Iterable, Optional, Union
 
 from repro.exec.events import (
     CELL_FINISH,
+    CELL_RESUME,
     CELL_SKIPPED,
     CollectingSink,
     EventSink,
@@ -133,6 +134,7 @@ def run_campaign_parallel(
     retries: int = 2,
     backoff: float = 0.1,
     profile: bool = False,
+    checkpoint_every: int = 0,
 ) -> CampaignResult:
     """Run a campaign across worker processes; a drop-in for
     :func:`repro.sim.runner.run_campaign`.
@@ -152,6 +154,10 @@ def run_campaign_parallel(
         profile: run every cell with hot-path profiling; per-cell
             counters land on each result's ``profile`` field, in
             ``cell_finish`` events, and in the journal.
+        checkpoint_every: when > 0, workers snapshot simulation state
+            every this-many records into ``<journal>.ckpt/`` so a
+            killed or timed-out cell resumes mid-trace; see
+            :func:`repro.exec.pool.execute_plan`.
 
     Returns:
         A :class:`CampaignResult` identical to the serial runner's.
@@ -183,6 +189,7 @@ def run_campaign_parallel(
             timeout=timeout,
             retries=retries,
             backoff=backoff,
+            checkpoint_every=checkpoint_every,
         )
 
     if cache_dir is not None:
@@ -192,6 +199,7 @@ def run_campaign_parallel(
 
 
 __all__ = [
+    "CELL_RESUME",
     "CampaignPlan",
     "CellFailedError",
     "CellSpec",

@@ -21,6 +21,8 @@ from typing import Callable, Dict, IO, List, Optional
 #: Event kinds, in roughly chronological order of a campaign.
 CAMPAIGN_START = "campaign_start"
 CELL_START = "cell_start"
+#: A cell found a mid-trace checkpoint and will resume inside the trace.
+CELL_RESUME = "cell_resume"
 CELL_FINISH = "cell_finish"
 CELL_SKIPPED = "cell_skipped"
 CELL_RETRY = "cell_retry"
@@ -174,6 +176,11 @@ class ProgressLineSink:
             if event.eta_seconds:
                 line += f" eta {event.eta_seconds:.0f}s"
             self._render(line)
+        elif event.kind == CELL_RESUME:
+            self._render(
+                f"simulate resuming {event.predictor}/{event.trace} "
+                f"mid-trace from checkpoint"
+            )
         elif event.kind == CELL_RETRY:
             self._render(
                 f"simulate retrying {event.predictor}/{event.trace} "
@@ -205,6 +212,7 @@ __all__ = [
     "ProgressLineSink",
     "CAMPAIGN_START",
     "CELL_START",
+    "CELL_RESUME",
     "CELL_FINISH",
     "CELL_SKIPPED",
     "CELL_RETRY",

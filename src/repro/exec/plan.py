@@ -108,6 +108,12 @@ class CellSpec:
     #: Run the cell with hot-path profiling (counters + phase timings
     #: land on the result's ``profile`` field and in journal/events).
     profile: bool = False
+    #: When > 0, the worker snapshots simulation state every this-many
+    #: records into ``checkpoint_path`` so a killed/timed-out cell
+    #: resumes mid-trace instead of restarting (see repro.sim.checkpoint).
+    checkpoint_every: int = 0
+    #: Per-cell checkpoint file (attached by the pool layer).
+    checkpoint_path: Optional[str] = None
 
     @property
     def key(self) -> CellKey:
@@ -136,6 +142,19 @@ def _spill_name(index: int, trace_name: str) -> str:
     """A filesystem-safe, collision-free spill filename for a trace."""
     stem = _UNSAFE_FILENAME.sub("_", trace_name)[:80] or "trace"
     return f"{index:04d}-{stem}.trace"
+
+
+def checkpoint_name(spec: "CellSpec") -> str:
+    """A filesystem-safe, collision-free checkpoint filename for a cell.
+
+    The plan index disambiguates cells whose sanitized names collide;
+    the names keep the file greppable next to its journal.
+    """
+    trace = _UNSAFE_FILENAME.sub("_", spec.trace_name)[:60] or "trace"
+    predictor = (
+        _UNSAFE_FILENAME.sub("_", spec.predictor_name)[:40] or "predictor"
+    )
+    return f"{spec.index:04d}-{trace}-{predictor}.ckpt.json"
 
 
 def plan_campaign(
@@ -205,5 +224,6 @@ __all__ = [
     "CampaignPlan",
     "FactoryRef",
     "PlanError",
+    "checkpoint_name",
     "plan_campaign",
 ]

@@ -22,6 +22,8 @@ Robustness ladder, roughly in the order things go wrong in practice:
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import signal
 import threading
 import time
@@ -36,6 +38,7 @@ from repro.exec.events import (
     CAMPAIGN_START,
     CELL_FAILED,
     CELL_FINISH,
+    CELL_RESUME,
     CELL_SKIPPED,
     CELL_START,
     CELL_RETRY,
@@ -45,7 +48,8 @@ from repro.exec.events import (
     safe_emit,
 )
 from repro.exec.journal import Journal, load_journal
-from repro.exec.plan import CampaignPlan, CellKey, CellSpec
+from repro.exec.plan import CampaignPlan, CellKey, CellSpec, checkpoint_name
+from repro.sim.checkpoint import discard_checkpoint, load_checkpoint
 from repro.sim.counters import SimCounters
 from repro.sim.engine import simulate
 from repro.sim.metrics import CampaignResult, SimulationResult
@@ -108,20 +112,58 @@ def run_cell(
     This is the worker entry point; it must stay module-level so the
     process pool can pickle a reference to it.  Returns
     ``(plan index, result, wall-clock seconds)``.
+
+    When the spec carries a ``checkpoint_path``, the worker resumes from
+    any checkpoint left by a killed or timed-out predecessor (validating
+    it belongs to this cell; a stale or damaged file just restarts the
+    trace), snapshots every ``checkpoint_every`` records while running,
+    and removes the file on success so a finished cell never resumes.
     """
     started = time.perf_counter()
+    resume_from = None
+    if spec.checkpoint_path is not None:
+        candidate = load_checkpoint(spec.checkpoint_path)
+        if candidate is not None and candidate.trace_name == spec.trace_name:
+            resume_from = candidate
     with _deadline(timeout):
         trace = read_trace(spec.trace_path)
         predictor = spec.factory.build()
+        if resume_from is not None and (
+            resume_from.predictor_name != predictor.name
+        ):
+            resume_from = None
         result = simulate(
             predictor,
             trace,
             ras_depth=spec.ras_depth,
             warmup_records=spec.warmup_records,
             counters=SimCounters() if spec.profile else None,
+            checkpoint_every=spec.checkpoint_every,
+            checkpoint_path=spec.checkpoint_path,
+            resume_from=resume_from,
         )
+    if spec.checkpoint_path is not None:
+        discard_checkpoint(spec.checkpoint_path)
     result.predictor_name = spec.predictor_name
     return spec.index, result, time.perf_counter() - started
+
+
+def _announce_resume(state: "_Execution", spec: CellSpec, attempt: int) -> None:
+    """Emit CELL_RESUME when a mid-trace checkpoint awaits this cell.
+
+    Checked in the parent (not the worker) so the event reaches the sink
+    even when the previous attempt died without a word — which is
+    exactly the case checkpoints exist for.
+    """
+    if spec.checkpoint_path and os.path.exists(spec.checkpoint_path):
+        state.emit(
+            CELL_RESUME,
+            trace=spec.trace_name,
+            predictor=spec.predictor_name,
+            index=spec.index,
+            completed=state.completed,
+            attempt=attempt,
+        )
 
 
 class _Execution:
@@ -216,6 +258,7 @@ def _run_serial(
                 completed=state.completed,
                 attempt=attempts,
             )
+            _announce_resume(state, spec, attempts)
             try:
                 _, result, duration = run_cell(spec, timeout)
             except Exception as exc:  # noqa: BLE001 - retried, then raised
@@ -276,6 +319,7 @@ def _run_parallel(
     try:
         futures = {}
         for spec in specs:
+            _announce_resume(state, spec, 1)
             futures[pool.submit(run_cell, spec, timeout)] = spec
             attempts[spec.index] = 1
             state.emit(
@@ -308,6 +352,7 @@ def _run_parallel(
                         )
                         time.sleep(backoff * tried)
                         attempts[spec.index] = tried + 1
+                        _announce_resume(state, spec, tried + 1)
                         try:
                             futures[pool.submit(run_cell, spec, timeout)] = spec
                         except (OSError, RuntimeError) as submit_exc:
@@ -331,6 +376,42 @@ def _run_parallel(
         pool.shutdown(wait=True, cancel_futures=True)
 
 
+def _attach_checkpoints(
+    plan: CampaignPlan,
+    checkpoint_every: int,
+    journal_path: Optional[Union[str, Path]],
+) -> CampaignPlan:
+    """Return a copy of ``plan`` whose cells carry checkpoint files.
+
+    Checkpoints live in a ``<journal>.ckpt`` sibling directory — the
+    journal is the artifact that survives a killed run (the plan's
+    ``cache_dir`` is often a temporary directory torn down with the
+    process), so mid-cell state must live next to it to be there for
+    the resuming process.  Without a journal there is nothing durable to
+    resume *from*, so checkpointing falls back to the plan's own cache
+    directory (useful for in-process supervisors) or, lacking both, is
+    disabled.
+    """
+    if checkpoint_every <= 0:
+        return plan
+    if journal_path is not None:
+        checkpoint_dir = Path(str(journal_path) + ".ckpt")
+    elif plan.cache_dir is not None:
+        checkpoint_dir = Path(plan.cache_dir) / "checkpoints"
+    else:
+        return plan
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    cells = [
+        dataclasses.replace(
+            cell,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=str(checkpoint_dir / checkpoint_name(cell)),
+        )
+        for cell in plan.cells
+    ]
+    return CampaignPlan(cells=cells, cache_dir=plan.cache_dir)
+
+
 def execute_plan(
     plan: CampaignPlan,
     jobs: int = 1,
@@ -339,6 +420,7 @@ def execute_plan(
     timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.1,
+    checkpoint_every: int = 0,
 ) -> CampaignResult:
     """Execute every cell of ``plan`` and merge deterministically.
 
@@ -353,6 +435,12 @@ def execute_plan(
             see :func:`run_cell`).
         retries: extra attempts per cell after its first failure.
         backoff: seconds slept before retry ``n`` is ``backoff * n``.
+        checkpoint_every: when > 0, workers snapshot simulation state
+            every this-many records into per-cell files beside the
+            journal, so a killed or timed-out cell resumes *mid-trace*
+            on the next attempt (or the next process) instead of
+            replaying from record zero.  Zero disables mid-cell
+            checkpointing; journal-level cell resume is unaffected.
 
     Returns:
         A :class:`CampaignResult` whose cells and values are identical
@@ -360,6 +448,7 @@ def execute_plan(
         campaign, regardless of ``jobs`` or completion order.
     """
     jobs = max(1, int(jobs))
+    plan = _attach_checkpoints(plan, checkpoint_every, journal_path)
     journal: Optional[Journal] = None
     journaled: Dict[CellKey, SimulationResult] = {}
     if journal_path is not None:

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.common.hashing import mix_pc
+from repro.common.state import check_state, decode_array, encode_array, require
 from repro.common.storage import StorageBudget
 from repro.predictors.base import IndirectBranchPredictor
 
@@ -48,6 +49,33 @@ class BranchTargetBuffer(IndirectBranchPredictor):
         index, tag = self._index_and_tag(pc)
         self._tags[index] = tag
         self._targets[index] = target
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "BranchTargetBuffer",
+            "num_entries": self.num_entries,
+            "tag_bits": self.tag_bits,
+            "tags": encode_array(self._tags),
+            "targets": encode_array(self._targets),
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "BranchTargetBuffer")
+        require(
+            state["num_entries"] == self.num_entries
+            and state["tag_bits"] == self.tag_bits,
+            "BranchTargetBuffer geometry mismatch",
+        )
+        tags = decode_array(state["tags"])
+        targets = decode_array(state["targets"])
+        require(
+            tags.shape == self._tags.shape
+            and targets.shape == self._targets.shape,
+            "BranchTargetBuffer table mismatch",
+        )
+        self._tags = tags.astype(np.int64)
+        self._targets = targets.astype(np.uint64)
 
     def storage_budget(self) -> StorageBudget:
         budget = StorageBudget(self.name)

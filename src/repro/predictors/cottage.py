@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.common.state import check_state
 from repro.common.storage import StorageBudget
 from repro.cond.tage import TAGE, TAGEConfig
 from repro.predictors.base import IndirectBranchPredictor
@@ -67,6 +68,27 @@ class COTTAGE(IndirectBranchPredictor):
         if self.conditional_count == 0:
             return 1.0
         return 1.0 - self.conditional_mispredictions / self.conditional_count
+
+    # Snapshot/restore --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "COTTAGE",
+            "tage": self.tage.state_dict(),
+            "ittage": self.ittage.state_dict(),
+            "conditional_count": self.conditional_count,
+            "conditional_mispredictions": self.conditional_mispredictions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "COTTAGE")
+        self.tage.load_state(state["tage"])
+        self.ittage.load_state(state["ittage"])
+        self.conditional_count = int(state["conditional_count"])
+        self.conditional_mispredictions = int(
+            state["conditional_mispredictions"]
+        )
 
     # ------------------------------------------------------------------
 

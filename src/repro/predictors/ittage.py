@@ -24,6 +24,14 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.common.hashing import FoldedHistory, mix_pc, stable_hash64
+from repro.common.state import (
+    StateError,
+    check_state,
+    dataclass_fingerprint,
+    decode_array,
+    encode_array,
+    require,
+)
 from repro.common.storage import StorageBudget
 from repro.predictors.base import IndirectBranchPredictor
 from repro.trace.record import BranchType
@@ -390,6 +398,88 @@ class ITTAGE(IndirectBranchPredictor):
         self._path = ((self._path << 2) | ((pc >> 2) & 3)) & (
             (1 << self.config.path_bits) - 1
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore.  The allocation tie-breaker consumes the RNG, so
+    # its bit-generator state is architectural and rides in the snapshot.
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        if self._ctx is not None:
+            raise StateError(
+                "cannot snapshot ITTAGE between predict_target and train; "
+                "snapshot at record boundaries"
+            )
+        return {
+            "v": 1,
+            "kind": "ITTAGE",
+            "config": dataclass_fingerprint(self.config),
+            "base_targets": encode_array(self._base_targets),
+            "base_ctr": encode_array(self._base_ctr),
+            "base_valid": encode_array(self._base_valid),
+            "tables": [
+                {
+                    "tags": encode_array(table.tags),
+                    "targets": encode_array(table.targets),
+                    "ctr": encode_array(table.ctr),
+                    "useful": encode_array(table.useful),
+                    "valid": encode_array(table.valid),
+                }
+                for table in self._tables
+            ],
+            "ring": list(self._ring._buffer),
+            "ring_head": self._ring._head,
+            "index_folds": [fold.state_dict() for fold in self._index_folds],
+            "tag_folds": [fold.state_dict() for fold in self._tag_folds],
+            "tag_folds2": [fold.state_dict() for fold in self._tag_folds2],
+            "path": self._path,
+            "use_alt": self._use_alt,
+            "updates": self._updates,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "ITTAGE")
+        require(
+            state["config"] == dataclass_fingerprint(self.config),
+            "ITTAGE snapshot was taken under a different configuration",
+        )
+        require(
+            len(state["tables"]) == len(self._tables),
+            "ITTAGE table count mismatch",
+        )
+        require(
+            len(state["ring"]) == len(self._ring._buffer),
+            "ITTAGE history ring size mismatch",
+        )
+        for table, payload in zip(self._tables, state["tables"]):
+            for attr in ("tags", "targets", "ctr", "useful", "valid"):
+                decoded = decode_array(payload[attr])
+                current = getattr(table, attr)
+                require(
+                    decoded.shape == current.shape
+                    and decoded.dtype == current.dtype,
+                    f"ITTAGE table {attr} mismatch",
+                )
+                setattr(table, attr, decoded)
+        self._base_targets = decode_array(state["base_targets"])
+        self._base_ctr = decode_array(state["base_ctr"])
+        self._base_valid = decode_array(state["base_valid"])
+        self._ring._buffer = [int(bit) for bit in state["ring"]]
+        self._ring._head = int(state["ring_head"])
+        for folds, payloads in (
+            (self._index_folds, state["index_folds"]),
+            (self._tag_folds, state["tag_folds"]),
+            (self._tag_folds2, state["tag_folds2"]),
+        ):
+            require(len(folds) == len(payloads), "ITTAGE fold count mismatch")
+            for fold, payload in zip(folds, payloads):
+                fold.load_state(payload)
+        self._path = int(state["path"])
+        self._use_alt = int(state["use_alt"])
+        self._updates = int(state["updates"])
+        self._rng.bit_generator.state = state["rng"]
+        self._ctx = None
 
     # ------------------------------------------------------------------
 

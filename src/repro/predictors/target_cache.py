@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.common.hashing import mix_pc, stable_hash64
+from repro.common.state import check_state, decode_array, encode_array, require
 from repro.common.storage import StorageBudget
 from repro.predictors.base import IndirectBranchPredictor
 from repro.trace.record import BranchType
@@ -84,6 +85,44 @@ class TargetCache(IndirectBranchPredictor):
             self._history = (
                 (self._history << self.bits_per_target) | bits
             ) & self._history_mask
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "TargetCache",
+            "num_entries": self.num_entries,
+            "tag_bits": self.tag_bits,
+            "history_targets": self.history_targets,
+            "bits_per_target": self.bits_per_target,
+            "tags": encode_array(self._tags),
+            "targets": encode_array(self._targets),
+            "history": self._history,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "TargetCache")
+        require(
+            state["num_entries"] == self.num_entries
+            and state["tag_bits"] == self.tag_bits
+            and state["history_targets"] == self.history_targets
+            and state["bits_per_target"] == self.bits_per_target,
+            "TargetCache geometry mismatch",
+        )
+        tags = decode_array(state["tags"])
+        targets = decode_array(state["targets"])
+        require(
+            tags.shape == self._tags.shape
+            and targets.shape == self._targets.shape,
+            "TargetCache table mismatch",
+        )
+        history = int(state["history"])
+        require(
+            0 <= history <= self._history_mask,
+            "TargetCache history out of range",
+        )
+        self._tags = tags.astype(np.int64)
+        self._targets = targets.astype(np.uint64)
+        self._history = history
 
     def storage_budget(self) -> StorageBudget:
         budget = StorageBudget(self.name)

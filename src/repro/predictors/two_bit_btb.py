@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.common.hashing import mix_pc
+from repro.common.state import check_state, decode_array, encode_array, require
 from repro.common.storage import StorageBudget
 from repro.predictors.base import IndirectBranchPredictor
 
@@ -61,6 +62,37 @@ class TwoBitBTB(IndirectBranchPredictor):
             self._misses[index] = 0
         else:
             self._misses[index] += 1
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "TwoBitBTB",
+            "num_entries": self.num_entries,
+            "tag_bits": self.tag_bits,
+            "tags": encode_array(self._tags),
+            "targets": encode_array(self._targets),
+            "misses": encode_array(self._misses),
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "TwoBitBTB")
+        require(
+            state["num_entries"] == self.num_entries
+            and state["tag_bits"] == self.tag_bits,
+            "TwoBitBTB geometry mismatch",
+        )
+        tags = decode_array(state["tags"])
+        targets = decode_array(state["targets"])
+        misses = decode_array(state["misses"])
+        require(
+            tags.shape == self._tags.shape
+            and targets.shape == self._targets.shape
+            and misses.shape == self._misses.shape,
+            "TwoBitBTB table mismatch",
+        )
+        self._tags = tags.astype(np.int64)
+        self._targets = targets.astype(np.uint64)
+        self._misses = misses.astype(np.uint8)
 
     def storage_budget(self) -> StorageBudget:
         budget = StorageBudget(self.name)

@@ -28,6 +28,14 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.common.hashing import mix_pc, stable_hash64
+from repro.common.state import (
+    StateError,
+    check_state,
+    dataclass_fingerprint,
+    decode_array,
+    encode_array,
+    require,
+)
 from repro.common.storage import StorageBudget
 from repro.cond.base import ConditionalPredictor
 from repro.cond.mpp import MultiperspectivePerceptron
@@ -99,6 +107,39 @@ class _DirectMappedBTB:
         self._tags[index] = tag
         self._targets[index] = target
         self._ticks[index] = self._clock
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "DirectMappedBTB",
+            "entries": self.entries,
+            "tag_bits": self.tag_bits,
+            "tags": encode_array(self._tags),
+            "targets": encode_array(self._targets),
+            "ticks": encode_array(self._ticks),
+            "clock": self._clock,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "DirectMappedBTB")
+        require(
+            state["entries"] == self.entries
+            and state["tag_bits"] == self.tag_bits,
+            "VPC BTB geometry mismatch",
+        )
+        tags = decode_array(state["tags"])
+        targets = decode_array(state["targets"])
+        ticks = decode_array(state["ticks"])
+        require(
+            tags.shape == self._tags.shape
+            and targets.shape == self._targets.shape
+            and ticks.shape == self._ticks.shape,
+            "VPC BTB table mismatch",
+        )
+        self._tags = tags.astype(np.int64)
+        self._targets = targets.astype(np.uint64)
+        self._ticks = ticks.astype(np.int64)
+        self._clock = int(state["clock"])
 
 
 class VPCPredictor(IndirectBranchPredictor):
@@ -230,6 +271,36 @@ class VPCPredictor(IndirectBranchPredictor):
         if self.conditional_count == 0:
             return 1.0
         return 1.0 - self.conditional_mispredictions / self.conditional_count
+
+    def state_dict(self) -> dict:
+        if self._ctx is not None:
+            raise StateError(
+                "cannot snapshot VPC between predict_target and train; "
+                "snapshot at record boundaries"
+            )
+        return {
+            "v": 1,
+            "kind": "VPCPredictor",
+            "config": dataclass_fingerprint(self.config),
+            "btb": self._btb.state_dict(),
+            "conditional": self.conditional.state_dict(),
+            "conditional_count": self.conditional_count,
+            "conditional_mispredictions": self.conditional_mispredictions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "VPCPredictor")
+        require(
+            state["config"] == dataclass_fingerprint(self.config),
+            "VPC snapshot was taken under a different configuration",
+        )
+        self._btb.load_state(state["btb"])
+        self.conditional.load_state(state["conditional"])
+        self.conditional_count = int(state["conditional_count"])
+        self.conditional_mispredictions = int(
+            state["conditional_mispredictions"]
+        )
+        self._ctx = None
 
     def storage_budget(self) -> StorageBudget:
         budget = StorageBudget(self.name)

@@ -1,0 +1,131 @@
+"""The predictor construction registry.
+
+One string-keyed catalogue of every predictor the reproduction can
+build — indirect target predictors, conditional direction predictors,
+and the consolidated front-ends — shared by the CLI (``--predictors``),
+exec campaign planning, the design-space search, and the checkpointing
+test-suite ("every registered predictor round-trips through
+``state_dict``/``load_state``").
+
+Names are the stable public identifiers: they appear in journals,
+leaderboards, and golden state-hash fixtures, so renaming an entry is a
+breaking change to on-disk artifacts.  Every factory takes no arguments
+and returns a predictor in its default (paper Table 2) configuration;
+:func:`make_indirect`/:func:`make_conditional` construct by name with a
+helpful error listing valid choices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cond.base import ConditionalPredictor
+from repro.cond.blbp_cond import BLBPConditional
+from repro.cond.gshare import GShare
+from repro.cond.hashed_perceptron import HashedPerceptron
+from repro.cond.mpp import MultiperspectivePerceptron
+from repro.cond.tage import TAGE
+from repro.core.blbp import BLBP
+from repro.core.frontend import ConsolidatedBLBPFrontend
+from repro.core.reference import ReferenceBLBP
+from repro.core.snip import SNIP
+from repro.predictors.base import IndirectBranchPredictor
+from repro.predictors.btb import BranchTargetBuffer
+from repro.predictors.cottage import COTTAGE
+from repro.predictors.ittage import ITTAGE
+from repro.predictors.target_cache import TargetCache
+from repro.predictors.two_bit_btb import TwoBitBTB
+from repro.predictors.vpc import VPCPredictor
+
+IndirectFactory = Callable[[], IndirectBranchPredictor]
+ConditionalFactory = Callable[[], ConditionalPredictor]
+
+#: Every indirect target predictor, by its CLI/journal name.
+INDIRECT_PREDICTORS: Dict[str, IndirectFactory] = {
+    "BTB": BranchTargetBuffer,
+    "2bit-BTB": TwoBitBTB,
+    "TargetCache": TargetCache,
+    "VPC": VPCPredictor,
+    "ITTAGE": ITTAGE,
+    "COTTAGE": COTTAGE,
+    "SNIP": SNIP,
+    "BLBP": BLBP,
+    "BLBP-ref": ReferenceBLBP,
+    "BLBP-frontend": ConsolidatedBLBPFrontend,
+}
+
+#: Every conditional direction predictor, by name.
+CONDITIONAL_PREDICTORS: Dict[str, ConditionalFactory] = {
+    "gshare": GShare,
+    "hashed-perceptron": HashedPerceptron,
+    "mpp": MultiperspectivePerceptron,
+    "tage": TAGE,
+    "blbp-cond": BLBPConditional,
+}
+
+#: Consolidated front-ends (indirect + conditional behind one object).
+FRONTEND_PREDICTORS: Dict[str, IndirectFactory] = {
+    "BLBP-frontend": ConsolidatedBLBPFrontend,
+    "COTTAGE": COTTAGE,
+    "VPC": VPCPredictor,
+}
+
+
+class RegistryError(KeyError):
+    """An unknown predictor name was requested."""
+
+
+def _lookup(name: str, table: Dict[str, Callable], what: str) -> Callable:
+    try:
+        return table[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown {what} predictor {name!r}; choose from "
+            f"{', '.join(sorted(table))}"
+        ) from None
+
+
+def indirect_factory(name: str) -> IndirectFactory:
+    """The zero-argument factory registered under ``name``."""
+    return _lookup(name, INDIRECT_PREDICTORS, "indirect")
+
+
+def conditional_factory(name: str) -> ConditionalFactory:
+    """The zero-argument factory registered under ``name``."""
+    return _lookup(name, CONDITIONAL_PREDICTORS, "conditional")
+
+
+def make_indirect(name: str) -> IndirectBranchPredictor:
+    """Construct the indirect predictor registered under ``name``."""
+    return indirect_factory(name)()
+
+
+def make_conditional(name: str) -> ConditionalPredictor:
+    """Construct the conditional predictor registered under ``name``."""
+    return conditional_factory(name)()
+
+
+def indirect_names() -> List[str]:
+    """Registered indirect predictor names, in registration order."""
+    return list(INDIRECT_PREDICTORS)
+
+
+def conditional_names() -> List[str]:
+    """Registered conditional predictor names, in registration order."""
+    return list(CONDITIONAL_PREDICTORS)
+
+
+__all__ = [
+    "CONDITIONAL_PREDICTORS",
+    "FRONTEND_PREDICTORS",
+    "INDIRECT_PREDICTORS",
+    "ConditionalFactory",
+    "IndirectFactory",
+    "RegistryError",
+    "conditional_factory",
+    "conditional_names",
+    "indirect_factory",
+    "indirect_names",
+    "make_conditional",
+    "make_indirect",
+]

@@ -8,6 +8,13 @@ campaigns (many traces × many predictors) and :mod:`repro.sim.report`
 formats result tables.
 """
 
+from repro.sim.checkpoint import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    SimulationCheckpoint,
+    discard_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.sim.counters import SimCounters, aggregate_profiles, format_counters
 from repro.sim.engine import simulate, simulate_conditional
 from repro.sim.metrics import CampaignResult, SimulationResult
@@ -25,6 +32,11 @@ from repro.sim.report import format_campaign, format_mpki_table
 __all__ = [
     "simulate",
     "simulate_conditional",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "SimulationCheckpoint",
+    "discard_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "SimCounters",
     "aggregate_profiles",
     "format_counters",

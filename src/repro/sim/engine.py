@@ -18,9 +18,10 @@ runtime at multi-million-record scale.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.predictors.base import IndirectBranchPredictor
+from repro.sim.checkpoint import SimulationCheckpoint, save_checkpoint
 from repro.sim.counters import SimCounters
 from repro.sim.metrics import SimulationResult
 from repro.sim.ras import ReturnAddressStack
@@ -35,78 +36,33 @@ _INDIRECT_CALL = int(BranchType.INDIRECT_CALL)
 _RETURN = int(BranchType.RETURN)
 
 
-def simulate(
-    predictor: IndirectBranchPredictor,
-    trace: Trace,
-    ras_depth: int = 32,
-    warmup_records: int = 0,
-    collect_per_pc: bool = False,
-    counters: Optional[SimCounters] = None,
-) -> SimulationResult:
-    """Run ``predictor`` over ``trace`` and return its result.
+def _replay_span(
+    pcs,
+    types,
+    takens,
+    targets,
+    on_conditional,
+    predict_target,
+    train,
+    on_retired,
+    ras,
+    collect_per_pc,
+    by_pc,
+    skip,
+    indirect,
+    mispredictions,
+    returns,
+    return_mispredictions,
+    conditionals,
+) -> Tuple[int, int, int, int, int, int]:
+    """The simulation hot loop over one span of trace columns.
 
-    Args:
-        predictor: the indirect predictor under test (mutated in place).
-        trace: the branch trace to replay.
-        ras_depth: depth of the return-address stack.
-        warmup_records: leading records whose mispredictions are not
-            counted (predictors still train on them).
-        collect_per_pc: also record per-static-branch misprediction
-            counts (slower; for diagnostics).
-        counters: when given, profile the run — per-phase wall times and
-            the predictor's own hot-path counters are accumulated into
-            ``counters`` and this cell's numbers land on the result's
-            ``profile`` field.  The unprofiled path pays nothing for
-            this.
+    The checkpoint-off path calls this once over the whole trace, so
+    checkpointing must cost nothing here: counters stay plain locals,
+    history advances through the pre-bound callables, and the function
+    hands its accumulators back as a tuple.  ``by_pc`` is mutated in
+    place.
     """
-    pcs = trace.pcs.tolist()
-    types = trace.types.tolist()
-    takens = trace.takens.tolist()
-    targets = trace.targets.tolist()
-
-    ras = ReturnAddressStack(ras_depth)
-    indirect = 0
-    mispredictions = 0
-    returns = 0
-    return_mispredictions = 0
-    conditionals = 0
-    by_pc: Dict[int, int] = {}
-
-    on_conditional = predictor.on_conditional
-    on_retired = predictor.on_retired
-    predict_target = predictor.predict_target
-    train = predictor.train
-
-    cell: Optional[SimCounters] = None
-    if counters is not None:
-        # Profiling wraps the three hot callables with timers.  The
-        # wrappers only exist on this branch, so the common unprofiled
-        # path keeps its direct bound-method calls.
-        cell = SimCounters()
-        perf = time.perf_counter
-
-        def on_conditional(pc, taken, _inner=on_conditional):
-            began = perf()
-            _inner(pc, taken)
-            cell.conditional_seconds += perf() - began
-
-        def predict_target(pc, _inner=predict_target):
-            began = perf()
-            prediction = _inner(pc)
-            cell.predict_seconds += perf() - began
-            return prediction
-
-        def train(pc, target, _inner=train):
-            began = perf()
-            _inner(pc, target)
-            cell.train_seconds += perf() - began
-
-        loop_started = perf()
-
-    # `skip` counts down the warmup prefix so the loop needs no record
-    # index — iterating the zipped columns directly beats four list
-    # indexings per record at multi-million-record scale.
-    skip = warmup_records
     for pc, branch_type, taken, target in zip(pcs, types, takens, targets):
         if branch_type == _COND:
             on_conditional(pc, taken)
@@ -144,6 +100,191 @@ def simulate(
             on_retired(pc, branch_type, target)
         else:  # direct jump
             on_retired(pc, branch_type, target)
+    return skip, indirect, mispredictions, returns, return_mispredictions, conditionals
+
+
+def simulate(
+    predictor: IndirectBranchPredictor,
+    trace: Trace,
+    ras_depth: int = 32,
+    warmup_records: int = 0,
+    collect_per_pc: bool = False,
+    counters: Optional[SimCounters] = None,
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[SimulationCheckpoint] = None,
+    on_checkpoint: Optional[Callable[[SimulationCheckpoint], None]] = None,
+) -> SimulationResult:
+    """Run ``predictor`` over ``trace`` and return its result.
+
+    Args:
+        predictor: the indirect predictor under test (mutated in place).
+        trace: the branch trace to replay.
+        ras_depth: depth of the return-address stack.
+        warmup_records: leading records whose mispredictions are not
+            counted (predictors still train on them).
+        collect_per_pc: also record per-static-branch misprediction
+            counts (slower; for diagnostics).
+        counters: when given, profile the run — per-phase wall times and
+            the predictor's own hot-path counters are accumulated into
+            ``counters`` and this cell's numbers land on the result's
+            ``profile`` field.  The unprofiled path pays nothing for
+            this.
+        checkpoint_every: when > 0, snapshot the full simulation state
+            (predictor, RAS, cursor, accumulators) after every this-many
+            records into ``checkpoint_path`` and/or ``on_checkpoint``.
+            Zero (the default) runs the whole trace in one span and pays
+            nothing for the checkpoint machinery.
+        checkpoint_path: file that receives each checkpoint (written
+            atomically).  Requires ``checkpoint_every > 0``.
+        resume_from: a :class:`SimulationCheckpoint` to continue from —
+            the predictor must be freshly constructed with the same
+            configuration; its state, the RAS, the cursor, and all
+            accumulators are restored before replay.  The final result
+            is per-branch identical to an uninterrupted run.
+        on_checkpoint: optional callback receiving each checkpoint (for
+            tests and in-process supervisors).
+    """
+    if checkpoint_every < 0:
+        raise ValueError(
+            f"checkpoint_every must be >= 0, got {checkpoint_every}"
+        )
+    if checkpoint_every and checkpoint_path is None and on_checkpoint is None:
+        raise ValueError(
+            "checkpoint_every needs a checkpoint_path or on_checkpoint sink"
+        )
+
+    pcs = trace.pcs.tolist()
+    types = trace.types.tolist()
+    takens = trace.takens.tolist()
+    targets = trace.targets.tolist()
+    total = len(pcs)
+
+    ras = ReturnAddressStack(ras_depth)
+    indirect = 0
+    mispredictions = 0
+    returns = 0
+    return_mispredictions = 0
+    conditionals = 0
+    by_pc: Dict[int, int] = {}
+    skip = warmup_records
+    cursor = 0
+
+    if resume_from is not None:
+        if resume_from.trace_name != trace.name:
+            raise ValueError(
+                f"checkpoint is for trace {resume_from.trace_name!r}, "
+                f"not {trace.name!r}"
+            )
+        if resume_from.predictor_name != predictor.name:
+            raise ValueError(
+                f"checkpoint is for predictor "
+                f"{resume_from.predictor_name!r}, not {predictor.name!r}"
+            )
+        if resume_from.cursor > total:
+            raise ValueError(
+                f"checkpoint cursor {resume_from.cursor} beyond trace "
+                f"length {total}"
+            )
+        predictor.load_state(resume_from.predictor)
+        ras.load_state(resume_from.ras)
+        cursor = resume_from.cursor
+        skip = resume_from.skip
+        indirect = resume_from.indirect
+        mispredictions = resume_from.mispredictions
+        returns = resume_from.returns
+        return_mispredictions = resume_from.return_mispredictions
+        conditionals = resume_from.conditionals
+        by_pc = dict(resume_from.by_pc)
+
+    started_at = cursor
+
+    on_conditional = predictor.on_conditional
+    on_retired = predictor.on_retired
+    predict_target = predictor.predict_target
+    train = predictor.train
+
+    cell: Optional[SimCounters] = None
+    if counters is not None:
+        # Profiling wraps the three hot callables with timers.  The
+        # wrappers only exist on this branch, so the common unprofiled
+        # path keeps its direct bound-method calls.
+        cell = SimCounters()
+        perf = time.perf_counter
+
+        def on_conditional(pc, taken, _inner=on_conditional):
+            began = perf()
+            _inner(pc, taken)
+            cell.conditional_seconds += perf() - began
+
+        def predict_target(pc, _inner=predict_target):
+            began = perf()
+            prediction = _inner(pc)
+            cell.predict_seconds += perf() - began
+            return prediction
+
+        def train(pc, target, _inner=train):
+            began = perf()
+            _inner(pc, target)
+            cell.train_seconds += perf() - began
+
+        loop_started = perf()
+
+    if not checkpoint_every and cursor == 0:
+        # Fast path: the whole trace in one span, zero checkpoint cost.
+        (
+            skip,
+            indirect,
+            mispredictions,
+            returns,
+            return_mispredictions,
+            conditionals,
+        ) = _replay_span(
+            pcs, types, takens, targets,
+            on_conditional, predict_target, train, on_retired,
+            ras, collect_per_pc, by_pc,
+            skip, indirect, mispredictions,
+            returns, return_mispredictions, conditionals,
+        )
+    else:
+        span = checkpoint_every if checkpoint_every else total
+        while cursor < total:
+            upper = min(cursor + span, total)
+            (
+                skip,
+                indirect,
+                mispredictions,
+                returns,
+                return_mispredictions,
+                conditionals,
+            ) = _replay_span(
+                pcs[cursor:upper], types[cursor:upper],
+                takens[cursor:upper], targets[cursor:upper],
+                on_conditional, predict_target, train, on_retired,
+                ras, collect_per_pc, by_pc,
+                skip, indirect, mispredictions,
+                returns, return_mispredictions, conditionals,
+            )
+            cursor = upper
+            if checkpoint_every and cursor < total:
+                checkpoint = SimulationCheckpoint(
+                    trace_name=trace.name,
+                    predictor_name=predictor.name,
+                    cursor=cursor,
+                    skip=skip,
+                    indirect=indirect,
+                    mispredictions=mispredictions,
+                    returns=returns,
+                    return_mispredictions=return_mispredictions,
+                    conditionals=conditionals,
+                    by_pc=dict(by_pc),
+                    ras=ras.state_dict(),
+                    predictor=predictor.state_dict(),
+                )
+                if checkpoint_path is not None:
+                    save_checkpoint(checkpoint, checkpoint_path)
+                if on_checkpoint is not None:
+                    on_checkpoint(checkpoint)
 
     result = SimulationResult(
         trace_name=trace.name,
@@ -158,7 +299,9 @@ def simulate(
     )
     if cell is not None:
         cell.elapsed_seconds = time.perf_counter() - loop_started
-        cell.records = len(pcs)
+        # Only the records this process actually replayed (a resumed
+        # cell's profile measures its own work, not the whole trace).
+        cell.records = total - started_at
         cell.conditionals = conditionals
         cell.harvest(predictor)
         result.profile = cell.as_dict()

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.common.state import Stateful, check_state, require
 from repro.common.storage import StorageBudget
 
 
-class ReturnAddressStack:
+class ReturnAddressStack(Stateful):
     """A fixed-depth circular return-address stack.
 
     Overflow wraps around (overwriting the oldest entry) and underflow
@@ -48,6 +49,23 @@ class ReturnAddressStack:
 
     def __len__(self) -> int:
         return len(self._stack)
+
+    def state_dict(self) -> dict:
+        return {
+            "v": 1,
+            "kind": "ReturnAddressStack",
+            "depth": self.depth,
+            "stack": list(self._stack),
+            "overflows": self.overflows,
+        }
+
+    def load_state(self, state: dict) -> None:
+        check_state(state, "ReturnAddressStack")
+        require(state["depth"] == self.depth, "RAS depth mismatch")
+        stack = [int(address) for address in state["stack"]]
+        require(len(stack) <= self.depth, "RAS snapshot deeper than stack")
+        self._stack = stack
+        self.overflows = int(state["overflows"])
 
     def storage_budget(self) -> StorageBudget:
         budget = StorageBudget("RAS")

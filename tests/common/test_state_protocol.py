@@ -1,0 +1,185 @@
+"""The snapshot/restore protocol on the common building blocks.
+
+Every structure must (a) round-trip through real JSON — a snapshot that
+only survives in-process is not a checkpoint — (b) hash identically
+after restore, (c) keep behaving identically after restore, and (d)
+reject snapshots from a differently-shaped twin instead of silently
+loading them.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.counters import SaturatingCounter, SignedSaturatingCounter
+from repro.common.hashing import FoldedHistory
+from repro.common.history import GlobalHistory, LocalHistoryTable, PathHistory
+from repro.common.replacement import LRUPolicy, RRIPPolicy
+from repro.common.state import (
+    STATE_PROTOCOL_VERSION,
+    StateError,
+    canonical_json,
+    check_state,
+    decode_array,
+    encode_array,
+    hash_state,
+)
+
+
+def json_roundtrip(state):
+    """Force the snapshot through the serialization a checkpoint uses."""
+    return json.loads(canonical_json(state))
+
+
+class TestEnvelope:
+    def test_check_state_accepts_matching_envelope(self):
+        state = {"v": STATE_PROTOCOL_VERSION, "kind": "Thing", "x": 1}
+        assert check_state(state, "Thing") is state
+
+    def test_check_state_rejects_wrong_kind(self):
+        state = {"v": STATE_PROTOCOL_VERSION, "kind": "Other"}
+        with pytest.raises(StateError, match="kind mismatch"):
+            check_state(state, "Thing")
+
+    def test_check_state_rejects_unknown_version(self):
+        state = {"v": 999, "kind": "Thing"}
+        with pytest.raises(StateError, match="version"):
+            check_state(state, "Thing")
+
+    def test_check_state_rejects_non_dict(self):
+        with pytest.raises(StateError, match="state dict"):
+            check_state([1, 2], "Thing")
+
+    def test_canonical_json_rejects_numpy_scalars(self):
+        with pytest.raises(StateError, match="JSON-ready"):
+            canonical_json({"x": np.int64(3)})
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(StateError):
+            canonical_json({"x": float("nan")})
+
+    def test_hash_is_key_order_insensitive(self):
+        assert hash_state({"a": 1, "b": 2}) == hash_state({"b": 2, "a": 1})
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("dtype", ["int8", "int32", "int64", "uint64"])
+    def test_roundtrip_preserves_dtype_shape_values(self, dtype):
+        array = np.arange(24, dtype=dtype).reshape(4, 6)
+        restored = decode_array(json_roundtrip({"a": encode_array(array)})["a"])
+        assert restored.dtype == array.dtype
+        assert restored.shape == array.shape
+        assert np.array_equal(restored, array)
+
+    def test_decoded_array_is_writable(self):
+        restored = decode_array(encode_array(np.zeros(4, dtype=np.int8)))
+        restored[0] = 1  # would raise on a frombuffer view
+        assert restored[0] == 1
+
+    def test_malformed_payload_raises_state_error(self):
+        with pytest.raises(StateError):
+            decode_array({"__ndarray__": "!!!", "dtype": "int8", "shape": [1]})
+
+
+def _drive_fold(fold, bits):
+    window = []
+    for bit in bits:
+        window.append(bit)
+        outgoing = window.pop(0) if len(window) > fold.length else 0
+        fold.update(bit, outgoing)
+
+
+class TestCommonStructures:
+    def test_folded_history_roundtrip_and_continuation(self):
+        a = FoldedHistory(13, 5)
+        _drive_fold(a, [1, 0, 1, 1, 0, 0, 1] * 4)
+        b = FoldedHistory(13, 5)
+        b.load_state(json_roundtrip(a.state_dict()))
+        assert b.state_hash() == a.state_hash()
+        _drive_fold(a, [0, 1, 1])
+        _drive_fold(b, [0, 1, 1])
+        assert b.fold == a.fold
+
+    def test_folded_history_rejects_geometry_mismatch(self):
+        with pytest.raises(StateError, match="geometry"):
+            FoldedHistory(13, 6).load_state(FoldedHistory(13, 5).state_dict())
+
+    def test_global_history_roundtrip(self):
+        a = GlobalHistory(64)
+        for i in range(100):
+            a.push(i % 3 == 0)
+        b = GlobalHistory(64)
+        b.load_state(json_roundtrip(a.state_dict()))
+        assert b.state_hash() == a.state_hash()
+        a.push(True)
+        b.push(True)
+        assert b.value() == a.value()
+
+    def test_global_history_rejects_out_of_range_bits(self):
+        state = GlobalHistory(4).state_dict()
+        state["bits"] = 1 << 10
+        with pytest.raises(StateError):
+            GlobalHistory(4).load_state(state)
+
+    def test_path_history_roundtrip(self):
+        a = PathHistory(16)
+        for pc in range(0x1000, 0x1100, 4):
+            a.push(pc)
+        b = PathHistory(16)
+        b.load_state(json_roundtrip(a.state_dict()))
+        assert b.state_hash() == a.state_hash()
+        assert b.folded(8, 7) == a.folded(8, 7)
+
+    def test_local_history_table_roundtrip(self):
+        a = LocalHistoryTable(32, 10)
+        for pc in range(0x2000, 0x2400, 4):
+            a.push(pc, (pc >> 3) & 1)
+        b = LocalHistoryTable(32, 10)
+        b.load_state(json_roundtrip(a.state_dict()))
+        assert b.state_hash() == a.state_hash()
+        assert b.read(0x2000) == a.read(0x2000)
+
+    def test_lru_roundtrip_preserves_victim_choice(self):
+        a = LRUPolicy(4)
+        for way in (2, 0, 3, 0):
+            a.touch(way)
+        b = LRUPolicy(4)
+        b.load_state(json_roundtrip(a.state_dict()))
+        assert b.state_hash() == a.state_hash()
+        assert b.victim() == a.victim()
+        assert b.recency_order() == a.recency_order()
+
+    def test_lru_rejects_duplicate_stack(self):
+        state = LRUPolicy(4).state_dict()
+        state["stack"] = [1, 1]
+        with pytest.raises(StateError, match="malformed"):
+            LRUPolicy(4).load_state(state)
+
+    def test_rrip_roundtrip_preserves_victim_choice(self):
+        a = RRIPPolicy(4)
+        a.insert(1)
+        a.touch(1)
+        a.insert(2)
+        b = RRIPPolicy(4)
+        b.load_state(json_roundtrip(a.state_dict()))
+        assert b.state_hash() == a.state_hash()
+        assert b.victim() == a.victim()
+
+    def test_rrip_rejects_overflowing_rrpv(self):
+        state = RRIPPolicy(2, rrpv_bits=2).state_dict()
+        state["rrpv"] = [0, 9]
+        with pytest.raises(StateError, match="malformed"):
+            RRIPPolicy(2, rrpv_bits=2).load_state(state)
+
+    @pytest.mark.parametrize(
+        "cls", [SaturatingCounter, SignedSaturatingCounter]
+    )
+    def test_counters_roundtrip(self, cls):
+        a = cls(3)
+        for _ in range(5):
+            a.increment()
+        b = cls(3)
+        b.load_state(json_roundtrip(a.state_dict()))
+        assert b.state_hash() == a.state_hash()
+        assert b.value == a.value

@@ -15,6 +15,8 @@ the per-branch assertion makes size irrelevant for strictness — one
 diverging fold or weight update trips it within a few branches.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -97,6 +99,48 @@ class TestFullSuiteEquivalence:
         for name, trace in subset:
             _lockstep(trace, config=config)
 
+    def test_suspended_blbp_tracks_reference_per_branch(self):
+        """Suspend/restore lockstep over the whole suite: every 500
+        records the live BLBP is snapshotted, serialized to JSON, and
+        replaced by a freshly constructed instance restored from that
+        snapshot — which must keep agreeing with the never-suspended
+        reference on every subsequent indirect branch.  Traces are 2000
+        records at this scale, so each workload survives 3 suspensions.
+        """
+        interval = 500
+        for name, trace in _traces():
+            optimized = BLBP()
+            reference = ReferenceBLBP()
+            indirect = 0
+            for position, (pc, branch_type, taken, target) in enumerate(
+                zip(
+                    trace.pcs.tolist(),
+                    trace.types.tolist(),
+                    trace.takens.tolist(),
+                    trace.targets.tolist(),
+                )
+            ):
+                if position and position % interval == 0:
+                    snapshot = json.loads(
+                        json.dumps(optimized.state_dict())
+                    )
+                    optimized = BLBP()
+                    optimized.load_state(snapshot)
+                if branch_type == _COND:
+                    optimized.on_conditional(pc, taken)
+                    reference.on_conditional(pc, taken)
+                elif branch_type in _INDIRECT:
+                    predicted = optimized.predict_target(pc)
+                    expected = reference.predict_target(pc)
+                    assert predicted == expected, (
+                        f"{name}: restored BLBP diverged at indirect "
+                        f"#{indirect} (record {position}, pc {pc:#x}): "
+                        f"{predicted!r} vs reference {expected!r}"
+                    )
+                    indirect += 1
+                    optimized.train(pc, target)
+                    reference.train(pc, target)
+
     def test_final_mpki_identical_via_engine(self):
         """End-to-end through the simulation engine: the reported
         misprediction totals (hence MPKI) agree on a suite sample."""
@@ -109,3 +153,50 @@ class TestFullSuiteEquivalence:
             ), f"{name}: MPKI diverges"
             assert optimized.indirect_branches == reference.indirect_branches
             assert optimized.mpki() == pytest.approx(reference.mpki())
+
+
+class TestCampaignKillResumeEquivalence:
+    def test_killed_campaign_resumes_to_identical_journal_and_mpki(
+        self, tmp_path
+    ):
+        """An exec-pool campaign killed mid-cell and resumed must leave
+        a journal byte-identical to an undisturbed run's and report the
+        same MPKI for every cell."""
+        from repro.exec.plan import checkpoint_name, plan_campaign
+        from repro.exec.pool import execute_plan
+        from repro.sim.checkpoint import save_checkpoint
+        from repro.sim.engine import simulate as engine_simulate
+        from repro.trace.stream import read_trace
+
+        traces = [trace for _, trace in _traces()[:2]]
+        factories = {"BLBP": BLBP}
+        plan = plan_campaign(traces, factories, cache_dir=tmp_path / "cache")
+
+        clean_journal = tmp_path / "clean.jsonl"
+        clean = execute_plan(
+            plan, jobs=1, journal_path=clean_journal, checkpoint_every=500
+        )
+
+        # "Kill" the first cell mid-trace: leave its real checkpoint.
+        killed_journal = tmp_path / "killed.jsonl"
+        checkpoint_dir = tmp_path / "killed.jsonl.ckpt"
+        checkpoint_dir.mkdir()
+        spec = plan.cells[0]
+        grabbed = []
+        engine_simulate(
+            spec.factory.build(),
+            read_trace(spec.trace_path),
+            checkpoint_every=500,
+            on_checkpoint=grabbed.append,
+        )
+        save_checkpoint(grabbed[0], checkpoint_dir / checkpoint_name(spec))
+
+        resumed = execute_plan(
+            plan, jobs=1, journal_path=killed_journal, checkpoint_every=500
+        )
+
+        assert killed_journal.read_bytes() == clean_journal.read_bytes()
+        for trace in traces:
+            assert resumed.mpki_of(trace.name, "BLBP") == pytest.approx(
+                clean.mpki_of(trace.name, "BLBP")
+            )

@@ -1,0 +1,266 @@
+"""Suspend/restore properties for every registered predictor.
+
+The property: for any branch stream and any split point k,
+
+    drive k events -> state_dict -> JSON -> load_state into a fresh
+    predictor -> drive the remaining events
+
+produces exactly the same per-branch predictions and the same final
+``state_hash()`` as never suspending at all.  One test does the restore
+in a genuinely fresh process; one pins the registry's hashes to golden
+fixtures regenerable via ``python -m repro statehash``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.registry import (
+    CONDITIONAL_PREDICTORS,
+    INDIRECT_PREDICTORS,
+    RegistryError,
+    conditional_names,
+    indirect_names,
+    make_conditional,
+    make_indirect,
+)
+from repro.trace.record import BranchType
+
+_IND_JUMP = int(BranchType.INDIRECT_JUMP)
+_IND_CALL = int(BranchType.INDIRECT_CALL)
+_RETURN = int(BranchType.RETURN)
+
+pcs = st.sampled_from([0x1000, 0x1040, 0x2000, 0x2100, 0x3004])
+targets = st.sampled_from(
+    [0x40_0004, 0x40_0128, 0x40_0A3C, 0x41_0010, 0x42_0844]
+)
+
+#: cond / indirect / return events — every hook a predictor implements.
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("cond"), pcs, st.booleans()),
+        st.tuples(st.just("indirect"), pcs, targets),
+        st.tuples(st.just("return"), pcs, targets),
+    ),
+    min_size=4,
+    max_size=100,
+)
+
+streams = st.tuples(events, st.integers(min_value=0, max_value=100))
+
+
+def _drive_indirect(predictor, stream):
+    """Replay events through the full indirect interface; return the
+    prediction at every indirect branch."""
+    outcomes = []
+    for event in stream:
+        kind, pc, payload = event
+        if kind == "cond":
+            predictor.on_conditional(pc, payload)
+        elif kind == "indirect":
+            outcomes.append(predictor.predict_target(pc))
+            predictor.train(pc, payload)
+            predictor.on_retired(pc, _IND_JUMP, payload)
+        else:
+            predictor.on_retired(pc, _RETURN, payload)
+    return outcomes
+
+
+def _drive_conditional(predictor, stream):
+    outcomes = []
+    for event in stream:
+        kind, pc, payload = event
+        if kind != "cond":
+            continue
+        outcomes.append(predictor.predict(pc))
+        predictor.update(pc, payload)
+    return outcomes
+
+
+def _suspend_restore(factory, state):
+    """snapshot -> real JSON -> fresh instance, as a checkpoint would."""
+    revived = factory()
+    revived.load_state(json.loads(json.dumps(state)))
+    return revived
+
+
+@pytest.mark.parametrize("name", indirect_names())
+class TestIndirectSuspendRestore:
+    @settings(max_examples=8, deadline=None)
+    @given(case=streams)
+    def test_restore_continues_identically(self, name, case):
+        stream, raw_split = case
+        split = raw_split % (len(stream) + 1)
+        baseline = INDIRECT_PREDICTORS[name]()
+        expected = _drive_indirect(baseline, stream)
+
+        first = INDIRECT_PREDICTORS[name]()
+        head = _drive_indirect(first, stream[:split])
+        revived = _suspend_restore(INDIRECT_PREDICTORS[name], first.state_dict())
+        assert revived.state_hash() == first.state_hash()
+        tail = _drive_indirect(revived, stream[split:])
+        assert head + tail == expected
+        assert revived.state_hash() == baseline.state_hash()
+
+
+@pytest.mark.parametrize("name", conditional_names())
+class TestConditionalSuspendRestore:
+    @settings(max_examples=8, deadline=None)
+    @given(case=streams)
+    def test_restore_continues_identically(self, name, case):
+        stream, raw_split = case
+        split = raw_split % (len(stream) + 1)
+        baseline = CONDITIONAL_PREDICTORS[name]()
+        expected = _drive_conditional(baseline, stream)
+
+        first = CONDITIONAL_PREDICTORS[name]()
+        head = _drive_conditional(first, stream[:split])
+        revived = _suspend_restore(
+            CONDITIONAL_PREDICTORS[name], first.state_dict()
+        )
+        assert revived.state_hash() == first.state_hash()
+        tail = _drive_conditional(revived, stream[split:])
+        assert head + tail == expected
+        assert revived.state_hash() == baseline.state_hash()
+
+
+@pytest.mark.parametrize("name", indirect_names())
+def test_snapshot_is_nondestructive(name):
+    """Taking a snapshot must not perturb the live predictor."""
+    stream = [
+        ("cond", 0x1000, True),
+        ("indirect", 0x2000, 0x40_0004),
+        ("cond", 0x1040, False),
+        ("indirect", 0x2000, 0x40_0128),
+        ("return", 0x3004, 0x41_0010),
+        ("indirect", 0x2100, 0x40_0004),
+    ] * 10
+    undisturbed = make_indirect(name)
+    expected = _drive_indirect(undisturbed, stream)
+
+    probed = make_indirect(name)
+    outcomes = []
+    for event in stream:
+        probed.state_dict()  # snapshot before every event
+        outcomes.extend(_drive_indirect(probed, [event]))
+    assert outcomes == expected
+    assert probed.state_hash() == undisturbed.state_hash()
+
+
+def test_registry_rejects_unknown_names():
+    with pytest.raises(RegistryError, match="choose from"):
+        make_indirect("no-such-predictor")
+    with pytest.raises(RegistryError, match="choose from"):
+        make_conditional("no-such-predictor")
+
+
+class TestFreshProcessRestore:
+    def test_blbp_restore_in_subprocess_matches(self, tmp_path):
+        """The restore side of the property in a genuinely fresh
+        interpreter: no shared module state, no shared caches."""
+        from repro.workloads.suite import suite88_specs
+
+        trace_entry = suite88_specs(0.02)[0]
+        trace = trace_entry.generate()
+        split = len(trace) // 2
+
+        baseline = make_indirect("BLBP")
+        stream = list(
+            zip(
+                trace.pcs.tolist(),
+                trace.types.tolist(),
+                trace.takens.tolist(),
+                trace.targets.tolist(),
+            )
+        )
+
+        def drive(predictor, records):
+            outcomes = []
+            for pc, branch_type, taken, target in records:
+                if branch_type == int(BranchType.CONDITIONAL):
+                    predictor.on_conditional(pc, bool(taken))
+                elif branch_type in (_IND_JUMP, _IND_CALL):
+                    outcomes.append(predictor.predict_target(pc))
+                    predictor.train(pc, target)
+                    predictor.on_retired(pc, branch_type, target)
+                else:
+                    predictor.on_retired(pc, branch_type, target)
+            return outcomes
+
+        expected = drive(baseline, stream)
+
+        first = make_indirect("BLBP")
+        head = drive(first, stream[:split])
+        snapshot_path = tmp_path / "blbp.state.json"
+        snapshot_path.write_text(json.dumps(first.state_dict()))
+        tail_path = tmp_path / "tail.json"
+        tail_path.write_text(
+            json.dumps([list(record) for record in stream[split:]])
+        )
+
+        script = (
+            "import json, sys\n"
+            "from repro.registry import make_indirect\n"
+            "from repro.trace.record import BranchType\n"
+            "snapshot, tail, out = sys.argv[1:4]\n"
+            "predictor = make_indirect('BLBP')\n"
+            "predictor.load_state(json.load(open(snapshot)))\n"
+            "outcomes = []\n"
+            "for pc, branch_type, taken, target in json.load(open(tail)):\n"
+            "    if branch_type == int(BranchType.CONDITIONAL):\n"
+            "        predictor.on_conditional(pc, bool(taken))\n"
+            "    elif branch_type in (int(BranchType.INDIRECT_JUMP),\n"
+            "                         int(BranchType.INDIRECT_CALL)):\n"
+            "        outcomes.append(predictor.predict_target(pc))\n"
+            "        predictor.train(pc, target)\n"
+            "        predictor.on_retired(pc, branch_type, target)\n"
+            "    else:\n"
+            "        predictor.on_retired(pc, branch_type, target)\n"
+            "json.dump({'outcomes': outcomes,\n"
+            "           'hash': predictor.state_hash()}, open(out, 'w'))\n"
+        )
+        out_path = tmp_path / "out.json"
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(
+            [sys.executable, "-c", script,
+             str(snapshot_path), str(tail_path), str(out_path)],
+            check=True, env=env,
+        )
+        reply = json.loads(out_path.read_text())
+        assert head + reply["outcomes"] == expected
+        assert reply["hash"] == baseline.state_hash()
+
+
+class TestGoldenStateHashes:
+    FIXTURE = Path(__file__).parent.parent / "fixtures" / "state_hashes.json"
+
+    def test_fixture_hashes_reproduce(self):
+        """Pin post-simulation state for every registered predictor.
+
+        A mismatch means architectural state changed: if intentional,
+        regenerate with
+        ``python -m repro statehash --out tests/fixtures/state_hashes.json``
+        and explain the change in the commit.
+        """
+        from repro.sim import simulate
+        from repro.workloads.suite import suite88_specs
+
+        fixture = json.loads(self.FIXTURE.read_text())
+        specs = {e.name: e for e in suite88_specs(fixture["scale"])}
+        trace = specs[fixture["trace"]].generate()
+        assert set(fixture["hashes"]) == set(indirect_names())
+        for name, expected in fixture["hashes"].items():
+            predictor = make_indirect(name)
+            simulate(predictor, trace)
+            assert predictor.state_hash() == expected, (
+                f"{name}: architectural state diverged from golden fixture"
+            )
