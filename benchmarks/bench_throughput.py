@@ -32,6 +32,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.common.envinfo import environment_metadata
 from repro.core import BLBP, ReferenceBLBP
 from repro.predictors import ITTAGE, BranchTargetBuffer, VPCPredictor
 
@@ -103,6 +104,7 @@ def measure_speedup(scale: float, stride: int, repeats: int) -> dict:
     reference_seconds = best_pass(ReferenceBLBP)
     optimized_seconds = best_pass(BLBP)
     return {
+        "environment": environment_metadata(),
         "traces": [trace.name for trace in traces],
         "records": records,
         "scale": scale,
@@ -165,6 +167,7 @@ def measure_checkpoint_overhead(
         on_seconds = on if on_seconds is None else min(on_seconds, on)
     overhead = 100.0 * (on_seconds - off_seconds) / off_seconds
     return {
+        "environment": environment_metadata(),
         "records": records,
         "scale": scale,
         "stride": stride,

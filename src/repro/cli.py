@@ -141,7 +141,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "in a temporary directory; they will not survive this process",
             file=sys.stderr,
         )
-    if jobs > 1 or args.resume or args.checkpoint_every:
+    if jobs > 1 or args.resume or args.checkpoint_every or args.fuse:
         campaign = run_campaign_parallel(
             traces,
             factories,
@@ -150,6 +150,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             events=ProgressLineSink(sys.stderr),
             profile=args.profile,
             checkpoint_every=args.checkpoint_every,
+            fuse=args.fuse,
         )
     else:
         campaign = run_campaign(
@@ -379,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="collect hot-path counters and phase timings; prints an "
              "aggregated per-predictor table after the MPKI results",
+    )
+    simulate.add_argument(
+        "--fuse", action=argparse.BooleanOptionalAction, default=True,
+        help="run same-trace cells as one fused pass over the trace "
+             "(results identical; --no-fuse restores per-cell passes)",
     )
     simulate.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="N",

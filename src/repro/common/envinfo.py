@@ -1,0 +1,31 @@
+"""Host-environment metadata for benchmark result files.
+
+Throughput numbers are meaningless without the machine that produced
+them: a committed ``results/*.json`` gets compared against re-runs on
+different CI runners, Python builds, and NumPy versions.  Every
+benchmark stamps its summary with this block so a regression can be
+told apart from a hardware change.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+
+def environment_metadata() -> dict:
+    """A JSON-ready snapshot of the executing environment."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+__all__ = ["environment_metadata"]

@@ -59,7 +59,9 @@ from repro.exec.plan import (
     CampaignPlan,
     CellSpec,
     FactoryRef,
+    FusedCellSpec,
     PlanError,
+    fuse_cells,
     plan_campaign,
 )
 from repro.exec.pool import (
@@ -67,6 +69,7 @@ from repro.exec.pool import (
     CellTimeout,
     execute_plan,
     run_cell,
+    run_fused_cell,
 )
 from repro.sim.metrics import CampaignResult
 from repro.sim.runner import (
@@ -135,6 +138,7 @@ def run_campaign_parallel(
     backoff: float = 0.1,
     profile: bool = False,
     checkpoint_every: int = 0,
+    fuse: bool = True,
 ) -> CampaignResult:
     """Run a campaign across worker processes; a drop-in for
     :func:`repro.sim.runner.run_campaign`.
@@ -158,6 +162,9 @@ def run_campaign_parallel(
             every this-many records into ``<journal>.ckpt/`` so a
             killed or timed-out cell resumes mid-trace; see
             :func:`repro.exec.pool.execute_plan`.
+        fuse: fuse contiguous same-trace cells into single-pass
+            multi-predictor units (default on; results are identical
+            either way — see :func:`repro.exec.pool.execute_plan`).
 
     Returns:
         A :class:`CampaignResult` identical to the serial runner's.
@@ -190,6 +197,7 @@ def run_campaign_parallel(
             retries=retries,
             backoff=backoff,
             checkpoint_every=checkpoint_every,
+            fuse=fuse,
         )
 
     if cache_dir is not None:
@@ -208,6 +216,7 @@ __all__ = [
     "EventSink",
     "ExecEvent",
     "FactoryRef",
+    "FusedCellSpec",
     "JOBS_ENV",
     "Journal",
     "JournalError",
@@ -216,6 +225,7 @@ __all__ = [
     "ProgressLineSink",
     "broadcast",
     "execute_plan",
+    "fuse_cells",
     "load_journal",
     "null_sink",
     "plan_campaign",
@@ -224,4 +234,5 @@ __all__ = [
     "result_to_json",
     "run_campaign_parallel",
     "run_cell",
+    "run_fused_cell",
 ]

@@ -59,6 +59,8 @@ class ExecEvent:
     mpki: float = 0.0
     #: 1-based attempt number for retry/failure events.
     attempt: int = 0
+    #: Size of the fused group this cell runs in (0 = solo execution).
+    group: int = 0
     #: Retries issued so far in the campaign (campaign_end).
     retries: int = 0
     #: Worker processes in use (campaign_start; 1 = serial).

@@ -4,10 +4,17 @@ A *plan* is the execution engine's unit of truth: one
 :class:`CellSpec` per (trace, predictor) pair, in the same
 deterministic order the serial runner would visit them.  Specs must
 cross a process boundary cheaply, so they reference traces **by on-disk
-path** — :func:`plan_campaign` spills each in-memory trace through the
-existing ``RPTRACE1`` binary cache (:func:`repro.trace.stream.write_trace`)
-and workers re-read it, instead of pickling multi-megabyte NumPy
-columns into every task message.
+path** — :func:`plan_campaign` spills each in-memory trace into the
+``RPTRACE2`` zero-copy format (:mod:`repro.trace.plane`) and workers
+attach it with ``np.memmap``, instead of pickling multi-megabyte NumPy
+columns into every task message.  A spill whose recorded content hash
+already matches is left untouched, so resumed campaigns rewrite nothing
+(and keep existing mappings and derived planes valid).
+
+:func:`fuse_cells` groups contiguous cells that share a trace into
+:class:`FusedCellSpec` units, which the pool layer runs as *one* pass
+over the trace via :func:`repro.sim.engine.simulate_many` — journal
+entries, events, and results stay per-cell.
 
 Predictor factories are captured as :class:`FactoryRef`: importable
 classes/functions travel as a ``module:qualname`` string (stable across
@@ -27,7 +34,8 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.runner import PredictorFactory
-from repro.trace.stream import Trace, write_trace
+from repro.trace.plane import spilled_hash, trace_content_hash, write_trace_v2
+from repro.trace.stream import Trace
 
 #: (trace_name, predictor_name) — the identity of one campaign cell.
 CellKey = Tuple[str, str]
@@ -98,7 +106,8 @@ class CellSpec:
     index: int
     trace_name: str
     predictor_name: str
-    #: RPTRACE1 file the worker loads the trace from.
+    #: Spill file the worker attaches the trace from (RPTRACE2; legacy
+    #: RPTRACE1 files are still readable).
     trace_path: str
     factory: FactoryRef
     ras_depth: int = 32
@@ -118,6 +127,98 @@ class CellSpec:
     @property
     def key(self) -> CellKey:
         return (self.trace_name, self.predictor_name)
+
+
+@dataclass(frozen=True)
+class FusedCellSpec:
+    """Several same-trace cells executed as one pass over the trace.
+
+    Purely an *execution* grouping: the member cells keep their plan
+    indices, keys, and per-cell journal/event identity.  Members share
+    trace path, RAS depth, warmup, and checkpoint interval (enforced at
+    construction), which is exactly what :func:`simulate_many` needs to
+    issue every predictor its unfused call sequence in one pass.
+    """
+
+    cells: Tuple[CellSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cells) < 2:
+            raise PlanError("a fused cell needs at least two member cells")
+        first = self.cells[0]
+        for cell in self.cells[1:]:
+            if (
+                cell.trace_path != first.trace_path
+                or cell.trace_name != first.trace_name
+                or cell.ras_depth != first.ras_depth
+                or cell.warmup_records != first.warmup_records
+                or cell.checkpoint_every != first.checkpoint_every
+            ):
+                raise PlanError(
+                    f"cells ({first.trace_name}, {first.predictor_name}) and "
+                    f"({cell.trace_name}, {cell.predictor_name}) cannot fuse: "
+                    "trace/ras_depth/warmup/checkpoint settings differ"
+                )
+
+    @property
+    def trace_name(self) -> str:
+        return self.cells[0].trace_name
+
+    @property
+    def trace_path(self) -> str:
+        return self.cells[0].trace_path
+
+    @property
+    def records(self) -> int:
+        return self.cells[0].records
+
+    @property
+    def size(self) -> int:
+        return len(self.cells)
+
+
+#: What the pool layer schedules: a bare cell or a fused group.
+ExecutionUnit = Union[CellSpec, "FusedCellSpec"]
+
+
+def fuse_cells(
+    cells: Iterable[CellSpec],
+    fusable: Optional[Callable[[CellSpec], bool]] = None,
+) -> List[ExecutionUnit]:
+    """Group contiguous same-trace cells into :class:`FusedCellSpec`s.
+
+    Only *adjacent* compatible cells fuse, which preserves plan order:
+    recording a group's members in cell order keeps the serial journal
+    byte-identical to an unfused run.  ``fusable`` can veto individual
+    cells (profiled cells, cells with a pending checkpoint); a vetoed
+    cell runs alone and breaks the current run of fusable cells.
+    """
+    units: List[ExecutionUnit] = []
+    run: List[CellSpec] = []
+
+    def flush() -> None:
+        if len(run) >= 2:
+            units.append(FusedCellSpec(cells=tuple(run)))
+        elif run:
+            units.append(run[0])
+        run.clear()
+
+    for cell in cells:
+        if fusable is not None and not fusable(cell):
+            flush()
+            units.append(cell)
+            continue
+        if run and (
+            cell.trace_path != run[-1].trace_path
+            or cell.trace_name != run[-1].trace_name
+            or cell.ras_depth != run[-1].ras_depth
+            or cell.warmup_records != run[-1].warmup_records
+            or cell.checkpoint_every != run[-1].checkpoint_every
+        ):
+            flush()
+        run.append(cell)
+    flush()
+    return units
 
 
 @dataclass
@@ -142,6 +243,21 @@ def _spill_name(index: int, trace_name: str) -> str:
     """A filesystem-safe, collision-free spill filename for a trace."""
     stem = _UNSAFE_FILENAME.sub("_", trace_name)[:80] or "trace"
     return f"{index:04d}-{stem}.trace"
+
+
+def spill_trace(trace: Trace, path: Path) -> bool:
+    """Spill ``trace`` to ``path`` unless an identical spill is present.
+
+    Returns ``True`` if the file was (re)written.  The content hash in
+    the RPTRACE2 header makes the check one header read — resumed
+    campaigns touch no spill bytes, which keeps worker ``TraceCache``
+    mappings and on-disk derived planes valid across runs.
+    """
+    content_hash = trace_content_hash(trace)
+    if path.exists() and spilled_hash(path) == content_hash:
+        return False
+    write_trace_v2(trace, path, content_hash=content_hash)
+    return True
 
 
 def checkpoint_name(spec: "CellSpec") -> str:
@@ -199,7 +315,7 @@ def plan_campaign(
     index = 0
     for trace_index, trace in enumerate(traces):
         path = cache_dir / _spill_name(trace_index, trace.name)
-        write_trace(trace, path)
+        spill_trace(trace, path)
         for predictor_name, ref in refs.items():
             cells.append(
                 CellSpec(
@@ -222,8 +338,12 @@ __all__ = [
     "CellKey",
     "CellSpec",
     "CampaignPlan",
+    "ExecutionUnit",
     "FactoryRef",
+    "FusedCellSpec",
     "PlanError",
     "checkpoint_name",
+    "fuse_cells",
     "plan_campaign",
+    "spill_trace",
 ]

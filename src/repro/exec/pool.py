@@ -18,6 +18,15 @@ Robustness ladder, roughly in the order things go wrong in practice:
   hard (``BrokenProcessPool``) → graceful degradation to in-process
   serial execution of the remaining cells, announced by a ``fallback``
   event — a campaign never fails merely because parallelism did.
+
+With ``fuse=True`` (the default) contiguous cells sharing a trace are
+grouped into :class:`~repro.exec.plan.FusedCellSpec` units that a worker
+runs as *one* pass over the trace (:func:`run_fused_cell` →
+:func:`repro.sim.engine.simulate_many`), sharing the trace mapping, the
+derived plane, and the per-branch dispatch across all member predictors.
+Journal entries, events, results, and checkpoints stay per-cell, and a
+group that exhausts its retry budget degrades to solo member cells —
+fusion is invisible to everything downstream except the wall clock.
 """
 
 from __future__ import annotations
@@ -48,12 +57,21 @@ from repro.exec.events import (
     safe_emit,
 )
 from repro.exec.journal import Journal, load_journal
-from repro.exec.plan import CampaignPlan, CellKey, CellSpec, checkpoint_name
+from repro.exec.plan import (
+    CampaignPlan,
+    CellKey,
+    CellSpec,
+    ExecutionUnit,
+    FusedCellSpec,
+    checkpoint_name,
+    fuse_cells,
+)
 from repro.sim.checkpoint import discard_checkpoint, load_checkpoint
 from repro.sim.counters import SimCounters
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate, simulate_many
 from repro.sim.metrics import CampaignResult, SimulationResult
-from repro.trace.stream import read_trace
+from repro.trace.derived import cached_derived
+from repro.trace.plane import cached_trace
 
 
 class CellTimeout(RuntimeError):
@@ -126,7 +144,7 @@ def run_cell(
         if candidate is not None and candidate.trace_name == spec.trace_name:
             resume_from = candidate
     with _deadline(timeout):
-        trace = read_trace(spec.trace_path)
+        trace = cached_trace(spec.trace_path)
         predictor = spec.factory.build()
         if resume_from is not None and (
             resume_from.predictor_name != predictor.name
@@ -146,6 +164,76 @@ def run_cell(
         discard_checkpoint(spec.checkpoint_path)
     result.predictor_name = spec.predictor_name
     return spec.index, result, time.perf_counter() - started
+
+
+def run_fused_cell(
+    group: FusedCellSpec, timeout: Optional[float] = None
+) -> List[Tuple[int, SimulationResult, float]]:
+    """Execute a fused group: one trace pass, all member predictors.
+
+    Worker entry point like :func:`run_cell`.  The trace is attached
+    through the per-worker :class:`~repro.trace.plane.TraceCache` and its
+    derived plane through the matching derived-plane cache, so every
+    group (and every unfused cell) on the same trace shares one mapping.
+    The SIGALRM deadline scales by group size — a fused group
+    legitimately does N cells of predictor work in one pass.
+
+    Returns one ``(plan index, result, seconds)`` triple per member, the
+    wall clock split evenly across members (throughput accounting; the
+    pass is genuinely shared).
+    """
+    started = time.perf_counter()
+    cells = group.cells
+    scaled = timeout * len(cells) if timeout else timeout
+    first = cells[0]
+    with _deadline(scaled):
+        trace = cached_trace(group.trace_path)
+        derived = None
+        if not first.checkpoint_every:
+            derived = cached_derived(group.trace_path, trace, first.ras_depth)
+        predictors = [spec.factory.build() for spec in cells]
+        results = simulate_many(
+            predictors,
+            trace,
+            ras_depth=first.ras_depth,
+            warmup_records=first.warmup_records,
+            derived=derived,
+            checkpoint_every=first.checkpoint_every,
+            checkpoint_paths=[spec.checkpoint_path for spec in cells],
+        )
+    share = (time.perf_counter() - started) / len(cells)
+    outcomes = []
+    for spec, result in zip(cells, results):
+        if spec.checkpoint_path is not None:
+            discard_checkpoint(spec.checkpoint_path)
+        result.predictor_name = spec.predictor_name
+        outcomes.append((spec.index, result, share))
+    return outcomes
+
+
+def _member_cells(unit: ExecutionUnit) -> Tuple[CellSpec, ...]:
+    return unit.cells if isinstance(unit, FusedCellSpec) else (unit,)
+
+
+def _fusable(spec: CellSpec) -> bool:
+    """Whether a cell may join a fused group.
+
+    Profiled cells keep the solo path (their profile must measure one
+    predictor, not a fused pass), and a cell with a pending mid-trace
+    checkpoint resumes solo — ``simulate_many`` starts every member at
+    record zero.
+    """
+    if spec.profile:
+        return False
+    if spec.checkpoint_path and os.path.exists(spec.checkpoint_path):
+        return False
+    return True
+
+
+def _plan_units(specs: List[CellSpec], fuse: bool) -> List[ExecutionUnit]:
+    if not fuse:
+        return list(specs)
+    return fuse_cells(specs, fusable=_fusable)
 
 
 def _announce_resume(state: "_Execution", spec: CellSpec, attempt: int) -> None:
@@ -238,18 +326,88 @@ class _Execution:
         ]
 
 
-def _run_serial(
+def _run_cell_serial(
     state: _Execution,
-    specs: List[CellSpec],
+    spec: CellSpec,
     timeout: Optional[float],
     retries: int,
     backoff: float,
 ) -> None:
-    """Run ``specs`` in-process, with the same retry/timeout discipline."""
-    for spec in specs:
-        attempts = 0
-        while True:
-            attempts += 1
+    """Run one cell in-process, with the retry/timeout discipline."""
+    attempts = 0
+    while True:
+        attempts += 1
+        state.emit(
+            CELL_START,
+            trace=spec.trace_name,
+            predictor=spec.predictor_name,
+            index=spec.index,
+            completed=state.completed,
+            attempt=attempts,
+        )
+        _announce_resume(state, spec, attempts)
+        try:
+            _, result, duration = run_cell(spec, timeout)
+        except Exception as exc:  # noqa: BLE001 - retried, then raised
+            if attempts <= retries:
+                state.retries += 1
+                state.emit(
+                    CELL_RETRY,
+                    trace=spec.trace_name,
+                    predictor=spec.predictor_name,
+                    index=spec.index,
+                    attempt=attempts,
+                    message=repr(exc),
+                )
+                time.sleep(backoff * attempts)
+                continue
+            state.emit(
+                CELL_FAILED,
+                trace=spec.trace_name,
+                predictor=spec.predictor_name,
+                index=spec.index,
+                attempt=attempts,
+                message=repr(exc),
+            )
+            raise CellFailedError(spec.key, attempts, exc) from exc
+        state.record(spec, result, duration)
+        break
+
+
+def _record_fused(
+    state: _Execution,
+    group: FusedCellSpec,
+    outcomes: List[Tuple[int, SimulationResult, float]],
+) -> None:
+    """Record a fused group's outcomes *in member (plan) order*.
+
+    The journal appends on record, so member order is what keeps a
+    serial fused journal byte-identical to an unfused one.
+    """
+    by_index = {index: (result, duration) for index, result, duration in outcomes}
+    for spec in group.cells:
+        result, duration = by_index[spec.index]
+        state.record(spec, result, duration)
+
+
+def _run_fused_serial(
+    state: _Execution,
+    group: FusedCellSpec,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+) -> None:
+    """Run one fused group in-process; degrade to solo cells on failure.
+
+    The whole group shares a retry budget (one pass = one attempt); if
+    that budget runs out, the group unfuses and each member re-runs solo
+    with a fresh budget — precise failure attribution, and a poisoned
+    predictor cannot take its groupmates down with it.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        for spec in group.cells:
             state.emit(
                 CELL_START,
                 trace=spec.trace_name,
@@ -257,34 +415,56 @@ def _run_serial(
                 index=spec.index,
                 completed=state.completed,
                 attempt=attempts,
+                group=group.size,
             )
-            _announce_resume(state, spec, attempts)
-            try:
-                _, result, duration = run_cell(spec, timeout)
-            except Exception as exc:  # noqa: BLE001 - retried, then raised
-                if attempts <= retries:
-                    state.retries += 1
-                    state.emit(
-                        CELL_RETRY,
-                        trace=spec.trace_name,
-                        predictor=spec.predictor_name,
-                        index=spec.index,
-                        attempt=attempts,
-                        message=repr(exc),
-                    )
-                    time.sleep(backoff * attempts)
-                    continue
+        try:
+            outcomes = run_fused_cell(group, timeout)
+        except Exception as exc:  # noqa: BLE001 - retried, then unfused
+            if attempts <= retries:
+                state.retries += 1
                 state.emit(
-                    CELL_FAILED,
-                    trace=spec.trace_name,
-                    predictor=spec.predictor_name,
-                    index=spec.index,
+                    CELL_RETRY,
+                    trace=group.trace_name,
+                    predictor=_group_label(group),
+                    index=group.cells[0].index,
                     attempt=attempts,
+                    group=group.size,
                     message=repr(exc),
                 )
-                raise CellFailedError(spec.key, attempts, exc) from exc
-            state.record(spec, result, duration)
-            break
+                time.sleep(backoff * attempts)
+                continue
+            state.emit(
+                FALLBACK,
+                message=(
+                    f"fused group of {group.size} on {group.trace_name!r} "
+                    f"failed after {attempts} attempt(s): {exc!r}; "
+                    "re-running its cells unfused"
+                ),
+            )
+            for spec in group.cells:
+                _run_cell_serial(state, spec, timeout, retries, backoff)
+            return
+        _record_fused(state, group, outcomes)
+        return
+
+
+def _group_label(group: FusedCellSpec) -> str:
+    return "+".join(spec.predictor_name for spec in group.cells)
+
+
+def _run_serial(
+    state: _Execution,
+    units: List[ExecutionUnit],
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+) -> None:
+    """Run ``units`` in-process, with the same retry/timeout discipline."""
+    for unit in units:
+        if isinstance(unit, FusedCellSpec):
+            _run_fused_serial(state, unit, timeout, retries, backoff)
+        else:
+            _run_cell_serial(state, unit, timeout, retries, backoff)
 
 
 class _PoolDegraded(Exception):
@@ -297,15 +477,20 @@ class _PoolDegraded(Exception):
 
 def _run_parallel(
     state: _Execution,
-    specs: List[CellSpec],
+    units: List[ExecutionUnit],
     jobs: int,
     timeout: Optional[float],
     retries: int,
     backoff: float,
 ) -> None:
-    """Run ``specs`` on a worker pool; raise :class:`_PoolDegraded` if
+    """Run ``units`` on a worker pool; raise :class:`_PoolDegraded` if
     the pool itself (not a cell) is the problem."""
-    unpicklable = [s for s in specs if not s.factory.picklable()]
+    unpicklable = [
+        s
+        for unit in units
+        for s in _member_cells(unit)
+        if not s.factory.picklable()
+    ]
     if unpicklable:
         names = sorted({s.predictor_name for s in unpicklable})
         raise _PoolDegraded(
@@ -316,62 +501,112 @@ def _run_parallel(
         pool = ProcessPoolExecutor(max_workers=jobs)
     except (OSError, ValueError) as exc:
         raise _PoolDegraded(f"process pool failed to start: {exc!r}")
-    try:
-        futures = {}
-        for spec in specs:
-            _announce_resume(state, spec, 1)
-            futures[pool.submit(run_cell, spec, timeout)] = spec
-            attempts[spec.index] = 1
+
+    def _submit(futures: Dict, unit: ExecutionUnit) -> None:
+        if isinstance(unit, FusedCellSpec):
+            futures[pool.submit(run_fused_cell, unit, timeout)] = unit
+        else:
+            futures[pool.submit(run_cell, unit, timeout)] = unit
+
+    def _emit_start(unit: ExecutionUnit, attempt: int) -> None:
+        group = unit.size if isinstance(unit, FusedCellSpec) else 0
+        for spec in _member_cells(unit):
             state.emit(
                 CELL_START,
                 trace=spec.trace_name,
                 predictor=spec.predictor_name,
                 index=spec.index,
                 completed=state.completed,
-                attempt=1,
+                attempt=attempt,
+                group=group,
             )
+
+    try:
+        futures: Dict = {}
+        for unit in units:
+            for spec in _member_cells(unit):
+                _announce_resume(state, spec, 1)
+            _submit(futures, unit)
+            attempts[_member_cells(unit)[0].index] = 1
+            _emit_start(unit, 1)
         while futures:
             finished, _ = wait(futures, return_when=FIRST_COMPLETED)
             for future in finished:
-                spec = futures.pop(future)
+                unit = futures.pop(future)
+                fused = isinstance(unit, FusedCellSpec)
+                first = _member_cells(unit)[0]
                 try:
-                    _, result, duration = future.result()
+                    payload = future.result()
                 except BrokenProcessPool as exc:
                     raise _PoolDegraded(f"worker pool broke: {exc!r}")
                 except Exception as exc:  # noqa: BLE001 - retry then raise
-                    tried = attempts[spec.index]
+                    tried = attempts[first.index]
                     if tried <= retries:
                         state.retries += 1
                         state.emit(
                             CELL_RETRY,
-                            trace=spec.trace_name,
-                            predictor=spec.predictor_name,
-                            index=spec.index,
+                            trace=unit.trace_name,
+                            predictor=(
+                                _group_label(unit)
+                                if fused
+                                else unit.predictor_name
+                            ),
+                            index=first.index,
                             attempt=tried,
+                            group=unit.size if fused else 0,
                             message=repr(exc),
                         )
                         time.sleep(backoff * tried)
-                        attempts[spec.index] = tried + 1
-                        _announce_resume(state, spec, tried + 1)
+                        attempts[first.index] = tried + 1
+                        for spec in _member_cells(unit):
+                            _announce_resume(state, spec, tried + 1)
                         try:
-                            futures[pool.submit(run_cell, spec, timeout)] = spec
+                            _submit(futures, unit)
                         except (OSError, RuntimeError) as submit_exc:
                             raise _PoolDegraded(
                                 f"resubmission failed: {submit_exc!r}"
                             )
                         continue
+                    if fused:
+                        # The group exhausted its shared budget: unfuse
+                        # and give each member its own solo attempts for
+                        # precise failure attribution.
+                        state.emit(
+                            FALLBACK,
+                            message=(
+                                f"fused group of {unit.size} on "
+                                f"{unit.trace_name!r} failed after {tried} "
+                                f"attempt(s): {exc!r}; re-running its cells "
+                                "unfused"
+                            ),
+                        )
+                        for spec in unit.cells:
+                            attempts[spec.index] = 1
+                            _announce_resume(state, spec, 1)
+                            _emit_start(spec, 1)
+                            try:
+                                _submit(futures, spec)
+                            except (OSError, RuntimeError) as submit_exc:
+                                raise _PoolDegraded(
+                                    f"resubmission failed: {submit_exc!r}"
+                                )
+                        continue
                     state.emit(
                         CELL_FAILED,
-                        trace=spec.trace_name,
-                        predictor=spec.predictor_name,
-                        index=spec.index,
+                        trace=unit.trace_name,
+                        predictor=unit.predictor_name,
+                        index=unit.index,
                         attempt=tried,
                         message=repr(exc),
                     )
                     pool.shutdown(wait=False, cancel_futures=True)
-                    raise CellFailedError(spec.key, tried, exc) from exc
+                    raise CellFailedError(unit.key, tried, exc) from exc
                 else:
-                    state.record(spec, result, duration)
+                    if fused:
+                        _record_fused(state, unit, payload)
+                    else:
+                        _, result, duration = payload
+                        state.record(unit, result, duration)
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
 
@@ -421,6 +656,7 @@ def execute_plan(
     retries: int = 2,
     backoff: float = 0.1,
     checkpoint_every: int = 0,
+    fuse: bool = True,
 ) -> CampaignResult:
     """Execute every cell of ``plan`` and merge deterministically.
 
@@ -441,6 +677,11 @@ def execute_plan(
             on the next attempt (or the next process) instead of
             replaying from record zero.  Zero disables mid-cell
             checkpointing; journal-level cell resume is unaffected.
+        fuse: run contiguous same-trace cells as one fused pass
+            (:func:`repro.sim.engine.simulate_many`) — results, journal
+            bytes, and final predictor states are identical to unfused
+            execution, just cheaper.  Profiled cells and cells resuming
+            from a mid-trace checkpoint always run solo.
 
     Returns:
         A :class:`CampaignResult` whose cells and values are identical
@@ -463,17 +704,22 @@ def execute_plan(
                 state.skip(cell, journaled[cell.key])
         pending = state.pending()
         if pending:
+            units = _plan_units(pending, fuse)
             if jobs == 1:
-                _run_serial(state, pending, timeout, retries, backoff)
+                _run_serial(state, units, timeout, retries, backoff)
             else:
                 try:
                     _run_parallel(
-                        state, pending, jobs, timeout, retries, backoff
+                        state, units, jobs, timeout, retries, backoff
                     )
                 except _PoolDegraded as degraded:
                     state.emit(FALLBACK, message=degraded.reason)
                     _run_serial(
-                        state, state.pending(), timeout, retries, backoff
+                        state,
+                        _plan_units(state.pending(), fuse),
+                        timeout,
+                        retries,
+                        backoff,
                     )
     finally:
         if journal is not None:
@@ -496,4 +742,5 @@ __all__ = [
     "CellTimeout",
     "execute_plan",
     "run_cell",
+    "run_fused_cell",
 ]

@@ -43,8 +43,9 @@ from repro.core.config import BLBPConfig
 from repro.exec import resolve_jobs
 from repro.exec.events import EventSink
 from repro.exec.plan import CampaignPlan, CellSpec, FactoryRef, _spill_name
+from repro.exec.plan import spill_trace
 from repro.exec.pool import execute_plan
-from repro.trace.stream import Trace, write_trace
+from repro.trace.stream import Trace
 
 
 class EvaluationError(RuntimeError):
@@ -111,6 +112,7 @@ class GenerationEvaluator:
         timeout: Optional[float] = None,
         retries: int = 2,
         backoff: float = 0.1,
+        fuse: bool = True,
     ) -> None:
         traces = list(traces)
         if not traces:
@@ -128,6 +130,7 @@ class GenerationEvaluator:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.fuse = fuse
         self._owns_dir = cache_dir is None
         self._dir = Path(
             tempfile.mkdtemp(prefix="repro-search-")
@@ -136,11 +139,12 @@ class GenerationEvaluator:
         )
         self._dir.mkdir(parents=True, exist_ok=True)
         # Spill every trace exactly once; cells reference these paths
-        # for the evaluator's whole lifetime.
+        # for the evaluator's whole lifetime.  A reused cache_dir whose
+        # spills already match by content hash is left untouched.
         self._spilled: List[Tuple[str, str, int]] = []
         for index, trace in enumerate(traces):
             path = self._dir / _spill_name(index, trace.name)
-            write_trace(trace, path)
+            spill_trace(trace, path)
             self._spilled.append((trace.name, str(path), len(trace)))
         #: (candidate key, subset size) → mean MPKI over that subset.
         self._memo: Dict[Tuple[str, int], float] = {}
@@ -211,6 +215,7 @@ class GenerationEvaluator:
                 timeout=self.timeout,
                 retries=self.retries,
                 backoff=self.backoff,
+                fuse=self.fuse,
             )
             for candidate in pending:
                 values = [

@@ -16,7 +16,7 @@ from repro.sim.checkpoint import (
     save_checkpoint,
 )
 from repro.sim.counters import SimCounters, aggregate_profiles, format_counters
-from repro.sim.engine import simulate, simulate_conditional
+from repro.sim.engine import simulate, simulate_conditional, simulate_many
 from repro.sim.metrics import CampaignResult, SimulationResult
 from repro.sim.performance import PipelineModel
 from repro.sim.ras import ReturnAddressStack
@@ -32,6 +32,7 @@ from repro.sim.report import format_campaign, format_mpki_table
 __all__ = [
     "simulate",
     "simulate_conditional",
+    "simulate_many",
     "DEFAULT_CHECKPOINT_INTERVAL",
     "SimulationCheckpoint",
     "discard_checkpoint",

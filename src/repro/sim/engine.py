@@ -18,13 +18,16 @@ runtime at multi-million-record scale.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.predictors.base import IndirectBranchPredictor
 from repro.sim.checkpoint import SimulationCheckpoint, save_checkpoint
 from repro.sim.counters import SimCounters
 from repro.sim.metrics import SimulationResult
 from repro.sim.ras import ReturnAddressStack
+from repro.trace.derived import DerivedPlane
 from repro.trace.record import BranchType
 from repro.trace.stream import Trace
 
@@ -34,6 +37,32 @@ _DIRECT_CALL = int(BranchType.DIRECT_CALL)
 _INDIRECT_JUMP = int(BranchType.INDIRECT_JUMP)
 _INDIRECT_CALL = int(BranchType.INDIRECT_CALL)
 _RETURN = int(BranchType.RETURN)
+
+
+class _DerivedRAS:
+    """A RAS stand-in that replays precomputed per-return predictions.
+
+    The return-address stack is a pure function of the trace, so when a
+    :class:`~repro.trace.derived.DerivedPlane` is available the push/pop
+    replay can be skipped entirely: ``predict`` serves the precomputed
+    prediction for the next return and ``pop`` advances past it.  Drop-in
+    for :class:`ReturnAddressStack` inside the span loop.
+    """
+
+    __slots__ = ("_preds", "_cursor")
+
+    def __init__(self, predictions: List[Optional[int]]) -> None:
+        self._preds = predictions
+        self._cursor = 0
+
+    def predict(self) -> Optional[int]:
+        return self._preds[self._cursor]
+
+    def pop(self) -> None:
+        self._cursor += 1
+
+    def push(self, address: int) -> None:  # pragma: no cover - trivially empty
+        pass
 
 
 def _replay_span(
@@ -114,6 +143,7 @@ def simulate(
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[SimulationCheckpoint] = None,
     on_checkpoint: Optional[Callable[[SimulationCheckpoint], None]] = None,
+    derived: Optional[DerivedPlane] = None,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return its result.
 
@@ -144,6 +174,11 @@ def simulate(
             is per-branch identical to an uninterrupted run.
         on_checkpoint: optional callback receiving each checkpoint (for
             tests and in-process supervisors).
+        derived: a :class:`~repro.trace.derived.DerivedPlane` for this
+            trace — its precomputed RAS outcomes replace the live
+            push/pop replay (bit-identical results; the RAS is a pure
+            function of the trace).  Ignored when checkpointing or
+            resuming, because those paths must snapshot real RAS state.
     """
     if checkpoint_every < 0:
         raise ValueError(
@@ -154,13 +189,25 @@ def simulate(
             "checkpoint_every needs a checkpoint_path or on_checkpoint sink"
         )
 
-    pcs = trace.pcs.tolist()
-    types = trace.types.tolist()
-    takens = trace.takens.tolist()
-    targets = trace.targets.tolist()
+    pcs, types, takens, targets = trace.scalar_columns()
     total = len(pcs)
 
-    ras = ReturnAddressStack(ras_depth)
+    ras: object
+    if (
+        derived is not None
+        and not checkpoint_every
+        and resume_from is None
+        and checkpoint_path is None
+    ):
+        if not derived.matches(trace, ras_depth):
+            raise ValueError(
+                f"derived plane is for {derived.trace_name!r} "
+                f"({derived.records} records, ras_depth={derived.ras_depth}), "
+                f"not {trace.name!r} ({total} records, ras_depth={ras_depth})"
+            )
+        ras = _DerivedRAS(derived.return_predictions())
+    else:
+        ras = ReturnAddressStack(ras_depth)
     indirect = 0
     mispredictions = 0
     returns = 0
@@ -307,6 +354,276 @@ def simulate(
         result.profile = cell.as_dict()
         counters.merge(cell)
     return result
+
+
+def _replay_span_many(
+    pcs,
+    types,
+    takens,
+    targets,
+    engines,
+    cond_hooks,
+    retire_hooks,
+    ras,
+    collect_per_pc,
+    by_pc,
+    mispredictions,
+    skip,
+    indirect,
+    returns,
+    return_mispredictions,
+    conditionals,
+) -> Tuple[int, int, int, int, int]:
+    """The fused hot loop: one pass over the columns, N predictors.
+
+    Per-branch work that is predictor-independent — scalar extraction,
+    type dispatch, RAS traffic, warmup accounting — happens once; only
+    the predict/train/retire calls multiply by N.  ``engines`` carries
+    one ``(predict_target, train, on_retired-or-None)`` tuple per
+    predictor; ``cond_hooks``/``retire_hooks`` hold only the bound hooks
+    that actually override the base no-ops, so baseline predictors pay
+    nothing for histories they do not keep.  ``mispredictions`` and
+    ``by_pc`` are per-predictor and mutated in place; each predictor's
+    own call sequence is exactly what :func:`_replay_span` would issue,
+    so per-predictor state evolution is bit-identical to unfused runs.
+    """
+    for pc, branch_type, taken, target in zip(pcs, types, takens, targets):
+        if branch_type == _COND:
+            for hook in cond_hooks:
+                hook(pc, taken)
+            conditionals += 1
+            if skip:
+                skip -= 1
+            continue
+
+        counted = not skip
+        if skip:
+            skip -= 1
+
+        if branch_type == _INDIRECT_JUMP or branch_type == _INDIRECT_CALL:
+            if counted:
+                indirect += 1
+            slot = 0
+            for predict_target, train, on_retired in engines:
+                prediction: Optional[int] = predict_target(pc)
+                if counted and prediction != target:
+                    mispredictions[slot] += 1
+                    if collect_per_pc:
+                        cell = by_pc[slot]
+                        cell[pc] = cell.get(pc, 0) + 1
+                train(pc, target)
+                if on_retired is not None:
+                    on_retired(pc, branch_type, target)
+                slot += 1
+            if branch_type == _INDIRECT_CALL:
+                ras.push(pc + 4)
+        elif branch_type == _RETURN:
+            ras_prediction = ras.predict()
+            ras.pop()
+            if counted:
+                returns += 1
+                if ras_prediction != target:
+                    return_mispredictions += 1
+            for hook in retire_hooks:
+                hook(pc, branch_type, target)
+        elif branch_type == _DIRECT_CALL:
+            ras.push(pc + 4)
+            for hook in retire_hooks:
+                hook(pc, branch_type, target)
+        else:  # direct jump
+            for hook in retire_hooks:
+                hook(pc, branch_type, target)
+    return skip, indirect, returns, return_mispredictions, conditionals
+
+
+def simulate_many(
+    predictors: Sequence[IndirectBranchPredictor],
+    trace: Trace,
+    ras_depth: int = 32,
+    warmup_records: int = 0,
+    collect_per_pc: bool = False,
+    derived: Optional[DerivedPlane] = None,
+    checkpoint_every: int = 0,
+    checkpoint_paths: Optional[Sequence[Optional[str]]] = None,
+) -> List[SimulationResult]:
+    """Run every predictor over ``trace`` in one fused pass.
+
+    Produces, for each predictor, a result and final predictor state
+    bit-identical to ``simulate(predictor, trace, ...)`` — the fused loop
+    issues each predictor the exact call sequence the solo loop would,
+    only sharing the per-branch costs that are predictor-independent
+    (column decode, type dispatch, RAS replay, warmup accounting).
+
+    When every fused predictor is *indirect-only* (overrides neither
+    ``on_conditional`` nor ``on_retired``) and a ``derived`` plane is
+    supplied, the loop skips non-indirect records entirely and walks the
+    plane's indirect index arrays instead of the full columns.
+
+    Args:
+        predictors: freshly constructed predictors (mutated in place).
+        trace: the branch trace to replay.
+        ras_depth: depth of the shared return-address stack.
+        warmup_records: leading records whose mispredictions are not
+            counted (identical accounting for every predictor).
+        collect_per_pc: also record per-static-branch misprediction
+            counts, per predictor.
+        derived: this trace's :class:`~repro.trace.derived.DerivedPlane`;
+            substitutes precomputed RAS outcomes (and enables the
+            indirect-only fast path).  Ignored while checkpointing —
+            snapshots need real RAS state.
+        checkpoint_every: when > 0, write one checkpoint *per predictor*
+            every this-many records into the matching entry of
+            ``checkpoint_paths``; each snapshot is loadable by
+            :func:`simulate` for an unfused per-cell resume.
+        checkpoint_paths: one path (or ``None``) per predictor.
+    """
+    predictors = list(predictors)
+    count = len(predictors)
+    if count == 0:
+        return []
+    if checkpoint_every < 0:
+        raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+    if checkpoint_paths is None:
+        checkpoint_paths = [None] * count
+    checkpoint_paths = list(checkpoint_paths)
+    if len(checkpoint_paths) != count:
+        raise ValueError(
+            f"{len(checkpoint_paths)} checkpoint paths for {count} predictors"
+        )
+    if checkpoint_every and not any(checkpoint_paths):
+        raise ValueError("checkpoint_every needs at least one checkpoint path")
+
+    total = len(trace)
+    use_derived = derived is not None and not checkpoint_every
+    if use_derived and not derived.matches(trace, ras_depth):
+        raise ValueError(
+            f"derived plane is for {derived.trace_name!r} "
+            f"({derived.records} records, ras_depth={derived.ras_depth}), "
+            f"not {trace.name!r} ({total} records, ras_depth={ras_depth})"
+        )
+
+    base_conditional = IndirectBranchPredictor.on_conditional
+    base_retired = IndirectBranchPredictor.on_retired
+    cond_hooks = [
+        p.on_conditional
+        for p in predictors
+        if type(p).on_conditional is not base_conditional
+    ]
+    retire_hooks = [
+        p.on_retired for p in predictors if type(p).on_retired is not base_retired
+    ]
+    engines = [
+        (
+            p.predict_target,
+            p.train,
+            p.on_retired if type(p).on_retired is not base_retired else None,
+        )
+        for p in predictors
+    ]
+
+    mispredictions = [0] * count
+    by_pc: List[Dict[int, int]] = [{} for _ in range(count)]
+    skip = warmup_records
+    indirect = 0
+    returns = 0
+    return_mispredictions = 0
+    conditionals = 0
+
+    if use_derived and not cond_hooks and not retire_hooks:
+        # Indirect-only fast path: every record a fused predictor cares
+        # about is in the plane's indirect index arrays, and the shared
+        # RAS/conditional accounting is a pure function of the plane.
+        warm = warmup_records
+        for index, pc, target in zip(
+            derived.indirect_idx.tolist(),
+            derived.indirect_pcs.tolist(),
+            derived.indirect_targets.tolist(),
+        ):
+            counted = index >= warm
+            if counted:
+                indirect += 1
+            slot = 0
+            for predict_target, train, _ in engines:
+                prediction = predict_target(pc)
+                if counted and prediction != target:
+                    mispredictions[slot] += 1
+                    if collect_per_pc:
+                        cell = by_pc[slot]
+                        cell[pc] = cell.get(pc, 0) + 1
+                train(pc, target)
+                slot += 1
+        conditionals = derived.conditionals
+        return_indices = derived.return_idx
+        if len(return_indices):
+            counted_mask = return_indices >= warm
+            returns = int(np.count_nonzero(counted_mask))
+            return_mispredictions = int(
+                np.count_nonzero(counted_mask & (derived.return_ok == 0))
+            )
+    else:
+        pcs, types, takens, targets = trace.scalar_columns()
+        ras: object
+        if use_derived:
+            ras = _DerivedRAS(derived.return_predictions())
+        else:
+            ras = ReturnAddressStack(ras_depth)
+        span = checkpoint_every if checkpoint_every else total
+        cursor = 0
+        while cursor < total:
+            upper = min(cursor + span, total)
+            (
+                skip,
+                indirect,
+                returns,
+                return_mispredictions,
+                conditionals,
+            ) = _replay_span_many(
+                pcs[cursor:upper], types[cursor:upper],
+                takens[cursor:upper], targets[cursor:upper],
+                engines, cond_hooks, retire_hooks,
+                ras, collect_per_pc, by_pc, mispredictions,
+                skip, indirect, returns, return_mispredictions, conditionals,
+            )
+            cursor = upper
+            if checkpoint_every and cursor < total:
+                ras_state = ras.state_dict()
+                for slot, predictor in enumerate(predictors):
+                    path = checkpoint_paths[slot]
+                    if path is None:
+                        continue
+                    save_checkpoint(
+                        SimulationCheckpoint(
+                            trace_name=trace.name,
+                            predictor_name=predictor.name,
+                            cursor=cursor,
+                            skip=skip,
+                            indirect=indirect,
+                            mispredictions=mispredictions[slot],
+                            returns=returns,
+                            return_mispredictions=return_mispredictions,
+                            conditionals=conditionals,
+                            by_pc=dict(by_pc[slot]),
+                            ras=ras_state,
+                            predictor=predictor.state_dict(),
+                        ),
+                        path,
+                    )
+
+    total_instructions = trace.total_instructions()
+    return [
+        SimulationResult(
+            trace_name=trace.name,
+            predictor_name=predictor.name,
+            total_instructions=total_instructions,
+            indirect_branches=indirect,
+            indirect_mispredictions=mispredictions[slot],
+            return_branches=returns,
+            return_mispredictions=return_mispredictions,
+            conditional_branches=conditionals,
+            mispredictions_by_pc=by_pc[slot],
+        )
+        for slot, predictor in enumerate(predictors)
+    ]
 
 
 def simulate_conditional(

@@ -8,9 +8,26 @@ defines that record format, an in-memory/on-disk trace container, and the
 per-trace statistics the paper's Figures 1, 6, and 7 are computed from.
 """
 
+from repro.trace.derived import (
+    DerivedPlane,
+    cached_derived,
+    compute_derived,
+    derived_path_for,
+    load_or_compute_derived,
+    read_derived,
+    write_derived,
+)
+from repro.trace.plane import (
+    TraceCache,
+    attach_trace,
+    cached_trace,
+    spilled_hash,
+    trace_content_hash,
+    write_trace_v2,
+)
 from repro.trace.record import BranchRecord, BranchType
 from repro.trace.stats import TraceStats, compute_stats
-from repro.trace.stream import Trace, read_trace, write_trace
+from repro.trace.stream import Trace, read_trace, write_trace, write_trace_v1
 
 __all__ = [
     "BranchRecord",
@@ -18,6 +35,20 @@ __all__ = [
     "Trace",
     "read_trace",
     "write_trace",
+    "write_trace_v1",
+    "write_trace_v2",
+    "attach_trace",
+    "cached_trace",
+    "spilled_hash",
+    "trace_content_hash",
+    "TraceCache",
+    "DerivedPlane",
+    "compute_derived",
+    "cached_derived",
+    "derived_path_for",
+    "load_or_compute_derived",
+    "read_derived",
+    "write_derived",
     "TraceStats",
     "compute_stats",
 ]

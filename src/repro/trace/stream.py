@@ -5,9 +5,11 @@ than lists of record objects: the simulation engine iterates millions of
 records, and attribute access on dataclasses dominates runtime otherwise.
 Record-object views are still available for tests and tooling.
 
-The on-disk format is a small self-describing binary: a magic header, the
-trace name, and the five columns as native NumPy arrays.  It exists so
-generated suites can be cached between benchmark runs.
+Two on-disk formats exist.  ``RPTRACE1`` (legacy, still readable) stores
+the five columns via ``np.save``; ``RPTRACE2`` (the default spill format,
+``repro.trace.plane``) stores raw little-endian column bytes at aligned
+offsets so workers can attach them with ``np.memmap`` — zero-copy, shared
+through the page cache.  :func:`read_trace` dispatches on the magic.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ class Trace:
         gaps: uint32 array of non-branch instruction gaps.
     """
 
-    __slots__ = ("name", "pcs", "types", "takens", "targets", "gaps")
+    __slots__ = ("name", "pcs", "types", "takens", "targets", "gaps", "_scalars")
 
     def __init__(
         self,
@@ -62,6 +64,7 @@ class Trace:
         self.takens = np.ascontiguousarray(takens, dtype=bool)
         self.targets = np.ascontiguousarray(targets, dtype=np.uint64)
         self.gaps = np.ascontiguousarray(gaps, dtype=np.uint32)
+        self._scalars = None
 
     @classmethod
     def from_records(cls, name: str, records: Sequence[BranchRecord]) -> "Trace":
@@ -100,6 +103,24 @@ class Trace:
         """Dynamic executions of ``branch_type`` in this trace."""
         return int(np.count_nonzero(self.types == int(branch_type)))
 
+    def scalar_columns(self):
+        """``(pcs, types, takens, targets)`` as plain Python lists, memoized.
+
+        The per-branch interpreter loop is dominated by NumPy scalar boxing
+        unless the columns are extracted up front; memoizing the extraction
+        lets every predictor fused onto this trace share one copy.
+        """
+        cached = self._scalars
+        if cached is None:
+            cached = (
+                self.pcs.tolist(),
+                self.types.tolist(),
+                self.takens.tolist(),
+                self.targets.tolist(),
+            )
+            self._scalars = cached
+        return cached
+
     def indirect_mask(self) -> np.ndarray:
         """Boolean mask of records the indirect predictor must handle."""
         return (self.types == int(BranchType.INDIRECT_JUMP)) | (
@@ -125,7 +146,19 @@ class Trace:
 
 
 def write_trace(trace: Trace, path: Union[str, Path]) -> None:
-    """Serialize ``trace`` to ``path`` in the RPTRACE1 binary format."""
+    """Serialize ``trace`` to ``path`` in the current spill format.
+
+    Writes RPTRACE2 (zero-copy attachable; see ``repro.trace.plane``).
+    :func:`write_trace_v1` keeps the legacy format reachable for tests and
+    interop; :func:`read_trace` reads both.
+    """
+    from repro.trace.plane import write_trace_v2
+
+    write_trace_v2(trace, path)
+
+
+def write_trace_v1(trace: Trace, path: Union[str, Path]) -> None:
+    """Serialize ``trace`` to ``path`` in the legacy RPTRACE1 format."""
     path = Path(path)
     header = json.dumps({"name": trace.name, "records": len(trace)}).encode()
     with open(path, "wb") as handle:
@@ -137,12 +170,16 @@ def write_trace(trace: Trace, path: Union[str, Path]) -> None:
 
 
 def read_trace(path: Union[str, Path]) -> Trace:
-    """Load a trace previously written by :func:`write_trace`."""
+    """Load a trace written by :func:`write_trace` (RPTRACE2 or RPTRACE1)."""
     path = Path(path)
     with open(path, "rb") as handle:
         magic = handle.read(len(_MAGIC))
+        if magic == b"RPTRACE2":
+            from repro.trace.plane import attach_trace
+
+            return attach_trace(path)
         if magic != _MAGIC:
-            raise ValueError(f"{path} is not an RPTRACE1 trace file")
+            raise ValueError(f"{path} is not an RPTRACE1/RPTRACE2 trace file")
         (header_len,) = struct.unpack("<I", handle.read(4))
         header = json.loads(handle.read(header_len).decode())
         pcs = np.load(handle, allow_pickle=False)

@@ -155,6 +155,86 @@ class TestFullSuiteEquivalence:
             assert optimized.mpki() == pytest.approx(reference.mpki())
 
 
+class TestFusedUnfusedEquivalence:
+    """Acceptance gate for campaign fusion: fused and unfused execution
+    are provably interchangeable — same journal bytes, same per-cell
+    MPKI, same final predictor state."""
+
+    _FACTORY_NAMES = ["BTB", "2bit-BTB", "VPC", "ITTAGE", "BLBP"]
+
+    def _factories(self):
+        from repro.registry import INDIRECT_PREDICTORS
+
+        return {
+            name: INDIRECT_PREDICTORS[name]
+            for name in self._FACTORY_NAMES
+        }
+
+    def test_serial_journals_byte_identical(self, tmp_path):
+        from repro.exec.plan import plan_campaign
+        from repro.exec.pool import execute_plan
+
+        traces = [trace for _, trace in _traces()[:3]]
+        plan = plan_campaign(
+            traces, self._factories(), cache_dir=tmp_path / "cache"
+        )
+        fused_journal = tmp_path / "fused.jsonl"
+        unfused_journal = tmp_path / "unfused.jsonl"
+        fused = execute_plan(
+            plan, jobs=1, journal_path=fused_journal, fuse=True
+        )
+        unfused = execute_plan(
+            plan, jobs=1, journal_path=unfused_journal, fuse=False
+        )
+        assert fused_journal.read_bytes() == unfused_journal.read_bytes()
+        for trace in traces:
+            for name in self._FACTORY_NAMES:
+                assert fused.mpki_of(trace.name, name) == pytest.approx(
+                    unfused.mpki_of(trace.name, name)
+                )
+
+    def test_parallel_fused_matches_serial_unfused(self, tmp_path):
+        from repro.exec.plan import plan_campaign
+        from repro.exec.pool import execute_plan
+
+        traces = [trace for _, trace in _traces()[:2]]
+        plan = plan_campaign(
+            traces, self._factories(), cache_dir=tmp_path / "cache"
+        )
+        fused = execute_plan(plan, jobs=2, fuse=True)
+        unfused = execute_plan(plan, jobs=1, fuse=False)
+        assert fused.results == unfused.results
+
+    def test_final_predictor_state_hashes_equal(self):
+        from repro.registry import make_indirect
+        from repro.sim.engine import simulate_many
+
+        for name, trace in _traces()[:3]:
+            solo_predictors = [
+                make_indirect(p) for p in self._FACTORY_NAMES
+            ]
+            solo_results = [
+                simulate(predictor, trace)
+                for predictor in solo_predictors
+            ]
+            fused_predictors = [
+                make_indirect(p) for p in self._FACTORY_NAMES
+            ]
+            fused_results = simulate_many(fused_predictors, trace)
+            for p, solo_p, fused_p, solo_r, fused_r in zip(
+                self._FACTORY_NAMES, solo_predictors, fused_predictors,
+                solo_results, fused_results,
+            ):
+                assert fused_p.state_hash() == solo_p.state_hash(), (
+                    f"{name}/{p}: fused final state diverges"
+                )
+                assert (
+                    fused_r.indirect_mispredictions
+                    == solo_r.indirect_mispredictions
+                ), f"{name}/{p}: MPKI diverges"
+                assert fused_r.mpki() == pytest.approx(solo_r.mpki())
+
+
 class TestCampaignKillResumeEquivalence:
     def test_killed_campaign_resumes_to_identical_journal_and_mpki(
         self, tmp_path

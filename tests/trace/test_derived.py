@@ -1,0 +1,198 @@
+"""Tests for the derived plane, including the RAS differential property.
+
+The derived plane re-implements the return-address-stack contract
+without importing ``repro.sim`` (layering), so these tests pin the two
+implementations together: precomputed RAS outcomes must equal a live
+:class:`ReturnAddressStack` replay over arbitrary generated traces —
+including deep recursion and call/return workloads, where overflow and
+underflow actually happen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.ras import ReturnAddressStack
+from repro.trace.derived import (
+    compute_derived,
+    derived_path_for,
+    load_or_compute_derived,
+    read_derived,
+    write_derived,
+)
+from repro.trace.plane import trace_content_hash, write_trace_v2
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stream import Trace
+from repro.workloads import (
+    CallReturnSpec,
+    RecursiveSpec,
+    generate_callret,
+    generate_recursive,
+)
+
+_CALL_TYPES = (BranchType.DIRECT_CALL, BranchType.INDIRECT_CALL)
+
+
+def _live_ras_outcomes(trace: Trace, depth: int):
+    """Replay the real ReturnAddressStack exactly as the engine does."""
+    predictions = []
+    correct = []
+    ras = ReturnAddressStack(depth)
+    for record in trace.records():
+        if record.branch_type is BranchType.RETURN:
+            prediction = ras.predict()
+            ras.pop()
+            predictions.append(prediction)
+            correct.append(prediction == record.target)
+        elif record.branch_type in _CALL_TYPES:
+            ras.push(record.pc + 4)
+    return predictions, correct
+
+
+def _assert_ras_equivalent(trace: Trace, depth: int) -> None:
+    plane = compute_derived(trace, depth)
+    live_preds, live_ok = _live_ras_outcomes(trace, depth)
+    assert plane.return_predictions() == live_preds
+    assert [bool(flag) for flag in plane.return_ok] == live_ok
+    assert len(plane.return_idx) == len(live_preds)
+
+
+@st.composite
+def branch_records(draw):
+    branch_type = draw(st.sampled_from(list(BranchType)))
+    # Only conditionals may be not-taken; BranchRecord enforces this.
+    taken = draw(st.booleans()) if branch_type.is_conditional else True
+    return BranchRecord(
+        pc=draw(st.integers(min_value=0, max_value=(1 << 32) - 1)),
+        branch_type=branch_type,
+        taken=taken,
+        target=draw(st.integers(min_value=0, max_value=(1 << 32) - 1)),
+        inst_gap=draw(st.integers(min_value=0, max_value=20)),
+    )
+
+
+class TestRasDifferential:
+    @given(
+        records=st.lists(branch_records(), max_size=120),
+        depth=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_live_ras_on_arbitrary_traces(self, records, depth):
+        trace = Trace.from_records("hyp", records)
+        _assert_ras_equivalent(trace, depth)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           depth=st.sampled_from([1, 2, 8, 32]))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_live_ras_on_recursive_workloads(self, seed, depth):
+        # Deep recursion overflows a shallow RAS: the drop-oldest rule
+        # and underflow predictions both get exercised for real.
+        trace = generate_recursive(
+            RecursiveSpec(name="rec", seed=seed, num_records=1500, max_depth=16)
+        )
+        _assert_ras_equivalent(trace, depth)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           depth=st.sampled_from([1, 4, 32]))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_live_ras_on_callret_workloads(self, seed, depth):
+        trace = generate_callret(
+            CallReturnSpec(name="cr", seed=seed, num_records=1500)
+        )
+        _assert_ras_equivalent(trace, depth)
+
+
+class TestDerivedStructure:
+    def test_indirect_arrays(self, tiny_trace):
+        plane = compute_derived(tiny_trace, 32)
+        mask = tiny_trace.indirect_mask()
+        assert np.array_equal(plane.indirect_idx, np.flatnonzero(mask))
+        assert np.array_equal(plane.indirect_pcs, tiny_trace.pcs[mask])
+        assert np.array_equal(plane.indirect_targets, tiny_trace.targets[mask])
+
+    def test_conditional_bitstream(self, vdispatch_trace):
+        plane = compute_derived(vdispatch_trace, 32)
+        expected = vdispatch_trace.takens[vdispatch_trace.types == 0]
+        assert plane.conditionals == len(expected)
+        assert np.array_equal(plane.conditional_outcomes(), expected)
+
+    def test_pc_groups_partition_indirects(self, switchcase_trace):
+        plane = compute_derived(switchcase_trace, 32)
+        groups = plane.pc_groups()
+        ordinals = np.sort(np.concatenate(list(groups.values())))
+        assert np.array_equal(ordinals, np.arange(len(plane.indirect_idx)))
+        for pc, members in groups.items():
+            assert all(int(plane.indirect_pcs[m]) == pc for m in members)
+
+    def test_empty_trace(self):
+        plane = compute_derived(Trace.from_records("empty", []), 32)
+        assert plane.records == 0
+        assert plane.conditionals == 0
+        assert len(plane.indirect_idx) == 0
+        assert plane.pc_groups() == {}
+
+    def test_bad_ras_depth_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            compute_derived(tiny_trace, 0)
+
+
+class TestDiskCache:
+    def test_round_trip(self, callret_trace, tmp_path):
+        plane = compute_derived(callret_trace, 32)
+        path = tmp_path / "t.plane"
+        write_derived(plane, path)
+        loaded = read_derived(path)
+        assert loaded.trace_name == plane.trace_name
+        assert loaded.ras_depth == 32
+        assert loaded.content_hash == plane.content_hash
+        assert loaded.conditionals == plane.conditionals
+        for column in (
+            "indirect_idx", "indirect_pcs", "indirect_targets", "cond_idx",
+            "cond_bits", "return_idx", "return_preds", "return_pred_valid",
+            "return_ok", "pc_unique", "pc_offsets", "pc_order",
+        ):
+            assert np.array_equal(getattr(loaded, column), getattr(plane, column))
+
+    def test_load_or_compute_writes_then_reuses(self, callret_trace, tmp_path):
+        spill = tmp_path / "t.trace"
+        write_trace_v2(callret_trace, spill)
+        cache_path = derived_path_for(spill, 32)
+        assert not cache_path.exists()
+        first = load_or_compute_derived(callret_trace, spill, 32)
+        assert cache_path.exists()
+        stamp = cache_path.stat().st_mtime_ns
+        second = load_or_compute_derived(callret_trace, spill, 32)
+        assert cache_path.stat().st_mtime_ns == stamp  # no rewrite
+        assert np.array_equal(first.return_preds, second.return_preds)
+
+    def test_depths_cached_separately(self, callret_trace, tmp_path):
+        spill = tmp_path / "t.trace"
+        write_trace_v2(callret_trace, spill)
+        load_or_compute_derived(callret_trace, spill, 2)
+        load_or_compute_derived(callret_trace, spill, 32)
+        assert derived_path_for(spill, 2).exists()
+        assert derived_path_for(spill, 32).exists()
+        assert derived_path_for(spill, 2) != derived_path_for(spill, 32)
+
+    def test_stale_cache_recomputed(self, callret_trace, tiny_trace, tmp_path):
+        spill = tmp_path / "t.trace"
+        write_trace_v2(callret_trace, spill)
+        cache_path = derived_path_for(spill, 32)
+        # Plant a plane for a different trace under the same cache name.
+        write_derived(compute_derived(tiny_trace, 32), cache_path)
+        plane = load_or_compute_derived(callret_trace, spill, 32)
+        assert plane.trace_name == callret_trace.name
+        assert plane.content_hash == trace_content_hash(callret_trace)
+
+    def test_damaged_cache_recomputed(self, callret_trace, tmp_path):
+        spill = tmp_path / "t.trace"
+        write_trace_v2(callret_trace, spill)
+        cache_path = derived_path_for(spill, 32)
+        cache_path.write_bytes(b"garbage, not a derived plane")
+        plane = load_or_compute_derived(callret_trace, spill, 32)
+        assert plane.trace_name == callret_trace.name
+        # And the damaged file was replaced with a good one.
+        assert read_derived(cache_path).trace_name == callret_trace.name

@@ -1,0 +1,164 @@
+"""Tests for the RPTRACE2 zero-copy spill format and the TraceCache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.plane import (
+    TraceCache,
+    attach_trace,
+    read_header_v2,
+    spilled_hash,
+    trace_content_hash,
+    write_trace_v2,
+)
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stream import Trace, read_trace, write_trace, write_trace_v1
+
+
+def _columns_equal(left: Trace, right: Trace) -> bool:
+    return all(
+        np.array_equal(getattr(left, column), getattr(right, column))
+        for column in ("pcs", "types", "takens", "targets", "gaps")
+    )
+
+
+class TestRoundTrip:
+    def test_v2_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace_v2(tiny_trace, path)
+        loaded = attach_trace(path)
+        assert loaded.name == tiny_trace.name
+        assert _columns_equal(tiny_trace, loaded)
+
+    def test_write_trace_defaults_to_v2(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(tiny_trace, path)
+        assert path.read_bytes()[:8] == b"RPTRACE2"
+        assert _columns_equal(tiny_trace, read_trace(path))
+
+    def test_read_trace_still_reads_v1(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace_v1(tiny_trace, path)
+        assert path.read_bytes()[:8] == b"RPTRACE1"
+        assert _columns_equal(tiny_trace, read_trace(path))
+
+    def test_attach_is_memmap_backed(self, callret_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace_v2(callret_trace, path)
+        loaded = attach_trace(path)
+        for column in (loaded.pcs, loaded.types, loaded.targets, loaded.gaps):
+            backing = column if column.base is None else column.base
+            assert isinstance(backing, np.memmap)
+        assert loaded.takens.dtype == bool
+
+    def test_empty_trace(self, tmp_path):
+        empty = Trace.from_records("empty", [])
+        path = tmp_path / "e.trace"
+        write_trace_v2(empty, path)
+        loaded = attach_trace(path)
+        assert len(loaded) == 0 and loaded.name == "empty"
+
+    def test_non_ascii_name(self, tmp_path):
+        record = BranchRecord(0x10, BranchType.DIRECT_JUMP, True, 0x20, 1)
+        trace = Trace.from_records("trače-ü", [record])
+        path = tmp_path / "u.trace"
+        write_trace_v2(trace, path)
+        assert attach_trace(path).name == "trače-ü"
+
+    def test_column_offsets_are_aligned(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace_v2(tiny_trace, path)
+        header = read_header_v2(path)
+        for entry in header["columns"]:
+            assert entry["offset"] % 64 == 0
+
+    def test_not_a_trace_file_raises(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"definitely not a trace")
+        with pytest.raises(ValueError):
+            attach_trace(path)
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestContentHash:
+    def test_hash_matches_header(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        returned = write_trace_v2(tiny_trace, path)
+        assert returned == trace_content_hash(tiny_trace)
+        assert spilled_hash(path) == returned
+
+    def test_hash_changes_with_contents(self, tiny_trace):
+        other = Trace(
+            name=tiny_trace.name,
+            pcs=tiny_trace.pcs,
+            types=tiny_trace.types,
+            takens=tiny_trace.takens,
+            targets=tiny_trace.targets + np.uint64(4),
+            gaps=tiny_trace.gaps,
+        )
+        assert trace_content_hash(other) != trace_content_hash(tiny_trace)
+
+    def test_hash_changes_with_name(self, tiny_trace):
+        renamed = Trace(
+            name="other",
+            pcs=tiny_trace.pcs,
+            types=tiny_trace.types,
+            takens=tiny_trace.takens,
+            targets=tiny_trace.targets,
+            gaps=tiny_trace.gaps,
+        )
+        assert trace_content_hash(renamed) != trace_content_hash(tiny_trace)
+
+    def test_spilled_hash_none_for_v1_or_missing(self, tiny_trace, tmp_path):
+        v1 = tmp_path / "v1.trace"
+        write_trace_v1(tiny_trace, v1)
+        assert spilled_hash(v1) is None
+        assert spilled_hash(tmp_path / "missing.trace") is None
+
+
+class TestTraceCache:
+    def test_hit_returns_same_object(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace_v2(tiny_trace, path)
+        cache = TraceCache(capacity=2)
+        first = cache.get(path)
+        second = cache.get(path)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_rewrite_invalidates(self, tiny_trace, callret_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace_v2(tiny_trace, path)
+        cache = TraceCache(capacity=2)
+        cache.get(path)
+        write_trace_v2(callret_trace, path)
+        reloaded = cache.get(path)
+        assert reloaded.name == callret_trace.name
+        assert cache.misses == 2
+        assert len(cache) == 1  # stale generation evicted, not retained
+
+    def test_lru_eviction(self, tiny_trace, tmp_path):
+        paths = []
+        for i in range(3):
+            path = tmp_path / f"{i}.trace"
+            write_trace_v2(tiny_trace, path)
+            paths.append(path)
+        cache = TraceCache(capacity=2)
+        for path in paths:
+            cache.get(path)
+        assert len(cache) == 2
+        cache.get(paths[0])  # evicted -> miss again
+        assert cache.misses == 4
+
+    def test_reads_v1_spills_too(self, tiny_trace, tmp_path):
+        path = tmp_path / "v1.trace"
+        write_trace_v1(tiny_trace, path)
+        cache = TraceCache(capacity=2)
+        assert _columns_equal(tiny_trace, cache.get(path))
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceCache(capacity=0)
