@@ -1,0 +1,201 @@
+"""Serving throughput gate: concurrent sessions over the TCP server.
+
+Boots a real :class:`~repro.serve.server.PredictionServer` on an
+ephemeral localhost port and drives fleets of concurrent sessions
+through the load driver (``repro.serve.client``): pipelined event
+messages over a handful of connections, with many sessions sharing the
+same deterministic event stream so the server's cross-session fused
+batching engages.  One sweep row per fleet size — the full sweep's
+largest row is ≥ 1000 concurrent sessions, the subsystem's headline
+capacity claim.
+
+Every row self-checks correctness the cheap way: sessions that share a
+stream and a predictor must close with identical ``state_hash`` and
+MPKI (fused batching, eviction, and scheduling are invisible in
+results); the bit-level equivalence against ``simulate`` is pinned by
+``tests/serve``.
+
+Run as the CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick --gate
+
+``--gate`` exits non-zero unless the largest row clears
+``--min-events-per-sec``.  The sweep is written to
+``results/throughput_serve.json`` with host-environment metadata.
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.common.envinfo import environment_metadata
+from repro.serve.client import drive_load, session_plan
+from repro.serve.server import PredictionServer
+
+#: (sessions, events per session, max resident) sweep rows.
+FULL_ROWS = [(50, 100, 1024), (250, 100, 1024), (1000, 100, 1024)]
+QUICK_ROWS = [(20, 60, 1024), (100, 60, 64)]
+
+
+def _check_row_consistency(outcome, predictors, distinct_streams):
+    """Sessions sharing (stream, predictor) must close identically."""
+    groups = {}
+    plan = session_plan(
+        outcome["sessions"], predictors, distinct_streams
+    )
+    for session_id, predictor, stream_index in plan:
+        closed = outcome["closed"][session_id]
+        key = (predictor, stream_index)
+        expected = groups.setdefault(key, closed)
+        if closed != expected:
+            raise AssertionError(
+                f"session {session_id} drifted from its stream group "
+                f"{key}: {closed} != {expected}"
+            )
+
+
+async def _measure_row(sessions, events_per_session, max_resident, args):
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        server = PredictionServer(
+            state_dir=Path(tmp) / "state",
+            max_resident=max_resident,
+            batch_window=args.batch_window,
+            workers=args.workers,
+        )
+        port = await server.start()
+        try:
+            outcome = await drive_load(
+                "127.0.0.1",
+                port,
+                sessions=sessions,
+                events_per_session=events_per_session,
+                connections=args.connections,
+                window=args.window,
+                distinct_streams=args.distinct_streams,
+            )
+            stats = server.stats()
+        finally:
+            await server.stop()
+
+    _check_row_consistency(
+        outcome, outcome["predictors"], args.distinct_streams
+    )
+    batching = stats["batching"]
+    return {
+        "sessions": sessions,
+        "events_per_session": events_per_session,
+        "max_resident": max_resident,
+        "events": outcome["events"],
+        "elapsed_seconds": outcome["elapsed_seconds"],
+        "events_per_second": outcome["events_per_second"],
+        "connections": outcome["connections"],
+        "predictors": outcome["predictors"],
+        "distinct_streams": outcome["distinct_streams"],
+        "mean_sessions_per_batch": batching["mean_sessions_per_batch"],
+        "mean_events_per_batch": batching["mean_events_per_batch"],
+        "fused_share": batching["fused_share"],
+        "evicted": stats["sessions"]["evicted"],
+        "rehydrated": stats["sessions"]["rehydrated"],
+    }
+
+
+def measure_serving(rows, args) -> dict:
+    measured = []
+    for sessions, events_per_session, max_resident in rows:
+        row = asyncio.run(
+            _measure_row(sessions, events_per_session, max_resident, args)
+        )
+        measured.append(row)
+        print(
+            f"{row['sessions']:>5} sessions  "
+            f"{row['events_per_second']:>9.2f} events/s  "
+            f"({row['events']} events in {row['elapsed_seconds']:.2f}s, "
+            f"{row['mean_sessions_per_batch']:.1f} sessions/batch, "
+            f"fused share {row['fused_share']:.2f}, "
+            f"{row['evicted']} evictions)"
+        )
+    return {
+        "environment": environment_metadata(),
+        "batch_window": args.batch_window,
+        "workers": args.workers,
+        "rows": measured,
+        "max_sessions": max(row["sessions"] for row in measured),
+        "peak_events_per_second": max(
+            row["events_per_second"] for row in measured
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="concurrent-session serving throughput gate"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller fleets for CI (largest row 100 sessions)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=None,
+        help="run one row with this many sessions instead of the sweep",
+    )
+    parser.add_argument("--events", type=int, default=100,
+                        help="events per session for --sessions rows")
+    parser.add_argument("--max-resident", type=int, default=1024)
+    parser.add_argument("--batch-window", type=float, default=0.002)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--window", type=int, default=16,
+                        help="pipelined messages per connection")
+    parser.add_argument("--distinct-streams", type=int, default=16)
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero unless the largest row clears the floor",
+    )
+    parser.add_argument(
+        "--min-events-per-sec", type=float, default=500.0,
+        help="throughput floor for the largest row (default 500)",
+    )
+    parser.add_argument(
+        "--out", default="results/throughput_serve.json",
+        help="where to write the sweep (empty string to skip)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.sessions is not None:
+        rows = [(args.sessions, args.events, args.max_resident)]
+    else:
+        rows = QUICK_ROWS if args.quick else FULL_ROWS
+
+    summary = measure_serving(rows, args)
+    largest = max(summary["rows"], key=lambda row: row["sessions"])
+    print(
+        f"largest fleet: {largest['sessions']} sessions at "
+        f"{largest['events_per_second']:.2f} events/s"
+        + (
+            f"  (gate: ≥{args.min_events_per_sec:.0f} events/s)"
+            if args.gate
+            else ""
+        )
+    )
+
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
+    if args.gate and largest["events_per_second"] < args.min_events_per_sec:
+        print(
+            f"FAIL: {largest['events_per_second']:.2f} events/s below the "
+            f"{args.min_events_per_sec:.0f} events/s gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

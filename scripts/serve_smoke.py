@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Serve smoke test: SIGTERM a live server mid-stream, restart, resume.
+
+The restart contract of ``repro serve``, exercised against real
+processes and real sockets:
+
+1. golden run — one server process hosts 50 sessions streamed to
+   completion and closed; their final ``state_hash``/MPKI are the
+   reference;
+2. victim run — a fresh server (own state dir) receives the first half
+   of every session's stream, is ``SIGTERM``ed while all 50 sessions
+   are open mid-stream, and must drain every one to disk on the way
+   down;
+3. resumed run — a new server process on the *same* state dir; the
+   driver re-opens all 50 sessions (every open must report
+   ``resumed``), streams the second half, closes, and the final hashes
+   and metrics must equal the golden run exactly.
+
+Used by the ``serve-smoke`` CI job; also runnable locally::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import asyncio
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SESSIONS = 50
+EVENTS_PER_SESSION = 120
+CUT = 60  # SIGTERM lands after this many events per session
+CONNECTIONS = 4
+
+_SERVING = re.compile(r"serving on ([\d.]+):(\d+)")
+
+
+class Server:
+    """One ``python -m repro serve`` child process."""
+
+    def __init__(self, state_dir: Path) -> None:
+        self.state_dir = state_dir
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--state-dir", str(state_dir),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        line = self.process.stdout.readline()
+        match = _SERVING.search(line)
+        if not match:
+            self.process.kill()
+            raise SystemExit(f"FAIL: no 'serving on' banner, got {line!r}")
+        self.host, self.port = match.group(1), int(match.group(2))
+
+    def sigterm(self) -> str:
+        """SIGTERM the server; return its remaining output (drain log)."""
+        self.process.send_signal(signal.SIGTERM)
+        output = self.process.stdout.read()
+        code = self.process.wait(timeout=60)
+        if code != 0:
+            raise SystemExit(f"FAIL: server exited {code}: {output}")
+        return output
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=30)
+
+
+def drive(port: int, **kwargs):
+    from repro.serve.client import drive_load
+
+    return asyncio.run(
+        drive_load(
+            "127.0.0.1",
+            port,
+            sessions=SESSIONS,
+            events_per_session=EVENTS_PER_SESSION,
+            connections=CONNECTIONS,
+            **kwargs,
+        )
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        tmp = Path(tmp)
+
+        print("== golden run (uninterrupted) ==", flush=True)
+        golden_server = Server(tmp / "golden")
+        try:
+            golden = drive(golden_server.port)
+        finally:
+            golden_server.sigterm()
+        print(
+            f"{SESSIONS} sessions closed at "
+            f"{golden['events_per_second']:.0f} events/s"
+        )
+
+        print("== victim run (SIGTERM mid-stream) ==", flush=True)
+        state_dir = tmp / "state"
+        victim = Server(state_dir)
+        try:
+            drive(victim.port, count=CUT, do_close=False)
+            drain_log = victim.sigterm()
+        finally:
+            victim.kill()
+        print(drain_log.strip())
+        on_disk = len(list(state_dir.glob("*.session.json")))
+        if on_disk != SESSIONS:
+            print(
+                f"FAIL: expected {SESSIONS} drained session checkpoints, "
+                f"found {on_disk}",
+                file=sys.stderr,
+            )
+            return 1
+
+        print("== resumed run (same state dir) ==", flush=True)
+        restarted = Server(state_dir)
+        try:
+            resumed = drive(restarted.port, offset=CUT)
+        finally:
+            restarted.sigterm()
+        if resumed["resumed"] != SESSIONS:
+            print(
+                f"FAIL: only {resumed['resumed']}/{SESSIONS} opens resumed "
+                f"from the drained checkpoints",
+                file=sys.stderr,
+            )
+            return 1
+        if resumed["closed"] != golden["closed"]:
+            diffs = [
+                session_id
+                for session_id, closed in sorted(golden["closed"].items())
+                if resumed["closed"].get(session_id) != closed
+            ]
+            print(
+                f"FAIL: {len(diffs)} session(s) diverged from golden after "
+                f"resume: {diffs[:5]}",
+                file=sys.stderr,
+            )
+            return 1
+        leftover = len(list(state_dir.glob("*.session.json")))
+        if leftover:
+            print(
+                f"FAIL: {leftover} stale checkpoint(s) after clean closes",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"PASS: all {SESSIONS} sessions resumed bit-identical to the "
+            f"uninterrupted run"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ Commands:
 * ``simulate``  — run predictors over traces or suite samples;
 * ``search``    — design-space search over BLBP configurations;
 * ``budgets``   — predictor hardware budgets (Table 2);
+* ``registry``  — registered predictor keys + config fingerprints;
+* ``serve``     — the prediction server (``repro.serve``);
 * ``statehash`` — canonical predictor state hashes (golden fixtures).
 
 Examples::
@@ -21,6 +23,8 @@ Examples::
     python -m repro search --strategy hillclimb --budget 24 --jobs 4
     python -m repro search --strategy sha --space sizing --resume s.jsonl
     python -m repro budgets
+    python -m repro registry
+    python -m repro serve --port 9317 --state-dir /tmp/serve-state
     python -m repro statehash --out tests/fixtures/state_hashes.json
 """
 
@@ -284,6 +288,58 @@ def _cmd_budgets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_registry(args: argparse.Namespace) -> int:
+    """List registered predictor keys with config fingerprints."""
+    from repro.registry import registry_listing
+
+    rows = registry_listing()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    print(f"{'name':<18} {'kind':<12} {'class':<28} fingerprint")
+    for row in rows:
+        print(
+            f"{row['name']:<18} {row['kind']:<12} {row['class']:<28} "
+            f"{row['fingerprint'][:16]}"
+        )
+    print(
+        f"\n{len(rows)} registered predictors; indirect keys are valid "
+        f"`repro serve` session configs"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the prediction server until SIGTERM/SIGINT (drains on exit)."""
+    import asyncio
+
+    from repro.serve.server import PredictionServer
+
+    async def run() -> int:
+        server = PredictionServer(
+            host=args.host,
+            port=args.port,
+            state_dir=args.state_dir,
+            max_resident=args.max_resident,
+            batch_window=args.batch_window,
+            max_batch_events=args.batch_max_events,
+            workers=args.workers,
+            ras_depth=args.ras_depth,
+        )
+        port = await server.start()
+        # Parsed by scripts/serve_smoke.py and the load driver: keep the
+        # "serving on host:port" shape stable.
+        print(f"serving on {args.host}:{port} "
+              f"(state dir {args.state_dir}, "
+              f"max resident {args.max_resident})", flush=True)
+        saved = await server.serve_until_stopped()
+        print(f"drained: {saved} session(s) checkpointed to "
+              f"{args.state_dir}", flush=True)
+        return 0
+
+    return asyncio.run(run())
+
+
 #: Defaults for the golden state-hash fixtures; changing either is a
 #: fixture regeneration (and a deliberate decision), not a tweak.
 STATEHASH_TRACE = "spec2000.252_eon"
@@ -451,6 +507,44 @@ def build_parser() -> argparse.ArgumentParser:
     budgets = sub.add_parser("budgets", help="hardware budgets (Table 2)")
     budgets.add_argument("--details", action="store_true")
     budgets.set_defaults(func=_cmd_budgets)
+
+    registry = sub.add_parser(
+        "registry",
+        help="list registered predictor keys + config fingerprints",
+    )
+    registry.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    registry.set_defaults(func=_cmd_registry)
+
+    serve = sub.add_parser(
+        "serve", help="run the prediction server (repro.serve)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral, printed)")
+    serve.add_argument(
+        "--state-dir", default="serve-state",
+        help="directory for session checkpoints (eviction + drain)",
+    )
+    serve.add_argument(
+        "--max-resident", type=int, default=1024,
+        help="resident-session cap; LRU sessions beyond it are "
+             "checkpointed to --state-dir (default 1024)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="micro-batch coalescing window (default 0.002)",
+    )
+    serve.add_argument(
+        "--batch-max-events", type=int, default=8192,
+        help="event count that triggers an early batch drain",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="shard batchers; sessions hash-shard across them (default 4)",
+    )
+    serve.add_argument("--ras-depth", type=int, default=32)
+    serve.set_defaults(func=_cmd_serve)
 
     statehash = sub.add_parser(
         "statehash",

@@ -115,6 +115,49 @@ def conditional_names() -> List[str]:
     return list(CONDITIONAL_PREDICTORS)
 
 
+def config_fingerprint(name: str, kind: str = "indirect") -> str:
+    """Stable fingerprint of the default configuration behind ``name``.
+
+    The canonical state hash of a freshly constructed instance: two
+    registry entries fingerprint equal exactly when they would behave
+    identically on every future branch from a cold start, so a changed
+    default configuration (or initial table layout) changes the
+    fingerprint.  Shown by ``python -m repro registry`` and used by the
+    serve layer to describe what a session key actually builds.
+    """
+    if kind == "indirect":
+        instance = make_indirect(name)
+    elif kind == "conditional":
+        instance = make_conditional(name)
+    else:
+        raise ValueError(f"kind must be 'indirect' or 'conditional', not {kind!r}")
+    return instance.state_hash()
+
+
+def registry_listing() -> List[Dict[str, str]]:
+    """Every registered predictor with its kind and config fingerprint.
+
+    One row per entry: ``{"name", "kind", "class", "fingerprint"}``,
+    indirect predictors first (registration order), then conditionals.
+    """
+    rows: List[Dict[str, str]] = []
+    for kind, table in (
+        ("indirect", INDIRECT_PREDICTORS),
+        ("conditional", CONDITIONAL_PREDICTORS),
+    ):
+        for name, factory in table.items():
+            instance = factory()
+            rows.append(
+                {
+                    "name": name,
+                    "kind": kind,
+                    "class": type(instance).__name__,
+                    "fingerprint": instance.state_hash(),
+                }
+            )
+    return rows
+
+
 __all__ = [
     "CONDITIONAL_PREDICTORS",
     "FRONTEND_PREDICTORS",
@@ -124,8 +167,10 @@ __all__ = [
     "RegistryError",
     "conditional_factory",
     "conditional_names",
+    "config_fingerprint",
     "indirect_factory",
     "indirect_names",
     "make_conditional",
     "make_indirect",
+    "registry_listing",
 ]

@@ -1,0 +1,75 @@
+"""``repro.serve`` — prediction-as-a-service.
+
+The layer that turns the batch simulator into a long-running system: an
+asyncio TCP server hosting thousands of concurrent predictor sessions.
+Clients open a session naming a :mod:`repro.registry` predictor key,
+stream branch events over a newline-delimited JSON protocol, and get
+per-event predictions and outcomes back.  The server coalesces events
+arriving across sessions into fused micro-batches, evicts idle sessions
+to disk as PR 4 checkpoints under an LRU resident-set cap, rehydrates
+them transparently on the next event (``state_hash`` verified on
+reload), and checkpoints every live session on drain/SIGTERM so a
+restarted server resumes every stream bit-identically.
+
+Start a server::
+
+    python -m repro serve --port 9317 --state-dir /tmp/serve
+
+Drive load against it::
+
+    python -m repro.serve.client --port 9317 --sessions 1000 --events 100
+
+Module map: :mod:`~repro.serve.protocol` (wire format),
+:mod:`~repro.serve.session` (the per-session state machine and its
+checkpoint envelope), :mod:`~repro.serve.batcher` (cross-session fused
+micro-batching), :mod:`~repro.serve.server` (session manager, eviction,
+the asyncio server), :mod:`~repro.serve.client` (lockstep client + load
+driver), :mod:`~repro.serve.metrics` (the ``stats`` endpoint's
+counters).
+"""
+
+from repro.serve.batcher import MicroBatcher, drain_batch
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError, trace_events
+from repro.serve.server import (
+    PredictionServer,
+    SessionManager,
+    SessionStore,
+)
+from repro.serve.session import (
+    PredictorSession,
+    SessionError,
+    step_sessions_fused,
+)
+
+# Client symbols are re-exported lazily: importing them eagerly would
+# put repro.serve.client in sys.modules before ``python -m
+# repro.serve.client`` executes it, making runpy warn.
+_CLIENT_EXPORTS = {"ClientError", "ServeClient", "drive_load"}
+
+
+def __getattr__(name):
+    if name in _CLIENT_EXPORTS:
+        from repro.serve import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClientError",
+    "MicroBatcher",
+    "PredictionServer",
+    "PredictorSession",
+    "ProtocolError",
+    "ServeClient",
+    "ServerMetrics",
+    "SessionError",
+    "SessionManager",
+    "SessionStore",
+    "drain_batch",
+    "drive_load",
+    "step_sessions_fused",
+    "trace_events",
+]

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -32,6 +31,7 @@ from repro.common.state import (
     hash_state,
     require,
 )
+from repro.trace.plane import atomic_write_bytes
 
 #: Default records-between-checkpoints for ``--checkpoint-every``.
 DEFAULT_CHECKPOINT_INTERVAL = 100_000
@@ -111,19 +111,7 @@ def save_checkpoint(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = canonical_json(checkpoint.state_dict())
-    descriptor, temp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", dir=path.parent
-    )
-    try:
-        with os.fdopen(descriptor, "w") as handle:
-            handle.write(payload)
-        os.replace(temp_name, path)
-    except BaseException:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
+    atomic_write_bytes(path, payload.encode("utf-8"))
 
 
 def load_checkpoint(

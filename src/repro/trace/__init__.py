@@ -19,6 +19,7 @@ from repro.trace.derived import (
 )
 from repro.trace.plane import (
     TraceCache,
+    atomic_write_bytes,
     attach_trace,
     cached_trace,
     spilled_hash,
@@ -37,6 +38,7 @@ __all__ = [
     "write_trace",
     "write_trace_v1",
     "write_trace_v2",
+    "atomic_write_bytes",
     "attach_trace",
     "cached_trace",
     "spilled_hash",

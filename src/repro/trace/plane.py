@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import struct
+import tempfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -40,6 +41,33 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.trace.stream import Trace
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically publish ``data`` at ``path``.
+
+    The bytes land via a temp sibling in the same directory, an fsync,
+    and ``os.replace`` — readers only ever see a complete file, and a
+    process killed mid-write leaves the previous version intact.  Shared
+    by the trace plane, simulation checkpoints, and the serve layer's
+    session-eviction checkpoints.
+    """
+    path = Path(path)
+    descriptor, temp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", dir=path.parent
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
 
 MAGIC_V2 = b"RPTRACE2"
 

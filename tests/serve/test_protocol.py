@@ -1,0 +1,118 @@
+"""Wire-format tests for the serve protocol.
+
+The protocol module is the single source of truth for both ends of the
+connection, so these tests pin the encode/decode roundtrip, the event
+validation contract (everything the server will refuse), and the
+trace → wire-events bridge the equivalence suite builds on.
+"""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+from repro.trace.record import BranchType
+from repro.workloads.vdispatch import VirtualDispatchSpec
+
+
+def _trace(num_records=50, seed=7):
+    return VirtualDispatchSpec(
+        name="proto-test",
+        seed=seed,
+        num_records=num_records,
+        num_sites=3,
+        num_types=4,
+        filler_conditionals=2,
+    ).generate()
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        message = {"t": "open", "session": "s-1", "predictor": "BLBP"}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_encode_is_one_compact_line(self):
+        line = protocol.encode({"t": "hello"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert b" " not in line
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"[1, 2, 3]\n")
+
+    def test_decode_rejects_missing_tag(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b'{"session": "x"}\n')
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"not json at all\n")
+
+
+class TestEventValidation:
+    def test_parse_event_normalizes(self):
+        event = protocol.parse_event([4096, 3, 1, 8192, 7])
+        assert event == (4096, 3, True, 8192, 7)
+        assert isinstance(event[2], bool)
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            [1, 2, 3],                       # wrong arity
+            "nope",                          # not an array
+            [-1, 0, True, 0, 0],             # negative pc
+            [0, 9, True, 0, 0],              # unknown branch type
+            [0, 0, True, -5, 0],             # negative target
+            [0, 0, True, 0, -1],             # negative gap
+            [0.5, 0, True, 0, 0],            # float pc
+        ],
+    )
+    def test_parse_event_rejects(self, raw):
+        with pytest.raises(ProtocolError):
+            protocol.parse_event(raw)
+
+    def test_parse_events_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_events([])
+        with pytest.raises(ProtocolError):
+            protocol.parse_events(None)
+
+    def test_require_session_id(self):
+        assert protocol.require_session_id({"session": "abc"}) == "abc"
+        with pytest.raises(ProtocolError):
+            protocol.require_session_id({"session": ""})
+        with pytest.raises(ProtocolError):
+            protocol.require_session_id({"session": 17})
+        with pytest.raises(ProtocolError):
+            protocol.require_session_id({"session": "x" * 257})
+
+
+class TestTraceEvents:
+    def test_matches_trace_columns(self):
+        trace = _trace()
+        events = protocol.trace_events(trace)
+        assert len(events) == len(trace.pcs)
+        for index, (pc, bt, taken, target, gap) in enumerate(events):
+            assert pc == int(trace.pcs[index])
+            assert bt == int(trace.types[index])
+            assert taken == bool(trace.takens[index])
+            assert target == int(trace.targets[index])
+            assert gap == int(trace.gaps[index])
+
+    def test_events_are_wire_safe(self):
+        events = protocol.trace_events(_trace())
+        # Every event validates and JSON-roundtrips untouched.
+        for event in events:
+            assert protocol.parse_event(list(event)) == event
+        encoded = protocol.encode(
+            {"t": "events", "session": "s", "events": [list(e) for e in events]}
+        )
+        decoded = protocol.decode(encoded)
+        assert protocol.parse_events(decoded["events"]) == events
+
+    def test_covers_multiple_branch_types(self):
+        kinds = {event[1] for event in protocol.trace_events(_trace(200))}
+        assert int(BranchType.CONDITIONAL) in kinds
+        assert int(BranchType.INDIRECT_CALL) in kinds

@@ -1,0 +1,186 @@
+"""Session-layer equivalence: the serve state machine vs the engine.
+
+The whole serve subsystem rests on one guarantee: a
+:class:`PredictorSession` fed a trace's events finishes bit-identical to
+:func:`repro.sim.engine.simulate` on that trace, and suspending the
+session at *any* event boundary (checkpoint → JSON → rehydrate) does not
+perturb that.  These tests pin the guarantee directly, for several
+registered predictor kinds, with the suspend point chosen by hypothesis.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registry import make_indirect
+from repro.serve.protocol import trace_events
+from repro.serve.session import (
+    SESSION_CHECKPOINT_KIND,
+    PredictorSession,
+    SessionError,
+    step_sessions_fused,
+)
+from repro.sim.engine import simulate
+from repro.workloads.vdispatch import VirtualDispatchSpec
+
+#: Predictor kinds the equivalence property runs over (≥ 3, spanning
+#: table-based, TAGE-like, and perceptron-based designs).
+KINDS = ["BTB", "TargetCache", "VPC", "ITTAGE", "BLBP"]
+
+
+def _trace(seed=11, num_records=160):
+    return VirtualDispatchSpec(
+        name=f"serve-session-{seed}",
+        seed=seed,
+        num_records=num_records,
+        num_sites=4,
+        num_types=4,
+        determinism=0.8,
+        filler_conditionals=4,
+    ).generate()
+
+
+def _assert_matches_simulate(session, trace, warmup=0):
+    """The session's result and state hash equal a direct simulate."""
+    reference = make_indirect(session.predictor_key)
+    result = simulate(reference, trace, warmup_records=warmup)
+    ours = session.result()
+    assert ours.total_instructions == result.total_instructions
+    assert ours.indirect_branches == result.indirect_branches
+    assert ours.indirect_mispredictions == result.indirect_mispredictions
+    assert ours.return_branches == result.return_branches
+    assert ours.return_mispredictions == result.return_mispredictions
+    assert ours.conditional_branches == result.conditional_branches
+    assert session.state_hash() == reference.state_hash()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_streaming_matches_simulate(self, kind):
+        trace = _trace()
+        session = PredictorSession("s", kind)
+        session.step_events(trace_events(trace))
+        _assert_matches_simulate(session, trace)
+
+    @pytest.mark.parametrize("kind", ["BLBP", "ITTAGE"])
+    def test_warmup_matches_simulate(self, kind):
+        trace = _trace(seed=13)
+        session = PredictorSession("s", kind, warmup_records=40)
+        session.step_events(trace_events(trace))
+        _assert_matches_simulate(session, trace, warmup=40)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_chunked_streaming_equals_one_shot(self, kind):
+        events = trace_events(_trace(seed=17))
+        one_shot = PredictorSession("a", kind)
+        outputs_one = one_shot.step_events(events)
+        chunked = PredictorSession("b", kind)
+        outputs_chunks = []
+        for start in range(0, len(events), 13):
+            outputs_chunks.extend(
+                chunked.step_events(events[start : start + 13])
+            )
+        assert outputs_one == outputs_chunks
+        assert one_shot.state_hash() == chunked.state_hash()
+
+
+class TestSuspendResume:
+    """Satellite 3: open → stream → evict → rehydrate → stream is
+    bit-identical to the uninterrupted run, across predictor kinds."""
+
+    @given(
+        kind=st.sampled_from(["BLBP", "ITTAGE", "BTB"]),
+        cut=st.integers(min_value=0, max_value=160),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_suspend_anywhere_is_invisible(self, kind, cut, seed):
+        trace = _trace(seed=seed)
+        events = trace_events(trace)
+        cut = min(cut, len(events))
+
+        control = PredictorSession("ctl", kind)
+        control_out = control.step_events(events)
+
+        probe = PredictorSession("ctl", kind)
+        head = probe.step_events(events[:cut])
+        # Evict: checkpoint through JSON exactly as the session store
+        # writes it, then rehydrate into a fresh object.
+        document = json.loads(json.dumps(probe.checkpoint()))
+        resumed = PredictorSession.from_checkpoint(document)
+        tail = resumed.step_events(events[cut:])
+
+        assert head + tail == control_out
+        assert resumed.state_hash() == control.state_hash()
+        assert resumed.result() == control.result()
+        _assert_matches_simulate(resumed, trace)
+
+    def test_checkpoint_envelope_fields(self):
+        session = PredictorSession("env", "BLBP", warmup_records=5)
+        session.step_events(trace_events(_trace())[:20])
+        document = session.checkpoint()
+        assert document["kind"] == SESSION_CHECKPOINT_KIND
+        assert document["session"] == "env"
+        assert document["predictor_key"] == "BLBP"
+        assert document["warmup_records"] == 5
+        assert document["predictor_hash"] == session.state_hash()
+        assert document["checkpoint"]["cursor"] == 20
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(SessionError):
+            PredictorSession.from_checkpoint({"kind": "SomethingElse"})
+
+    def test_rejects_malformed_document(self):
+        with pytest.raises(SessionError):
+            PredictorSession.from_checkpoint(
+                {"kind": SESSION_CHECKPOINT_KIND, "session": "x"}
+            )
+
+    def test_rejects_tampered_state(self):
+        session = PredictorSession("tamper", "BLBP")
+        session.step_events(trace_events(_trace())[:30])
+        document = session.checkpoint()
+        # Flip the recorded hash: the restore must refuse, not resurrect.
+        document["predictor_hash"] = "0" * 64
+        with pytest.raises(SessionError, match="does not match"):
+            PredictorSession.from_checkpoint(document)
+
+
+class TestFusedStepping:
+    def test_fused_equals_solo(self):
+        events = trace_events(_trace(seed=23))
+        kinds = ["BLBP", "ITTAGE", "BTB", "BLBP"]
+        solo = [PredictorSession(f"solo-{i}", k) for i, k in enumerate(kinds)]
+        fused = [PredictorSession(f"fuse-{i}", k) for i, k in enumerate(kinds)]
+        solo_outputs = [s.step_events(events) for s in solo]
+        fused_outputs = step_sessions_fused(fused, events)
+        assert fused_outputs == solo_outputs
+        for a, b in zip(solo, fused):
+            assert a.state_hash() == b.state_hash()
+            assert a.result().mpki() == b.result().mpki()
+
+    def test_fused_respects_warmup(self):
+        events = trace_events(_trace(seed=29))
+        solo = PredictorSession("a", "BLBP", warmup_records=25)
+        fused = PredictorSession("b", "BLBP", warmup_records=25)
+        solo_out = solo.step_events(events)
+        fused_out = step_sessions_fused([fused], events)[0]
+        assert fused_out == solo_out
+        assert solo.mispredictions == fused.mispredictions
+
+    def test_empty_inputs(self):
+        assert step_sessions_fused([], trace_events(_trace())[:3]) == []
+        session = PredictorSession("e", "BTB")
+        assert step_sessions_fused([session], []) == [[]]
+
+
+class TestValidation:
+    def test_unknown_predictor_key(self):
+        with pytest.raises(SessionError, match="unknown indirect"):
+            PredictorSession("x", "NotAPredictor")
+
+    def test_negative_warmup(self):
+        with pytest.raises(SessionError):
+            PredictorSession("x", "BTB", warmup_records=-1)

@@ -43,3 +43,29 @@ class TestCsvGenerate:
         assert main(["simulate", "--predictors", "BTB",
                      "--traces", path]) == 0
         assert "MEAN" in capsys.readouterr().out
+
+
+class TestRegistryCommand:
+    def test_lists_every_registered_predictor(self, capsys):
+        from repro.registry import conditional_names, indirect_names
+
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        for name in indirect_names() + conditional_names():
+            assert name in out
+        # The footer ties the listing to the serve session configs.
+        assert "repro serve" in out
+
+    def test_json_rows_carry_fingerprints(self, capsys):
+        import json as json_module
+
+        from repro.registry import config_fingerprint
+
+        assert main(["registry", "--json"]) == 0
+        rows = json_module.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows if row["kind"] == "indirect"}
+        assert by_name["BLBP"]["fingerprint"] == config_fingerprint("BLBP")
+        assert by_name["BLBP"]["class"] == "BLBP"
+        # Fingerprints separate configs that behave differently from a
+        # cold start.
+        assert by_name["BTB"]["fingerprint"] != by_name["2bit-BTB"]["fingerprint"]
