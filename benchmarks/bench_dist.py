@@ -1,0 +1,192 @@
+"""Multi-node campaign scaling gate for :mod:`repro.dist`.
+
+Runs one fused campaign through :func:`execute_plan` on a
+:class:`~repro.dist.NodePool` of 1, 2, and 4 local worker nodes and
+measures end-to-end wall clock — trace shipping, scheduling, and
+journal-shard merging included, because that is what a user of
+``repro simulate --nodes`` actually pays.
+
+Every arm must produce results identical to the single-node run
+(asserted every time — a scaling gate is worthless if distribution
+drifts).  The campaign is a suite sample under the two expensive
+predictors (BLBP, ITTAGE) so cells are long enough to amortize node
+startup; with cheap table predictors the bench would measure process
+spawn, not scheduling.
+
+Run as the CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py --quick --gate
+
+``--gate`` exits non-zero unless 4 nodes clear ``--min-speedup``
+(default 1.6x) over 1 node.  Like ``bench_parallel``, the speedup
+claim only applies where parallelism is physically possible: on hosts
+with fewer than 4 CPUs the gate reports and skips (determinism is
+still asserted).  The measurement is written to
+``results/throughput_dist.json`` with host-environment metadata.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.common.envinfo import environment_metadata
+from repro.core.blbp import BLBP
+from repro.dist import NodePool
+from repro.exec.plan import plan_campaign
+from repro.exec.pool import execute_plan
+from repro.predictors.ittage import ITTAGE
+
+NODE_COUNTS = (1, 2, 4)
+FACTORIES = {"BLBP": BLBP, "ITTAGE": ITTAGE}
+
+
+def _suite_traces(scale: float, stride: int, min_traces: int = 8):
+    from repro.workloads.suite import suite88_specs
+
+    entries = suite88_specs(scale)[::stride]
+    if len(entries) < min_traces:
+        entries = suite88_specs(scale)[:min_traces]
+    return [entry.generate() for entry in entries]
+
+
+def _identical(reference, other, arm):
+    if other.traces() != reference.traces():
+        raise AssertionError(f"{arm}: trace set drifted")
+    if other.predictors() != reference.predictors():
+        raise AssertionError(f"{arm}: predictor set drifted")
+    for trace in reference.traces():
+        for predictor in reference.predictors():
+            if (
+                other.results[trace][predictor]
+                != reference.results[trace][predictor]
+            ):
+                raise AssertionError(
+                    f"{arm}: results drifted at ({trace}, {predictor})"
+                )
+
+
+def measure_scaling(scale: float, stride: int, repeats: int) -> dict:
+    """Best-of-``repeats`` wall clock for 1, 2, and 4 local nodes.
+
+    The plan (and its spilled traces) is built once and shared, so the
+    arms differ only in where cells execute.  Pool startup happens
+    inside the timed region — a fresh pool per pass — because node
+    spawn is a real cost of distribution; the transfer-once store
+    means repeats after the first ship nothing.
+    """
+    traces = _suite_traces(scale, stride)
+    records = sum(len(trace) for trace in traces)
+    cells = len(traces) * len(FACTORIES)
+
+    with tempfile.TemporaryDirectory(prefix="repro-dist-bench-") as cache:
+        plan = plan_campaign(traces, FACTORIES, cache_dir=Path(cache))
+        reference = execute_plan(plan, jobs=1)  # warmup + golden results
+
+        best = {}
+        for nodes in NODE_COUNTS:
+            for _ in range(repeats):
+                started = time.perf_counter()
+                with NodePool(nodes=nodes) as pool:
+                    campaign = execute_plan(plan, pool=pool)
+                elapsed = time.perf_counter() - started
+                _identical(reference, campaign, f"{nodes}-node")
+                best[nodes] = (
+                    elapsed if nodes not in best
+                    else min(best[nodes], elapsed)
+                )
+
+    summary = {
+        "environment": environment_metadata(),
+        "predictors": list(FACTORIES),
+        "traces": [trace.name for trace in traces],
+        "cells": cells,
+        "units": len(traces),  # fused: one unit per trace
+        "records": records,
+        "scale": scale,
+        "stride": stride,
+        "repeats": repeats,
+    }
+    for nodes in NODE_COUNTS:
+        summary[f"nodes_{nodes}_seconds"] = round(best[nodes], 4)
+        summary[f"nodes_{nodes}_cells_per_sec"] = round(
+            cells / best[nodes], 2
+        )
+    for nodes in NODE_COUNTS[1:]:
+        summary[f"speedup_{nodes}_vs_1"] = round(best[1] / best[nodes], 3)
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="multi-node campaign scaling gate"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sample for CI (scale 1.0, 1 repeat)",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--stride", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero unless 4 nodes clear --min-speedup over 1 "
+             "(skipped on hosts with fewer than 4 CPUs)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.6,
+        help="minimum 4-node speedup over 1 node (default 1.6)",
+    )
+    parser.add_argument(
+        "--out", default="results/throughput_dist.json",
+        help="where to write the measurement (empty string to skip)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (1.0 if args.quick else 2.0)
+    stride = args.stride if args.stride is not None else 10
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 2)
+
+    summary = measure_scaling(scale, stride, repeats)
+    print(
+        f"campaign  {summary['cells']} cells in {summary['units']} fused "
+        f"units, {summary['records']:,} records"
+    )
+    for nodes in NODE_COUNTS:
+        line = (
+            f"{nodes} node{'s' if nodes > 1 else ' '}   "
+            f"{summary[f'nodes_{nodes}_cells_per_sec']:>8.2f} cells/s  "
+            f"({summary[f'nodes_{nodes}_seconds']:.2f}s)"
+        )
+        if nodes > 1:
+            line += f"  {summary[f'speedup_{nodes}_vs_1']:.2f}x vs 1 node"
+        print(line)
+
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
+    if args.gate:
+        cores = os.cpu_count() or 1
+        if cores < 4:
+            print(
+                f"gate skipped: host has {cores} CPU(s); 4-node speedup "
+                "is not physically possible (determinism still asserted)"
+            )
+        elif summary["speedup_4_vs_1"] < args.min_speedup:
+            print(
+                f"FAIL: 4-node speedup {summary['speedup_4_vs_1']:.2f}x "
+                f"below {args.min_speedup}x gate",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

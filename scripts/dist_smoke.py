@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Distributed-campaign smoke test: node death, coordinator death, cmp.
+
+The scenarios ``repro.dist`` exists to survive, exercised for real:
+
+1. run a small campaign serially — the reference journal bytes;
+2. run the same campaign on a 2-node :class:`NodePool` and ``SIGKILL``
+   one worker node after its first finished cell — the campaign must
+   emit ``node_down``, reschedule the dead node's cells on the
+   survivor, and finish with a merged journal **byte-identical** to the
+   serial reference;
+3. start the distributed campaign again in a fresh process group,
+   ``SIGKILL`` the whole group (coordinator + nodes) once a journal
+   shard holds at least one cell, then resume: the resumed run must
+   skip the shard-journaled cells and still produce byte-identical
+   canonical journal bytes.
+
+The journals are left in ``--workdir`` as ``serial.jsonl`` /
+``dist.jsonl`` / ``resumed.jsonl`` so CI can ``cmp`` them again
+independently.  Used by the ``dist-smoke`` CI job; also runnable
+locally::
+
+    PYTHONPATH=src python scripts/dist_smoke.py
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SCALE = 2.0   # ~32k-record traces: real work, quick smoke
+STRIDE = 22   # four suite traces -> four fused units across two nodes
+
+
+def _traces():
+    from repro.workloads.suite import suite88_specs
+
+    return [entry.generate() for entry in suite88_specs(SCALE)[::STRIDE]]
+
+
+def drive(workdir: Path, kill_node: bool) -> None:
+    """Child mode: run the distributed campaign, print per-cell MPKI.
+
+    With ``kill_node`` the second worker node is SIGKILLed right after
+    the first ``cell_finish`` lands, whichever node produced it — a
+    node death with the campaign genuinely in flight.
+    """
+    from repro.core.blbp import BLBP
+    from repro.dist import NodePool
+    from repro.exec import LogSink, broadcast
+    from repro.exec.plan import plan_campaign
+    from repro.exec.pool import execute_plan
+    from repro.predictors.ittage import ITTAGE
+
+    plan = plan_campaign(
+        _traces(), {"BLBP": BLBP, "ITTAGE": ITTAGE},
+        cache_dir=workdir / "cache",
+    )
+    pool = NodePool(nodes=2)
+    killed = []
+
+    def assassin(event) -> None:
+        if kill_node and not killed and event.kind == "cell_finish":
+            survivor = event.node
+            victim = next(
+                client for client in pool.nodes if client.node != survivor
+            )
+            os.kill(victim.pid, signal.SIGKILL)
+            killed.append(victim.node)
+            print(f"smoke: killed {victim.node} (pid {victim.pid}) "
+                  f"mid-campaign", file=sys.stderr, flush=True)
+
+    try:
+        campaign = execute_plan(
+            plan,
+            journal_path=workdir / "journal.jsonl",
+            pool=pool,
+            events=broadcast(assassin, LogSink(sys.stderr)),
+        )
+    finally:
+        pool.close()
+    if kill_node and not killed:
+        raise SystemExit("FAIL: campaign ended before a cell finished")
+    mpki = {
+        trace: {name: result.mpki() for name, result in sorted(per.items())}
+        for trace, per in sorted(campaign.results.items())
+    }
+    print(json.dumps(mpki, sort_keys=True))
+
+
+def _run_drive(workdir: Path, kill_node: bool = False):
+    command = [sys.executable, __file__, "--drive", str(workdir)]
+    if kill_node:
+        command.append("--kill-node")
+    return subprocess.run(
+        command, capture_output=True, text=True, check=True, timeout=600,
+    )
+
+
+def _start_and_kill_group(workdir: Path) -> None:
+    """Start the distributed campaign; SIGKILL coordinator + nodes."""
+    victim = subprocess.Popen(
+        [sys.executable, __file__, "--drive", str(workdir)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,  # nodes join the group; killpg gets all
+    )
+    shard_dir = workdir / "journal.jsonl.shards"
+    deadline = time.monotonic() + 180
+    try:
+        while time.monotonic() < deadline:
+            if any(
+                shard.stat().st_size > 0
+                for shard in shard_dir.glob("*.jsonl")
+            ):
+                break
+            if victim.poll() is not None:
+                raise SystemExit(
+                    "FAIL: campaign finished before a shard appeared; "
+                    "raise SCALE"
+                )
+            time.sleep(0.02)
+        else:
+            raise SystemExit("FAIL: no journal shard appeared within 180s")
+    finally:
+        if victim.poll() is None:
+            os.killpg(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+    if (workdir / "journal.jsonl").exists():
+        raise SystemExit(
+            "FAIL: canonical journal exists after a mid-campaign kill "
+            "(shards should be the only survivors)"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--drive", metavar="WORKDIR", default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--kill-node", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--workdir", metavar="DIR", default=None,
+                        help="keep journals here for an external cmp "
+                             "(default: a temporary directory)")
+    args = parser.parse_args()
+    if args.drive:
+        drive(Path(args.drive), kill_node=args.kill_node)
+        return 0
+
+    keep = args.workdir is not None
+    context = (
+        tempfile.TemporaryDirectory(prefix="dist-smoke-")
+        if not keep else None
+    )
+    root = Path(args.workdir) if keep else Path(context.name)
+    root.mkdir(parents=True, exist_ok=True)
+    try:
+        print("== serial reference ==", flush=True)
+        serial_dir = root / "serial"
+        serial_dir.mkdir()
+        from repro.core.blbp import BLBP
+        from repro.exec.plan import plan_campaign
+        from repro.exec.pool import execute_plan
+        from repro.predictors.ittage import ITTAGE
+
+        plan = plan_campaign(
+            _traces(), {"BLBP": BLBP, "ITTAGE": ITTAGE},
+            cache_dir=serial_dir / "cache",
+        )
+        reference = execute_plan(
+            plan, jobs=1, journal_path=root / "serial.jsonl"
+        )
+        reference_mpki = {
+            trace: {
+                name: result.mpki()
+                for name, result in sorted(per.items())
+            }
+            for trace, per in sorted(reference.results.items())
+        }
+        reference_bytes = (root / "serial.jsonl").read_bytes()
+
+        print("== 2-node campaign, one node SIGKILLed mid-flight ==",
+              flush=True)
+        dist_dir = root / "dist"
+        dist_dir.mkdir()
+        run = _run_drive(dist_dir, kill_node=True)
+        if "node_down" not in run.stderr:
+            print("FAIL: no node_down event after SIGKILLing a node",
+                  file=sys.stderr)
+            return 1
+        (root / "dist.jsonl").write_bytes(
+            (dist_dir / "journal.jsonl").read_bytes()
+        )
+        if (root / "dist.jsonl").read_bytes() != reference_bytes:
+            print("FAIL: merged journal differs from serial reference",
+                  file=sys.stderr)
+            return 1
+        if json.loads(run.stdout) != reference_mpki:
+            print("FAIL: distributed MPKI differs from reference",
+                  file=sys.stderr)
+            return 1
+        print("node-death journal byte-identical to serial reference")
+
+        print("== coordinator + nodes SIGKILLed, then resumed ==",
+              flush=True)
+        resume_dir = root / "resume"
+        resume_dir.mkdir()
+        _start_and_kill_group(resume_dir)
+        shards = list(
+            (resume_dir / "journal.jsonl.shards").glob("*.jsonl")
+        )
+        print(f"killed with {len(shards)} journal shard(s) on disk")
+        resumed = _run_drive(resume_dir)
+        if "cell_skipped" not in resumed.stderr:
+            print("FAIL: resumed run re-simulated every cell "
+                  "(shards were not folded in)", file=sys.stderr)
+            return 1
+        (root / "resumed.jsonl").write_bytes(
+            (resume_dir / "journal.jsonl").read_bytes()
+        )
+        if (root / "resumed.jsonl").read_bytes() != reference_bytes:
+            print("FAIL: resumed journal differs from serial reference",
+                  file=sys.stderr)
+            return 1
+        if json.loads(resumed.stdout) != reference_mpki:
+            print("FAIL: resumed MPKI differs from reference",
+                  file=sys.stderr)
+            return 1
+        print("resumed journal byte-identical to serial reference")
+        print("PASS: distributed campaigns byte-identical under node "
+              "death and coordinator death")
+    finally:
+        if context is not None:
+            context.cleanup()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

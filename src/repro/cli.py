@@ -10,6 +10,7 @@ Commands:
 * ``budgets``   — predictor hardware budgets (Table 2);
 * ``registry``  — registered predictor keys + config fingerprints;
 * ``serve``     — the prediction server (``repro.serve``);
+* ``nodes``     — probe distributed worker nodes (``repro.dist``);
 * ``statehash`` — canonical predictor state hashes (golden fixtures).
 
 Examples::
@@ -20,6 +21,9 @@ Examples::
     python -m repro simulate --predictors BTB,ITTAGE,BLBP --stride 16
     python -m repro simulate --jobs 4 --resume campaign.jsonl --stride 8
     python -m repro simulate --jobs 4 --resume c.jsonl --checkpoint-every 100000
+    python -m repro simulate --nodes 4 --resume campaign.jsonl --stride 8
+    python -m repro simulate --dry-run --stride 8
+    python -m repro nodes --nodes 2
     python -m repro search --strategy hillclimb --budget 24 --jobs 4
     python -m repro search --strategy sha --space sizing --resume s.jsonl
     python -m repro budgets
@@ -127,8 +131,35 @@ def _parse_predictors(raw: str) -> Dict[str, Callable[[], IndirectBranchPredicto
     return factories
 
 
+def _format_plan_summary(summary: Dict[str, int], label: str) -> str:
+    """Human-readable ``--dry-run`` rendering of a plan summary."""
+    spill = summary["estimated_spill_bytes"]
+    lines = [
+        f"{label}: {summary['traces']} trace(s) x "
+        f"{summary['predictors']} predictor(s) = "
+        f"{summary['cells']} cells",
+        f"  scheduling units      {summary['units']} "
+        f"({summary['fused_groups']} fused group(s))",
+        f"  distinct traces       {summary['distinct_traces']} "
+        f"(each ships to a node at most once)",
+        f"  estimated spill bytes {spill:,} "
+        f"(~{spill / (1 << 20):.1f} MiB)",
+    ]
+    return "\n".join(lines)
+
+
+def _make_pool(nodes):
+    """A :class:`repro.dist.NodePool` for ``--nodes N``, else ``None``."""
+    if not nodes:
+        return None
+    from repro.dist import NodePool
+
+    return NodePool(nodes=nodes)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.exec import ProgressLineSink, resolve_jobs, run_campaign_parallel
+    from repro.exec.plan import plan_summary
 
     factories = _parse_predictors(args.predictors)
     traces = []
@@ -138,6 +169,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         entries = suite88_specs(args.scale)[:: args.stride]
         print(f"generating {len(entries)} suite traces ...", file=sys.stderr)
         traces = [entry.generate() for entry in entries]
+    if args.dry_run:
+        print(_format_plan_summary(
+            plan_summary(traces, factories, fuse=args.fuse,
+                         profile=args.profile),
+            "campaign plan",
+        ))
+        return 0
     jobs = resolve_jobs(args.jobs)
     if args.checkpoint_every and not args.resume:
         print(
@@ -145,23 +183,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "in a temporary directory; they will not survive this process",
             file=sys.stderr,
         )
-    if jobs > 1 or args.resume or args.checkpoint_every or args.fuse:
-        campaign = run_campaign_parallel(
-            traces,
-            factories,
-            jobs=jobs,
-            journal_path=args.resume,
-            events=ProgressLineSink(sys.stderr),
-            profile=args.profile,
-            checkpoint_every=args.checkpoint_every,
-            fuse=args.fuse,
-        )
-    else:
-        campaign = run_campaign(
-            traces,
-            factories,
-            counters=SimCounters() if args.profile else None,
-        )
+    pool = _make_pool(args.nodes)
+    try:
+        if pool or jobs > 1 or args.resume or args.checkpoint_every or args.fuse:
+            campaign = run_campaign_parallel(
+                traces,
+                factories,
+                jobs=jobs,
+                journal_path=args.resume,
+                events=ProgressLineSink(sys.stderr),
+                profile=args.profile,
+                checkpoint_every=args.checkpoint_every,
+                fuse=args.fuse,
+                pool=pool,
+            )
+        else:
+            campaign = run_campaign(
+                traces,
+                factories,
+                counters=SimCounters() if args.profile else None,
+            )
+    finally:
+        if pool is not None:
+            pool.close()
     print(format_mpki_table(campaign, sort_by=list(factories)[-1]))
     if args.profile:
         print()
@@ -218,6 +262,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"search space error: {exc}", file=sys.stderr)
         return 1
 
+    if args.dry_run:
+        from repro.exec.plan import plan_summary
+
+        # One generation's campaign: --batch candidates over the
+        # tuning traces; the search runs ceil(budget / batch) of them.
+        summary = plan_summary(
+            traces, {f"cand-{i}": None for i in range(args.batch)},
+        )
+        generations = -(-args.budget // args.batch)
+        print(_format_plan_summary(summary, "per-generation plan"))
+        print(
+            f"  generations           ~{generations} "
+            f"(budget {args.budget} / batch {args.batch})"
+        )
+        print(
+            f"  total cells           ~{summary['cells'] * generations}"
+        )
+        return 0
+
     def progress(generation: int, evaluations: int, best: float) -> None:
         print(
             f"search gen {generation}: {evaluations}/{args.budget} "
@@ -225,14 +288,21 @@ def _cmd_search(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    with GenerationEvaluator(traces, jobs=resolve_jobs(args.jobs)) as evaluator:
-        result = run_search(
-            strategy,
-            evaluator,
-            budget=args.budget,
-            journal_path=args.resume,
-            progress=progress,
-        )
+    pool = _make_pool(args.nodes)
+    try:
+        with GenerationEvaluator(
+            traces, jobs=resolve_jobs(args.jobs), pool=pool
+        ) as evaluator:
+            result = run_search(
+                strategy,
+                evaluator,
+                budget=args.budget,
+                journal_path=args.resume,
+                progress=progress,
+            )
+    finally:
+        if pool is not None:
+            pool.close()
     print(
         f"search done: {result.evaluations} candidates over "
         f"{result.generations} generations "
@@ -338,6 +408,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(run())
+
+
+def _cmd_nodes(args: argparse.Namespace) -> int:
+    """Probe a distributed pool: spawn/contact nodes and print a table."""
+    import os
+
+    from repro.dist import NODES_ENV, NodePool, PoolError, SSHPool
+
+    try:
+        if args.ssh:
+            pool = SSHPool(
+                [host.strip() for host in args.ssh.split(",")],
+                template=args.template or SSHPool.DEFAULT_TEMPLATE,
+                python=args.python,
+            )
+        else:
+            count = args.nodes or int(os.environ.get(NODES_ENV, "2") or 2)
+            pool = NodePool(nodes=count)
+    except (PoolError, ValueError, OSError) as exc:
+        print(f"nodes error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        rows = pool.describe()
+    finally:
+        pool.close()
+    print(f"{'node':<16} {'transport':<16} {'pid':>8} {'cpus':>5} "
+          f"{'alive':<6} {'cells':>6} {'traces':>7}")
+    for row in rows:
+        print(
+            f"{row['node']:<16} {row['transport']:<16} "
+            f"{row['pid']:>8} {row['cpus']:>5} "
+            f"{str(row['alive']).lower():<6} "
+            f"{row.get('cells', 0):>6} {row.get('traces_stored', 0):>7}"
+        )
+    print(f"\n{len(rows)} node(s); "
+          f"{sum(1 for row in rows if row['alive'])} alive")
+    return 0 if rows and all(row["alive"] for row in rows) else 1
 
 
 #: Defaults for the golden state-hash fixtures; changing either is a
@@ -448,6 +555,16 @@ def build_parser() -> argparse.ArgumentParser:
              "--resume journal so a killed worker resumes mid-trace "
              "(default 0 = off)",
     )
+    simulate.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="distribute the campaign across N local worker nodes "
+             "(repro.dist; journals stay byte-identical to --jobs runs)",
+    )
+    simulate.add_argument(
+        "--dry-run", action="store_true",
+        help="print the campaign plan (cells, fusion groups, distinct "
+             "traces, estimated spill bytes) and exit without simulating",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     search = sub.add_parser(
@@ -493,6 +610,15 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--out", metavar="DIR", default=None,
         help="write leaderboard.json + leaderboard.md into DIR",
+    )
+    search.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="score candidate generations across N local worker nodes",
+    )
+    search.add_argument(
+        "--dry-run", action="store_true",
+        help="print the per-generation campaign plan and exit without "
+             "searching",
     )
     search.set_defaults(func=_cmd_search)
 
@@ -545,6 +671,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--ras-depth", type=int, default=32)
     serve.set_defaults(func=_cmd_serve)
+
+    nodes = sub.add_parser(
+        "nodes", help="probe distributed worker nodes (repro.dist)"
+    )
+    nodes.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="local worker nodes to spawn and probe "
+             "(default: REPRO_NODES env var, else 2)",
+    )
+    nodes.add_argument(
+        "--ssh", metavar="HOSTS", default=None,
+        help="probe SSH nodes instead: comma-separated host list",
+    )
+    nodes.add_argument(
+        "--template", default=None,
+        help="launch command template for --ssh "
+             "(placeholders: {host} {python} {node})",
+    )
+    nodes.add_argument(
+        "--python", default="python3",
+        help="remote python for --ssh templates (default python3)",
+    )
+    nodes.set_defaults(func=_cmd_nodes)
 
     statehash = sub.add_parser(
         "statehash",

@@ -1,0 +1,75 @@
+"""repro.dist — multi-node campaign execution.
+
+The distribution layer scales campaign execution beyond one machine
+without changing what a campaign *is*: the same plans, the same fused
+scheduling units, the same retry ladder, and — the load-bearing
+guarantee — the same journal bytes.  A campaign run on N nodes merges
+its per-node journal shards into a canonical journal byte-identical to
+a single-node serial run, so resume, golden-journal CI, and every
+downstream consumer are oblivious to where the cells actually ran.
+
+Pieces (each its own module):
+
+* :mod:`repro.dist.protocol` — the newline-delimited-JSON job protocol
+  (serve-framing discipline; cells travel with traces by content hash);
+* :mod:`repro.dist.store` — the node-side content-addressed trace
+  store (each distinct spill crosses the wire at most once per node);
+* :mod:`repro.dist.worker` — ``python -m repro.dist.worker``, the node
+  job loop over TCP (``--port``) or stdio (``--stdio``, the SSH
+  transport);
+* :mod:`repro.dist.pool` — the :class:`Pool` backends
+  (:class:`LocalPool` / :class:`NodePool` / :class:`SSHPool`) and the
+  work-stealing scheduler with node-death rescheduling;
+* :mod:`repro.dist.merge` — per-node journal shards and the canonical
+  byte-identical merge.
+
+Entry points: pass ``pool=`` to :func:`repro.exec.pool.execute_plan`
+/ :func:`repro.exec.run_campaign_parallel`, set ``REPRO_NODES=n``,
+or use ``repro simulate --nodes n`` / ``repro search --nodes n`` /
+``repro nodes`` from the CLI.  See ``docs/distributed.md``.
+"""
+
+from repro.dist.merge import (
+    ShardedJournal,
+    canonical_journal_bytes,
+    load_shards,
+    merge_journals,
+    parse_shard_lines,
+    shards_dir,
+    write_canonical_journal,
+)
+from repro.dist.pool import (
+    NODES_ENV,
+    LocalPool,
+    NodeError,
+    NodePool,
+    Pool,
+    PoolError,
+    SSHPool,
+    resolve_pool,
+)
+from repro.dist.protocol import PROTOCOL_VERSION, DistProtocolError
+from repro.dist.store import StoreError, TraceStore, trace_file_hash
+
+__all__ = [
+    "DistProtocolError",
+    "LocalPool",
+    "NODES_ENV",
+    "NodeError",
+    "NodePool",
+    "PROTOCOL_VERSION",
+    "Pool",
+    "PoolError",
+    "SSHPool",
+    "ShardedJournal",
+    "StoreError",
+    "TraceStore",
+    "canonical_journal_bytes",
+    "load_shards",
+    "merge_journals",
+    "parse_shard_lines",
+    "resolve_pool",
+    "shards_dir",
+    "trace_file_hash",
+    "write_canonical_journal",
+]

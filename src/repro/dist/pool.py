@@ -1,0 +1,831 @@
+"""Campaign pools: local processes, socket worker nodes, SSH nodes.
+
+A :class:`Pool` is *where cells run*.  The execution engine
+(:func:`repro.exec.pool.execute_plan`) plans, journals, retries, and
+merges exactly as before; a pool only takes the planned execution units
+and brings the results back:
+
+* :class:`LocalPool` — today's in-process / ``ProcessPoolExecutor``
+  path behind the interface, behavior-preserving to the byte;
+* :class:`NodePool` — N spawned worker processes
+  (``python -m repro.dist.worker --port 0``), each speaking the
+  newline-delimited-JSON job protocol over its own TCP socket;
+* :class:`SSHPool` — the same worker protocol over stdin/stdout of a
+  process launched from a configurable command template (``ssh {host}
+  …`` in production; CI exercises the identical code with a localhost
+  shim template).
+
+The distributed scheduler shards units across nodes work-stealing
+style (one coordinator thread per node pulls from a shared queue), so
+a fast node takes more of the campaign.  Traces ship by content hash
+into each node's :class:`~repro.dist.store.TraceStore` — at most one
+transfer per (trace, node) per campaign, and zero when the node already
+holds the hash from an earlier run.  A node that dies mid-unit is
+announced (``node_down``), its in-flight unit reschedules on surviving
+nodes without charging the cells' retry budget, and a pool whose nodes
+are *all* gone degrades to in-process serial execution — the same
+never-fail ladder the process pool has always had.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shlex
+import socket
+import subprocess
+import sys
+import threading
+import time
+from abc import ABC, abstractmethod
+from collections import deque
+from pathlib import Path
+from typing import Any, BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dist import protocol
+from repro.dist.store import trace_file_hash
+from repro.exec.events import (
+    CELL_FAILED,
+    CELL_RETRY,
+    CELL_START,
+    FALLBACK,
+    NODE_DOWN,
+    NODE_UP,
+)
+from repro.exec.journal import result_from_json
+from repro.exec.plan import CellSpec, ExecutionUnit, FusedCellSpec
+from repro.exec.pool import CellFailedError, _PoolDegraded
+
+#: Maximum bytes of one protocol line read from a node.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Seconds to wait for a spawned local worker to announce its port.
+SPAWN_TIMEOUT = 30.0
+
+
+class PoolError(RuntimeError):
+    """A pool could not be constructed or probed."""
+
+
+class NodeError(RuntimeError):
+    """A worker node died or broke protocol; its work reschedules."""
+
+
+class _UnitFailed(Exception):
+    """A node reported the unit raised; the coordinator owns retries."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class Pool(ABC):
+    """Where campaign cells execute.  See module docstring."""
+
+    #: Local pools keep the classic coordinator-side behavior
+    #: (mid-trace checkpoint files, plain journal); distributed pools
+    #: journal into per-node shards and canonicalize on completion.
+    local = False
+    name = "pool"
+
+    @abstractmethod
+    def execute(
+        self,
+        state,
+        units: Sequence[ExecutionUnit],
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.1,
+        checkpoint_every: int = 0,
+    ) -> None:
+        """Run ``units``, recording outcomes into ``state``.
+
+        Raises :class:`repro.exec.pool._PoolDegraded` when the pool
+        itself (not a cell) is unusable — the executor then finishes the
+        remaining cells serially in-process.
+        """
+
+    @abstractmethod
+    def describe(self) -> List[Dict[str, Any]]:
+        """One probe row per node (``repro nodes``)."""
+
+    def close(self) -> None:
+        """Release workers/connections; idempotent."""
+
+    def __enter__(self) -> "Pool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LocalPool(Pool):
+    """The single-machine path behind the :class:`Pool` interface.
+
+    ``LocalPool(jobs=n)`` is exactly ``execute_plan(jobs=n)``: serial
+    in-process execution for ``jobs == 1``, the
+    ``ProcessPoolExecutor`` scheduler otherwise — same events, same
+    journal bytes, same fallback ladder.
+    """
+
+    local = True
+    name = "local"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        from repro.exec import resolve_jobs
+
+        self.jobs = resolve_jobs(jobs)
+
+    def execute(
+        self,
+        state,
+        units: Sequence[ExecutionUnit],
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.1,
+        checkpoint_every: int = 0,
+    ) -> None:
+        from repro.exec.pool import _run_parallel, _run_serial
+
+        units = list(units)
+        if self.jobs == 1:
+            _run_serial(state, units, timeout, retries, backoff)
+        else:
+            _run_parallel(state, units, self.jobs, timeout, retries, backoff)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "node": "local",
+                "transport": "process-pool",
+                "pid": os.getpid(),
+                "cpus": os.cpu_count() or 1,
+                "jobs": self.jobs,
+            }
+        ]
+
+
+# -- coordinator-side node handle -------------------------------------
+
+
+class _NodeClient:
+    """The coordinator's handle for one worker node."""
+
+    def __init__(
+        self,
+        reader: BinaryIO,
+        writer: BinaryIO,
+        transport: str,
+        process: Optional[subprocess.Popen] = None,
+        sock: Optional[socket.socket] = None,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.transport = transport
+        self.process = process
+        self.sock = sock
+        self.dead = False
+        #: Content hashes this node is known to hold.
+        self.shipped: set = set()
+        #: hash → put_trace transfers this campaign (dedup accounting).
+        self.transfers: Dict[str, int] = {}
+        self.node = ""
+        self.pid = 0
+        self.cpus = 0
+        self._handshake()
+
+    # -- wire ----------------------------------------------------------
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        try:
+            self.writer.write(protocol.encode(message))
+            self.writer.flush()
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            raise NodeError(f"node {self.node or '?'} send failed: {exc}")
+
+    def _recv(self) -> Dict[str, Any]:
+        try:
+            line = self.reader.readline(MAX_LINE_BYTES)
+        except (OSError, ValueError) as exc:
+            raise NodeError(f"node {self.node or '?'} read failed: {exc}")
+        if not line:
+            raise NodeError(f"node {self.node or '?'} closed the stream")
+        try:
+            return protocol.decode(line)
+        except protocol.DistProtocolError as exc:
+            raise NodeError(f"node {self.node or '?'} broke protocol: {exc}")
+
+    def _expect(self, tag: str) -> Dict[str, Any]:
+        message = self._recv()
+        if message["t"] == "error":
+            raise NodeError(
+                f"node {self.node or '?'} error: {message.get('error')}"
+            )
+        if message["t"] != tag:
+            raise NodeError(
+                f"node {self.node or '?'} sent {message['t']!r}, "
+                f"expected {tag!r}"
+            )
+        return message
+
+    def _handshake(self) -> None:
+        self._send({"t": "hello", "protocol": protocol.PROTOCOL_VERSION})
+        welcome = self._expect("welcome")
+        if welcome.get("protocol") != protocol.PROTOCOL_VERSION:
+            raise NodeError(
+                f"worker speaks protocol {welcome.get('protocol')!r}, "
+                f"coordinator speaks {protocol.PROTOCOL_VERSION}"
+            )
+        self.node = str(welcome.get("node", ""))
+        self.pid = int(welcome.get("pid", 0) or 0)
+        self.cpus = int(welcome.get("cpus", 0) or 0)
+
+    # -- operations ----------------------------------------------------
+
+    def ensure_trace(self, content_hash: str, path: str) -> None:
+        """Make ``content_hash`` resident on the node (ship at most once)."""
+        if content_hash in self.shipped:
+            return
+        self._send({"t": "has_trace", "hash": content_hash})
+        state = self._expect("trace_state")
+        if not state.get("present"):
+            import base64
+
+            data = Path(path).read_bytes()
+            chunk = protocol.TRACE_CHUNK_BYTES
+            offsets = range(0, len(data), chunk) if data else [0]
+            for offset in offsets:
+                piece = data[offset:offset + chunk]
+                self._send(
+                    {
+                        "t": "put_trace",
+                        "hash": content_hash,
+                        "data": base64.b64encode(piece).decode("ascii"),
+                        "last": offset + chunk >= len(data),
+                    }
+                )
+            self._expect("trace_state")
+            self.transfers[content_hash] = (
+                self.transfers.get(content_hash, 0) + 1
+            )
+        self.shipped.add(content_hash)
+
+    def run_unit(
+        self,
+        wire_cells: List[Dict[str, Any]],
+        fused: bool,
+        timeout: Optional[float],
+    ) -> List[Tuple[int, Any, float]]:
+        """Execute one unit; returns ``(index, result, duration)`` rows.
+
+        Raises :class:`_UnitFailed` for worker-reported cell failures
+        (retryable at the coordinator) and :class:`NodeError` when the
+        node itself is gone.
+        """
+        self._send(protocol.unit_to_wire(wire_cells, fused, timeout))
+        outcomes: List[Tuple[int, Any, float]] = []
+        while True:
+            message = self._recv()
+            tag = message["t"]
+            if tag == "cell_done":
+                outcomes.append(
+                    (
+                        int(message["index"]),
+                        result_from_json(message["result"]),
+                        float(message.get("duration", 0.0)),
+                    )
+                )
+            elif tag == "unit_done":
+                return outcomes
+            elif tag == "unit_failed":
+                raise _UnitFailed(str(message.get("message", "unit failed")))
+            elif tag == "error":
+                raise _UnitFailed(str(message.get("error", "node error")))
+            else:
+                raise NodeError(
+                    f"node {self.node} sent {tag!r} during run_unit"
+                )
+
+    def ping(self) -> bool:
+        self._send({"t": "ping"})
+        self._expect("pong")
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        self._send({"t": "stats"})
+        return self._expect("stats")
+
+    def close(self) -> None:
+        if not self.dead:
+            try:
+                self._send({"t": "shutdown"})
+                self._recv()  # bye (best effort)
+            except NodeError:
+                pass
+            self.dead = True
+        for stream in (self.writer, self.reader):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        if self.process is not None:
+            try:
+                self.process.terminate()
+            except OSError:
+                pass
+            try:
+                self.process.wait(timeout=5)
+            except (subprocess.TimeoutExpired, OSError):
+                try:
+                    self.process.kill()
+                except OSError:
+                    pass
+
+
+# -- distributed scheduler ---------------------------------------------
+
+
+class _Scheduler:
+    """Shards execution units across node clients, work-stealing style.
+
+    One coordinator thread per node pulls units off a shared queue;
+    all mutations of the shared :class:`~repro.exec.pool._Execution`
+    state (results, journal shards, events) happen under one lock, so
+    the engine's bookkeeping stays single-threaded in effect.
+    """
+
+    def __init__(
+        self,
+        state,
+        units: Sequence[ExecutionUnit],
+        timeout: Optional[float],
+        retries: int,
+        backoff: float,
+        checkpoint_every: int,
+    ) -> None:
+        self.state = state
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.checkpoint_every = checkpoint_every
+        self.lock = threading.Lock()
+        self.queue: deque = deque((unit, 1) for unit in units)
+        self.fatal: Optional[BaseException] = None
+        self._hashes: Dict[str, str] = {}
+
+    # -- helpers -------------------------------------------------------
+
+    def _members(self, unit: ExecutionUnit) -> Tuple[CellSpec, ...]:
+        return unit.cells if isinstance(unit, FusedCellSpec) else (unit,)
+
+    def _trace_hash(self, path: str) -> str:
+        if path not in self._hashes:
+            self._hashes[path] = trace_file_hash(path)
+        return self._hashes[path]
+
+    def _wire_cells(self, unit: ExecutionUnit) -> List[Dict[str, Any]]:
+        cells = []
+        for spec in self._members(unit):
+            wire = protocol.cell_to_wire(
+                spec, self._trace_hash(spec.trace_path)
+            )
+            if self.checkpoint_every and not wire["checkpoint_every"]:
+                wire["checkpoint_every"] = self.checkpoint_every
+            cells.append(wire)
+        return cells
+
+    def _emit_start(
+        self, unit: ExecutionUnit, attempt: int, node: str
+    ) -> None:
+        fused = isinstance(unit, FusedCellSpec)
+        for spec in self._members(unit):
+            self.state.emit(
+                CELL_START,
+                trace=spec.trace_name,
+                predictor=spec.predictor_name,
+                index=spec.index,
+                completed=self.state.completed,
+                attempt=attempt,
+                group=unit.size if fused else 0,
+                node=node,
+            )
+
+    def _label(self, unit: ExecutionUnit) -> str:
+        if isinstance(unit, FusedCellSpec):
+            return "+".join(s.predictor_name for s in unit.cells)
+        return unit.predictor_name
+
+    # -- outcome handling ----------------------------------------------
+
+    def _record(self, unit, outcomes, node: str) -> None:
+        by_index = {
+            index: (result, duration) for index, result, duration in outcomes
+        }
+        with self.lock:
+            for spec in self._members(unit):
+                if spec.index not in by_index:
+                    # A node acknowledged the unit without all members —
+                    # treat as a unit failure so the cells re-run.
+                    raise _UnitFailed(
+                        f"node {node} returned {len(by_index)} of "
+                        f"{len(self._members(unit))} unit cells"
+                    )
+            for spec in self._members(unit):
+                result, duration = by_index[spec.index]
+                result = dataclasses.replace(result, node=node)
+                self.state.record(spec, result, duration, node=node)
+
+    def _handle_failure(
+        self, unit: ExecutionUnit, attempt: int, failure: _UnitFailed
+    ) -> None:
+        fused = isinstance(unit, FusedCellSpec)
+        first = self._members(unit)[0]
+        if attempt <= self.retries:
+            with self.lock:
+                self.state.retries += 1
+                self.state.emit(
+                    CELL_RETRY,
+                    trace=unit.trace_name,
+                    predictor=self._label(unit),
+                    index=first.index,
+                    attempt=attempt,
+                    group=unit.size if fused else 0,
+                    message=failure.message,
+                )
+            time.sleep(self.backoff * attempt)
+            with self.lock:
+                self.queue.append((unit, attempt + 1))
+            return
+        if fused:
+            with self.lock:
+                self.state.emit(
+                    FALLBACK,
+                    message=(
+                        f"fused group of {unit.size} on {unit.trace_name!r} "
+                        f"failed after {attempt} attempt(s): "
+                        f"{failure.message}; re-running its cells unfused"
+                    ),
+                )
+                self.queue.extend((spec, 1) for spec in unit.cells)
+            return
+        with self.lock:
+            self.state.emit(
+                CELL_FAILED,
+                trace=unit.trace_name,
+                predictor=unit.predictor_name,
+                index=unit.index,
+                attempt=attempt,
+                message=failure.message,
+            )
+            self.fatal = CellFailedError(
+                unit.key, attempt, RuntimeError(failure.message)
+            )
+
+    # -- node loop -----------------------------------------------------
+
+    def drive(self, client: _NodeClient) -> None:
+        """Pull and execute units on ``client`` until work or node ends."""
+        while True:
+            with self.lock:
+                if self.fatal is not None or not self.queue:
+                    return
+                unit, attempt = self.queue.popleft()
+            try:
+                for spec in self._members(unit):
+                    client.ensure_trace(
+                        self._trace_hash(spec.trace_path), spec.trace_path
+                    )
+                with self.lock:
+                    self._emit_start(unit, attempt, client.node)
+                outcomes = client.run_unit(
+                    self._wire_cells(unit),
+                    fused=isinstance(unit, FusedCellSpec),
+                    timeout=self.timeout,
+                )
+                self._record(unit, outcomes, client.node)
+            except _UnitFailed as failure:
+                self._handle_failure(unit, attempt, failure)
+            except NodeError as exc:
+                client.dead = True
+                with self.lock:
+                    # The node, not the cells, failed: reschedule the
+                    # unit elsewhere without charging its retry budget.
+                    self.queue.appendleft((unit, attempt))
+                    self.state.emit(
+                        NODE_DOWN, node=client.node, message=str(exc)
+                    )
+                return
+
+    def run(self, clients: Sequence[_NodeClient]) -> None:
+        threads = [
+            threading.Thread(
+                target=self.drive, args=(client,), daemon=True,
+                name=f"repro-dist-{client.node}",
+            )
+            for client in clients
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self.fatal is not None:
+            raise self.fatal
+        if self.queue:
+            raise _PoolDegraded(
+                "all worker nodes died with campaign cells pending"
+            )
+
+
+class _RemotePool(Pool):
+    """Shared machinery of the socket and SSH backends."""
+
+    def __init__(self) -> None:
+        self._clients: List[_NodeClient] = []
+
+    @property
+    def nodes(self) -> List[_NodeClient]:
+        return self._clients
+
+    def _live(self) -> List[_NodeClient]:
+        return [client for client in self._clients if not client.dead]
+
+    def execute(
+        self,
+        state,
+        units: Sequence[ExecutionUnit],
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.1,
+        checkpoint_every: int = 0,
+    ) -> None:
+        clients = self._live()
+        if not clients:
+            raise _PoolDegraded(f"{self.name} pool has no live worker nodes")
+        for client in clients:
+            state.emit(
+                NODE_UP,
+                node=client.node,
+                message=f"{client.transport} pid={client.pid} "
+                        f"cpus={client.cpus}",
+            )
+        scheduler = _Scheduler(
+            state, units, timeout, retries, backoff, checkpoint_every
+        )
+        scheduler.run(clients)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        rows = []
+        for client in self._clients:
+            row: Dict[str, Any] = {
+                "node": client.node,
+                "transport": client.transport,
+                "pid": client.pid,
+                "cpus": client.cpus,
+                "alive": not client.dead,
+            }
+            if not client.dead:
+                try:
+                    stats = client.stats()
+                    row.update(
+                        units=stats.get("units", 0),
+                        cells=stats.get("cells", 0),
+                        traces_stored=stats.get("traces_stored", 0),
+                    )
+                except NodeError:
+                    client.dead = True
+                    row["alive"] = False
+            rows.append(row)
+        return rows
+
+    def transfer_counts(self) -> Dict[str, Dict[str, int]]:
+        """node → content hash → times shipped (dedup accounting)."""
+        return {
+            client.node: dict(client.transfers)
+            for client in self._clients
+        }
+
+    def close(self) -> None:
+        for client in self._clients:
+            client.close()
+        self._clients = []
+
+
+def _worker_env() -> Dict[str, str]:
+    """The spawned worker's environment, with ``repro`` importable.
+
+    The coordinator may itself run via ``PYTHONPATH=src``; make that
+    arrangement explicit for children whatever way ``repro`` was
+    imported here.
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class NodePool(_RemotePool):
+    """N local worker processes, each on its own TCP socket.
+
+    The multi-process scale-out backend: workers are spawned from this
+    interpreter (``sys.executable -m repro.dist.worker --port 0``), the
+    announced ephemeral port is read from each worker's stdout, and the
+    job protocol runs over per-node sockets.  ``store_dir`` persists
+    the nodes' content-addressed trace stores across pools (reuse means
+    zero shipping on the next campaign); the default is a temporary
+    store per worker, cleaned up by the OS.
+    """
+
+    name = "nodes"
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        store_dir: Optional[Union[str, Path]] = None,
+        python: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if nodes < 1:
+            raise PoolError(f"NodePool needs >= 1 node, got {nodes}")
+        python = python or sys.executable
+        env = _worker_env()
+        try:
+            for index in range(nodes):
+                self._clients.append(
+                    self._spawn(index, python, env, store_dir)
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def _spawn(
+        self,
+        index: int,
+        python: str,
+        env: Dict[str, str],
+        store_dir: Optional[Union[str, Path]],
+    ) -> _NodeClient:
+        command = [
+            python, "-m", "repro.dist.worker",
+            "--port", "0", "--node", f"node{index}",
+        ]
+        if store_dir is not None:
+            store = Path(store_dir) / f"node{index}"
+            store.mkdir(parents=True, exist_ok=True)
+            command += ["--store", str(store)]
+        process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            address = self._read_address(process)
+            sock = socket.create_connection(address, timeout=SPAWN_TIMEOUT)
+            sock.settimeout(None)
+            client = _NodeClient(
+                sock.makefile("rb"),
+                sock.makefile("wb"),
+                transport="socket",
+                process=process,
+                sock=sock,
+            )
+            return client
+        except BaseException:
+            try:
+                process.kill()
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read_address(process: subprocess.Popen) -> Tuple[str, int]:
+        deadline = time.monotonic() + SPAWN_TIMEOUT
+        line = ""
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if line or process.poll() is not None:
+                break
+        if "listening on" not in line:
+            raise PoolError(
+                f"worker failed to announce its address (got {line!r})"
+            )
+        host, _, port = line.strip().rpartition(" ")[2].rpartition(":")
+        return host, int(port)
+
+
+class SSHPool(_RemotePool):
+    """Worker nodes launched through a command template.
+
+    ``template`` is formatted per host with ``{host}``, ``{python}``,
+    and ``{node}``, then run as a subprocess whose stdin/stdout carry
+    the job protocol — for the default template that subprocess is
+    ``ssh``, and the worker runs on the remote machine with no listening
+    ports or extra daemons.  Any template producing a process that
+    speaks the worker protocol on stdio works; CI substitutes a
+    localhost shim (``{python} -m repro.dist.worker --stdio …``) to
+    exercise the exact transport without sshd.
+    """
+
+    name = "ssh"
+
+    #: Production template: remote worker over plain ssh.
+    DEFAULT_TEMPLATE = (
+        "ssh -o BatchMode=yes {host} "
+        "{python} -m repro.dist.worker --stdio --node {node}"
+    )
+
+    #: CI/localhost shim: the identical stdio transport, no sshd needed.
+    LOCAL_TEMPLATE = "{python} -m repro.dist.worker --stdio --node {node}"
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        template: str = DEFAULT_TEMPLATE,
+        python: str = "python3",
+    ) -> None:
+        super().__init__()
+        hosts = list(hosts)
+        if not hosts:
+            raise PoolError("SSHPool needs at least one host")
+        env = _worker_env()
+        try:
+            for index, host in enumerate(hosts):
+                command = shlex.split(
+                    template.format(
+                        host=host, python=python, node=f"{host}-{index}"
+                    )
+                )
+                process = subprocess.Popen(
+                    command,
+                    stdin=subprocess.PIPE,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    env=env,
+                )
+                self._clients.append(
+                    _NodeClient(
+                        process.stdout,
+                        process.stdin,
+                        transport=f"stdio:{host}",
+                        process=process,
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+
+
+#: Environment variable selecting the default distributed node count.
+NODES_ENV = "REPRO_NODES"
+
+
+def resolve_pool(pool: Optional[Pool] = None) -> Optional[Pool]:
+    """Resolve the campaign pool: explicit object, else ``REPRO_NODES``.
+
+    Returns ``None`` (classic ``jobs`` scheduling) when neither is
+    given.  ``REPRO_NODES=n`` with ``n >= 1`` spawns a fresh
+    :class:`NodePool` of n local workers — the caller that triggered the
+    resolution owns (and must close) it.  A non-integer value raises
+    rather than silently running locally.
+    """
+    if pool is not None:
+        return pool
+    raw = os.environ.get(NODES_ENV)
+    if raw is None:
+        return None
+    try:
+        nodes = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{NODES_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if nodes < 1:
+        return None
+    return NodePool(nodes=nodes)
+
+
+__all__ = [
+    "LocalPool",
+    "NODES_ENV",
+    "NodeError",
+    "NodePool",
+    "Pool",
+    "PoolError",
+    "SSHPool",
+    "resolve_pool",
+]

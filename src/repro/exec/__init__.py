@@ -139,6 +139,7 @@ def run_campaign_parallel(
     profile: bool = False,
     checkpoint_every: int = 0,
     fuse: bool = True,
+    pool=None,
 ) -> CampaignResult:
     """Run a campaign across worker processes; a drop-in for
     :func:`repro.sim.runner.run_campaign`.
@@ -165,6 +166,12 @@ def run_campaign_parallel(
         fuse: fuse contiguous same-trace cells into single-pass
             multi-predictor units (default on; results are identical
             either way — see :func:`repro.exec.pool.execute_plan`).
+        pool: a :class:`repro.dist.Pool` to schedule cells on —
+            :class:`~repro.dist.NodePool` / :class:`~repro.dist.SSHPool`
+            distribute the campaign across worker nodes with
+            byte-identical journals; ``None`` keeps classic ``jobs``
+            scheduling (or reads ``REPRO_NODES``, see
+            :func:`repro.dist.resolve_pool`).
 
     Returns:
         A :class:`CampaignResult` identical to the serial runner's.
@@ -198,6 +205,7 @@ def run_campaign_parallel(
             backoff=backoff,
             checkpoint_every=checkpoint_every,
             fuse=fuse,
+            pool=pool,
         )
 
     if cache_dir is not None:

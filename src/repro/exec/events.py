@@ -29,6 +29,10 @@ CELL_RETRY = "cell_retry"
 CELL_FAILED = "cell_failed"
 FALLBACK = "fallback"
 CAMPAIGN_END = "campaign_end"
+#: A distributed worker node joined the campaign (repro.dist pools).
+NODE_UP = "node_up"
+#: A worker node died or disconnected; its cells reschedule elsewhere.
+NODE_DOWN = "node_down"
 
 
 @dataclass(frozen=True)
@@ -61,6 +65,9 @@ class ExecEvent:
     attempt: int = 0
     #: Size of the fused group this cell runs in (0 = solo execution).
     group: int = 0
+    #: Identity of the worker node executing the cell ("" = this
+    #: process / the local pool; see :mod:`repro.dist`).
+    node: str = ""
     #: Retries issued so far in the campaign (campaign_end).
     retries: int = 0
     #: Worker processes in use (campaign_start; 1 = serial).
@@ -128,6 +135,8 @@ class LogSink:
             parts.append(f"trace={event.trace}")
         if event.predictor:
             parts.append(f"predictor={event.predictor}")
+        if event.node:
+            parts.append(f"node={event.node}")
         if event.total:
             parts.append(f"cell={event.completed}/{event.total}")
         if event.kind == CELL_FINISH:
@@ -170,6 +179,8 @@ class ProgressLineSink:
     def __call__(self, event: ExecEvent) -> None:
         if event.kind in (CELL_FINISH, CELL_SKIPPED):
             label = f"{event.predictor}/{event.trace}"
+            if event.node:
+                label += f"@{event.node}"
             line = f"simulate {event.completed}/{event.total} [{label}]"
             if event.kind == CELL_SKIPPED:
                 line += " (resumed)"
@@ -178,6 +189,10 @@ class ProgressLineSink:
             if event.eta_seconds:
                 line += f" eta {event.eta_seconds:.0f}s"
             self._render(line)
+        elif event.kind == NODE_DOWN:
+            self._render(
+                f"simulate node {event.node} down: {event.message}"
+            )
         elif event.kind == CELL_RESUME:
             self._render(
                 f"simulate resuming {event.predictor}/{event.trace} "
@@ -221,4 +236,6 @@ __all__ = [
     "CELL_FAILED",
     "FALLBACK",
     "CAMPAIGN_END",
+    "NODE_UP",
+    "NODE_DOWN",
 ]

@@ -33,8 +33,16 @@ class JournalError(ValueError):
     """A journal file exists but cannot be used."""
 
 
-def result_to_json(result: SimulationResult) -> dict:
-    """A JSON-ready dict capturing every field of ``result``."""
+def result_to_json(
+    result: SimulationResult, node: Optional[str] = None
+) -> dict:
+    """A JSON-ready dict capturing every field of ``result``.
+
+    ``node`` attributes the entry to a distributed worker; it is only
+    written when explicitly passed and truthy, so the *canonical*
+    serialization (no ``node``) of a distributed cell is byte-identical
+    to the line a single-node run would write.
+    """
     return {
         "v": JOURNAL_VERSION,
         "trace": result.trace_name,
@@ -51,6 +59,7 @@ def result_to_json(result: SimulationResult) -> dict:
             for pc, count in result.mispredictions_by_pc.items()
         },
         **({"profile": result.profile} if result.profile else {}),
+        **({"node": node} if node else {}),
     }
 
 
@@ -75,6 +84,7 @@ def result_from_json(payload: dict) -> SimulationResult:
             for pc, count in payload.get("mispredictions_by_pc", {}).items()
         },
         profile=payload.get("profile"),
+        node=payload.get("node", ""),
     )
 
 
@@ -124,10 +134,12 @@ class Journal:
             self.path, "a", encoding="utf-8"
         )
 
-    def append(self, result: SimulationResult) -> None:
+    def append(self, result: SimulationResult, node: str = "") -> None:
         if self._handle is None:
             raise JournalError(f"journal {self.path} is closed")
-        self._handle.write(json.dumps(result_to_json(result)) + "\n")
+        self._handle.write(
+            json.dumps(result_to_json(result, node=node)) + "\n"
+        )
         self._handle.flush()
         os.fsync(self._handle.fileno())
 

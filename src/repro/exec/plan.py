@@ -334,6 +334,56 @@ def plan_campaign(
     return CampaignPlan(cells=cells, cache_dir=cache_dir)
 
 
+#: Estimated fixed spill overhead (RPTRACE2 magic + JSON header + column
+#: alignment padding); the per-record columns dominate real spills.
+SPILL_OVERHEAD_BYTES = 512
+
+
+def plan_summary(
+    traces: Iterable[Trace],
+    factories: Dict[str, PredictorFactory],
+    fuse: bool = True,
+    profile: bool = False,
+) -> Dict[str, int]:
+    """What a campaign *would* plan, without spilling or executing.
+
+    Backs ``repro simulate --dry-run`` / ``repro search --dry-run``:
+    the cell count, scheduling-unit/fusion-group shape, the number of
+    distinct traces a distributed pool would ship, and an estimate of
+    total spill bytes (:func:`repro.trace.plane.record_nbytes` per
+    record plus a fixed per-file overhead).  Pure arithmetic on the
+    already-generated traces — no files are written.
+    """
+    from repro.trace.plane import record_nbytes
+
+    traces = list(traces)
+    names = {trace.name for trace in traces}
+    cells = len(traces) * len(factories)
+    # Mirrors fuse_cells over plan_campaign's trace-major order:
+    # each trace's cells are adjacent and fuse into one group unless
+    # fusion is off, profiling forces solo cells, or there is only one
+    # factory (a "group" of one is just a solo cell).
+    if fuse and not profile and len(factories) > 1:
+        fused_groups = len(traces)
+        units = len(traces)
+    else:
+        fused_groups = 0
+        units = cells
+    spill_bytes = sum(
+        SPILL_OVERHEAD_BYTES + len(trace) * record_nbytes()
+        for trace in traces
+    )
+    return {
+        "traces": len(traces),
+        "distinct_traces": len(names),
+        "predictors": len(factories),
+        "cells": cells,
+        "units": units,
+        "fused_groups": fused_groups,
+        "estimated_spill_bytes": spill_bytes,
+    }
+
+
 __all__ = [
     "CellKey",
     "CellSpec",
@@ -342,8 +392,10 @@ __all__ = [
     "FactoryRef",
     "FusedCellSpec",
     "PlanError",
+    "SPILL_OVERHEAD_BYTES",
     "checkpoint_name",
     "fuse_cells",
+    "plan_summary",
     "plan_campaign",
     "spill_trace",
 ]

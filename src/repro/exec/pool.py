@@ -296,16 +296,21 @@ class _Execution:
             completed=self.completed,
             records=spec.records,
             mpki=result.mpki(),
+            node=result.node,
         )
 
     def record(
-        self, spec: CellSpec, result: SimulationResult, duration: float
+        self,
+        spec: CellSpec,
+        result: SimulationResult,
+        duration: float,
+        node: str = "",
     ) -> None:
         self.results[spec.key] = result
         self.completed += 1
         self.live_finished += 1
         if self.journal is not None:
-            self.journal.append(result)
+            self.journal.append(result, node=node)
         self.emit(
             CELL_FINISH,
             trace=spec.trace_name,
@@ -318,6 +323,7 @@ class _Execution:
             eta_seconds=self._eta(),
             mpki=result.mpki(),
             profile=result.profile,
+            node=node,
         )
 
     def pending(self) -> List[CellSpec]:
@@ -657,6 +663,7 @@ def execute_plan(
     backoff: float = 0.1,
     checkpoint_every: int = 0,
     fuse: bool = True,
+    pool=None,
 ) -> CampaignResult:
     """Execute every cell of ``plan`` and merge deterministically.
 
@@ -682,19 +689,54 @@ def execute_plan(
             bytes, and final predictor states are identical to unfused
             execution, just cheaper.  Profiled cells and cells resuming
             from a mid-trace checkpoint always run solo.
+        pool: a :class:`repro.dist.Pool` backend to schedule units on.
+            ``None`` keeps the classic ``jobs``-driven behavior; a
+            :class:`~repro.dist.LocalPool` is equivalent to passing its
+            job count; :class:`~repro.dist.NodePool` /
+            :class:`~repro.dist.SSHPool` shard units across worker
+            nodes, journal into per-node shards, and leave the journal
+            canonicalized (byte-identical to a single-node run) on
+            completion.
 
     Returns:
         A :class:`CampaignResult` whose cells and values are identical
         to a serial :func:`repro.sim.runner.run_campaign` of the same
-        campaign, regardless of ``jobs`` or completion order.
+        campaign, regardless of ``jobs``, ``pool``, or completion order.
     """
     jobs = max(1, int(jobs))
-    plan = _attach_checkpoints(plan, checkpoint_every, journal_path)
+    owns_pool = False
+    if pool is None:
+        from repro.dist.pool import resolve_pool
+
+        pool = resolve_pool(None)  # REPRO_NODES env default
+        owns_pool = pool is not None
+    distributed = pool is not None and not getattr(pool, "local", False)
+    if not distributed:
+        # Mid-trace checkpoint files are coordinator-local; distributed
+        # workers derive their own node-local checkpoint paths instead.
+        plan = _attach_checkpoints(plan, checkpoint_every, journal_path)
     journal: Optional[Journal] = None
     journaled: Dict[CellKey, SimulationResult] = {}
+    had_shards = False
     if journal_path is not None:
         journaled = load_journal(journal_path)
-        journal = Journal(journal_path)
+        from repro.dist.merge import (  # local import: dist builds on exec
+            ShardedJournal,
+            load_shards,
+            shards_dir,
+        )
+
+        if shards_dir(journal_path).is_dir():
+            # Leftovers of a killed distributed run: its per-node shards
+            # hold cells the canonical journal never absorbed.  Whatever
+            # backend finishes the campaign must canonicalize at the
+            # end, or those cells would live only in the shards.
+            journaled.update(load_shards(journal_path))
+            had_shards = True
+        journal = (
+            ShardedJournal(journal_path) if distributed
+            else Journal(journal_path)
+        )
 
     state = _Execution(plan, events, journal)
     state.emit(CAMPAIGN_START, jobs=jobs, completed=0)
@@ -705,7 +747,26 @@ def execute_plan(
         pending = state.pending()
         if pending:
             units = _plan_units(pending, fuse)
-            if jobs == 1:
+            if pool is not None:
+                try:
+                    pool.execute(
+                        state,
+                        units,
+                        timeout=timeout,
+                        retries=retries,
+                        backoff=backoff,
+                        checkpoint_every=checkpoint_every,
+                    )
+                except _PoolDegraded as degraded:
+                    state.emit(FALLBACK, message=degraded.reason)
+                    _run_serial(
+                        state,
+                        _plan_units(state.pending(), fuse),
+                        timeout,
+                        retries,
+                        backoff,
+                    )
+            elif jobs == 1:
                 _run_serial(state, units, timeout, retries, backoff)
             else:
                 try:
@@ -724,10 +785,16 @@ def execute_plan(
     finally:
         if journal is not None:
             journal.close()
+        if owns_pool:
+            pool.close()
 
     campaign = CampaignResult()
     for cell in plan.cells:
         campaign.add(state.results[cell.key])
+    if (distributed or had_shards) and journal_path is not None:
+        from repro.dist.merge import write_canonical_journal
+
+        write_canonical_journal(journal_path, plan.keys(), state.results)
     state.emit(
         CAMPAIGN_END,
         completed=state.completed,

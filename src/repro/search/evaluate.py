@@ -113,6 +113,7 @@ class GenerationEvaluator:
         retries: int = 2,
         backoff: float = 0.1,
         fuse: bool = True,
+        pool=None,
     ) -> None:
         traces = list(traces)
         if not traces:
@@ -131,6 +132,15 @@ class GenerationEvaluator:
         self.retries = retries
         self.backoff = backoff
         self.fuse = fuse
+        # Resolve the campaign pool once for the evaluator's lifetime —
+        # a search scores hundreds of generations, and an env-driven
+        # NodePool must not respawn its workers per score() call.
+        # Worker trace stores are content-addressed, so every
+        # generation's cells reuse the spills shipped by the first.
+        from repro.dist import resolve_pool
+
+        self.pool = resolve_pool(pool)
+        self._owns_pool = pool is None and self.pool is not None
         self._owns_dir = cache_dir is None
         self._dir = Path(
             tempfile.mkdtemp(prefix="repro-search-")
@@ -168,6 +178,10 @@ class GenerationEvaluator:
         return max(1, math.ceil(trace_fraction * self.num_traces))
 
     def close(self) -> None:
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+            self.pool = None
+            self._owns_pool = False
         if self._owns_dir and self._dir.exists():
             shutil.rmtree(self._dir, ignore_errors=True)
 
@@ -216,6 +230,7 @@ class GenerationEvaluator:
                 retries=self.retries,
                 backoff=self.backoff,
                 fuse=self.fuse,
+                pool=self.pool,
             )
             for candidate in pending:
                 values = [

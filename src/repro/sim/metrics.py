@@ -30,6 +30,10 @@ class SimulationResult:
     #: when the simulation ran with profiling enabled (the
     #: :meth:`~repro.sim.counters.SimCounters.as_dict` layout).
     profile: Optional[Dict[str, float]] = None
+    #: Identity of the worker node that executed the cell ("" when it
+    #: ran locally).  Provenance only: excluded from equality so a
+    #: distributed campaign compares equal to a single-node one.
+    node: str = field(default="", compare=False)
 
     def mpki(self) -> float:
         """Indirect-target mispredictions per 1000 instructions."""

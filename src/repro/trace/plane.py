@@ -93,6 +93,16 @@ def _column_bytes(trace: Trace) -> Dict[str, bytes]:
     return raw
 
 
+def record_nbytes() -> int:
+    """On-disk bytes per record across all spill columns.
+
+    The basis for spill-size estimates (``repro simulate --dry-run``)
+    without writing anything: header and alignment padding are a small
+    constant on top.
+    """
+    return sum(np.dtype(dtype).itemsize for _, dtype in _COLUMNS)
+
+
 def trace_content_hash(trace: Trace) -> str:
     """SHA-256 over the trace name and canonical column bytes.
 

@@ -1,0 +1,134 @@
+"""Wire-level tests for the distributed job protocol."""
+
+import base64
+import functools
+
+import pytest
+
+from repro.dist import protocol
+from repro.exec.plan import CellSpec, FactoryRef
+from repro.predictors import BranchTargetBuffer
+
+
+def _spec(**overrides):
+    fields = dict(
+        index=3,
+        trace_name="vd-test",
+        predictor_name="BTB",
+        trace_path="/tmp/vd.trace",
+        factory=FactoryRef.from_callable(BranchTargetBuffer),
+        ras_depth=16,
+        warmup_records=100,
+        records=4000,
+        profile=False,
+        checkpoint_every=0,
+    )
+    fields.update(overrides)
+    return CellSpec(**fields)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        line = protocol.encode({"t": "ping", "x": 1})
+        assert line.endswith(b"\n")
+        assert protocol.decode(line) == {"t": "ping", "x": 1}
+
+    def test_framing_errors_become_dist_errors(self):
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.decode(b"not json\n")
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.decode(b'{"no_type_tag": true}\n')
+
+
+class TestFactoryWire:
+    def test_dotted_round_trip(self):
+        ref = FactoryRef.from_callable(BranchTargetBuffer)
+        wire = protocol.factory_to_wire(ref)
+        assert "dotted" in wire
+        rebuilt = protocol.factory_from_wire(wire)
+        assert isinstance(rebuilt.build(), BranchTargetBuffer)
+
+    def test_partial_round_trips_as_pickle(self):
+        ref = FactoryRef(obj=functools.partial(BranchTargetBuffer))
+        wire = protocol.factory_to_wire(ref)
+        assert "pickle" in wire
+        rebuilt = protocol.factory_from_wire(wire)
+        assert isinstance(rebuilt.build(), BranchTargetBuffer)
+
+    def test_unpicklable_factory_rejected(self):
+        ref = FactoryRef(obj=lambda: BranchTargetBuffer())
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.factory_to_wire(ref)
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.factory_from_wire({"neither": "nor"})
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.factory_from_wire("not a dict")
+
+    def test_corrupt_pickle_rejected(self):
+        blob = base64.b64encode(b"garbage").decode("ascii")
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.factory_from_wire({"pickle": blob})
+
+
+class TestCellWire:
+    def test_round_trip_rebinds_paths(self):
+        spec = _spec(checkpoint_every=500)
+        wire = protocol.cell_to_wire(spec, "ab" * 32)
+        assert wire["hash"] == "ab" * 32
+        rebuilt = protocol.cell_from_wire(
+            wire, "/node/store/abcd.trace", "/node/store/ckpt/x.json"
+        )
+        assert rebuilt.index == spec.index
+        assert rebuilt.trace_name == spec.trace_name
+        assert rebuilt.predictor_name == spec.predictor_name
+        assert rebuilt.trace_path == "/node/store/abcd.trace"
+        assert rebuilt.checkpoint_path == "/node/store/ckpt/x.json"
+        assert rebuilt.ras_depth == spec.ras_depth
+        assert rebuilt.warmup_records == spec.warmup_records
+        assert rebuilt.records == spec.records
+        assert rebuilt.checkpoint_every == 500
+
+    def test_survives_json_round_trip(self):
+        import json
+
+        wire = protocol.cell_to_wire(_spec(), "cd" * 32)
+        rebuilt = protocol.cell_from_wire(
+            json.loads(json.dumps(wire)), "/x.trace"
+        )
+        assert rebuilt.predictor_name == "BTB"
+
+    def test_malformed_cell_rejected(self):
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.cell_from_wire({"index": "zero"}, "/x.trace")
+
+
+class TestValidators:
+    def test_require_hash_accepts_sha256_hex(self):
+        message = {"hash": "0123456789abcdef" * 4}
+        assert protocol.require_hash(message) == "0123456789abcdef" * 4
+
+    @pytest.mark.parametrize(
+        "value", [None, "", 42, "XYZ", "ab" * 100, "../etc/passwd"]
+    )
+    def test_require_hash_rejects(self, value):
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.require_hash({"hash": value})
+
+    def test_chunk_data_round_trip(self):
+        payload = base64.b64encode(b"\x00\x01spill").decode("ascii")
+        assert protocol.chunk_data({"data": payload}) == b"\x00\x01spill"
+
+    def test_chunk_data_rejects_garbage(self):
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.chunk_data({"data": "!!not base64!!"})
+        with pytest.raises(protocol.DistProtocolError):
+            protocol.chunk_data({"data": 7})
+
+    def test_unit_to_wire_shape(self):
+        message = protocol.unit_to_wire([{"index": 0}], True, 2.5)
+        assert message["t"] == "run_unit"
+        assert message["fused"] is True
+        assert message["timeout"] == 2.5
+        assert "timeout" not in protocol.unit_to_wire([], False, None)
