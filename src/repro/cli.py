@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List
@@ -196,12 +197,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every,
                 fuse=args.fuse,
                 pool=pool,
+                backend=args.backend,
             )
         else:
             campaign = run_campaign(
                 traces,
                 factories,
                 counters=SimCounters() if args.profile else None,
+                backend=args.backend,
             )
     finally:
         if pool is not None:
@@ -291,7 +294,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     pool = _make_pool(args.nodes)
     try:
         with GenerationEvaluator(
-            traces, jobs=resolve_jobs(args.jobs), pool=pool
+            traces, jobs=resolve_jobs(args.jobs), pool=pool,
+            backend=args.backend,
         ) as evaluator:
             result = run_search(
                 strategy,
@@ -535,6 +539,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: REPRO_JOBS env var, else 1)",
     )
     simulate.add_argument(
+        "--backend", choices=("scalar", "columnar"),
+        default=os.environ.get("REPRO_BACKEND", "scalar"),
+        help="simulation backend: per-record scalar loop or batched "
+             "columnar kernel, results identical "
+             "(default: REPRO_BACKEND env var, else scalar)",
+    )
+    simulate.add_argument(
         "--resume", metavar="PATH", default=None,
         help="JSONL journal checkpoint; rerun with the same path to "
              "resume an interrupted campaign",
@@ -594,6 +605,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: REPRO_JOBS env var, else 1)",
+    )
+    search.add_argument(
+        "--backend", choices=("scalar", "columnar"),
+        default=os.environ.get("REPRO_BACKEND", "scalar"),
+        help="simulation backend for candidate scoring "
+             "(default: REPRO_BACKEND env var, else scalar)",
     )
     search.add_argument(
         "--resume", metavar="PATH", default=None,

@@ -120,6 +120,7 @@ def cell_to_wire(spec: CellSpec, trace_hash: str) -> Dict[str, Any]:
         "records": spec.records,
         "profile": bool(spec.profile),
         "checkpoint_every": spec.checkpoint_every,
+        "backend": spec.backend,
     }
 
 
@@ -147,6 +148,7 @@ def cell_from_wire(
             profile=bool(payload.get("profile", False)),
             checkpoint_every=int(payload.get("checkpoint_every", 0)),
             checkpoint_path=checkpoint_path,
+            backend=str(payload.get("backend", "scalar")),
         )
     except (KeyError, TypeError, ValueError, PlanError) as exc:
         raise DistProtocolError(f"malformed wire cell: {exc!r}") from exc

@@ -140,6 +140,7 @@ def run_campaign_parallel(
     checkpoint_every: int = 0,
     fuse: bool = True,
     pool=None,
+    backend: str = "scalar",
 ) -> CampaignResult:
     """Run a campaign across worker processes; a drop-in for
     :func:`repro.sim.runner.run_campaign`.
@@ -172,6 +173,9 @@ def run_campaign_parallel(
             byte-identical journals; ``None`` keeps classic ``jobs``
             scheduling (or reads ``REPRO_NODES``, see
             :func:`repro.dist.resolve_pool`).
+        backend: simulation backend for every cell ("scalar" or
+            "columnar", see :data:`repro.sim.engine.BACKENDS`); results
+            and journal bytes are identical either way.
 
     Returns:
         A :class:`CampaignResult` identical to the serial runner's.
@@ -194,6 +198,7 @@ def run_campaign_parallel(
             ras_depth=ras_depth,
             warmup_records=warmup_records,
             profile=profile,
+            backend=backend,
         )
         return execute_plan(
             plan,

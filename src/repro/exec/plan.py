@@ -123,6 +123,11 @@ class CellSpec:
     checkpoint_every: int = 0
     #: Per-cell checkpoint file (attached by the pool layer).
     checkpoint_path: Optional[str] = None
+    #: Simulation backend (see :data:`repro.sim.engine.BACKENDS`):
+    #: ``"scalar"`` retires branch-by-branch, ``"columnar"`` batches
+    #: whole branch groups through :mod:`repro.sim.kernel` (bit-
+    #: identical; unsupported predictors fall back to scalar).
+    backend: str = "scalar"
 
     @property
     def key(self) -> CellKey:
@@ -153,6 +158,7 @@ class FusedCellSpec:
                 or cell.ras_depth != first.ras_depth
                 or cell.warmup_records != first.warmup_records
                 or cell.checkpoint_every != first.checkpoint_every
+                or cell.backend != first.backend
             ):
                 raise PlanError(
                     f"cells ({first.trace_name}, {first.predictor_name}) and "
@@ -214,6 +220,7 @@ def fuse_cells(
             or cell.ras_depth != run[-1].ras_depth
             or cell.warmup_records != run[-1].warmup_records
             or cell.checkpoint_every != run[-1].checkpoint_every
+            or cell.backend != run[-1].backend
         ):
             flush()
         run.append(cell)
@@ -280,6 +287,7 @@ def plan_campaign(
     ras_depth: int = 32,
     warmup_records: int = 0,
     profile: bool = False,
+    backend: str = "scalar",
 ) -> CampaignPlan:
     """Expand a campaign into a :class:`CampaignPlan`.
 
@@ -296,6 +304,12 @@ def plan_campaign(
     traces = list(traces)
     if not factories:
         raise PlanError("campaign needs at least one predictor factory")
+    from repro.sim.engine import BACKENDS
+
+    if backend not in BACKENDS:
+        raise PlanError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     names = [trace.name for trace in traces]
     duplicates = {name for name in names if names.count(name) > 1}
     if duplicates:
@@ -328,6 +342,7 @@ def plan_campaign(
                     warmup_records=warmup_records,
                     records=len(trace),
                     profile=profile,
+                    backend=backend,
                 )
             )
             index += 1

@@ -114,12 +114,27 @@ def _deadline(seconds: Optional[float]):
         raise CellTimeout(f"cell exceeded {seconds:.1f}s deadline")
 
     previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    # setitimer returns the *outer* timer it displaced.  Restoring only
+    # the handler would silently cancel a nested/outer deadline when
+    # this block finishes early, so re-arm whatever time it has left
+    # (the time this block consumed counts against it; an outer timer
+    # that expired while ours was armed fires near-immediately).
+    armed_at = time.monotonic()
+    outer_delay, outer_interval = signal.setitimer(
+        signal.ITIMER_REAL, seconds
+    )
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay:
+            remaining = outer_delay - (time.monotonic() - armed_at)
+            signal.setitimer(
+                signal.ITIMER_REAL,
+                max(remaining, 1e-6),
+                outer_interval,
+            )
 
 
 def run_cell(
@@ -150,6 +165,12 @@ def run_cell(
             resume_from.predictor_name != predictor.name
         ):
             resume_from = None
+        derived = None
+        if spec.backend != "scalar" and not spec.checkpoint_every:
+            # The columnar kernel consumes the derived plane whole; the
+            # per-worker cache shares one plane across every cell and
+            # retry on the same trace.
+            derived = cached_derived(spec.trace_path, trace, spec.ras_depth)
         result = simulate(
             predictor,
             trace,
@@ -159,6 +180,8 @@ def run_cell(
             checkpoint_every=spec.checkpoint_every,
             checkpoint_path=spec.checkpoint_path,
             resume_from=resume_from,
+            backend=spec.backend,
+            derived=derived,
         )
     if spec.checkpoint_path is not None:
         discard_checkpoint(spec.checkpoint_path)
@@ -200,6 +223,7 @@ def run_fused_cell(
             derived=derived,
             checkpoint_every=first.checkpoint_every,
             checkpoint_paths=[spec.checkpoint_path for spec in cells],
+            backend=first.backend,
         )
     share = (time.perf_counter() - started) / len(cells)
     outcomes = []

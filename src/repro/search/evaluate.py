@@ -114,6 +114,7 @@ class GenerationEvaluator:
         backoff: float = 0.1,
         fuse: bool = True,
         pool=None,
+        backend: str = "scalar",
     ) -> None:
         traces = list(traces)
         if not traces:
@@ -132,6 +133,7 @@ class GenerationEvaluator:
         self.retries = retries
         self.backoff = backoff
         self.fuse = fuse
+        self.backend = backend
         # Resolve the campaign pool once for the evaluator's lifetime —
         # a search scores hundreds of generations, and an env-driven
         # NodePool must not respawn its workers per score() call.
@@ -270,6 +272,7 @@ class GenerationEvaluator:
                         ras_depth=self.ras_depth,
                         warmup_records=self.warmup_records,
                         records=records,
+                        backend=self.backend,
                     )
                 )
                 index += 1

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.predictors.base import IndirectBranchPredictor
+from repro.sim import kernel
 from repro.sim.checkpoint import SimulationCheckpoint, save_checkpoint
 from repro.sim.counters import SimCounters
 from repro.sim.metrics import SimulationResult
@@ -30,6 +31,20 @@ from repro.sim.ras import ReturnAddressStack
 from repro.trace.derived import DerivedPlane
 from repro.trace.record import BranchType
 from repro.trace.stream import Trace
+
+#: Recognized simulation backends.  "scalar" is the per-branch Python
+#: loop below; "columnar" dispatches eligible cells to the batch tensor
+#: kernel in :mod:`repro.sim.kernel` (bit-identical results) and falls
+#: back to the scalar loop otherwise.  A compiled backend can register
+#: here later without touching call sites.
+BACKENDS: Tuple[str, ...] = ("scalar", "columnar")
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
 
 _COND = int(BranchType.CONDITIONAL)
 _DIRECT_JUMP = int(BranchType.DIRECT_JUMP)
@@ -144,6 +159,7 @@ def simulate(
     resume_from: Optional[SimulationCheckpoint] = None,
     on_checkpoint: Optional[Callable[[SimulationCheckpoint], None]] = None,
     derived: Optional[DerivedPlane] = None,
+    backend: str = "scalar",
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return its result.
 
@@ -179,6 +195,12 @@ def simulate(
             push/pop replay (bit-identical results; the RAS is a pure
             function of the trace).  Ignored when checkpointing or
             resuming, because those paths must snapshot real RAS state.
+        backend: "scalar" (this per-branch loop) or "columnar" (the
+            batch tensor kernel in :mod:`repro.sim.kernel`).  The
+            columnar backend produces bit-identical results and final
+            predictor state; it silently falls back to the scalar loop
+            for predictors it does not support and for features it does
+            not cover (checkpointing, resume, profiling counters).
     """
     if checkpoint_every < 0:
         raise ValueError(
@@ -187,6 +209,27 @@ def simulate(
     if checkpoint_every and checkpoint_path is None and on_checkpoint is None:
         raise ValueError(
             "checkpoint_every needs a checkpoint_path or on_checkpoint sink"
+        )
+    _check_backend(backend)
+
+    if (
+        backend == "columnar"
+        and kernel.columnar_supported(predictor)
+        and not checkpoint_every
+        and checkpoint_path is None
+        and resume_from is None
+        and counters is None
+    ):
+        # The kernel validates (or computes) the derived plane itself
+        # and returns results and final predictor state bit-identical
+        # to the scalar loop below.
+        return kernel.simulate_columnar(
+            predictor,
+            trace,
+            ras_depth=ras_depth,
+            warmup_records=warmup_records,
+            collect_per_pc=collect_per_pc,
+            derived=derived,
         )
 
     pcs, types, takens, targets = trace.scalar_columns()
@@ -445,6 +488,7 @@ def simulate_many(
     derived: Optional[DerivedPlane] = None,
     checkpoint_every: int = 0,
     checkpoint_paths: Optional[Sequence[Optional[str]]] = None,
+    backend: str = "scalar",
 ) -> List[SimulationResult]:
     """Run every predictor over ``trace`` in one fused pass.
 
@@ -476,6 +520,11 @@ def simulate_many(
             ``checkpoint_paths``; each snapshot is loadable by
             :func:`simulate` for an unfused per-cell resume.
         checkpoint_paths: one path (or ``None``) per predictor.
+        backend: "scalar" or "columnar".  Under "columnar", predictors
+            the kernel supports each run through it (sharing one derived
+            plane) and the rest run through this fused scalar loop; the
+            merged results and final states are bit-identical to an
+            all-scalar pass.  Ignored while checkpointing.
     """
     predictors = list(predictors)
     count = len(predictors)
@@ -492,6 +541,7 @@ def simulate_many(
         )
     if checkpoint_every and not any(checkpoint_paths):
         raise ValueError("checkpoint_every needs at least one checkpoint path")
+    _check_backend(backend)
 
     total = len(trace)
     use_derived = derived is not None and not checkpoint_every
@@ -501,6 +551,44 @@ def simulate_many(
             f"({derived.records} records, ras_depth={derived.ras_depth}), "
             f"not {trace.name!r} ({total} records, ras_depth={ras_depth})"
         )
+
+    if backend == "columnar" and not checkpoint_every:
+        supported = [
+            slot
+            for slot, predictor in enumerate(predictors)
+            if kernel.columnar_supported(predictor)
+        ]
+        if supported:
+            plane = derived
+            if plane is None:
+                from repro.trace.derived import compute_derived
+
+                plane = compute_derived(trace, ras_depth)
+            merged: List[Optional[SimulationResult]] = [None] * count
+            for slot in supported:
+                merged[slot] = kernel.simulate_columnar(
+                    predictors[slot],
+                    trace,
+                    ras_depth=ras_depth,
+                    warmup_records=warmup_records,
+                    collect_per_pc=collect_per_pc,
+                    derived=plane,
+                )
+            rest = [slot for slot in range(count) if merged[slot] is None]
+            if rest:
+                for slot, result in zip(
+                    rest,
+                    simulate_many(
+                        [predictors[slot] for slot in rest],
+                        trace,
+                        ras_depth=ras_depth,
+                        warmup_records=warmup_records,
+                        collect_per_pc=collect_per_pc,
+                        derived=plane,
+                    ),
+                ):
+                    merged[slot] = result
+            return [result for result in merged if result is not None]
 
     base_conditional = IndirectBranchPredictor.on_conditional
     base_retired = IndirectBranchPredictor.on_retired

@@ -1,0 +1,863 @@
+"""The columnar batch simulation kernel (``backend="columnar"``).
+
+The scalar engine retires branches one at a time through Python; this
+module replays the same simulation as a handful of whole-trace numpy
+tensor passes over the RPDERIV1 derived plane.  The result — predictor
+state, per-branch predictions, every counter — is bit-identical to the
+scalar loop (pinned by the equivalence suite over the full workload
+suite); only the schedule of the arithmetic changes.
+
+The kernel exploits a structural property of BLBP: almost everything the
+scalar loop computes per branch is a pure function of the *trace*, not
+of earlier predictions.
+
+* **Global-history folds.**  The fold register for interval ``[s, e)``
+  after ``c`` stream bits equals an XOR over a contiguous window of the
+  outcome stream, with each bit pre-rotated by its stream position.
+  Precomputing ``W`` prefix-XOR tables (one per fold phase) turns every
+  (branch, interval) fold into two table lookups — no sequential state.
+  An initial, possibly warm, history register is handled by prepending
+  its bits to the stream as a virtual prefix.
+* **Local histories.**  Per local-table slot, the register seen by each
+  branch is a sliding window over (initial register bits ++ pushed
+  target bits) — one vectorized window product per slot.
+* **IBTB.**  Candidate sets evolve from actual targets only, never from
+  predictions, so a single cheap structural replay in retirement order
+  yields every branch's candidate-set snapshot up front.
+* **Weights and θ.**  These *are* prediction-dependent, so the branch
+  stream is cut into chunks at **update barriers**: a chunk ends where a
+  branch would read a (bank, row) an earlier in-chunk branch writes.
+  Within a chunk, every gather/dot/score/argmax/train step batches into
+  one tensor op; the per-bit adaptive-θ recurrence replays with an
+  optimistic-saturation scan (vectorized until the first counter
+  saturation, exact scalar semantics at the saturation row, resume).
+
+A compiled backend (Numba/Cython) can drop in behind
+:func:`simulate_columnar`'s interface without touching the engine: the
+dispatch in :func:`repro.sim.engine.simulate` only needs this module's
+``columnar_supported`` / ``simulate_columnar`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.hashing import mix_pc, stable_hash64
+from repro.core.blbp import BLBP
+from repro.core.ibtb import IndirectBTB
+from repro.sim import native
+from repro.sim.metrics import SimulationResult
+from repro.trace.derived import DerivedPlane, compute_derived
+from repro.trace.stream import Trace
+
+#: Hard ceiling on chunk length.  Barriers already bound chunks by
+#: dependency; the cap bounds the transient tensors (``MAX_CHUNK × N × K``).
+MAX_CHUNK = 512
+
+#: Score used to mask candidate-set padding out of the argmax.  Real
+#: scores are bounded by K · max_transfer · N ≪ 2^31.
+_NEG_SCORE = np.int32(-(2**31) + 1)
+
+
+def columnar_supported(predictor: object) -> bool:
+    """Whether the columnar kernel can replay ``predictor`` exactly.
+
+    The kernel replicates :class:`~repro.core.blbp.BLBP`'s architectural
+    state transitions; subclasses may override hooks it cannot see, so
+    the check is intentionally exact-type.
+    """
+    return type(predictor) is BLBP
+
+
+# ----------------------------------------------------------------------
+# Trace-pure precomputation
+# ----------------------------------------------------------------------
+
+
+def _history_stream(
+    ghist0: int, pending0: int, history_bits: int, outcomes: np.ndarray
+) -> np.ndarray:
+    """The full outcome stream, oldest first: virtual prefix ++ trace.
+
+    The virtual prefix is the initial (possibly unmasked, ``pending0``
+    bits wide beyond capacity) global-history register, so a kernel run
+    over a warm predictor sees exactly the history the scalar loop would.
+    """
+    prefix_bits = history_bits + pending0
+    if prefix_bits:
+        nbytes = (prefix_bits + 7) // 8
+        raw = np.frombuffer(
+            ghist0.to_bytes(nbytes, "big"), dtype=np.uint8
+        )
+        pre = np.unpackbits(raw)[8 * nbytes - prefix_bits :]
+    else:  # pragma: no cover - history_bits >= 1 by config validation
+        pre = np.empty(0, dtype=np.uint8)
+    return np.concatenate([pre, outcomes.astype(np.uint8)])
+
+
+def _fold_prefix_tables(ext: np.ndarray, width: int) -> np.ndarray:
+    """``P[m, j]`` = XOR of ``ext[u] << ((m - u) % width)`` for u < j.
+
+    The fold of interval ``[s, e)`` after ``c`` consumed stream bits is
+    ``P[(c - 1 - s) % W, c - s] ^ P[(c - 1 - s) % W, c - e]`` — each
+    window bit lands at fold position ``(c - 1 - s - u) % W``, exactly
+    :func:`repro.common.hashing.fold_int` over the live register.
+    """
+    total = len(ext)
+    dtype = np.uint16 if width <= 15 else np.uint32
+    table = np.zeros((width, total + 1), dtype=dtype)
+    if total == 0:
+        return table
+    phase = (np.arange(total, dtype=np.int64) % width).astype(np.int64)
+    ext_wide = ext.astype(dtype)
+    for m in range(width):
+        shifts = ((m - phase) % width).astype(dtype)
+        table[m, 1:] = np.left_shift(ext_wide, shifts)
+        np.bitwise_xor.accumulate(table[m], out=table[m])
+    return table
+
+
+def _branch_folds(
+    prefix: np.ndarray,
+    consumed: np.ndarray,
+    intervals: Tuple[Tuple[int, int], ...],
+    width: int,
+) -> np.ndarray:
+    """Fold values per (branch, interval) from the prefix-XOR tables."""
+    count = len(consumed)
+    folds = np.zeros((count, len(intervals)), dtype=np.uint64)
+    for position, (start, end) in enumerate(intervals):
+        phase = (consumed - 1 - start) % width
+        high = prefix[phase, consumed - start]
+        low = prefix[phase, consumed - end]
+        folds[:, position] = (high ^ low).astype(np.uint64)
+    return folds
+
+
+def _local_registers(
+    slots: np.ndarray,
+    push_bits: np.ndarray,
+    initial: List[int],
+    length: int,
+) -> Tuple[np.ndarray, Dict[int, int]]:
+    """Per-branch local register at predict time, plus final table values.
+
+    Branches are grouped by local-table *slot* (aliasing PCs share a
+    register); within a slot the register before occurrence ``j`` is a
+    ``length``-bit sliding window over the initial register's bits
+    followed by the slot's pushed target bits.
+    """
+    count = len(slots)
+    registers = np.zeros(count, dtype=np.int64)
+    finals: Dict[int, int] = {}
+    if count == 0:
+        return registers, finals
+    weights = (1 << (length - 1 - np.arange(length, dtype=np.int64)))
+    order = np.argsort(slots, kind="stable")
+    sorted_slots = slots[order]
+    boundaries = np.flatnonzero(np.diff(sorted_slots)) + 1
+    group_starts = np.concatenate([[0], boundaries, [count]])
+    seed_positions = length - 1 - np.arange(length, dtype=np.int64)
+    for g in range(len(group_starts) - 1):
+        lo, hi = int(group_starts[g]), int(group_starts[g + 1])
+        positions = order[lo:hi]
+        slot = int(sorted_slots[lo])
+        seed = int(initial[slot])
+        padded = np.empty(length + (hi - lo), dtype=np.int64)
+        padded[:length] = (seed >> seed_positions) & 1
+        padded[length:] = push_bits[positions]
+        windows = np.lib.stride_tricks.sliding_window_view(padded, length)
+        values = windows @ weights
+        registers[positions] = values[: hi - lo]
+        finals[slot] = int(values[hi - lo])
+    return registers, finals
+
+
+def _hash_registers(registers: np.ndarray) -> np.ndarray:
+    """Vectorized ``stable_hash64`` over the small set of register values."""
+    unique, inverse = np.unique(registers, return_inverse=True)
+    hashes = np.fromiter(
+        (stable_hash64(int(value)) for value in unique),
+        dtype=np.uint64,
+        count=len(unique),
+    )
+    return hashes[inverse]
+
+
+def _replay_ibtb(
+    predictor: BLBP, pcs: List[int], targets: List[int]
+) -> Tuple[np.ndarray, List[Tuple[int, ...]]]:
+    """Structural IBTB replay: per-branch candidate-set snapshot ids.
+
+    The IBTB's evolution depends only on actual targets (``ensure``)
+    and on lookup-time lazy invalidation — never on predictions — so
+    one pass in retirement order reproduces both every branch's
+    candidate set *and* the exact final IBTB state.  Returns, per
+    branch, an id into the list of distinct candidate-target tuples.
+    """
+    ibtb = predictor.ibtb
+    count = len(pcs)
+    set_ids = np.zeros(count, dtype=np.int64)
+    registry: Dict[Tuple[int, ...], int] = {}
+    sets: List[Tuple[int, ...]] = []
+
+    if type(ibtb) is IndirectBTB:
+        regions = ibtb.regions
+        locate = ibtb._locate
+        candidates_of = ibtb._candidates
+        # pc -> (bucket, tag, rrpv list, target->way, sid,
+        #        bucket version, region version).  Valid while neither
+        #        version moved; a hit (RRPV promote) moves neither, so
+        #        the hot path is two dict probes and two int compares.
+        memo: Dict[int, tuple] = {}
+        out = set_ids.tolist()
+        for position in range(count):
+            pc = pcs[position]
+            target = targets[position]
+            entry = memo.get(pc)
+            if (
+                entry is None
+                or entry[5] != entry[0].version
+                or entry[6] != regions.version
+            ):
+                if entry is None:
+                    bucket, tag = locate(pc)
+                else:
+                    bucket, tag = entry[0], entry[1]
+                candidates = candidates_of(bucket, tag)
+                key = tuple(stored for _, stored in candidates)
+                sid = registry.get(key)
+                if sid is None:
+                    sid = len(sets)
+                    registry[key] = sid
+                    sets.append(key)
+                entry = (
+                    bucket,
+                    tag,
+                    bucket.rrip._rrpv,
+                    # reversed: on (impossible-by-construction) duplicate
+                    # targets, keep the first way, like the scalar scan.
+                    {stored: way for way, stored in reversed(candidates)},
+                    sid,
+                    bucket.version,
+                    regions.version,
+                )
+                memo[pc] = entry
+            out[position] = entry[4]
+            # Inlined IndirectBTB.ensure (hit-promote or fill+insert).
+            way = entry[3].get(target)
+            if way is not None:
+                entry[2][way] = 0  # rrip.touch
+            else:
+                bucket, tag = entry[0], entry[1]
+                region, generation, offset = regions.encode(target)
+                victim = bucket.rrip.victim()
+                bucket.fill(victim, tag, region, generation, offset)
+                bucket.rrip.insert(victim)
+        set_ids = np.asarray(out, dtype=np.int64)
+    else:
+        for position in range(count):
+            pc = pcs[position]
+            key = tuple(
+                target for _, target in ibtb.lookup(pc)
+            )
+            sid = registry.get(key)
+            if sid is None:
+                sid = len(sets)
+                registry[key] = sid
+                sets.append(key)
+            set_ids[position] = sid
+            ibtb.ensure(pc, targets[position])
+    return set_ids, sets
+
+
+def _candidate_tensors(
+    sets: List[Tuple[int, ...]], bit_shifts: np.ndarray, num_bits: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Padded target/bit-matrix/min/max tensors over the distinct sets.
+
+    Empty sets get columnwise min 1 / max 0 so the selective-training
+    ``differs`` computation (min/max against the actual bits) yields
+    all-False for them — matching the scalar ``bit_lows is None`` path.
+    """
+    set_count = len(sets)
+    max_targets = max((len(s) for s in sets), default=0)
+    width = max(1, max_targets)
+    padded = np.zeros((set_count, width), dtype=np.uint64)
+    sizes = np.zeros(set_count, dtype=np.int64)
+    matrices = np.zeros((set_count, width, num_bits), dtype=np.int32)
+    lows = np.ones((set_count, num_bits), dtype=np.int32)
+    highs = np.zeros((set_count, num_bits), dtype=np.int32)
+    for sid, members in enumerate(sets):
+        if not members:
+            continue
+        targets = np.asarray(members, dtype=np.uint64)
+        bits = (
+            (targets[:, None] >> bit_shifts[None, :]) & np.uint64(1)
+        ).astype(np.int32)
+        size = len(members)
+        padded[sid, :size] = targets
+        sizes[sid] = size
+        matrices[sid, :size] = bits
+        lows[sid] = bits.min(axis=0)
+        highs[sid] = bits.max(axis=0)
+    return padded, sizes, matrices, lows, highs
+
+
+# ----------------------------------------------------------------------
+# Update barriers
+# ----------------------------------------------------------------------
+
+
+def _previous_conflict(rows: np.ndarray, table_rows: int) -> np.ndarray:
+    """Per branch, the latest earlier branch sharing any (bank, row).
+
+    ``-1`` when none.  Computed with one stable argsort over
+    bank-qualified row keys: equal keys sort adjacent in retirement
+    order, so each element's predecessor under the sort is its latest
+    earlier conflict.
+    """
+    count, banks = rows.shape
+    keys = rows + (np.arange(banks, dtype=np.int64) * table_rows)[None, :]
+    flat = keys.ravel()
+    order = np.argsort(flat, kind="stable")
+    ordered = flat[order]
+    same = ordered[1:] == ordered[:-1]
+    previous_flat = np.full(count * banks, -1, dtype=np.int64)
+    previous_flat[order[1:][same]] = order[:-1][same]
+    return (previous_flat // banks).reshape(count, banks).max(axis=1)
+
+
+def _chunk_bounds(previous: np.ndarray, limit: int) -> List[int]:
+    """Chunk boundaries: cut where a branch reads an in-chunk write."""
+    count = len(previous)
+    bounds = [0]
+    start = 0
+    conflicts = previous.tolist()
+    for branch in range(1, count):
+        if conflicts[branch] >= start or branch - start >= limit:
+            bounds.append(branch)
+            start = branch
+    bounds.append(count)
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# Adaptive-θ replay
+# ----------------------------------------------------------------------
+
+
+def _observe_row(
+    active: np.ndarray,
+    correct: np.ndarray,
+    magnitudes: np.ndarray,
+    theta: np.ndarray,
+    counter: np.ndarray,
+    cmax: int,
+    cmin: int,
+    out_mask: np.ndarray,
+) -> None:
+    """Exact scalar ``observe_and_mask`` semantics for one branch."""
+    for bit in range(len(theta)):
+        if not active[bit]:
+            continue
+        current = int(theta[bit])
+        if correct[bit]:
+            magnitude = int(magnitudes[bit])
+            if magnitude >= current:
+                continue
+            counter[bit] -= 1
+            if counter[bit] <= cmin:
+                counter[bit] = 0
+                if current > 1:
+                    current -= 1
+                    theta[bit] = current
+            out_mask[bit] = magnitude < current
+        else:
+            counter[bit] += 1
+            if counter[bit] >= cmax:
+                counter[bit] = 0
+                theta[bit] = current + 1
+            out_mask[bit] = True
+
+
+def _theta_replay(
+    differs: np.ndarray,
+    correct: np.ndarray,
+    magnitudes: np.ndarray,
+    theta: np.ndarray,
+    counter: np.ndarray,
+    cmax: int,
+    cmin: int,
+    adaptive: bool,
+) -> np.ndarray:
+    """Chunk-batched replay of the per-bit threshold controllers.
+
+    θ only moves when a controller counter saturates, which takes tens
+    of net observations, so the common case is *no* movement within a
+    chunk.  The replay assumes that optimistically: with θ frozen, the
+    counter trajectory is a running sum of ±1 deltas, computed for the
+    whole chunk in one cumsum.  The first row where that trajectory
+    saturates falls back to the exact scalar update (which may move θ),
+    and the scan resumes after it.  Before the first saturation the
+    trajectory is exact, so the fallback row — and therefore the whole
+    replay — is exact.
+    """
+    count, _num_bits = differs.shape
+    mask = np.zeros_like(differs)
+    if not adaptive:
+        np.logical_and(
+            differs, ~correct | (magnitudes < theta[None, :]), out=mask
+        )
+        return mask
+    cursor = 0
+    while cursor < count:
+        low = magnitudes[cursor:] < theta[None, :]
+        active = differs[cursor:]
+        right = correct[cursor:]
+        delta = np.where(
+            active, np.where(right, np.where(low, -1, 0), 1), 0
+        ).astype(np.int32)
+        trajectory = np.cumsum(delta, axis=0)
+        trajectory += counter[None, :]
+        saturated = ((trajectory >= cmax) & (delta == 1)) | (
+            (trajectory <= cmin) & (delta == -1)
+        )
+        hit_rows = np.flatnonzero(saturated.any(axis=1))
+        if hit_rows.size == 0:
+            mask[cursor:] = active & (~right | low)
+            counter[:] = trajectory[-1]
+            return mask
+        first = int(hit_rows[0])
+        if first > 0:
+            mask[cursor : cursor + first] = active[:first] & (
+                ~right[:first] | low[:first]
+            )
+            counter[:] = trajectory[first - 1]
+        row = cursor + first
+        _observe_row(
+            differs[row],
+            correct[row],
+            magnitudes[row],
+            theta,
+            counter,
+            cmax,
+            cmin,
+            mask[row],
+        )
+        cursor = row + 1
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Prediction-dependent replay (two interchangeable implementations)
+# ----------------------------------------------------------------------
+
+
+def _replay_chunked(
+    rows: np.ndarray,
+    table_rows: int,
+    set_ids: np.ndarray,
+    padded_targets: np.ndarray,
+    set_sizes: np.ndarray,
+    bit_matrices: np.ndarray,
+    differs_all: np.ndarray,
+    desired_bits: np.ndarray,
+    lut: np.ndarray,
+    lut_offset: int,
+    tensor: np.ndarray,
+    magnitude: int,
+    theta: np.ndarray,
+    counter: np.ndarray,
+    cmax: int,
+    cmin: int,
+    adaptive: bool,
+    predictions: np.ndarray,
+) -> int:
+    """Pure-numpy replay: batched tensor ops between update barriers.
+
+    Mutates ``tensor`` / ``theta`` / ``counter`` / ``predictions`` in
+    place and returns the number of trained weight bits — the same
+    contract as :func:`_replay_compiled`.
+    """
+    branch_count, bank_count = rows.shape
+    previous = _previous_conflict(rows, table_rows)
+    bounds = _chunk_bounds(previous, MAX_CHUNK)
+    bank_index = np.arange(bank_count)[None, :]
+    width_index = np.arange(padded_targets.shape[1])[None, :]
+    trained_bits = 0
+
+    for chunk in range(len(bounds) - 1):
+        lo, hi = bounds[chunk], bounds[chunk + 1]
+        chunk_rows = rows[lo:hi]
+        raw = tensor[bank_index, chunk_rows]
+        yout = lut[raw.astype(np.intp) + lut_offset].sum(
+            axis=1, dtype=np.int32
+        )
+
+        chunk_sets = set_ids[lo:hi]
+        scores = np.matmul(
+            bit_matrices[chunk_sets], yout[:, :, None]
+        )[:, :, 0]
+        valid = width_index < set_sizes[chunk_sets][:, None]
+        best = np.argmax(
+            np.where(valid, scores, _NEG_SCORE), axis=1
+        )
+        predictions[lo:hi] = padded_targets[chunk_sets, best]
+
+        desired = desired_bits[lo:hi]
+        correct = (yout >= 0) == desired
+        magnitudes = np.abs(yout)
+        mask = _theta_replay(
+            differs_all[lo:hi],
+            correct,
+            magnitudes,
+            theta,
+            counter,
+            cmax,
+            cmin,
+            adaptive,
+        )
+        trained = int(mask.sum())
+        if trained:
+            trained_bits += trained
+            touched = mask.any(axis=1)
+            rows_sel = chunk_rows[touched]
+            update = np.where(
+                mask[touched], np.where(desired[touched], 1, -1), 0
+            ).astype(np.int16)[:, None, :]
+            current = tensor[bank_index, rows_sel].astype(np.int16)
+            current += update
+            np.clip(current, -magnitude, magnitude, out=current)
+            tensor[bank_index, rows_sel] = current.astype(np.int8)
+    return trained_bits
+
+
+def _replay_compiled(
+    fn,
+    rows: np.ndarray,
+    table_rows: int,
+    set_ids: np.ndarray,
+    padded_targets: np.ndarray,
+    set_sizes: np.ndarray,
+    bit_matrices: np.ndarray,
+    differs_all: np.ndarray,
+    desired_bits: np.ndarray,
+    lut: np.ndarray,
+    lut_offset: int,
+    tensor: np.ndarray,
+    magnitude: int,
+    theta: np.ndarray,
+    counter: np.ndarray,
+    cmax: int,
+    cmin: int,
+    adaptive: bool,
+    predictions: np.ndarray,
+) -> int:
+    """Replay through the compiled core (:mod:`repro.sim.native`).
+
+    One C call walks the branch stream in retirement order over the
+    same precomputed tensors the chunked path consumes; no barriers are
+    needed because the walk is already sequential.
+    """
+    branch_count, bank_count = rows.shape
+    num_bits = tensor.shape[2]
+    tmax = padded_targets.shape[1]
+    differs_u8 = np.ascontiguousarray(differs_all, dtype=np.uint8)
+    desired_u8 = np.ascontiguousarray(desired_bits, dtype=np.uint8)
+    lut32 = np.ascontiguousarray(lut, dtype=np.int32)
+    return int(
+        fn(
+            branch_count,
+            bank_count,
+            num_bits,
+            table_rows,
+            tmax,
+            rows.ctypes.data,
+            set_ids.ctypes.data,
+            padded_targets.ctypes.data,
+            set_sizes.ctypes.data,
+            bit_matrices.ctypes.data,
+            differs_u8.ctypes.data,
+            desired_u8.ctypes.data,
+            lut32.ctypes.data,
+            lut_offset,
+            tensor.ctypes.data,
+            magnitude,
+            theta.ctypes.data,
+            counter.ctypes.data,
+            cmax,
+            cmin,
+            1 if adaptive else 0,
+            predictions.ctypes.data,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# The kernel
+# ----------------------------------------------------------------------
+
+
+def simulate_columnar(
+    predictor: BLBP,
+    trace: Trace,
+    ras_depth: int = 32,
+    warmup_records: int = 0,
+    collect_per_pc: bool = False,
+    derived: Optional[DerivedPlane] = None,
+    prediction_sink: Optional[Dict[str, np.ndarray]] = None,
+) -> SimulationResult:
+    """Replay ``trace`` through ``predictor`` as columnar tensor passes.
+
+    Bit-identical to ``simulate(predictor, trace, ...)``: the same
+    predictions, the same counters, and the same final predictor state
+    (``state_dict`` / ``state_hash`` equal).  The predictor may be warm
+    — mid-campaign state, restored snapshots — the kernel seeds its
+    precomputation from the live registers.
+
+    Callers normally go through :func:`repro.sim.engine.simulate` with
+    ``backend="columnar"``, which validates support and falls back to
+    the scalar loop for features the kernel does not cover
+    (checkpointing, resume, profiling).
+
+    ``prediction_sink``, when given a dict, receives the kernel's
+    per-branch arrays after replay — ``indirect_idx`` (record index of
+    every indirect branch), ``valid`` (whether a prediction was made),
+    and ``predictions`` (the predicted target per branch) — letting
+    equivalence tests assert per-branch lockstep against the scalar
+    loop rather than just aggregate counts.
+    """
+    if not columnar_supported(predictor):
+        raise TypeError(
+            f"columnar kernel supports BLBP exactly, got "
+            f"{type(predictor).__name__}"
+        )
+    if derived is None:
+        derived = compute_derived(trace, ras_depth)
+    elif not derived.matches(trace, ras_depth):
+        raise ValueError(
+            f"derived plane is for {derived.trace_name!r} "
+            f"({derived.records} records, ras_depth={derived.ras_depth}), "
+            f"not {trace.name!r} ({len(trace)} records, "
+            f"ras_depth={ras_depth})"
+        )
+
+    config = predictor.config
+    histories = predictor.histories
+    threshold = predictor.threshold
+    weights = predictor.weights
+    transfer = predictor.transfer
+
+    outcomes = derived.conditional_outcomes()
+    conditional_count = derived.conditionals
+    indirect_idx = np.asarray(derived.indirect_idx)
+    branch_count = len(indirect_idx)
+    branch_pcs = derived.indirect_pcs
+    branch_targets = np.asarray(derived.indirect_targets)
+
+    # --- trace-pure precomputation ------------------------------------
+    ghist0 = histories._ghist
+    pending0 = histories._pending
+    width = histories._fold_bits
+    intervals = config.effective_intervals
+    prefix_bits = config.global_history_bits + pending0
+
+    stream = _history_stream(
+        ghist0, pending0, config.global_history_bits, outcomes
+    )
+    prefix = _fold_prefix_tables(stream, width)
+
+    pcs_list = [int(pc) for pc in branch_pcs.tolist()]
+    targets_list = [int(t) for t in branch_targets.tolist()]
+
+    unique_pcs, pc_inverse = np.unique(branch_pcs, return_inverse=True)
+    bank_count = config.num_subpredictors
+    mixes = np.empty((len(unique_pcs), bank_count), dtype=np.uint64)
+    for position, pc in enumerate(unique_pcs.tolist()):
+        for salt in range(bank_count):
+            mixes[position, salt] = mix_pc(int(pc), salt=salt)
+    slot_of_pc = (
+        mixes[:, 0] % np.uint64(histories._local.num_entries)
+    ).astype(np.int64)
+    branch_slots = slot_of_pc[pc_inverse]
+
+    push_bits = (
+        (branch_targets >> np.uint64(config.local_target_bit)) & np.uint64(1)
+    ).astype(np.int64)
+    registers, final_registers = _local_registers(
+        branch_slots,
+        push_bits,
+        histories._local._table,
+        config.local_history_bits,
+    )
+
+    consumed = (
+        np.searchsorted(np.asarray(derived.cond_idx), indirect_idx)
+        + prefix_bits
+    )
+    folds = _branch_folds(prefix, consumed, intervals, width)
+
+    table_rows = config.table_rows
+    rows = np.empty((branch_count, bank_count), dtype=np.int64)
+    mix0 = mixes[pc_inverse, 0]
+    if config.use_local_history:
+        mix0 = mix0 ^ _hash_registers(registers)
+    rows[:, 0] = (mix0 % np.uint64(table_rows)).astype(np.int64)
+    for position in range(len(intervals)):
+        mixed = mixes[pc_inverse, position + 1] ^ folds[:, position]
+        rows[:, position + 1] = (mixed % np.uint64(table_rows)).astype(
+            np.int64
+        )
+
+    set_ids, sets = _replay_ibtb(predictor, pcs_list, targets_list)
+    padded_targets, set_sizes, bit_matrices, set_lows, set_highs = (
+        _candidate_tensors(
+            sets, predictor._bit_shifts, config.num_target_bits
+        )
+    )
+
+    target_unique, target_inverse = np.unique(
+        branch_targets, return_inverse=True
+    )
+    unique_bits = (
+        (target_unique[:, None] >> predictor._bit_shifts[None, :])
+        & np.uint64(1)
+    ).astype(np.int32)
+    actual_bits = unique_bits[target_inverse]
+    desired_bits = actual_bits == 1
+    if config.use_selective_update:
+        differs_all = (
+            np.minimum(set_lows[set_ids], actual_bits)
+            != np.maximum(set_highs[set_ids], actual_bits)
+        )
+    else:
+        differs_all = np.ones_like(desired_bits)
+
+    # --- prediction-dependent replay ----------------------------------
+    tensor = weights.weights
+    lut = transfer._lut
+    lut_offset = transfer.magnitude_max
+    magnitude = weights.magnitude
+    theta = np.asarray(threshold._theta, dtype=np.int64)
+    counter = np.asarray(threshold._counter, dtype=np.int64)
+    cmax = threshold._max
+    cmin = threshold._min
+    adaptive = threshold.adaptive
+
+    predictions = np.zeros(branch_count, dtype=np.uint64)
+    prediction_valid = set_sizes[set_ids] > 0
+    trained_bits = 0
+
+    if branch_count:
+        replay = native.load() if tensor.flags.c_contiguous else None
+        arguments = (
+            rows,
+            table_rows,
+            set_ids,
+            padded_targets,
+            set_sizes,
+            bit_matrices,
+            differs_all,
+            desired_bits,
+            lut,
+            lut_offset,
+            tensor,
+            magnitude,
+            theta,
+            counter,
+            cmax,
+            cmin,
+            adaptive,
+            predictions,
+        )
+        if replay is not None:
+            trained_bits = _replay_compiled(replay, *arguments)
+        else:
+            trained_bits = _replay_chunked(*arguments)
+
+    if prediction_sink is not None:
+        prediction_sink["indirect_idx"] = indirect_idx.copy()
+        prediction_sink["valid"] = prediction_valid.copy()
+        prediction_sink["predictions"] = predictions.copy()
+
+    # --- state write-back ---------------------------------------------
+    threshold._theta = [int(value) for value in theta]
+    threshold._counter = [int(value) for value in counter]
+    for slot, value in final_registers.items():
+        histories._local._table[slot] = value
+
+    if branch_count:
+        trailing = conditional_count - int(
+            consumed[-1] - prefix_bits
+        )
+        pending_final = trailing % 1024
+    else:
+        pending_final = (pending0 + conditional_count) % 1024
+    packed = np.packbits(outcomes) if conditional_count else None
+    if conditional_count:
+        outcome_int = int.from_bytes(packed.tobytes(), "big") >> (
+            8 * len(packed) - conditional_count
+        )
+    else:
+        outcome_int = 0
+    unmasked = (ghist0 << conditional_count) | outcome_int
+    ghist_mask = histories._ghist_mask
+    histories._ghist = (
+        ((unmasked >> pending_final) & ghist_mask) << pending_final
+    ) | (unmasked & ((1 << pending_final) - 1))
+    histories._pending = pending_final
+    histories.stat_fold_updates += (
+        pending0 + conditional_count - pending_final
+    ) * histories._num_folds
+
+    flushed = prefix_bits + conditional_count - pending_final
+    final_consumed = np.asarray([flushed], dtype=np.int64)
+    final_folds = _branch_folds(prefix, final_consumed, intervals, width)
+    for position, fold in enumerate(histories._folds):
+        fold.fold = int(final_folds[0, position])
+
+    predictor.stat_predictions += branch_count
+    predictor.stat_ibtb_probes += branch_count
+    predictor.stat_trained_bits += trained_bits
+
+    # --- result assembly (identical accounting to the scalar loop) ----
+    counted = indirect_idx >= warmup_records
+    mispredicted = counted & (
+        ~prediction_valid | (predictions != branch_targets)
+    )
+    by_pc: Dict[int, int] = {}
+    if collect_per_pc and mispredicted.any():
+        miss_pcs, miss_counts = np.unique(
+            branch_pcs[mispredicted], return_counts=True
+        )
+        by_pc = {
+            int(pc): int(count)
+            for pc, count in zip(miss_pcs.tolist(), miss_counts.tolist())
+        }
+
+    return_indices = np.asarray(derived.return_idx)
+    returns = 0
+    return_mispredictions = 0
+    if len(return_indices):
+        counted_returns = return_indices >= warmup_records
+        returns = int(np.count_nonzero(counted_returns))
+        return_mispredictions = int(
+            np.count_nonzero(
+                counted_returns & (np.asarray(derived.return_ok) == 0)
+            )
+        )
+
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=predictor.name,
+        total_instructions=trace.total_instructions(),
+        indirect_branches=int(np.count_nonzero(counted)),
+        indirect_mispredictions=int(np.count_nonzero(mispredicted)),
+        return_branches=returns,
+        return_mispredictions=return_mispredictions,
+        conditional_branches=conditional_count,
+        mispredictions_by_pc=by_pc,
+    )

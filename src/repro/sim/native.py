@@ -1,0 +1,275 @@
+"""Optional compiled replay core for the columnar kernel.
+
+The columnar kernel (:mod:`repro.sim.kernel`) splits a trace into
+trace-pure precomputation (folds, local registers, IBTB candidate sets,
+``differs``/``desired`` bit planes — all batched numpy) and a
+prediction-dependent replay over the weight banks and θ controllers.
+The replay is the only part that is inherently sequential, and this
+module provides a compiled implementation of it: a single C function
+that walks the branch stream in retirement order, consuming exactly the
+same precomputed tensors as the numpy chunk loop and mutating the same
+weight/θ/counter state with identical integer arithmetic.
+
+ROADMAP's north star calls for an optional compiled backend behind the
+same interface; this is that drop-in.  The C source is compiled on
+first use with the system C compiler into a content-addressed shared
+library under the user cache directory and loaded with :mod:`ctypes` —
+no build-time dependency, no new packages.  When no compiler is
+available (or ``REPRO_COLUMNAR_COMPILED=0``), the kernel transparently
+falls back to the pure-numpy chunked replay; both paths are pinned
+bit-identical by the equivalence suite.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional
+
+__all__ = ["available", "load", "cache_dir"]
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Retirement-order replay of the BLBP weight/θ recurrence.
+ *
+ * Everything prediction-independent (row indices, candidate sets,
+ * desired/active bit planes) arrives precomputed; this loop performs
+ * only the prediction-dependent arithmetic: the fused int8 weight-bank
+ * gather + transfer-LUT dot product, candidate scoring (first-max
+ * argmax, matching numpy), the per-bit adaptive-θ controllers, and the
+ * masked saturating ±1 weight update.  Integer-for-integer identical
+ * to BLBP.predict_target/train.
+ */
+int64_t blbp_replay(
+    int64_t branches,
+    int64_t banks,
+    int64_t bits,
+    int64_t table_rows,
+    int64_t tmax,
+    const int64_t *rows,            /* (branches, banks) */
+    const int64_t *set_ids,         /* (branches,) */
+    const uint64_t *padded_targets, /* (sets, tmax) */
+    const int64_t *set_sizes,       /* (sets,) */
+    const int32_t *bit_matrices,    /* (sets, tmax, bits) */
+    const uint8_t *differs,         /* (branches, bits) */
+    const uint8_t *desired,         /* (branches, bits) */
+    const int32_t *lut,             /* (2 * lut_offset + 1,) */
+    int64_t lut_offset,
+    int8_t *weights,                /* (banks, table_rows, bits) */
+    int64_t magnitude,
+    int64_t *theta,                 /* (bits,) */
+    int64_t *counter,               /* (bits,) */
+    int64_t counter_max,
+    int64_t counter_min,
+    int64_t adaptive,
+    uint64_t *predictions)          /* (branches,) zero-initialised */
+{
+    int64_t trained = 0;
+    int32_t yout[bits];
+    uint8_t mask[bits];
+    for (int64_t b = 0; b < branches; ++b) {
+        const int64_t *brow = rows + b * banks;
+        for (int64_t k = 0; k < bits; ++k)
+            yout[k] = 0;
+        for (int64_t n = 0; n < banks; ++n) {
+            const int8_t *w = weights + (n * table_rows + brow[n]) * bits;
+            for (int64_t k = 0; k < bits; ++k)
+                yout[k] += lut[(int64_t)w[k] + lut_offset];
+        }
+
+        const int64_t sid = set_ids[b];
+        const int64_t size = set_sizes[sid];
+        if (size > 0) {
+            const int32_t *mat = bit_matrices + sid * tmax * bits;
+            int64_t best = 0;
+            int32_t best_score = INT32_MIN;
+            for (int64_t t = 0; t < size; ++t) {
+                const int32_t *mrow = mat + t * bits;
+                int32_t score = 0;
+                for (int64_t k = 0; k < bits; ++k)
+                    score += mrow[k] * yout[k];
+                if (score > best_score) {
+                    best_score = score;
+                    best = t;
+                }
+            }
+            predictions[b] = padded_targets[sid * tmax + best];
+        }
+
+        const uint8_t *diff = differs + b * bits;
+        const uint8_t *des = desired + b * bits;
+        int any_active = 0;
+        for (int64_t k = 0; k < bits; ++k)
+            any_active |= diff[k];
+        if (!any_active)
+            continue;
+
+        int any_mask = 0;
+        for (int64_t k = 0; k < bits; ++k) {
+            mask[k] = 0;
+            if (!diff[k])
+                continue;
+            const int32_t value = yout[k];
+            const int correct = (value >= 0) == (des[k] != 0);
+            const int32_t mag = value >= 0 ? value : -value;
+            if (adaptive) {
+                int64_t current = theta[k];
+                if (correct) {
+                    if (mag >= current)
+                        continue;
+                    counter[k] -= 1;
+                    if (counter[k] <= counter_min) {
+                        counter[k] = 0;
+                        if (current > 1) {
+                            current -= 1;
+                            theta[k] = current;
+                        }
+                    }
+                    mask[k] = mag < current;
+                } else {
+                    counter[k] += 1;
+                    if (counter[k] >= counter_max) {
+                        counter[k] = 0;
+                        theta[k] = current + 1;
+                    }
+                    mask[k] = 1;
+                }
+            } else {
+                mask[k] = !correct || mag < theta[k];
+            }
+            any_mask |= mask[k];
+        }
+        if (!any_mask)
+            continue;
+
+        for (int64_t k = 0; k < bits; ++k)
+            trained += mask[k];
+        for (int64_t n = 0; n < banks; ++n) {
+            int8_t *w = weights + (n * table_rows + brow[n]) * bits;
+            for (int64_t k = 0; k < bits; ++k) {
+                if (!mask[k])
+                    continue;
+                int32_t value = (int32_t)w[k] + (des[k] ? 1 : -1);
+                if (value > magnitude)
+                    value = (int32_t)magnitude;
+                if (value < -magnitude)
+                    value = (int32_t)-magnitude;
+                w[k] = (int8_t)value;
+            }
+        }
+    }
+    return trained;
+}
+"""
+
+_I64 = ctypes.c_int64
+_PTR = ctypes.c_void_p
+_ARGTYPES = [
+    _I64, _I64, _I64, _I64, _I64,       # branches, banks, bits, rows, tmax
+    _PTR, _PTR, _PTR, _PTR, _PTR,       # rows, set_ids, targets, sizes, mats
+    _PTR, _PTR,                         # differs, desired
+    _PTR, _I64,                         # lut, lut_offset
+    _PTR, _I64,                         # weights, magnitude
+    _PTR, _PTR, _I64, _I64, _I64,       # theta, counter, cmax, cmin, adaptive
+    _PTR,                               # predictions
+]
+
+_lib: Optional[ctypes.CDLL] = None
+_fn = None
+_attempted = False
+
+
+def cache_dir() -> str:
+    """Directory holding the content-addressed compiled libraries."""
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-columnar")
+
+
+def _compiler() -> Optional[str]:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if not name:
+            continue
+        for root in os.environ.get("PATH", "").split(os.pathsep):
+            candidate = os.path.join(root, name)
+            if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+                return name
+    return None
+
+
+def _build() -> Optional[str]:
+    """Compile the replay core, once, into the shared cache. None on failure."""
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    directory = cache_dir()
+    path = os.path.join(directory, f"blbp_replay_{digest}.so")
+    if os.path.exists(path):
+        return path
+    compiler = _compiler()
+    if compiler is None:
+        return None
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_c = tempfile.mkstemp(suffix=".c", dir=directory)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(_SOURCE)
+        temp_so = temp_c[:-2] + ".so"
+        try:
+            result = subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC", "-std=c99",
+                 "-o", temp_so, temp_c],
+                capture_output=True,
+                timeout=120,
+            )
+            if result.returncode != 0:
+                return None
+            # Atomic publish: concurrent builders race benignly.
+            os.replace(temp_so, path)
+        finally:
+            for leftover in (temp_c, temp_so):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+        return path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def load():
+    """The compiled ``blbp_replay`` entry point, or None if unavailable.
+
+    Compilation happens at most once per process; failures (no
+    compiler, sandboxed filesystem) are remembered and the caller falls
+    back to the numpy replay.  Set ``REPRO_COLUMNAR_COMPILED=0`` to
+    force the fallback (the equivalence tests exercise both paths).
+    """
+    global _lib, _fn, _attempted
+    if os.environ.get("REPRO_COLUMNAR_COMPILED", "").strip() == "0":
+        return None
+    if _fn is not None:
+        return _fn
+    if _attempted:
+        return None
+    _attempted = True
+    path = _build()
+    if path is None:
+        return None
+    try:
+        _lib = ctypes.CDLL(path)
+        fn = _lib.blbp_replay
+    except (OSError, AttributeError):
+        return None
+    fn.restype = _I64
+    fn.argtypes = _ARGTYPES
+    _fn = fn
+    return _fn
+
+
+def available() -> bool:
+    """Whether the compiled replay core can be used in this process."""
+    return load() is not None

@@ -82,6 +82,7 @@ def run_campaign(
     warmup_records: int = 0,
     progress: Optional[ProgressCallback] = None,
     counters: Optional[SimCounters] = None,
+    backend: str = "scalar",
 ) -> CampaignResult:
     """Simulate every predictor over every trace.
 
@@ -91,6 +92,8 @@ def run_campaign(
             predictor's own ``name`` in results so one campaign can
             compare multiple configurations of the same class.
         ras_depth, warmup_records: forwarded to :func:`simulate`.
+        backend: simulation backend per cell ("scalar" or "columnar");
+            forwarded to :func:`simulate`, results identical either way.
         progress: optional callback invoked after each cell; either
             ``(trace, predictor, mpki)`` or
             ``(trace, predictor, mpki, index, total)``.
@@ -115,6 +118,7 @@ def run_campaign(
                 ras_depth=ras_depth,
                 warmup_records=warmup_records,
                 counters=counters,
+                backend=backend,
             )
             result.predictor_name = name
             campaign.add(result)

@@ -40,7 +40,11 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.trace.plane import spilled_hash, trace_content_hash
+from repro.trace.plane import (
+    atomic_write_bytes,
+    spilled_hash,
+    trace_content_hash,
+)
 from repro.trace.record import BranchType
 from repro.trace.stream import Trace
 
@@ -258,21 +262,24 @@ def write_derived(plane: DerivedPlane, path: Union[str, Path]) -> None:
             break
         offsets = new_offsets
 
-    temp = path.with_name(path.name + ".tmp")
-    with open(temp, "wb") as handle:
-        handle.write(MAGIC_DERIVED)
-        handle.write(struct.pack("<I", len(encoded)))
-        handle.write(encoded)
-        handle.write(b"\x00" * (data_start - prefix - len(encoded)))
-        cursor = data_start
-        for name, _ in _COLUMNS:
-            aligned = _pad_to(cursor)
-            handle.write(b"\x00" * (aligned - cursor))
-            handle.write(raw[name])
-            cursor = aligned + len(raw[name])
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
+    # Serialize fully, then publish through atomic_write_bytes: each
+    # writer stages into its own mkstemp sibling, so two processes
+    # recomputing the same plane concurrently cannot truncate each
+    # other's staging file — last rename wins with a complete file
+    # either way.  (A fixed ".tmp" staging name raced exactly that way.)
+    parts = [
+        MAGIC_DERIVED,
+        struct.pack("<I", len(encoded)),
+        encoded,
+        b"\x00" * (data_start - prefix - len(encoded)),
+    ]
+    cursor = data_start
+    for name, _ in _COLUMNS:
+        aligned = _pad_to(cursor)
+        parts.append(b"\x00" * (aligned - cursor))
+        parts.append(raw[name])
+        cursor = aligned + len(raw[name])
+    atomic_write_bytes(path, b"".join(parts))
 
 
 def read_derived(path: Union[str, Path]) -> DerivedPlane:

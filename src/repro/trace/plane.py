@@ -22,9 +22,11 @@ zero-copy.
 
 :class:`TraceCache` fronts :func:`attach_trace` with a small LRU keyed by
 ``(path, size, mtime_ns)`` so a worker maps each spill file once no matter
-how many cells reference it; a rewritten spill (new mtime) is re-attached
-and the stale entry dropped.  :func:`cached_trace` uses a module-level
-instance as the per-worker-process cache.
+how many cells reference it; a rewritten spill is re-attached and the
+stale entry dropped — detected by the stat key, or, when a same-size
+rewrite lands within one mtime tick, by the header content hash checked
+on every hit.  :func:`cached_trace` uses a module-level instance as the
+per-worker-process cache.
 """
 
 from __future__ import annotations
@@ -277,6 +279,14 @@ class TraceCache:
     trace referenced by many fused or sequential cells is mapped exactly
     once per worker.  A spill rewritten in place gets a new mtime, which
     misses the cache and evicts the stale mapping.
+
+    The stat key alone is not airtight: on filesystems with coarse mtime
+    granularity a same-size rewrite can land within one tick and leave
+    size and mtime_ns unchanged.  Every hit therefore re-reads the
+    spill's JSON header (O(header), page-cached) and compares the
+    recorded content hash against the one captured at attach time; a
+    mismatch evicts the stale mapping and re-attaches.  Legacy v1 spills
+    carry no header hash, so for them the stat key is the only guard.
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
@@ -287,7 +297,9 @@ class TraceCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
-        self._entries: "OrderedDict[_CacheKey, Trace]" = OrderedDict()
+        self._entries: "OrderedDict[_CacheKey, Tuple[Trace, Optional[str]]]" = (
+            OrderedDict()
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -298,9 +310,12 @@ class TraceCache:
         key = (str(path), stat.st_size, stat.st_mtime_ns)
         cached = self._entries.get(key)
         if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return cached
+            trace, attached_hash = cached
+            if spilled_hash(path) == attached_hash:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return trace
+            del self._entries[key]
         self.misses += 1
         # Drop stale generations of the same file before admitting the new
         # one, so a rewritten spill cannot pin two mappings.
@@ -311,7 +326,7 @@ class TraceCache:
         from repro.trace.stream import read_trace
 
         trace = read_trace(path)
-        self._entries[key] = trace
+        self._entries[key] = (trace, spilled_hash(path))
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
         return trace

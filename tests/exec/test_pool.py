@@ -57,6 +57,60 @@ class TestRunCell:
         with pytest.raises(CellTimeout):
             run_cell(plan.cells[0], timeout=0.2)
 
+    def test_nested_deadline_rearms_outer_timer(self):
+        """An inner deadline finishing early must not disarm an outer one.
+
+        ``_deadline`` used to restore only the SIGALRM *handler*; the
+        displaced itimer stayed cancelled, so an enclosing timeout never
+        fired and a hung caller ran forever.  The fix re-arms the outer
+        timer with its remaining time on exit.
+        """
+        import signal
+
+        from repro.exec.pool import _deadline
+
+        fired = []
+
+        def _outer(signum, frame):
+            fired.append(time.monotonic())
+
+        previous_handler = signal.signal(signal.SIGALRM, _outer)
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.6)
+            with _deadline(0.1):
+                pass  # finishes well before its own deadline
+            remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert remaining > 0, "outer itimer was silently cancelled"
+            assert remaining <= 0.6
+            deadline = time.monotonic() + 5.0
+            while not fired and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert fired, "outer deadline never fired"
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+    def test_nested_deadline_inner_still_fires(self):
+        """Re-arming the outer timer must not break the inner deadline."""
+        import signal
+
+        from repro.exec.pool import _deadline
+
+        def _outer(signum, frame):  # pragma: no cover - must not fire
+            raise AssertionError("outer timer fired inside inner window")
+
+        previous_handler = signal.signal(signal.SIGALRM, _outer)
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 30.0)
+            with pytest.raises(CellTimeout):
+                with _deadline(0.1):
+                    time.sleep(5.0)
+            remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert remaining > 0
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
 
 class TestExecutePlanSerial:
     def test_matches_serial_runner(self, tiny_trace, vdispatch_trace,

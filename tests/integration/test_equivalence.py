@@ -235,6 +235,112 @@ class TestFusedUnfusedEquivalence:
                 assert fused_r.mpki() == pytest.approx(solo_r.mpki())
 
 
+class TestColumnarEquivalence:
+    """Acceptance gate for the columnar batch kernel: ``simulate(...,
+    backend="columnar")`` is bit-identical to the scalar engine — same
+    misprediction totals, same MPKI, same final predictor state hash —
+    over the full 88-workload suite, on both replay paths (the compiled
+    core and the numpy chunked fallback)."""
+
+    def _assert_backends_agree(self, trace, config=None):
+        scalar_predictor = BLBP(config() if config else None)
+        columnar_predictor = BLBP(config() if config else None)
+        scalar = simulate(scalar_predictor, trace)
+        columnar = simulate(columnar_predictor, trace, backend="columnar")
+        assert (
+            columnar.indirect_mispredictions
+            == scalar.indirect_mispredictions
+        ), f"{trace.name}: misprediction totals diverge"
+        assert columnar.indirect_branches == scalar.indirect_branches
+        assert columnar.mpki() == pytest.approx(scalar.mpki())
+        assert (
+            columnar_predictor.state_hash() == scalar_predictor.state_hash()
+        ), f"{trace.name}: final predictor state diverges"
+
+    def test_full_suite_identical(self):
+        """All 88 workloads, headline configuration, whatever replay
+        path the environment resolves (compiled when a C compiler is
+        available, numpy otherwise)."""
+        checked = 0
+        for name, trace in _traces():
+            self._assert_backends_agree(trace)
+            checked += 1
+        assert checked == len(suite88_specs(_SCALE))
+
+    def test_full_suite_identical_numpy_replay(self, monkeypatch):
+        """The numpy chunked replay path must be just as exact: force
+        it by disabling the compiled core for the whole sweep."""
+        monkeypatch.setenv("REPRO_COLUMNAR_COMPILED", "0")
+        from repro.sim import native
+
+        assert native.load() is None  # env really does force numpy
+        for name, trace in _traces():
+            self._assert_backends_agree(trace)
+
+    def test_config_variants_subset(self):
+        """Feature toggles change the replay's inner loops; each
+        variant must stay bit-identical on a suite subset."""
+        variants = [
+            lambda: BLBPConfig(use_selective_update=False),
+            lambda: BLBPConfig(use_adaptive_threshold=False),
+            lambda: BLBPConfig(use_transfer_function=False),
+            lambda: BLBPConfig(use_local_history=False),
+            lambda: BLBPConfig(use_intervals=False),
+            lambda: BLBPConfig(use_hierarchical_ibtb=True),
+        ]
+        subset = _traces()[::11]
+        assert len(subset) >= 5
+        for config in variants:
+            for name, trace in subset:
+                self._assert_backends_agree(trace, config=config)
+
+    def test_campaign_journals_byte_identical(self, tmp_path):
+        """Backend choice must be invisible in campaign artifacts: the
+        journal a columnar campaign writes is byte-for-byte the scalar
+        one (the CI backend-equivalence step asserts the same via the
+        CLI)."""
+        from repro.exec.plan import plan_campaign
+        from repro.exec.pool import execute_plan
+
+        traces = [trace for _, trace in _traces()[:3]]
+        factories = {"BLBP": BLBP}
+        journals = {}
+        for backend in ("scalar", "columnar"):
+            plan = plan_campaign(
+                traces, factories, cache_dir=tmp_path / backend,
+                backend=backend,
+            )
+            journal = tmp_path / f"{backend}.jsonl"
+            execute_plan(plan, jobs=1, journal_path=journal)
+            journals[backend] = journal.read_bytes()
+        assert journals["scalar"] == journals["columnar"]
+
+    def test_serve_session_matches_columnar(self):
+        """The serve layer's event-at-a-time session is pinned to
+        ``simulate`` scalar; the columnar backend must land on exactly
+        the same result and state, closing the loop serve → scalar →
+        columnar."""
+        from repro.serve.session import PredictorSession
+
+        for name, trace in _traces()[:3]:
+            session = PredictorSession("oracle", "BLBP")
+            for pc, branch_type, taken, target, gap in zip(
+                trace.pcs.tolist(),
+                trace.types.tolist(),
+                trace.takens.tolist(),
+                trace.targets.tolist(),
+                trace.gaps.tolist(),
+            ):
+                session.step(pc, branch_type, taken, target, gap)
+            predictor = BLBP()
+            columnar = simulate(predictor, trace, backend="columnar")
+            assert (
+                session.result().indirect_mispredictions
+                == columnar.indirect_mispredictions
+            ), f"{name}: serve session and columnar kernel diverge"
+            assert session.state_hash() == predictor.state_hash()
+
+
 class TestCampaignKillResumeEquivalence:
     def test_killed_campaign_resumes_to_identical_journal_and_mpki(
         self, tmp_path

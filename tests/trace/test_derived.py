@@ -60,6 +60,15 @@ def _assert_ras_equivalent(trace: Trace, depth: int) -> None:
     assert len(plane.return_idx) == len(live_preds)
 
 
+def _recompute_after_barrier(barrier, spill_path: str) -> None:
+    """Worker for the two-process cache-write collision test."""
+    from repro.trace.stream import read_trace
+
+    trace = read_trace(spill_path)
+    barrier.wait()
+    load_or_compute_derived(trace, spill_path, 32)
+
+
 @st.composite
 def branch_records(draw):
     branch_type = draw(st.sampled_from(list(BranchType)))
@@ -184,6 +193,48 @@ class TestDiskCache:
         # Plant a plane for a different trace under the same cache name.
         write_derived(compute_derived(tiny_trace, 32), cache_path)
         plane = load_or_compute_derived(callret_trace, spill, 32)
+        assert plane.trace_name == callret_trace.name
+        assert plane.content_hash == trace_content_hash(callret_trace)
+
+    def test_write_does_not_claim_fixed_tmp_name(
+        self, callret_trace, tmp_path
+    ):
+        """Staging must use a unique sibling, not ``<name>.tmp``.
+
+        With a fixed staging name, two writers racing on the same cache
+        path truncate each other's partial file and one publishes a torn
+        plane.  A foreign ``.tmp`` file standing in for the other
+        writer's staging file must survive the write untouched.
+        """
+        path = tmp_path / "t.plane"
+        decoy = tmp_path / "t.plane.tmp"
+        decoy.write_bytes(b"another writer's staging bytes")
+        write_derived(compute_derived(callret_trace, 32), path)
+        assert decoy.read_bytes() == b"another writer's staging bytes"
+        assert read_derived(path).trace_name == callret_trace.name
+
+    def test_concurrent_recompute_publishes_valid_plane(
+        self, callret_trace, tmp_path
+    ):
+        """Two processes recomputing the same plane never tear the file."""
+        import multiprocessing
+
+        spill = tmp_path / "t.trace"
+        write_trace_v2(callret_trace, spill)
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(
+                target=_recompute_after_barrier, args=(barrier, str(spill))
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        plane = read_derived(derived_path_for(spill, 32))
         assert plane.trace_name == callret_trace.name
         assert plane.content_hash == trace_content_hash(callret_trace)
 

@@ -153,6 +153,42 @@ class TestTraceCache:
         cache.get(paths[0])  # evicted -> miss again
         assert cache.misses == 4
 
+    def test_same_tick_same_size_rewrite_invalidates(
+        self, tiny_trace, tmp_path
+    ):
+        """A rewrite the stat key cannot see must still miss.
+
+        Same record count and name give an identical file size, and the
+        mtime is pinned back to the original's, simulating a coarse-
+        granularity filesystem where a rewrite lands within one tick.
+        Only the header content-hash check can catch this.
+        """
+        import os
+
+        path = tmp_path / "t.trace"
+        write_trace_v2(tiny_trace, path)
+        stat = os.stat(path)
+        cache = TraceCache(capacity=2)
+        cache.get(path)
+        shifted = Trace(
+            name=tiny_trace.name,
+            pcs=tiny_trace.pcs,
+            types=tiny_trace.types,
+            takens=tiny_trace.takens,
+            targets=tiny_trace.targets + np.uint64(4),
+            gaps=tiny_trace.gaps,
+        )
+        write_trace_v2(shifted, path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        after = os.stat(path)
+        assert (after.st_size, after.st_mtime_ns) == (
+            stat.st_size, stat.st_mtime_ns,
+        )  # the stat key really is blind to this rewrite
+        reloaded = cache.get(path)
+        assert np.array_equal(reloaded.targets, shifted.targets)
+        assert cache.misses == 2
+        assert len(cache) == 1
+
     def test_reads_v1_spills_too(self, tiny_trace, tmp_path):
         path = tmp_path / "v1.trace"
         write_trace_v1(tiny_trace, path)
