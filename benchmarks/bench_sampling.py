@@ -1,0 +1,283 @@
+"""Sampled-simulation accuracy and speedup gate.
+
+Builds a long phase-structured trace (five workload phases with
+distinct branch mixes), round-trips it through the ChampSim text
+adapter so the measured input is a genuinely *ingested* external
+trace, then compares full simulation against SimPoint-style sampled
+simulation (:func:`repro.sim.simulate_sampled`) for each predictor:
+
+* **wall clock** — full replay vs plan construction + region replay
+  (both arms on the scalar backend, best-of-``repeats``);
+* **accuracy** — full-trace MPKI vs the weighted region estimate.
+
+The phases use moderate Markov determinism (0.55-0.65) so learning
+predictors reach their entropy floor quickly; on such stationary
+workloads the SimPoint estimate is unbiased.  High-determinism traces
+whose full MPKI is dominated by the cold-start learning transient are
+exactly where truncated-warm-up sampling is known to drift — see
+docs/ingestion.md for the caveats.
+
+Run as the CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_sampling.py --quick --gate
+
+``--gate`` exits non-zero unless, for every predictor, the sampled
+wall-clock speedup clears ``--min-speedup`` (default 5x) and the MPKI
+relative error stays under ``--max-error`` (default 10%).  The
+measurement is written to ``results/sampling_accuracy.json`` with
+host-environment metadata.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.envinfo import environment_metadata
+from repro.core.blbp import BLBP
+from repro.predictors import ITTAGE, BranchTargetBuffer
+from repro.sim import simulate, simulate_sampled
+from repro.trace.ingest import write_champsim_trace
+from repro.trace.sampling import simpoint_plan
+from repro.trace.source import FileSource
+from repro.trace.stream import Trace
+from repro.workloads import (
+    CallReturnSpec,
+    InterpreterSpec,
+    SwitchCaseSpec,
+    VirtualDispatchSpec,
+)
+
+PREDICTORS = {"BTB": BranchTargetBuffer, "ITTAGE": ITTAGE, "BLBP": BLBP}
+
+
+def phase_specs(records_per_phase: int):
+    """Five phases with distinct branch mixes and target entropies."""
+    n = records_per_phase
+    return [
+        VirtualDispatchSpec(
+            name="ph-vd8", seed=11, num_records=n,
+            num_sites=4, num_types=8, determinism=0.6,
+        ),
+        SwitchCaseSpec(
+            name="ph-sw24", seed=22, num_records=n,
+            num_cases=24, determinism=0.55,
+        ),
+        InterpreterSpec(name="ph-interp", seed=33, num_records=n),
+        CallReturnSpec(
+            name="ph-cr12", seed=44, num_records=n,
+            num_callbacks=12, determinism=0.6,
+        ),
+        VirtualDispatchSpec(
+            name="ph-vd16", seed=55, num_records=n,
+            num_sites=2, num_types=16, determinism=0.65,
+        ),
+    ]
+
+
+def build_phased_trace(records_per_phase: int) -> Trace:
+    """Concatenate the phase traces into one long phase-structured run."""
+    segments = [spec.generate() for spec in phase_specs(records_per_phase)]
+    return Trace(
+        "phased-long",
+        np.concatenate([t.pcs for t in segments]),
+        np.concatenate([t.types for t in segments]),
+        np.concatenate([t.takens for t in segments]),
+        np.concatenate([t.targets for t in segments]),
+        np.concatenate([t.gaps for t in segments]),
+    )
+
+
+def ingest_round_trip(trace: Trace, directory: Path) -> Trace:
+    """Write the trace as ChampSim text and re-ingest it via FileSource."""
+    path = directory / "phased-long.champsim.txt"
+    write_champsim_trace(trace, path)
+    return FileSource(path).trace()
+
+
+def measure_sampling(
+    records_per_phase: int,
+    interval_records: int,
+    max_regions: int,
+    warmup_intervals: int,
+    repeats: int,
+) -> dict:
+    """Full vs sampled wall clock and MPKI for each predictor.
+
+    Both arms replay on the scalar backend so the comparison isolates
+    the record reduction (plus plan overhead) from backend choice.
+    MPKI values are asserted identical across repeats — sampling is
+    deterministic end to end.
+    """
+    trace = build_phased_trace(records_per_phase)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        ingested = ingest_round_trip(trace, Path(tmp))
+    if len(ingested) != len(trace):
+        raise AssertionError("ChampSim round-trip changed the record count")
+
+    plan = simpoint_plan(
+        ingested, interval_records,
+        max_regions=max_regions, warmup_intervals=warmup_intervals,
+    )
+    rows = []
+    for name, factory in PREDICTORS.items():
+        best_full = best_sampled = None
+        full_mpki = estimated_mpki = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            full = simulate(factory(), ingested)
+            full_elapsed = time.perf_counter() - started
+
+            started = time.perf_counter()
+            # Plan construction is charged to the sampled arm: a real
+            # consumer pays for clustering before the first region runs.
+            run_plan = simpoint_plan(
+                ingested, interval_records,
+                max_regions=max_regions, warmup_intervals=warmup_intervals,
+            )
+            sampled = simulate_sampled(
+                factory, ingested, plan=run_plan
+            )
+            sampled_elapsed = time.perf_counter() - started
+
+            if full_mpki is not None and (
+                full.mpki() != full_mpki
+                or sampled.estimated_mpki != estimated_mpki
+            ):
+                raise AssertionError(f"{name} MPKI drifted across repeats")
+            full_mpki = full.mpki()
+            estimated_mpki = sampled.estimated_mpki
+            best_full = (
+                full_elapsed if best_full is None
+                else min(best_full, full_elapsed)
+            )
+            best_sampled = (
+                sampled_elapsed if best_sampled is None
+                else min(best_sampled, sampled_elapsed)
+            )
+        relative_error = (
+            abs(estimated_mpki - full_mpki) / full_mpki
+            if full_mpki else 0.0
+        )
+        rows.append({
+            "predictor": name,
+            "full_mpki": round(full_mpki, 4),
+            "estimated_mpki": round(estimated_mpki, 4),
+            "relative_error": round(relative_error, 4),
+            "full_seconds": round(best_full, 4),
+            "sampled_seconds": round(best_sampled, 4),
+            "speedup": round(best_full / best_sampled, 2),
+        })
+
+    return {
+        "environment": environment_metadata(),
+        "records": len(ingested),
+        "records_per_phase": records_per_phase,
+        "phases": [spec.name for spec in phase_specs(records_per_phase)],
+        "interval_records": interval_records,
+        "max_regions": max_regions,
+        "warmup_intervals": warmup_intervals,
+        "regions": len(plan.regions),
+        "replayed_records": plan.replayed_records,
+        "record_reduction": round(len(ingested) / plan.replayed_records, 2),
+        "repeats": repeats,
+        "predictors": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sampled-simulation accuracy and speedup gate"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single repeat for CI (same trace and plan geometry)",
+    )
+    parser.add_argument(
+        "--records-per-phase", type=int, default=200_000,
+        help="records per workload phase (5 phases total)",
+    )
+    parser.add_argument("--interval", type=int, default=10_000)
+    parser.add_argument("--regions", type=int, default=5)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero unless every predictor clears both bounds",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="minimum sampled wall-clock speedup (default 5x)",
+    )
+    parser.add_argument(
+        "--max-error", type=float, default=0.10,
+        help="maximum MPKI relative error (default 0.10)",
+    )
+    parser.add_argument(
+        "--out", default="results/sampling_accuracy.json",
+        help="where to write the measurement (empty string to skip)",
+    )
+    args = parser.parse_args(argv)
+    repeats = (
+        args.repeats if args.repeats is not None
+        else (1 if args.quick else 2)
+    )
+
+    summary = measure_sampling(
+        args.records_per_phase, args.interval, args.regions,
+        args.warmup, repeats,
+    )
+    print(
+        f"trace     {summary['records']:,} records, "
+        f"{summary['regions']} regions of {summary['interval_records']:,} "
+        f"(+{summary['warmup_intervals']} warm-up intervals), "
+        f"{summary['replayed_records']:,} replayed "
+        f"({summary['record_reduction']:.1f}x record reduction)"
+    )
+    for row in summary["predictors"]:
+        print(
+            f"{row['predictor']:<8} full {row['full_mpki']:>8.4f} MPKI "
+            f"({row['full_seconds']:.2f}s)  "
+            f"est {row['estimated_mpki']:>8.4f} MPKI "
+            f"({row['sampled_seconds']:.2f}s)  "
+            f"err {row['relative_error'] * 100:>5.1f}%  "
+            f"speedup {row['speedup']:.1f}x"
+        )
+    if args.gate:
+        print(
+            f"gate      ≥{args.min_speedup}x speedup, "
+            f"≤{args.max_error * 100:.0f}% relative error"
+        )
+
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
+    if args.gate:
+        failures = []
+        for row in summary["predictors"]:
+            if row["speedup"] < args.min_speedup:
+                failures.append(
+                    f"{row['predictor']} speedup {row['speedup']:.2f}x "
+                    f"below {args.min_speedup}x"
+                )
+            if row["relative_error"] > args.max_error:
+                failures.append(
+                    f"{row['predictor']} relative error "
+                    f"{row['relative_error'] * 100:.1f}% above "
+                    f"{args.max_error * 100:.0f}%"
+                )
+        if failures:
+            print("FAIL: " + "; ".join(failures), file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@ Commands:
 * ``suite``     — list the 88-workload suite (Table 1);
 * ``generate``  — generate a named suite trace (or all) to disk;
 * ``stats``     — workload-characterization statistics for traces;
+* ``import``    — ingest an external trace (ChampSim/gem5/CSV) to RPTRACE2;
+* ``trace``     — trace utilities (``trace info``: identity + branch mix);
 * ``simulate``  — run predictors over traces or suite samples;
 * ``search``    — design-space search over BLBP configurations;
 * ``budgets``   — predictor hardware budgets (Table 2);
@@ -18,7 +20,10 @@ Examples::
     python -m repro suite
     python -m repro generate SHORT-MOBILE-1 --out /tmp/sm1.trace
     python -m repro stats /tmp/sm1.trace
+    python -m repro import branches.champsim.txt --out branches.trace
+    python -m repro trace info branches.trace
     python -m repro simulate --predictors BTB,ITTAGE,BLBP --stride 16
+    python -m repro simulate --traces branches.trace --sample 4
     python -m repro simulate --jobs 4 --resume campaign.jsonl --stride 8
     python -m repro simulate --jobs 4 --resume c.jsonl --checkpoint-every 100000
     python -m repro simulate --nodes 4 --resume campaign.jsonl --stride 8
@@ -53,8 +58,8 @@ from repro.sim import (
 )
 from repro.trace.record import BranchType
 from repro.trace.stats import compute_stats
-from repro.trace.stream import read_trace, write_trace
-from repro.trace.textio import read_text_trace, write_text_trace
+from repro.trace.stream import write_trace
+from repro.trace.textio import write_text_trace
 from repro.workloads.suite import suite88_specs
 from repro.workloads.validation import format_report, validate_trace
 
@@ -93,10 +98,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _load_trace(path: str):
-    """Load a trace, dispatching on extension (.csv = text format)."""
-    if str(path).endswith(".csv"):
-        return read_text_trace(path)
-    return read_trace(path)
+    """Load a trace in any readable format (RPTRACE, CSV, ingested)."""
+    from repro.trace.ingest import load_any_trace
+
+    return load_any_trace(path)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -117,6 +122,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         most = max(stats.targets_per_branch.values(), default=0)
         print(f"  max targets/branch  {most}")
     return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    """Ingest an external trace file into an RPTRACE2 spill."""
+    from repro.trace.ingest import IngestError, detect_format
+    from repro.trace.source import FileSource, SourceError
+
+    try:
+        source = FileSource(args.path, format=args.format, name=args.name)
+        detected = args.format or detect_format(args.path)
+        wrote = source.spill(Path(args.out))
+    except (IngestError, SourceError, ValueError, OSError) as exc:
+        print(f"import error: {exc}", file=sys.stderr)
+        return 1
+    verb = "wrote" if wrote else "unchanged (content hash matches)"
+    print(
+        f"{verb} {args.out}: {source.name!r}, {len(source)} records "
+        f"(from {detected}), hash {source.content_hash()[:16]}"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    """Identity + branch mix for trace files in any readable format."""
+    from repro.trace.ingest import IngestError, detect_format
+    from repro.trace.source import FileSource, SourceError
+
+    status = 0
+    for path in args.traces:
+        try:
+            detected = detect_format(path)
+            source = FileSource(path, format=detected)
+            trace = source.trace()
+        except (IngestError, SourceError, ValueError, OSError) as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        indirect = (
+            trace.types == int(BranchType.INDIRECT_JUMP)
+        ) | (trace.types == int(BranchType.INDIRECT_CALL))
+        distinct_indirect = len(set(trace.pcs[indirect].tolist()))
+        print(f"{path}:")
+        print(f"  name             {trace.name}")
+        print(f"  format           {detected}")
+        print(f"  records          {len(trace)}")
+        print(f"  instructions     {int(trace.gaps.sum()) + len(trace)}")
+        print(f"  content hash     {source.content_hash()}")
+        for branch_type in BranchType:
+            count = int((trace.types == int(branch_type)).sum())
+            share = 100.0 * count / len(trace)
+            print(
+                f"  {branch_type.name.lower():<16} {count:>10} "
+                f"({share:5.1f}%)"
+            )
+        print(f"  distinct indirect PCs {distinct_indirect}")
+    return status
 
 
 def _parse_predictors(raw: str) -> Dict[str, Callable[[], IndirectBranchPredictor]]:
@@ -158,6 +219,40 @@ def _make_pool(nodes):
     return NodePool(nodes=nodes)
 
 
+def _run_sampled(args: argparse.Namespace, factories, traces) -> int:
+    """The ``simulate --sample N`` path: SimPoint-style MPKI estimates."""
+    from repro.sim import simulate_sampled
+    from repro.trace.sampling import simpoint_plan
+
+    print(
+        f"{'trace':<28} {'predictor':<12} {'est MPKI':>9} {'regions':>7} "
+        f"{'replayed':>9} {'full':>9} {'reduction':>9}"
+    )
+    for trace in traces:
+        plan = simpoint_plan(
+            trace,
+            args.sample_interval,
+            max_regions=args.sample,
+            warmup_intervals=args.sample_warmup,
+        )
+        for name, factory in factories.items():
+            result = simulate_sampled(
+                factory,
+                trace,
+                plan=plan,
+                backend=args.backend,
+                checkpoint_dir=args.sample_checkpoints,
+            )
+            print(
+                f"{trace.name:<28} {name:<12} "
+                f"{result.estimated_mpki:>9.4f} "
+                f"{len(plan.regions):>7} {result.replayed_records:>9} "
+                f"{result.full_records:>9} "
+                f"{result.record_reduction:>8.1f}x"
+            )
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.exec import ProgressLineSink, resolve_jobs, run_campaign_parallel
     from repro.exec.plan import plan_summary
@@ -170,6 +265,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         entries = suite88_specs(args.scale)[:: args.stride]
         print(f"generating {len(entries)} suite traces ...", file=sys.stderr)
         traces = [entry.generate() for entry in entries]
+    if args.sample:
+        return _run_sampled(args, factories, traces)
     if args.dry_run:
         print(_format_plan_summary(
             plan_summary(traces, factories, fuse=args.fuse,
@@ -525,6 +622,32 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("traces", nargs="+", help="trace files")
     stats.set_defaults(func=_cmd_stats)
 
+    import_cmd = sub.add_parser(
+        "import",
+        help="ingest an external trace (ChampSim/gem5/CSV) to RPTRACE2",
+    )
+    import_cmd.add_argument("path", help="input trace file")
+    import_cmd.add_argument("--out", required=True,
+                            help="output RPTRACE2 spill path")
+    import_cmd.add_argument(
+        "--format", choices=("rptrace", "csv", "champsim", "gem5"),
+        default=None, help="input format (default: auto-detect)",
+    )
+    import_cmd.add_argument(
+        "--name", default=None,
+        help="trace name (default: from the file header or filename)",
+    )
+    import_cmd.set_defaults(func=_cmd_import)
+
+    trace_cmd = sub.add_parser("trace", help="trace utilities")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_info = trace_sub.add_parser(
+        "info",
+        help="identity, branch mix, and content hash of trace files",
+    )
+    trace_info.add_argument("traces", nargs="+", help="trace files")
+    trace_info.set_defaults(func=_cmd_trace_info)
+
     simulate = sub.add_parser("simulate", help="run predictors over traces")
     simulate.add_argument(
         "--predictors", default="BTB,ITTAGE,BLBP",
@@ -575,6 +698,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="print the campaign plan (cells, fusion groups, distinct "
              "traces, estimated spill bytes) and exit without simulating",
+    )
+    simulate.add_argument(
+        "--sample", type=int, default=0, metavar="N",
+        help="SimPoint-style sampled simulation: estimate each trace's "
+             "MPKI from at most N representative regions instead of a "
+             "full replay (default 0 = full replay)",
+    )
+    simulate.add_argument(
+        "--sample-interval", type=int, default=5000, metavar="M",
+        help="records per sampling interval for --sample (default 5000)",
+    )
+    simulate.add_argument(
+        "--sample-warmup", type=int, default=1, metavar="K",
+        help="warm-up intervals replayed (untallied) before each "
+             "sampled region (default 1)",
+    )
+    simulate.add_argument(
+        "--sample-checkpoints", metavar="DIR", default=None,
+        help="cache per-region warm-up state as simulation checkpoints "
+             "in DIR; later --sample runs skip the warm-up replay",
     )
     simulate.set_defaults(func=_cmd_simulate)
 

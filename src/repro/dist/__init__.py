@@ -27,6 +27,13 @@ Entry points: pass ``pool=`` to :func:`repro.exec.pool.execute_plan`
 / :func:`repro.exec.run_campaign_parallel`, set ``REPRO_NODES=n``,
 or use ``repro simulate --nodes n`` / ``repro search --nodes n`` /
 ``repro nodes`` from the CLI.  See ``docs/distributed.md``.
+
+Trace provenance (:mod:`repro.trace.source`) is resolved entirely
+coordinator-side: lazy sources — workload specs, ingested files,
+sampled views — materialize once at plan time into RPTRACE2 spills,
+and only those spills ship to nodes, content-hash keyed as ever.
+Workers never see a source, so distributing an ingested or sampled
+campaign requires no new protocol and changes no journal bytes.
 """
 
 from repro.dist.merge import (

@@ -35,7 +35,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.runner import PredictorFactory
 from repro.trace.plane import spilled_hash, trace_content_hash, write_trace_v2
+from repro.trace.source import TraceSource, as_source
 from repro.trace.stream import Trace
+
+#: What campaigns accept as a trace: an in-memory :class:`Trace`, any
+#: :class:`~repro.trace.source.TraceSource`, or a workload spec with
+#: ``.name``/``.generate()`` — all coerced via
+#: :func:`repro.trace.source.as_source`.
+TraceLike = Union[Trace, TraceSource, object]
 
 #: (trace_name, predictor_name) — the identity of one campaign cell.
 CellKey = Tuple[str, str]
@@ -281,7 +288,7 @@ def checkpoint_name(spec: "CellSpec") -> str:
 
 
 def plan_campaign(
-    traces: Iterable[Trace],
+    traces: Iterable[TraceLike],
     factories: Dict[str, PredictorFactory],
     cache_dir: Union[str, Path],
     ras_depth: int = 32,
@@ -291,8 +298,13 @@ def plan_campaign(
 ) -> CampaignPlan:
     """Expand a campaign into a :class:`CampaignPlan`.
 
-    Every trace is written once into ``cache_dir`` (created if needed)
-    and each of its cells points at that file.  Cell order matches
+    ``traces`` may mix in-memory :class:`Trace`s, lazy
+    :class:`~repro.trace.source.TraceSource`s, and workload specs; each
+    is written once into ``cache_dir`` (created if needed) and each of
+    its cells points at that file.  Lazy sources materialize only here,
+    at spill time, and are released again afterwards — a plan over
+    workload sources produces byte-identical spills, cells, and journals
+    to one over eagerly generated traces.  Cell order matches
     :func:`repro.sim.runner.run_campaign`: traces outermost, factories
     in dict order — so a merged parallel campaign is cell-for-cell
     identical to a serial one.
@@ -301,7 +313,7 @@ def plan_campaign(
         PlanError: on duplicate trace names (they would alias one
             journal/result cell) or an empty factory map.
     """
-    traces = list(traces)
+    sources = [as_source(trace) for trace in traces]
     if not factories:
         raise PlanError("campaign needs at least one predictor factory")
     from repro.sim.engine import BACKENDS
@@ -310,7 +322,7 @@ def plan_campaign(
         raise PlanError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
-    names = [trace.name for trace in traces]
+    names = [source.name for source in sources]
     duplicates = {name for name in names if names.count(name) > 1}
     if duplicates:
         raise PlanError(
@@ -327,20 +339,22 @@ def plan_campaign(
 
     cells: List[CellSpec] = []
     index = 0
-    for trace_index, trace in enumerate(traces):
-        path = cache_dir / _spill_name(trace_index, trace.name)
-        spill_trace(trace, path)
+    for trace_index, source in enumerate(sources):
+        path = cache_dir / _spill_name(trace_index, source.name)
+        source.spill(path)
+        records = len(source)
+        source.release()
         for predictor_name, ref in refs.items():
             cells.append(
                 CellSpec(
                     index=index,
-                    trace_name=trace.name,
+                    trace_name=source.name,
                     predictor_name=predictor_name,
                     trace_path=str(path),
                     factory=ref,
                     ras_depth=ras_depth,
                     warmup_records=warmup_records,
-                    records=len(trace),
+                    records=records,
                     profile=profile,
                     backend=backend,
                 )
@@ -355,7 +369,7 @@ SPILL_OVERHEAD_BYTES = 512
 
 
 def plan_summary(
-    traces: Iterable[Trace],
+    traces: Iterable[TraceLike],
     factories: Dict[str, PredictorFactory],
     fuse: bool = True,
     profile: bool = False,
@@ -366,13 +380,14 @@ def plan_summary(
     the cell count, scheduling-unit/fusion-group shape, the number of
     distinct traces a distributed pool would ship, and an estimate of
     total spill bytes (:func:`repro.trace.plane.record_nbytes` per
-    record plus a fixed per-file overhead).  Pure arithmetic on the
-    already-generated traces — no files are written.
+    record plus a fixed per-file overhead).  No files are written;
+    sources with header metadata (e.g. RPTRACE2 files) are sized
+    without decoding, others materialize once for the count.
     """
     from repro.trace.plane import record_nbytes
 
-    traces = list(traces)
-    names = {trace.name for trace in traces}
+    traces = [as_source(trace) for trace in traces]
+    names = {source.name for source in traces}
     cells = len(traces) * len(factories)
     # Mirrors fuse_cells over plan_campaign's trace-major order:
     # each trace's cells are adjacent and fuse into one group unless
@@ -408,6 +423,7 @@ __all__ = [
     "FusedCellSpec",
     "PlanError",
     "SPILL_OVERHEAD_BYTES",
+    "TraceLike",
     "checkpoint_name",
     "fuse_cells",
     "plan_summary",

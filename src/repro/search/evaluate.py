@@ -43,8 +43,8 @@ from repro.core.config import BLBPConfig
 from repro.exec import resolve_jobs
 from repro.exec.events import EventSink
 from repro.exec.plan import CampaignPlan, CellSpec, FactoryRef, _spill_name
-from repro.exec.plan import spill_trace
 from repro.exec.pool import execute_plan
+from repro.trace.source import as_source
 from repro.trace.stream import Trace
 
 
@@ -116,10 +116,10 @@ class GenerationEvaluator:
         pool=None,
         backend: str = "scalar",
     ) -> None:
-        traces = list(traces)
-        if not traces:
+        sources = [as_source(trace) for trace in traces]
+        if not sources:
             raise EvaluationError("evaluator needs at least one trace")
-        names = [trace.name for trace in traces]
+        names = [source.name for source in sources]
         duplicates = {name for name in names if names.count(name) > 1}
         if duplicates:
             raise EvaluationError(
@@ -150,14 +150,17 @@ class GenerationEvaluator:
             else cache_dir
         )
         self._dir.mkdir(parents=True, exist_ok=True)
-        # Spill every trace exactly once; cells reference these paths
-        # for the evaluator's whole lifetime.  A reused cache_dir whose
-        # spills already match by content hash is left untouched.
+        # Spill every source exactly once; cells reference these paths
+        # for the evaluator's whole lifetime.  Lazy sources (workload
+        # specs, files, sampled views) materialize only here, then are
+        # released.  A reused cache_dir whose spills already match by
+        # content hash is left untouched.
         self._spilled: List[Tuple[str, str, int]] = []
-        for index, trace in enumerate(traces):
-            path = self._dir / _spill_name(index, trace.name)
-            spill_trace(trace, path)
-            self._spilled.append((trace.name, str(path), len(trace)))
+        for index, source in enumerate(sources):
+            path = self._dir / _spill_name(index, source.name)
+            source.spill(path)
+            self._spilled.append((source.name, str(path), len(source)))
+            source.release()
         #: (candidate key, subset size) → mean MPKI over that subset.
         self._memo: Dict[Tuple[str, int], float] = {}
         #: Candidates actually simulated (memo misses), cumulative.

@@ -16,7 +16,13 @@ from repro.sim.checkpoint import (
     save_checkpoint,
 )
 from repro.sim.counters import SimCounters, aggregate_profiles, format_counters
-from repro.sim.engine import simulate, simulate_conditional, simulate_many
+from repro.sim.engine import (
+    SampledSimulationResult,
+    simulate,
+    simulate_conditional,
+    simulate_many,
+    simulate_sampled,
+)
 from repro.sim.metrics import CampaignResult, SimulationResult
 from repro.sim.performance import PipelineModel
 from repro.sim.ras import ReturnAddressStack
@@ -33,6 +39,8 @@ __all__ = [
     "simulate",
     "simulate_conditional",
     "simulate_many",
+    "simulate_sampled",
+    "SampledSimulationResult",
     "DEFAULT_CHECKPOINT_INTERVAL",
     "SimulationCheckpoint",
     "discard_checkpoint",

@@ -18,13 +18,19 @@ runtime at multi-million-record scale.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.predictors.base import IndirectBranchPredictor
 from repro.sim import kernel
-from repro.sim.checkpoint import SimulationCheckpoint, save_checkpoint
+from repro.sim.checkpoint import (
+    SimulationCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.sim.counters import SimCounters
 from repro.sim.metrics import SimulationResult
 from repro.sim.ras import ReturnAddressStack
@@ -397,6 +403,225 @@ def simulate(
         result.profile = cell.as_dict()
         counters.merge(cell)
     return result
+
+
+@dataclass
+class SampledSimulationResult:
+    """Outcome of a SimPoint-style sampled simulation.
+
+    ``estimated_mpki`` is the cluster-weight-combined MPKI of the
+    measured windows — the sampled estimate of what a full-trace
+    :func:`simulate` would report.  Per-region detail rides along for
+    diagnostics and accuracy audits.
+    """
+
+    trace_name: str
+    predictor_name: str
+    estimated_mpki: float
+    #: Records in the full trace vs. records actually replayed
+    #: (warm-up + measured); their ratio bounds the achievable speedup.
+    full_records: int
+    replayed_records: int
+    region_results: List[SimulationResult] = dataclass_field(
+        default_factory=list
+    )
+    region_mpki: List[float] = dataclass_field(default_factory=list)
+    #: Regions whose warm-up was restored from a cached
+    #: :class:`SimulationCheckpoint` instead of replayed.
+    warm_checkpoint_hits: int = 0
+
+    @property
+    def record_reduction(self) -> float:
+        """Full-trace records per replayed record (≥ 1)."""
+        if self.replayed_records == 0:
+            return float("inf")
+        return self.full_records / self.replayed_records
+
+
+def _warm_checkpoint_path(
+    checkpoint_dir, trace_hash: str, region, fresh_hash: str
+) -> "Path":
+    """Content-addressed warm-up checkpoint file for one region.
+
+    Keyed on the *trace content hash*, the region geometry, and the
+    hash of the predictor's fresh (pre-simulation) state — which pins
+    the predictor class and its full configuration — so a stale file
+    can never warm the wrong predictor or the wrong trace bytes.
+    """
+    from pathlib import Path
+
+    name = (
+        f"warm-{trace_hash[:16]}-{region.start}-{region.warmup}"
+        f"-{fresh_hash[:16]}.ckpt.json"
+    )
+    return Path(checkpoint_dir) / name
+
+
+def simulate_sampled(
+    factory: Callable[[], IndirectBranchPredictor],
+    trace: Trace,
+    plan=None,
+    interval_records: int = 5000,
+    max_regions: int = 4,
+    warmup_intervals: int = 1,
+    ras_depth: int = 32,
+    collect_per_pc: bool = False,
+    backend: str = "scalar",
+    checkpoint_dir=None,
+) -> SampledSimulationResult:
+    """Estimate full-trace MPKI from SimPoint-style sampled regions.
+
+    Each region of ``plan`` (built via
+    :func:`repro.trace.sampling.simpoint_plan` when not supplied) is
+    simulated independently with a *fresh* predictor from ``factory``:
+    the region's warm-up span is replayed untallied
+    (``warmup_records``), the measured window is tallied, and the
+    region's MPKI is computed over the measured window's own
+    instructions.  The full-trace estimate is the cluster-weighted sum
+    of region MPKIs — the SimPoint estimator at trace granularity.
+
+    Args:
+        factory: zero-argument predictor factory (a fresh instance per
+            region; regions are independent by construction).
+        trace: the **full** trace the plan was cut from.
+        plan: a :class:`~repro.trace.sampling.SamplingPlan`; built from
+            ``interval_records``/``max_regions``/``warmup_intervals``
+            when omitted.
+        ras_depth, collect_per_pc, backend: forwarded to
+            :func:`simulate` per region (the columnar backend
+            accelerates sampled spans exactly as it does full runs).
+        checkpoint_dir: when given, each region's post-warm-up state is
+            cached as a PR 4 :class:`SimulationCheckpoint` in a
+            content-addressed file; later calls with the same trace
+            bytes, region geometry, and predictor configuration restore
+            it through the engine's ``resume_from`` path and skip the
+            warm-up replay entirely.  Results are bit-identical either
+            way (resume is per-branch identical by construction).
+
+    Returns:
+        A :class:`SampledSimulationResult`; its ``region_results``
+        entries are ordinary :class:`SimulationResult`s over the
+        warm+measure windows.
+    """
+    from repro.trace.sampling import SamplingPlan, simpoint_plan, window
+
+    if plan is None:
+        plan = simpoint_plan(
+            trace,
+            interval_records,
+            max_regions=max_regions,
+            warmup_intervals=warmup_intervals,
+        )
+    if not isinstance(plan, SamplingPlan):
+        raise TypeError(
+            f"plan must be a SamplingPlan, got {type(plan).__name__}"
+        )
+    if plan.trace_name != trace.name or plan.records != len(trace):
+        raise ValueError(
+            f"plan is for {plan.trace_name!r} ({plan.records} records), "
+            f"not {trace.name!r} ({len(trace)} records)"
+        )
+    _check_backend(backend)
+
+    trace_hash: Optional[str] = None
+    if checkpoint_dir is not None:
+        from pathlib import Path
+
+        from repro.trace.plane import trace_content_hash
+
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
+        trace_hash = trace_content_hash(trace)
+
+    region_results: List[SimulationResult] = []
+    region_mpki: List[float] = []
+    estimated = 0.0
+    predictor_name = ""
+    warm_hits = 0
+    for region in plan.regions:
+        sub = window(
+            trace, region.start - region.warmup,
+            region.warmup + region.length,
+        )
+        predictor = factory()
+        predictor_name = predictor.name
+        result: Optional[SimulationResult] = None
+        checkpoint_path = None
+        if checkpoint_dir is not None and region.warmup:
+            checkpoint_path = _warm_checkpoint_path(
+                checkpoint_dir, trace_hash, region, predictor.state_hash()
+            )
+            cached = load_checkpoint(checkpoint_path)
+            if (
+                cached is not None
+                and cached.trace_name == sub.name
+                and cached.predictor_name == predictor.name
+                and cached.cursor == region.warmup
+            ):
+                # Warm-up restored, not replayed: the engine's resume
+                # machinery replays only the measured window.
+                result = simulate(
+                    predictor,
+                    sub,
+                    ras_depth=ras_depth,
+                    warmup_records=region.warmup,
+                    collect_per_pc=collect_per_pc,
+                    resume_from=cached,
+                )
+                warm_hits += 1
+        if result is None:
+            if checkpoint_path is not None:
+                # Cold pass: capture the post-warm-up state through the
+                # checkpoint hook (fires at every warm-up-sized span;
+                # only the warm-boundary snapshot is kept).
+                def keep_warm_boundary(
+                    snapshot: SimulationCheckpoint,
+                    _path=checkpoint_path,
+                    _warm=region.warmup,
+                ) -> None:
+                    if snapshot.cursor == _warm:
+                        save_checkpoint(snapshot, _path)
+
+                result = simulate(
+                    predictor,
+                    sub,
+                    ras_depth=ras_depth,
+                    warmup_records=region.warmup,
+                    collect_per_pc=collect_per_pc,
+                    checkpoint_every=region.warmup,
+                    on_checkpoint=keep_warm_boundary,
+                )
+            else:
+                result = simulate(
+                    predictor,
+                    sub,
+                    ras_depth=ras_depth,
+                    warmup_records=region.warmup,
+                    collect_per_pc=collect_per_pc,
+                    backend=backend,
+                )
+        stop = region.start + region.length
+        measured_instructions = (
+            int(trace.gaps[region.start:stop].sum()) + region.length
+        )
+        mpki = (
+            1000.0 * result.indirect_mispredictions / measured_instructions
+            if measured_instructions
+            else 0.0
+        )
+        region_results.append(result)
+        region_mpki.append(mpki)
+        estimated += region.weight * mpki
+
+    return SampledSimulationResult(
+        trace_name=trace.name,
+        predictor_name=predictor_name,
+        estimated_mpki=estimated,
+        full_records=plan.records,
+        replayed_records=plan.replayed_records,
+        region_results=region_results,
+        region_mpki=region_mpki,
+        warm_checkpoint_hits=warm_hits,
+    )
 
 
 def _replay_span_many(

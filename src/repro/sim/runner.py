@@ -22,6 +22,7 @@ from repro.predictors.base import IndirectBranchPredictor
 from repro.sim.counters import SimCounters
 from repro.sim.engine import simulate
 from repro.sim.metrics import CampaignResult
+from repro.trace.source import as_source
 from repro.trace.stream import Trace
 
 #: A callable producing a fresh predictor instance.
@@ -87,7 +88,11 @@ def run_campaign(
     """Simulate every predictor over every trace.
 
     Args:
-        traces: the workload suite.
+        traces: the workload suite — in-memory :class:`Trace`s, lazy
+            :class:`~repro.trace.source.TraceSource`s, or workload
+            specs (coerced via :func:`~repro.trace.source.as_source`;
+            lazy sources materialize when their cells run and are
+            released after).
         factories: predictor-name → factory map; the name overrides the
             predictor's own ``name`` in results so one campaign can
             compare multiple configurations of the same class.
@@ -104,12 +109,13 @@ def run_campaign(
     Returns:
         A :class:`CampaignResult` with one cell per (trace, predictor).
     """
-    traces = list(traces)
-    total = len(traces) * len(factories)
+    sources = [as_source(trace) for trace in traces]
+    total = len(sources) * len(factories)
     arity = progress_arity(progress) if progress is not None else 3
     campaign = CampaignResult()
     index = 0
-    for trace in traces:
+    for source in sources:
+        trace = source.trace()
         for name, factory in factories.items():
             predictor = factory()
             result = simulate(
@@ -127,4 +133,5 @@ def run_campaign(
                 arity=arity,
             )
             index += 1
+        source.release()
     return campaign

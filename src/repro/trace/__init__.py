@@ -26,7 +26,35 @@ from repro.trace.plane import (
     trace_content_hash,
     write_trace_v2,
 )
+from repro.trace.ingest import (
+    IngestError,
+    detect_format,
+    load_any_trace,
+    read_champsim_trace,
+    read_gem5_trace,
+    write_champsim_trace,
+    write_gem5_trace,
+)
 from repro.trace.record import BranchRecord, BranchType
+from repro.trace.sampling import (
+    SampledRegion,
+    SamplingPlan,
+    interval_features,
+    kmedoids,
+    representative_window,
+    simpoint_plan,
+    systematic_sample,
+    window,
+)
+from repro.trace.source import (
+    FileSource,
+    MaterializedSource,
+    SampledSource,
+    SourceError,
+    TraceSource,
+    WorkloadSource,
+    as_source,
+)
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.stream import Trace, read_trace, write_trace, write_trace_v1
 
@@ -53,4 +81,26 @@ __all__ = [
     "write_derived",
     "TraceStats",
     "compute_stats",
+    "IngestError",
+    "detect_format",
+    "load_any_trace",
+    "read_champsim_trace",
+    "read_gem5_trace",
+    "write_champsim_trace",
+    "write_gem5_trace",
+    "SampledRegion",
+    "SamplingPlan",
+    "interval_features",
+    "kmedoids",
+    "representative_window",
+    "simpoint_plan",
+    "systematic_sample",
+    "window",
+    "TraceSource",
+    "MaterializedSource",
+    "WorkloadSource",
+    "FileSource",
+    "SampledSource",
+    "SourceError",
+    "as_source",
 ]

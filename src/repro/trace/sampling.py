@@ -1,27 +1,47 @@
-"""Trace sampling: simpoint-style windows over long traces.
+"""Trace sampling: SimPoint-style region selection over long traces.
 
 The paper's SPEC traces are simpoints — representative one-billion-
 instruction windows chosen from much longer executions (§4.2).  When a
-user imports a long real trace (:mod:`repro.trace.textio`), simulating
-all of it may be impractical in Python; these utilities extract
-windows the way the simpoint methodology does at trace granularity:
+user imports a long real trace (:mod:`repro.trace.ingest`), simulating
+all of it is impractical in Python; this module reproduces the SimPoint
+methodology at branch-trace granularity:
+
+* :func:`interval_features` — cut the trace into fixed-size intervals
+  and summarize each as a feature vector (branch-type mix, conditional
+  taken rate, and a hashed PC profile — the trace-level analogue of
+  SimPoint's basic-block vectors);
+* :func:`kmedoids` — deterministic k-medoids clustering (greedy
+  farthest-first seeding from the 1-medoid optimum, then alternating
+  assignment/medoid-update sweeps) over those vectors;
+* :func:`simpoint_plan` — the full pipeline: one representative
+  (medoid) interval per cluster, each weighted by its cluster's share
+  of full-trace instructions and prefixed by a warm-up span, packaged
+  as a :class:`SamplingPlan` that
+  :func:`repro.sim.engine.simulate_sampled` executes.
+
+The pre-existing light-weight helpers remain:
 
 * :func:`window` — one contiguous record window;
-* :func:`systematic_sample` — every k-th window, concatenated (the
-  cheap stand-in for clustering-based simpoint selection);
-* :func:`representative_window` — the window whose branch-type mix is
-  closest (L1 distance) to the whole trace's, a light-weight analogue
-  of picking the phase nearest the centroid.
+* :func:`systematic_sample` — every k-th window, concatenated;
+* :func:`representative_window` — the single window whose branch-type
+  mix is closest (L1) to the whole trace's.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.trace.record import BranchType
 from repro.trace.stream import Trace, concatenate
+
+#: Buckets in the hashed-PC profile component of interval features.
+PC_PROFILE_BUCKETS = 16
+
+#: Fibonacci-hash multiplier (2^64 / phi) for PC bucketing.
+_PC_HASH_MULTIPLIER = np.uint64(11400714819323198485)
 
 
 def window(trace: Trace, start: int, length: int) -> Trace:
@@ -90,3 +110,243 @@ def representative_window(trace: Trace, window_records: int) -> Trace:
             best_distance = distance
             best_start = start
     return window(trace, best_start, window_records)
+
+
+# -- SimPoint-style region selection ----------------------------------
+
+
+@dataclass(frozen=True)
+class SampledRegion:
+    """One representative interval of a sampling plan."""
+
+    #: First record of the measured window.
+    start: int
+    #: Records in the measured window.
+    length: int
+    #: Records replayed *before* ``start`` to warm predictor state
+    #: (trained but not tallied; clamped to the trace head).
+    warmup: int
+    #: This region's cluster's share of full-trace instructions; the
+    #: plan's weights sum to 1.
+    weight: float
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Which regions of a trace to simulate, and how to weigh them.
+
+    Produced by :func:`simpoint_plan`; executed by
+    :func:`repro.sim.engine.simulate_sampled`, which estimates the
+    full trace's MPKI as the weight-combined MPKI of the measured
+    windows.
+    """
+
+    trace_name: str
+    #: Records in the full trace the plan was cut from.
+    records: int
+    interval_records: int
+    #: Intervals the trace was cut into (the last may be short).
+    num_intervals: int
+    regions: Tuple[SampledRegion, ...]
+
+    @property
+    def replayed_records(self) -> int:
+        """Records actually simulated (warm-up + measured windows)."""
+        return sum(r.warmup + r.length for r in self.regions)
+
+    @property
+    def measured_records(self) -> int:
+        """Records whose predictions are tallied."""
+        return sum(r.length for r in self.regions)
+
+
+def _interval_bounds(records: int, interval_records: int) -> List[Tuple[int, int]]:
+    """``(start, length)`` per interval; the tail keeps its short length."""
+    bounds = []
+    start = 0
+    while start < records:
+        bounds.append((start, min(interval_records, records - start)))
+        start += interval_records
+    return bounds
+
+
+def interval_features(trace: Trace, interval_records: int) -> np.ndarray:
+    """Per-interval feature matrix (num_intervals × features).
+
+    Each row summarizes one fixed-size interval with components that are
+    all fractions in [0, 1], so L1 distances weigh them comparably:
+
+    * 6 branch-type shares (the mix :func:`representative_window` uses);
+    * the taken rate of the interval's conditionals;
+    * a :data:`PC_PROFILE_BUCKETS`-bucket profile of Fibonacci-hashed
+      branch PCs — the trace-granularity stand-in for SimPoint's
+      basic-block vectors, separating phases that share a branch mix
+      but execute different code.
+    """
+    if interval_records < 1:
+        raise ValueError(
+            f"interval_records must be >= 1, got {interval_records}"
+        )
+    bounds = _interval_bounds(len(trace), interval_records)
+    num_types = len(BranchType)
+    features = np.zeros(
+        (len(bounds), num_types + 1 + PC_PROFILE_BUCKETS), dtype=np.float64
+    )
+    hashed = (
+        (trace.pcs * _PC_HASH_MULTIPLIER) >> np.uint64(64 - 4)
+    ).astype(np.intp)
+    cond = trace.types == np.uint8(int(BranchType.CONDITIONAL))
+    for row, (start, length) in enumerate(bounds):
+        stop = start + length
+        types = trace.types[start:stop]
+        counts = np.bincount(types, minlength=num_types)[:num_types]
+        features[row, :num_types] = counts / length
+        cond_here = cond[start:stop]
+        cond_count = int(np.count_nonzero(cond_here))
+        if cond_count:
+            taken = int(np.count_nonzero(trace.takens[start:stop] & cond_here))
+            features[row, num_types] = taken / cond_count
+        profile = np.bincount(
+            hashed[start:stop], minlength=PC_PROFILE_BUCKETS
+        )[:PC_PROFILE_BUCKETS]
+        features[row, num_types + 1:] = profile / length
+    return features
+
+
+def kmedoids(
+    features: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+    max_iterations: int = 32,
+) -> Tuple[List[int], np.ndarray]:
+    """Deterministic k-medoids over L1 distances.
+
+    Seeding is greedy: the first medoid is the 1-medoid optimum (the
+    point minimizing total weighted distance), each further medoid the
+    point farthest from its nearest existing medoid.  Then alternate
+    assignment and per-cluster medoid updates until stable.  No RNG —
+    identical inputs always yield identical plans, which campaign
+    journals and resume paths rely on.
+
+    Returns ``(medoid_indices, assignment)`` where ``assignment[i]`` is
+    the position *within the medoid list* of point ``i``'s cluster.
+    """
+    points = len(features)
+    if points == 0:
+        raise ValueError("kmedoids needs at least one point")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, points)
+    if weights is None:
+        weights = np.ones(points, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (points,):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match {points} points"
+        )
+    # Full pairwise L1 matrix: intervals number in the hundreds, so the
+    # O(n^2 · d) cost is trivial next to simulating even one interval.
+    distances = np.abs(
+        features[:, None, :] - features[None, :, :]
+    ).sum(axis=2)
+
+    medoids = [int(np.argmin(distances @ weights))]
+    while len(medoids) < k:
+        nearest = distances[:, medoids].min(axis=1)
+        candidate = int(np.argmax(nearest))
+        if nearest[candidate] == 0.0:
+            break  # every point coincides with a medoid; k was too big
+        medoids.append(candidate)
+
+    for _ in range(max_iterations):
+        assignment = np.argmin(distances[:, medoids], axis=1)
+        updated = []
+        for slot in range(len(medoids)):
+            members = np.flatnonzero(assignment == slot)
+            if len(members) == 0:  # pragma: no cover - defensive
+                updated.append(medoids[slot])
+                continue
+            within = distances[np.ix_(members, members)] @ weights[members]
+            updated.append(int(members[int(np.argmin(within))]))
+        if updated == medoids:
+            break
+        medoids = updated
+    assignment = np.argmin(distances[:, medoids], axis=1)
+    return medoids, assignment
+
+
+def simpoint_plan(
+    trace: Trace,
+    interval_records: int,
+    max_regions: int = 4,
+    warmup_intervals: int = 1,
+) -> SamplingPlan:
+    """Select representative regions of ``trace``, SimPoint style.
+
+    The trace is cut into ``interval_records``-sized intervals, each
+    summarized by :func:`interval_features` and weighted by its
+    instruction count; :func:`kmedoids` picks at most ``max_regions``
+    medoid intervals, and each becomes a :class:`SampledRegion` whose
+    weight is its cluster's share of full-trace instructions and whose
+    warm-up is ``warmup_intervals`` preceding intervals (clamped at the
+    trace head).  Regions come back sorted by start record.
+
+    A trace no longer than one interval degenerates to a single
+    full-coverage region with weight 1 and no warm-up.
+    """
+    if warmup_intervals < 0:
+        raise ValueError(
+            f"warmup_intervals must be >= 0, got {warmup_intervals}"
+        )
+    if max_regions < 1:
+        raise ValueError(f"max_regions must be >= 1, got {max_regions}")
+    records = len(trace)
+    if records == 0:
+        raise ValueError("cannot sample an empty trace")
+    if interval_records >= records:
+        return SamplingPlan(
+            trace_name=trace.name,
+            records=records,
+            interval_records=interval_records,
+            num_intervals=1,
+            regions=(
+                SampledRegion(start=0, length=records, warmup=0, weight=1.0),
+            ),
+        )
+    bounds = _interval_bounds(records, interval_records)
+    features = interval_features(trace, interval_records)
+    # Instruction weight per interval: gaps plus the branches themselves.
+    instructions = np.array(
+        [
+            float(trace.gaps[start:start + length].sum()) + length
+            for start, length in bounds
+        ],
+        dtype=np.float64,
+    )
+    medoids, assignment = kmedoids(
+        features, max_regions, weights=instructions
+    )
+    total_instructions = float(instructions.sum())
+    regions = []
+    for slot, medoid in enumerate(medoids):
+        start, length = bounds[medoid]
+        cluster_instructions = float(
+            instructions[assignment == slot].sum()
+        )
+        warmup = min(start, warmup_intervals * interval_records)
+        regions.append(
+            SampledRegion(
+                start=start,
+                length=length,
+                warmup=warmup,
+                weight=cluster_instructions / total_instructions,
+            )
+        )
+    regions.sort(key=lambda region: region.start)
+    return SamplingPlan(
+        trace_name=trace.name,
+        records=records,
+        interval_records=interval_records,
+        num_intervals=len(bounds),
+        regions=tuple(regions),
+    )

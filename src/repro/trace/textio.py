@@ -32,12 +32,27 @@ _TYPE_NAMES = {bt.name.lower(): int(bt) for bt in BranchType}
 
 
 def _parse_int(token: str, line_number: int, what: str) -> int:
+    # pc/target are documented as hex whether or not they carry an "0x"
+    # prefix; base 16 accepts both spellings (a bare "ff" used to fall
+    # through to int(token, 0) and raise, and a bare "10" misparsed as
+    # decimal ten).
     token = token.strip()
     try:
-        return int(token, 16) if token.lower().startswith("0x") else int(token, 0)
+        return int(token, 16)
     except ValueError:
         raise ValueError(
             f"line {line_number}: bad {what} {token!r}"
+        ) from None
+
+
+def _parse_gap(token: str, line_number: int) -> int:
+    # Gaps are decimal instruction counts, unlike the hex pc/target.
+    token = token.strip()
+    try:
+        return int(token, 10)
+    except ValueError:
+        raise ValueError(
+            f"line {line_number}: bad gap {token!r}"
         ) from None
 
 
@@ -96,7 +111,7 @@ def read_text_trace(path: Union[str, Path], name: str = None) -> Trace:
                     f"taken"
                 )
             target = _parse_int(fields[3], line_number, "target")
-            gap = _parse_int(fields[4], line_number, "gap")
+            gap = _parse_gap(fields[4], line_number)
             if gap < 0:
                 raise ValueError(f"line {line_number}: negative gap {gap}")
             pcs.append(pc)

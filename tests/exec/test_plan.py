@@ -113,3 +113,69 @@ class TestPlanCampaign:
         )
         loaded = read_trace(plan.cells[0].trace_path)
         assert loaded.name == "a/b c:δ"
+
+
+class TestPlanOverSources:
+    """Plans accept Trace | TraceSource | workload spec interchangeably."""
+
+    def _spec(self, name="vd-src"):
+        from repro.workloads import VirtualDispatchSpec
+
+        return VirtualDispatchSpec(
+            name=name, seed=7, num_records=400, num_types=4, num_sites=2,
+        )
+
+    def test_sources_plan_identically_to_traces(self, tmp_path):
+        from repro.trace.source import WorkloadSource
+
+        spec = self._spec()
+        eager = plan_campaign(
+            [spec.generate()], {"BTB": BranchTargetBuffer},
+            cache_dir=tmp_path / "eager",
+        )
+        lazy = plan_campaign(
+            [WorkloadSource(spec)], {"BTB": BranchTargetBuffer},
+            cache_dir=tmp_path / "lazy",
+        )
+        for left, right in zip(eager.cells, lazy.cells):
+            assert left.trace_name == right.trace_name
+            assert left.records == right.records
+            assert left.key == right.key
+        # Identical spill bytes — journals and worker caches can't tell.
+        eager_spill = (tmp_path / "eager" / "0000-vd-src.trace").read_bytes()
+        lazy_spill = (tmp_path / "lazy" / "0000-vd-src.trace").read_bytes()
+        assert eager_spill == lazy_spill
+
+    def test_bare_spec_accepted(self, tmp_path):
+        plan = plan_campaign(
+            [self._spec()], {"BTB": BranchTargetBuffer}, cache_dir=tmp_path,
+        )
+        assert plan.cells[0].trace_name == "vd-src"
+        assert plan.cells[0].records == 400
+
+    def test_spill_once_keyed_on_content_hash(self, tiny_trace, tmp_path):
+        plan_campaign([tiny_trace], {"BTB": BranchTargetBuffer},
+                      cache_dir=tmp_path)
+        spill = tmp_path / f"0000-{tiny_trace.name}.trace"
+        stamp = spill.stat().st_mtime_ns
+        plan_campaign([tiny_trace], {"BTB": BranchTargetBuffer},
+                      cache_dir=tmp_path)
+        assert spill.stat().st_mtime_ns == stamp
+
+    def test_lazy_source_released_after_planning(self, tmp_path):
+        from repro.trace.source import WorkloadSource
+
+        source = WorkloadSource(self._spec())
+        plan_campaign([source], {"BTB": BranchTargetBuffer},
+                      cache_dir=tmp_path)
+        assert source._trace is None  # spilled, then dropped
+
+    def test_plan_summary_over_sources(self):
+        from repro.exec.plan import plan_summary
+        from repro.trace.source import WorkloadSource
+
+        spec = self._spec()
+        eager = plan_summary([spec.generate()], {"BTB": BranchTargetBuffer})
+        lazy = plan_summary([WorkloadSource(spec)],
+                            {"BTB": BranchTargetBuffer})
+        assert eager == lazy

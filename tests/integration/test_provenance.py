@@ -1,0 +1,139 @@
+"""End-to-end trace-provenance guarantees.
+
+The TraceSource layer is behavior-preserving by construction; these
+tests pin the load-bearing consequences:
+
+* campaigns planned over lazy :class:`WorkloadSource`s produce journals
+  **byte-identical** to campaigns over eagerly generated traces (the
+  88-workload identity criterion, exercised on a suite subset here and
+  in full by the CI suite jobs);
+* an ingested external trace simulates bit-identically across the
+  scalar/columnar backends and the solo/fused execution paths;
+* sampled simulation composes with ingestion.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.exec import run_campaign_parallel
+from repro.predictors import ITTAGE, BranchTargetBuffer, TwoBitBTB
+from repro.sim.runner import run_campaign
+from repro.trace.ingest import load_any_trace
+from repro.trace.source import FileSource, WorkloadSource
+from repro.workloads.suite import suite88_specs
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "ingest"
+CHAMPSIM_FIXTURE = FIXTURES / "mini.champsim.txt"
+
+FACTORIES = {"BTB": BranchTargetBuffer, "2bit": TwoBitBTB, "ITTAGE": ITTAGE}
+
+
+def _suite_subset(count=4, scale=0.02):
+    return suite88_specs(scale)[:: max(1, 88 // count)][:count]
+
+
+class TestWorkloadSourceJournalIdentity:
+    def test_journal_bytes_identical_to_eager_traces(self, tmp_path):
+        entries = _suite_subset()
+        eager_journal = tmp_path / "eager.jsonl"
+        run_campaign_parallel(
+            [entry.generate() for entry in entries], FACTORIES,
+            jobs=1, journal_path=eager_journal,
+            cache_dir=tmp_path / "eager-cache",
+        )
+        lazy_journal = tmp_path / "lazy.jsonl"
+        run_campaign_parallel(
+            [WorkloadSource(entry) for entry in entries], FACTORIES,
+            jobs=1, journal_path=lazy_journal,
+            cache_dir=tmp_path / "lazy-cache",
+        )
+        assert eager_journal.read_bytes() == lazy_journal.read_bytes()
+
+    def test_serial_campaign_identical_over_specs(self):
+        entries = _suite_subset(count=2)
+        eager = run_campaign(
+            [entry.generate() for entry in entries], FACTORIES
+        )
+        lazy = run_campaign(entries, FACTORIES)  # specs coerce to sources
+        for trace_name in eager.traces():
+            for predictor in eager.predictors():
+                assert (
+                    eager.results[trace_name][predictor]
+                    == lazy.results[trace_name][predictor]
+                )
+
+    def test_state_hashes_identical_over_specs(self):
+        from repro.sim import simulate
+
+        entry = _suite_subset(count=1)[0]
+        eager_predictor = ITTAGE()
+        simulate(eager_predictor, entry.generate())
+        lazy_predictor = ITTAGE()
+        simulate(lazy_predictor, WorkloadSource(entry).trace())
+        assert (
+            eager_predictor.state_hash() == lazy_predictor.state_hash()
+        )
+
+
+class TestIngestedTraceIdentity:
+    @pytest.fixture()
+    def ingested(self):
+        return load_any_trace(CHAMPSIM_FIXTURE)
+
+    def test_scalar_columnar_journals_identical(self, ingested, tmp_path):
+        journals = {}
+        for backend in ("scalar", "columnar"):
+            path = tmp_path / f"{backend}.jsonl"
+            run_campaign_parallel(
+                [ingested], FACTORIES, jobs=1, journal_path=path,
+                cache_dir=tmp_path / f"{backend}-cache", backend=backend,
+            )
+            journals[backend] = path.read_bytes()
+        assert journals["scalar"] == journals["columnar"]
+
+    def test_fused_unfused_journals_identical(self, ingested, tmp_path):
+        journals = {}
+        for fuse in (True, False):
+            path = tmp_path / f"fuse-{fuse}.jsonl"
+            run_campaign_parallel(
+                [ingested], FACTORIES, jobs=1, journal_path=path,
+                cache_dir=tmp_path / f"fuse-{fuse}-cache", fuse=fuse,
+            )
+            journals[fuse] = path.read_bytes()
+        assert journals[True] == journals[False]
+
+    def test_file_source_plans_like_loaded_trace(self, ingested, tmp_path):
+        left = tmp_path / "loaded.jsonl"
+        run_campaign_parallel(
+            [ingested], FACTORIES, jobs=1, journal_path=left,
+            cache_dir=tmp_path / "loaded-cache",
+        )
+        right = tmp_path / "source.jsonl"
+        run_campaign_parallel(
+            [FileSource(CHAMPSIM_FIXTURE)], FACTORIES, jobs=1,
+            journal_path=right, cache_dir=tmp_path / "source-cache",
+        )
+        assert left.read_bytes() == right.read_bytes()
+
+
+class TestSampledComposition:
+    def test_sampled_simulation_of_ingested_trace(self):
+        from repro.sim import simulate_sampled
+
+        trace = load_any_trace(CHAMPSIM_FIXTURE)
+        result = simulate_sampled(
+            BranchTargetBuffer, trace, interval_records=20, max_regions=2
+        )
+        assert result.full_records == len(trace)
+        assert result.replayed_records <= len(trace)
+        assert result.estimated_mpki >= 0.0
+
+    def test_sampled_source_runs_through_campaign(self, tmp_path):
+        from repro.trace.source import SampledSource
+
+        source = SampledSource(
+            FileSource(CHAMPSIM_FIXTURE), interval_records=20, regions=2
+        )
+        campaign = run_campaign([source], {"BTB": BranchTargetBuffer})
+        assert campaign.traces() == [source.name]

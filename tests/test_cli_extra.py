@@ -69,3 +69,84 @@ class TestRegistryCommand:
         # Fingerprints separate configs that behave differently from a
         # cold start.
         assert by_name["BTB"]["fingerprint"] != by_name["2bit-BTB"]["fingerprint"]
+
+
+class TestImportCommand:
+    FIXTURE = "tests/fixtures/ingest/mini.champsim.txt"
+
+    def test_import_writes_rptrace2(self, tmp_path, capsys):
+        out = str(tmp_path / "mini.trace")
+        assert main(["import", self.FIXTURE, "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "champsim-mini" in text and "80 records" in text
+        from repro.trace.stream import read_trace
+
+        assert len(read_trace(out)) == 80
+
+    def test_reimport_skips_identical_spill(self, tmp_path, capsys):
+        out = str(tmp_path / "mini.trace")
+        assert main(["import", self.FIXTURE, "--out", out]) == 0
+        assert main(["import", self.FIXTURE, "--out", out]) == 0
+        assert "unchanged" in capsys.readouterr().out
+
+    def test_rename_on_import(self, tmp_path, capsys):
+        out = str(tmp_path / "mini.trace")
+        assert main(["import", self.FIXTURE, "--out", out,
+                     "--name", "renamed"]) == 0
+        from repro.trace.stream import read_trace
+
+        assert read_trace(out).name == "renamed"
+
+    def test_missing_input_fails_cleanly(self, tmp_path, capsys):
+        assert main(["import", str(tmp_path / "nope"), "--out",
+                     str(tmp_path / "o.trace")]) == 1
+        assert "import error" in capsys.readouterr().err
+
+
+class TestTraceInfoCommand:
+    def test_info_on_ingested_formats(self, capsys):
+        assert main(["trace", "info",
+                     "tests/fixtures/ingest/mini.champsim.txt",
+                     "tests/fixtures/ingest/mini.gem5.txt"]) == 0
+        out = capsys.readouterr().out
+        assert "champsim-mini" in out and "gem5-mini" in out
+        assert "content hash" in out
+        assert "distinct indirect PCs" in out
+
+    def test_info_error_sets_exit_code(self, tmp_path, capsys):
+        missing = str(tmp_path / "absent.trace")
+        assert main(["trace", "info", missing]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulateExternalAndSampled:
+    def test_simulate_champsim_file_directly(self, capsys):
+        assert main(["simulate", "--traces",
+                     "tests/fixtures/ingest/mini.champsim.txt",
+                     "--predictors", "BTB"]) == 0
+        assert "champsim-mini" in capsys.readouterr().out
+
+    def test_sample_flag_prints_estimates(self, tmp_path, capsys):
+        path = str(tmp_path / "t.trace")
+        assert main(["generate", "SHORT-SERVER-1", "--out", path,
+                     "--scale", "0.3"]) == 0
+        assert main(["simulate", "--traces", path, "--predictors", "BTB",
+                     "--sample", "2", "--sample-interval", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "est MPKI" in out
+        assert "reduction" in out
+
+    def test_sample_checkpoint_dir(self, tmp_path, capsys):
+        path = str(tmp_path / "t.trace")
+        assert main(["generate", "SHORT-SERVER-1", "--out", path,
+                     "--scale", "0.3"]) == 0
+        capsys.readouterr()  # drop the generate output
+        ckpt = tmp_path / "warm"
+        argv = ["simulate", "--traces", path, "--predictors", "BTB",
+                "--sample", "2", "--sample-interval", "500",
+                "--sample-checkpoints", str(ckpt)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(ckpt.glob("*.ckpt.json"))
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first  # warm run, same numbers

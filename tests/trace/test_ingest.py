@@ -1,0 +1,234 @@
+"""Tests for the external-trace ingestion adapters."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.trace.ingest import (
+    IngestError,
+    detect_format,
+    load_any_trace,
+    read_champsim_trace,
+    read_gem5_trace,
+    write_champsim_trace,
+    write_gem5_trace,
+)
+from repro.trace.record import BranchType
+from repro.trace.stream import write_trace
+from repro.trace.textio import write_text_trace
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "ingest"
+CHAMPSIM_FIXTURE = FIXTURES / "mini.champsim.txt"
+GEM5_FIXTURE = FIXTURES / "mini.gem5.txt"
+
+
+def _assert_traces_equal(left, right):
+    assert left.name == right.name
+    np.testing.assert_array_equal(left.pcs, right.pcs)
+    np.testing.assert_array_equal(left.types, right.types)
+    np.testing.assert_array_equal(left.takens, right.takens)
+    np.testing.assert_array_equal(left.targets, right.targets)
+    np.testing.assert_array_equal(left.gaps, right.gaps)
+
+
+class TestChampsimFixture:
+    def test_parses(self):
+        trace = read_champsim_trace(CHAMPSIM_FIXTURE)
+        assert trace.name == "champsim-mini"
+        assert len(trace) == 80
+        # The fixture exercises every branch class.
+        for branch_type in BranchType:
+            assert trace.count_of(branch_type) > 0
+
+    def test_bare_and_prefixed_hex_agree(self):
+        trace = read_champsim_trace(CHAMPSIM_FIXTURE)
+        # Line 1 writes the loop pc bare ("400100"), line 2 the dispatch
+        # pc 0x-prefixed ("0x400200"); both must land as hex.
+        assert trace[0].pc == 0x400100
+        assert trace[1].pc == 0x400200
+
+    def test_explicit_name_wins(self):
+        trace = read_champsim_trace(CHAMPSIM_FIXTURE, name="renamed")
+        assert trace.name == "renamed"
+
+    def test_round_trip(self, tmp_path):
+        trace = read_champsim_trace(CHAMPSIM_FIXTURE)
+        out = tmp_path / "again.champsim.txt"
+        write_champsim_trace(trace, out)
+        _assert_traces_equal(read_champsim_trace(out), trace)
+
+
+class TestChampsimParsing:
+    def _load(self, tmp_path, text, **kwargs):
+        path = tmp_path / "t.champsim.txt"
+        path.write_text(text)
+        return read_champsim_trace(path, **kwargs)
+
+    def test_taken_spellings(self, tmp_path):
+        trace = self._load(
+            tmp_path,
+            "100 200 T BRANCH_CONDITIONAL\n"
+            "100 200 N BRANCH_CONDITIONAL\n"
+            "100 200 1 BRANCH_CONDITIONAL\n"
+            "100 200 0 BRANCH_CONDITIONAL\n",
+        )
+        assert trace.takens.tolist() == [True, False, True, False]
+
+    def test_gap_optional(self, tmp_path):
+        trace = self._load(
+            tmp_path,
+            "100 200 1 BRANCH_CONDITIONAL\n100 200 1 BRANCH_CONDITIONAL 7\n",
+        )
+        assert trace.gaps.tolist() == [0, 7]
+
+    def test_branch_indirect_maps_to_indirect_jump(self, tmp_path):
+        trace = self._load(tmp_path, "100 200 1 BRANCH_INDIRECT\n")
+        assert trace[0].branch_type is BranchType.INDIRECT_JUMP
+
+    def test_prefixless_and_case_insensitive_types(self, tmp_path):
+        trace = self._load(
+            tmp_path,
+            "100 200 1 indirect_call\n100 200 1 branch_return\n",
+        )
+        assert trace[0].branch_type is BranchType.INDIRECT_CALL
+        assert trace[1].branch_type is BranchType.RETURN
+
+    def test_unknown_class_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="line 1.*branch class"):
+            self._load(tmp_path, "100 200 1 BRANCH_MAGIC\n")
+
+    def test_bad_field_count_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="4 or 5 fields"):
+            self._load(tmp_path, "100 200 1\n")
+
+    def test_not_taken_unconditional_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="must be taken"):
+            self._load(tmp_path, "100 200 0 BRANCH_RETURN\n")
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="no branch records"):
+            self._load(tmp_path, "# only a comment\n")
+
+
+class TestGem5Fixture:
+    def test_parses_and_skips_noise(self):
+        trace = read_gem5_trace(GEM5_FIXTURE)
+        assert trace.name == "gem5-mini"
+        # 48 branch records; fetch-noise and stats-banner lines skipped.
+        assert len(trace) == 48
+        for branch_type in BranchType:
+            assert trace.count_of(branch_type) > 0
+
+    def test_icount_deltas_become_gaps(self):
+        trace = read_gem5_trace(GEM5_FIXTURE)
+        # The fixture writes icount deltas of 3 + (i + j) % 5; each gap
+        # is delta - 1 (the delta includes the branch itself).
+        assert trace[1].inst_gap == (3 + 1) - 1
+
+    def test_round_trip(self, tmp_path):
+        trace = read_gem5_trace(GEM5_FIXTURE)
+        out = tmp_path / "again.gem5.txt"
+        write_gem5_trace(trace, out)
+        _assert_traces_equal(read_gem5_trace(out), trace)
+
+
+class TestGem5Parsing:
+    def _load(self, tmp_path, text, **kwargs):
+        path = tmp_path / "t.gem5.txt"
+        path.write_text(text)
+        return read_gem5_trace(path, **kwargs)
+
+    def test_explicit_gap_wins_over_icount(self, tmp_path):
+        trace = self._load(
+            tmp_path,
+            "5: cpu: pc=0x10 target=0x20 taken=1 type=CondCtrl gap=9\n",
+        )
+        assert trace[0].inst_gap == 9
+
+    def test_missing_required_key_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="missing taken"):
+            self._load(tmp_path, "5: cpu: pc=0x10 target=0x20 type=Cond\n")
+
+    def test_unknown_flavor_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="control flavor"):
+            self._load(
+                tmp_path,
+                "5: cpu: pc=0x10 target=0x20 taken=1 type=WarpCtrl\n",
+            )
+
+    def test_icount_backwards_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="icount went backwards"):
+            self._load(
+                tmp_path,
+                "5: cpu: pc=0x10 target=0x20 taken=1 type=CondCtrl "
+                "icount=50\n"
+                "6: cpu: pc=0x10 target=0x20 taken=1 type=CondCtrl "
+                "icount=40\n",
+            )
+
+    def test_shorthand_flavors(self, tmp_path):
+        trace = self._load(
+            tmp_path,
+            "5: cpu: pc=0x10 target=0x20 taken=1 type=indirect\n"
+            "6: cpu: pc=0x10 target=0x20 taken=1 type=call\n",
+        )
+        assert trace[0].branch_type is BranchType.INDIRECT_JUMP
+        assert trace[1].branch_type is BranchType.DIRECT_CALL
+
+
+class TestDetectFormat:
+    def test_magic_wins(self, tmp_path, tiny_trace):
+        path = tmp_path / "t.gem5.txt"  # misleading suffix
+        write_trace(tiny_trace, path)
+        assert detect_format(path) == "rptrace"
+
+    def test_suffix_hints(self):
+        assert detect_format(CHAMPSIM_FIXTURE) == "champsim"
+        assert detect_format(GEM5_FIXTURE) == "gem5"
+
+    def test_content_sniffing(self, tmp_path, tiny_trace):
+        csv = tmp_path / "mystery1"
+        write_text_trace(tiny_trace, csv)
+        assert detect_format(csv) == "csv"
+        champsim = tmp_path / "mystery2"
+        write_champsim_trace(tiny_trace, champsim)
+        assert detect_format(champsim) == "champsim"
+        gem5 = tmp_path / "mystery3"
+        gem5.write_text("5: cpu: pc=0x10 target=0x20 taken=1 type=Cond\n")
+        assert detect_format(gem5) == "gem5"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_text("# nothing\n")
+        with pytest.raises(IngestError, match="empty file"):
+            detect_format(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "garbage"
+        path.write_text("one two three four five six seven\n")
+        with pytest.raises(IngestError, match="unrecognized"):
+            detect_format(path)
+
+
+class TestLoadAnyTrace:
+    def test_all_formats_yield_same_columns(self, tmp_path, tiny_trace):
+        spill = tmp_path / "t.trace"
+        write_trace(tiny_trace, spill)
+        csv = tmp_path / "t.csv"
+        write_text_trace(tiny_trace, csv)
+        champsim = tmp_path / "t.champsim.txt"
+        write_champsim_trace(tiny_trace, champsim)
+        gem5 = tmp_path / "t.gem5.txt"
+        write_gem5_trace(tiny_trace, gem5)
+        for path in (spill, csv, champsim, gem5):
+            _assert_traces_equal(load_any_trace(path), tiny_trace)
+
+    def test_rename_on_load(self, tmp_path, tiny_trace):
+        spill = tmp_path / "t.trace"
+        write_trace(tiny_trace, spill)
+        assert load_any_trace(spill, name="other").name == "other"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="unknown trace format"):
+            load_any_trace(CHAMPSIM_FIXTURE, format="elf")

@@ -1,13 +1,31 @@
 """Tests for simpoint-style trace sampling."""
 
+import numpy as np
 import pytest
 
 from repro.trace.record import BranchType
 from repro.trace.sampling import (
+    PC_PROFILE_BUCKETS,
+    interval_features,
+    kmedoids,
     representative_window,
+    simpoint_plan,
     systematic_sample,
     window,
 )
+from repro.trace.stream import Trace
+
+
+def _uniform_trace(records: int, name: str = "uniform") -> Trace:
+    """Every record identical: one conditional, always taken, gap 3."""
+    return Trace(
+        name=name,
+        pcs=np.full(records, 0x4000, dtype=np.uint64),
+        types=np.zeros(records, dtype=np.uint8),
+        takens=np.ones(records, dtype=bool),
+        targets=np.full(records, 0x4010, dtype=np.uint64),
+        gaps=np.full(records, 3, dtype=np.uint32),
+    )
 
 
 class TestWindow:
@@ -68,3 +86,148 @@ class TestRepresentativeWindow:
 
     def test_small_trace_returned_whole(self, tiny_trace):
         assert representative_window(tiny_trace, 100) is tiny_trace
+
+    def test_uniform_trace_picks_first_window(self):
+        # Every window's mix matches the whole, so the scan's strict
+        # improvement test keeps the first candidate.
+        trace = _uniform_trace(300)
+        chosen = representative_window(trace, 100)
+        assert "[0:100]" in chosen.name
+
+    def test_window_size_one(self, vdispatch_trace):
+        assert len(representative_window(vdispatch_trace, 1)) == 1
+
+    def test_bad_window_size_rejected(self, vdispatch_trace):
+        with pytest.raises(ValueError, match="window_records"):
+            representative_window(vdispatch_trace, 0)
+
+
+class TestSystematicSampleEdges:
+    def test_zero_length_tail_not_produced(self):
+        # 10 windows of 9 over 100 records: the last window starts at
+        # record 90 and must contain 9 records, not run off the end.
+        trace = _uniform_trace(100)
+        sampled = systematic_sample(trace, 9, 10)
+        assert len(sampled) == 90
+
+    def test_short_tail_window_clamped(self):
+        # stride 33, final window starts at 99 with only 6 records left.
+        trace = _uniform_trace(105)
+        sampled = systematic_sample(trace, 10, 3)
+        assert len(sampled) == 10 + 10 + 10
+
+    def test_window_exactly_at_end(self):
+        trace = _uniform_trace(100)
+        sampled = systematic_sample(trace, 25, 3)
+        assert len(sampled) == 75
+
+
+class TestIntervalFeatures:
+    def test_shape_and_tail(self, vdispatch_trace):
+        features = interval_features(vdispatch_trace, 1500)
+        # 4000 records / 1500 -> 3 intervals (tail of 1000).
+        assert features.shape == (3, 6 + 1 + PC_PROFILE_BUCKETS)
+
+    def test_rows_are_fractions(self, vdispatch_trace):
+        features = interval_features(vdispatch_trace, 1000)
+        assert float(features.min()) >= 0.0
+        assert float(features.max()) <= 1.0
+        # Type shares and the PC profile each sum to 1 per interval.
+        np.testing.assert_allclose(features[:, :6].sum(axis=1), 1.0)
+        np.testing.assert_allclose(features[:, 7:].sum(axis=1), 1.0)
+
+    def test_uniform_trace_identical_rows(self):
+        features = interval_features(_uniform_trace(400), 100)
+        for row in features[1:]:
+            np.testing.assert_array_equal(row, features[0])
+
+    def test_validation(self, vdispatch_trace):
+        with pytest.raises(ValueError, match="interval_records"):
+            interval_features(vdispatch_trace, 0)
+
+
+class TestKMedoids:
+    def test_separated_clusters_found(self):
+        features = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]]
+        )
+        medoids, assignment = kmedoids(features, 2)
+        assert len(medoids) == 2
+        assert assignment[0] == assignment[1]
+        assert assignment[2] == assignment[3]
+        assert assignment[0] != assignment[2]
+
+    def test_deterministic(self, vdispatch_trace):
+        features = interval_features(vdispatch_trace, 500)
+        first = kmedoids(features, 3)
+        second = kmedoids(features, 3)
+        assert first[0] == second[0]
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_k_capped_by_distinct_points(self):
+        features = np.zeros((5, 2))
+        medoids, assignment = kmedoids(features, 3)
+        assert len(medoids) == 1
+        assert set(assignment.tolist()) == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            kmedoids(np.zeros((0, 2)), 1)
+        with pytest.raises(ValueError, match="k must be"):
+            kmedoids(np.zeros((3, 2)), 0)
+        with pytest.raises(ValueError, match="weights shape"):
+            kmedoids(np.zeros((3, 2)), 1, weights=np.ones(2))
+
+
+class TestSimpointPlan:
+    def test_weights_sum_to_one(self, vdispatch_trace):
+        plan = simpoint_plan(vdispatch_trace, 500, max_regions=4)
+        assert abs(sum(r.weight for r in plan.regions) - 1.0) < 1e-9
+
+    def test_regions_sorted_and_in_bounds(self, vdispatch_trace):
+        plan = simpoint_plan(vdispatch_trace, 500, max_regions=4)
+        starts = [r.start for r in plan.regions]
+        assert starts == sorted(starts)
+        for region in plan.regions:
+            assert 0 <= region.start - region.warmup
+            assert region.start + region.length <= len(vdispatch_trace)
+
+    def test_warmup_clamped_at_head(self, vdispatch_trace):
+        plan = simpoint_plan(
+            vdispatch_trace, 500, max_regions=8, warmup_intervals=3
+        )
+        for region in plan.regions:
+            assert region.warmup <= region.start
+            assert region.warmup <= 3 * 500
+
+    def test_degenerate_single_interval(self, tiny_trace):
+        plan = simpoint_plan(tiny_trace, 10_000)
+        assert plan.num_intervals == 1
+        (region,) = plan.regions
+        assert region.start == 0
+        assert region.length == len(tiny_trace)
+        assert region.warmup == 0
+        assert region.weight == 1.0
+
+    def test_uniform_trace_collapses_to_one_region(self):
+        plan = simpoint_plan(_uniform_trace(1000), 100, max_regions=4)
+        assert len(plan.regions) == 1
+        assert plan.regions[0].weight == 1.0
+
+    def test_replayed_vs_measured_records(self, vdispatch_trace):
+        plan = simpoint_plan(vdispatch_trace, 500, max_regions=3)
+        assert plan.measured_records == sum(r.length for r in plan.regions)
+        assert plan.replayed_records == plan.measured_records + sum(
+            r.warmup for r in plan.regions
+        )
+
+    def test_deterministic(self, vdispatch_trace):
+        assert simpoint_plan(vdispatch_trace, 500) == simpoint_plan(
+            vdispatch_trace, 500
+        )
+
+    def test_validation(self, vdispatch_trace):
+        with pytest.raises(ValueError, match="warmup_intervals"):
+            simpoint_plan(vdispatch_trace, 500, warmup_intervals=-1)
+        with pytest.raises(ValueError, match="max_regions"):
+            simpoint_plan(vdispatch_trace, 500, max_regions=0)

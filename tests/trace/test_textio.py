@@ -78,3 +78,44 @@ class TestParsing:
     def test_line_numbers_in_errors(self, tmp_path):
         with pytest.raises(ValueError, match="line 3"):
             self._load(tmp_path, "# c\n0x10,0,1,0x20,0\nbroken,line\n")
+
+
+class TestBareHex:
+    """Bare (non-``0x``) hex pc/target values are documented as supported.
+
+    Regression: ``ff`` used to raise (``int(token, 0)`` rejects bare
+    hex) and ``10`` silently parsed as decimal ten instead of sixteen.
+    """
+
+    def _load(self, tmp_path, text):
+        path = tmp_path / "t.csv"
+        path.write_text(text)
+        return read_text_trace(path)
+
+    def test_bare_hex_letters(self, tmp_path):
+        trace = self._load(tmp_path, "ff,conditional,1,abc0,0\n")
+        assert trace[0].pc == 0xFF
+        assert trace[0].target == 0xABC0
+
+    def test_bare_hex_digits_parse_base_16(self, tmp_path):
+        trace = self._load(tmp_path, "10,conditional,1,20,0\n")
+        assert trace[0].pc == 0x10
+        assert trace[0].target == 0x20
+
+    def test_mixed_spellings_agree(self, tmp_path):
+        bare = self._load(tmp_path, "1f40,indirect_jump,1,2e00,0\n")
+        prefixed = self._load(tmp_path, "0x1f40,indirect_jump,1,0x2e00,0\n")
+        assert bare[0].pc == prefixed[0].pc == 0x1F40
+        assert bare[0].target == prefixed[0].target == 0x2E00
+
+    def test_gap_stays_decimal(self, tmp_path):
+        trace = self._load(tmp_path, "ff,conditional,1,100,10\n")
+        assert trace[0].inst_gap == 10
+
+    def test_bad_pc_still_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="bad pc"):
+            self._load(tmp_path, "xyz,conditional,1,100,0\n")
+
+    def test_bad_gap_rejected_with_line(self, tmp_path):
+        with pytest.raises(ValueError, match="line 1: bad gap"):
+            self._load(tmp_path, "ff,conditional,1,100,0x10\n")
