@@ -50,6 +50,7 @@ from repro.experiments.configs import format_budget_details, format_table2
 from repro.predictors import IndirectBranchPredictor
 from repro.registry import INDIRECT_PREDICTORS, make_indirect
 from repro.sim import (
+    ColumnarUnsupportedError,
     SimCounters,
     aggregate_profiles,
     format_counters,
@@ -662,10 +663,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: REPRO_JOBS env var, else 1)",
     )
     simulate.add_argument(
-        "--backend", choices=("scalar", "columnar"),
+        "--backend", choices=("scalar", "columnar", "columnar-strict"),
         default=os.environ.get("REPRO_BACKEND", "scalar"),
         help="simulation backend: per-record scalar loop or batched "
-             "columnar kernel, results identical "
+             "columnar kernels, results identical; columnar warns and "
+             "falls back to scalar for unsupported predictors, "
+             "columnar-strict errors instead "
              "(default: REPRO_BACKEND env var, else scalar)",
     )
     simulate.add_argument(
@@ -750,9 +753,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: REPRO_JOBS env var, else 1)",
     )
     search.add_argument(
-        "--backend", choices=("scalar", "columnar"),
+        "--backend", choices=("scalar", "columnar", "columnar-strict"),
         default=os.environ.get("REPRO_BACKEND", "scalar"),
-        help="simulation backend for candidate scoring "
+        help="simulation backend for candidate scoring; columnar-strict "
+             "errors on any candidate the kernels cannot replay "
              "(default: REPRO_BACKEND env var, else scalar)",
     )
     search.add_argument(
@@ -890,7 +894,13 @@ def main(argv: List[str] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ColumnarUnsupportedError as exc:
+        # --backend columnar-strict refused to fall back; surface the
+        # kernel's actionable reason instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

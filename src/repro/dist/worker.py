@@ -14,7 +14,12 @@ speaking the :mod:`repro.dist.protocol` over one of two transports:
 
 Received spills live in a content-addressed :class:`TraceStore`
 (``--store``, default a fresh temporary directory), so repeated
-campaigns against a long-lived worker never re-ship a trace.  Cells
+campaigns against a long-lived worker never re-ship a trace.  Finished
+cell results are likewise cached in memory, keyed by ``(trace content
+hash, factory fingerprint, replay parameters)``, so repeated search
+generations (or retried units) never re-simulate an identical cell on
+the same node — fused units serve cached members and run only the
+remainder.  Cells
 execute through the *same* entry points the in-process pool uses —
 :func:`repro.exec.pool.run_cell` / :func:`run_fused_cell` — which is
 what keeps distributed results (and therefore merged journals)
@@ -29,23 +34,59 @@ error reports ``unit_failed`` and keeps serving.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import os
 import socket
 import sys
 import tempfile
+import time
 import uuid
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, BinaryIO, Dict, List, Optional
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple
 
 from repro.dist import protocol
 from repro.dist.store import StoreError, TraceStore
 from repro.exec.journal import result_to_json
 from repro.exec.plan import CellSpec, FusedCellSpec, checkpoint_name
 from repro.exec.pool import run_cell, run_fused_cell
+from repro.sim.metrics import SimulationResult
 
 #: Upper bound on one received protocol line (mirrors the serve limit;
 #: trace chunks are the largest messages and stay well under this).
 MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Bound on the worker's in-memory result cache (entries, LRU).  Results
+#: are tiny (a handful of counters plus an optional per-PC dict), so the
+#: cap is about predictability, not memory pressure.
+RESULT_CACHE_CAPACITY = 1024
+
+
+def _cell_cache_key(raw: Dict[str, Any]) -> Optional[Tuple[str, ...]]:
+    """Cache identity of a wire cell, or ``None`` if uncacheable.
+
+    Keyed by everything that determines the cell's result: the trace
+    *content* hash, the factory fingerprint (its canonical wire form —
+    dotted path or pickle payload — which pins the predictor
+    configuration), and the replay parameters.  The backend is
+    deliberately excluded: scalar and columnar results are bit-identical,
+    so a cell simulated under one backend answers for the other.
+    Profiled cells (results carry timings) and checkpointed cells
+    (mid-trace state on disk) are never cached.
+    """
+    if bool(raw.get("profile", False)) or int(raw.get("checkpoint_every", 0)):
+        return None
+    try:
+        fingerprint = json.dumps(raw["factory"], sort_keys=True)
+    except (KeyError, TypeError, ValueError):
+        return None
+    return (
+        str(raw.get("hash", "")),
+        fingerprint,
+        str(int(raw.get("ras_depth", 32))),
+        str(int(raw.get("warmup", 0))),
+    )
 
 
 class _Disconnect(Exception):
@@ -69,6 +110,13 @@ class DistWorker:
         self.cells_run = 0
         self.units_run = 0
         self.traces_received = 0
+        self.cache_hits = 0
+        #: LRU of finished cell results keyed by :func:`_cell_cache_key`,
+        #: so repeated generations of a search (or retried units) never
+        #: re-simulate an identical cell on this node.
+        self._results: "OrderedDict[Tuple[str, ...], SimulationResult]" = (
+            OrderedDict()
+        )
 
     # -- plumbing ------------------------------------------------------
 
@@ -147,18 +195,61 @@ class DistWorker:
             )
         return cells
 
+    def _serve_cached(
+        self, spec: CellSpec, cached: SimulationResult
+    ) -> SimulationResult:
+        """A fresh result copy for ``spec`` from a cached identical cell.
+
+        The cached counters are content-determined; only the display
+        identity (trace/predictor names) follows the requesting cell.
+        """
+        return dataclasses.replace(
+            cached,
+            trace_name=spec.trace_name,
+            predictor_name=spec.predictor_name,
+            mispredictions_by_pc=dict(cached.mispredictions_by_pc),
+        )
+
     def _handle_run_unit(self, message: Dict[str, Any]) -> None:
         timeout = message.get("timeout")
         timeout = float(timeout) if timeout else None
         try:
             cells = self._build_cells(message)
-            fused = bool(message.get("fused", False)) and len(cells) > 1
+            keys = [_cell_cache_key(raw) for raw in message["cells"]]
+            outcomes: List[Tuple[int, SimulationResult, float]] = []
+            pending: List[Tuple[CellSpec, Optional[Tuple[str, ...]]]] = []
+            for spec, key in zip(cells, keys):
+                cached = self._results.get(key) if key is not None else None
+                if cached is not None:
+                    self._results.move_to_end(key)
+                    self.cache_hits += 1
+                    served = time.perf_counter()
+                    result = self._serve_cached(spec, cached)
+                    outcomes.append(
+                        (spec.index, result, time.perf_counter() - served)
+                    )
+                else:
+                    pending.append((spec, key))
+            fused = bool(message.get("fused", False)) and len(pending) > 1
             if fused:
-                outcomes = run_fused_cell(
-                    FusedCellSpec(cells=tuple(cells)), timeout
+                fresh = run_fused_cell(
+                    FusedCellSpec(
+                        cells=tuple(spec for spec, _ in pending)
+                    ),
+                    timeout,
                 )
             else:
-                outcomes = [run_cell(spec, timeout) for spec in cells]
+                fresh = [run_cell(spec, timeout) for spec, _ in pending]
+            for (spec, key), (index, result, duration) in zip(
+                pending, fresh
+            ):
+                if key is not None:
+                    self._results[key] = result
+                    self._results.move_to_end(key)
+                    while len(self._results) > RESULT_CACHE_CAPACITY:
+                        self._results.popitem(last=False)
+                outcomes.append((index, result, duration))
+            outcomes.sort(key=lambda outcome: outcome[0])
         except _Disconnect:
             raise
         except BaseException as exc:  # noqa: BLE001 - coordinator retries
@@ -188,6 +279,8 @@ class DistWorker:
                 "cells": self.cells_run,
                 "traces_received": self.traces_received,
                 "traces_stored": len(self.store.stored_hashes()),
+                "result_cache_hits": self.cache_hits,
+                "result_cache_size": len(self._results),
             }
         )
 

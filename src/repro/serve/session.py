@@ -27,17 +27,33 @@ the same workload), one pass over the shared events amortizes the
 per-event decode and type dispatch across all of them while issuing
 each session its exact solo call sequence (own RAS, own accumulators),
 so fused stepping is bit-identical to stepping each session alone.
+
+Long event runs take a columnar shortcut: when a run has at least
+:data:`COLUMNAR_STEP_THRESHOLD` events and every hosted predictor has a
+columnar kernel, the run is packed into a transient
+:class:`~repro.trace.stream.Trace` and replayed through
+:func:`repro.sim.kernel.simulate_columnar_many` — predictor work as
+tensor passes (fused sessions as lanes over one shared precompute),
+while the per-session RAS and warmup/metric accounting replay in a
+cheap Python sweep over the events.  The kernels are bit-identical to
+the scalar call sequence, so outputs, counters, and final
+``state_hash`` are unchanged; runs below the threshold, or hosting
+predictors without a kernel, step exactly as before.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.registry import RegistryError, make_indirect
 from repro.sim.checkpoint import SimulationCheckpoint
+from repro.sim.kernel import columnar_supported, simulate_columnar_many
 from repro.sim.metrics import SimulationResult
 from repro.sim.ras import ReturnAddressStack
-from repro.trace.record import BranchType
+from repro.trace.record import BranchRecord, BranchType
+from repro.trace.stream import Trace
 
 _COND = int(BranchType.CONDITIONAL)
 _DIRECT_CALL = int(BranchType.DIRECT_CALL)
@@ -47,6 +63,11 @@ _RETURN = int(BranchType.RETURN)
 
 #: Envelope kind of a serve-layer session checkpoint file.
 SESSION_CHECKPOINT_KIND = "ServeSessionCheckpoint"
+
+#: Minimum pending events before a session run is worth packing into a
+#: transient trace for the columnar kernels; short interactive runs stay
+#: on the per-event scalar path (trace construction would dominate).
+COLUMNAR_STEP_THRESHOLD = 256
 
 #: One per-event output: ``None`` for events that carry no prediction
 #: (conditionals, direct branches), else ``(prediction-or-None, correct)``.
@@ -151,7 +172,17 @@ class PredictorSession:
     def step_events(
         self, events: Sequence[Tuple[int, int, bool, int, int]]
     ) -> List[StepOutput]:
-        """Consume a run of events; one output per event."""
+        """Consume a run of events; one output per event.
+
+        Runs of at least :data:`COLUMNAR_STEP_THRESHOLD` events on a
+        columnar-supported predictor replay through the batch kernels
+        (bit-identical outputs and state); everything else steps
+        per-event.
+        """
+        if _columnar_eligible([self], events):
+            outputs = _step_sessions_columnar([self], events)
+            if outputs is not None:
+                return outputs[0]
         step = self.step
         return [step(pc, bt, taken, target, gap)
                 for pc, bt, taken, target, gap in events]
@@ -301,6 +332,10 @@ def step_sessions_fused(
     outputs: List[List[StepOutput]] = [[] for _ in range(count)]
     if not count:
         return outputs
+    if _columnar_eligible(sessions, events):
+        columnar = _step_sessions_columnar(sessions, events)
+        if columnar is not None:
+            return columnar
     engines = [
         (
             session,
@@ -372,7 +407,113 @@ def step_sessions_fused(
     return outputs
 
 
+def _columnar_eligible(
+    sessions: Sequence[PredictorSession],
+    events: Sequence[Tuple[int, int, bool, int, int]],
+) -> bool:
+    """Whether this event run should take the columnar shortcut."""
+    if len(events) < COLUMNAR_STEP_THRESHOLD:
+        return False
+    depth = sessions[0].ras_depth
+    return all(
+        session.ras_depth == depth
+        and columnar_supported(session.predictor)
+        for session in sessions
+    )
+
+
+def _step_sessions_columnar(
+    sessions: Sequence[PredictorSession],
+    events: Sequence[Tuple[int, int, bool, int, int]],
+) -> Optional[List[List[StepOutput]]]:
+    """Replay one event run through the columnar kernels, all sessions.
+
+    The predictor work — history folds, table reads, training — runs as
+    one fused :func:`~repro.sim.kernel.simulate_columnar_many` pass over
+    a transient trace built from the events (one shared precompute for
+    every session); each session's RAS, warmup countdown, and metric
+    accounting then replay in a cheap Python sweep using the kernels'
+    per-branch prediction arrays.  Outputs, accumulators, and final
+    predictor state are bit-identical to per-event stepping.
+
+    Returns ``None`` when the events cannot form a trace (an unknown
+    branch-type code); the caller falls back to the scalar path, whose
+    per-event validation reports the offending event precisely.
+    """
+    try:
+        records = [
+            BranchRecord(
+                pc, BranchType(branch_type), bool(taken), target,
+                inst_gap=gap,
+            )
+            for pc, branch_type, taken, target, gap in events
+        ]
+        trace = Trace.from_records("serve-step", records)
+    except (ValueError, TypeError):
+        return None
+
+    sinks: List[Dict[str, np.ndarray]] = [{} for _ in sessions]
+    simulate_columnar_many(
+        [session.predictor for session in sessions],
+        trace,
+        ras_depth=sessions[0].ras_depth,
+        prediction_sinks=sinks,
+    )
+
+    outputs: List[List[StepOutput]] = []
+    for session, sink in zip(sessions, sinks):
+        valid = sink["valid"].tolist()
+        predictions = sink["predictions"].tolist()
+        ras = session.ras
+        out: List[StepOutput] = []
+        position = 0
+        for pc, branch_type, taken, target, gap in events:
+            session.cursor += 1
+            session.instruction_gaps += gap
+            if branch_type == _COND:
+                session.conditionals += 1
+                if session.skip:
+                    session.skip -= 1
+                out.append(None)
+                continue
+            counted = not session.skip
+            if session.skip:
+                session.skip -= 1
+            if (
+                branch_type == _INDIRECT_JUMP
+                or branch_type == _INDIRECT_CALL
+            ):
+                prediction = (
+                    predictions[position] if valid[position] else None
+                )
+                position += 1
+                correct = 1 if prediction == target else 0
+                if counted:
+                    session.indirect += 1
+                    if not correct:
+                        session.mispredictions += 1
+                if branch_type == _INDIRECT_CALL:
+                    ras.push(pc + 4)
+                out.append((prediction, correct))
+            elif branch_type == _RETURN:
+                ras_prediction = ras.predict()
+                ras.pop()
+                correct = 1 if ras_prediction == target else 0
+                if counted:
+                    session.returns += 1
+                    if not correct:
+                        session.return_mispredictions += 1
+                out.append((ras_prediction, correct))
+            else:
+                if branch_type == _DIRECT_CALL:
+                    ras.push(pc + 4)
+                out.append(None)
+        outputs.append(out)
+    return outputs
+
+
 __all__ = [
+    "COLUMNAR_STEP_THRESHOLD",
     "SESSION_CHECKPOINT_KIND",
     "PredictorSession",
     "SessionError",

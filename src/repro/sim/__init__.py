@@ -17,6 +17,7 @@ from repro.sim.checkpoint import (
 )
 from repro.sim.counters import SimCounters, aggregate_profiles, format_counters
 from repro.sim.engine import (
+    ColumnarUnsupportedError,
     SampledSimulationResult,
     simulate,
     simulate_conditional,
@@ -36,6 +37,7 @@ from repro.sim.runner import (
 from repro.sim.report import format_campaign, format_mpki_table
 
 __all__ = [
+    "ColumnarUnsupportedError",
     "simulate",
     "simulate_conditional",
     "simulate_many",

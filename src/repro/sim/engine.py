@@ -18,6 +18,7 @@ runtime at multi-million-record scale.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from dataclasses import field as dataclass_field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -40,10 +41,20 @@ from repro.trace.stream import Trace
 
 #: Recognized simulation backends.  "scalar" is the per-branch Python
 #: loop below; "columnar" dispatches eligible cells to the batch tensor
-#: kernel in :mod:`repro.sim.kernel` (bit-identical results) and falls
-#: back to the scalar loop otherwise.  A compiled backend can register
-#: here later without touching call sites.
-BACKENDS: Tuple[str, ...] = ("scalar", "columnar")
+#: kernels in :mod:`repro.sim.kernel` (bit-identical results) and falls
+#: back to the scalar loop otherwise — warning when the fallback is due
+#: to an unsupported predictor; "columnar-strict" refuses to fall back
+#: and raises :class:`ColumnarUnsupportedError` carrying the reason.
+BACKENDS: Tuple[str, ...] = ("scalar", "columnar", "columnar-strict")
+
+
+class ColumnarUnsupportedError(RuntimeError):
+    """``backend="columnar-strict"`` could not use the columnar kernels.
+
+    The message carries the :func:`repro.sim.kernel.columnar_support`
+    reason (which predictor type, and what to do about it) or names the
+    engine feature the kernels do not cover.
+    """
 
 
 def _check_backend(backend: str) -> None:
@@ -51,6 +62,23 @@ def _check_backend(backend: str) -> None:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+
+
+def _columnar_blockers(
+    checkpoint_every: int,
+    checkpoint_path: Optional[str],
+    resume_from: Optional[SimulationCheckpoint],
+    counters: Optional[SimCounters],
+) -> List[str]:
+    """Engine features the columnar kernels do not cover."""
+    blockers = []
+    if checkpoint_every or checkpoint_path is not None:
+        blockers.append("checkpointing (checkpoint_every/checkpoint_path)")
+    if resume_from is not None:
+        blockers.append("resume (resume_from)")
+    if counters is not None:
+        blockers.append("profiling (counters)")
+    return blockers
 
 _COND = int(BranchType.CONDITIONAL)
 _DIRECT_JUMP = int(BranchType.DIRECT_JUMP)
@@ -201,12 +229,17 @@ def simulate(
             push/pop replay (bit-identical results; the RAS is a pure
             function of the trace).  Ignored when checkpointing or
             resuming, because those paths must snapshot real RAS state.
-        backend: "scalar" (this per-branch loop) or "columnar" (the
-            batch tensor kernel in :mod:`repro.sim.kernel`).  The
-            columnar backend produces bit-identical results and final
-            predictor state; it silently falls back to the scalar loop
-            for predictors it does not support and for features it does
-            not cover (checkpointing, resume, profiling counters).
+        backend: "scalar" (this per-branch loop), "columnar" (the
+            batch tensor kernels in :mod:`repro.sim.kernel`), or
+            "columnar-strict".  The columnar backend produces
+            bit-identical results and final predictor state; it falls
+            back to the scalar loop for predictors it does not support
+            (with a ``RuntimeWarning`` naming the reason) and for
+            features it does not cover (checkpointing, resume,
+            profiling counters).  "columnar-strict" never falls back —
+            it raises :class:`ColumnarUnsupportedError` instead, for
+            callers that need the kernel's throughput or an explicit
+            failure.
     """
     if checkpoint_every < 0:
         raise ValueError(
@@ -218,25 +251,37 @@ def simulate(
         )
     _check_backend(backend)
 
-    if (
-        backend == "columnar"
-        and kernel.columnar_supported(predictor)
-        and not checkpoint_every
-        and checkpoint_path is None
-        and resume_from is None
-        and counters is None
-    ):
-        # The kernel validates (or computes) the derived plane itself
-        # and returns results and final predictor state bit-identical
-        # to the scalar loop below.
-        return kernel.simulate_columnar(
-            predictor,
-            trace,
-            ras_depth=ras_depth,
-            warmup_records=warmup_records,
-            collect_per_pc=collect_per_pc,
-            derived=derived,
+    if backend in ("columnar", "columnar-strict"):
+        supported, reason = kernel.columnar_support(predictor)
+        blockers = _columnar_blockers(
+            checkpoint_every, checkpoint_path, resume_from, counters
         )
+        if supported and not blockers:
+            # The kernel validates (or computes) the derived plane
+            # itself and returns results and final predictor state
+            # bit-identical to the scalar loop below.
+            return kernel.simulate_columnar(
+                predictor,
+                trace,
+                ras_depth=ras_depth,
+                warmup_records=warmup_records,
+                collect_per_pc=collect_per_pc,
+                derived=derived,
+            )
+        if backend == "columnar-strict":
+            if not supported:
+                raise ColumnarUnsupportedError(reason)
+            raise ColumnarUnsupportedError(
+                "columnar-strict cannot cover " + ", ".join(blockers)
+                + "; use backend='columnar' (scalar fallback) or "
+                "backend='scalar' for these features"
+            )
+        if not supported:
+            warnings.warn(
+                f"columnar backend falling back to scalar: {reason}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     pcs, types, takens, targets = trace.scalar_columns()
     total = len(pcs)
@@ -745,11 +790,16 @@ def simulate_many(
             ``checkpoint_paths``; each snapshot is loadable by
             :func:`simulate` for an unfused per-cell resume.
         checkpoint_paths: one path (or ``None``) per predictor.
-        backend: "scalar" or "columnar".  Under "columnar", predictors
-            the kernel supports each run through it (sharing one derived
-            plane) and the rest run through this fused scalar loop; the
-            merged results and final states are bit-identical to an
-            all-scalar pass.  Ignored while checkpointing.
+        backend: "scalar", "columnar", or "columnar-strict".  Under
+            "columnar", predictors the kernels support run as one fused
+            columnar group (:func:`repro.sim.kernel.simulate_columnar_many`
+            — one shared precompute pass, compatible BLBP lanes
+            lane-parallel) and the rest run through this fused scalar
+            loop, with a ``RuntimeWarning`` naming why; the merged
+            results and final states are bit-identical to an all-scalar
+            pass.  Ignored while checkpointing.  "columnar-strict"
+            raises :class:`ColumnarUnsupportedError` instead of falling
+            back (unsupported predictor or checkpointing).
     """
     predictors = list(predictors)
     count = len(predictors)
@@ -777,12 +827,40 @@ def simulate_many(
             f"not {trace.name!r} ({total} records, ras_depth={ras_depth})"
         )
 
-    if backend == "columnar" and not checkpoint_every:
-        supported = [
-            slot
+    if backend in ("columnar", "columnar-strict"):
+        reasons = {
+            slot: kernel.columnar_support(predictor)
             for slot, predictor in enumerate(predictors)
-            if kernel.columnar_supported(predictor)
-        ]
+        }
+        supported = [slot for slot, (ok, _) in reasons.items() if ok]
+        if backend == "columnar-strict":
+            if checkpoint_every:
+                raise ColumnarUnsupportedError(
+                    "columnar-strict cannot cover checkpointing "
+                    "(checkpoint_every); use backend='columnar' or "
+                    "'scalar'"
+                )
+            unsupported = [
+                reason for ok, reason in reasons.values() if not ok
+            ]
+            if unsupported:
+                raise ColumnarUnsupportedError(unsupported[0])
+        elif checkpoint_every:
+            supported = []
+        elif len(supported) < count:
+            fallback = sorted(
+                {
+                    reason
+                    for ok, reason in reasons.values()
+                    if not ok
+                }
+            )
+            warnings.warn(
+                "columnar backend falling back to the fused scalar "
+                "loop for some predictors: " + "; ".join(fallback),
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if supported:
             plane = derived
             if plane is None:
@@ -790,15 +868,20 @@ def simulate_many(
 
                 plane = compute_derived(trace, ras_depth)
             merged: List[Optional[SimulationResult]] = [None] * count
-            for slot in supported:
-                merged[slot] = kernel.simulate_columnar(
-                    predictors[slot],
+            # One shared precompute pass serves every supported lane;
+            # compatible BLBP lanes advance lane-parallel inside.
+            for slot, result in zip(
+                supported,
+                kernel.simulate_columnar_many(
+                    [predictors[slot] for slot in supported],
                     trace,
                     ras_depth=ras_depth,
                     warmup_records=warmup_records,
                     collect_per_pc=collect_per_pc,
                     derived=plane,
-                )
+                ),
+            ):
+                merged[slot] = result
             rest = [slot for slot in range(count) if merged[slot] is None]
             if rest:
                 for slot, result in zip(

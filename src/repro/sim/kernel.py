@@ -32,21 +32,35 @@ of earlier predictions.
   optimistic-saturation scan (vectorized until the first counter
   saturation, exact scalar semantics at the saturation row, resume).
 
-A compiled backend (Numba/Cython) can drop in behind
-:func:`simulate_columnar`'s interface without touching the engine: the
-dispatch in :func:`repro.sim.engine.simulate` only needs this module's
-``columnar_supported`` / ``simulate_columnar`` pair.
+This module is the front door for every columnar predictor, not just
+BLBP: :func:`simulate_columnar` dispatches to the ITTAGE and VPC
+kernels (:mod:`repro.sim.kernel_ittage`, :mod:`repro.sim.kernel_vpc`),
+:func:`columnar_support` reports whether — and *why not* — a predictor
+can be replayed columnar, and :func:`simulate_columnar_many` replays a
+fused multi-predictor group against one :class:`SharedPrecompute` pass
+(fold prefix tables, IBTB candidate tensors, hash-mix planes and
+derived-plane loads computed once per trace and shared across lanes,
+keyed by trace content hash), advancing groups of compatible BLBP
+lanes lane-parallel through the compiled ``blbp_replay_many`` core.
+
+The dispatch in :func:`repro.sim.engine.simulate` only needs this
+module's ``columnar_support`` / ``simulate_columnar`` /
+``simulate_columnar_many`` trio; new per-predictor kernels slot in by
+extending the registry in :func:`columnar_support`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.common.hashing import mix_pc, stable_hash64
 from repro.core.blbp import BLBP
 from repro.core.ibtb import IndirectBTB
+from repro.predictors.ittage import ITTAGE
+from repro.predictors.vpc import VPCPredictor
 from repro.sim import native
 from repro.sim.metrics import SimulationResult
 from repro.trace.derived import DerivedPlane, compute_derived
@@ -61,14 +75,137 @@ MAX_CHUNK = 512
 _NEG_SCORE = np.int32(-(2**31) + 1)
 
 
-def columnar_supported(predictor: object) -> bool:
-    """Whether the columnar kernel can replay ``predictor`` exactly.
+#: Exact predictor types with a columnar kernel.  The kernels replicate
+#: each type's architectural state transitions; subclasses may override
+#: hooks a kernel cannot see, so the checks are intentionally exact-type.
+_COLUMNAR_TYPES: Tuple[type, ...] = (BLBP, ITTAGE, VPCPredictor)
 
-    The kernel replicates :class:`~repro.core.blbp.BLBP`'s architectural
-    state transitions; subclasses may override hooks it cannot see, so
-    the check is intentionally exact-type.
+
+def columnar_support(predictor: object) -> Tuple[bool, str]:
+    """Whether the columnar kernels can replay ``predictor``, and why.
+
+    Returns ``(True, "<kernel name>")`` for supported predictors and
+    ``(False, "<actionable reason>")`` otherwise — the reason string is
+    what ``--backend columnar-strict`` errors and fallback warnings
+    surface, so it names both the offending type and the remedy.
     """
-    return type(predictor) is BLBP
+    kind = type(predictor)
+    if kind is BLBP:
+        return True, "BLBP columnar kernel (repro.sim.kernel)"
+    if kind is ITTAGE:
+        return True, "ITTAGE columnar kernel (repro.sim.kernel_ittage)"
+    if kind is VPCPredictor:
+        return True, "VPC columnar kernel (repro.sim.kernel_vpc)"
+    supported_names = ", ".join(t.__name__ for t in _COLUMNAR_TYPES)
+    for base in _COLUMNAR_TYPES:
+        if isinstance(predictor, base):
+            return False, (
+                f"{kind.__name__} subclasses {base.__name__}, but the "
+                f"columnar kernels are exact-type: a subclass may "
+                f"override hooks the kernel cannot see.  Use the scalar "
+                f"backend, or register a dedicated kernel for "
+                f"{kind.__name__}."
+            )
+    return False, (
+        f"{kind.__name__} has no columnar kernel (supported exact "
+        f"types: {supported_names}).  Use the scalar backend for this "
+        f"predictor."
+    )
+
+
+def columnar_supported(predictor: object) -> bool:
+    """Whether the columnar kernels can replay ``predictor`` exactly."""
+    return columnar_support(predictor)[0]
+
+
+# ----------------------------------------------------------------------
+# Shared precompute
+# ----------------------------------------------------------------------
+
+
+class SharedPrecompute:
+    """Keyed cache of trace-pure precompute artifacts for one trace.
+
+    One instance wraps one derived plane (one ``(trace content,
+    ras_depth)`` identity) and memoizes every artifact the kernels
+    derive from it: prefix-XOR fold tables, per-salt hash-mix planes
+    over the distinct indirect PCs, local-register windows, IBTB
+    candidate tensors, ITTAGE index/tag streams, VPC virtual-PC
+    tables.  Keys embed everything an artifact depends on beyond the
+    trace (initial register values, geometry, bit widths), so lanes of
+    a fused group — or repeated solo runs over the same trace — share
+    work exactly when sharing is bit-safe, and two lanes whose keys
+    match receive the *same object*, which is what the multi-lane
+    replay uses to decide groupability.
+
+    Artifacts are read-only by convention; nothing in the cache is ever
+    mutated after construction.
+    """
+
+    __slots__ = ("derived", "_artifacts")
+
+    def __init__(self, derived: DerivedPlane) -> None:
+        self.derived = derived
+        self._artifacts: Dict[tuple, object] = {}
+
+    def get(self, key: tuple, builder: Callable[[], object]) -> object:
+        """The artifact under ``key``, building it on first use."""
+        try:
+            return self._artifacts[key]
+        except KeyError:
+            value = builder()
+            self._artifacts[key] = value
+            return value
+
+
+#: Process-level LRU of shared precomputes, keyed by trace content.
+#: Capacity is deliberately tiny: campaigns iterate predictors over one
+#: trace at a time, so two entries cover the hot pattern (current trace
+#: plus one straggler) while bounding the fold tables held alive.
+_SHARED_CAPACITY = 2
+_SHARED_CACHE: "OrderedDict[Tuple[str, int], SharedPrecompute]" = OrderedDict()
+
+
+def shared_precompute(
+    trace: Trace,
+    ras_depth: int = 32,
+    derived: Optional[DerivedPlane] = None,
+) -> SharedPrecompute:
+    """The shared precompute for ``trace``, reused across calls.
+
+    Keyed by ``(derived content hash, ras_depth)``, so repeated
+    simulations of the same trace — successive cells of a campaign,
+    successive generations of a search — skip the trace-pure passes
+    entirely no matter which Trace instance carries the content.
+    """
+    if derived is None:
+        derived = compute_derived(trace, ras_depth)
+    key = (derived.content_hash, ras_depth)
+    entry = _SHARED_CACHE.get(key)
+    if entry is not None and entry.derived.matches(trace, ras_depth):
+        _SHARED_CACHE.move_to_end(key)
+        return entry
+    entry = SharedPrecompute(derived)
+    _SHARED_CACHE[key] = entry
+    _SHARED_CACHE.move_to_end(key)
+    while len(_SHARED_CACHE) > _SHARED_CAPACITY:
+        _SHARED_CACHE.popitem(last=False)
+    return entry
+
+
+def _validated_derived(
+    trace: Trace, ras_depth: int, derived: Optional[DerivedPlane]
+) -> DerivedPlane:
+    if derived is None:
+        return compute_derived(trace, ras_depth)
+    if not derived.matches(trace, ras_depth):
+        raise ValueError(
+            f"derived plane is for {derived.trace_name!r} "
+            f"({derived.records} records, ras_depth={derived.ras_depth}), "
+            f"not {trace.name!r} ({len(trace)} records, "
+            f"ras_depth={ras_depth})"
+        )
+    return derived
 
 
 # ----------------------------------------------------------------------
@@ -601,182 +738,448 @@ def _replay_compiled(
 # ----------------------------------------------------------------------
 
 
-def simulate_columnar(
+def _mix_plane(
+    shared: SharedPrecompute, unique_pcs: np.ndarray, salt: int
+) -> np.ndarray:
+    """Per-unique-PC ``mix_pc`` values for ``salt``, shared across lanes
+    (and across predictor types — BLBP bank salts and ITTAGE table salts
+    draw from the same keyed planes)."""
+    return shared.get(
+        ("pc-mix", salt),
+        lambda: np.fromiter(
+            (mix_pc(int(pc), salt=salt) for pc in unique_pcs.tolist()),
+            dtype=np.uint64,
+            count=len(unique_pcs),
+        ),
+    )
+
+
+def _prepare_blbp(
     predictor: BLBP,
     trace: Trace,
-    ras_depth: int = 32,
-    warmup_records: int = 0,
-    collect_per_pc: bool = False,
-    derived: Optional[DerivedPlane] = None,
-    prediction_sink: Optional[Dict[str, np.ndarray]] = None,
-) -> SimulationResult:
-    """Replay ``trace`` through ``predictor`` as columnar tensor passes.
+    derived: DerivedPlane,
+    shared: SharedPrecompute,
+) -> dict:
+    """All trace-pure planes for one BLBP lane, served from ``shared``.
 
-    Bit-identical to ``simulate(predictor, trace, ...)``: the same
-    predictions, the same counters, and the same final predictor state
-    (``state_dict`` / ``state_hash`` equal).  The predictor may be warm
-    — mid-campaign state, restored snapshots — the kernel seeds its
-    precomputation from the live registers.
-
-    Callers normally go through :func:`repro.sim.engine.simulate` with
-    ``backend="columnar"``, which validates support and falls back to
-    the scalar loop for features the kernel does not cover
-    (checkpointing, resume, profiling).
-
-    ``prediction_sink``, when given a dict, receives the kernel's
-    per-branch arrays after replay — ``indirect_idx`` (record index of
-    every indirect branch), ``valid`` (whether a prediction was made),
-    and ``predictions`` (the predicted target per branch) — letting
-    equivalence tests assert per-branch lockstep against the scalar
-    loop rather than just aggregate counts.
+    Artifacts that depend only on the trace (streams, prefix tables,
+    mix planes, candidate tensors, differs/desired bit planes) are
+    cached under keys embedding their remaining inputs — initial
+    register values, geometry, bit shifts — so fused lanes with equal
+    keys receive identical objects; the returned prep dict carries both
+    the replay argument tuple and everything the write-back needs.
     """
-    if not columnar_supported(predictor):
-        raise TypeError(
-            f"columnar kernel supports BLBP exactly, got "
-            f"{type(predictor).__name__}"
-        )
-    if derived is None:
-        derived = compute_derived(trace, ras_depth)
-    elif not derived.matches(trace, ras_depth):
-        raise ValueError(
-            f"derived plane is for {derived.trace_name!r} "
-            f"({derived.records} records, ras_depth={derived.ras_depth}), "
-            f"not {trace.name!r} ({len(trace)} records, "
-            f"ras_depth={ras_depth})"
-        )
-
     config = predictor.config
     histories = predictor.histories
     threshold = predictor.threshold
     weights = predictor.weights
     transfer = predictor.transfer
 
-    outcomes = derived.conditional_outcomes()
+    outcomes = shared.get(("cond-outcomes",), derived.conditional_outcomes)
     conditional_count = derived.conditionals
-    indirect_idx = np.asarray(derived.indirect_idx)
+    indirect_idx = shared.get(
+        ("indirect-idx",), lambda: np.asarray(derived.indirect_idx)
+    )
     branch_count = len(indirect_idx)
     branch_pcs = derived.indirect_pcs
-    branch_targets = np.asarray(derived.indirect_targets)
+    branch_targets = shared.get(
+        ("indirect-targets",), lambda: np.asarray(derived.indirect_targets)
+    )
 
     # --- trace-pure precomputation ------------------------------------
     ghist0 = histories._ghist
     pending0 = histories._pending
     width = histories._fold_bits
     intervals = config.effective_intervals
+    intervals_key = tuple(intervals)
     prefix_bits = config.global_history_bits + pending0
 
-    stream = _history_stream(
-        ghist0, pending0, config.global_history_bits, outcomes
+    stream_key = (
+        "blbp-stream", config.global_history_bits, ghist0, pending0
     )
-    prefix = _fold_prefix_tables(stream, width)
+    prefix = shared.get(
+        ("blbp-prefix", stream_key, width),
+        lambda: _fold_prefix_tables(
+            shared.get(
+                stream_key,
+                lambda: _history_stream(
+                    ghist0, pending0, config.global_history_bits, outcomes
+                ),
+            ),
+            width,
+        ),
+    )
 
-    pcs_list = [int(pc) for pc in branch_pcs.tolist()]
-    targets_list = [int(t) for t in branch_targets.tolist()]
+    pcs_list = shared.get(
+        ("pc-list",), lambda: [int(pc) for pc in branch_pcs.tolist()]
+    )
+    targets_list = shared.get(
+        ("target-list",),
+        lambda: [int(t) for t in branch_targets.tolist()],
+    )
 
-    unique_pcs, pc_inverse = np.unique(branch_pcs, return_inverse=True)
+    unique_pcs, pc_inverse = shared.get(
+        ("pc-unique",),
+        lambda: np.unique(branch_pcs, return_inverse=True),
+    )
     bank_count = config.num_subpredictors
-    mixes = np.empty((len(unique_pcs), bank_count), dtype=np.uint64)
-    for position, pc in enumerate(unique_pcs.tolist()):
-        for salt in range(bank_count):
-            mixes[position, salt] = mix_pc(int(pc), salt=salt)
-    slot_of_pc = (
-        mixes[:, 0] % np.uint64(histories._local.num_entries)
-    ).astype(np.int64)
-    branch_slots = slot_of_pc[pc_inverse]
+    mixes = shared.get(
+        ("blbp-mixes", bank_count),
+        lambda: np.stack(
+            [
+                _mix_plane(shared, unique_pcs, salt)
+                for salt in range(bank_count)
+            ],
+            axis=1,
+        ),
+    )
 
-    push_bits = (
-        (branch_targets >> np.uint64(config.local_target_bit)) & np.uint64(1)
-    ).astype(np.int64)
-    registers, final_registers = _local_registers(
-        branch_slots,
-        push_bits,
-        histories._local._table,
+    num_local = histories._local.num_entries
+    slot_of_pc = shared.get(
+        ("blbp-slots", num_local, bank_count),
+        lambda: (mixes[:, 0] % np.uint64(num_local)).astype(np.int64),
+    )
+    branch_slots = shared.get(
+        ("blbp-branch-slots", num_local, bank_count),
+        lambda: slot_of_pc[pc_inverse],
+    )
+
+    push_bits = shared.get(
+        ("blbp-push-bits", config.local_target_bit),
+        lambda: (
+            (branch_targets >> np.uint64(config.local_target_bit))
+            & np.uint64(1)
+        ).astype(np.int64),
+    )
+    local_key = (
+        "blbp-local",
         config.local_history_bits,
+        num_local,
+        config.local_target_bit,
+        tuple(histories._local._table),
+    )
+    registers, final_registers = shared.get(
+        local_key,
+        lambda: _local_registers(
+            branch_slots,
+            push_bits,
+            histories._local._table,
+            config.local_history_bits,
+        ),
     )
 
-    consumed = (
-        np.searchsorted(np.asarray(derived.cond_idx), indirect_idx)
-        + prefix_bits
+    cond_before = shared.get(
+        ("cond-before",),
+        lambda: np.searchsorted(
+            np.asarray(derived.cond_idx), indirect_idx
+        ),
     )
-    folds = _branch_folds(prefix, consumed, intervals, width)
+    consumed = cond_before + prefix_bits
+    folds = shared.get(
+        ("blbp-folds", stream_key, width, intervals_key),
+        lambda: _branch_folds(prefix, consumed, intervals, width),
+    )
 
     table_rows = config.table_rows
-    rows = np.empty((branch_count, bank_count), dtype=np.int64)
-    mix0 = mixes[pc_inverse, 0]
-    if config.use_local_history:
-        mix0 = mix0 ^ _hash_registers(registers)
-    rows[:, 0] = (mix0 % np.uint64(table_rows)).astype(np.int64)
-    for position in range(len(intervals)):
-        mixed = mixes[pc_inverse, position + 1] ^ folds[:, position]
-        rows[:, position + 1] = (mixed % np.uint64(table_rows)).astype(
-            np.int64
-        )
+    use_local = config.use_local_history
+    rows_key = (
+        "blbp-rows",
+        stream_key,
+        width,
+        intervals_key,
+        table_rows,
+        bank_count,
+        local_key if use_local else None,
+    )
 
-    set_ids, sets = _replay_ibtb(predictor, pcs_list, targets_list)
+    def _build_rows() -> np.ndarray:
+        built = np.empty((branch_count, bank_count), dtype=np.int64)
+        mix0 = mixes[pc_inverse, 0]
+        if use_local:
+            mix0 = mix0 ^ _hash_registers(registers)
+        built[:, 0] = (mix0 % np.uint64(table_rows)).astype(np.int64)
+        for position in range(len(intervals)):
+            mixed = mixes[pc_inverse, position + 1] ^ folds[:, position]
+            built[:, position + 1] = (
+                mixed % np.uint64(table_rows)
+            ).astype(np.int64)
+        return built
+
+    rows = shared.get(rows_key, _build_rows)
+
+    ibtb = predictor.ibtb
+    ibtb_key = ("ibtb", type(ibtb).__qualname__, ibtb.state_hash())
+
+    def _build_ibtb() -> tuple:
+        ids, candidate_sets = _replay_ibtb(
+            predictor, pcs_list, targets_list
+        )
+        return ids, candidate_sets, ibtb.state_dict()
+
+    set_ids, sets, ibtb_final = shared.get(ibtb_key, _build_ibtb)
+    # A cache hit skips the structural replay entirely — the IBTB jumps
+    # straight to its recorded final state.  (On a miss this reloads the
+    # state the replay just produced, a no-op round-trip.)
+    ibtb.load_state(ibtb_final)
+
+    shifts_key = tuple(int(s) for s in predictor._bit_shifts.tolist())
+    num_bits = config.num_target_bits
     padded_targets, set_sizes, bit_matrices, set_lows, set_highs = (
-        _candidate_tensors(
-            sets, predictor._bit_shifts, config.num_target_bits
+        shared.get(
+            ("blbp-candidates", ibtb_key, shifts_key, num_bits),
+            lambda: _candidate_tensors(
+                sets, predictor._bit_shifts, num_bits
+            ),
         )
     )
 
-    target_unique, target_inverse = np.unique(
-        branch_targets, return_inverse=True
-    )
-    unique_bits = (
-        (target_unique[:, None] >> predictor._bit_shifts[None, :])
-        & np.uint64(1)
-    ).astype(np.int32)
-    actual_bits = unique_bits[target_inverse]
-    desired_bits = actual_bits == 1
+    bits_key = ("blbp-target-bits", shifts_key)
+
+    def _build_target_bits() -> tuple:
+        target_unique, target_inverse = np.unique(
+            branch_targets, return_inverse=True
+        )
+        unique_bits = (
+            (target_unique[:, None] >> predictor._bit_shifts[None, :])
+            & np.uint64(1)
+        ).astype(np.int32)
+        actual = unique_bits[target_inverse]
+        return actual, actual == 1
+
+    actual_bits, desired_bits = shared.get(bits_key, _build_target_bits)
     if config.use_selective_update:
-        differs_all = (
-            np.minimum(set_lows[set_ids], actual_bits)
-            != np.maximum(set_highs[set_ids], actual_bits)
+        differs_key = ("blbp-differs", ibtb_key, shifts_key, num_bits)
+        differs_all = shared.get(
+            differs_key,
+            lambda: (
+                np.minimum(set_lows[set_ids], actual_bits)
+                != np.maximum(set_highs[set_ids], actual_bits)
+            ),
         )
     else:
-        differs_all = np.ones_like(desired_bits)
+        differs_key = ("blbp-differs-dense", shifts_key)
+        differs_all = shared.get(
+            differs_key, lambda: np.ones_like(desired_bits)
+        )
+    differs_u8 = shared.get(
+        ("u8", differs_key),
+        lambda: np.ascontiguousarray(differs_all, dtype=np.uint8),
+    )
+    desired_u8 = shared.get(
+        ("u8", bits_key),
+        lambda: np.ascontiguousarray(desired_bits, dtype=np.uint8),
+    )
 
-    # --- prediction-dependent replay ----------------------------------
+    # --- mutable per-lane state ---------------------------------------
     tensor = weights.weights
     lut = transfer._lut
-    lut_offset = transfer.magnitude_max
-    magnitude = weights.magnitude
     theta = np.asarray(threshold._theta, dtype=np.int64)
     counter = np.asarray(threshold._counter, dtype=np.int64)
-    cmax = threshold._max
-    cmin = threshold._min
-    adaptive = threshold.adaptive
-
     predictions = np.zeros(branch_count, dtype=np.uint64)
     prediction_valid = set_sizes[set_ids] > 0
-    trained_bits = 0
 
-    if branch_count:
-        replay = native.load() if tensor.flags.c_contiguous else None
-        arguments = (
-            rows,
-            table_rows,
-            set_ids,
-            padded_targets,
-            set_sizes,
-            bit_matrices,
-            differs_all,
-            desired_bits,
-            lut,
-            lut_offset,
-            tensor,
-            magnitude,
-            theta,
-            counter,
-            cmax,
-            cmin,
-            adaptive,
-            predictions,
-        )
-        if replay is not None:
-            trained_bits = _replay_compiled(replay, *arguments)
-        else:
-            trained_bits = _replay_chunked(*arguments)
+    return {
+        "predictor": predictor,
+        "branch_count": branch_count,
+        "num_bits": num_bits,
+        "tmax": padded_targets.shape[1],
+        "bank_count": bank_count,
+        "table_rows": table_rows,
+        "rows": rows,
+        "set_ids": set_ids,
+        "padded_targets": padded_targets,
+        "set_sizes": set_sizes,
+        "bit_matrices": bit_matrices,
+        "differs_all": differs_all,
+        "desired_bits": desired_bits,
+        "differs_u8": differs_u8,
+        "desired_u8": desired_u8,
+        "lut": lut,
+        "lut32": np.ascontiguousarray(lut, dtype=np.int32),
+        "lut_offset": transfer.magnitude_max,
+        "tensor": tensor,
+        "magnitude": weights.magnitude,
+        "theta": theta,
+        "counter": counter,
+        "cmax": threshold._max,
+        "cmin": threshold._min,
+        "adaptive": threshold.adaptive,
+        "predictions": predictions,
+        "prediction_valid": prediction_valid,
+        "trained": 0,
+        # Write-back inputs.
+        "final_registers": final_registers,
+        "outcomes": outcomes,
+        "conditional_count": conditional_count,
+        "consumed": consumed,
+        "prefix": prefix,
+        "intervals": intervals,
+        "width": width,
+        "prefix_bits": prefix_bits,
+        "ghist0": ghist0,
+        "pending0": pending0,
+        "indirect_idx": indirect_idx,
+        "branch_pcs": branch_pcs,
+        "branch_targets": branch_targets,
+        # Lanes whose shared planes are the *same objects* (and whose
+        # bit/pad geometry matches) may replay lane-parallel together.
+        "group_key": (
+            branch_count,
+            num_bits,
+            padded_targets.shape[1],
+            id(set_ids),
+            id(padded_targets),
+            id(set_sizes),
+            id(bit_matrices),
+            id(differs_u8),
+            id(desired_u8),
+        ),
+    }
+
+
+def _replay_blbp(prep: dict) -> None:
+    """Solo prediction-dependent replay for one prepared BLBP lane."""
+    if not prep["branch_count"]:
+        return
+    arguments = (
+        prep["rows"],
+        prep["table_rows"],
+        prep["set_ids"],
+        prep["padded_targets"],
+        prep["set_sizes"],
+        prep["bit_matrices"],
+        prep["differs_all"],
+        prep["desired_bits"],
+        prep["lut"],
+        prep["lut_offset"],
+        prep["tensor"],
+        prep["magnitude"],
+        prep["theta"],
+        prep["counter"],
+        prep["cmax"],
+        prep["cmin"],
+        prep["adaptive"],
+        prep["predictions"],
+    )
+    replay = native.load() if prep["tensor"].flags.c_contiguous else None
+    if replay is not None:
+        prep["trained"] = _replay_compiled(replay, *arguments)
+    else:
+        prep["trained"] = _replay_chunked(*arguments)
+
+
+def _pointer_array(arrays: List[np.ndarray]) -> np.ndarray:
+    """Per-lane base addresses, marshalled as a ``uint64`` vector."""
+    return np.asarray(
+        [array.ctypes.data for array in arrays], dtype=np.uint64
+    )
+
+
+def _replay_blbp_group(preps: List[dict]) -> bool:
+    """Lane-parallel compiled replay for a fused BLBP group.
+
+    Every prep in ``preps`` must carry the same ``group_key`` — i.e.
+    identical shared planes by object identity.  Returns False (caller
+    replays each lane solo, same results) when the compiled library is
+    unavailable or a lane's mutable tensors are not contiguous.
+    """
+    if len(preps) < 2 or not preps[0]["branch_count"]:
+        return False
+    fn = native.load("blbp_replay_many")
+    if fn is None:
+        return False
+    for prep in preps:
+        if not (
+            prep["tensor"].flags.c_contiguous
+            and prep["rows"].flags.c_contiguous
+        ):
+            return False
+
+    first = preps[0]
+    lanes = len(preps)
+    banks = np.asarray([p["bank_count"] for p in preps], dtype=np.int64)
+    table_rows = np.asarray(
+        [p["table_rows"] for p in preps], dtype=np.int64
+    )
+    lut_offsets = np.asarray(
+        [p["lut_offset"] for p in preps], dtype=np.int64
+    )
+    magnitudes = np.asarray(
+        [p["magnitude"] for p in preps], dtype=np.int64
+    )
+    cmaxs = np.asarray([p["cmax"] for p in preps], dtype=np.int64)
+    cmins = np.asarray([p["cmin"] for p in preps], dtype=np.int64)
+    adaptives = np.asarray(
+        [1 if p["adaptive"] else 0 for p in preps], dtype=np.int64
+    )
+    trained = np.zeros(lanes, dtype=np.int64)
+    rows_ptr = _pointer_array([p["rows"] for p in preps])
+    luts_ptr = _pointer_array([p["lut32"] for p in preps])
+    weights_ptr = _pointer_array([p["tensor"] for p in preps])
+    thetas_ptr = _pointer_array([p["theta"] for p in preps])
+    counters_ptr = _pointer_array([p["counter"] for p in preps])
+    predictions_ptr = _pointer_array([p["predictions"] for p in preps])
+
+    fn(
+        lanes,
+        first["branch_count"],
+        first["num_bits"],
+        first["tmax"],
+        first["set_ids"].ctypes.data,
+        first["padded_targets"].ctypes.data,
+        first["set_sizes"].ctypes.data,
+        first["bit_matrices"].ctypes.data,
+        first["differs_u8"].ctypes.data,
+        first["desired_u8"].ctypes.data,
+        banks.ctypes.data,
+        table_rows.ctypes.data,
+        rows_ptr.ctypes.data,
+        luts_ptr.ctypes.data,
+        lut_offsets.ctypes.data,
+        weights_ptr.ctypes.data,
+        magnitudes.ctypes.data,
+        thetas_ptr.ctypes.data,
+        counters_ptr.ctypes.data,
+        cmaxs.ctypes.data,
+        cmins.ctypes.data,
+        adaptives.ctypes.data,
+        predictions_ptr.ctypes.data,
+        trained.ctypes.data,
+    )
+    for lane, prep in enumerate(preps):
+        prep["trained"] = int(trained[lane])
+    return True
+
+
+def _finish_blbp(
+    prep: dict,
+    trace: Trace,
+    derived: DerivedPlane,
+    warmup_records: int,
+    collect_per_pc: bool,
+    prediction_sink: Optional[Dict[str, np.ndarray]],
+) -> SimulationResult:
+    """State write-back and result assembly for a replayed BLBP lane.
+
+    Identical accounting to the scalar loop: the predictor leaves with
+    the exact state (``state_hash`` equal) the scalar path would have
+    produced, and the result carries the same counters.
+    """
+    predictor = prep["predictor"]
+    histories = predictor.histories
+    threshold = predictor.threshold
+
+    branch_count = prep["branch_count"]
+    conditional_count = prep["conditional_count"]
+    consumed = prep["consumed"]
+    prefix_bits = prep["prefix_bits"]
+    pending0 = prep["pending0"]
+    outcomes = prep["outcomes"]
+    indirect_idx = prep["indirect_idx"]
+    predictions = prep["predictions"]
+    prediction_valid = prep["prediction_valid"]
+    branch_pcs = prep["branch_pcs"]
+    branch_targets = prep["branch_targets"]
 
     if prediction_sink is not None:
         prediction_sink["indirect_idx"] = indirect_idx.copy()
@@ -784,15 +1187,13 @@ def simulate_columnar(
         prediction_sink["predictions"] = predictions.copy()
 
     # --- state write-back ---------------------------------------------
-    threshold._theta = [int(value) for value in theta]
-    threshold._counter = [int(value) for value in counter]
-    for slot, value in final_registers.items():
+    threshold._theta = [int(value) for value in prep["theta"]]
+    threshold._counter = [int(value) for value in prep["counter"]]
+    for slot, value in prep["final_registers"].items():
         histories._local._table[slot] = value
 
     if branch_count:
-        trailing = conditional_count - int(
-            consumed[-1] - prefix_bits
-        )
+        trailing = conditional_count - int(consumed[-1] - prefix_bits)
         pending_final = trailing % 1024
     else:
         pending_final = (pending0 + conditional_count) % 1024
@@ -803,7 +1204,7 @@ def simulate_columnar(
         )
     else:
         outcome_int = 0
-    unmasked = (ghist0 << conditional_count) | outcome_int
+    unmasked = (prep["ghist0"] << conditional_count) | outcome_int
     ghist_mask = histories._ghist_mask
     histories._ghist = (
         ((unmasked >> pending_final) & ghist_mask) << pending_final
@@ -815,13 +1216,15 @@ def simulate_columnar(
 
     flushed = prefix_bits + conditional_count - pending_final
     final_consumed = np.asarray([flushed], dtype=np.int64)
-    final_folds = _branch_folds(prefix, final_consumed, intervals, width)
+    final_folds = _branch_folds(
+        prep["prefix"], final_consumed, prep["intervals"], prep["width"]
+    )
     for position, fold in enumerate(histories._folds):
         fold.fold = int(final_folds[0, position])
 
     predictor.stat_predictions += branch_count
     predictor.stat_ibtb_probes += branch_count
-    predictor.stat_trained_bits += trained_bits
+    predictor.stat_trained_bits += prep["trained"]
 
     # --- result assembly (identical accounting to the scalar loop) ----
     counted = indirect_idx >= warmup_records
@@ -861,3 +1264,180 @@ def simulate_columnar(
         conditional_branches=conditional_count,
         mispredictions_by_pc=by_pc,
     )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def simulate_columnar(
+    predictor,
+    trace: Trace,
+    ras_depth: int = 32,
+    warmup_records: int = 0,
+    collect_per_pc: bool = False,
+    derived: Optional[DerivedPlane] = None,
+    prediction_sink: Optional[Dict[str, np.ndarray]] = None,
+    shared: Optional[SharedPrecompute] = None,
+) -> SimulationResult:
+    """Replay ``trace`` through ``predictor`` as columnar tensor passes.
+
+    Bit-identical to ``simulate(predictor, trace, ...)``: the same
+    predictions, the same counters, and the same final predictor state
+    (``state_dict`` / ``state_hash`` equal).  The predictor may be warm
+    — mid-campaign state, restored snapshots — the kernels seed their
+    precomputation from the live registers.
+
+    Dispatches on exact predictor type: BLBP replays in this module,
+    ITTAGE and VPC through :mod:`repro.sim.kernel_ittage` and
+    :mod:`repro.sim.kernel_vpc`.  Unsupported predictors raise
+    ``TypeError`` carrying the :func:`columnar_support` reason.
+
+    Trace-pure precomputation is served from a :class:`SharedPrecompute`
+    — pass ``shared`` to reuse one across calls explicitly, or let the
+    kernel fetch the process-level cache entry for the trace's content
+    hash (so repeated simulations of one trace skip the pure passes).
+
+    Callers normally go through :func:`repro.sim.engine.simulate` with
+    ``backend="columnar"``, which validates support and falls back to
+    the scalar loop for features the kernels do not cover
+    (checkpointing, resume, profiling).
+
+    ``prediction_sink``, when given a dict, receives the kernel's
+    per-branch arrays after replay — ``indirect_idx`` (record index of
+    every indirect branch), ``valid`` (whether a prediction was made),
+    and ``predictions`` (the predicted target per branch) — letting
+    equivalence tests assert per-branch lockstep against the scalar
+    loop rather than just aggregate counts.
+    """
+    supported, reason = columnar_support(predictor)
+    if not supported:
+        raise TypeError(reason)
+    derived = _validated_derived(trace, ras_depth, derived)
+    if shared is None:
+        shared = shared_precompute(trace, ras_depth, derived)
+
+    if type(predictor) is ITTAGE:
+        from repro.sim.kernel_ittage import simulate_columnar_ittage
+
+        return simulate_columnar_ittage(
+            predictor,
+            trace,
+            derived,
+            shared,
+            warmup_records=warmup_records,
+            collect_per_pc=collect_per_pc,
+            prediction_sink=prediction_sink,
+        )
+    if type(predictor) is VPCPredictor:
+        from repro.sim.kernel_vpc import simulate_columnar_vpc
+
+        return simulate_columnar_vpc(
+            predictor,
+            trace,
+            derived,
+            shared,
+            warmup_records=warmup_records,
+            collect_per_pc=collect_per_pc,
+            prediction_sink=prediction_sink,
+        )
+
+    prep = _prepare_blbp(predictor, trace, derived, shared)
+    _replay_blbp(prep)
+    return _finish_blbp(
+        prep, trace, derived, warmup_records, collect_per_pc,
+        prediction_sink,
+    )
+
+
+def simulate_columnar_many(
+    predictors: List[object],
+    trace: Trace,
+    ras_depth: int = 32,
+    warmup_records: int = 0,
+    collect_per_pc: bool = False,
+    derived: Optional[DerivedPlane] = None,
+    prediction_sinks: Optional[
+        List[Optional[Dict[str, np.ndarray]]]
+    ] = None,
+) -> List[SimulationResult]:
+    """Fused columnar replay of many predictors over one trace.
+
+    One shared precompute pass serves every lane: fold prefix tables,
+    hash-mix planes, IBTB candidate tensors and derived loads are built
+    once (keyed by everything they depend on) and reused by every
+    predictor they fit.  BLBP lanes whose shared planes coincide
+    advance lane-parallel through the compiled ``blbp_replay_many``
+    core — each branch touches every lane before the next branch, with
+    the shared planes hot in cache — and every other supported
+    predictor replays solo against the same shared artifacts.
+
+    Results are positionally aligned with ``predictors`` and each is
+    bit-identical to a solo :func:`simulate_columnar` (equivalently,
+    scalar) run of that lane; lanes are fully independent.  Raises
+    ``TypeError`` with the :func:`columnar_support` reason if any
+    predictor lacks a kernel — callers mixing supported and unsupported
+    predictors must split the group (``repro.sim.engine.simulate_many``
+    does exactly that).
+    """
+    derived = _validated_derived(trace, ras_depth, derived)
+    shared = shared_precompute(trace, ras_depth, derived)
+    count = len(predictors)
+    if prediction_sinks is None:
+        sinks: List[Optional[Dict[str, np.ndarray]]] = [None] * count
+    else:
+        sinks = list(prediction_sinks)
+        if len(sinks) != count:
+            raise ValueError(
+                f"prediction_sinks has {len(sinks)} entries for "
+                f"{count} predictors"
+            )
+
+    for predictor in predictors:
+        supported, reason = columnar_support(predictor)
+        if not supported:
+            raise TypeError(reason)
+
+    results: List[Optional[SimulationResult]] = [None] * count
+    preps: List[Optional[dict]] = [None] * count
+    for position, predictor in enumerate(predictors):
+        if type(predictor) is BLBP:
+            preps[position] = _prepare_blbp(
+                predictor, trace, derived, shared
+            )
+
+    groups: Dict[tuple, List[int]] = {}
+    for position, prep in enumerate(preps):
+        if prep is not None:
+            groups.setdefault(prep["group_key"], []).append(position)
+    for members in groups.values():
+        lane_preps = [preps[position] for position in members]
+        if not _replay_blbp_group(lane_preps):
+            for prep in lane_preps:
+                _replay_blbp(prep)
+    for position, prep in enumerate(preps):
+        if prep is not None:
+            results[position] = _finish_blbp(
+                prep,
+                trace,
+                derived,
+                warmup_records,
+                collect_per_pc,
+                sinks[position],
+            )
+
+    # ITTAGE / VPC lanes replay solo against the same shared artifacts.
+    for position, predictor in enumerate(predictors):
+        if results[position] is None:
+            results[position] = simulate_columnar(
+                predictor,
+                trace,
+                ras_depth=ras_depth,
+                warmup_records=warmup_records,
+                collect_per_pc=collect_per_pc,
+                derived=derived,
+                prediction_sink=sinks[position],
+                shared=shared,
+            )
+    return results

@@ -1,23 +1,48 @@
-"""Optional compiled replay core for the columnar kernel.
+"""Optional compiled replay cores for the columnar kernels.
 
-The columnar kernel (:mod:`repro.sim.kernel`) splits a trace into
-trace-pure precomputation (folds, local registers, IBTB candidate sets,
-``differs``/``desired`` bit planes — all batched numpy) and a
-prediction-dependent replay over the weight banks and θ controllers.
-The replay is the only part that is inherently sequential, and this
-module provides a compiled implementation of it: a single C function
-that walks the branch stream in retirement order, consuming exactly the
-same precomputed tensors as the numpy chunk loop and mutating the same
-weight/θ/counter state with identical integer arithmetic.
+The columnar kernels (:mod:`repro.sim.kernel` and friends) split a
+trace into trace-pure precomputation (folds, local registers, IBTB
+candidate sets, ITTAGE index/tag planes, VPC virtual-PC tables — all
+batched numpy) and a prediction-dependent replay over the mutable
+predictor state.  The replay is the only part that is inherently
+sequential, and this module provides compiled implementations of it:
+C functions that walk the branch stream in retirement order, consuming
+exactly the same precomputed tensors as the numpy loops and mutating
+the same state with identical integer arithmetic.
 
-ROADMAP's north star calls for an optional compiled backend behind the
-same interface; this is that drop-in.  The C source is compiled on
-first use with the system C compiler into a content-addressed shared
-library under the user cache directory and loaded with :mod:`ctypes` —
-no build-time dependency, no new packages.  When no compiler is
-available (or ``REPRO_COLUMNAR_COMPILED=0``), the kernel transparently
-falls back to the pure-numpy chunked replay; both paths are pinned
-bit-identical by the equivalence suite.
+Four entry points live in one shared library:
+
+``blbp_replay``
+    The BLBP weight/θ recurrence for a single predictor.
+``blbp_replay_many``
+    The same recurrence advanced lane-parallel for a fused group of
+    BLBP lanes sharing one precompute (same IBTB candidate tensors and
+    ``differs``/``desired`` planes); each branch touches every lane
+    before the next branch, with per-lane weight banks and θ
+    controllers, so lane ``i`` evolves exactly as a solo replay would.
+``ittage_replay``
+    ITTAGE provider/altpred selection, confidence/usefulness counters
+    and allocation over precomputed per-(branch, table) index/tag
+    planes.  The allocation tie-breaker calls back into the
+    predictor's own numpy Generator so the RNG stream stays
+    bit-identical with the scalar path.
+``vpc_replay``
+    VPC's virtual-PC iteration over a precomputed vpca/slot/tag table,
+    with callbacks into the (arbitrary, Python-side) shared conditional
+    predictor.
+
+The source is compiled on first use with the system C compiler at
+``-O3`` (the dot-product and update inner loops are written so the
+compiler auto-vectorizes them) into a content-addressed shared library
+under the user cache directory and loaded with :mod:`ctypes` — no
+build-time dependency, no new packages.  When no compiler is available
+(or ``REPRO_COLUMNAR_COMPILED=0``), the kernels transparently fall
+back to their pure-numpy replays; both paths are pinned bit-identical
+by the equivalence suite.  Concurrent builders (dist worker pools on
+one node) race benignly: each compiles into a private temp file and
+atomically publishes with ``os.replace``, and a builder whose own
+compile fails re-checks for a concurrently published library before
+giving up.
 """
 
 from __future__ import annotations
@@ -27,12 +52,30 @@ import hashlib
 import os
 import subprocess
 import tempfile
-from typing import Optional
+from typing import Dict, List, Optional
 
-__all__ = ["available", "load", "cache_dir"]
+__all__ = [
+    "available",
+    "load",
+    "cache_dir",
+    "RNG_CALLBACK",
+    "COND_PREDICT",
+    "COND_TRAIN",
+]
+
+#: Callback signatures crossing the C boundary.  ITTAGE's allocation
+#: tie-breaker draws from the predictor's numpy Generator; VPC consults
+#: and trains its Python-side conditional predictor per event.
+RNG_CALLBACK = ctypes.CFUNCTYPE(ctypes.c_double)
+COND_PREDICT = ctypes.CFUNCTYPE(ctypes.c_int, ctypes.c_uint64)
+COND_TRAIN = ctypes.CFUNCTYPE(None, ctypes.c_uint64, ctypes.c_int)
 
 _SOURCE = r"""
 #include <stdint.h>
+
+typedef double (*rng_fn)(void);
+typedef int (*cond_predict_fn)(uint64_t);
+typedef void (*cond_train_fn)(uint64_t, int);
 
 /* Retirement-order replay of the BLBP weight/θ recurrence.
  *
@@ -164,22 +207,566 @@ int64_t blbp_replay(
     }
     return trained;
 }
+
+/* Multi-lane BLBP replay for a fused group sharing one precompute.
+ *
+ * The shared planes (candidate sets, differs/desired) are identical
+ * across lanes by construction — the kernel only groups lanes whose
+ * shared-precompute artifacts are the same objects.  Per-lane state
+ * (weight banks, θ/counter controllers, LUT, geometry) arrives as
+ * pointer/scalar arrays indexed by lane.  Each branch advances every
+ * lane before the next branch; lanes are independent, so each lane's
+ * state trajectory is exactly its solo blbp_replay trajectory, while
+ * the shared planes stay hot in cache across the lane loop.
+ */
+void blbp_replay_many(
+    int64_t lanes,
+    int64_t branches,
+    int64_t bits,
+    int64_t tmax,
+    const int64_t *set_ids,         /* shared (branches,) */
+    const uint64_t *padded_targets, /* shared (sets, tmax) */
+    const int64_t *set_sizes,       /* shared (sets,) */
+    const int32_t *bit_matrices,    /* shared (sets, tmax, bits) */
+    const uint8_t *differs,         /* shared (branches, bits) */
+    const uint8_t *desired,         /* shared (branches, bits) */
+    const int64_t *banks,           /* (lanes,) */
+    const int64_t *table_rows,      /* (lanes,) */
+    const int64_t *const *rows,     /* lane -> (branches, banks[l]) */
+    const int32_t *const *luts,     /* lane -> (2 * lut_offsets[l] + 1,) */
+    const int64_t *lut_offsets,     /* (lanes,) */
+    int8_t *const *weights,         /* lane -> (banks, table_rows, bits) */
+    const int64_t *magnitudes,      /* (lanes,) */
+    int64_t *const *thetas,         /* lane -> (bits,) */
+    int64_t *const *counters,       /* lane -> (bits,) */
+    const int64_t *cmaxs,           /* (lanes,) */
+    const int64_t *cmins,           /* (lanes,) */
+    const int64_t *adaptives,       /* (lanes,) */
+    uint64_t *const *predictions,   /* lane -> (branches,) zeroed */
+    int64_t *trained)               /* (lanes,) zero-initialised */
+{
+    int32_t yout[bits];
+    uint8_t mask[bits];
+    for (int64_t b = 0; b < branches; ++b) {
+        const int64_t sid = set_ids[b];
+        const int64_t size = set_sizes[sid];
+        const int32_t *mat = bit_matrices + sid * tmax * bits;
+        const uint8_t *diff = differs + b * bits;
+        const uint8_t *des = desired + b * bits;
+        int any_active = 0;
+        for (int64_t k = 0; k < bits; ++k)
+            any_active |= diff[k];
+
+        for (int64_t l = 0; l < lanes; ++l) {
+            const int64_t nb = banks[l];
+            const int64_t trows = table_rows[l];
+            const int64_t *brow = rows[l] + b * nb;
+            const int32_t *lut = luts[l];
+            const int64_t lut_offset = lut_offsets[l];
+            int8_t *wbase = weights[l];
+
+            for (int64_t k = 0; k < bits; ++k)
+                yout[k] = 0;
+            for (int64_t n = 0; n < nb; ++n) {
+                const int8_t *w = wbase + (n * trows + brow[n]) * bits;
+                for (int64_t k = 0; k < bits; ++k)
+                    yout[k] += lut[(int64_t)w[k] + lut_offset];
+            }
+
+            if (size > 0) {
+                int64_t best = 0;
+                int32_t best_score = INT32_MIN;
+                for (int64_t t = 0; t < size; ++t) {
+                    const int32_t *mrow = mat + t * bits;
+                    int32_t score = 0;
+                    for (int64_t k = 0; k < bits; ++k)
+                        score += mrow[k] * yout[k];
+                    if (score > best_score) {
+                        best_score = score;
+                        best = t;
+                    }
+                }
+                predictions[l][b] = padded_targets[sid * tmax + best];
+            }
+
+            if (!any_active)
+                continue;
+
+            int64_t *theta = thetas[l];
+            int64_t *counter = counters[l];
+            const int64_t counter_max = cmaxs[l];
+            const int64_t counter_min = cmins[l];
+            const int64_t adaptive = adaptives[l];
+            int any_mask = 0;
+            for (int64_t k = 0; k < bits; ++k) {
+                mask[k] = 0;
+                if (!diff[k])
+                    continue;
+                const int32_t value = yout[k];
+                const int correct = (value >= 0) == (des[k] != 0);
+                const int32_t mag = value >= 0 ? value : -value;
+                if (adaptive) {
+                    int64_t current = theta[k];
+                    if (correct) {
+                        if (mag >= current)
+                            continue;
+                        counter[k] -= 1;
+                        if (counter[k] <= counter_min) {
+                            counter[k] = 0;
+                            if (current > 1) {
+                                current -= 1;
+                                theta[k] = current;
+                            }
+                        }
+                        mask[k] = mag < current;
+                    } else {
+                        counter[k] += 1;
+                        if (counter[k] >= counter_max) {
+                            counter[k] = 0;
+                            theta[k] = current + 1;
+                        }
+                        mask[k] = 1;
+                    }
+                } else {
+                    mask[k] = !correct || mag < theta[k];
+                }
+                any_mask |= mask[k];
+            }
+            if (!any_mask)
+                continue;
+
+            const int64_t magnitude = magnitudes[l];
+            for (int64_t k = 0; k < bits; ++k)
+                trained[l] += mask[k];
+            for (int64_t n = 0; n < nb; ++n) {
+                int8_t *w = wbase + (n * trows + brow[n]) * bits;
+                for (int64_t k = 0; k < bits; ++k) {
+                    if (!mask[k])
+                        continue;
+                    int32_t value = (int32_t)w[k] + (des[k] ? 1 : -1);
+                    if (value > magnitude)
+                        value = (int32_t)magnitude;
+                    if (value < -magnitude)
+                        value = (int32_t)-magnitude;
+                    w[k] = (int8_t)value;
+                }
+            }
+        }
+    }
+}
+
+/* Retirement-order ITTAGE replay over precomputed index/tag planes.
+ *
+ * Statement-for-statement the scalar predict_target/train pair with
+ * the hash pipeline stripped out: provider/altpred selection (highest
+ * two hitting tables), the weak-provider use-alt rule, the use-alt
+ * meta-counter, usefulness and confidence updates, base-table
+ * hysteresis, allocation with Seznec's geometric skew (drawing from
+ * the predictor's own RNG through `rng` so the stream is shared with
+ * the scalar path), and the periodic usefulness reset.
+ */
+void ittage_replay(
+    int64_t branches,
+    int64_t num_tagged,
+    int64_t entries,
+    int64_t base_entries,
+    const int64_t *idx,        /* (branches, num_tagged) */
+    const int64_t *tagv,       /* (branches, num_tagged) */
+    const int64_t *base_idx,   /* (branches,) */
+    const uint64_t *targets,   /* (branches,) */
+    int64_t *tab_tags,         /* (num_tagged, entries) */
+    uint64_t *tab_targets,
+    int8_t *tab_ctr,
+    int8_t *tab_useful,
+    uint8_t *tab_valid,
+    uint64_t *base_targets,    /* (base_entries,) */
+    int8_t *base_ctr,
+    uint8_t *base_valid,
+    int64_t conf_max,
+    int64_t useful_max,
+    int64_t use_alt_min,
+    int64_t use_alt_max,
+    int64_t u_reset_period,
+    int64_t *state,            /* [use_alt, updates] in/out */
+    rng_fn rng,
+    uint64_t *predictions,     /* (branches,) zero-initialised */
+    uint8_t *valid_out)        /* (branches,) zero-initialised */
+{
+    int64_t use_alt = state[0];
+    int64_t updates = state[1];
+    for (int64_t b = 0; b < branches; ++b) {
+        const int64_t *indices = idx + b * num_tagged;
+        const int64_t *tags = tagv + b * num_tagged;
+        const uint64_t target = targets[b];
+
+        int64_t provider_t = -1, provider_i = -1;
+        int64_t alt_t = -1, alt_i = -1;
+        for (int64_t t = num_tagged - 1; t >= 0; --t) {
+            const int64_t slot = t * entries + indices[t];
+            if (tab_valid[slot] && tab_tags[slot] == tags[t]) {
+                if (provider_t < 0) {
+                    provider_t = t;
+                    provider_i = indices[t];
+                } else {
+                    alt_t = t;
+                    alt_i = indices[t];
+                    break;
+                }
+            }
+        }
+
+        const int64_t bi = base_idx[b];
+        const int base_present = base_valid[bi];
+
+        uint64_t provider_target = 0;
+        int64_t provider_ctr = 0;
+        if (provider_t >= 0) {
+            provider_target = tab_targets[provider_t * entries + provider_i];
+            provider_ctr = tab_ctr[provider_t * entries + provider_i];
+        }
+        int has_alt = 0;
+        uint64_t alt_target = 0;
+        if (alt_t >= 0) {
+            has_alt = 1;
+            alt_target = tab_targets[alt_t * entries + alt_i];
+        } else if (base_present) {
+            has_alt = 1;
+            alt_target = base_targets[bi];
+        }
+
+        int has_final = 0;
+        uint64_t final = 0;
+        if (provider_t < 0) {
+            if (base_present) {
+                has_final = 1;
+                final = base_targets[bi];
+            }
+        } else if (provider_ctr == 0 && use_alt >= 0 && has_alt) {
+            has_final = 1;
+            final = alt_target;
+        } else {
+            has_final = 1;
+            final = provider_target;
+        }
+        if (has_final) {
+            predictions[b] = final;
+            valid_out[b] = 1;
+        }
+        const int mispredicted = !has_final || final != target;
+
+        if (provider_t >= 0) {
+            const int64_t pslot = provider_t * entries + provider_i;
+            const int provider_correct = provider_target == target;
+            const int alt_correct = has_alt && alt_target == target;
+            const int differ = !has_alt || provider_target != alt_target;
+            if (provider_ctr == 0 && differ) {
+                if (alt_correct && !provider_correct) {
+                    if (use_alt < use_alt_max)
+                        use_alt += 1;
+                } else if (provider_correct && !alt_correct) {
+                    if (use_alt > use_alt_min)
+                        use_alt -= 1;
+                }
+            }
+            if (differ) {
+                if (provider_correct && tab_useful[pslot] < useful_max)
+                    tab_useful[pslot] += 1;
+                else if (!provider_correct && tab_useful[pslot] > 0)
+                    tab_useful[pslot] -= 1;
+            }
+            if (provider_correct) {
+                if (tab_ctr[pslot] < conf_max)
+                    tab_ctr[pslot] += 1;
+            } else if (tab_ctr[pslot] > 0) {
+                tab_ctr[pslot] -= 1;
+            } else {
+                tab_targets[pslot] = target;
+                tab_ctr[pslot] = 1;
+            }
+        }
+
+        if (!base_present) {
+            base_valid[bi] = 1;
+            base_targets[bi] = target;
+            base_ctr[bi] = 1;
+        } else if (base_targets[bi] == target) {
+            if (base_ctr[bi] < conf_max)
+                base_ctr[bi] += 1;
+        } else if (base_ctr[bi] > 0) {
+            base_ctr[bi] -= 1;
+        } else {
+            base_targets[bi] = target;
+            base_ctr[bi] = 1;
+        }
+
+        if (mispredicted) {
+            int64_t first = -1, second = -1;
+            for (int64_t t = provider_t + 1; t < num_tagged; ++t) {
+                if (tab_useful[t * entries + indices[t]] == 0) {
+                    if (first < 0) {
+                        first = t;
+                    } else {
+                        second = t;
+                        break;
+                    }
+                }
+            }
+            if (first < 0) {
+                for (int64_t t = provider_t + 1; t < num_tagged; ++t) {
+                    const int64_t slot = t * entries + indices[t];
+                    if (tab_useful[slot] > 0)
+                        tab_useful[slot] -= 1;
+                }
+            } else {
+                /* Seznec's geometric skew over the free candidates, in
+                 * the scalar loop's exact RNG draw order. */
+                int64_t chosen = first;
+                if (second >= 0) {
+                    int64_t candidate = second;
+                    for (;;) {
+                        if (rng() < 0.5)
+                            break;
+                        chosen = candidate;
+                        candidate = -1;
+                        for (int64_t t = chosen + 1; t < num_tagged; ++t) {
+                            if (tab_useful[t * entries + indices[t]] == 0) {
+                                candidate = t;
+                                break;
+                            }
+                        }
+                        if (candidate < 0)
+                            break;
+                    }
+                }
+                const int64_t slot = chosen * entries + indices[chosen];
+                tab_valid[slot] = 1;
+                tab_tags[slot] = tags[chosen];
+                tab_targets[slot] = target;
+                tab_ctr[slot] = 0;
+                tab_useful[slot] = 0;
+            }
+        }
+
+        updates += 1;
+        if (updates % u_reset_period == 0) {
+            const int64_t total = num_tagged * entries;
+            for (int64_t s = 0; s < total; ++s)
+                tab_useful[s] = 0;
+        }
+    }
+    state[0] = use_alt;
+    state[1] = updates;
+}
+
+/* Event-order VPC replay over a precomputed vpca/slot/tag table.
+ *
+ * Events interleave real conditionals (kind 0: consult + update the
+ * shared conditional predictor, book-keeping its accuracy) with
+ * indirect branches (kind 1: the virtual-PC iteration).  All hashing
+ * is precomputed per (static pc, iteration); the BTB's direct-mapped
+ * arrays are mutated in place.  The conditional predictor is an
+ * arbitrary Python object reached through the three callbacks, called
+ * in exactly the scalar sequence.
+ */
+void vpc_replay(
+    int64_t events,
+    const uint8_t *kinds,      /* (events,) 0 = conditional, 1 = indirect */
+    const uint64_t *ev_a,      /* cond: pc; indirect: unique-pc row */
+    const uint8_t *ev_taken,   /* (events,) conditionals only */
+    const uint64_t *targets,   /* (branches,) by running branch ordinal */
+    int64_t max_iter,
+    int64_t fallback,
+    const uint64_t *vpcas,     /* (unique_pcs * max_iter) */
+    const int64_t *slots,
+    const int64_t *vtags,
+    int64_t *btb_tags,         /* (btb_entries,) */
+    uint64_t *btb_targets,
+    int64_t *btb_ticks,
+    int64_t *counters,         /* [clock, cond_count, cond_misp] in/out */
+    cond_predict_fn cond_predict,
+    cond_train_fn cond_train,
+    cond_train_fn cond_update,
+    uint64_t *predictions,     /* (branches,) zero-initialised */
+    uint8_t *valid_out)        /* (branches,) zero-initialised */
+{
+    int64_t clock = counters[0];
+    int64_t cond_count = counters[1];
+    int64_t cond_misp = counters[2];
+    int64_t branch = 0;
+    for (int64_t e = 0; e < events; ++e) {
+        if (kinds[e] == 0) {
+            const uint64_t pc = ev_a[e];
+            const int taken = ev_taken[e];
+            const int predicted = cond_predict(pc);
+            cond_count += 1;
+            if ((predicted != 0) != (taken != 0))
+                cond_misp += 1;
+            cond_update(pc, taken);
+            continue;
+        }
+
+        const int64_t base = (int64_t)ev_a[e] * max_iter;
+        const uint64_t target = targets[branch];
+
+        int64_t visited = 0;
+        int has_pred = 0;
+        uint64_t pred = 0;
+        int64_t hit_it = -1;
+        for (int64_t it = 0; it < max_iter; ++it) {
+            const int64_t s = slots[base + it];
+            if (btb_tags[s] != vtags[base + it])
+                break;
+            visited += 1;
+            if (cond_predict(vpcas[base + it])) {
+                pred = btb_targets[s];
+                has_pred = 1;
+                hit_it = it;
+                break;
+            }
+        }
+        if (!has_pred && visited > 0 && fallback) {
+            pred = btb_targets[slots[base]];
+            has_pred = 1;
+            hit_it = 0;
+        }
+        if (has_pred) {
+            predictions[branch] = pred;
+            valid_out[branch] = 1;
+        }
+        branch += 1;
+
+        if (has_pred && pred == target) {
+            for (int64_t it = 0; it < visited; ++it)
+                cond_train(vpcas[base + it], it == hit_it);
+            const int64_t s = slots[base + hit_it];
+            if (btb_tags[s] == vtags[base + hit_it]) {
+                clock += 1;
+                btb_ticks[s] = clock;
+            }
+            continue;
+        }
+
+        int64_t found = -1;
+        for (int64_t it = 0; it < max_iter; ++it) {
+            const int64_t s = slots[base + it];
+            if (found < 0 && btb_tags[s] == vtags[base + it]
+                    && btb_targets[s] == target)
+                found = it;
+        }
+        if (found >= 0) {
+            for (int64_t it = 0; it <= found; ++it) {
+                const int64_t s = slots[base + it];
+                if (btb_tags[s] == vtags[base + it] || it == found)
+                    cond_train(vpcas[base + it], it == found);
+            }
+            const int64_t s = slots[base + found];
+            if (btb_tags[s] == vtags[base + found]) {
+                clock += 1;
+                btb_ticks[s] = clock;
+            }
+            continue;
+        }
+
+        int64_t victim = -1;
+        for (int64_t it = 0; it < max_iter; ++it) {
+            if (btb_tags[slots[base + it]] != vtags[base + it]) {
+                victim = it;
+                break;
+            }
+        }
+        if (victim < 0) {
+            int64_t best_tick = btb_ticks[slots[base]];
+            victim = 0;
+            for (int64_t it = 1; it < max_iter; ++it) {
+                const int64_t tick = btb_ticks[slots[base + it]];
+                if (tick < best_tick) {
+                    best_tick = tick;
+                    victim = it;
+                }
+            }
+        }
+        for (int64_t it = 0; it < visited; ++it) {
+            if (it != victim)
+                cond_train(vpcas[base + it], 0);
+        }
+        {
+            const int64_t s = slots[base + victim];
+            clock += 1;
+            btb_tags[s] = vtags[base + victim];
+            btb_targets[s] = target;
+            btb_ticks[s] = clock;
+        }
+        cond_train(vpcas[base + victim], 1);
+    }
+    counters[0] = clock;
+    counters[1] = cond_count;
+    counters[2] = cond_misp;
+}
 """
+
+_CFLAGS = ["-O3", "-shared", "-fPIC", "-std=c99"]
 
 _I64 = ctypes.c_int64
 _PTR = ctypes.c_void_p
-_ARGTYPES = [
-    _I64, _I64, _I64, _I64, _I64,       # branches, banks, bits, rows, tmax
-    _PTR, _PTR, _PTR, _PTR, _PTR,       # rows, set_ids, targets, sizes, mats
-    _PTR, _PTR,                         # differs, desired
-    _PTR, _I64,                         # lut, lut_offset
-    _PTR, _I64,                         # weights, magnitude
-    _PTR, _PTR, _I64, _I64, _I64,       # theta, counter, cmax, cmin, adaptive
-    _PTR,                               # predictions
-]
+
+#: (restype, argtypes) per exported function; `load(name)` applies them.
+_SIGNATURES: Dict[str, tuple] = {
+    "blbp_replay": (
+        _I64,
+        [
+            _I64, _I64, _I64, _I64, _I64,   # branches, banks, bits, rows, tmax
+            _PTR, _PTR, _PTR, _PTR, _PTR,   # rows, set_ids, targets, sizes, mats
+            _PTR, _PTR,                     # differs, desired
+            _PTR, _I64,                     # lut, lut_offset
+            _PTR, _I64,                     # weights, magnitude
+            _PTR, _PTR, _I64, _I64, _I64,   # theta, counter, cmax, cmin, adaptive
+            _PTR,                           # predictions
+        ],
+    ),
+    "blbp_replay_many": (
+        None,
+        [
+            _I64, _I64, _I64, _I64,         # lanes, branches, bits, tmax
+            _PTR, _PTR, _PTR, _PTR,         # set_ids, targets, sizes, mats
+            _PTR, _PTR,                     # differs, desired
+            _PTR, _PTR,                     # banks, table_rows
+            _PTR, _PTR, _PTR,               # rows, luts, lut_offsets
+            _PTR, _PTR,                     # weights, magnitudes
+            _PTR, _PTR,                     # thetas, counters
+            _PTR, _PTR, _PTR,               # cmaxs, cmins, adaptives
+            _PTR, _PTR,                     # predictions, trained
+        ],
+    ),
+    "ittage_replay": (
+        None,
+        [
+            _I64, _I64, _I64, _I64,         # branches, tables, entries, base
+            _PTR, _PTR, _PTR, _PTR,         # idx, tag, base_idx, targets
+            _PTR, _PTR, _PTR, _PTR, _PTR,   # tags, targets, ctr, useful, valid
+            _PTR, _PTR, _PTR,               # base targets/ctr/valid
+            _I64, _I64, _I64, _I64, _I64,   # conf/useful/alt bounds, u-reset
+            _PTR,                           # state [use_alt, updates]
+            RNG_CALLBACK,                   # allocation tie-breaker
+            _PTR, _PTR,                     # predictions, valid_out
+        ],
+    ),
+    "vpc_replay": (
+        None,
+        [
+            _I64,                           # events
+            _PTR, _PTR, _PTR, _PTR,         # kinds, ev_a, ev_taken, targets
+            _I64, _I64,                     # max_iter, fallback
+            _PTR, _PTR, _PTR,               # vpcas, slots, vtags
+            _PTR, _PTR, _PTR,               # btb tags/targets/ticks
+            _PTR,                           # counters [clock, count, misp]
+            COND_PREDICT, COND_TRAIN, COND_TRAIN,
+            _PTR, _PTR,                     # predictions, valid_out
+        ],
+    ),
+}
 
 _lib: Optional[ctypes.CDLL] = None
-_fn = None
+_fns: Dict[str, object] = {}
 _attempted = False
 
 
@@ -203,10 +790,20 @@ def _compiler() -> Optional[str]:
 
 
 def _build() -> Optional[str]:
-    """Compile the replay core, once, into the shared cache. None on failure."""
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    """Compile the replay cores, once, into the shared cache.
+
+    Returns the library path, or None on failure.  Safe under
+    concurrent builders (dist worker pools sharing one cache): each
+    compiles into a private mkstemp file and publishes with an atomic
+    ``os.replace``; a builder whose own compile fails re-checks whether
+    a concurrent builder already published the library before giving
+    up, so transient contention never blacklists the compiled path for
+    the whole process.
+    """
+    source_id = _SOURCE + "\n".join(_CFLAGS)
+    digest = hashlib.sha256(source_id.encode()).hexdigest()[:16]
     directory = cache_dir()
-    path = os.path.join(directory, f"blbp_replay_{digest}.so")
+    path = os.path.join(directory, f"replay_{digest}.so")
     if os.path.exists(path):
         return path
     compiler = _compiler()
@@ -220,13 +817,12 @@ def _build() -> Optional[str]:
         temp_so = temp_c[:-2] + ".so"
         try:
             result = subprocess.run(
-                [compiler, "-O2", "-shared", "-fPIC", "-std=c99",
-                 "-o", temp_so, temp_c],
+                [compiler, *_CFLAGS, "-o", temp_so, temp_c],
                 capture_output=True,
                 timeout=120,
             )
             if result.returncode != 0:
-                return None
+                return path if os.path.exists(path) else None
             # Atomic publish: concurrent builders race benignly.
             os.replace(temp_so, path)
         finally:
@@ -237,22 +833,14 @@ def _build() -> Optional[str]:
                     pass
         return path
     except (OSError, subprocess.SubprocessError):
-        return None
+        # A concurrent builder may have published while we failed.
+        return path if os.path.exists(path) else None
 
 
-def load():
-    """The compiled ``blbp_replay`` entry point, or None if unavailable.
-
-    Compilation happens at most once per process; failures (no
-    compiler, sandboxed filesystem) are remembered and the caller falls
-    back to the numpy replay.  Set ``REPRO_COLUMNAR_COMPILED=0`` to
-    force the fallback (the equivalence tests exercise both paths).
-    """
-    global _lib, _fn, _attempted
-    if os.environ.get("REPRO_COLUMNAR_COMPILED", "").strip() == "0":
-        return None
-    if _fn is not None:
-        return _fn
+def _load_library() -> Optional[ctypes.CDLL]:
+    global _lib, _attempted
+    if _lib is not None:
+        return _lib
     if _attempted:
         return None
     _attempted = True
@@ -261,15 +849,44 @@ def load():
         return None
     try:
         _lib = ctypes.CDLL(path)
-        fn = _lib.blbp_replay
-    except (OSError, AttributeError):
+    except OSError:
+        _lib = None
+    return _lib
+
+
+def load(name: str = "blbp_replay"):
+    """The compiled replay entry point ``name``, or None if unavailable.
+
+    Compilation happens at most once per process; failures (no
+    compiler, sandboxed filesystem) are remembered and the caller falls
+    back to the numpy replay.  Set ``REPRO_COLUMNAR_COMPILED=0`` to
+    force the fallback (the equivalence tests exercise both paths).
+    """
+    if os.environ.get("REPRO_COLUMNAR_COMPILED", "").strip() == "0":
         return None
-    fn.restype = _I64
-    fn.argtypes = _ARGTYPES
-    _fn = fn
-    return _fn
+    fn = _fns.get(name)
+    if fn is not None:
+        return fn
+    signature = _SIGNATURES.get(name)
+    if signature is None:
+        raise ValueError(f"unknown replay core {name!r}")
+    lib = _load_library()
+    if lib is None:
+        return None
+    try:
+        fn = getattr(lib, name)
+    except AttributeError:
+        return None
+    fn.restype, fn.argtypes = signature
+    _fns[name] = fn
+    return fn
 
 
 def available() -> bool:
-    """Whether the compiled replay core can be used in this process."""
+    """Whether the compiled replay cores can be used in this process."""
     return load() is not None
+
+
+def loaded_functions() -> List[str]:
+    """Names of the compiled entry points available in this process."""
+    return [name for name in _SIGNATURES if load(name) is not None]

@@ -341,6 +341,69 @@ class TestColumnarEquivalence:
             assert session.state_hash() == predictor.state_hash()
 
 
+class TestColumnarEquivalenceAllKernels:
+    """The ITTAGE and VPC columnar kernels over the full 88-workload
+    suite: the columnar backend must land on the identical result and
+    final predictor state as scalar, on both replay paths."""
+
+    _KEYS = ["ITTAGE", "VPC"]
+
+    def _assert_agree(self, key, trace):
+        from repro.registry import make_indirect
+
+        scalar_predictor = make_indirect(key)
+        columnar_predictor = make_indirect(key)
+        scalar = simulate(scalar_predictor, trace)
+        columnar = simulate(
+            columnar_predictor, trace, backend="columnar"
+        )
+        assert columnar == scalar, f"{trace.name}/{key}: results diverge"
+        assert (
+            columnar_predictor.state_hash() == scalar_predictor.state_hash()
+        ), f"{trace.name}/{key}: final predictor state diverges"
+
+    def test_full_suite_identical(self):
+        checked = 0
+        for key in self._KEYS:
+            for name, trace in _traces():
+                self._assert_agree(key, trace)
+                checked += 1
+        assert checked == 2 * len(suite88_specs(_SCALE))
+
+    def test_full_suite_identical_numpy_replay(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_COMPILED", "0")
+        from repro.sim import native
+
+        assert native.load() is None
+        for key in self._KEYS:
+            for name, trace in _traces():
+                self._assert_agree(key, trace)
+
+    def test_fused_columnar_campaign_matches_scalar(self, tmp_path):
+        """A mixed-roster campaign under ``backend="columnar"`` (BLBP,
+        ITTAGE, and VPC cells fuse into columnar groups) must write the
+        byte-identical journal a scalar campaign does."""
+        from repro.exec.plan import plan_campaign
+        from repro.exec.pool import execute_plan
+        from repro.registry import INDIRECT_PREDICTORS
+
+        traces = [trace for _, trace in _traces()[:2]]
+        factories = {
+            name: INDIRECT_PREDICTORS[name]
+            for name in ("BLBP", "ITTAGE", "VPC")
+        }
+        journals = {}
+        for backend in ("scalar", "columnar"):
+            plan = plan_campaign(
+                traces, factories, cache_dir=tmp_path / backend,
+                backend=backend,
+            )
+            journal = tmp_path / f"{backend}.jsonl"
+            execute_plan(plan, jobs=1, journal_path=journal, fuse=True)
+            journals[backend] = journal.read_bytes()
+        assert journals["scalar"] == journals["columnar"]
+
+
 class TestCampaignKillResumeEquivalence:
     def test_killed_campaign_resumes_to_identical_journal_and_mpki(
         self, tmp_path
